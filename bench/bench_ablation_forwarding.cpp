@@ -1,0 +1,80 @@
+// Ablation — the forwarding network (the paper's key pipeline
+// contribution) vs conservative stalling.
+//
+// Without forwarding, a sample can only issue once the previous update
+// has fully committed (4 cycles), so throughput drops to 0.25
+// samples/cycle; with forwarding the pipeline retires 1/cycle with
+// IDENTICAL learned values (verified bit-exactly here). This is the
+// difference between ~45 MS/s and ~180 MS/s at the device clock.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "device/frequency_model.h"
+#include "qtaccel/pipeline.h"
+#include "qtaccel/resources.h"
+
+using namespace qta;
+
+int main() {
+  std::cout << "=== Ablation: forwarding vs stall-on-hazard ===\n\n";
+
+  bool ok = true;
+  TablePrinter table({"|S|", "mode", "samples/cycle", "cycles",
+                      "fwd hits (q_sa/q_next/qmax)", "MS/s @ clock"});
+
+  for (const std::uint64_t states : {256ull, 16384ull}) {
+    env::GridWorld world(bench::grid_for_states(states, 8));
+    qtaccel::PipelineConfig fwd;
+    fwd.seed = 41;
+    fwd.max_episode_length = 2048;
+    qtaccel::PipelineConfig stall = fwd;
+    stall.hazard = qtaccel::HazardMode::kStall;
+
+    qtaccel::Pipeline pf(world, fwd);
+    qtaccel::Pipeline ps(world, stall);
+    const std::uint64_t iters = 60000;
+    pf.run_iterations(iters);
+    ps.run_iterations(iters);
+
+    // Identical learned tables: forwarding changes timing, not values.
+    bool identical = true;
+    for (StateId s = 0; s < world.num_states() && identical; ++s) {
+      for (ActionId a = 0; a < world.num_actions(); ++a) {
+        if (pf.q_raw(s, a) != ps.q_raw(s, a)) {
+          identical = false;
+          break;
+        }
+      }
+    }
+    ok &= identical;
+
+    const auto ledger = qtaccel::build_resources(world, fwd);
+    const double mhz =
+        device::estimated_clock_mhz(bench::eval_device(), ledger);
+    for (const auto* p : {&pf, &ps}) {
+      const auto& st = p->stats();
+      table.add_row(
+          {bench::states_label(states), p == &pf ? "forward" : "stall",
+           format_double(st.samples_per_cycle(), 4),
+           std::to_string(st.cycles),
+           std::to_string(st.fwd_q_sa) + "/" +
+               std::to_string(st.fwd_q_next) + "/" +
+               std::to_string(st.fwd_qmax),
+           format_double(
+               device::throughput_sps(mhz, st.samples_per_cycle()) / 1e6,
+               1)});
+    }
+    ok &= pf.stats().samples_per_cycle() > 0.97;
+    ok &= ps.stats().samples_per_cycle() < 0.26;
+    std::cout << "  |S|=" << states
+              << ": learned tables bit-identical across modes: "
+              << (identical ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nClaims (4x throughput from forwarding, zero effect on "
+               "learned values): "
+            << (ok ? "CONFIRMED" : "NOT CONFIRMED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Ablation — eligibility traces vs the 1-step hardware update.
+//
+// The QTAccel pipeline implements 1-step Q-Learning/SARSA because the
+// BRAM budget allows exactly one table write per cycle. Lambda-return
+// variants (SARSA(lambda), Watkins Q(lambda)) propagate credit faster
+// per sample but touch MANY table entries per step. This bench
+// quantifies both sides of that trade:
+//   * sample efficiency: policy success at tight sample budgets;
+//   * hardware cost: mean table writes per step (= active traces), which
+//     is the factor by which a trace-enabled design would have to
+//     replicate write ports or stall.
+#include <iostream>
+
+#include "algo/lambda_returns.h"
+#include "algo/sarsa.h"
+#include "algo/trainer.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "env/value_iteration.h"
+
+using namespace qta;
+
+namespace {
+double success_rate(const env::GridWorld& g, const algo::TabularLearner& l) {
+  const auto policy = l.greedy_policy();
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    ++total;
+    reached += env::rollout_steps(g, policy, s, 1000) >= 0 ? 1 : 0;
+  }
+  return static_cast<double>(reached) / total;
+}
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: eligibility traces vs the 1-step hardware "
+               "update (16x16 grid, step cost -1) ===\n\n";
+
+  env::GridWorldConfig gc = bench::grid_for_states(256, 4);
+  gc.step_reward = -1.0;
+  gc.goal_reward = 100.0;
+  gc.collision_penalty = 5.0;
+  env::GridWorld world(gc);
+
+  bool ok = true;
+  TablePrinter table({"samples", "SARSA (1-step)", "SARSA(0.9)",
+                      "Watkins Q(0.9)", "mean writes/step"});
+  for (const std::uint64_t budget : {20000ull, 60000ull, 180000ull}) {
+    algo::SarsaOptions sopt;
+    sopt.alpha = 0.15;
+    sopt.epsilon = 0.2;
+    algo::Sarsa one_step(world, sopt);
+
+    algo::LambdaOptions lopt;
+    lopt.alpha = 0.15;
+    lopt.lambda = 0.9;
+    lopt.epsilon = 0.2;
+    algo::SarsaLambda traced(world, lopt);
+    algo::WatkinsQLambda watkins(world, lopt);
+
+    algo::TrainOptions topt;
+    topt.total_samples = budget;
+    topt.max_steps_per_episode = 512;
+    topt.seed = 5;
+    algo::train(one_step, topt);
+    algo::train(traced, topt);
+
+    // Track the trace-write cost while training Watkins.
+    RunningStats writes;
+    algo::TrainOptions wopt = topt;
+    wopt.probe_interval = 50;
+    wopt.probe = [&](std::uint64_t) {
+      writes.add(static_cast<double>(watkins.active_traces()));
+    };
+    algo::train(watkins, wopt);
+
+    const double s1 = success_rate(world, one_step);
+    const double s2 = success_rate(world, traced);
+    const double s3 = success_rate(world, watkins);
+    table.add_row({std::to_string(budget), format_double(s1, 3),
+                   format_double(s2, 3), format_double(s3, 3),
+                   format_double(writes.mean(), 1)});
+    if (budget == 20000ull) ok &= s2 > s1;  // traces win when data-starved
+    if (budget == 180000ull) ok &= s1 > 0.95;  // 1-step catches up
+    ok &= writes.mean() > 2.0;  // and the hardware cost is real
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: traces buy sample efficiency early; the 1-step "
+               "update converges to the same policies with enough "
+               "samples — which the pipeline supplies at 180M/s — while "
+               "keeping exactly one table write per cycle (the traced "
+               "variants average the 'writes/step' column).\n"
+            << (ok ? "CONFIRMED" : "NOT CONFIRMED") << "\n";
+  return ok ? 0 : 1;
+}

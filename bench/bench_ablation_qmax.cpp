@@ -1,0 +1,197 @@
+// Ablation — the Qmax side-table's monotone ("raise-only") approximation
+// vs an exact comparator-tree row scan (the approach of [21]).
+//
+// The paper adopts the monotone table because it makes greedy selection a
+// single BRAM access; the cost is that the cached maximum goes stale-high
+// whenever the true row maximum decreases. This ablation quantifies:
+//   * learning quality on the paper's grid-world workload (where rewards
+//     propagate upward and the approximation is almost free), and
+//   * an adversarial all-negative-reward world where the stale table is
+//     maximally wrong.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "env/random_mdp.h"
+#include "env/value_iteration.h"
+#include "qtaccel/pipeline.h"
+
+using namespace qta;
+
+namespace {
+double grid_policy_success(const env::GridWorld& world,
+                           const qtaccel::Pipeline& p) {
+  return env::policy_success_rate(world, p.greedy_policy());
+}
+
+/// Mean over-estimation of max_a Q(s, a) by the Qmax table.
+double mean_staleness(const env::Environment& world,
+                      const qtaccel::Pipeline& p) {
+  double total = 0.0;
+  for (StateId s = 0; s < world.num_states(); ++s) {
+    double mx = p.q_value(s, 0);
+    for (ActionId a = 1; a < world.num_actions(); ++a) {
+      mx = std::max(mx, p.q_value(s, a));
+    }
+    const double cached =
+        fixed::to_double(p.qmax_entry(s).value, p.config().q_fmt);
+    total += cached - mx;
+  }
+  return total / world.num_states();
+}
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: monotone Qmax table vs exact row scan ===\n\n";
+  bool ok = true;
+
+  // --- the paper's grid world: approximation is nearly free ---
+  TablePrinter grid_table({"mode", "policy success", "greedy-path Q err",
+                           "mean Qmax staleness"});
+  {
+    env::GridWorldConfig gc;
+    gc.width = 16;
+    gc.height = 16;
+    gc.num_actions = 4;
+    env::GridWorld world(gc);
+    const auto optimal = env::value_iteration(world, 0.9);
+    double success[2];
+    int i = 0;
+    for (const auto mode : {qtaccel::QmaxMode::kMonotoneTable,
+                            qtaccel::QmaxMode::kExactScan}) {
+      qtaccel::PipelineConfig c;
+      c.qmax = mode;
+      c.alpha = 0.2;
+      c.seed = 31;
+      c.max_episode_length = 1024;
+      qtaccel::Pipeline p(world, c);
+      p.run_iterations(600000);
+      const double s = grid_policy_success(world, p);
+      const double err = env::greedy_path_q_error(
+          world, optimal, p.q_as_double(), world.state_of(0, 0));
+      grid_table.add_row(
+          {mode == qtaccel::QmaxMode::kMonotoneTable ? "monotone table"
+                                                     : "exact scan",
+           format_double(s, 3), format_double(err, 2),
+           mode == qtaccel::QmaxMode::kMonotoneTable
+               ? format_double(mean_staleness(world, p), 3)
+               : "-"});
+      success[i++] = s;
+    }
+    std::cout << "16x16 grid world (the paper's workload):\n";
+    grid_table.print(std::cout);
+    ok &= success[0] > 0.95;                 // monotone still learns
+    ok &= success[1] >= success[0] - 0.02;   // exact at least as good
+  }
+
+  // --- adversarial: all rewards negative, values only decay ---
+  {
+    env::RandomMdpConfig mc;
+    mc.num_states = 16;
+    mc.num_actions = 4;
+    mc.reward_lo = -1.0;
+    mc.reward_hi = -0.05;
+    mc.seed = 32;
+    env::RandomMdp world(mc);
+    const auto optimal = env::value_iteration(world, 0.9);
+
+    TablePrinter adv({"mode", "sup |Q - Q*|", "mean Qmax staleness"});
+    double err[2];
+    int i = 0;
+    for (const auto mode : {qtaccel::QmaxMode::kMonotoneTable,
+                            qtaccel::QmaxMode::kExactScan}) {
+      qtaccel::PipelineConfig c;
+      c.qmax = mode;
+      c.alpha = 0.2;
+      c.seed = 33;
+      c.max_episode_length = 256;
+      qtaccel::Pipeline p(world, c);
+      p.run_iterations(400000);
+      const auto q = p.q_as_double();
+      double sup = 0.0;
+      for (std::size_t k = 0; k < q.size(); ++k) {
+        sup = std::max(sup, std::abs(q[k] - optimal.q[k]));
+      }
+      adv.add_row({mode == qtaccel::QmaxMode::kMonotoneTable
+                       ? "monotone table"
+                       : "exact scan",
+                   format_double(sup, 3),
+                   mode == qtaccel::QmaxMode::kMonotoneTable
+                       ? format_double(mean_staleness(world, p), 3)
+                       : "-"});
+      err[i++] = sup;
+    }
+    std::cout << "\nAdversarial all-negative-reward MDP (16 states):\n";
+    adv.print(std::cout);
+    // The stale-high table biases the bootstrap target upward: the exact
+    // scan must land strictly closer to Q*.
+    ok &= err[1] < err[0];
+  }
+
+  // --- stochastic dynamics: the bias becomes structural ---
+  {
+    env::GridWorldConfig gc;
+    gc.width = 8;
+    gc.height = 8;
+    gc.num_actions = 4;
+    gc.slip_probability = 0.2;
+    gc.goal_reward = 100.0;
+    gc.collision_penalty = 20.0;
+    env::GridWorld world(gc);
+    const auto optimal = env::value_iteration(world, 0.9);
+
+    TablePrinter slip({"mode", "mean signed Q err vs Q*", "sup |err|"});
+    double mean_err[3];
+    int i = 0;
+    struct SlipMode {
+      const char* name;
+      qtaccel::Algorithm algorithm;
+      qtaccel::QmaxMode qmax;
+    };
+    const SlipMode modes[] = {
+        {"monotone table", qtaccel::Algorithm::kQLearning,
+         qtaccel::QmaxMode::kMonotoneTable},
+        {"exact scan", qtaccel::Algorithm::kQLearning,
+         qtaccel::QmaxMode::kExactScan},
+        {"Double-Q (two tables)", qtaccel::Algorithm::kDoubleQ,
+         qtaccel::QmaxMode::kMonotoneTable},
+    };
+    for (const SlipMode& m : modes) {
+      qtaccel::PipelineConfig c;
+      c.algorithm = m.algorithm;
+      c.qmax = m.qmax;
+      c.alpha = 0.02;
+      c.seed = 34;
+      c.max_episode_length = 512;
+      qtaccel::Pipeline p(world, c);
+      p.run_samples(2000000);
+      double mean = 0.0, sup = 0.0;
+      int total = 0;
+      for (StateId s = 0; s < world.num_states(); ++s) {
+        if (world.is_terminal(s)) continue;
+        ++total;
+        const ActionId a = optimal.policy[s];
+        const double e = p.q_value(s, a) - optimal.q_at(world, s, a);
+        mean += e;
+        sup = std::max(sup, std::abs(e));
+      }
+      mean /= total;
+      slip.add_row(
+          {m.name, format_double(mean, 2), format_double(sup, 2)});
+      mean_err[i++] = mean;
+    }
+    // Double-Q must not inherit the monotone inflation.
+    ok &= mean_err[2] < mean_err[0] / 2.0;
+    std::cout << "\nSlippery 8x8 grid (20% slip, goal 100): stochastic "
+                 "targets make Q values fluctuate downward, which the "
+                 "raise-only table cannot follow:\n";
+    slip.print(std::cout);
+    ok &= mean_err[0] > 5.0 * std::max(1.0, std::abs(mean_err[1]));
+  }
+
+  std::cout << "\nFindings (monotone ~ exact on deterministic grids; a "
+               "real upward bias under value decay and under stochastic "
+               "dynamics): "
+            << (ok ? "CONFIRMED" : "NOT CONFIRMED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Figure 5 — resource utilization for the SARSA accelerator across the
+// Table I state sizes at |A| = 8 on the xcvu13p.
+//
+// Paper's reported behaviour relative to Q-Learning (Figure 3): the
+// epsilon-greedy selector adds an LFSR and comparator, so register and
+// power figures rise slightly; DSP and BRAM are unchanged.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "device/resource_report.h"
+#include "qtaccel/resources.h"
+
+using namespace qta;
+
+int main() {
+  std::cout << "=== Figure 5: SARSA resource utilization (|A| = 8, "
+               "xcvu13p) ===\n"
+            << "Paper claims: same 4 DSP and same BRAM as Q-Learning; "
+               "extra LFSR registers raise FF and power slightly.\n\n";
+
+  const device::Device dev = bench::eval_device();
+  qtaccel::PipelineConfig ql;
+  qtaccel::PipelineConfig sarsa;
+  sarsa.algorithm = qtaccel::Algorithm::kSarsa;
+
+  TablePrinter table({"|S|", "DSP", "FF", "FF util %", "FF vs QL", "LUT",
+                      "power mW", "power vs QL"});
+  bool claims_hold = true;
+  for (const std::uint64_t states : bench::table1_states()) {
+    env::GridWorld world(bench::grid_for_states(states, 8));
+    const auto sl = qtaccel::build_resources(world, sarsa);
+    const auto ql_ledger = qtaccel::build_resources(world, ql);
+    const auto sr = device::make_report(dev, sl);
+    const auto qr = device::make_report(dev, ql_ledger);
+
+    table.add_row(
+        {bench::states_label(states), std::to_string(sr.dsp),
+         std::to_string(sr.flip_flops), format_double(sr.ff_util_pct, 4),
+         "+" + std::to_string(sr.flip_flops - qr.flip_flops),
+         std::to_string(sr.luts),
+         format_double(sr.power.total_mw(), 1),
+         "+" + format_double(sr.power.total_mw() - qr.power.total_mw(), 2)});
+
+    claims_hold &= sr.dsp == 4;
+    claims_hold &= sl.memory_bits() == ql_ledger.memory_bits();
+    claims_hold &= sr.flip_flops > qr.flip_flops;
+    claims_hold &= sr.power.total_mw() > qr.power.total_mw();
+    claims_hold &= sr.ff_util_pct < 0.1;
+  }
+  table.print(std::cout);
+  std::cout << "\nClaims (DSP == 4, BRAM == QL, FF/power > QL, FF < 0.1%): "
+            << (claims_hold ? "REPRODUCED" : "VIOLATED") << "\n";
+  return claims_hold ? 0 : 1;
+}

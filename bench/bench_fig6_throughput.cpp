@@ -1,0 +1,83 @@
+// Figure 6 — throughput (million samples/second) vs state size for
+// Q-Learning and SARSA at |A| = 8.
+//
+// Two factors multiply:
+//   * samples per cycle, measured by the cycle-accurate pipeline
+//     simulation (the paper's claim: one sample every clock cycle after
+//     fill, i.e. ~1.0);
+//   * the achievable clock, from the BRAM-pressure frequency model
+//     calibrated against Table II (189 MHz small, ~153-156 MHz at
+//     |S| = 262144).
+//
+// Paper reference points (|A| = 8, from Table II): 189, 186, 179, 153
+// MS/s at |S| = 64, 1024, 16384, 262144; Figure 6 reports ~180 MS/s
+// sustained with decline only past ~100k states.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "device/frequency_model.h"
+#include "qtaccel/pipeline.h"
+#include "qtaccel/resources.h"
+
+using namespace qta;
+
+namespace {
+double measure_samples_per_cycle(const env::Environment& world,
+                                 qtaccel::PipelineConfig config,
+                                 std::uint64_t iterations) {
+  qtaccel::Pipeline pipeline(world, config);
+  pipeline.run_iterations(iterations);
+  return pipeline.stats().samples_per_cycle();
+}
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 6: throughput vs |S| (|A| = 8, xcvu13p) ===\n\n";
+
+  const device::Device dev = bench::eval_device();
+  const std::map<std::uint64_t, double> paper_ql = {
+      {64, 189.0}, {1024, 186.0}, {16384, 179.0}, {262144, 153.0}};
+
+  TablePrinter table({"|S|", "algo", "samples/cycle", "clock MHz",
+                      "model MS/s", "paper MS/s"});
+  bool ok = true;
+  for (const std::uint64_t states : bench::table1_states()) {
+    env::GridWorld world(bench::grid_for_states(states, 8));
+    // Keep the cycle count proportional but bounded so the whole sweep
+    // stays fast; steady-state rate converges within ~10k cycles.
+    const std::uint64_t iters = states <= 4096 ? 60000 : 120000;
+
+    for (const auto algo :
+         {qtaccel::Algorithm::kQLearning, qtaccel::Algorithm::kSarsa}) {
+      qtaccel::PipelineConfig config;
+      config.algorithm = algo;
+      config.max_episode_length = 4096;
+      config.seed = 7;
+      const double spc = measure_samples_per_cycle(world, config, iters);
+
+      const auto ledger = qtaccel::build_resources(world, config);
+      const double mhz = device::estimated_clock_mhz(dev, ledger);
+      const double msps = device::throughput_sps(mhz, spc) / 1e6;
+
+      const bool is_ql = algo == qtaccel::Algorithm::kQLearning;
+      std::string paper = "-";
+      if (is_ql && paper_ql.count(states)) {
+        paper = format_double(paper_ql.at(states), 0);
+        ok &= std::abs(msps - paper_ql.at(states)) / paper_ql.at(states) <
+              0.08;
+      }
+      ok &= spc > 0.97;  // one sample per cycle, modulo fill and bubbles
+      table.add_row({bench::states_label(states), is_ql ? "QL" : "SARSA",
+                     format_double(spc, 4), format_double(mhz, 1),
+                     format_double(msps, 1), paper});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check (>= 0.97 samples/cycle everywhere; paper "
+               "points within 8%): "
+            << (ok ? "REPRODUCED" : "DIVERGED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks of the hot paths: simulator cycle
+// cost, fixed-point DSP operations, LFSR draws, and the CPU-baseline
+// update loops. These measure the *simulator's* speed on the host (how
+// many simulated cycles per wall second the harness can drive), not the
+// modeled FPGA throughput — that's bench_fig6_throughput.
+#include <benchmark/benchmark.h>
+
+#include "baseline/dict_q_learning.h"
+#include "baseline/flat_q_learning.h"
+#include "bench_util.h"
+#include "env/grid_world.h"
+#include "fixed/fixed_point.h"
+#include "qtaccel/golden_model.h"
+#include "qtaccel/pipeline.h"
+#include "rng/lfsr.h"
+
+using namespace qta;
+
+namespace {
+
+void BM_FixedMul(benchmark::State& state) {
+  const fixed::Format q{18, 8}, c{18, 16};
+  fixed::raw_t a = fixed::from_double(3.75, q);
+  const fixed::raw_t b = fixed::from_double(0.9, c);
+  for (auto _ : state) {
+    a = fixed::mul(a, q, b, c, q) + 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FixedMul);
+
+void BM_FixedSatAdd(benchmark::State& state) {
+  const fixed::Format q{18, 8};
+  fixed::raw_t a = 1000, b = 271;
+  for (auto _ : state) {
+    a = fixed::sat_add(a, b, q) ^ 1;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FixedSatAdd);
+
+void BM_LfsrDrawBits(benchmark::State& state) {
+  rng::Lfsr lfsr(32, 7);
+  const auto bits = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfsr.draw_bits(bits));
+  }
+}
+BENCHMARK(BM_LfsrDrawBits)->Arg(3)->Arg(16)->Arg(32);
+
+void BM_PipelineCycle(benchmark::State& state) {
+  env::GridWorld world(
+      bench::grid_for_states(static_cast<std::uint64_t>(state.range(0)),
+                             8));
+  qtaccel::PipelineConfig config;
+  config.max_episode_length = 4096;
+  qtaccel::Pipeline pipeline(world, config);
+  for (auto _ : state) {
+    pipeline.tick(true);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_samples_per_cycle"] =
+      pipeline.stats().samples_per_cycle();
+}
+BENCHMARK(BM_PipelineCycle)->Arg(256)->Arg(16384);
+
+void BM_GoldenIteration(benchmark::State& state) {
+  env::GridWorld world(bench::grid_for_states(16384, 8));
+  qtaccel::PipelineConfig config;
+  config.max_episode_length = 4096;
+  qtaccel::GoldenModel golden(world, config);
+  for (auto _ : state) {
+    golden.run(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldenIteration);
+
+void BM_DictUpdateLoop(benchmark::State& state) {
+  env::GridWorld world(
+      bench::grid_for_states(static_cast<std::uint64_t>(state.range(0)),
+                             4));
+  baseline::DictQLearning learner(world, 0.1, 0.9, 71);
+  for (auto _ : state) {
+    learner.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DictUpdateLoop)->Arg(1024)->Arg(262144);
+
+void BM_FlatUpdateLoop(benchmark::State& state) {
+  env::GridWorld world(
+      bench::grid_for_states(static_cast<std::uint64_t>(state.range(0)),
+                             4));
+  baseline::FlatQLearning learner(world, 0.1, 0.9, 71);
+  for (auto _ : state) {
+    learner.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FlatUpdateLoop)->Arg(1024)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared helpers for the benchmark binaries: the paper's Table I test
+// cases, the standard grid-world workload builder, and the device used
+// throughout the evaluation section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bit_math.h"
+#include "common/check.h"
+#include "device/device.h"
+#include "env/grid_world.h"
+
+namespace qta::bench {
+
+/// Table I: |S| in {64, ..., 262144}, |A| in {4, 8}. States are square
+/// 2^k x 2^k grids (the paper's (x, y) coordinate addressing).
+inline const std::vector<std::uint64_t>& table1_states() {
+  static const std::vector<std::uint64_t> kStates{
+      64, 256, 1024, 4096, 16384, 65536, 262144};
+  return kStates;
+}
+
+/// Builds the paper's grid-world workload for a Table I case.
+inline env::GridWorldConfig grid_for_states(std::uint64_t states,
+                                            unsigned actions) {
+  QTA_CHECK(is_pow2(states));
+  const unsigned bits = log2_ceil(states);
+  QTA_CHECK_MSG(bits % 2 == 0, "Table I cases are square grids");
+  const unsigned side = 1u << (bits / 2);
+  env::GridWorldConfig c;
+  c.width = side;
+  c.height = side;
+  c.num_actions = actions;
+  return c;
+}
+
+/// The evaluation device (Section VI-A).
+inline device::Device eval_device() { return device::xcvu13p(); }
+
+inline std::string states_label(std::uint64_t states) {
+  return std::to_string(states);
+}
+
+}  // namespace qta::bench

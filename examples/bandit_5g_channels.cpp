@@ -1,0 +1,111 @@
+// 5G channel selection as a multi-armed bandit (Section VII-B): a radio
+// picks one of M channels per slot; each channel's SNR is a noisy
+// stationary process. QTAccel's MAB customization runs epsilon-greedy at
+// one decision per clock and EXP3 with the binary-search probability
+// selector; UCB1 runs as the software reference.
+//
+// Usage: bandit_5g_channels [--channels=8] [--slots=100000] [--seed=3]
+#include <iostream>
+#include <vector>
+
+#include "algo/mab_algorithms.h"
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "device/frequency_model.h"
+#include "env/bandit.h"
+#include "qtaccel/mab_accelerator.h"
+
+using namespace qta;
+
+namespace {
+std::vector<env::Arm> make_channels(unsigned m, std::uint64_t seed) {
+  // SNR means in dB-ish units with a clear best channel, noisy slots.
+  std::vector<env::Arm> arms(m);
+  rng::Xoshiro256 rng(seed);
+  for (unsigned i = 0; i < m; ++i) {
+    arms[i] = {rng.uniform(5.0, 20.0), 3.0};
+  }
+  arms[m / 2].mean = 24.0;  // one clearly good channel
+  return arms;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const auto channels =
+      static_cast<unsigned>(flags.get_int("channels", 8));
+  const auto slots =
+      static_cast<std::uint64_t>(flags.get_int("slots", 100000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+
+  std::cout << "5G channel selection: " << channels << " channels, "
+            << slots << " slots\n\n";
+
+  TablePrinter table({"policy", "regret", "regret/slot",
+                      "best-channel share", "decisions/s (modeled)"});
+
+  const double clock_mhz = 189.0;  // small tables: full device clock
+
+  {
+    env::MultiArmedBandit radio(make_channels(channels, seed), seed);
+    qtaccel::MabConfig c;
+    c.policy = qtaccel::MabConfig::Policy::kEpsilonGreedy;
+    c.epsilon = 0.08;
+    c.alpha = 0.05;
+    c.seed = seed;
+    qtaccel::MabAccelerator acc(radio, c);
+    acc.run(slots);
+    table.add_row(
+        {"QTAccel eps-greedy", format_double(acc.cumulative_regret(), 0),
+         format_double(acc.cumulative_regret() / static_cast<double>(slots),
+                       3),
+         format_double(100.0 * static_cast<double>(
+                                   acc.pull_counts()[radio.best_arm()]) /
+                           static_cast<double>(slots),
+                       1) +
+             "%",
+         format_rate(device::throughput_sps(
+             clock_mhz, acc.stats().samples_per_cycle()))});
+  }
+  {
+    env::MultiArmedBandit radio(make_channels(channels, seed), seed + 1);
+    qtaccel::MabConfig c;
+    c.policy = qtaccel::MabConfig::Policy::kExp3;
+    c.exp3_gamma = 0.05;
+    c.reward_lo = 0.0;
+    c.reward_hi = 30.0;
+    c.seed = seed + 1;
+    qtaccel::MabAccelerator acc(radio, c);
+    acc.run(slots);
+    table.add_row(
+        {"QTAccel EXP3", format_double(acc.cumulative_regret(), 0),
+         format_double(acc.cumulative_regret() / static_cast<double>(slots),
+                       3),
+         format_double(100.0 * static_cast<double>(
+                                   acc.pull_counts()[radio.best_arm()]) /
+                           static_cast<double>(slots),
+                       1) +
+             "%",
+         format_rate(device::throughput_sps(
+             clock_mhz, acc.stats().samples_per_cycle()))});
+  }
+  {
+    env::MultiArmedBandit radio(make_channels(channels, seed), seed + 2);
+    algo::Ucb1 ucb(channels);
+    policy::XoshiroSource rng(seed + 2);
+    algo::run_bandit(ucb, radio, slots, rng, 0.0, 30.0);
+    table.add_row({"UCB1 (software)",
+                   format_double(radio.cumulative_regret(), 0),
+                   format_double(radio.cumulative_regret() /
+                                     static_cast<double>(slots),
+                                 3),
+                   "-", "-"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAt ~189 MHz the epsilon-greedy selector sustains one "
+               "channel decision per clock (~189M decisions/s); EXP3 "
+               "pays 1 + ceil(log2 M) cycles per decision for the "
+               "probability-table binary search.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// End-to-end workflow: define a warehouse floor as an ASCII map, train a
+// picker robot on the accelerator, SAVE the learned Q-table, reload it
+// into a fresh accelerator (e.g. after a power cycle, or onto a second
+// robot) and keep training warm — the deploy loop a real user of the IP
+// would run.
+//
+// Usage: warehouse_workflow [--samples=300000] [--seed=11]
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/table_printer.h"
+#include "env/grid_map.h"
+#include "env/value_iteration.h"
+#include "qtaccel/pipeline.h"
+#include "qtaccel/table_io.h"
+
+using namespace qta;
+
+namespace {
+// 16x8 warehouse: shelving racks (#) with aisles; dock at the right edge.
+constexpr const char* kFloor =
+    ". . . . . . . . . . . . . . . .\n"
+    ". # # # . # # # . # # # . # # .\n"
+    ". # # # . # # # . # # # . # # .\n"
+    ". . . . . . . . . . . . . . . .\n"
+    ". # # # . # # # . # # # . # # .\n"
+    ". # # # . # # # . # # # . # # .\n"
+    ". . . . . . . . . . . . . . . .\n"
+    ". . . . . . . . . . . . . . . G\n";
+
+int optimal_paths(const env::GridWorld& world,
+                  const std::vector<ActionId>& policy,
+                  const env::ValueIterationResult& vi, int& total) {
+  int match = 0;
+  total = 0;
+  for (StateId s = 0; s < world.num_states(); ++s) {
+    if (world.is_terminal(s) || world.is_obstacle(s)) continue;
+    ++total;
+    if (env::rollout_steps(world, policy, s, 2000) ==
+        env::rollout_steps(world, vi.policy, s, 2000)) {
+      ++match;
+    }
+  }
+  return match;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const auto samples =
+      static_cast<std::uint64_t>(flags.get_int("samples", 300000));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+
+  env::GridWorldConfig base;
+  base.num_actions = 4;
+  base.step_reward = -1.0;  // time is money on the floor
+  base.goal_reward = 200.0;
+  base.collision_penalty = 10.0;
+  env::GridWorld floor(env::parse_grid_map(kFloor, base));
+  const auto vi = env::value_iteration(floor, 0.9);
+
+  std::cout << "Warehouse floor (" << floor.config().width << "x"
+            << floor.config().height << ", 'G' = dock):\n";
+  floor.render(std::cout);
+
+  // --- train robot A ---
+  qtaccel::PipelineConfig c;
+  c.alpha = 0.2;
+  c.gamma = 0.9;
+  c.seed = seed;
+  c.max_episode_length = 1024;
+  qtaccel::Pipeline robot_a(floor, c);
+  robot_a.run_samples(samples);
+
+  int total = 0;
+  const int a_opt = optimal_paths(floor, robot_a.greedy_policy(), vi,
+                                  total);
+  std::cout << "\nRobot A after " << samples << " samples: " << a_opt << "/"
+            << total << " cells take the optimal route to the dock\n";
+
+  // --- save / reload ---
+  std::stringstream checkpoint;
+  qtaccel::save_q_table(checkpoint, robot_a);
+  std::cout << "Checkpoint size: " << checkpoint.str().size()
+            << " bytes (raw fixed-point words, bit-exact)\n";
+
+  qtaccel::PipelineConfig c2 = c;
+  c2.seed = seed + 1;  // different robot, different random walk
+  qtaccel::Pipeline robot_b(floor, c2);
+  qtaccel::load_q_table(checkpoint, robot_b);
+
+  const int b_cold = optimal_paths(floor, robot_b.greedy_policy(),
+                                   vi, total);
+  robot_b.run_samples(samples / 10);
+  const int b_warm = optimal_paths(floor, robot_b.greedy_policy(),
+                                   vi, total);
+
+  TablePrinter table({"robot", "samples", "optimal routes"});
+  table.add_row({"A (trained)", std::to_string(samples),
+                 std::to_string(a_opt) + "/" + std::to_string(total)});
+  table.add_row({"B (loaded A's table)", "0",
+                 std::to_string(b_cold) + "/" + std::to_string(total)});
+  table.add_row({"B (+10% warm training)",
+                 std::to_string(samples / 10),
+                 std::to_string(b_warm) + "/" + std::to_string(total)});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::cout << "\nRobot B's policy map:\n";
+  const auto policy = robot_b.greedy_policy();
+  floor.render(std::cout, &policy);
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "algo/double_q.h"
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+DoubleQLearning::DoubleQLearning(const env::Environment& env,
+                                 const DoubleQOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma) {
+  qa_.assign(env.table_size(), 0.0);
+  qb_.assign(env.table_size(), 0.0);
+}
+
+Step DoubleQLearning::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  st.action = static_cast<ActionId>(rng.below(env_.num_actions()));
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  auto& learn = rng.draw_bits(1) ? qa_ : qb_;
+  auto& eval = (&learn == &qa_) ? qb_ : qa_;
+
+  double future = 0.0;
+  if (!st.terminal) {
+    // argmax under the learning table, evaluated by the other table.
+    const std::size_t row =
+        static_cast<std::size_t>(st.next_state) * env_.num_actions();
+    ActionId best = 0;
+    for (ActionId a = 1; a < env_.num_actions(); ++a) {
+      if (learn[row + a] > learn[row + best]) best = a;
+    }
+    future = eval[row + best];
+  }
+  const std::size_t i = index(s, st.action);
+  learn[i] += alpha_ * (st.reward + gamma_ * future - learn[i]);
+  q_[i] = qa_[i] + qb_[i];  // acting estimate exposed via the base table
+  return st;
+}
+
+}  // namespace qta::algo

@@ -1,0 +1,34 @@
+// Double Q-Learning (van Hasselt) — maintains two tables QA/QB and updates
+// a random one per step, using the other to evaluate the greedy action.
+// Included as the overestimation-bias reference point for the Qmax
+// ablation: the paper's monotone Qmax table biases the max operator
+// upward; Double Q biases it downward; exact-max Q-Learning sits between.
+#pragma once
+
+#include "algo/tabular_learner.h"
+
+namespace qta::algo {
+
+struct DoubleQOptions {
+  double alpha = 0.1;
+  double gamma = 0.9;
+};
+
+class DoubleQLearning final : public TabularLearner {
+ public:
+  DoubleQLearning(const env::Environment& env, const DoubleQOptions& options);
+
+  /// Behavior acts randomly (matching the paper's Q-Learning accelerator);
+  /// the update draws one bit to pick which table learns. The base-class
+  /// table q() always holds QA + QB (the acting estimate).
+  Step step(StateId s, policy::RandomSource& rng) override;
+
+  double qa_at(StateId s, ActionId a) const { return qa_[index(s, a)]; }
+  double qb_at(StateId s, ActionId a) const { return qb_[index(s, a)]; }
+
+ private:
+  std::vector<double> qa_;
+  std::vector<double> qb_;
+};
+
+}  // namespace qta::algo

@@ -1,0 +1,46 @@
+#include "algo/expected_sarsa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+ExpectedSarsa::ExpectedSarsa(const env::Environment& env,
+                             const ExpectedSarsaOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma),
+      options_(options),
+      behavior_(options.epsilon) {}
+
+void ExpectedSarsa::begin_episode() { pending_action_ = kInvalidAction; }
+
+Step ExpectedSarsa::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  st.action = pending_action_ != kInvalidAction
+                  ? pending_action_
+                  : behavior_.select(q_row(s), rng);
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  double future = 0.0;
+  if (!st.terminal) {
+    const auto row = q_row(st.next_state);
+    const double mx = *std::max_element(row.begin(), row.end());
+    double mean = 0.0;
+    for (double q : row) mean += q;
+    mean /= static_cast<double>(row.size());
+    future = (1.0 - options_.epsilon) * mx + options_.epsilon * mean;
+  }
+  const double target = st.reward + gamma_ * future;
+  const std::size_t i = index(s, st.action);
+  q_[i] += alpha_ * (target - q_[i]);
+
+  pending_action_ = st.terminal
+                        ? kInvalidAction
+                        : behavior_.select(q_row(st.next_state), rng);
+  return st;
+}
+
+}  // namespace qta::algo

@@ -1,0 +1,34 @@
+// Expected SARSA — an extension the paper's generic architecture admits
+// (any update policy expressible as a probability distribution, Section
+// VII-B). The target replaces Q(S',A') with the expectation under the
+// epsilon-greedy policy:
+//   E[Q(S',.)] = (1 - eps) * max_a Q(S',a) + eps * mean_a Q(S',a)
+// (the paper's hardware epsilon-greedy explores uniformly over ALL
+// actions, hence the mean over the full row).
+#pragma once
+
+#include "algo/tabular_learner.h"
+
+namespace qta::algo {
+
+struct ExpectedSarsaOptions {
+  double alpha = 0.1;
+  double gamma = 0.9;
+  double epsilon = 0.1;
+};
+
+class ExpectedSarsa final : public TabularLearner {
+ public:
+  ExpectedSarsa(const env::Environment& env,
+                const ExpectedSarsaOptions& options);
+
+  Step step(StateId s, policy::RandomSource& rng) override;
+  void begin_episode() override;
+
+ private:
+  ExpectedSarsaOptions options_;
+  policy::EpsilonGreedyPolicy behavior_;
+  ActionId pending_action_ = kInvalidAction;
+};
+
+}  // namespace qta::algo

@@ -1,0 +1,127 @@
+#include "algo/lambda_returns.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+namespace {
+void erase_small(std::vector<double>& trace,
+                 std::vector<std::size_t>& active, double cutoff) {
+  auto it = std::remove_if(active.begin(), active.end(),
+                           [&](std::size_t i) {
+                             if (trace[i] < cutoff) {
+                               trace[i] = 0.0;
+                               return true;
+                             }
+                             return false;
+                           });
+  active.erase(it, active.end());
+}
+}  // namespace
+
+SarsaLambda::SarsaLambda(const env::Environment& env,
+                         const LambdaOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma), options_(options) {
+  QTA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0);
+  QTA_CHECK(options.epsilon >= 0.0 && options.epsilon <= 1.0);
+  trace_.assign(env.table_size(), 0.0);
+}
+
+void SarsaLambda::begin_episode() {
+  for (std::size_t i : active_) trace_[i] = 0.0;
+  active_.clear();
+  pending_action_ = kInvalidAction;
+}
+
+ActionId SarsaLambda::select(StateId s, policy::RandomSource& rng) const {
+  return policy::epsilon_greedy_action(q_row(s), options_.epsilon, rng);
+}
+
+void SarsaLambda::decay_and_apply(double delta, double decay) {
+  const double step = alpha_ * delta;
+  for (std::size_t i : active_) {
+    q_[i] += step * trace_[i];
+    trace_[i] *= decay;
+  }
+  erase_small(trace_, active_, options_.trace_cutoff);
+}
+
+Step SarsaLambda::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  st.action = pending_action_ != kInvalidAction ? pending_action_
+                                                : select(s, rng);
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  const ActionId next_action = select(st.next_state, rng);
+  const double future =
+      st.terminal ? 0.0 : q_at(st.next_state, next_action);
+  const double delta = st.reward + gamma_ * future - q_at(s, st.action);
+
+  // Replacing trace on the visited pair.
+  const std::size_t i = index(s, st.action);
+  if (trace_[i] == 0.0) active_.push_back(i);
+  trace_[i] = 1.0;
+
+  decay_and_apply(delta, gamma_ * options_.lambda);
+
+  pending_action_ = st.terminal ? kInvalidAction : next_action;
+  if (st.terminal) begin_episode();
+  return st;
+}
+
+WatkinsQLambda::WatkinsQLambda(const env::Environment& env,
+                               const LambdaOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma), options_(options) {
+  QTA_CHECK(options.lambda >= 0.0 && options.lambda <= 1.0);
+  trace_.assign(env.table_size(), 0.0);
+}
+
+void WatkinsQLambda::begin_episode() { clear_traces(); }
+
+void WatkinsQLambda::clear_traces() {
+  for (std::size_t i : active_) trace_[i] = 0.0;
+  active_.clear();
+}
+
+void WatkinsQLambda::decay_and_apply(double delta, double decay) {
+  const double step = alpha_ * delta;
+  for (std::size_t i : active_) {
+    q_[i] += step * trace_[i];
+    trace_[i] *= decay;
+  }
+  erase_small(trace_, active_, options_.trace_cutoff);
+}
+
+Step WatkinsQLambda::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  st.action = policy::epsilon_greedy_action(q_row(s), options_.epsilon, rng);
+  const ActionId greedy_now = policy::greedy_action(q_row(s));
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  const double future = st.terminal ? 0.0 : max_q(st.next_state);
+  const double delta = st.reward + gamma_ * future - q_at(s, st.action);
+
+  const std::size_t i = index(s, st.action);
+  if (trace_[i] == 0.0) active_.push_back(i);
+  trace_[i] = 1.0;
+
+  decay_and_apply(delta, gamma_ * options_.lambda);
+
+  // Watkins cut: a non-greedy behavior step invalidates older traces.
+  if (st.action != greedy_now) {
+    clear_traces();
+    ++cuts_;
+  }
+  if (st.terminal) clear_traces();
+  return st;
+}
+
+}  // namespace qta::algo

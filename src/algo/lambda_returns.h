@@ -1,0 +1,76 @@
+// Eligibility-trace variants: SARSA(lambda) and Watkins Q(lambda).
+//
+// These are the classical "faster credit propagation" extensions of the
+// paper's two algorithms (Sutton & Barto ch. 12; the paper's reference
+// [24] is the original SARSA(lambda) report). They serve two roles here:
+//   * software reference points for the lambda ablation benchmark —
+//     quantifying how much convergence speed the 1-step hardware update
+//     leaves on the table;
+//   * a characterization of why the paper's pipeline does NOT implement
+//     them: a trace update touches every recently-visited state-action
+//     pair per sample, breaking the one-BRAM-write-per-cycle budget.
+//
+// Replacing traces (Singh & Sutton) with a visited-list cutoff keeps the
+// per-step cost bounded: entries below `trace_cutoff` are dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/tabular_learner.h"
+
+namespace qta::algo {
+
+struct LambdaOptions {
+  double alpha = 0.1;
+  double gamma = 0.9;
+  double lambda = 0.8;
+  double epsilon = 0.1;        // behavior exploration (epsilon-greedy)
+  double trace_cutoff = 1e-4;  // drop traces below this
+};
+
+class SarsaLambda final : public TabularLearner {
+ public:
+  SarsaLambda(const env::Environment& env, const LambdaOptions& options);
+
+  Step step(StateId s, policy::RandomSource& rng) override;
+  void begin_episode() override;
+
+  /// Number of active (above-cutoff) eligibility entries, an upper bound
+  /// on the per-step table writes a hardware realization would need.
+  std::size_t active_traces() const { return active_.size(); }
+
+ private:
+  ActionId select(StateId s, policy::RandomSource& rng) const;
+  void decay_and_apply(double delta, double decay);
+
+  LambdaOptions options_;
+  std::vector<double> trace_;          // |S| x |A|, replacing traces
+  std::vector<std::size_t> active_;    // indices with nonzero trace
+  ActionId pending_action_ = kInvalidAction;
+};
+
+/// Watkins Q(lambda): off-policy; traces are CUT whenever the behavior
+/// action deviates from the greedy action (the bootstrap beyond a
+/// non-greedy step would be off-policy-invalid).
+class WatkinsQLambda final : public TabularLearner {
+ public:
+  WatkinsQLambda(const env::Environment& env, const LambdaOptions& options);
+
+  Step step(StateId s, policy::RandomSource& rng) override;
+  void begin_episode() override;
+
+  std::size_t active_traces() const { return active_.size(); }
+  std::uint64_t trace_cuts() const { return cuts_; }
+
+ private:
+  void decay_and_apply(double delta, double decay);
+  void clear_traces();
+
+  LambdaOptions options_;
+  std::vector<double> trace_;
+  std::vector<std::size_t> active_;
+  std::uint64_t cuts_ = 0;
+};
+
+}  // namespace qta::algo

@@ -1,0 +1,90 @@
+#include "algo/mab_algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+EpsilonGreedyMab::EpsilonGreedyMab(unsigned arms, double epsilon,
+                                   double alpha)
+    : epsilon_(epsilon), alpha_(alpha), value_(arms, 0.0), pulls_(arms, 0) {
+  QTA_CHECK(arms >= 2);
+  QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  QTA_CHECK(alpha >= 0.0 && alpha <= 1.0);
+}
+
+unsigned EpsilonGreedyMab::select(policy::RandomSource& rng) {
+  return static_cast<unsigned>(policy::epsilon_greedy_action(
+      {value_.data(), value_.size()}, epsilon_, rng));
+}
+
+void EpsilonGreedyMab::update(unsigned arm, double reward) {
+  QTA_CHECK(arm < value_.size());
+  ++pulls_[arm];
+  const double step = alpha_ > 0.0
+                          ? alpha_
+                          : 1.0 / static_cast<double>(pulls_[arm]);
+  value_[arm] += step * (reward - value_[arm]);
+}
+
+Ucb1::Ucb1(unsigned arms) : value_(arms, 0.0), pulls_(arms, 0) {
+  QTA_CHECK(arms >= 2);
+}
+
+unsigned Ucb1::select(policy::RandomSource& rng) {
+  (void)rng;  // UCB1 is deterministic given its history
+  // First sweep every arm once.
+  for (unsigned m = 0; m < pulls_.size(); ++m) {
+    if (pulls_[m] == 0) return m;
+  }
+  unsigned best = 0;
+  double best_score = -1e300;
+  const double lnt = std::log(static_cast<double>(t_));
+  for (unsigned m = 0; m < value_.size(); ++m) {
+    const double bonus =
+        std::sqrt(2.0 * lnt / static_cast<double>(pulls_[m]));
+    const double score = value_[m] + bonus;
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return best;
+}
+
+void Ucb1::update(unsigned arm, double reward) {
+  QTA_CHECK(arm < value_.size());
+  ++t_;
+  ++pulls_[arm];
+  value_[arm] +=
+      (reward - value_[arm]) / static_cast<double>(pulls_[arm]);
+}
+
+Exp3Mab::Exp3Mab(unsigned arms, double gamma, const fixed::ExpLut* lut)
+    : exp3_(arms, gamma, lut) {}
+
+unsigned Exp3Mab::select(policy::RandomSource& rng) {
+  return exp3_.select(rng);
+}
+
+void Exp3Mab::update(unsigned arm, double reward) {
+  exp3_.update(arm, reward);
+}
+
+double run_bandit(MabAlgorithm& algo, env::MultiArmedBandit& bandit,
+                  std::uint64_t pulls, policy::RandomSource& rng,
+                  double reward_lo, double reward_hi) {
+  QTA_CHECK(reward_hi > reward_lo);
+  for (std::uint64_t t = 0; t < pulls; ++t) {
+    const unsigned arm = algo.select(rng);
+    const double raw = bandit.pull(arm);
+    const double scaled =
+        std::clamp((raw - reward_lo) / (reward_hi - reward_lo), 0.0, 1.0);
+    algo.update(arm, scaled);
+  }
+  return bandit.cumulative_regret();
+}
+
+}  // namespace qta::algo

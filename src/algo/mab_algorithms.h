@@ -1,0 +1,78 @@
+// Reference multi-armed bandit algorithms (Section VII-B): epsilon-greedy
+// with incremental value estimates, UCB1, and an EXP3 driver over the
+// policy::Exp3 weights. Each exposes the same select/update interface so
+// the MAB benchmark can sweep algorithms uniformly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/bandit.h"
+#include "policy/exp3.h"
+#include "policy/policies.h"
+
+namespace qta::algo {
+
+class MabAlgorithm {
+ public:
+  virtual ~MabAlgorithm() = default;
+  virtual unsigned select(policy::RandomSource& rng) = 0;
+  virtual void update(unsigned arm, double reward) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Epsilon-greedy with per-arm sample-average estimates (or a constant
+/// step size when `alpha > 0`, matching what the QTAccel Q-update gives).
+class EpsilonGreedyMab final : public MabAlgorithm {
+ public:
+  EpsilonGreedyMab(unsigned arms, double epsilon, double alpha = 0.0);
+  unsigned select(policy::RandomSource& rng) override;
+  void update(unsigned arm, double reward) override;
+  const char* name() const override { return "eps-greedy"; }
+
+  double value(unsigned arm) const { return value_[arm]; }
+
+ private:
+  double epsilon_;
+  double alpha_;
+  std::vector<double> value_;
+  std::vector<std::uint64_t> pulls_;
+};
+
+/// UCB1 (Auer et al.): pull the arm maximizing mean + sqrt(2 ln t / n).
+class Ucb1 final : public MabAlgorithm {
+ public:
+  explicit Ucb1(unsigned arms);
+  unsigned select(policy::RandomSource& rng) override;
+  void update(unsigned arm, double reward) override;
+  const char* name() const override { return "ucb1"; }
+
+ private:
+  std::vector<double> value_;
+  std::vector<std::uint64_t> pulls_;
+  std::uint64_t t_ = 0;
+};
+
+/// EXP3 wrapper; rewards must be scaled to [0, 1] by the caller.
+class Exp3Mab final : public MabAlgorithm {
+ public:
+  Exp3Mab(unsigned arms, double gamma,
+          const fixed::ExpLut* lut = nullptr);
+  unsigned select(policy::RandomSource& rng) override;
+  void update(unsigned arm, double reward) override;
+  const char* name() const override { return "exp3"; }
+
+  const policy::Exp3& weights() const { return exp3_; }
+
+ private:
+  policy::Exp3 exp3_;
+};
+
+/// Runs `pulls` rounds of `algo` against `bandit`; returns final cumulative
+/// regret. `reward_lo/hi` scale raw rewards into [0,1] for EXP3-style
+/// algorithms (values are clamped).
+double run_bandit(MabAlgorithm& algo, env::MultiArmedBandit& bandit,
+                  std::uint64_t pulls, policy::RandomSource& rng,
+                  double reward_lo = 0.0, double reward_hi = 1.0);
+
+}  // namespace qta::algo

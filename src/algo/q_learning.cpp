@@ -1,0 +1,46 @@
+#include "algo/q_learning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+QLearning::QLearning(const env::Environment& env,
+                     const QLearningOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma), options_(options) {
+  QTA_CHECK(options.behavior != nullptr);
+  if (options_.use_monotone_qmax) {
+    qmax_cache_.assign(env.num_states(), 0.0);
+  }
+}
+
+double QLearning::cached_qmax(StateId s) const {
+  QTA_CHECK(options_.use_monotone_qmax);
+  QTA_CHECK(s < env_.num_states());
+  return qmax_cache_[s];
+}
+
+Step QLearning::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  st.action = options_.behavior->select(q_row(s), rng);
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  const double future =
+      st.terminal ? 0.0
+                  : (options_.use_monotone_qmax ? qmax_cache_[st.next_state]
+                                                : max_q(st.next_state));
+  const double target = st.reward + gamma_ * future;
+  const std::size_t i = index(s, st.action);
+  q_[i] += alpha_ * (target - q_[i]);
+
+  if (options_.use_monotone_qmax && q_[i] > qmax_cache_[s]) {
+    qmax_cache_[s] = q_[i];  // raise-only, like the hardware write-back
+  }
+  return st;
+}
+
+}  // namespace qta::algo

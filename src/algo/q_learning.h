@@ -1,0 +1,44 @@
+// Q-Learning (off-policy, equation 1 of the paper):
+//   Q(S,A) <- Q(S,A) + alpha * (R + gamma * max_a Q(S', a) - Q(S,A))
+//
+// The behavior policy is random selection by default (the paper's choice
+// for the Q-Learning accelerator); the update policy is greedy.
+//
+// `use_monotone_qmax` switches the max_a term from the exact row maximum
+// to the hardware's Qmax side-table semantics: a cached per-state maximum
+// that is only raised (never lowered) by write-backs. This reproduces the
+// accelerator's approximation in a double-precision setting for the
+// ablation study.
+#pragma once
+
+#include <memory>
+
+#include "algo/tabular_learner.h"
+
+namespace qta::algo {
+
+struct QLearningOptions {
+  double alpha = 0.1;
+  double gamma = 0.9;
+  bool use_monotone_qmax = false;
+  /// Behavior policy; defaults to uniform random (paper Section V-A).
+  std::shared_ptr<const policy::ActionPolicy> behavior =
+      std::make_shared<policy::RandomPolicy>();
+};
+
+class QLearning final : public TabularLearner {
+ public:
+  QLearning(const env::Environment& env, const QLearningOptions& options);
+
+  Step step(StateId s, policy::RandomSource& rng) override;
+
+  /// The cached monotone Qmax value for a state (only meaningful when
+  /// use_monotone_qmax is set).
+  double cached_qmax(StateId s) const;
+
+ private:
+  QLearningOptions options_;
+  std::vector<double> qmax_cache_;
+};
+
+}  // namespace qta::algo

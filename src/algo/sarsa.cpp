@@ -1,0 +1,62 @@
+#include "algo/sarsa.h"
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+Sarsa::Sarsa(const env::Environment& env, const SarsaOptions& options)
+    : TabularLearner(env, options.alpha, options.gamma), options_(options) {
+  QTA_CHECK(options.epsilon >= 0.0 && options.epsilon <= 1.0);
+  if (options_.use_monotone_qmax) {
+    qmax_cache_.assign(env.num_states(), 0.0);
+    argmax_cache_.assign(env.num_states(), 0);
+  }
+}
+
+void Sarsa::begin_episode() { pending_action_ = kInvalidAction; }
+
+ActionId Sarsa::select(StateId s, policy::RandomSource& rng) const {
+  const unsigned bits = options_.epsilon_bits;
+  const std::uint64_t draw = rng.draw_bits(bits);
+  const auto threshold = static_cast<std::uint64_t>(
+      (1.0 - options_.epsilon) *
+      static_cast<double>(std::uint64_t{1} << bits));
+  if (draw < threshold) {
+    return options_.use_monotone_qmax ? argmax_cache_[s]
+                                      : policy::greedy_action(q_row(s));
+  }
+  return static_cast<ActionId>(draw % env_.num_actions());
+}
+
+Step Sarsa::step(StateId s, policy::RandomSource& rng) {
+  Step st;
+  st.state = s;
+  // On-policy: reuse the action committed by the previous update; a fresh
+  // episode starts with a fresh draw.
+  st.action = pending_action_ != kInvalidAction ? pending_action_
+                                                : select(s, rng);
+  st.reward = env_.reward(s, st.action);
+  st.next_state = env_.transition(s, st.action);
+  st.terminal = env_.is_terminal(st.next_state);
+
+  const ActionId next_action = select(st.next_state, rng);
+  const double next_q =
+      options_.use_monotone_qmax &&
+              next_action == argmax_cache_[st.next_state]
+          ? qmax_cache_[st.next_state]
+          : q_at(st.next_state, next_action);
+  const double future = st.terminal ? 0.0 : next_q;
+  const double target = st.reward + gamma_ * future;
+  const std::size_t i = index(s, st.action);
+  q_[i] += alpha_ * (target - q_[i]);
+
+  if (options_.use_monotone_qmax && q_[i] > qmax_cache_[s]) {
+    qmax_cache_[s] = q_[i];
+    argmax_cache_[s] = st.action;
+  }
+
+  pending_action_ = st.terminal ? kInvalidAction : next_action;
+  return st;
+}
+
+}  // namespace qta::algo

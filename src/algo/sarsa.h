@@ -1,0 +1,44 @@
+// SARSA (on-policy, equation 2 of the paper):
+//   Q(S,A) <- Q(S,A) + alpha * (R + gamma * Q(S', A') - Q(S,A))
+// where A' is the action actually taken next, selected epsilon-greedily.
+//
+// Because SARSA is on-policy, the action chosen for S' during the update is
+// remembered and *is* the behavior action of the next step — exactly the
+// forwarding path of the accelerator's stage 2 -> stage 1.
+//
+// `use_monotone_qmax` mirrors the hardware, where the greedy branch of the
+// epsilon-greedy selector reads the monotone Qmax table (value + argmax)
+// instead of scanning the row.
+#pragma once
+
+#include "algo/tabular_learner.h"
+
+namespace qta::algo {
+
+struct SarsaOptions {
+  double alpha = 0.1;
+  double gamma = 0.9;
+  double epsilon = 0.1;
+  unsigned epsilon_bits = 16;  // width of the hardware comparison
+  bool use_monotone_qmax = false;
+};
+
+class Sarsa final : public TabularLearner {
+ public:
+  Sarsa(const env::Environment& env, const SarsaOptions& options);
+
+  Step step(StateId s, policy::RandomSource& rng) override;
+  void begin_episode() override;
+
+ private:
+  /// Epsilon-greedy selection; the greedy branch consults either the exact
+  /// row max or the monotone cache depending on options.
+  ActionId select(StateId s, policy::RandomSource& rng) const;
+
+  SarsaOptions options_;
+  std::vector<double> qmax_cache_;     // monotone max value per state
+  std::vector<ActionId> argmax_cache_; // action achieving the cached max
+  ActionId pending_action_ = kInvalidAction;
+};
+
+}  // namespace qta::algo

@@ -1,0 +1,49 @@
+#include "algo/tabular_learner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+TabularLearner::TabularLearner(const env::Environment& env, double alpha,
+                               double gamma)
+    : env_(env), alpha_(alpha), gamma_(gamma) {
+  QTA_CHECK(alpha > 0.0 && alpha <= 1.0);
+  QTA_CHECK(gamma >= 0.0 && gamma < 1.0);
+  q_.assign(env.table_size(), 0.0);
+}
+
+std::span<const double> TabularLearner::q_row(StateId s) const {
+  QTA_DCHECK(s < env_.num_states());
+  return {q_.data() + static_cast<std::size_t>(s) * env_.num_actions(),
+          env_.num_actions()};
+}
+
+double TabularLearner::q_at(StateId s, ActionId a) const {
+  return q_[index(s, a)];
+}
+
+void TabularLearner::set_q(StateId s, ActionId a, double v) {
+  q_[index(s, a)] = v;
+}
+
+std::vector<ActionId> TabularLearner::greedy_policy() const {
+  std::vector<ActionId> policy(env_.num_states());
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    policy[s] = policy::greedy_action(q_row(s));
+  }
+  return policy;
+}
+
+double TabularLearner::max_q(StateId s) const {
+  const auto row = q_row(s);
+  return *std::max_element(row.begin(), row.end());
+}
+
+std::size_t TabularLearner::index(StateId s, ActionId a) const {
+  QTA_DCHECK(s < env_.num_states() && a < env_.num_actions());
+  return static_cast<std::size_t>(s) * env_.num_actions() + a;
+}
+
+}  // namespace qta::algo

@@ -1,0 +1,64 @@
+// Base class for the software reference implementations of Q-table RL.
+//
+// These are the golden *algorithmic* models (double precision, flexible
+// policies) used to (a) validate the accelerator's learning behaviour,
+// (b) serve as CPU baselines, and (c) run ablations (exact max vs the
+// hardware's monotone Qmax approximation). The bit-exact fixed-point golden
+// model of the accelerator itself lives in qtaccel/golden_model.h.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "policy/policies.h"
+
+namespace qta::algo {
+
+/// Result of one agent-environment interaction.
+struct Step {
+  StateId state = 0;
+  ActionId action = 0;
+  double reward = 0.0;
+  StateId next_state = 0;
+  bool terminal = false;  // next_state ended the episode
+};
+
+class TabularLearner {
+ public:
+  TabularLearner(const env::Environment& env, double alpha, double gamma);
+  virtual ~TabularLearner() = default;
+
+  /// Performs one sample: selects the behavior action for `s`, queries the
+  /// environment, applies the algorithm's update, and reports what
+  /// happened. The trainer owns episode control.
+  virtual Step step(StateId s, policy::RandomSource& rng) = 0;
+
+  /// Called when an episode ends/restarts (clears any pending on-policy
+  /// action state).
+  virtual void begin_episode() {}
+
+  const std::vector<double>& q() const { return q_; }
+  std::span<const double> q_row(StateId s) const;
+  double q_at(StateId s, ActionId a) const;
+  void set_q(StateId s, ActionId a, double v);
+
+  /// Greedy policy extracted from the current table.
+  std::vector<ActionId> greedy_policy() const;
+
+  const env::Environment& environment() const { return env_; }
+  double alpha() const { return alpha_; }
+  double gamma() const { return gamma_; }
+
+ protected:
+  double max_q(StateId s) const;
+  std::size_t index(StateId s, ActionId a) const;
+
+  const env::Environment& env_;
+  double alpha_;
+  double gamma_;
+  std::vector<double> q_;
+};
+
+}  // namespace qta::algo

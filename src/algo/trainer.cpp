@@ -1,0 +1,59 @@
+#include "algo/trainer.h"
+
+#include "common/check.h"
+
+namespace qta::algo {
+
+TrainResult train(TabularLearner& learner, const TrainOptions& options) {
+  QTA_CHECK(options.total_samples > 0);
+  const env::Environment& env = learner.environment();
+
+  policy::XoshiroSource rng(options.seed);
+  rng::Xoshiro256 start_rng(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  auto random_start = [&]() {
+    StateId s;
+    do {
+      s = static_cast<StateId>(start_rng.below(env.num_states()));
+    } while (env.is_terminal(s));
+    return s;
+  };
+
+  TrainResult result;
+  Stopwatch watch;
+  StateId s = random_start();
+  learner.begin_episode();
+  std::uint64_t episode_steps = 0;
+  double episode_return = 0.0;
+
+  while (result.samples < options.total_samples) {
+    const Step st = learner.step(s, rng);
+    ++result.samples;
+    ++episode_steps;
+    episode_return += st.reward;
+
+    if (options.probe_interval != 0 &&
+        result.samples % options.probe_interval == 0 && options.probe) {
+      options.probe(result.samples);
+    }
+
+    if (st.terminal || episode_steps >= options.max_steps_per_episode) {
+      ++result.episodes;
+      result.episode_length.add(static_cast<double>(episode_steps));
+      result.episode_return.add(episode_return);
+      episode_steps = 0;
+      episode_return = 0.0;
+      s = random_start();
+      learner.begin_episode();
+    } else {
+      s = st.next_state;
+    }
+  }
+  result.seconds = watch.seconds();
+  result.samples_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(result.samples) /
+                                 result.seconds
+                           : 0.0;
+  return result;
+}
+
+}  // namespace qta::algo

@@ -1,0 +1,40 @@
+// Episode-driven training loop for the software reference algorithms —
+// the software mirror of what the accelerator pipeline does in hardware:
+// random start state, behavior steps until a terminal state (or a step
+// cap), restart; run until a sample budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "algo/tabular_learner.h"
+#include "common/stats.h"
+
+namespace qta::algo {
+
+struct TrainOptions {
+  std::uint64_t total_samples = 100000;
+  /// Episodes are cut after this many steps even without reaching a
+  /// terminal state (grid worlds with obstacles can trap the agent).
+  std::uint64_t max_steps_per_episode = 100000;
+  std::uint64_t seed = 1;
+  /// Called every `probe_interval` samples (0 disables) with the number of
+  /// samples consumed so far — used to record learning curves.
+  std::uint64_t probe_interval = 0;
+  std::function<void(std::uint64_t)> probe;
+};
+
+struct TrainResult {
+  std::uint64_t samples = 0;
+  std::uint64_t episodes = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  RunningStats episode_length;
+  RunningStats episode_return;
+};
+
+/// Runs the loop; the learner's Q table is mutated in place.
+TrainResult train(TabularLearner& learner, const TrainOptions& options);
+
+}  // namespace qta::algo

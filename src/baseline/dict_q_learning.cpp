@@ -1,0 +1,78 @@
+#include "baseline/dict_q_learning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "rng/xoshiro.h"
+
+namespace qta::baseline {
+
+DictQLearning::DictQLearning(const env::Environment& env, double alpha,
+                             double gamma, std::uint64_t seed)
+    : env_(env), alpha_(alpha), gamma_(gamma), seed_(seed) {
+  QTA_CHECK(alpha > 0.0 && alpha <= 1.0);
+  QTA_CHECK(gamma >= 0.0 && gamma < 1.0);
+}
+
+DictQLearning::ActionDict& DictQLearning::row(StateId s) {
+  auto [it, inserted] = q_.try_emplace(s);
+  if (inserted) {
+    for (ActionId a = 0; a < env_.num_actions(); ++a) it->second[a] = 0.0;
+  }
+  return it->second;
+}
+
+double DictQLearning::q(StateId s, ActionId a) const {
+  const auto sit = q_.find(s);
+  if (sit == q_.end()) return 0.0;
+  const auto ait = sit->second.find(a);
+  return ait == sit->second.end() ? 0.0 : ait->second;
+}
+
+CpuRunResult DictQLearning::run(std::uint64_t samples) {
+  rng::Xoshiro256 rng(seed_);
+  auto random_start = [&] {
+    StateId s;
+    do {
+      s = static_cast<StateId>(rng.below(env_.num_states()));
+    } while (env_.is_terminal(s));
+    return s;
+  };
+
+  CpuRunResult result;
+  Stopwatch watch;
+  StateId s = random_start();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto a = static_cast<ActionId>(rng.below(env_.num_actions()));
+    const double r = env_.reward(s, a);
+    const StateId sn = env_.transition(s, a);
+    double future = 0.0;
+    if (!env_.is_terminal(sn)) {
+      const ActionDict& next_row = row(sn);
+      double mx = -1e300;
+      for (const auto& [act, val] : next_row) {
+        (void)act;
+        mx = std::max(mx, val);
+      }
+      future = mx;
+    }
+    double& cell = row(s)[a];
+    cell += alpha_ * (r + gamma_ * future - cell);
+    if (env_.is_terminal(sn)) {
+      ++result.episodes;
+      s = random_start();
+    } else {
+      s = sn;
+    }
+  }
+  result.samples = samples;
+  result.seconds = watch.seconds();
+  result.samples_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(samples) / result.seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace qta::baseline

@@ -1,0 +1,53 @@
+// The paper's CPU baseline (Section VI-E): "a python program in which the
+// Q values are stored in a nested dictionary and are indexed by state
+// coordinates tuples and actions".
+//
+// This is the same data layout in C++: an outer hash map keyed by the
+// state, holding an inner hash map keyed by the action. The layout is the
+// point — every update takes two hash lookups for Q(S,A), |A| more for
+// max_a Q(S',a), and the table scatters across the heap so large state
+// spaces fall out of cache, which is exactly the degradation Table II
+// shows. (C++ removes CPython's interpreter overhead, so absolute numbers
+// are far higher than the paper's ~100 KS/s; EXPERIMENTS.md records both.)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "env/environment.h"
+
+namespace qta::baseline {
+
+struct CpuRunResult {
+  std::uint64_t samples = 0;
+  std::uint64_t episodes = 0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+};
+
+class DictQLearning {
+ public:
+  DictQLearning(const env::Environment& env, double alpha, double gamma,
+                std::uint64_t seed);
+
+  /// Runs `samples` Q-learning updates (random behavior policy, greedy
+  /// update policy, random restarts at terminals) and measures throughput.
+  CpuRunResult run(std::uint64_t samples);
+
+  double q(StateId s, ActionId a) const;
+
+ private:
+  using ActionDict = std::unordered_map<ActionId, double>;
+  /// Returns the row for `s`, creating all |A| entries on first touch
+  /// (defaultdict-style).
+  ActionDict& row(StateId s);
+
+  const env::Environment& env_;
+  double alpha_;
+  double gamma_;
+  std::uint64_t seed_;
+  std::unordered_map<StateId, ActionDict> q_;
+};
+
+}  // namespace qta::baseline

@@ -1,0 +1,64 @@
+#include "baseline/flat_q_learning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "rng/xoshiro.h"
+
+namespace qta::baseline {
+
+FlatQLearning::FlatQLearning(const env::Environment& env, double alpha,
+                             double gamma, std::uint64_t seed)
+    : env_(env), alpha_(alpha), gamma_(gamma), seed_(seed) {
+  QTA_CHECK(alpha > 0.0 && alpha <= 1.0);
+  QTA_CHECK(gamma >= 0.0 && gamma < 1.0);
+  q_.assign(env.table_size(), 0.0);
+}
+
+double FlatQLearning::q(StateId s, ActionId a) const {
+  return q_[static_cast<std::size_t>(s) * env_.num_actions() + a];
+}
+
+CpuRunResult FlatQLearning::run(std::uint64_t samples) {
+  rng::Xoshiro256 rng(seed_);
+  const ActionId na = env_.num_actions();
+  auto random_start = [&] {
+    StateId s;
+    do {
+      s = static_cast<StateId>(rng.below(env_.num_states()));
+    } while (env_.is_terminal(s));
+    return s;
+  };
+
+  CpuRunResult result;
+  Stopwatch watch;
+  StateId s = random_start();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto a = static_cast<ActionId>(rng.below(na));
+    const double r = env_.reward(s, a);
+    const StateId sn = env_.transition(s, a);
+    double future = 0.0;
+    if (!env_.is_terminal(sn)) {
+      const double* nrow = q_.data() + static_cast<std::size_t>(sn) * na;
+      future = *std::max_element(nrow, nrow + na);
+    }
+    double& cell = q_[static_cast<std::size_t>(s) * na + a];
+    cell += alpha_ * (r + gamma_ * future - cell);
+    if (env_.is_terminal(sn)) {
+      ++result.episodes;
+      s = random_start();
+    } else {
+      s = sn;
+    }
+  }
+  result.samples = samples;
+  result.seconds = watch.seconds();
+  result.samples_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(samples) / result.seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace qta::baseline

@@ -1,0 +1,35 @@
+// Flat-array CPU Q-learning: the fair "well-optimized software" baseline.
+// Same algorithm and loop structure as DictQLearning but with the table in
+// one contiguous array indexed by (state * |A| + action). Used by the
+// CPU-layout ablation to separate dictionary overhead from fundamental
+// CPU limits in the Table II comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/dict_q_learning.h"  // CpuRunResult
+#include "common/types.h"
+#include "env/environment.h"
+
+namespace qta::baseline {
+
+class FlatQLearning {
+ public:
+  FlatQLearning(const env::Environment& env, double alpha, double gamma,
+                std::uint64_t seed);
+
+  CpuRunResult run(std::uint64_t samples);
+
+  double q(StateId s, ActionId a) const;
+  const std::vector<double>& table() const { return q_; }
+
+ private:
+  const env::Environment& env_;
+  double alpha_;
+  double gamma_;
+  std::uint64_t seed_;
+  std::vector<double> q_;
+};
+
+}  // namespace qta::baseline

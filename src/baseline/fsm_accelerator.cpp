@@ -1,0 +1,63 @@
+#include "baseline/fsm_accelerator.h"
+
+#include "common/check.h"
+#include "device/calibration.h"
+
+namespace qta::baseline {
+
+namespace dc = qta::device::cal;
+
+std::uint64_t FsmAcceleratorModel::multipliers(StateId states,
+                                               ActionId actions) {
+  return static_cast<std::uint64_t>(states) * actions *
+         dc::kBaselineMultipliersPerPair;
+}
+
+hw::ResourceLedger FsmAcceleratorModel::resources(StateId states,
+                                                  ActionId actions) {
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(states) * actions;
+  hw::ResourceLedger ledger;
+  ledger.add_dsp(static_cast<unsigned>(multipliers(states, actions)),
+                 "per-pair update multipliers");
+  ledger.add_flip_flops(
+      static_cast<unsigned>(pairs * dc::kBaselineFfPerPair),
+      "per-pair FSM registers (Q value held in flip-flops)");
+  ledger.add_luts(static_cast<unsigned>(pairs * dc::kBaselineLutsPerPair),
+                  "per-pair FSM + comparator tree");
+  return ledger;
+}
+
+bool FsmAcceleratorModel::fits(const device::Device& dev, StateId states,
+                               ActionId actions) {
+  const hw::ResourceLedger r = resources(states, actions);
+  return r.dsp() <= dev.dsp_slices && r.flip_flops() <= dev.flip_flops &&
+         r.luts() <= dev.luts;
+}
+
+StateId FsmAcceleratorModel::max_states(const device::Device& dev,
+                                        ActionId actions) {
+  QTA_CHECK(actions >= 1);
+  // All three budgets are linear in the state count; binary search the
+  // largest fitting value.
+  StateId lo = 1, hi = 1u << 24;
+  if (!fits(dev, lo, actions)) return 0;
+  while (lo + 1 < hi) {
+    const StateId mid = lo + (hi - lo) / 2;
+    (fits(dev, mid, actions) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double FsmAcceleratorModel::throughput_sps() {
+  return dc::kBaselineThroughputSps;
+}
+
+double FsmAcceleratorModel::wasted_multiplier_fraction(StateId states,
+                                                       ActionId actions) {
+  const double pairs =
+      static_cast<double>(states) * static_cast<double>(actions);
+  return (pairs - 1.0) / pairs;
+}
+
+}  // namespace qta::baseline

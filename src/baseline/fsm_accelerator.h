@@ -1,0 +1,45 @@
+// Resource/behaviour model of the prior-art FPGA Q-learning accelerator
+// of da Silva et al. [11] — the Figure 7 comparison target.
+//
+// Their design instantiates one update finite-state machine per
+// state-action pair, so multipliers (DSP slices) grow with |S|*|A|; the
+// paper's anchor is that 132 states x 4 actions "fully utilized the DSP
+// and logic" of a Virtex-6 class device. Only one pair updates per
+// iteration, so all other FSMs idle — the wasted-work fraction the paper
+// calls out. Constants live in device/calibration.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "device/device.h"
+#include "hw/resource_ledger.h"
+
+namespace qta::baseline {
+
+struct FsmAcceleratorModel {
+  /// Multipliers required for an |S| x |A| problem (2 per pair).
+  static std::uint64_t multipliers(StateId states, ActionId actions);
+
+  /// Full ledger (DSP + per-pair FSM logic + the comparator tree).
+  static hw::ResourceLedger resources(StateId states, ActionId actions);
+
+  /// True if the design fits the device's DSP/LUT/FF budget.
+  static bool fits(const device::Device& dev, StateId states,
+                   ActionId actions);
+
+  /// Largest number of states (at `actions` actions) that fits `dev` —
+  /// the scalability limit QTAccel's Section VI-F compares against.
+  static StateId max_states(const device::Device& dev, ActionId actions);
+
+  /// Reported throughput of the design (samples/s, device-independent
+  /// calibration constant from the paper's "more than 15X" claim).
+  static double throughput_sps();
+
+  /// Fraction of instantiated multipliers idle in any given update:
+  /// (pairs - 1) / pairs.
+  static double wasted_multiplier_fraction(StateId states,
+                                           ActionId actions);
+};
+
+}  // namespace qta::baseline

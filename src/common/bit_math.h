@@ -1,0 +1,42 @@
+// Small bit-manipulation helpers used when forming hardware addresses and
+// sizing registers. All are constexpr so resource models can be computed at
+// compile time in tests.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace qta {
+
+/// True iff v is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of address bits needed to index v distinct items (v >= 1).
+/// log2_ceil(1) == 0, log2_ceil(5) == 3.
+constexpr unsigned log2_ceil(std::uint64_t v) {
+  if (v <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(v - 1));
+}
+
+/// Floor of log2 (v >= 1).
+constexpr unsigned log2_floor(std::uint64_t v) {
+  return v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/// Smallest power of two >= v.
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  return v <= 1 ? 1 : std::uint64_t{1} << log2_ceil(v);
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Extract `count` bits of `v` starting at bit `lo` (lo = 0 is the LSB).
+constexpr std::uint64_t bits(std::uint64_t v, unsigned lo, unsigned count) {
+  return count >= 64 ? (v >> lo)
+                     : (v >> lo) & ((std::uint64_t{1} << count) - 1);
+}
+
+}  // namespace qta

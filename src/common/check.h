@@ -1,0 +1,36 @@
+// Runtime invariant checks.
+//
+// QTA_CHECK is always on (simulation correctness depends on it: e.g. BRAM
+// port over-subscription must abort rather than silently corrupt a run).
+// QTA_DCHECK compiles out in NDEBUG builds and guards hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qta::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "QTA_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace qta::detail
+
+#define QTA_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::qta::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define QTA_CHECK_MSG(expr, msg)                                    \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::qta::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define QTA_DCHECK(expr) ((void)0)
+#else
+#define QTA_DCHECK(expr) QTA_CHECK(expr)
+#endif

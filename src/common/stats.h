@@ -1,0 +1,72 @@
+// Streaming statistics accumulators used by benchmarks (throughput runs,
+// regret curves) and tests (convergence checks).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace qta {
+
+/// Welford-style single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wall-clock stopwatch for throughput measurement.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Exponential moving average, used to smooth learning curves in benches.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  double add(double x) {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+    return value_;
+  }
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Computes percentile (0..100) of a copy of the data; convenience for
+/// latency-style summaries in benches.
+double percentile(std::vector<double> data, double pct);
+
+}  // namespace qta

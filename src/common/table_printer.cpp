@@ -1,0 +1,109 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace qta {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  QTA_CHECK(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  QTA_CHECK_MSG(cells.size() == header_.size(),
+                "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+  return w;
+}
+
+void print_row(std::ostream& os, const std::vector<std::string>& cells,
+               const std::vector<std::size_t>& widths) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    os << (c == 0 ? "| " : " ");
+    const auto pad = widths[c] - cells[c].size();
+    if (c == 0) {
+      os << cells[c] << std::string(pad, ' ');
+    } else {
+      os << std::string(pad, ' ') << cells[c];
+    }
+    os << " |";
+  }
+  os << '\n';
+}
+}  // namespace
+
+void TablePrinter::print(std::ostream& os) const {
+  const auto widths = column_widths(header_, rows_);
+  print_row(os, header_, widths);
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(os, row, widths);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string format_rate(double samples_per_sec) {
+  QTA_CHECK(samples_per_sec >= 0.0);
+  if (samples_per_sec >= 1e9)
+    return format_double(samples_per_sec / 1e9, 2) + "G";
+  if (samples_per_sec >= 1e6)
+    return format_double(samples_per_sec / 1e6, 2) + "M";
+  if (samples_per_sec >= 1e3)
+    return format_double(samples_per_sec / 1e3, 2) + "K";
+  return format_double(samples_per_sec, 2);
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace qta

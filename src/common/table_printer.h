@@ -1,0 +1,49 @@
+// Aligned ASCII table output used by every benchmark binary to print the
+// paper-style tables (Table I/II, Figure data series) to stdout.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qta {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"|S|", "DSP", "BRAM%"});
+///   t.add_row({"64", "4", "0.02"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders header, separator and rows. Columns are right-aligned except
+  /// the first, which is left-aligned (row label convention).
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (for piping into plotting tools).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string format_double(double v, int digits = 3);
+
+/// Formats a throughput in samples/s the way the paper does: "105.5K",
+/// "189M" etc.
+std::string format_rate(double samples_per_sec);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t v);
+
+}  // namespace qta

@@ -1,0 +1,37 @@
+// Core integer vocabulary shared by every QTAccel subsystem.
+//
+// States and actions are dense non-negative indices: the hardware addresses
+// the Q-table as {state, action} bit-concatenated, so both are kept as plain
+// 32-bit values and widened only at address-formation time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qta {
+
+/// Dense state index in [0, |S|).
+using StateId = std::uint32_t;
+
+/// Dense action index in [0, |A|).
+using ActionId = std::uint32_t;
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no state" (used at episode boundaries).
+inline constexpr StateId kInvalidState = std::numeric_limits<StateId>::max();
+
+/// Sentinel for "no action".
+inline constexpr ActionId kInvalidAction =
+    std::numeric_limits<ActionId>::max();
+
+/// A state-action pair, the unit the Q-table is addressed by.
+struct StateAction {
+  StateId state = kInvalidState;
+  ActionId action = kInvalidAction;
+
+  friend bool operator==(const StateAction&, const StateAction&) = default;
+};
+
+}  // namespace qta

@@ -1,0 +1,63 @@
+// Every analytical-model constant in one place, with the provenance of each.
+//
+// These constants translate simulated cycle counts and resource ledgers
+// into the MHz / mW / utilization-% axes of the paper's figures. They were
+// fitted to the paper's reported data points (see EXPERIMENTS.md for the
+// per-figure residuals); they are NOT measurements of real silicon.
+#pragma once
+
+namespace qta::device::cal {
+
+// ---- Clock frequency model (Figure 6, Table II) --------------------------
+// The paper reports ~189 MHz at small state spaces, degrading to ~156 MHz
+// (|A|=4) / ~153 MHz (|A|=8) at |S| = 262144 and attributes the drop to
+// BRAM pressure ("more than 50% of the BRAM would be fully utilized ...
+// degrades the clock speed"). We model
+//     f(MHz) = kFmaxMhz - kFreqDegradeK * (bram_util_pct ^ kFreqDegradeExp)
+// fitted against the eight (|S|, |A|) FPGA points of Table II.
+inline constexpr double kFmaxMhz = 189.0;
+inline constexpr double kFreqDegradeK = 5.1;
+inline constexpr double kFreqDegradeExp = 0.48;
+inline constexpr double kFminMhz = 100.0;  // sanity floor
+
+// ---- Power model (Figures 3 and 5, right axis) ----------------------------
+// P(mW) = static + per-BRAM18 + per-DSP + per-FF + per-LUT terms. The
+// paper's absolute power values are not legible in the available scan; the
+// constants below give the documented *shape*: power grows with the BRAM
+// footprint and SARSA draws slightly more than Q-Learning (extra LFSR and
+// comparator registers). Typical UltraScale+ dynamic-power coefficients.
+inline constexpr double kPowerStaticMw = 4.0;
+inline constexpr double kPowerPerBram18Mw = 0.055;
+inline constexpr double kPowerPerDspMw = 1.5;
+inline constexpr double kPowerPerFfMw = 0.004;
+inline constexpr double kPowerPerLutMw = 0.0015;
+
+// ---- Fixed datapath register budget (Figures 3 and 5, left axis) ----------
+// Stage registers that do not depend on the table size: three 18-bit
+// Q-value/reward operands replicated across stage boundaries, the four
+// 18-bit coefficient registers (alpha, 1-alpha, gamma, alpha*gamma), the
+// 18-bit adder/result registers, and pipeline valid/control bits.
+inline constexpr unsigned kDatapathFixedFf = 14 * 18 + 12;
+// Address registers: (state bits + action bits) carried across each of the
+// four stage boundaries, twice (current and next state-action).
+inline constexpr unsigned kAddrCopiesPerBit = 8;
+// Control FSM and episode bookkeeping LUT estimate.
+inline constexpr unsigned kControlLuts = 220;
+// LUTs per address bit of transition-function combinational logic
+// (grid-world moves are adds/compares on the coordinate fields).
+inline constexpr unsigned kTransitionLutsPerBit = 6;
+
+// ---- Baseline accelerator model [11] (Figure 7) ---------------------------
+// da Silva et al. instantiate one update FSM per state-action pair; each
+// pair needs multipliers for gamma*maxQ and alpha*delta. The paper's text
+// anchor is "for 132 states, 4 actions the design fully utilized the DSP
+// ... on the [Virtex-6] device": 132*4*2 = 1056 > 768 DSP slices.
+inline constexpr unsigned kBaselineMultipliersPerPair = 2;
+// LUTs per pair for the per-pair FSM + its slice of the comparator tree.
+inline constexpr unsigned kBaselineLutsPerPair = 46;
+inline constexpr unsigned kBaselineFfPerPair = 38;
+// Reported throughput of [11] on Virtex-6 (samples/s); the paper claims
+// QTAccel is "more than 15X higher" at 180 MS/s.
+inline constexpr double kBaselineThroughputSps = 11.5e6;
+
+}  // namespace qta::device::cal

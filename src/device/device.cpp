@@ -1,0 +1,90 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::device {
+
+Device xcvu13p() {
+  // Virtex UltraScale+ VU13P: 2688 BRAM36 (= 5376 BRAM18, 94.5 Mb),
+  // 1280 URAM (360 Mb), 12288 DSP48E2, 3456K FF, 1728K LUT.
+  return Device{"xcvu13p", 5376, 1280, 12288, 3456000, 1728000};
+}
+
+Device xc7vx690t() {
+  // Virtex-7 690T: 1470 BRAM36 (= 2940 BRAM18, 52.9 Mb), 3600 DSP48E1,
+  // 866.4K FF, 433.2K LUT, no URAM.
+  return Device{"xc7vx690t", 2940, 0, 3600, 866400, 433200};
+}
+
+Device xc6vlx240t() {
+  // Virtex-6 LX240T: 416 BRAM36 (= 832 BRAM18), 768 DSP48E1,
+  // 301.44K FF, 150.72K LUT.
+  return Device{"xc6vlx240t", 832, 0, 768, 301440, 150720};
+}
+
+Device device_by_name(const std::string& name) {
+  if (name == "xcvu13p") return xcvu13p();
+  if (name == "xc7vx690t") return xc7vx690t();
+  if (name == "xc6vlx240t") return xc6vlx240t();
+  QTA_CHECK_MSG(false, "unknown device name");
+  return {};
+}
+
+std::uint64_t bram18_tiles_for(const hw::MemoryReq& mem) {
+  // Lanes of up to 18 data bits; each lane-tile holds 1024 words.
+  const std::uint64_t lanes = ceil_div(mem.width, 18);
+  const std::uint64_t tiles_per_lane = ceil_div(mem.depth, 1024);
+  return lanes * tiles_per_lane;
+}
+
+std::uint64_t bram18_tiles_for(const hw::ResourceLedger& ledger) {
+  std::uint64_t total = 0;
+  for (const auto& m : ledger.memories()) total += bram18_tiles_for(m);
+  return total;
+}
+
+std::uint64_t uram_tiles_for(const hw::MemoryReq& mem) {
+  // 4K x 72 blocks. Narrow entries pack multiple-per-word (e.g. four
+  // 18-bit Q values per 72-bit word, selected by low address bits) — the
+  // standard trick for wide URAM, at the cost of a word-select mux.
+  const std::uint64_t entries_per_word = std::max<std::uint64_t>(
+      1, 72 / mem.width);
+  const std::uint64_t words =
+      ceil_div(mem.depth, entries_per_word) *
+      ceil_div(mem.width, 72);  // >72-bit entries span lanes instead
+  return ceil_div(words, 4096);
+}
+
+bool memories_fit(const Device& dev, const hw::ResourceLedger& ledger,
+                  bool use_uram) {
+  if (!use_uram || dev.uram_blocks == 0) {
+    return bram18_tiles_for(ledger) <= dev.bram18_blocks;
+  }
+  // Greedy spill: place memories in decreasing footprint; each goes to
+  // URAM while URAM lasts, then to BRAM (big Q/R tables spill first,
+  // which is how a real floorplan maps them).
+  std::vector<hw::MemoryReq> mems = ledger.memories();
+  std::sort(mems.begin(), mems.end(),
+            [](const hw::MemoryReq& a, const hw::MemoryReq& b) {
+              return a.bits() > b.bits();
+            });
+  std::uint64_t uram_left = dev.uram_blocks;
+  std::uint64_t bram_left = dev.bram18_blocks;
+  for (const auto& m : mems) {
+    const std::uint64_t u = uram_tiles_for(m);
+    if (u <= uram_left) {
+      uram_left -= u;
+      continue;
+    }
+    const std::uint64_t b = bram18_tiles_for(m);
+    if (b > bram_left) return false;
+    bram_left -= b;
+  }
+  return true;
+}
+
+}  // namespace qta::device

@@ -1,0 +1,65 @@
+// FPGA device catalogue and BRAM packing rules.
+//
+// The paper evaluates on a Xilinx UltraScale+ xcvu13p (place-and-route with
+// Vivado 2019.1) and compares against prior art on Virtex-6/7 class parts.
+// We model the block inventories of those devices and the standard packing
+// of a (depth x width) memory onto 18Kb BRAM tiles, so resource counts in
+// Figures 3-5 and 7 are reproduced from first principles rather than
+// hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/resource_ledger.h"
+
+namespace qta::device {
+
+struct Device {
+  std::string name;
+  // Block inventory.
+  std::uint64_t bram18_blocks;   // 18 Kb tiles (a BRAM36 is two tiles)
+  std::uint64_t uram_blocks;     // 288 Kb UltraRAM tiles (0 if absent)
+  std::uint64_t dsp_slices;
+  std::uint64_t flip_flops;
+  std::uint64_t luts;
+
+  static constexpr std::uint64_t kBram18Bits = 18 * 1024;
+  static constexpr std::uint64_t kUramBits = 288 * 1024;
+
+  std::uint64_t bram_bits() const { return bram18_blocks * kBram18Bits; }
+  std::uint64_t uram_bits() const { return uram_blocks * kUramBits; }
+};
+
+/// Xilinx Virtex UltraScale+ xcvu13p — the paper's main evaluation device.
+Device xcvu13p();
+
+/// Xilinx Virtex-7 xc7vx690t — used for the Figure 7 prior-art comparison
+/// ("for fair comparison we also implemented our design on Virtex 7").
+Device xc7vx690t();
+
+/// Xilinx Virtex-6 xc6vlx240t — the device class of the baseline [11].
+Device xc6vlx240t();
+
+/// Looks up a device by name ("xcvu13p", "xc7vx690t", "xc6vlx240t").
+Device device_by_name(const std::string& name);
+
+/// BRAM18 tiles needed for one memory: lanes of 18 bits, 1024 words per
+/// lane-tile (the natural 1Kx18 aspect of an 18Kb tile).
+std::uint64_t bram18_tiles_for(const hw::MemoryReq& mem);
+
+/// Total BRAM18 tiles for every memory in a ledger.
+std::uint64_t bram18_tiles_for(const hw::ResourceLedger& ledger);
+
+/// URAM tiles for one memory: 4K x 72 blocks, width packed into 72-bit
+/// lanes (UltraRAM has no narrower aspect).
+std::uint64_t uram_tiles_for(const hw::MemoryReq& mem);
+
+/// True if the ledger's memories fit the device. With `use_uram`, the
+/// largest memories spill from BRAM into UltraRAM first (how a design
+/// would map big Q tables; the paper's "10M state-action pairs using the
+/// available 360Mb of on-chip UltraRAM"). Without it, BRAM only.
+bool memories_fit(const Device& dev, const hw::ResourceLedger& ledger,
+                  bool use_uram);
+
+}  // namespace qta::device

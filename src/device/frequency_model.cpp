@@ -1,0 +1,32 @@
+#include "device/frequency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "device/calibration.h"
+
+namespace qta::device {
+
+double estimated_clock_mhz(const Device& dev, std::uint64_t bram18_tiles) {
+  QTA_CHECK_MSG(bram18_tiles <= dev.bram18_blocks,
+                "design does not fit in the device's BRAM");
+  const double util_pct = 100.0 * static_cast<double>(bram18_tiles) /
+                          static_cast<double>(dev.bram18_blocks);
+  const double degrade =
+      cal::kFreqDegradeK * std::pow(util_pct, cal::kFreqDegradeExp);
+  return std::max(cal::kFminMhz, cal::kFmaxMhz - degrade);
+}
+
+double estimated_clock_mhz(const Device& dev,
+                           const hw::ResourceLedger& ledger) {
+  return estimated_clock_mhz(dev, bram18_tiles_for(ledger));
+}
+
+double throughput_sps(double clock_mhz, double samples_per_cycle) {
+  QTA_CHECK(clock_mhz > 0.0);
+  QTA_CHECK(samples_per_cycle >= 0.0 && samples_per_cycle <= 1.0);
+  return clock_mhz * 1e6 * samples_per_cycle;
+}
+
+}  // namespace qta::device

@@ -1,0 +1,24 @@
+// Achievable-clock model: converts a design's BRAM utilization on a device
+// into an estimated post-route clock frequency. See calibration.h for the
+// fit against the paper's Table II / Figure 6 data.
+#pragma once
+
+#include "device/device.h"
+#include "hw/resource_ledger.h"
+
+namespace qta::device {
+
+/// Estimated clock in MHz for a design with the given BRAM18 tile count on
+/// `dev`. Monotonically non-increasing in utilization.
+double estimated_clock_mhz(const Device& dev, std::uint64_t bram18_tiles);
+
+/// Convenience overload computing the tile count from a ledger.
+double estimated_clock_mhz(const Device& dev,
+                           const hw::ResourceLedger& ledger);
+
+/// Throughput in samples/second given a clock estimate and the simulated
+/// samples-per-cycle rate (1.0 for the stall-free pipeline; lower when the
+/// stall-mode ablation or probability-policy stalls apply).
+double throughput_sps(double clock_mhz, double samples_per_cycle);
+
+}  // namespace qta::device

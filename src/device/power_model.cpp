@@ -1,0 +1,20 @@
+#include "device/power_model.h"
+
+#include "device/calibration.h"
+
+namespace qta::device {
+
+PowerBreakdown estimated_power(const Device& dev,
+                               const hw::ResourceLedger& ledger) {
+  (void)dev;  // per-device power coefficients are identical in this model
+  PowerBreakdown p;
+  p.static_mw = cal::kPowerStaticMw;
+  p.bram_mw = cal::kPowerPerBram18Mw *
+              static_cast<double>(bram18_tiles_for(ledger));
+  p.dsp_mw = cal::kPowerPerDspMw * ledger.dsp();
+  p.ff_mw = cal::kPowerPerFfMw * ledger.flip_flops();
+  p.lut_mw = cal::kPowerPerLutMw * ledger.luts();
+  return p;
+}
+
+}  // namespace qta::device

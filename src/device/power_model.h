@@ -1,0 +1,26 @@
+// Power model: static + dynamic per-resource terms (shape-only; see
+// calibration.h for constant provenance).
+#pragma once
+
+#include "device/device.h"
+#include "hw/resource_ledger.h"
+
+namespace qta::device {
+
+struct PowerBreakdown {
+  double static_mw = 0.0;
+  double bram_mw = 0.0;
+  double dsp_mw = 0.0;
+  double ff_mw = 0.0;
+  double lut_mw = 0.0;
+
+  double total_mw() const {
+    return static_mw + bram_mw + dsp_mw + ff_mw + lut_mw;
+  }
+};
+
+/// Estimates power for a design described by `ledger` on device `dev`.
+PowerBreakdown estimated_power(const Device& dev,
+                               const hw::ResourceLedger& ledger);
+
+}  // namespace qta::device

@@ -1,0 +1,56 @@
+#include "device/resource_report.h"
+
+#include <ostream>
+
+#include "common/table_printer.h"
+#include "device/frequency_model.h"
+
+namespace qta::device {
+
+ResourceReport make_report(const Device& dev,
+                           const hw::ResourceLedger& ledger) {
+  ResourceReport r;
+  r.device_name = dev.name;
+  r.bram18_tiles = bram18_tiles_for(ledger);
+  r.dsp = ledger.dsp();
+  r.flip_flops = ledger.flip_flops();
+  r.luts = ledger.luts();
+
+  auto pct = [](std::uint64_t used, std::uint64_t total) {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(used) /
+                            static_cast<double>(total);
+  };
+  r.bram_util_pct = pct(r.bram18_tiles, dev.bram18_blocks);
+  r.dsp_util_pct = pct(r.dsp, dev.dsp_slices);
+  r.ff_util_pct = pct(r.flip_flops, dev.flip_flops);
+  r.lut_util_pct = pct(r.luts, dev.luts);
+
+  r.fits = r.bram18_tiles <= dev.bram18_blocks && r.dsp <= dev.dsp_slices &&
+           r.flip_flops <= dev.flip_flops && r.luts <= dev.luts;
+  r.clock_mhz = r.fits ? estimated_clock_mhz(dev, r.bram18_tiles) : 0.0;
+  r.power = estimated_power(dev, ledger);
+  return r;
+}
+
+void ResourceReport::print(std::ostream& os) const {
+  os << "Resource report on " << device_name
+     << (fits ? "" : "  [DOES NOT FIT]") << '\n'
+     << "  BRAM18 tiles : " << bram18_tiles << "  ("
+     << format_double(bram_util_pct, 4) << "%)\n"
+     << "  DSP slices   : " << dsp << "  (" << format_double(dsp_util_pct, 4)
+     << "%)\n"
+     << "  Flip-flops   : " << flip_flops << "  ("
+     << format_double(ff_util_pct, 4) << "%)\n"
+     << "  LUTs         : " << luts << "  (" << format_double(lut_util_pct, 4)
+     << "%)\n"
+     << "  Est. clock   : " << format_double(clock_mhz, 1) << " MHz\n"
+     << "  Est. power   : " << format_double(power.total_mw(), 1)
+     << " mW (bram " << format_double(power.bram_mw, 1) << ", dsp "
+     << format_double(power.dsp_mw, 1) << ", ff "
+     << format_double(power.ff_mw, 1) << ", lut "
+     << format_double(power.lut_mw, 1) << ", static "
+     << format_double(power.static_mw, 1) << ")\n";
+}
+
+}  // namespace qta::device

@@ -1,0 +1,39 @@
+// Maps a design's raw resource requirements onto a device to produce the
+// utilization numbers the paper reports (Figures 3, 4, 5, 7).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "device/device.h"
+#include "device/power_model.h"
+#include "hw/resource_ledger.h"
+
+namespace qta::device {
+
+struct ResourceReport {
+  std::string device_name;
+  std::uint64_t bram18_tiles = 0;
+  std::uint64_t dsp = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t luts = 0;
+
+  double bram_util_pct = 0.0;
+  double dsp_util_pct = 0.0;
+  double ff_util_pct = 0.0;
+  double lut_util_pct = 0.0;
+
+  double clock_mhz = 0.0;
+  PowerBreakdown power;
+
+  bool fits = true;  // false when any resource exceeds the device
+
+  /// Human-readable multi-line summary.
+  void print(std::ostream& os) const;
+};
+
+/// Builds the full report for `ledger` on `dev`.
+ResourceReport make_report(const Device& dev,
+                           const hw::ResourceLedger& ledger);
+
+}  // namespace qta::device

@@ -1,0 +1,74 @@
+// Functional model of the QTAccel IP block behind its CSR interface, plus
+// the host-side driver facade a downstream application links against.
+//
+// The device is constructed around an Environment (the application-
+// specific transition function and reward map that would be baked into
+// the bitstream). The host then:
+//   1. writes the learning configuration registers,
+//   2. pulses CTRL.START (latched into a fresh pipeline; config errors
+//      set STATUS.CFG_ERROR instead of starting),
+//   3. advances the clock — advance(n) ticks the cycle-accurate pipeline
+//      n times; STATUS.BUSY holds until the sample target retires,
+//   4. reads counters and Q/Qmax words back through the table window.
+//
+// Config writes while BUSY are rejected (and flagged) exactly as the RTL
+// would reject them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "driver/register_map.h"
+#include "env/environment.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta::driver {
+
+class QtAccelDevice {
+ public:
+  explicit QtAccelDevice(const env::Environment& env);
+
+  /// CSR bus. Invalid offsets abort (bus error); config writes while
+  /// busy are dropped and latch STATUS.CFG_ERROR.
+  void write_csr(std::uint32_t offset, std::uint32_t value);
+  std::uint32_t read_csr(std::uint32_t offset) const;
+
+  /// Advances the device clock by `cycles`. No-op when idle.
+  void advance(std::uint64_t cycles);
+
+  bool busy() const;
+  bool done() const;
+
+  /// Direct (debug/DMA) table access mirroring the CSR window.
+  double q_value(StateId s, ActionId a) const;
+
+  /// The pipeline behind the CSRs (null until the first START). Exposed
+  /// for verification against the golden model.
+  const qtaccel::Pipeline* pipeline() const { return pipeline_.get(); }
+
+ private:
+  void start();
+  void reset();
+
+  const env::Environment& env_;
+  qtaccel::AddressMap map_;
+
+  // Shadow configuration registers.
+  std::uint32_t algorithm_ = 0;
+  std::uint32_t alpha_ = pack_coefficient(0.1);
+  std::uint32_t gamma_ = pack_coefficient(0.9);
+  std::uint32_t epsilon_thresh_ = 0xE666;  // (1 - 0.1) * 2^16
+  std::uint32_t seed_lo_ = 1, seed_hi_ = 0;
+  std::uint32_t max_episode_len_ = 1u << 20;
+  std::uint32_t samples_target_lo_ = 0, samples_target_hi_ = 0;
+  std::uint32_t table_addr_ = 0;
+
+  bool busy_ = false;
+  bool done_ = false;
+  bool cfg_error_ = false;
+
+  std::unique_ptr<qtaccel::Pipeline> pipeline_;
+  std::uint64_t samples_target_ = 0;
+};
+
+}  // namespace qta::driver

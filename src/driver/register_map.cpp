@@ -1,0 +1,51 @@
+#include "driver/register_map.h"
+
+#include "common/check.h"
+
+namespace qta::driver {
+
+std::uint32_t pack_coefficient(double value) {
+  QTA_CHECK_MSG(value >= 0.0 && value <= 1.0,
+                "coefficient CSR fields hold [0, 1]");
+  return static_cast<std::uint32_t>(
+      fixed::from_double(value, fixed::kCoeffFormat));
+}
+
+double unpack_coefficient(std::uint32_t word) {
+  // Low 18 bits, non-negative by the pack contract.
+  const auto raw = static_cast<fixed::raw_t>(word & 0x3FFFFu);
+  return fixed::to_double(raw, fixed::kCoeffFormat);
+}
+
+bool is_valid_register(std::uint32_t offset) {
+  return offset % 4 == 0 &&
+         offset <= static_cast<std::uint32_t>(Reg::kSaturationCount);
+}
+
+bool is_writable_register(std::uint32_t offset) {
+  if (!is_valid_register(offset)) return false;
+  switch (static_cast<Reg>(offset)) {
+    case Reg::kId:
+    case Reg::kVersion:
+    case Reg::kStatus:
+    case Reg::kSampleCountLo:
+    case Reg::kSampleCountHi:
+    case Reg::kEpisodeCountLo:
+    case Reg::kEpisodeCountHi:
+    case Reg::kCycleCountLo:
+    case Reg::kCycleCountHi:
+    case Reg::kTableData:
+    case Reg::kQmaxData:
+    case Reg::kBubbleCount:
+    case Reg::kStallCount:
+    case Reg::kFwdQsaCount:
+    case Reg::kFwdQnextCount:
+    case Reg::kFwdQmaxCount:
+    case Reg::kSaturationCount:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace qta::driver

@@ -1,0 +1,75 @@
+// Control/status register map of the QTAccel IP block.
+//
+// The real accelerator is driven over a 32-bit CSR bus (AXI4-Lite class):
+// the host writes the learning configuration, pulses START, polls BUSY,
+// and reads back sample/episode/cycle counters; Q-table readback goes
+// through an address/data window pair. This header is the single source
+// of truth for offsets and field packing, shared by the device model and
+// any host software.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_point.h"
+
+namespace qta::driver {
+
+/// Register offsets (byte addresses, 32-bit registers).
+enum class Reg : std::uint32_t {
+  kId = 0x00,           // RO: magic "QTA1"
+  kVersion = 0x04,      // RO: (major << 16) | minor
+  kCtrl = 0x08,         // WO: bit0 START, bit1 RESET
+  kStatus = 0x0C,       // RO: bit0 BUSY, bit1 DONE, bit2 CFG_ERROR
+  kAlgorithm = 0x10,    // RW: 0 = Q-Learning, 1 = SARSA,
+                        //     2 = Expected SARSA, 3 = Double Q-Learning
+  kAlpha = 0x14,        // RW: learning rate, s1.16 raw in low 18 bits
+  kGamma = 0x18,        // RW: discount factor, s1.16 raw
+  kEpsilonThresh = 0x1C,  // RW: (1-eps)*2^16 compare threshold
+  kSeedLo = 0x20,       // RW
+  kSeedHi = 0x24,       // RW
+  kMaxEpisodeLen = 0x28,  // RW
+  kSamplesTargetLo = 0x2C,  // RW
+  kSamplesTargetHi = 0x30,  // RW
+  kSampleCountLo = 0x34,  // RO
+  kSampleCountHi = 0x38,  // RO
+  kEpisodeCountLo = 0x3C,  // RO
+  kEpisodeCountHi = 0x40,  // RO
+  kCycleCountLo = 0x44,  // RO
+  kCycleCountHi = 0x48,  // RO
+  kTableAddr = 0x4C,    // RW: {state, action} bit-concatenated address
+  kTableData = 0x50,    // RO: sign-extended Q word at kTableAddr
+  kQmaxData = 0x54,     // RO: packed Qmax entry at kTableAddr's state
+  // Performance counters (RO): pipeline health telemetry.
+  kBubbleCount = 0x58,  // episode-start redraw bubbles
+  kStallCount = 0x5C,   // stall cycles (0 in the forwarding design)
+  kFwdQsaCount = 0x60,  // Q(S,A) values served by forwarding
+  kFwdQnextCount = 0x64,  // Q(S',A') values served by forwarding
+  kFwdQmaxCount = 0x68,   // Qmax entries raised by in-flight write-backs
+  kSaturationCount = 0x6C,  // DSP + adder saturation events
+};
+
+inline constexpr std::uint32_t kMagic = 0x51544131;  // "QTA1"
+inline constexpr std::uint32_t kVersionWord = (1u << 16) | 0u;  // v1.0
+
+// CTRL bits.
+inline constexpr std::uint32_t kCtrlStart = 1u << 0;
+inline constexpr std::uint32_t kCtrlReset = 1u << 1;
+
+// STATUS bits.
+inline constexpr std::uint32_t kStatusBusy = 1u << 0;
+inline constexpr std::uint32_t kStatusDone = 1u << 1;
+inline constexpr std::uint32_t kStatusCfgError = 1u << 2;
+
+/// Packs a coefficient in [0, 1] into the s1.16 CSR field.
+std::uint32_t pack_coefficient(double value);
+
+/// Unpacks an s1.16 CSR field back to a double.
+double unpack_coefficient(std::uint32_t word);
+
+/// True if the offset is a known register.
+bool is_valid_register(std::uint32_t offset);
+
+/// True if host writes to the offset are allowed (RW/WO registers).
+bool is_writable_register(std::uint32_t offset);
+
+}  // namespace qta::driver

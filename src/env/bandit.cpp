@@ -1,0 +1,37 @@
+#include "env/bandit.h"
+
+#include "common/check.h"
+
+namespace qta::env {
+
+MultiArmedBandit::MultiArmedBandit(std::vector<Arm> arms, std::uint64_t seed)
+    : arms_(std::move(arms)), noise_(seed) {
+  QTA_CHECK_MSG(!arms_.empty(), "a bandit needs at least one arm");
+  best_arm_ = 0;
+  best_mean_ = arms_[0].mean;
+  for (unsigned m = 1; m < arms_.size(); ++m) {
+    if (arms_[m].mean > best_mean_) {
+      best_mean_ = arms_[m].mean;
+      best_arm_ = m;
+    }
+  }
+}
+
+MultiArmedBandit MultiArmedBandit::evenly_spaced(unsigned m, double stddev,
+                                                 std::uint64_t seed) {
+  QTA_CHECK(m >= 2);
+  std::vector<Arm> arms(m);
+  for (unsigned i = 0; i < m; ++i) {
+    arms[i] = {static_cast<double>(i) / (m - 1), stddev};
+  }
+  return MultiArmedBandit(std::move(arms), seed);
+}
+
+double MultiArmedBandit::pull(unsigned m) {
+  QTA_CHECK(m < arms_.size());
+  ++pulls_;
+  regret_ += best_mean_ - arms_[m].mean;
+  return noise_.sample(arms_[m].mean, arms_[m].stddev);
+}
+
+}  // namespace qta::env

@@ -1,0 +1,54 @@
+// Multi-armed bandit environments (Section VII-B of the paper).
+//
+// A MAB has M arms; pulling arm m yields a stochastic reward, usually
+// normally distributed. The paper's hardware samples these rewards with a
+// CLT adder over LFSR uniforms (rng/normal_clt.h). Regret bookkeeping is
+// included because the MAB benchmarks report cumulative regret curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/normal_clt.h"
+
+namespace qta::env {
+
+struct Arm {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+class MultiArmedBandit {
+ public:
+  MultiArmedBandit(std::vector<Arm> arms, std::uint64_t seed);
+
+  /// A standard benchmark instance: `m` arms with means evenly spaced in
+  /// [0, 1] (best arm last) and common stddev.
+  static MultiArmedBandit evenly_spaced(unsigned m, double stddev,
+                                        std::uint64_t seed);
+
+  unsigned num_arms() const { return static_cast<unsigned>(arms_.size()); }
+  const Arm& arm(unsigned m) const { return arms_[m]; }
+
+  /// Pulls arm `m`: returns a CLT-normal reward sample.
+  double pull(unsigned m);
+
+  /// Best achievable expected reward (for regret computation).
+  double best_mean() const { return best_mean_; }
+  unsigned best_arm() const { return best_arm_; }
+
+  /// Expected (pseudo-)regret accumulated so far:
+  /// sum over pulls of (best_mean - mean[chosen]).
+  double cumulative_regret() const { return regret_; }
+  std::uint64_t total_pulls() const { return pulls_; }
+
+ private:
+  std::vector<Arm> arms_;
+  rng::NormalClt noise_;
+  double best_mean_;
+  unsigned best_arm_;
+  double regret_ = 0.0;
+  std::uint64_t pulls_ = 0;
+};
+
+}  // namespace qta::env

@@ -1,0 +1,56 @@
+// Tabular environment interface — exactly the contract the accelerator
+// needs (Section IV-B of the paper):
+//   * a deterministic transition function S x A -> S, realized on the FPGA
+//     as an application-specific combinational block;
+//   * a reward table R(s, a) that fills the on-chip reward BRAM;
+//   * terminal states that end an episode (the pipeline then restarts at a
+//     random state).
+// States and actions are dense indices so they can be bit-concatenated into
+// BRAM addresses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace qta::env {
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  virtual StateId num_states() const = 0;
+  virtual ActionId num_actions() const = 0;
+
+  /// Next state for taking `a` in `s`. Must be a pure function (the
+  /// hardware block is combinational). Self-loops are allowed.
+  virtual StateId transition(StateId s, ActionId a) const = 0;
+
+  /// Stochastic dynamics support: the combinational transition block may
+  /// additionally consume `transition_noise_bits()` uniform random bits
+  /// from a dedicated LFSR (slippery floors, actuator noise). The default
+  /// is deterministic (0 bits). `noise` is uniform over
+  /// [0, 2^transition_noise_bits()); implementations must be pure in
+  /// (s, a, noise). The reward remains a function of (s, a) only — it is
+  /// a stored table in hardware — so stochasticity affects where the
+  /// agent LANDS, not what the table pays (see docs/ARCHITECTURE.md).
+  virtual unsigned transition_noise_bits() const { return 0; }
+  virtual StateId transition(StateId s, ActionId a,
+                             std::uint64_t noise) const {
+    (void)noise;
+    return transition(s, a);
+  }
+
+  /// Reward for taking `a` in `s` (received on entering transition(s, a)).
+  virtual double reward(StateId s, ActionId a) const = 0;
+
+  /// True if `s` ends the episode (goal or absorbing failure).
+  virtual bool is_terminal(StateId s) const = 0;
+
+  /// Total number of state-action pairs (the Q-table size).
+  std::uint64_t table_size() const {
+    return static_cast<std::uint64_t>(num_states()) * num_actions();
+  }
+};
+
+}  // namespace qta::env

@@ -1,0 +1,83 @@
+#include "env/grid_map.h"
+
+#include <sstream>
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::env {
+
+GridWorldConfig parse_grid_map(const std::string& text,
+                               const GridWorldConfig& base) {
+  std::vector<std::string> rows;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string cells;
+      for (char c : line) {
+        if (c == ' ' || c == '\t' || c == '\r') continue;
+        cells.push_back(c);
+      }
+      if (!cells.empty()) rows.push_back(cells);
+    }
+  }
+  QTA_CHECK_MSG(!rows.empty(), "grid map has no rows");
+  const std::size_t width = rows[0].size();
+  for (const auto& r : rows) {
+    QTA_CHECK_MSG(r.size() == width, "grid map rows differ in length");
+  }
+  QTA_CHECK_MSG(is_pow2(width) && is_pow2(rows.size()),
+                "grid map dimensions must be powers of two");
+
+  GridWorldConfig config = base;
+  config.width = static_cast<unsigned>(width);
+  config.height = static_cast<unsigned>(rows.size());
+  config.obstacle_density = 0.0;  // the map is explicit
+  config.extra_obstacles.clear();
+  config.goal_x.reset();
+  config.goal_y.reset();
+
+  bool goal_seen = false;
+  for (unsigned y = 0; y < config.height; ++y) {
+    for (unsigned x = 0; x < config.width; ++x) {
+      switch (rows[y][x]) {
+        case '.':
+          break;
+        case '#':
+          config.extra_obstacles.emplace_back(x, y);
+          break;
+        case 'G':
+          QTA_CHECK_MSG(!goal_seen, "grid map has more than one goal");
+          goal_seen = true;
+          config.goal_x = x;
+          config.goal_y = y;
+          break;
+        default:
+          QTA_CHECK_MSG(false, "grid map cell must be '.', '#' or 'G'");
+      }
+    }
+  }
+  QTA_CHECK_MSG(goal_seen, "grid map has no goal cell");
+  return config;
+}
+
+std::string grid_map_to_string(const GridWorld& world) {
+  std::ostringstream out;
+  for (unsigned y = 0; y < world.config().height; ++y) {
+    for (unsigned x = 0; x < world.config().width; ++x) {
+      const StateId s = world.state_of(x, y);
+      if (s == world.goal_state()) {
+        out << 'G';
+      } else if (world.is_obstacle(s)) {
+        out << '#';
+      } else {
+        out << '.';
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace qta::env

@@ -1,0 +1,33 @@
+// ASCII grid-map parser: define a grid world as text, the way downstream
+// users describe their robot's floor plan.
+//
+//   . . # .
+//   . . # .
+//   . . . .
+//   # . . G
+//
+// Cell tokens (whitespace between cells is optional):
+//   '.'  free cell
+//   '#'  obstacle
+//   'G'  goal (exactly one)
+// Rows must all be the same length; width and height must be powers of
+// two (the accelerator's bit-concatenated addressing). Rewards and the
+// action count come from the remaining GridWorldConfig fields.
+#pragma once
+
+#include <string>
+
+#include "env/grid_world.h"
+
+namespace qta::env {
+
+/// Parses `text` into a GridWorldConfig (dimensions, goal, explicit
+/// obstacles). `base` supplies the non-geometric fields (action count,
+/// rewards). Aborts with a diagnostic on malformed maps.
+GridWorldConfig parse_grid_map(const std::string& text,
+                               const GridWorldConfig& base = {});
+
+/// Renders a config back to map text (inverse of parse, modulo spacing).
+std::string grid_map_to_string(const GridWorld& world);
+
+}  // namespace qta::env

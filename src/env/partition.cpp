@@ -1,0 +1,41 @@
+#include "env/partition.h"
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::env {
+
+std::vector<GridWorldConfig> partition_grid(const GridWorldConfig& config,
+                                            unsigned n) {
+  QTA_CHECK_MSG(is_pow2(n), "band count must be a power of two");
+  QTA_CHECK_MSG(config.height % n == 0 && config.height / n >= 2,
+                "bands must be at least two rows tall");
+  const unsigned band_height = config.height / n;
+  QTA_CHECK_MSG(is_pow2(band_height),
+                "band height must stay a power of two for bit-concatenated "
+                "state addressing");
+
+  const unsigned goal_x = config.goal_x.value_or(config.width - 1);
+  const unsigned goal_y = config.goal_y.value_or(config.height - 1);
+
+  std::vector<GridWorldConfig> bands;
+  bands.reserve(n);
+  for (unsigned b = 0; b < n; ++b) {
+    GridWorldConfig band = config;
+    band.height = band_height;
+    const unsigned y0 = b * band_height;
+    if (goal_y >= y0 && goal_y < y0 + band_height) {
+      band.goal_x = goal_x;
+      band.goal_y = goal_y - y0;
+    } else {
+      band.goal_x = config.width - 1;
+      band.goal_y = band_height - 1;
+    }
+    // Distinct obstacle layout per band (each rover maps its own terrain).
+    band.obstacle_seed = config.obstacle_seed * 1000003u + b;
+    bands.push_back(band);
+  }
+  return bands;
+}
+
+}  // namespace qta::env

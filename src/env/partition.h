@@ -1,0 +1,24 @@
+// Partitioning a grid world into N sub-environments for the paper's
+// "Independent Learners" mode (Section VII-A, Figure 9): N agents, each
+// exploring its own slice of the world with its own Q/R/Qmax tables in a
+// dedicated BRAM bank.
+//
+// The world is cut into N horizontal bands of equal height (N and the band
+// height must keep power-of-two dimensions so the paper's bit-concatenated
+// addressing still applies inside each band). Each band gets its own goal:
+// the global goal if it falls inside the band, otherwise the band's far
+// corner.
+#pragma once
+
+#include <vector>
+
+#include "env/grid_world.h"
+
+namespace qta::env {
+
+/// Returns N GridWorldConfigs, one per band. `n` must be a power of two
+/// dividing config.height with at least 2 rows per band.
+std::vector<GridWorldConfig> partition_grid(const GridWorldConfig& config,
+                                            unsigned n);
+
+}  // namespace qta::env

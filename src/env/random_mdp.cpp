@@ -1,0 +1,59 @@
+#include "env/random_mdp.h"
+
+#include "common/check.h"
+#include "rng/xoshiro.h"
+
+namespace qta::env {
+
+RandomMdp::RandomMdp(const RandomMdpConfig& config) : config_(config) {
+  QTA_CHECK(config.num_states >= 1);
+  QTA_CHECK(config.num_actions >= 1);
+  QTA_CHECK(config.reward_hi >= config.reward_lo);
+  const std::size_t n =
+      static_cast<std::size_t>(config.num_states) * config.num_actions;
+  next_.resize(n);
+  reward_.resize(n);
+  terminal_.assign(config.num_states, false);
+
+  rng::Xoshiro256 rng(config.seed);
+  for (StateId s = 0; s < config.num_states; ++s) {
+    for (ActionId a = 0; a < config.num_actions; ++a) {
+      const std::size_t i = index(s, a);
+      next_[i] = config.self_loop
+                     ? s
+                     : (config.ring
+                            ? (s + 1) % config.num_states
+                            : static_cast<StateId>(
+                                  rng.below(config.num_states)));
+      reward_[i] = rng.uniform(config.reward_lo, config.reward_hi);
+    }
+  }
+  if (config.terminal_fraction > 0.0) {
+    QTA_CHECK(config.terminal_fraction < 1.0);
+    for (StateId s = 0; s < config.num_states; ++s) {
+      terminal_[s] = rng.bernoulli(config.terminal_fraction);
+    }
+    // Keep at least one non-terminal state so episodes can run.
+    terminal_[0] = false;
+  }
+}
+
+std::size_t RandomMdp::index(StateId s, ActionId a) const {
+  QTA_DCHECK(s < config_.num_states && a < config_.num_actions);
+  return static_cast<std::size_t>(s) * config_.num_actions + a;
+}
+
+StateId RandomMdp::transition(StateId s, ActionId a) const {
+  return next_[index(s, a)];
+}
+
+double RandomMdp::reward(StateId s, ActionId a) const {
+  return reward_[index(s, a)];
+}
+
+bool RandomMdp::is_terminal(StateId s) const {
+  QTA_DCHECK(s < config_.num_states);
+  return terminal_[s];
+}
+
+}  // namespace qta::env

@@ -1,0 +1,49 @@
+// Randomly generated deterministic MDPs. Used by tests and benchmarks to
+// stress the pipeline with transition structures a grid world never
+// produces — in particular tiny MDPs (1-4 states) where *every* pair of
+// consecutive updates collides in the pipeline (forwarding stress), and
+// high-fanout MDPs for convergence property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace qta::env {
+
+struct RandomMdpConfig {
+  StateId num_states = 16;
+  ActionId num_actions = 4;
+  std::uint64_t seed = 42;
+  double reward_lo = -1.0;
+  double reward_hi = 1.0;
+  double terminal_fraction = 0.0;  // fraction of states made terminal
+  /// If true every transition maps to state (s+1) % n regardless of action
+  /// ("ring" MDP — the worst case for read-after-write hazards).
+  bool ring = false;
+  /// If true every transition stays in place (self-loop MDP: every update
+  /// of an episode hits the same Q row — maximal same-row pressure).
+  bool self_loop = false;
+};
+
+class RandomMdp final : public Environment {
+ public:
+  explicit RandomMdp(const RandomMdpConfig& config);
+
+  StateId num_states() const override { return config_.num_states; }
+  ActionId num_actions() const override { return config_.num_actions; }
+  StateId transition(StateId s, ActionId a) const override;
+  double reward(StateId s, ActionId a) const override;
+  bool is_terminal(StateId s) const override;
+
+ private:
+  std::size_t index(StateId s, ActionId a) const;
+
+  RandomMdpConfig config_;
+  std::vector<StateId> next_;
+  std::vector<double> reward_;
+  std::vector<bool> terminal_;
+};
+
+}  // namespace qta::env

@@ -1,0 +1,96 @@
+#include "env/stateful_bandit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::env {
+
+StatefulBandit::StatefulBandit(
+    std::vector<std::vector<double>> phase_rewards, BanditDynamics dynamics)
+    : rewards_(std::move(phase_rewards)), dynamics_(dynamics) {
+  QTA_CHECK_MSG(rewards_.size() >= 2, "need at least two arms");
+  arms_ = static_cast<unsigned>(rewards_.size());
+  pow_.resize(arms_ + 1);
+  pow_[0] = 1;
+  for (unsigned m = 0; m < arms_; ++m) {
+    QTA_CHECK_MSG(!rewards_[m].empty(), "arms need at least one phase");
+    const auto k = static_cast<StateId>(rewards_[m].size());
+    QTA_CHECK_MSG(pow_[m] <= kInvalidState / k,
+                  "combined state space overflows StateId");
+    pow_[m + 1] = pow_[m] * k;
+  }
+}
+
+StateId StatefulBandit::num_states() const { return pow_[arms_]; }
+ActionId StatefulBandit::num_actions() const { return arms_; }
+
+unsigned StatefulBandit::phases(unsigned m) const {
+  QTA_CHECK(m < arms_);
+  return static_cast<unsigned>(rewards_[m].size());
+}
+
+unsigned StatefulBandit::phase_of(StateId s, unsigned m) const {
+  QTA_DCHECK(m < arms_);
+  return static_cast<unsigned>((s / pow_[m]) % rewards_[m].size());
+}
+
+StateId StatefulBandit::state_of(
+    const std::vector<unsigned>& arm_phases) const {
+  QTA_CHECK(arm_phases.size() == arms_);
+  StateId s = 0;
+  for (unsigned m = 0; m < arms_; ++m) {
+    QTA_CHECK(arm_phases[m] < rewards_[m].size());
+    s += arm_phases[m] * pow_[m];
+  }
+  return s;
+}
+
+StateId StatefulBandit::transition(StateId s, ActionId a) const {
+  QTA_DCHECK(s < num_states() && a < arms_);
+  StateId next = s;
+  auto advance = [&](unsigned m) {
+    const unsigned p = phase_of(next, m);
+    const unsigned k = static_cast<unsigned>(rewards_[m].size());
+    const unsigned np = (p + 1) % k;
+    next = next - p * pow_[m] + np * pow_[m];
+  };
+  if (dynamics_ == BanditDynamics::kRested) {
+    advance(a);
+  } else {
+    for (unsigned m = 0; m < arms_; ++m) advance(m);
+  }
+  return next;
+}
+
+double StatefulBandit::reward(StateId s, ActionId a) const {
+  QTA_DCHECK(s < num_states() && a < arms_);
+  return rewards_[a][phase_of(s, a)];
+}
+
+double StatefulBandit::best_single_arm_mean() const {
+  double best = -1e300;
+  for (const auto& arm : rewards_) {
+    double sum = 0.0;
+    for (double r : arm) sum += r;
+    best = std::max(best, sum / static_cast<double>(arm.size()));
+  }
+  return best;
+}
+
+double StatefulBandit::greedy_rollout_mean(
+    const std::vector<ActionId>& policy, StateId start,
+    unsigned pulls) const {
+  QTA_CHECK(policy.size() == num_states());
+  QTA_CHECK(pulls >= 1);
+  StateId s = start;
+  double total = 0.0;
+  for (unsigned t = 0; t < pulls; ++t) {
+    const ActionId a = policy[s];
+    total += reward(s, a);
+    s = transition(s, a);
+  }
+  return total / static_cast<double>(pulls);
+}
+
+}  // namespace qta::env

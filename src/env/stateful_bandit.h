@@ -1,0 +1,68 @@
+// Stateful bandits (Section VII-B, last paragraph): "the state space can
+// be represented by concatenation of the states of individual arms.
+// Typically, the number of arms is very small (~5), so the size of the
+// resulting table will still be tractable."
+//
+// Each arm is a deterministic cyclic process over its own phase count;
+// the reward for pulling arm m depends on m's current phase. The combined
+// environment state is the mixed-radix digit vector of all arm phases, so
+// the UNMODIFIED QTAccel pipeline learns the scheduling problem through
+// its ordinary Q/R tables. Two dynamics:
+//
+//   * kRested   — only the pulled arm's phase advances. (Note: with
+//     deterministic cycles the long-run mean of ANY policy is a convex
+//     mix of the arms' cycle means, so no scheduler beats the best single
+//     arm; this mode exists for semantics tests and as the classical
+//     definition.)
+//   * kRestless — every arm advances each step (channels keep fading
+//     whether or not you transmit on them). Here phase-awareness pays:
+//     the scheduler harvests whichever arm is near its reward peak.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace qta::env {
+
+enum class BanditDynamics { kRested, kRestless };
+
+class StatefulBandit final : public Environment {
+ public:
+  /// `phase_rewards[m][p]` is the reward for pulling arm m while it is in
+  /// phase p. Arms may have different phase counts (>= 1 each); the arm
+  /// count must be >= 2 (and a power of two to run on the accelerator).
+  StatefulBandit(std::vector<std::vector<double>> phase_rewards,
+                 BanditDynamics dynamics);
+
+  StateId num_states() const override;   // product of phase counts
+  ActionId num_actions() const override; // number of arms
+  StateId transition(StateId s, ActionId a) const override;
+  double reward(StateId s, ActionId a) const override;
+  bool is_terminal(StateId) const override { return false; }
+
+  BanditDynamics dynamics() const { return dynamics_; }
+  unsigned phases(unsigned m) const;
+  /// Phase of arm `m` within combined state `s`.
+  unsigned phase_of(StateId s, unsigned m) const;
+  /// Combined state from per-arm phases.
+  StateId state_of(const std::vector<unsigned>& arm_phases) const;
+
+  /// Long-run mean reward per pull of the best single-arm policy (the arm
+  /// is cycled through its phases under either dynamics).
+  double best_single_arm_mean() const;
+
+  /// Mean reward per pull following `policy` from `start` for `pulls`
+  /// steps.
+  double greedy_rollout_mean(const std::vector<ActionId>& policy,
+                             StateId start, unsigned pulls) const;
+
+ private:
+  std::vector<std::vector<double>> rewards_;
+  BanditDynamics dynamics_;
+  unsigned arms_;
+  std::vector<StateId> pow_;  // mixed-radix place values
+};
+
+}  // namespace qta::env

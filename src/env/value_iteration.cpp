@@ -1,0 +1,119 @@
+#include "env/value_iteration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::env {
+
+ValueIterationResult value_iteration(const Environment& env, double gamma,
+                                     double tol, unsigned max_iters) {
+  QTA_CHECK(gamma >= 0.0 && gamma < 1.0);
+  const StateId ns = env.num_states();
+  const ActionId na = env.num_actions();
+  ValueIterationResult r;
+  r.q.assign(static_cast<std::size_t>(ns) * na, 0.0);
+  r.v.assign(ns, 0.0);
+  r.policy.assign(ns, 0);
+
+  const unsigned noise_bits = env.transition_noise_bits();
+  QTA_CHECK_MSG(noise_bits <= 12,
+                "value iteration enumerates the noise space; more than "
+                "2^12 outcomes is intractable here");
+  const std::uint64_t noise_count =
+      noise_bits == 0 ? 1 : (std::uint64_t{1} << noise_bits);
+
+  for (r.iterations = 0; r.iterations < max_iters; ++r.iterations) {
+    double worst = 0.0;
+    for (StateId s = 0; s < ns; ++s) {
+      if (env.is_terminal(s)) continue;  // no actions from terminal states
+      for (ActionId a = 0; a < na; ++a) {
+        // Expectation over the (uniform) transition-noise input.
+        double future = 0.0;
+        for (std::uint64_t n = 0; n < noise_count; ++n) {
+          const StateId sn = noise_bits == 0 ? env.transition(s, a)
+                                             : env.transition(s, a, n);
+          future += env.is_terminal(sn) ? 0.0 : r.v[sn];
+        }
+        future /= static_cast<double>(noise_count);
+        const double updated = env.reward(s, a) + gamma * future;
+        auto& cell = r.q[static_cast<std::size_t>(s) * na + a];
+        worst = std::max(worst, std::abs(updated - cell));
+        cell = updated;
+      }
+    }
+    for (StateId s = 0; s < ns; ++s) {
+      const auto row = static_cast<std::size_t>(s) * na;
+      ActionId best = 0;
+      for (ActionId a = 1; a < na; ++a) {
+        if (r.q[row + a] > r.q[row + best]) best = a;
+      }
+      r.policy[s] = best;
+      r.v[s] = r.q[row + best];
+    }
+    r.residual = worst;
+    if (worst < tol) break;
+  }
+  return r;
+}
+
+std::vector<ActionId> greedy_policy_from(const Environment& env,
+                                         const std::vector<double>& q) {
+  QTA_CHECK(q.size() == env.table_size());
+  const ActionId na = env.num_actions();
+  std::vector<ActionId> policy(env.num_states(), 0);
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    const auto row = static_cast<std::size_t>(s) * na;
+    ActionId best = 0;
+    for (ActionId a = 1; a < na; ++a) {
+      if (q[row + a] > q[row + best]) best = a;
+    }
+    policy[s] = best;
+  }
+  return policy;
+}
+
+double policy_success_rate(const Environment& env,
+                           const std::vector<ActionId>& policy,
+                           unsigned max_steps,
+                           const std::function<bool(StateId)>* blocked) {
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    if (env.is_terminal(s)) continue;
+    if (blocked && (*blocked)(s)) continue;
+    ++total;
+    reached += rollout_steps(env, policy, s, max_steps) >= 0 ? 1 : 0;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(reached) / total;
+}
+
+int rollout_steps(const Environment& env, const std::vector<ActionId>& policy,
+                  StateId start, unsigned max_steps) {
+  QTA_CHECK(policy.size() == env.num_states());
+  StateId s = start;
+  for (unsigned step = 0; step < max_steps; ++step) {
+    if (env.is_terminal(s)) return static_cast<int>(step);
+    s = env.transition(s, policy[s]);
+  }
+  return env.is_terminal(s) ? static_cast<int>(max_steps) : -1;
+}
+
+double greedy_path_q_error(const Environment& env,
+                           const ValueIterationResult& optimal,
+                           const std::vector<double>& learned_q,
+                           StateId start, unsigned max_steps) {
+  QTA_CHECK(learned_q.size() == optimal.q.size());
+  const ActionId na = env.num_actions();
+  double worst = 0.0;
+  StateId s = start;
+  for (unsigned step = 0; step < max_steps && !env.is_terminal(s); ++step) {
+    const ActionId a = optimal.policy[s];
+    const auto idx = static_cast<std::size_t>(s) * na + a;
+    worst = std::max(worst, std::abs(learned_q[idx] - optimal.q[idx]));
+    s = env.transition(s, a);
+  }
+  return worst;
+}
+
+}  // namespace qta::env

@@ -1,0 +1,62 @@
+// Exact dynamic-programming solver for the tabular environments.
+//
+// Computes the optimal Q* fixpoint
+//     Q*(s,a) = R(s,a) + gamma * max_a' Q*(s', a')   (0 future value at
+//                                                     terminal states)
+// for a deterministic Environment. Used as the golden optimum that learned
+// policies are verified against, and by convergence benchmarks to measure
+// distance-to-optimal over training.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace qta::env {
+
+struct ValueIterationResult {
+  std::vector<double> q;        // |S| x |A|, row-major by state
+  std::vector<double> v;        // |S| state values (max over actions)
+  std::vector<ActionId> policy; // greedy argmax per state
+  unsigned iterations = 0;
+  double residual = 0.0;        // final sup-norm change
+
+  double q_at(const Environment& e, StateId s, ActionId a) const {
+    return q[static_cast<std::size_t>(s) * e.num_actions() + a];
+  }
+};
+
+/// Runs value iteration to sup-norm tolerance `tol` (or `max_iters`).
+ValueIterationResult value_iteration(const Environment& env, double gamma,
+                                     double tol = 1e-9,
+                                     unsigned max_iters = 100000);
+
+/// Greedy argmax policy from a row-major |S| x |A| Q table (ties -> lowest
+/// action, matching the hardware comparator).
+std::vector<ActionId> greedy_policy_from(const Environment& env,
+                                         const std::vector<double>& q);
+
+/// Fraction of non-terminal, non-blocked states whose greedy rollout under
+/// `policy` reaches a terminal state within `max_steps`. `blocked(s)` marks
+/// states to skip (e.g. obstacles); pass nullptr to include all.
+double policy_success_rate(const Environment& env,
+                           const std::vector<ActionId>& policy,
+                           unsigned max_steps = 2000,
+                           const std::function<bool(StateId)>* blocked =
+                               nullptr);
+
+/// Follows `policy` greedily from `start` for at most `max_steps`; returns
+/// the number of steps to reach a terminal state, or -1 if none reached.
+int rollout_steps(const Environment& env, const std::vector<ActionId>& policy,
+                  StateId start, unsigned max_steps);
+
+/// Sup-norm distance between a learned Q table (row-major |S|x|A|) and the
+/// optimal Q*, restricted to state-action pairs reachable under Q*'s greedy
+/// policy (unreachable corners never converge under on-trajectory RL).
+double greedy_path_q_error(const Environment& env,
+                           const ValueIterationResult& optimal,
+                           const std::vector<double>& learned_q,
+                           StateId start, unsigned max_steps = 10000);
+
+}  // namespace qta::env

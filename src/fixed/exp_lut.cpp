@@ -1,0 +1,52 @@
+#include "fixed/exp_lut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::fixed {
+
+ExpLut::ExpLut(double lo, double hi, unsigned log2_entries, Format value_fmt)
+    : lo_(lo), hi_(hi), value_fmt_(value_fmt) {
+  QTA_CHECK(hi > lo);
+  QTA_CHECK(log2_entries >= 2 && log2_entries <= 20);
+  validate(value_fmt);
+  const std::size_t n = std::size_t{1} << log2_entries;
+  step_ = (hi - lo) / static_cast<double>(n - 1);
+  table_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = lo + static_cast<double>(i) * step_;
+    table_[i] = from_double(std::exp(x), value_fmt_);
+  }
+}
+
+raw_t ExpLut::eval(raw_t x, Format arg_fmt) const {
+  const double xd = to_double(x, arg_fmt);
+  return from_double(eval_double(xd), value_fmt_);
+}
+
+double ExpLut::eval_double(double x) const {
+  const double clamped = std::clamp(x, lo_, hi_);
+  const double pos = (clamped - lo_) / step_;
+  const auto idx = static_cast<std::size_t>(pos);
+  const std::size_t hi_idx = std::min(idx + 1, table_.size() - 1);
+  const double frac = pos - static_cast<double>(idx);
+  const double a = to_double(table_[idx], value_fmt_);
+  const double b = to_double(table_[hi_idx], value_fmt_);
+  return a + (b - a) * frac;
+}
+
+double ExpLut::max_abs_error(unsigned probes) const {
+  QTA_CHECK(probes >= 2);
+  double worst = 0.0;
+  for (unsigned i = 0; i < probes; ++i) {
+    const double x =
+        lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                  static_cast<double>(probes - 1);
+    worst = std::max(worst, std::abs(eval_double(x) - std::exp(x)));
+  }
+  return worst;
+}
+
+}  // namespace qta::fixed

@@ -1,0 +1,52 @@
+// Hardware-style exp() lookup table used by the Boltzmann action-selection
+// policy and the EXP3 bandit weight update (Section VII-B of the paper).
+//
+// A BRAM-resident LUT with linear interpolation between entries — the
+// standard FPGA realization (one BRAM read + one DSP multiply + one add).
+// Domain is clamped, exactly as the hardware would clamp the address.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed_point.h"
+
+namespace qta::fixed {
+
+class ExpLut {
+ public:
+  /// Builds a table of 2^log2_entries samples of exp(x) over [lo, hi].
+  /// `value_fmt` is the output fixed-point format (entries saturate to it).
+  ExpLut(double lo, double hi, unsigned log2_entries, Format value_fmt);
+
+  /// exp(x) with x given as a fixed-point value in `arg_fmt`. The input is
+  /// clamped to [lo, hi]; output is in value_fmt().
+  raw_t eval(raw_t x, Format arg_fmt) const;
+
+  /// Convenience double-in/double-out evaluation (still goes through the
+  /// quantized table, so it shows real LUT error).
+  double eval_double(double x) const;
+
+  Format value_fmt() const { return value_fmt_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t entries() const { return table_.size(); }
+
+  /// BRAM bits consumed by the table (for the resource ledger).
+  std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(table_.size()) * value_fmt_.width;
+  }
+
+  /// Worst-case absolute error vs std::exp over a dense probe of the
+  /// domain; used by tests to bound interpolation error.
+  double max_abs_error(unsigned probes = 4096) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double step_;
+  Format value_fmt_;
+  std::vector<raw_t> table_;
+};
+
+}  // namespace qta::fixed

@@ -1,0 +1,99 @@
+// Fixed-point arithmetic with the exact semantics of the simulated DSP
+// datapath.
+//
+// The accelerator stores Q-values and rewards in 18-bit lanes (the natural
+// word of an UltraScale BRAM18, and the B-port width of a DSP48E2 27x18
+// multiplier). Learning-rate / discount coefficients use a high-fraction
+// format since they live in [0, 1]. Formats are runtime values so benchmarks
+// can sweep precision; raw values are carried sign-extended in int64.
+//
+// Rounding: round-half-away-from-zero (the cheap adder-based FPGA rounding).
+// Overflow: saturation to the format's representable range; the pipeline
+// counts saturation events so experiments can report precision loss.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qta::fixed {
+
+/// Raw fixed-point value: two's-complement, sign-extended into 64 bits.
+using raw_t = std::int64_t;
+
+/// A runtime Q-format: `width` total bits (including sign) of which `frac`
+/// are fractional. width <= 48 so products of two values fit in int64 with
+/// headroom (the DSP48 accumulator is 48 bits wide).
+struct Format {
+  unsigned width = 18;
+  unsigned frac = 8;
+
+  constexpr unsigned int_bits() const { return width - 1 - frac; }
+  constexpr raw_t max_raw() const {
+    return (raw_t{1} << (width - 1)) - 1;
+  }
+  constexpr raw_t min_raw() const { return -(raw_t{1} << (width - 1)); }
+  constexpr double resolution() const {
+    return 1.0 / static_cast<double>(raw_t{1} << frac);
+  }
+  constexpr double max_value() const {
+    return static_cast<double>(max_raw()) * resolution();
+  }
+  constexpr double min_value() const {
+    return static_cast<double>(min_raw()) * resolution();
+  }
+
+  friend constexpr bool operator==(const Format&, const Format&) = default;
+};
+
+/// Q-value / reward storage format: s9.8 in an 18-bit lane.
+inline constexpr Format kQFormat{18, 8};
+/// Coefficient format for alpha, gamma, alpha*gamma, 1-alpha: s1.16.
+inline constexpr Format kCoeffFormat{18, 16};
+
+/// "q9.8" style human-readable name.
+std::string to_string(Format f);
+
+/// Validates a format (2 <= width <= 48, frac < width). Aborts otherwise.
+void validate(Format f);
+
+/// Clamps a raw value into the representable range of `f`. Returns the
+/// clamped value; `saturated` (if non-null) is set when clamping occurred.
+raw_t saturate(raw_t v, Format f, bool* saturated = nullptr);
+
+/// Quantizes a double to format `f` with round-half-away-from-zero and
+/// saturation.
+raw_t from_double(double v, Format f);
+
+/// Exact value of a raw number in format `f`.
+double to_double(raw_t v, Format f);
+
+/// Saturating addition of two values in the same format.
+raw_t sat_add(raw_t a, raw_t b, Format f, bool* saturated = nullptr);
+
+/// Saturating subtraction in the same format.
+raw_t sat_sub(raw_t a, raw_t b, Format f, bool* saturated = nullptr);
+
+/// DSP multiply: a (format fa) times b (format fb), rescaled into `out`
+/// with rounding and saturation. This is one DSP48 in the resource model.
+raw_t mul(raw_t a, Format fa, raw_t b, Format fb, Format out,
+          bool* saturated = nullptr);
+
+/// Re-quantize a value from format `from` into format `to` (round+saturate).
+raw_t convert(raw_t v, Format from, Format to, bool* saturated = nullptr);
+
+/// Arithmetic right shift with round-half-away-from-zero — the division
+/// by a power of two the hardware uses for row means (adder tree output
+/// >> log2|A|).
+raw_t rshift_round(raw_t v, unsigned shift);
+
+/// Convenience wrapper pairing a raw value with its format, used at module
+/// boundaries and in tests where mixing formats would be error-prone.
+struct Value {
+  raw_t raw = 0;
+  Format fmt = kQFormat;
+
+  static Value of(double v, Format f) { return {from_double(v, f), f}; }
+  double as_double() const { return to_double(raw, fmt); }
+};
+
+}  // namespace qta::fixed

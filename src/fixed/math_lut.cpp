@@ -1,0 +1,151 @@
+#include "fixed/math_lut.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::fixed {
+
+namespace {
+// log2(1 + i / 2^kLog2LutBits) quantized to 24 fractional bits — the
+// content of the correction BRAM.
+constexpr unsigned kLutFrac = 24;
+
+const std::array<std::int64_t, (1u << kLog2LutBits) + 1>& log2_lut() {
+  static const auto table = [] {
+    std::array<std::int64_t, (1u << kLog2LutBits) + 1> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const double f =
+          static_cast<double>(i) / static_cast<double>(1u << kLog2LutBits);
+      t[i] = static_cast<std::int64_t>(
+          std::llround(std::log2(1.0 + f) * (1 << kLutFrac)));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Bitwise integer square root: floor(sqrt(v)).
+std::uint64_t isqrt_u64(std::uint64_t v) {
+  std::uint64_t res = 0;
+  std::uint64_t bit = std::uint64_t{1} << 62;
+  while (bit > v) bit >>= 2;
+  while (bit != 0) {
+    if (v >= res + bit) {
+      v -= res + bit;
+      res = (res >> 1) + bit;
+    } else {
+      res >>= 1;
+    }
+    bit >>= 2;
+  }
+  return res;
+}
+}  // namespace
+
+raw_t log2_fixed(raw_t v, Format fin, Format fout) {
+  validate(fin);
+  validate(fout);
+  QTA_CHECK_MSG(v > 0, "log2 of a non-positive value");
+  const auto uv = static_cast<std::uint64_t>(v);
+  const unsigned msb = static_cast<unsigned>(std::bit_width(uv)) - 1;
+
+  // Mantissa bits below the MSB, padded/truncated to kLog2LutBits + a
+  // few interpolation bits.
+  constexpr unsigned kInterpBits = 8;
+  constexpr unsigned kTotal = kLog2LutBits + kInterpBits;
+  std::uint64_t mant;
+  if (msb >= kTotal) {
+    mant = (uv >> (msb - kTotal)) & ((std::uint64_t{1} << kTotal) - 1);
+  } else {
+    mant = (uv << (kTotal - msb)) & ((std::uint64_t{1} << kTotal) - 1);
+  }
+  const auto idx = static_cast<std::size_t>(mant >> kInterpBits);
+  const std::uint64_t frac = mant & ((1u << kInterpBits) - 1);
+  const std::int64_t lo = log2_lut()[idx];
+  const std::int64_t hi = log2_lut()[idx + 1];
+  const std::int64_t corr =
+      lo + (((hi - lo) * static_cast<std::int64_t>(frac)) >> kInterpBits);
+
+  // log2(value) = (msb - fin.frac) + corr * 2^-kLutFrac.
+  const std::int64_t integer_part =
+      static_cast<std::int64_t>(msb) - static_cast<std::int64_t>(fin.frac);
+  const std::int64_t result_q24 = (integer_part << kLutFrac) + corr;
+  return convert(result_q24, Format{48, kLutFrac}, fout);
+}
+
+raw_t ln_fixed(raw_t v, Format fin, Format fout) {
+  // ln(2) in Q24.
+  constexpr std::int64_t kLn2Q24 = 11629080;  // round(ln(2) * 2^24)
+  const raw_t l2 = log2_fixed(v, fin, Format{48, kLutFrac});
+  const std::int64_t prod = (l2 * kLn2Q24) >> kLutFrac;
+  return convert(prod, Format{48, kLutFrac}, fout);
+}
+
+raw_t sqrt_fixed(raw_t v, Format fin, Format fout) {
+  validate(fin);
+  validate(fout);
+  QTA_CHECK_MSG(v >= 0, "sqrt of a negative value");
+  if (v == 0) return 0;
+  // sqrt(v * 2^-fa) * 2^fc = isqrt(v * 2^(2*fc - fa)).
+  const int shift = 2 * static_cast<int>(fout.frac) -
+                    static_cast<int>(fin.frac);
+  std::uint64_t scaled;
+  if (shift >= 0) {
+    QTA_CHECK_MSG(static_cast<unsigned>(std::bit_width(
+                      static_cast<std::uint64_t>(v))) +
+                          static_cast<unsigned>(shift) <=
+                      62,
+                  "sqrt operand overflows the 64-bit datapath");
+    scaled = static_cast<std::uint64_t>(v) << shift;
+  } else {
+    scaled = static_cast<std::uint64_t>(v) >> (-shift);
+  }
+  return saturate(static_cast<raw_t>(isqrt_u64(scaled)), fout);
+}
+
+raw_t div_fixed(raw_t a, Format fa, raw_t b, Format fb, Format fout) {
+  validate(fa);
+  validate(fb);
+  validate(fout);
+  QTA_CHECK_MSG(b != 0, "division by zero");
+  __extension__ typedef __int128 i128;
+  const int shift = static_cast<int>(fout.frac) - static_cast<int>(fa.frac) +
+                    static_cast<int>(fb.frac);
+  i128 num = static_cast<i128>(a);
+  if (shift >= 0) {
+    num <<= shift;
+  } else {
+    num >>= (-shift);
+  }
+  // Round to nearest, half away from zero.
+  const i128 bb = static_cast<i128>(b);
+  i128 q;
+  if ((num >= 0) == (bb > 0)) {
+    q = (num + (bb > 0 ? bb : -bb) / 2) / bb;
+  } else {
+    q = (num - (bb > 0 ? bb : -bb) / 2) / bb;
+  }
+  const i128 lo = fout.min_raw();
+  const i128 hi = fout.max_raw();
+  if (q < lo) return fout.min_raw();
+  if (q > hi) return fout.max_raw();
+  return static_cast<raw_t>(q);
+}
+
+unsigned log2_lut_bits() {
+  return ((1u << kLog2LutBits) + 1) * (kLutFrac + 2);
+}
+
+unsigned sqrt_iteration_luts(Format f) {
+  // One CSA row per result bit.
+  return f.width * 12;
+}
+
+unsigned divider_luts(Format f) {
+  return f.width * 10;
+}
+
+}  // namespace qta::fixed

@@ -1,0 +1,38 @@
+// Hardware-style fixed-point elementary functions: log2/ln via
+// leading-zero normalization plus a fractional LUT, sqrt via the
+// non-restoring integer algorithm, and division via shift-subtract long
+// division. These are the building blocks the UCB bandit accelerator
+// needs (score = Q + sqrt(2 ln t / n)); each maps to a small LUT + LUT
+// fabric on the device, with no DSP usage.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_point.h"
+
+namespace qta::fixed {
+
+/// Hardware log2: for v > 0 (raw, format fin), returns log2(value) in
+/// format fout. Realization: priority encoder finds the MSB (integer part
+/// of log2), the next `kLog2LutBits` mantissa bits index a LUT of
+/// log2(1+f) corrections, linearly interpolated.
+inline constexpr unsigned kLog2LutBits = 8;
+raw_t log2_fixed(raw_t v, Format fin, Format fout);
+
+/// Natural log via log2 * ln(2). Aborts on v <= 0.
+raw_t ln_fixed(raw_t v, Format fin, Format fout);
+
+/// Non-restoring integer square root of a non-negative fixed-point value:
+/// sqrt of (v, fin) expressed in fout. Exact to one ulp of fout.
+raw_t sqrt_fixed(raw_t v, Format fin, Format fout);
+
+/// Shift-subtract division: (a, fa) / (b, fb) in fout, round-to-nearest,
+/// saturating. Aborts on b == 0.
+raw_t div_fixed(raw_t a, Format fa, raw_t b, Format fb, Format fout);
+
+/// LUT + fabric cost estimates for the resource ledger.
+unsigned log2_lut_bits();      // BRAM bits of the log2 correction LUT
+unsigned sqrt_iteration_luts(Format f);  // LUTs of the sqrt array
+unsigned divider_luts(Format f);         // LUTs of the long divider
+
+}  // namespace qta::fixed

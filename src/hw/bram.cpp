@@ -1,0 +1,92 @@
+#include "hw/bram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::hw {
+
+Bram::Bram(std::string name, std::uint64_t depth, unsigned width,
+           unsigned ports, PortConflictPolicy policy)
+    : name_(std::move(name)),
+      depth_(depth),
+      width_(width),
+      ports_(ports),
+      policy_(policy),
+      data_(depth, 0),
+      port_used_(ports, false) {
+  QTA_CHECK(depth > 0);
+  QTA_CHECK(width >= 1 && width <= 64);
+  // Real BRAM is dual-port; 3-4 ports model a double-pumped BRAM (2x
+  // memory clock), which is how the shared-table dual-pipeline mode of
+  // Section VII-A keeps two full-rate agents on one Q-table.
+  QTA_CHECK_MSG(ports >= 1 && ports <= 4,
+                "at most 4 ports (double-pumped dual-port BRAM)");
+}
+
+void Bram::register_resources(ResourceLedger& ledger) const {
+  ledger.add_memory({name_, depth_, width_, ports_});
+}
+
+void Bram::claim_port(unsigned port) {
+  QTA_CHECK_MSG(port < ports_, "port index out of range");
+  if (port_used_[port]) {
+    ++stats_.port_conflicts;
+    QTA_CHECK_MSG(policy_ == PortConflictPolicy::kCount,
+                  "BRAM port used twice in one cycle");
+  }
+  port_used_[port] = true;
+}
+
+fixed::raw_t Bram::read(unsigned port, std::uint64_t addr) {
+  QTA_CHECK_MSG(addr < depth_, "BRAM read address out of range");
+  claim_port(port);
+  ++stats_.reads;
+  return data_[addr];
+}
+
+void Bram::write(unsigned port, std::uint64_t addr, fixed::raw_t data) {
+  QTA_CHECK_MSG(addr < depth_, "BRAM write address out of range");
+  claim_port(port);
+  ++stats_.writes;
+  pending_.push_back({port, addr, data});
+}
+
+void Bram::preset(std::uint64_t addr, fixed::raw_t data) {
+  QTA_CHECK(addr < depth_);
+  data_[addr] = data;
+}
+
+void Bram::fill(fixed::raw_t data) {
+  std::fill(data_.begin(), data_.end(), data);
+}
+
+fixed::raw_t Bram::peek(std::uint64_t addr) const {
+  QTA_CHECK(addr < depth_);
+  return data_[addr];
+}
+
+void Bram::begin_cycle() {
+  std::fill(port_used_.begin(), port_used_.end(), false);
+}
+
+void Bram::clock_edge() {
+  // Detect same-address collisions between distinct ports, then commit in
+  // port order so the higher port "arbitrarily overwrites" the lower one.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    for (std::size_t j = i + 1; j < pending_.size(); ++j) {
+      if (pending_[i].addr == pending_[j].addr &&
+          pending_[i].port != pending_[j].port) {
+        ++stats_.write_collisions;
+      }
+    }
+  }
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const PendingWrite& a, const PendingWrite& b) {
+                     return a.port < b.port;
+                   });
+  for (const auto& w : pending_) data_[w.addr] = w.data;
+  pending_.clear();
+}
+
+}  // namespace qta::hw

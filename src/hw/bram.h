@@ -1,0 +1,89 @@
+// Dual-port block-RAM model with per-cycle port accounting.
+//
+// Semantics match a read-first true-dual-port BRAM:
+//   - a read issued during a cycle returns the committed (pre-edge) word;
+//   - writes queue and commit at the clock edge;
+//   - each port supports exactly one operation per cycle.
+// Oversubscribing a port is a design bug and aborts by default — this is
+// how the simulator enforces the paper's port budget (Q-table: stage-1
+// read + stage-4 write; Qmax: stage-2 read + stage-4 write).
+//
+// For the shared-Q-table dual-pipeline mode (Section VII-A), same-cycle
+// writes to the same address from different ports are a *collision*: the
+// paper says "one pipeline arbitrarily overwrites the other". The model
+// applies writes in port order (the higher port wins) and counts the event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixed/fixed_point.h"
+#include "hw/resource_ledger.h"
+#include "hw/sim_kernel.h"
+
+namespace qta::hw {
+
+/// What to do when a port is used more than once in a cycle.
+enum class PortConflictPolicy {
+  kAbort,  // design bug: fail fast (default)
+  kCount,  // count and proceed (used by ablation/diagnostic runs)
+};
+
+class Bram : public Clocked {
+ public:
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t port_conflicts = 0;
+    std::uint64_t write_collisions = 0;  // same-addr same-cycle, two ports
+  };
+
+  Bram(std::string name, std::uint64_t depth, unsigned width,
+       unsigned ports = 2,
+       PortConflictPolicy policy = PortConflictPolicy::kAbort);
+
+  /// Registers this memory's requirement into a ledger.
+  void register_resources(ResourceLedger& ledger) const;
+
+  /// Synchronous read on `port`: returns the committed word at `addr`.
+  fixed::raw_t read(unsigned port, std::uint64_t addr);
+
+  /// Queues a write on `port`; commits at the next clock edge.
+  void write(unsigned port, std::uint64_t addr, fixed::raw_t data);
+
+  /// Initialization / debug access without port accounting.
+  void preset(std::uint64_t addr, fixed::raw_t data);
+  void fill(fixed::raw_t data);
+  fixed::raw_t peek(std::uint64_t addr) const;
+
+  void begin_cycle() override;
+  void clock_edge() override;
+
+  std::uint64_t depth() const { return depth_; }
+  unsigned width() const { return width_; }
+  unsigned ports() const { return ports_; }
+  const std::string& name() const { return name_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void claim_port(unsigned port);
+
+  std::string name_;
+  std::uint64_t depth_;
+  unsigned width_;
+  unsigned ports_;
+  PortConflictPolicy policy_;
+  std::vector<fixed::raw_t> data_;
+
+  struct PendingWrite {
+    unsigned port;
+    std::uint64_t addr;
+    fixed::raw_t data;
+  };
+  std::vector<PendingWrite> pending_;
+  std::vector<bool> port_used_;
+  Stats stats_;
+};
+
+}  // namespace qta::hw

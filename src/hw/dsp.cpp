@@ -1,0 +1,26 @@
+#include "hw/dsp.h"
+
+namespace qta::hw {
+
+DspMultiplier::DspMultiplier(std::string name, fixed::Format a_fmt,
+                             fixed::Format b_fmt, fixed::Format out_fmt)
+    : name_(std::move(name)), a_fmt_(a_fmt), b_fmt_(b_fmt),
+      out_fmt_(out_fmt) {
+  fixed::validate(a_fmt_);
+  fixed::validate(b_fmt_);
+  fixed::validate(out_fmt_);
+}
+
+void DspMultiplier::register_resources(ResourceLedger& ledger) const {
+  ledger.add_dsp(1, name_);
+}
+
+fixed::raw_t DspMultiplier::multiply(fixed::raw_t a, fixed::raw_t b) {
+  ++invocations_;
+  bool sat = false;
+  const fixed::raw_t out = fixed::mul(a, a_fmt_, b, b_fmt_, out_fmt_, &sat);
+  if (sat) ++saturations_;
+  return out;
+}
+
+}  // namespace qta::hw

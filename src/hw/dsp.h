@@ -1,0 +1,39 @@
+// DSP-slice multiplier model. Each instance is one hardware multiplier
+// (one DSP48-class slice in the device model); the simulated datapath
+// funnels every product through one of these so the "4 multipliers total"
+// property of QTAccel is enforced structurally, not by convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fixed/fixed_point.h"
+#include "hw/resource_ledger.h"
+
+namespace qta::hw {
+
+class DspMultiplier {
+ public:
+  /// `a_fmt` x `b_fmt` -> `out_fmt`, fixed wiring like a real instance.
+  DspMultiplier(std::string name, fixed::Format a_fmt, fixed::Format b_fmt,
+                fixed::Format out_fmt);
+
+  void register_resources(ResourceLedger& ledger) const;
+
+  /// One multiply. Counts invocations and saturation events.
+  fixed::raw_t multiply(fixed::raw_t a, fixed::raw_t b);
+
+  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t saturations() const { return saturations_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  fixed::Format a_fmt_;
+  fixed::Format b_fmt_;
+  fixed::Format out_fmt_;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t saturations_ = 0;
+};
+
+}  // namespace qta::hw

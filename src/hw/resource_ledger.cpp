@@ -1,0 +1,46 @@
+#include "hw/resource_ledger.h"
+
+#include "common/check.h"
+
+namespace qta::hw {
+
+void ResourceLedger::add_memory(MemoryReq req) {
+  QTA_CHECK(req.depth > 0 && req.width > 0);
+  QTA_CHECK(req.ports >= 1 && req.ports <= 2);
+  notes_.push_back("memory '" + req.name + "': " +
+                   std::to_string(req.depth) + " x " +
+                   std::to_string(req.width) + "b, " +
+                   std::to_string(req.ports) + " port(s)");
+  memories_.push_back(std::move(req));
+}
+
+void ResourceLedger::add_dsp(unsigned count, const std::string& what) {
+  dsp_ += count;
+  notes_.push_back(std::to_string(count) + " x DSP (" + what + ")");
+}
+
+void ResourceLedger::add_flip_flops(unsigned count, const std::string& what) {
+  ff_ += count;
+  notes_.push_back(std::to_string(count) + " x FF (" + what + ")");
+}
+
+void ResourceLedger::add_luts(unsigned count, const std::string& what) {
+  lut_ += count;
+  notes_.push_back(std::to_string(count) + " x LUT (" + what + ")");
+}
+
+std::uint64_t ResourceLedger::memory_bits() const {
+  std::uint64_t total = 0;
+  for (const auto& m : memories_) total += m.bits();
+  return total;
+}
+
+void ResourceLedger::merge(const ResourceLedger& other) {
+  for (const auto& m : other.memories_) memories_.push_back(m);
+  dsp_ += other.dsp_;
+  ff_ += other.ff_;
+  lut_ += other.lut_;
+  for (const auto& n : other.notes_) notes_.push_back(n);
+}
+
+}  // namespace qta::hw

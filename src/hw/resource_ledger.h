@@ -1,0 +1,55 @@
+// Resource accounting. Hardware components (BRAMs, DSP multipliers, LFSRs,
+// pipeline registers) register what they would consume on a real device;
+// the device model (src/device) later maps these raw requirements onto a
+// specific FPGA's block inventory to produce utilization percentages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qta::hw {
+
+/// A memory requirement: `depth` words of `width` bits, with `ports`
+/// simultaneous access ports (1 or 2 on real BRAM).
+struct MemoryReq {
+  std::string name;
+  std::uint64_t depth = 0;
+  unsigned width = 0;
+  unsigned ports = 2;
+
+  std::uint64_t bits() const { return depth * width; }
+};
+
+/// Raw (device-independent) resource requirements of a design.
+class ResourceLedger {
+ public:
+  void add_memory(MemoryReq req);
+  /// `count` hardware multipliers (each one DSP slice in the device model).
+  void add_dsp(unsigned count, const std::string& what);
+  void add_flip_flops(unsigned count, const std::string& what);
+  void add_luts(unsigned count, const std::string& what);
+
+  const std::vector<MemoryReq>& memories() const { return memories_; }
+  unsigned dsp() const { return dsp_; }
+  unsigned flip_flops() const { return ff_; }
+  unsigned luts() const { return lut_; }
+
+  /// Total memory bits across all registered memories.
+  std::uint64_t memory_bits() const;
+
+  /// Itemized breakdown lines for reports ("4 x DSP (stage-3 multipliers)").
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  /// Merges another ledger (used when composing multi-pipeline designs).
+  void merge(const ResourceLedger& other);
+
+ private:
+  std::vector<MemoryReq> memories_;
+  unsigned dsp_ = 0;
+  unsigned ff_ = 0;
+  unsigned lut_ = 0;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace qta::hw

@@ -1,0 +1,21 @@
+#include "hw/sim_kernel.h"
+
+#include "common/check.h"
+
+namespace qta::hw {
+
+void SimKernel::attach(Clocked* component) {
+  QTA_CHECK(component != nullptr);
+  components_.push_back(component);
+}
+
+void SimKernel::begin_cycle() {
+  for (Clocked* c : components_) c->begin_cycle();
+}
+
+void SimKernel::clock_edge() {
+  for (Clocked* c : components_) c->clock_edge();
+  ++now_;
+}
+
+}  // namespace qta::hw

@@ -1,0 +1,79 @@
+// Two-phase clocked simulation kernel.
+//
+// Every cycle has an evaluation phase (combinational logic runs, memories
+// are issued reads/writes, registers compute their next values) followed by
+// a clock edge (registered state commits atomically). Components implement
+// the Clocked interface and attach to a SimKernel; the pipeline model in
+// qtaccel/pipeline.cpp drives evaluation explicitly and lets the kernel
+// commit state and advance time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qta::hw {
+
+/// Anything with per-cycle committed state.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+
+  /// Called at the start of each cycle, before combinational evaluation.
+  /// Typical use: clear per-cycle port-usage bookkeeping.
+  virtual void begin_cycle() {}
+
+  /// Called at the clock edge: commit all state computed this cycle.
+  virtual void clock_edge() = 0;
+};
+
+/// Owns the cycle counter and the set of clocked components.
+class SimKernel {
+ public:
+  /// Attaches a component; the kernel does not take ownership. Components
+  /// must outlive the kernel's last tick.
+  void attach(Clocked* component);
+
+  /// Starts a new cycle: begin_cycle() on every component.
+  void begin_cycle();
+
+  /// Ends the current cycle: clock_edge() on every component, advances time.
+  void clock_edge();
+
+  Cycle now() const { return now_; }
+
+  /// Resets time to zero (components are responsible for their own state).
+  void reset_time() { now_ = 0; }
+
+ private:
+  std::vector<Clocked*> components_;
+  Cycle now_ = 0;
+};
+
+/// A register holding a value of type T with two-phase update semantics:
+/// reads during evaluation see the committed value; set_next() stages the
+/// value that becomes visible after the clock edge.
+template <typename T>
+class Reg : public Clocked {
+ public:
+  explicit Reg(T initial = T{}) : value_(initial), next_(initial) {}
+
+  const T& get() const { return value_; }
+  void set_next(const T& v) { next_ = v; }
+
+  /// Immediate overwrite of both current and next (reset use only).
+  void force(const T& v) {
+    value_ = v;
+    next_ = v;
+  }
+
+  void clock_edge() override { value_ = next_; }
+
+ private:
+  T value_;
+  T next_;
+};
+
+}  // namespace qta::hw

@@ -1,0 +1,61 @@
+#include "policy/exp3.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::policy {
+
+Exp3::Exp3(unsigned num_arms, double gamma, const fixed::ExpLut* lut)
+    : w_(num_arms, 1.0), gamma_(gamma), lut_(lut) {
+  QTA_CHECK(num_arms >= 2);
+  QTA_CHECK(gamma >= 0.0 && gamma <= 1.0);
+}
+
+double Exp3::probability(unsigned m) const {
+  QTA_CHECK(m < w_.size());
+  double sum = 0.0;
+  for (double w : w_) sum += w;
+  const auto arms = static_cast<double>(w_.size());
+  return (1.0 - gamma_) * w_[m] / sum + gamma_ / arms;
+}
+
+unsigned Exp3::select(RandomSource& rng) const {
+  double sum = 0.0;
+  for (double w : w_) sum += w;
+  const double u = static_cast<double>(rng.draw_bits(32)) /
+                   static_cast<double>(std::uint64_t{1} << 32);
+  // Sample from the mixture: with prob gamma uniform, else weights.
+  const auto arms = static_cast<double>(w_.size());
+  double acc = 0.0;
+  for (unsigned m = 0; m < w_.size(); ++m) {
+    acc += (1.0 - gamma_) * w_[m] / sum + gamma_ / arms;
+    if (u < acc) return m;
+  }
+  return static_cast<unsigned>(w_.size() - 1);
+}
+
+void Exp3::update(unsigned m, double reward) {
+  QTA_CHECK(m < w_.size());
+  QTA_CHECK_MSG(reward >= 0.0 && reward <= 1.0,
+                "EXP3 rewards must be scaled into [0, 1]");
+  const double p = probability(m);
+  const double rhat = reward / p;
+  const double x = gamma_ * rhat / static_cast<double>(w_.size());
+  w_[m] *= lut_ ? lut_->eval_double(x) : std::exp(x);
+  renormalize_if_needed();
+}
+
+void Exp3::renormalize_if_needed() {
+  // Keep weights in a numerically healthy range (the hardware keeps them
+  // in fixed point and renormalizes by shifting; dividing by the max is
+  // the float equivalent).
+  double wmax = 0.0;
+  for (double w : w_) wmax = std::max(wmax, w);
+  if (wmax > 1e12) {
+    for (double& w : w_) w /= wmax;
+  }
+}
+
+}  // namespace qta::policy

@@ -1,0 +1,48 @@
+// EXP3 (Exponential-weight algorithm for Exploration and Exploitation) —
+// the paper's worked example of a stateless bandit on QTAccel (Section
+// VII-B, equation 5):
+//     P(m) = (1 - gamma) * Q(m) / sum_m' Q(m') + gamma / M
+// where Q(m) is an exponential function of the rewards received for arm m.
+//
+// Weight update after receiving reward r for the chosen arm m:
+//     rhat = r / P(m)                (importance-weighted reward)
+//     Q(m) *= exp(gamma * rhat / M)
+// Exponentials optionally go through the quantized hardware LUT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/exp_lut.h"
+#include "policy/policies.h"
+
+namespace qta::policy {
+
+class Exp3 {
+ public:
+  /// `gamma` in [0, 1] is the exploration constant; rewards must be scaled
+  /// into [0, 1] by the caller (standard EXP3 requirement).
+  Exp3(unsigned num_arms, double gamma, const fixed::ExpLut* lut = nullptr);
+
+  /// Current mixed distribution P(m).
+  double probability(unsigned m) const;
+
+  /// Samples an arm from P.
+  unsigned select(RandomSource& rng) const;
+
+  /// Updates the chosen arm's weight with its reward in [0, 1].
+  void update(unsigned m, double reward);
+
+  unsigned num_arms() const { return static_cast<unsigned>(w_.size()); }
+  double weight(unsigned m) const { return w_[m]; }
+  double gamma() const { return gamma_; }
+
+ private:
+  void renormalize_if_needed();
+
+  std::vector<double> w_;
+  double gamma_;
+  const fixed::ExpLut* lut_;
+};
+
+}  // namespace qta::policy

@@ -1,0 +1,107 @@
+#include "policy/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qta::policy {
+
+std::uint64_t RandomSource::below(std::uint64_t bound) {
+  QTA_CHECK(bound >= 1);
+  if (bound == 1) return 0;
+  __extension__ typedef unsigned __int128 u128;
+  const std::uint64_t draw = draw_bits(32);
+  return static_cast<std::uint64_t>((static_cast<u128>(draw) * bound) >> 32);
+}
+
+std::uint64_t XoshiroSource::draw_bits(unsigned n) {
+  QTA_CHECK(n >= 1 && n <= 64);
+  return n == 64 ? rng_.next() : (rng_.next() >> (64 - n));
+}
+
+ActionId greedy_action(std::span<const double> q_row) {
+  QTA_CHECK(!q_row.empty());
+  ActionId best = 0;
+  for (ActionId a = 1; a < q_row.size(); ++a) {
+    if (q_row[a] > q_row[best]) best = a;
+  }
+  return best;
+}
+
+ActionId random_action(std::span<const double> q_row, RandomSource& rng) {
+  QTA_CHECK(!q_row.empty());
+  return static_cast<ActionId>(rng.below(q_row.size()));
+}
+
+ActionId epsilon_greedy_action(std::span<const double> q_row, double epsilon,
+                               RandomSource& rng, unsigned bits) {
+  QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  QTA_CHECK(bits >= 2 && bits <= 32);
+  const std::uint64_t draw = rng.draw_bits(bits);
+  const auto threshold = static_cast<std::uint64_t>(
+      (1.0 - epsilon) * static_cast<double>(std::uint64_t{1} << bits));
+  if (draw < threshold) return greedy_action(q_row);
+  // Explore: index any action directly from the low random bits.
+  return static_cast<ActionId>(draw % q_row.size());
+}
+
+ActionId boltzmann_action(std::span<const double> q_row, double temperature,
+                          RandomSource& rng, const fixed::ExpLut* lut) {
+  QTA_CHECK(temperature > 0.0);
+  QTA_CHECK(!q_row.empty());
+  // Stabilize by subtracting the max before exponentiation (the hardware
+  // LUT domain is clamped the same way).
+  double qmax = q_row[0];
+  for (double q : q_row) qmax = std::max(qmax, q);
+  double total = 0.0;
+  std::vector<double> weights(q_row.size());
+  for (std::size_t a = 0; a < q_row.size(); ++a) {
+    const double x = (q_row[a] - qmax) / temperature;
+    weights[a] = lut ? lut->eval_double(x) : std::exp(x);
+    total += weights[a];
+  }
+  // 32-bit draw mapped into [0, total).
+  const double u = static_cast<double>(rng.draw_bits(32)) /
+                   static_cast<double>(std::uint64_t{1} << 32) * total;
+  double acc = 0.0;
+  for (std::size_t a = 0; a < weights.size(); ++a) {
+    acc += weights[a];
+    if (u < acc) return static_cast<ActionId>(a);
+  }
+  return static_cast<ActionId>(weights.size() - 1);
+}
+
+ActionId RandomPolicy::select(std::span<const double> q_row,
+                              RandomSource& rng) const {
+  return random_action(q_row, rng);
+}
+
+ActionId GreedyPolicy::select(std::span<const double> q_row,
+                              RandomSource& rng) const {
+  (void)rng;
+  return greedy_action(q_row);
+}
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(double epsilon, unsigned bits)
+    : epsilon_(epsilon), bits_(bits) {
+  QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+}
+
+ActionId EpsilonGreedyPolicy::select(std::span<const double> q_row,
+                                     RandomSource& rng) const {
+  return epsilon_greedy_action(q_row, epsilon_, rng, bits_);
+}
+
+BoltzmannPolicy::BoltzmannPolicy(double temperature, const fixed::ExpLut* lut)
+    : temperature_(temperature), lut_(lut) {
+  QTA_CHECK(temperature > 0.0);
+}
+
+ActionId BoltzmannPolicy::select(std::span<const double> q_row,
+                                 RandomSource& rng) const {
+  return boltzmann_action(q_row, temperature_, rng, lut_);
+}
+
+}  // namespace qta::policy

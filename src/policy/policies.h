@@ -1,0 +1,118 @@
+// Action-selection policies (Section III-B / V of the paper).
+//
+// Policies are defined against a row of action values and a bit source, so
+// the same definitions serve the software reference algorithms (with a
+// host RNG) and tests of the hardware action units (with an LFSR). The
+// epsilon-greedy implementation follows the paper's *hardware* semantics:
+// draw an N-bit random number r; if r < (1 - eps) * 2^N pick the greedy
+// action, otherwise use the low bits of r to index ANY action uniformly
+// (including, possibly, the greedy one) — "as we know the range beforehand,
+// we can use the random number to directly index one of the Q-values".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/types.h"
+#include "fixed/exp_lut.h"
+#include "rng/lfsr.h"
+#include "rng/xoshiro.h"
+
+namespace qta::policy {
+
+/// Uniform random-bit source abstraction so policies can run from either a
+/// hardware LFSR or a host RNG.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual std::uint64_t draw_bits(unsigned n) = 0;
+
+  /// Uniform in [0, bound) via the hardware multiply trick (slightly
+  /// biased, identical across sources for reproducibility).
+  std::uint64_t below(std::uint64_t bound);
+};
+
+class LfsrSource final : public RandomSource {
+ public:
+  explicit LfsrSource(rng::Lfsr lfsr) : lfsr_(lfsr) {}
+  std::uint64_t draw_bits(unsigned n) override { return lfsr_.draw_bits(n); }
+  rng::Lfsr& lfsr() { return lfsr_; }
+
+ private:
+  rng::Lfsr lfsr_;
+};
+
+class XoshiroSource final : public RandomSource {
+ public:
+  explicit XoshiroSource(std::uint64_t seed) : rng_(seed) {}
+  std::uint64_t draw_bits(unsigned n) override;
+
+ private:
+  rng::Xoshiro256 rng_;
+};
+
+/// Greedy argmax with lowest-index tie-breaking (matches the hardware
+/// comparator chain, which keeps the earlier entry on ties).
+ActionId greedy_action(std::span<const double> q_row);
+
+/// Uniform random action.
+ActionId random_action(std::span<const double> q_row, RandomSource& rng);
+
+/// Hardware-style epsilon-greedy (see file comment). `bits` is the width
+/// of the hardware comparison (paper: an N-bit LFSR draw).
+ActionId epsilon_greedy_action(std::span<const double> q_row, double epsilon,
+                               RandomSource& rng, unsigned bits = 16);
+
+/// Boltzmann (softmax) selection with temperature T: P(a) proportional to
+/// exp(Q(a)/T). When `lut` is provided the exponentials go through the
+/// quantized hardware LUT.
+ActionId boltzmann_action(std::span<const double> q_row, double temperature,
+                          RandomSource& rng,
+                          const fixed::ExpLut* lut = nullptr);
+
+/// Abstract policy object used by the software reference algorithms.
+class ActionPolicy {
+ public:
+  virtual ~ActionPolicy() = default;
+  virtual ActionId select(std::span<const double> q_row,
+                          RandomSource& rng) const = 0;
+};
+
+class RandomPolicy final : public ActionPolicy {
+ public:
+  ActionId select(std::span<const double> q_row,
+                  RandomSource& rng) const override;
+};
+
+class GreedyPolicy final : public ActionPolicy {
+ public:
+  ActionId select(std::span<const double> q_row,
+                  RandomSource& rng) const override;
+};
+
+class EpsilonGreedyPolicy final : public ActionPolicy {
+ public:
+  explicit EpsilonGreedyPolicy(double epsilon, unsigned bits = 16);
+  ActionId select(std::span<const double> q_row,
+                  RandomSource& rng) const override;
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  unsigned bits_;
+};
+
+class BoltzmannPolicy final : public ActionPolicy {
+ public:
+  explicit BoltzmannPolicy(double temperature,
+                           const fixed::ExpLut* lut = nullptr);
+  ActionId select(std::span<const double> q_row,
+                  RandomSource& rng) const override;
+
+ private:
+  double temperature_;
+  const fixed::ExpLut* lut_;
+};
+
+}  // namespace qta::policy

@@ -1,0 +1,76 @@
+#include "policy/probability_table.h"
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::policy {
+
+ProbabilityTable::ProbabilityTable(StateId num_states, ActionId num_actions)
+    : num_states_(num_states),
+      num_actions_(num_actions),
+      weights_(static_cast<std::size_t>(num_states) * num_actions, 1.0) {
+  QTA_CHECK(num_states >= 1 && num_actions >= 1);
+}
+
+std::size_t ProbabilityTable::index(StateId s, ActionId a) const {
+  QTA_DCHECK(s < num_states_ && a < num_actions_);
+  return static_cast<std::size_t>(s) * num_actions_ + a;
+}
+
+double ProbabilityTable::weight(StateId s, ActionId a) const {
+  return weights_[index(s, a)];
+}
+
+void ProbabilityTable::set_weight(StateId s, ActionId a, double w) {
+  QTA_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+  weights_[index(s, a)] = w;
+}
+
+void ProbabilityTable::scale_weight(StateId s, ActionId a, double factor) {
+  QTA_CHECK(factor >= 0.0);
+  weights_[index(s, a)] *= factor;
+}
+
+double ProbabilityTable::row_sum(StateId s) const {
+  double sum = 0.0;
+  for (ActionId a = 0; a < num_actions_; ++a) sum += weight(s, a);
+  return sum;
+}
+
+double ProbabilityTable::probability(StateId s, ActionId a) const {
+  const double sum = row_sum(s);
+  QTA_CHECK_MSG(sum > 0.0, "all weights in a row are zero");
+  return weight(s, a) / sum;
+}
+
+ProbabilityTable::Selection ProbabilityTable::select(
+    StateId s, RandomSource& rng) const {
+  const double sum = row_sum(s);
+  QTA_CHECK_MSG(sum > 0.0, "all weights in a row are zero");
+  const double u = static_cast<double>(rng.draw_bits(32)) /
+                   static_cast<double>(std::uint64_t{1} << 32) * sum;
+
+  // Binary search over prefix sums, counting comparator steps the way the
+  // hardware would pay them: one cycle to draw, ceil(log2 |A|) compares.
+  Selection sel;
+  ActionId lo = 0;
+  ActionId hi = num_actions_;  // exclusive
+  double lo_prefix = 0.0;      // sum of weights of actions < lo
+  while (hi - lo > 1) {
+    const ActionId mid = lo + (hi - lo) / 2;
+    double mid_prefix = lo_prefix;
+    for (ActionId a = lo; a < mid; ++a) mid_prefix += weight(s, a);
+    ++sel.comparisons;
+    if (u < mid_prefix) {
+      hi = mid;
+    } else {
+      lo = mid;
+      lo_prefix = mid_prefix;
+    }
+  }
+  sel.action = lo;
+  sel.cycles = 1 + log2_ceil(num_actions_);
+  return sel;
+}
+
+}  // namespace qta::policy

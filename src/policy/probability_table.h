@@ -1,0 +1,63 @@
+// Probability-distribution-based action selection (Section VII-B):
+// "a policy in a RL algorithm is a probability distribution on the actions
+// conditional on the current state ... we use a table P which stores the
+// probability value for each state-action pair. Based on a random number
+// generated in [0, sum f(S_j, a_i)], a binary search can provide the
+// selected action in log n_i cycles."
+//
+// The table stores per-state UNNORMALIZED weights f(s, a); selection draws
+// u uniform in [0, row_sum) and binary-searches the prefix sums. The cycle
+// cost (1 + ceil(log2 |A|)) is reported so the pipeline model can account
+// for the stall the paper's "limited stalls" remark refers to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "policy/policies.h"
+
+namespace qta::policy {
+
+class ProbabilityTable {
+ public:
+  /// All weights start uniform (1.0).
+  ProbabilityTable(StateId num_states, ActionId num_actions);
+
+  double weight(StateId s, ActionId a) const;
+  void set_weight(StateId s, ActionId a, double w);
+
+  /// Multiplicative update (the EXP3-style "final stage" update).
+  void scale_weight(StateId s, ActionId a, double factor);
+
+  double row_sum(StateId s) const;
+
+  /// Normalized probability P(a | s).
+  double probability(StateId s, ActionId a) const;
+
+  /// Selection result including the simulated cycle cost of the
+  /// binary search over prefix sums.
+  struct Selection {
+    ActionId action = 0;
+    unsigned cycles = 1;
+    unsigned comparisons = 0;
+  };
+  Selection select(StateId s, RandomSource& rng) const;
+
+  StateId num_states() const { return num_states_; }
+  ActionId num_actions() const { return num_actions_; }
+
+  /// BRAM bits required to hold the table (18-bit lanes, like Q/R).
+  std::uint64_t storage_bits(unsigned width = 18) const {
+    return static_cast<std::uint64_t>(num_states_) * num_actions_ * width;
+  }
+
+ private:
+  std::size_t index(StateId s, ActionId a) const;
+
+  StateId num_states_;
+  ActionId num_actions_;
+  std::vector<double> weights_;
+};
+
+}  // namespace qta::policy

@@ -1,0 +1,62 @@
+// The random-number consumers of the pipeline, bundled so the pipeline and
+// the sequential golden model consume bit-identical streams.
+//
+// Each purpose owns its own LFSR (paper Section IV-A: LFSR-based action
+// selector). Separate per-purpose generators are also what makes pipelined
+// execution deterministic: interleaving of stages never changes which
+// stream a draw comes from, so per-iteration draw sequences are identical
+// in the pipeline and in the golden model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "qtaccel/config.h"
+#include "rng/lfsr.h"
+
+namespace qta::qtaccel {
+
+class RngBank {
+ public:
+  /// Expands the master seed into three independent LFSR streams.
+  RngBank(std::uint64_t master_seed, const AddressMap& map);
+
+  /// Episode-start state: uniform over [0, |S|) via the multiply trick
+  /// (the draw may land on a terminal state — the caller then treats the
+  /// iteration as a zero-length episode and redraws next iteration).
+  StateId draw_start_state(StateId num_states);
+
+  /// Behavior action, uniform over the 2^action_bits encodings.
+  ActionId draw_random_action();
+
+  /// One epsilon-greedy draw (SARSA stage 2): an N-bit word compared with
+  /// the threshold; the low action bits double as the exploration index.
+  struct EpsilonDraw {
+    bool greedy = false;
+    ActionId explore_action = 0;
+  };
+  EpsilonDraw draw_epsilon(std::uint64_t threshold, unsigned bits);
+
+  /// Noise input for stochastic transition functions (its own LFSR, so
+  /// deterministic environments consume an identical stream to before).
+  std::uint64_t draw_transition_noise(unsigned bits);
+
+  /// Double Q-Learning's per-sample coin flip (which table learns);
+  /// drawn from the update-policy LFSR, which kDoubleQ uses for nothing
+  /// else.
+  unsigned draw_table_select();
+
+  /// Total flip-flops across the bank for the resource model (the update
+  /// LFSR only exists for SARSA; pass the algorithm to count it).
+  static unsigned flip_flops(Algorithm algorithm);
+
+ private:
+  AddressMap map_;
+  rng::Lfsr start_;
+  rng::Lfsr behavior_;
+  rng::Lfsr update_;
+  rng::Lfsr noise_;
+};
+
+}  // namespace qta::qtaccel

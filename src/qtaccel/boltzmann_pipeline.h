@@ -1,0 +1,123 @@
+// The "generic table-based" QRL variant of Section VII-B: action
+// selection from a probability-distribution table.
+//
+// A third |S|*|A| BRAM table P holds unnormalized weights f(s, a); stage 2
+// draws a random number in [0, sum_a f(s', a)) and binary-searches the
+// prefix sums — ceil(log2 |A|) sequential BRAM reads, which stall the
+// pipeline by that many cycles per sample ("limited stalls due to
+// dependencies", the paper's future-work phrasing). Stage 4 refreshes the
+// entry alongside the Q write-back.
+//
+// The weight rule implemented here realizes the Boltzmann policy the
+// paper cites (P(a|s) proportional to exp(Q(s,a)/T)): after computing the
+// new Q value, the hardware looks up exp(new_q / T) in the quantized exp
+// LUT and writes it into P. Behavior is on-policy (the sampled update
+// action is forwarded as the next behavior action, like SARSA).
+//
+// This is a functional model with cycle accounting (selection stalls,
+// one otherwise-pipelined sample per issue), not a stage-register
+// replica like qtaccel/pipeline.h — the paper defers the pipelined
+// realization of this variant to future work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "fixed/exp_lut.h"
+#include "hw/bram.h"
+#include "hw/resource_ledger.h"
+#include "qtaccel/config.h"
+#include "rng/lfsr.h"
+
+namespace qta::qtaccel {
+
+struct BoltzmannConfig {
+  double alpha = 0.1;
+  double gamma = 0.9;
+  /// Boltzmann temperature T in P(a|s) ~ exp(Q(s,a) / T). Higher T =
+  /// flatter (more exploratory) distributions.
+  double temperature = 32.0;
+
+  fixed::Format q_fmt = fixed::kQFormat;
+  fixed::Format coeff_fmt = fixed::kCoeffFormat;
+  /// Storage format of the P-table weights: same 18-bit BRAM lane as Q,
+  /// but low-fraction (s13.4) so exp() outputs up to ~8191 fit without
+  /// flattening the distribution through saturation.
+  fixed::Format weight_fmt = fixed::Format{18, 4};
+
+  /// exp LUT geometry. The domain is chosen so exp(lut_hi) is
+  /// representable in weight_fmt: exponents above it would saturate and
+  /// erase the relative preferences the policy depends on. Q/T values
+  /// outside the domain clamp at the LUT edges.
+  unsigned exp_lut_log2_entries = 10;
+  double lut_lo = -8.0;
+  double lut_hi = 8.0;
+
+  std::uint64_t seed = 1;
+  std::uint64_t max_episode_length = 1u << 20;
+};
+
+class BoltzmannPipeline {
+ public:
+  BoltzmannPipeline(const env::Environment& env,
+                    const BoltzmannConfig& config);
+
+  void run_samples(std::uint64_t samples);
+
+  struct Stats {
+    std::uint64_t samples = 0;
+    std::uint64_t episodes = 0;
+    std::uint64_t bubbles = 0;
+    Cycle cycles = 0;
+    std::uint64_t selection_stall_cycles = 0;
+    double samples_per_cycle() const {
+      return cycles == 0 ? 0.0
+                         : static_cast<double>(samples) /
+                               static_cast<double>(cycles);
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  double q_value(StateId s, ActionId a) const;
+  /// Raw stored weight f(s, a) as a double.
+  double weight(StateId s, ActionId a) const;
+  /// Normalized P(a | s) from the stored weights.
+  double action_probability(StateId s, ActionId a) const;
+
+  /// Samples an action for `s` from the stored weights (the stage-2
+  /// selection path, exposed for tests); does not advance time.
+  ActionId sample_action_for_test(StateId s);
+
+  hw::ResourceLedger resources() const;
+  const BoltzmannConfig& config() const { return config_; }
+
+ private:
+  ActionId sample_action(StateId s);
+  fixed::raw_t refreshed_weight(fixed::raw_t q) const;
+  std::uint64_t row_sum(StateId s) const;
+
+  const env::Environment& env_;
+  BoltzmannConfig config_;
+  AddressMap map_;
+  Coefficients coeff_;
+  fixed::ExpLut exp_lut_;
+
+  hw::Bram q_table_;
+  hw::Bram r_table_;
+  hw::Bram p_table_;
+  rng::Lfsr start_lfsr_;
+  rng::Lfsr select_lfsr_;
+
+  // Walk state.
+  bool episode_start_ = true;
+  StateId state_ = 0;
+  ActionId pending_action_ = kInvalidAction;
+  std::uint64_t episode_steps_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,75 @@
+#include "qtaccel/config.h"
+
+#include <cmath>
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::qtaccel {
+
+AddressMap make_address_map(const env::Environment& env) {
+  QTA_CHECK_MSG(is_pow2(env.num_actions()),
+                "the accelerator bit-concatenates {state, action}; the "
+                "action count must be a power of two");
+  AddressMap map;
+  map.state_bits = log2_ceil(env.num_states());
+  map.action_bits = log2_ceil(env.num_actions());
+  return map;
+}
+
+void validate_config(const PipelineConfig& config,
+                     const env::Environment& env) {
+  QTA_CHECK(env.num_states() >= 2);
+  QTA_CHECK(env.num_actions() >= 2);
+  QTA_CHECK_MSG(is_pow2(env.num_actions()),
+                "action count must be a power of two");
+  QTA_CHECK(config.alpha > 0.0 && config.alpha <= 1.0);
+  QTA_CHECK(config.gamma >= 0.0 && config.gamma < 1.0);
+  QTA_CHECK(config.epsilon >= 0.0 && config.epsilon <= 1.0);
+  QTA_CHECK(config.epsilon_bits >= 4 && config.epsilon_bits <= 32);
+  QTA_CHECK(config.max_episode_length >= 1);
+  fixed::validate(config.q_fmt);
+  fixed::validate(config.coeff_fmt);
+  QTA_CHECK_MSG(config.coeff_fmt.max_value() >= 1.0,
+                "coefficient format must represent 1.0 (for 1 - alpha)");
+}
+
+std::uint64_t epsilon_threshold(double epsilon, unsigned bits) {
+  QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
+  QTA_CHECK(bits >= 1 && bits <= 32);
+  const double span = static_cast<double>(std::uint64_t{1} << bits);
+  return static_cast<std::uint64_t>(std::llround((1.0 - epsilon) * span));
+}
+
+Coefficients make_coefficients(const PipelineConfig& config) {
+  Coefficients c;
+  c.alpha = fixed::from_double(config.alpha, config.coeff_fmt);
+  // 1 - alpha via the stage-1 saturating subtractor, from the quantized
+  // alpha (so alpha + (1-alpha) == 1 exactly in fixed point).
+  const fixed::raw_t one = fixed::from_double(1.0, config.coeff_fmt);
+  c.one_minus_alpha = fixed::sat_sub(one, c.alpha, config.coeff_fmt);
+  // alpha * gamma through DSP #1's rounding.
+  const fixed::raw_t gamma = fixed::from_double(config.gamma,
+                                                config.coeff_fmt);
+  c.alpha_gamma = fixed::mul(c.alpha, config.coeff_fmt, gamma,
+                             config.coeff_fmt, config.coeff_fmt);
+  c.epsilon = fixed::from_double(config.epsilon, config.coeff_fmt);
+  c.one_minus_epsilon = fixed::sat_sub(one, c.epsilon, config.coeff_fmt);
+  return c;
+}
+
+fixed::raw_t expected_sarsa_target(fixed::raw_t row_max,
+                                   fixed::raw_t row_sum,
+                                   unsigned action_bits,
+                                   const Coefficients& coeff,
+                                   fixed::Format q_fmt,
+                                   fixed::Format coeff_fmt) {
+  const fixed::raw_t mean = fixed::rshift_round(row_sum, action_bits);
+  const fixed::raw_t term_max =
+      fixed::mul(row_max, q_fmt, coeff.one_minus_epsilon, coeff_fmt, q_fmt);
+  const fixed::raw_t term_mean =
+      fixed::mul(mean, q_fmt, coeff.epsilon, coeff_fmt, q_fmt);
+  return fixed::sat_add(term_max, term_mean, q_fmt);
+}
+
+}  // namespace qta::qtaccel

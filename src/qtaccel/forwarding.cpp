@@ -1,0 +1,49 @@
+#include "qtaccel/forwarding.h"
+
+#include "common/check.h"
+
+namespace qta::qtaccel {
+
+void WritebackQueue::push(const Writeback& wb) {
+  for (unsigned i = kDepth - 1; i > 0; --i) entries_[i] = entries_[i - 1];
+  entries_[0] = wb;
+}
+
+std::optional<fixed::raw_t> WritebackQueue::match_q(
+    std::uint64_t q_addr) const {
+  return match_q(q_addr, kDepth);
+}
+
+std::optional<fixed::raw_t> WritebackQueue::match_q(std::uint64_t q_addr,
+                                                    unsigned window) const {
+  QTA_CHECK(window <= kDepth);
+  for (unsigned i = 0; i < window; ++i) {
+    if (entries_[i].valid && entries_[i].q_addr == q_addr) {
+      return entries_[i].new_q;
+    }
+  }
+  return std::nullopt;
+}
+
+void WritebackQueue::combine_qmax(StateId state, fixed::raw_t& value,
+                                  ActionId& action) const {
+  // Oldest-first so the chain of strict-greater compares matches the
+  // order the sequential machine would have applied them in.
+  for (unsigned i = kDepth; i-- > 0;) {
+    const Writeback& wb = entries_[i];
+    if (wb.valid && wb.state == state && wb.new_q > value) {
+      value = wb.new_q;
+      action = wb.action;
+    }
+  }
+}
+
+unsigned WritebackQueue::occupancy() const {
+  unsigned n = 0;
+  for (const auto& e : entries_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+void WritebackQueue::clear() { entries_ = {}; }
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,70 @@
+// The forwarding network: a 3-deep queue of in-flight write-backs.
+//
+// With a 4-stage pipeline, a read issued by iteration i can miss the
+// writes of iterations i-1, i-2 and i-3 (they commit at the ends of cycles
+// i+2, i+1 and i). Keeping the last three computed Q values in forwarding
+// registers and matching newest-first makes every consumer see exactly the
+// sequential-execution state — the property the equivalence tests assert.
+//
+// Qmax forwarding is a max-combine instead of a newest-first match: the
+// Qmax table is only ever raised, so the effective entry is the maximum of
+// the stored entry and any in-flight write-backs to the same state (ties
+// keep the older holder, matching the strict-greater hardware compare).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "fixed/fixed_point.h"
+
+namespace qta::qtaccel {
+
+struct Writeback {
+  bool valid = false;
+  std::uint64_t q_addr = 0;
+  StateId state = kInvalidState;
+  ActionId action = kInvalidAction;
+  fixed::raw_t new_q = 0;
+};
+
+class WritebackQueue {
+ public:
+  static constexpr unsigned kDepth = 3;
+
+  /// Pushes the newest write-back; the oldest falls out.
+  void push(const Writeback& wb);
+
+  /// Newest-first match against the Q-table address; nullopt = no match
+  /// (use the physically read value).
+  std::optional<fixed::raw_t> match_q(std::uint64_t q_addr) const;
+
+  /// Same, restricted to the newest `window` entries (used by tests that
+  /// probe individual hazard distances).
+  std::optional<fixed::raw_t> match_q(std::uint64_t q_addr,
+                                      unsigned window) const;
+
+  /// Max-combines in-flight write-backs for `state` into (value, action).
+  /// Strictly-greater raises, oldest-first, mirroring the sequential chain
+  /// of conditional Qmax writes.
+  void combine_qmax(StateId state, fixed::raw_t& value,
+                    ActionId& action) const;
+
+  /// Number of valid entries (ramps 0..3 after reset).
+  unsigned occupancy() const;
+
+  void clear();
+
+  /// Flip-flop cost of the forwarding registers, for the resource model:
+  /// kDepth x (q value + address + valid).
+  static unsigned flip_flops(unsigned q_width, unsigned addr_bits) {
+    return kDepth * (q_width + addr_bits + 1);
+  }
+
+ private:
+  // entries_[0] is the newest.
+  std::array<Writeback, kDepth> entries_{};
+};
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,102 @@
+// Sequential golden model of QTAccel.
+//
+// Executes the accelerator's exact semantics — same LFSR streams, same
+// fixed-point DSP arithmetic (operation order included, since saturation
+// is order-sensitive), same monotone-Qmax approximation, same episode
+// control — but one update at a time with every write fully visible to
+// the next iteration. The pipelined model (qtaccel/pipeline.h) must match
+// this trace bit-for-bit; that equivalence is the test of the paper's
+// claim that the pipeline "fully handles the dependencies between
+// consecutive updates".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "qtaccel/action_units.h"
+#include "qtaccel/config.h"
+
+namespace qta::qtaccel {
+
+/// One retired iteration, for trace comparison. A "bubble" is an
+/// episode-start draw that landed on a terminal state (zero-length
+/// episode, no update).
+struct SampleTrace {
+  bool bubble = false;
+  StateId state = 0;
+  ActionId action = 0;
+  fixed::raw_t reward = 0;
+  fixed::raw_t new_q = 0;
+  StateId next_state = 0;
+  bool end_episode = false;
+  unsigned table = 0;  // Double Q-Learning: which table learned
+
+  friend bool operator==(const SampleTrace&, const SampleTrace&) = default;
+};
+
+struct RunCounters {
+  std::uint64_t iterations = 0;
+  std::uint64_t samples = 0;   // committed updates (non-bubble)
+  std::uint64_t episodes = 0;  // completed (terminal or watchdog)
+  std::uint64_t bubbles = 0;
+};
+
+class GoldenModel {
+ public:
+  GoldenModel(const env::Environment& env, const PipelineConfig& config);
+
+  /// Runs `iterations` iterations (bubbles included).
+  void run(std::uint64_t iterations);
+
+  /// When set, every retired iteration is appended here.
+  void set_trace(std::vector<SampleTrace>* trace) { trace_ = trace; }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const;
+  double q_value(StateId s, ActionId a) const;
+  /// Double Q-Learning's second table (aborts for other algorithms).
+  fixed::raw_t q2_raw(StateId s, ActionId a) const;
+  /// Full table as doubles (row-major by state), for convergence checks.
+  /// For kDoubleQ this is the acting estimate (A + B) / 2.
+  std::vector<double> q_as_double() const;
+
+  /// Monotone Qmax entry (value, action); only tracked in kMonotoneTable
+  /// mode.
+  fixed::raw_t qmax_value(StateId s) const;
+  ActionId qmax_action(StateId s) const;
+
+  const RunCounters& counters() const { return counters_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  void run_one();
+  /// Exact row maximum (tie -> lowest action) over `table`, for
+  /// kExactScan mode and the Double-Q argmax.
+  void exact_row_max(const std::vector<fixed::raw_t>& table, StateId s,
+                     fixed::raw_t& value, ActionId& action) const;
+
+  const env::Environment& env_;
+  PipelineConfig config_;
+  AddressMap map_;
+  Coefficients coeff_;
+  std::uint64_t eps_threshold_;
+  RngBank rng_;
+
+  std::vector<fixed::raw_t> q_;       // indexed by q_addr
+  std::vector<fixed::raw_t> q2_;      // Double Q-Learning's table B
+  std::vector<fixed::raw_t> reward_;  // quantized R(s, a)
+  std::vector<fixed::raw_t> qmax_value_;
+  std::vector<ActionId> qmax_action_;
+
+  // Walk state.
+  bool episode_start_ = true;
+  StateId state_ = 0;
+  ActionId pending_action_ = kInvalidAction;  // SARSA on-policy carry
+  std::uint64_t episode_steps_ = 0;
+
+  RunCounters counters_;
+  std::vector<SampleTrace>* trace_ = nullptr;
+};
+
+}  // namespace qta::qtaccel

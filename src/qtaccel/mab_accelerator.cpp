@@ -1,0 +1,227 @@
+#include "qtaccel/mab_accelerator.h"
+
+#include <algorithm>
+
+#include "common/bit_math.h"
+#include "common/check.h"
+#include "fixed/math_lut.h"
+#include "qtaccel/config.h"
+#include "rng/xoshiro.h"
+
+namespace qta::qtaccel {
+
+namespace {
+/// RandomSource view over a member LFSR (policy::LfsrSource owns a copy;
+/// here the generator state must persist in the accelerator).
+class LfsrRefSource final : public policy::RandomSource {
+ public:
+  explicit LfsrRefSource(rng::Lfsr& lfsr) : lfsr_(lfsr) {}
+  std::uint64_t draw_bits(unsigned n) override { return lfsr_.draw_bits(n); }
+
+ private:
+  rng::Lfsr& lfsr_;
+};
+}  // namespace
+
+MabAccelerator::MabAccelerator(env::MultiArmedBandit& bandit,
+                               const MabConfig& config)
+    : bandit_(bandit),
+      config_(config),
+      arms_(bandit.num_arms()),
+      eps_threshold_(
+          epsilon_threshold(config.epsilon, config.epsilon_bits)),
+      q_("mab_q_table", arms_, config.q_fmt.width, 2),
+      select_lfsr_(32, rng::SplitMix64(config.seed).next()),
+      pulls_(arms_, 0) {
+  QTA_CHECK(arms_ >= 2);
+  QTA_CHECK(config.reward_hi > config.reward_lo);
+  fixed::validate(config.q_fmt);
+  if (config.policy == MabConfig::Policy::kExp3) {
+    if (config.use_exp_lut) {
+      // EXP3 exponents are gamma * rhat / M with rhat <= M / gamma, so the
+      // argument stays within [0, ~8] in practice; clamp the LUT there.
+      exp_lut_ = std::make_unique<fixed::ExpLut>(
+          0.0, 8.0, config.exp_lut_log2_entries, fixed::Format{32, 16});
+    }
+    exp3_ = std::make_unique<policy::Exp3>(arms_, config.exp3_gamma,
+                                           exp_lut_.get());
+  }
+}
+
+double MabAccelerator::q_value(unsigned m) const {
+  QTA_CHECK(m < arms_);
+  return fixed::to_double(q_.peek(m), config_.q_fmt);
+}
+
+unsigned MabAccelerator::select_epsilon_greedy() {
+  const std::uint64_t draw = select_lfsr_.draw_bits(config_.epsilon_bits);
+  if (draw >= eps_threshold_) {
+    // Explore: index an arm from the LOW bits of the same draw. (The
+    // epsilon comparison constrains only the top of the word's range, so
+    // the low byte stays uniform — scaling the full conditioned draw
+    // would always select the last arm.)
+    return static_cast<unsigned>(((draw & 0xFFu) * arms_) >> 8);
+  }
+  // Greedy: comparator chain over the M-entry row (ties keep the earlier
+  // arm, like the hardware compare).
+  unsigned best = 0;
+  fixed::raw_t best_v = q_.peek(0);
+  for (unsigned m = 1; m < arms_; ++m) {
+    const fixed::raw_t v = q_.peek(m);
+    if (v > best_v) {
+      best_v = v;
+      best = m;
+    }
+  }
+  return best;
+}
+
+unsigned MabAccelerator::select_exp3() {
+  LfsrRefSource src(select_lfsr_);
+  return exp3_->select(src);
+}
+
+unsigned MabAccelerator::select_ucb1() const {
+  // First sweep every arm once (pulls of 0 would divide by zero).
+  for (unsigned m = 0; m < arms_; ++m) {
+    if (pulls_[m] == 0) return m;
+  }
+  // score_m = Q(m) + sqrt(c * ln t / n_m), all in fixed point: ln via the
+  // log2 LUT, the quotient via the shift-subtract divider, the root via
+  // the non-restoring array. One score unit per arm; a comparator chain
+  // picks the max.
+  const fixed::Format wide{32, 16};
+  const fixed::raw_t t_raw =
+      static_cast<fixed::raw_t>(stats_.samples) << wide.frac;
+  const fixed::raw_t ln_t = fixed::ln_fixed(t_raw, wide, wide);
+  // The exploration constant rides a narrow port so the product fits the
+  // 64-bit accumulator (16 + 32 bits).
+  const fixed::Format cfmt{16, 8};
+  const fixed::raw_t c_raw = fixed::from_double(config_.ucb_c, cfmt);
+  const fixed::raw_t c_ln_t = fixed::mul(c_raw, cfmt, ln_t, wide, wide);
+
+  unsigned best = 0;
+  fixed::raw_t best_score = 0;
+  for (unsigned m = 0; m < arms_; ++m) {
+    const fixed::raw_t n_raw =
+        static_cast<fixed::raw_t>(pulls_[m]) << wide.frac;
+    const fixed::raw_t ratio = fixed::div_fixed(c_ln_t, wide, n_raw, wide,
+                                                wide);
+    const fixed::raw_t bonus = fixed::sqrt_fixed(ratio, wide, wide);
+    const fixed::raw_t q_wide =
+        fixed::convert(q_.peek(m), config_.q_fmt, wide);
+    const fixed::raw_t score = fixed::sat_add(q_wide, bonus, wide);
+    if (m == 0 || score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return best;
+}
+
+void MabAccelerator::update_sample_average(unsigned arm,
+                                           fixed::raw_t reward) {
+  // Q(m) <- Q(m) + (r - Q(m)) / n, with the divide on the fabric divider.
+  const fixed::Format qf = config_.q_fmt;
+  const fixed::raw_t delta = fixed::sat_sub(reward, q_.peek(arm),
+                                            fixed::Format{32, qf.frac});
+  const fixed::raw_t n_raw = static_cast<fixed::raw_t>(pulls_[arm]);
+  const fixed::raw_t step =
+      fixed::div_fixed(delta, {32, qf.frac}, n_raw, {32, 0}, qf);
+  q_.preset(arm, fixed::sat_add(q_.peek(arm), step, qf));
+}
+
+void MabAccelerator::update_epsilon_greedy(unsigned arm,
+                                           fixed::raw_t reward) {
+  // Q(m) <- (1 - alpha) Q(m) + alpha * r : the stage-3 datapath with
+  // gamma = 0 (no next state in a stateless bandit).
+  const fixed::Format qf = config_.q_fmt;
+  const fixed::Format cf = fixed::kCoeffFormat;
+  const fixed::raw_t a = fixed::from_double(config_.alpha, cf);
+  const fixed::raw_t one_minus_a =
+      fixed::sat_sub(fixed::from_double(1.0, cf), a, cf);
+  const fixed::raw_t term_r = fixed::mul(reward, qf, a, cf, qf);
+  const fixed::raw_t term_old = fixed::mul(q_.peek(arm), qf, one_minus_a,
+                                           cf, qf);
+  q_.preset(arm, fixed::sat_add(term_r, term_old, qf));
+}
+
+void MabAccelerator::run(std::uint64_t samples) {
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    unsigned arm;
+    switch (config_.policy) {
+      case MabConfig::Policy::kEpsilonGreedy:
+        arm = select_epsilon_greedy();
+        stats_.cycles += 1;  // fully pipelined, one sample per cycle
+        break;
+      case MabConfig::Policy::kUcb1:
+        // Score units run in parallel per arm; only the comparator chain
+        // adds latency, which pipelines away: one sample per cycle.
+        arm = select_ucb1();
+        stats_.cycles += 1;
+        break;
+      case MabConfig::Policy::kExp3:
+      default:
+        arm = select_exp3();
+        const unsigned search = log2_ceil(arms_);
+        stats_.cycles += 1 + search;  // binary-search selection stalls
+        stats_.selection_stall_cycles += search;
+        break;
+    }
+    const double raw_reward = bandit_.pull(arm);
+    ++pulls_[arm];
+    ++stats_.samples;
+
+    switch (config_.policy) {
+      case MabConfig::Policy::kEpsilonGreedy:
+        update_epsilon_greedy(
+            arm, fixed::from_double(raw_reward, config_.q_fmt));
+        break;
+      case MabConfig::Policy::kUcb1:
+        update_sample_average(
+            arm, fixed::from_double(raw_reward, config_.q_fmt));
+        break;
+      case MabConfig::Policy::kExp3:
+      default: {
+        const double scaled =
+            std::clamp((raw_reward - config_.reward_lo) /
+                           (config_.reward_hi - config_.reward_lo),
+                       0.0, 1.0);
+        exp3_->update(arm, scaled);
+        break;
+      }
+    }
+  }
+}
+
+hw::ResourceLedger MabAccelerator::resources() const {
+  hw::ResourceLedger ledger;
+  ledger.add_memory({"mab_q_table", arms_, config_.q_fmt.width, 2});
+  ledger.add_dsp(2, "value-update multipliers");
+  // Selection LFSR + the CLT reward sampler's LFSR.
+  ledger.add_flip_flops(32 + 32, "selection + CLT-reward LFSRs");
+  ledger.add_luts((arms_ - 1) * config_.q_fmt.width,
+                  "greedy comparator chain");
+  if (config_.policy == MabConfig::Policy::kExp3) {
+    ledger.add_memory({"probability_table", arms_, config_.q_fmt.width, 2});
+    if (exp_lut_) {
+      ledger.add_memory({"exp_lut", exp_lut_->entries(), 32, 1});
+    }
+    ledger.add_dsp(1, "importance-weight multiplier");
+    ledger.add_luts(log2_ceil(arms_) * config_.q_fmt.width,
+                    "binary-search comparators");
+  }
+  if (config_.policy == MabConfig::Policy::kUcb1) {
+    const fixed::Format wide{32, 16};
+    ledger.add_memory({"log2_lut", 1u << fixed::kLog2LutBits,
+                       26 /* 24-frac entries + guard */, 1});
+    ledger.add_dsp(1 + arms_, "c*ln(t) and per-arm q+bonus adders");
+    ledger.add_luts(arms_ * (fixed::sqrt_iteration_luts(wide) +
+                             fixed::divider_luts(wide)),
+                    "per-arm divider + sqrt arrays");
+    ledger.add_flip_flops(arms_ * 32, "per-arm pull counters");
+  }
+  return ledger;
+}
+
+}  // namespace qta::qtaccel

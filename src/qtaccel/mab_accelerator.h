@@ -1,0 +1,103 @@
+// QTAccel customized for Multi-Armed Bandits (Section VII-B).
+//
+// Stateless bandit: the Q table has a single state and M actions (one per
+// arm). The reward-table read of stage 1 is replaced by the CLT normal
+// sampler (sum of LFSR uniforms). Two policies:
+//   * epsilon-greedy — same structure as the SARSA selector; the pipeline
+//     keeps its one-sample-per-cycle rate;
+//   * EXP3 — probability-distribution selection via binary search over
+//     prefix sums, costing 1 + ceil(log2 M) cycles per sample (the
+//     "limited stalls" the paper's future-work section mentions), with the
+//     exponential weight update through the quantized hardware exp LUT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "env/bandit.h"
+#include "fixed/exp_lut.h"
+#include "hw/bram.h"
+#include "hw/resource_ledger.h"
+#include "policy/exp3.h"
+#include "rng/lfsr.h"
+#include "rng/normal_clt.h"
+
+namespace qta::qtaccel {
+
+struct MabConfig {
+  /// kUcb1 realizes the paper's future-work "more variants of MAB": the
+  /// UCB score Q(m) + sqrt(c * ln t / n_m) computed entirely in fixed
+  /// point (log2 LUT, shift-subtract divider, non-restoring sqrt — see
+  /// fixed/math_lut.h), one parallel score unit per arm.
+  enum class Policy { kEpsilonGreedy, kExp3, kUcb1 };
+  Policy policy = Policy::kEpsilonGreedy;
+
+  double alpha = 0.1;       // value-update step (epsilon-greedy)
+  double epsilon = 0.1;
+  unsigned epsilon_bits = 16;
+  double exp3_gamma = 0.1;  // EXP3 exploration constant
+  double ucb_c = 2.0;       // UCB exploration numerator
+  bool use_exp_lut = true;  // route exponentials through the hardware LUT
+  unsigned exp_lut_log2_entries = 10;
+
+  fixed::Format q_fmt = fixed::kQFormat;
+  std::uint64_t seed = 1;
+
+  /// Rewards are scaled into [0, 1] for EXP3 with these bounds.
+  double reward_lo = -1.0;
+  double reward_hi = 2.0;
+};
+
+class MabAccelerator {
+ public:
+  /// `bandit` supplies arm means/stddevs and tracks regret; it must
+  /// outlive the accelerator.
+  MabAccelerator(env::MultiArmedBandit& bandit, const MabConfig& config);
+
+  /// Processes `samples` pulls.
+  void run(std::uint64_t samples);
+
+  struct Stats {
+    std::uint64_t samples = 0;
+    Cycle cycles = 0;
+    std::uint64_t selection_stall_cycles = 0;
+    double samples_per_cycle() const {
+      return cycles == 0 ? 0.0
+                         : static_cast<double>(samples) /
+                               static_cast<double>(cycles);
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Estimated value of arm m (epsilon-greedy policy) as a double.
+  double q_value(unsigned m) const;
+  /// Pulls of each arm so far.
+  const std::vector<std::uint64_t>& pull_counts() const { return pulls_; }
+  double cumulative_regret() const { return bandit_.cumulative_regret(); }
+
+  hw::ResourceLedger resources() const;
+
+ private:
+  unsigned select_epsilon_greedy();
+  unsigned select_exp3();
+  unsigned select_ucb1() const;
+  void update_epsilon_greedy(unsigned arm, fixed::raw_t reward);
+  void update_sample_average(unsigned arm, fixed::raw_t reward);
+
+  env::MultiArmedBandit& bandit_;
+  MabConfig config_;
+  unsigned arms_;
+  std::uint64_t eps_threshold_;
+
+  hw::Bram q_;  // single-state Q table: one word per arm
+  rng::Lfsr select_lfsr_;
+  std::unique_ptr<fixed::ExpLut> exp_lut_;
+  std::unique_ptr<policy::Exp3> exp3_;
+
+  std::vector<std::uint64_t> pulls_;
+  Stats stats_;
+};
+
+}  // namespace qta::qtaccel

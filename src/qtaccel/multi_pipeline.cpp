@@ -1,0 +1,141 @@
+#include "qtaccel/multi_pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+#include "qtaccel/resources.h"
+
+namespace qta::qtaccel {
+
+SharedTablePipelines::SharedTablePipelines(const env::Environment& env,
+                                           const PipelineConfig& config,
+                                           unsigned num_pipelines)
+    : env_(env),
+      config_(config),
+      map_(make_address_map(env)),
+      q_("shared_q_table", map_.depth(), config.q_fmt.width,
+         2 * num_pipelines),
+      r_("shared_reward_table", map_.depth(), config.q_fmt.width,
+         std::max(2u, num_pipelines)),
+      qmax_(env.num_states(), config.q_fmt.width, map_.action_bits,
+            2 * num_pipelines) {
+  QTA_CHECK_MSG(num_pipelines >= 1 && num_pipelines <= 2,
+                "shared-table mode supports one or two pipelines");
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    for (ActionId a = 0; a < env.num_actions(); ++a) {
+      r_.preset(map_.q_addr(s, a),
+                fixed::from_double(env.reward(s, a), config.q_fmt));
+    }
+  }
+  for (unsigned p = 0; p < num_pipelines; ++p) {
+    PipelineConfig pc = config;
+    pc.seed = config.seed + p;
+    pipes_.push_back(
+        std::make_unique<Pipeline>(env, pc, &q_, &r_, &qmax_, 2 * p));
+  }
+}
+
+void SharedTablePipelines::tick_all() {
+  q_.begin_cycle();
+  r_.begin_cycle();
+  qmax_.bram().begin_cycle();
+  for (auto& p : pipes_) p->tick(true);
+  q_.clock_edge();
+  r_.clock_edge();
+  qmax_.bram().clock_edge();
+  ++cycles_;
+}
+
+void SharedTablePipelines::run_cycles(std::uint64_t cycles) {
+  for (std::uint64_t c = 0; c < cycles; ++c) tick_all();
+}
+
+void SharedTablePipelines::run_samples_total(std::uint64_t total) {
+  while (total_samples() < total) tick_all();
+}
+
+std::uint64_t SharedTablePipelines::total_samples() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : pipes_) sum += p->stats().samples;
+  return sum;
+}
+
+double SharedTablePipelines::samples_per_cycle() const {
+  return cycles_ == 0 ? 0.0
+                      : static_cast<double>(total_samples()) /
+                            static_cast<double>(cycles_);
+}
+
+double SharedTablePipelines::q_value(StateId s, ActionId a) const {
+  return fixed::to_double(q_.peek(map_.q_addr(s, a)), config_.q_fmt);
+}
+
+std::vector<double> SharedTablePipelines::q_as_double() const {
+  std::vector<double> out;
+  out.reserve(env_.table_size());
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    for (ActionId a = 0; a < env_.num_actions(); ++a) {
+      out.push_back(q_value(s, a));
+    }
+  }
+  return out;
+}
+
+IndependentPipelines::IndependentPipelines(
+    std::vector<std::unique_ptr<env::Environment>> environments,
+    const PipelineConfig& config)
+    : envs_(std::move(environments)), config_(config) {
+  QTA_CHECK(!envs_.empty());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    PipelineConfig pc = config;
+    pc.seed = config.seed * 1000003ULL + i;
+    pipes_.push_back(std::make_unique<Pipeline>(*envs_[i], pc));
+  }
+}
+
+void IndependentPipelines::run_samples_each(std::uint64_t samples,
+                                            unsigned max_threads) {
+  unsigned threads = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads,
+                             static_cast<unsigned>(pipes_.size())));
+  if (threads == 1) {
+    for (auto& p : pipes_) p->run_samples(samples);
+    return;
+  }
+  // Static round-robin partition: pipeline i runs on thread i % threads.
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([this, t, threads, samples] {
+      for (std::size_t i = t; i < pipes_.size(); i += threads) {
+        pipes_[i]->run_samples(samples);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+std::uint64_t IndependentPipelines::total_samples() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : pipes_) sum += p->stats().samples;
+  return sum;
+}
+
+double IndependentPipelines::samples_per_cycle() const {
+  Cycle slowest = 0;
+  for (const auto& p : pipes_) slowest = std::max(slowest, p->stats().cycles);
+  return slowest == 0 ? 0.0
+                      : static_cast<double>(total_samples()) /
+                            static_cast<double>(slowest);
+}
+
+hw::ResourceLedger IndependentPipelines::resources() const {
+  return build_resources(*envs_[0], config_,
+                         static_cast<unsigned>(pipes_.size()),
+                         /*share_tables=*/false);
+}
+
+}  // namespace qta::qtaccel

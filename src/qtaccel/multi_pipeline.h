@@ -1,0 +1,107 @@
+// Multi-agent extensions (Section VII-A, Figures 8 and 9).
+//
+// SharedTablePipelines — "State Sharing Learners": two pipelines train in
+// the SAME environment against ONE set of Q/R/Qmax tables. The tables are
+// modeled as double-pumped dual-port BRAM (4 logical ports); when both
+// pipelines write the same address in one cycle, one arbitrarily
+// overwrites the other (counted as a collision, exactly the behaviour the
+// paper describes). There is no cross-pipeline forwarding: each agent's
+// hazard network only covers its own in-flight updates.
+//
+// IndependentPipelines — "Independent Learners": N pipelines, each with
+// its own environment partition and its own BRAM bank; embarrassingly
+// parallel, simulated with host threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "env/environment.h"
+#include "hw/bram.h"
+#include "hw/resource_ledger.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta::qtaccel {
+
+class SharedTablePipelines {
+ public:
+  /// `num_pipelines` is 1 or 2 (1 exists so single/dual comparisons run
+  /// through identical code). Pipeline p gets seed config.seed + p.
+  SharedTablePipelines(const env::Environment& env,
+                       const PipelineConfig& config,
+                       unsigned num_pipelines = 2);
+
+  /// Runs `cycles` lockstep cycles (all pipelines issue every cycle).
+  void run_cycles(std::uint64_t cycles);
+
+  /// Runs until the pipelines have retired `total` samples combined.
+  void run_samples_total(std::uint64_t total);
+
+  unsigned num_pipelines() const {
+    return static_cast<unsigned>(pipes_.size());
+  }
+  const Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
+  Cycle cycles() const { return cycles_; }
+
+  /// Combined retired samples across pipelines.
+  std::uint64_t total_samples() const;
+  /// Same-cycle same-address write collisions on the shared Q table.
+  std::uint64_t q_write_collisions() const {
+    return q_.stats().write_collisions;
+  }
+  /// Combined throughput in samples per cycle (≈ num_pipelines).
+  double samples_per_cycle() const;
+
+  double q_value(StateId s, ActionId a) const;
+  std::vector<double> q_as_double() const;
+
+ private:
+  void tick_all();
+
+  const env::Environment& env_;
+  PipelineConfig config_;
+  AddressMap map_;
+  hw::Bram q_;
+  hw::Bram r_;
+  QmaxUnit qmax_;
+  std::vector<std::unique_ptr<Pipeline>> pipes_;
+  Cycle cycles_ = 0;
+};
+
+class IndependentPipelines {
+ public:
+  /// One pipeline per environment; environment i uses seed
+  /// config.seed * 1000003 + i.
+  IndependentPipelines(
+      std::vector<std::unique_ptr<env::Environment>> environments,
+      const PipelineConfig& config);
+
+  /// Runs every pipeline for `samples` samples, using up to
+  /// `max_threads` host threads (0 = hardware concurrency).
+  void run_samples_each(std::uint64_t samples, unsigned max_threads = 0);
+
+  unsigned num_pipelines() const {
+    return static_cast<unsigned>(pipes_.size());
+  }
+  const Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
+  const env::Environment& environment(unsigned i) const {
+    return *envs_[i];
+  }
+
+  std::uint64_t total_samples() const;
+  /// Aggregate throughput in samples per cycle, where a "cycle" is the
+  /// slowest pipeline's cycle count (all pipelines run concurrently in
+  /// hardware).
+  double samples_per_cycle() const;
+
+  /// Combined resource ledger (N banks + N pipelines of logic).
+  hw::ResourceLedger resources() const;
+
+ private:
+  std::vector<std::unique_ptr<env::Environment>> envs_;
+  PipelineConfig config_;
+  std::vector<std::unique_ptr<Pipeline>> pipes_;
+};
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,532 @@
+#include "qtaccel/pipeline.h"
+
+#include <ostream>
+
+#include "common/check.h"
+#include "env/value_iteration.h"
+
+namespace qta::qtaccel {
+
+namespace {
+constexpr const char* kDspR = "stage3: alpha * R";
+constexpr const char* kDspOld = "stage3: (1-alpha) * Q(S,A)";
+constexpr const char* kDspNext = "stage3: (alpha*gamma) * Q(S',A')";
+}  // namespace
+
+Pipeline::Pipeline(const env::Environment& env, const PipelineConfig& config)
+    : env_(env),
+      config_(config),
+      map_(make_address_map(env)),
+      coeff_(make_coefficients(config)),
+      eps_threshold_(
+          epsilon_threshold(config.epsilon, config.epsilon_bits)),
+      rng_(config.seed, map_),
+      dsp_r_(kDspR, config.q_fmt, config.coeff_fmt, config.q_fmt),
+      dsp_old_(kDspOld, config.q_fmt, config.coeff_fmt, config.q_fmt),
+      dsp_next_(kDspNext, config.q_fmt, config.coeff_fmt, config.q_fmt) {
+  validate_config(config, env);
+  // Double-Q's stage-2 cross-table read gets a third (double-pumped)
+  // port: the scalar budget is stage-1 read + stage-4 write + cross read.
+  const unsigned q_ports = config.algorithm == Algorithm::kDoubleQ ? 3 : 2;
+  owned_q_ = std::make_unique<hw::Bram>("q_table", map_.depth(),
+                                        config.q_fmt.width, q_ports);
+  owned_r_ = std::make_unique<hw::Bram>("reward_table", map_.depth(),
+                                        config.q_fmt.width, 1);
+  owned_qmax_ = std::make_unique<QmaxUnit>(env.num_states(),
+                                           config.q_fmt.width,
+                                           map_.action_bits, 2);
+  q_table_ = owned_q_.get();
+  r_table_ = owned_r_.get();
+  qmax_ = owned_qmax_.get();
+  rd_port_ = 0;
+  wr_port_ = 1;
+  kernel_.attach(q_table_);
+  kernel_.attach(r_table_);
+  kernel_.attach(&qmax_->bram());
+  if (config.algorithm == Algorithm::kDoubleQ) {
+    owned_q2_ = std::make_unique<hw::Bram>("q_table_b", map_.depth(),
+                                           config.q_fmt.width, q_ports);
+    q2_table_ = owned_q2_.get();
+    kernel_.attach(q2_table_);
+  }
+  init_tables();
+}
+
+Pipeline::Pipeline(const env::Environment& env, const PipelineConfig& config,
+                   hw::Bram* shared_q, hw::Bram* shared_r,
+                   QmaxUnit* shared_qmax, unsigned port_base)
+    : env_(env),
+      config_(config),
+      map_(make_address_map(env)),
+      coeff_(make_coefficients(config)),
+      eps_threshold_(
+          epsilon_threshold(config.epsilon, config.epsilon_bits)),
+      rng_(config.seed, map_),
+      q_table_(shared_q),
+      r_table_(shared_r),
+      qmax_(shared_qmax),
+      rd_port_(port_base),
+      wr_port_(port_base + 1),
+      dsp_r_(kDspR, config.q_fmt, config.coeff_fmt, config.q_fmt),
+      dsp_old_(kDspOld, config.q_fmt, config.coeff_fmt, config.q_fmt),
+      dsp_next_(kDspNext, config.q_fmt, config.coeff_fmt, config.q_fmt) {
+  validate_config(config, env);
+  QTA_CHECK_MSG(config.algorithm != Algorithm::kDoubleQ,
+                "Double-Q is not supported in shared-table mode");
+  QTA_CHECK(shared_q && shared_r && shared_qmax);
+  QTA_CHECK(shared_q->depth() == map_.depth());
+  QTA_CHECK(port_base + 1 < shared_q->ports());
+  // Shared tables are clocked by their owner (MultiPipeline), not here.
+}
+
+void Pipeline::init_tables() {
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    for (ActionId a = 0; a < env_.num_actions(); ++a) {
+      r_table_->preset(map_.q_addr(s, a),
+                       fixed::from_double(env_.reward(s, a), config_.q_fmt));
+    }
+  }
+}
+
+fixed::raw_t Pipeline::q_raw(StateId s, ActionId a) const {
+  return q_table_->peek(map_.q_addr(s, a));
+}
+
+double Pipeline::q_value(StateId s, ActionId a) const {
+  if (q2_table_) {
+    return (fixed::to_double(q_raw(s, a), config_.q_fmt) +
+            fixed::to_double(q2_table_->peek(map_.q_addr(s, a)),
+                             config_.q_fmt)) /
+           2.0;
+  }
+  return fixed::to_double(q_raw(s, a), config_.q_fmt);
+}
+
+fixed::raw_t Pipeline::q2_raw(StateId s, ActionId a) const {
+  QTA_CHECK(q2_table_ != nullptr);
+  return q2_table_->peek(map_.q_addr(s, a));
+}
+
+std::vector<double> Pipeline::q_as_double() const {
+  std::vector<double> out;
+  out.reserve(env_.table_size());
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    for (ActionId a = 0; a < env_.num_actions(); ++a) {
+      out.push_back(q_value(s, a));
+    }
+  }
+  return out;
+}
+
+std::vector<ActionId> Pipeline::greedy_policy() const {
+  return env::greedy_policy_from(env_, q_as_double());
+}
+
+QmaxUnit::Entry Pipeline::qmax_entry(StateId s) const {
+  return qmax_->peek(s);
+}
+
+void Pipeline::preset_q(StateId s, ActionId a, fixed::raw_t value) {
+  QTA_CHECK_MSG(!in_flight(), "preset while the pipeline is running");
+  q_table_->preset(map_.q_addr(s, a), fixed::saturate(value, config_.q_fmt));
+}
+
+void Pipeline::rebuild_qmax() {
+  QTA_CHECK_MSG(!in_flight(), "rebuild while the pipeline is running");
+  if (config_.qmax != QmaxMode::kMonotoneTable ||
+      config_.algorithm == Algorithm::kExpectedSarsa ||
+      config_.algorithm == Algorithm::kDoubleQ) {
+    return;  // no Qmax table in these configurations
+  }
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    QmaxUnit::Entry e;
+    e.value = q_table_->peek(map_.q_addr(s, 0));
+    e.action = 0;
+    for (ActionId a = 1; a < env_.num_actions(); ++a) {
+      const fixed::raw_t v = q_table_->peek(map_.q_addr(s, a));
+      if (v > e.value) {
+        e.value = v;
+        e.action = a;
+      }
+    }
+    // The monotone table never reports below its reset value of 0.
+    if (e.value < 0) e = {0, 0};
+    qmax_->preset(s, e);
+  }
+}
+
+std::uint64_t Pipeline::dsp_saturations() const {
+  return dsp_r_.saturations() + dsp_old_.saturations() +
+         dsp_next_.saturations();
+}
+
+bool Pipeline::in_flight() const {
+  return s1_.valid || s2_.valid || s3_.valid;
+}
+
+QmaxUnit::Entry Pipeline::effective_max(StateId s) {
+  QmaxUnit::Entry e;
+  if (config_.qmax == QmaxMode::kMonotoneTable) {
+    e = qmax_->read(rd_port_, s);
+    const fixed::raw_t before = e.value;
+    wbq_.combine_qmax(s, e.value, e.action);
+    if (e.value != before) ++stats_.fwd_qmax;
+    return e;
+  }
+  // Exact comparator-tree scan: the committed row, overlaid with any
+  // in-flight write-backs (newest-first). Modeled as a row-wide read
+  // outside the two scalar ports; the resource model charges the
+  // comparator tree and the widened fabric for it.
+  e.value = 0;
+  e.action = 0;
+  bool first = true;
+  for (ActionId a = 0; a < env_.num_actions(); ++a) {
+    const std::uint64_t addr = map_.q_addr(s, a);
+    const auto fwd = wbq_.match_q(addr);
+    const fixed::raw_t v = fwd ? *fwd : q_table_->peek(addr);
+    if (first || v > e.value) {
+      e.value = v;
+      e.action = a;
+      first = false;
+    }
+  }
+  return e;
+}
+
+void Pipeline::do_stage4() {
+  const S3Latch& in = s3_;
+  if (!in.valid) return;
+  ++stats_.iterations;
+  SampleTrace tr;
+  if (in.bubble) {
+    ++stats_.bubbles;
+    tr.bubble = true;
+    tr.state = in.s;
+    if (trace_) trace_->push_back(tr);
+    return;
+  }
+  hw::Bram* learn_bram = in.table == 1 ? q2_table_ : q_table_;
+  learn_bram->write(wr_port_, map_.q_addr(in.s, in.a), in.new_q);
+  // (Expected SARSA and Double-Q carry no Qmax table.)
+  if (config_.qmax == QmaxMode::kMonotoneTable &&
+      config_.algorithm != Algorithm::kExpectedSarsa &&
+      config_.algorithm != Algorithm::kDoubleQ) {
+    qmax_->raise(wr_port_, in.s, in.a, in.new_q);
+  }
+  ++stats_.samples;
+  if (in.end) ++stats_.episodes;
+  if (trace_) {
+    tr.state = in.s;
+    tr.action = in.a;
+    tr.reward = in.r;
+    tr.new_q = in.new_q;
+    tr.next_state = in.s_next;
+    tr.end_episode = in.end;
+    tr.table = in.table;
+    trace_->push_back(tr);
+  }
+}
+
+void Pipeline::do_stage3() {
+  const S2Latch& in = s2_;
+  S3Latch& out = s3_next_;
+  if (!in.valid) return;
+  out.valid = true;
+  out.bubble = in.bubble;
+  out.s = in.s;
+  out.a = in.a;
+  out.r = in.r;
+  out.s_next = in.s_next;
+  out.end = in.end;
+  out.table = in.table;
+  if (in.bubble) return;
+
+  // Forward Q(S,A) against the three in-flight write-backs.
+  const std::uint64_t sa_addr = map_.tagged_addr(in.table, in.s, in.a);
+  fixed::raw_t q_old = in.q_sa_read;
+  if (const auto fwd = wbq_.match_q(sa_addr)) {
+    q_old = *fwd;
+    ++stats_.fwd_q_sa;
+  }
+
+  // Q(S',A'): the greedy/Qmax/expectation paths were resolved in stage 2;
+  // the SARSA exploratory read (shared with the next iteration's stage 1)
+  // and the Double-Q cross-table read still need forwarding here.
+  fixed::raw_t q_next = 0;
+  if (!in.end) {
+    if (in.q_next_fwd) {
+      QTA_DCHECK(in.a_next != kInvalidAction);
+      q_next = in.q_next;
+      if (const auto fwd = wbq_.match_q(in.q_next_fwd_addr)) {
+        q_next = *fwd;
+        ++stats_.fwd_q_next;
+      }
+    } else {
+      q_next = in.q_next;
+    }
+  }
+
+  const fixed::Format qf = config_.q_fmt;
+  const fixed::raw_t term_r = dsp_r_.multiply(in.r, coeff_.alpha);
+  const fixed::raw_t term_old =
+      dsp_old_.multiply(q_old, coeff_.one_minus_alpha);
+  const fixed::raw_t term_next =
+      dsp_next_.multiply(q_next, coeff_.alpha_gamma);
+  bool sat1 = false, sat2 = false;
+  const fixed::raw_t sum =
+      fixed::sat_add(fixed::sat_add(term_r, term_old, qf, &sat1), term_next,
+                     qf, &sat2);
+  if (sat1) ++stats_.adder_saturations;
+  if (sat2) ++stats_.adder_saturations;
+  out.new_q = sum;
+
+  wbq_.push({true, sa_addr, in.s, in.a, sum});
+}
+
+void Pipeline::do_stage2(bool will_issue) {
+  const S1Latch& in = s1_;
+  S2Latch& out = s2_next_;
+  // Note: forwarded_action_ persists across idle stage-2 cycles — in the
+  // stall-mode ablation the consuming stage-1 issue happens several cycles
+  // after this stage selected the action.
+  if (!in.valid) return;
+  out.valid = true;
+  out.bubble = in.bubble;
+  out.s = in.s;
+  out.a = in.a;
+  out.s_next = in.s_next;
+  out.end = in.end;
+  out.q_sa_read = in.q_sa_read;
+  out.r = in.r;
+  out.table = in.table;
+  if (in.bubble || in.end) {
+    forwarded_action_ = kInvalidAction;
+    return;
+  }
+
+  if (config_.algorithm == Algorithm::kQLearning) {
+    out.q_next = effective_max(in.s_next).value;
+    return;
+  }
+
+  if (config_.algorithm == Algorithm::kDoubleQ) {
+    // argmax over the LEARNING table's forwarded row, value read from
+    // the OTHER table (cross read on the third, double-pumped port).
+    hw::Bram* learn_bram = in.table == 1 ? q2_table_ : q_table_;
+    hw::Bram* eval_bram = in.table == 1 ? q_table_ : q2_table_;
+    fixed::raw_t best = 0;
+    ActionId argmax = 0;
+    for (ActionId k = 0; k < env_.num_actions(); ++k) {
+      const std::uint64_t tagged =
+          map_.tagged_addr(in.table, in.s_next, k);
+      const auto fwd = wbq_.match_q(tagged);
+      const fixed::raw_t v =
+          fwd ? *fwd : learn_bram->peek(map_.q_addr(in.s_next, k));
+      if (k == 0 || v > best) {
+        best = v;
+        argmax = k;
+      }
+    }
+    out.a_next = argmax;
+    out.q_next = eval_bram->read(2, map_.q_addr(in.s_next, argmax));
+    out.q_next_fwd = true;
+    out.q_next_fwd_addr =
+        map_.tagged_addr(in.table == 1 ? 0 : 1, in.s_next, argmax);
+    return;
+  }
+
+  if (config_.algorithm == Algorithm::kExpectedSarsa) {
+    // Full-row scan (comparator + adder trees) over the forwarded row.
+    const RngBank::EpsilonDraw d =
+        rng_.draw_epsilon(eps_threshold_, config_.epsilon_bits);
+    fixed::raw_t row_max = 0;
+    ActionId argmax = 0;
+    fixed::raw_t row_sum = 0;
+    for (ActionId k = 0; k < env_.num_actions(); ++k) {
+      const std::uint64_t addr = map_.q_addr(in.s_next, k);
+      const auto fwd = wbq_.match_q(addr);
+      const fixed::raw_t v = fwd ? *fwd : q_table_->peek(addr);
+      if (k == 0 || v > row_max) {
+        row_max = v;
+        argmax = k;
+      }
+      row_sum += v;
+    }
+    out.a_next = d.greedy ? argmax : d.explore_action;
+    out.q_next = expected_sarsa_target(row_max, row_sum, map_.action_bits,
+                                       coeff_, config_.q_fmt,
+                                       config_.coeff_fmt);
+    forwarded_action_ = out.a_next;
+    return;
+  }
+
+  // SARSA epsilon-greedy (stage 2 of Section V-B).
+  const RngBank::EpsilonDraw d =
+      rng_.draw_epsilon(eps_threshold_, config_.epsilon_bits);
+  if (d.greedy) {
+    const QmaxUnit::Entry e = effective_max(in.s_next);
+    out.a_next = e.action;
+    out.q_next = e.value;
+  } else {
+    out.a_next = d.explore_action;
+    out.q_next_pending = true;
+    out.q_next_fwd = true;
+    out.q_next_fwd_addr = map_.tagged_addr(0, in.s_next, out.a_next);
+    if (!will_issue) {
+      // Drain/stall: the next iteration's stage-1 read will not happen
+      // this cycle, so use the idle read port ourselves.
+      out.q_next =
+          q_table_->read(rd_port_, map_.q_addr(in.s_next, out.a_next));
+    }
+  }
+  // On-policy: A' becomes the behavior action of the next iteration.
+  forwarded_action_ = out.a_next;
+}
+
+void Pipeline::do_stage1() {
+  S1Latch& out = s1_next_;
+  out.valid = true;
+  ++stats_.issued;
+
+  if (issue_episode_start_) {
+    issue_state_ = rng_.draw_start_state(env_.num_states());
+    issue_episode_steps_ = 0;
+    forwarded_action_ = kInvalidAction;
+    if (env_.is_terminal(issue_state_)) {
+      out.bubble = true;
+      out.s = issue_state_;
+      return;  // zero-length episode; redraw next iteration
+    }
+  }
+
+  const bool random_behavior =
+      config_.algorithm == Algorithm::kQLearning ||
+      config_.algorithm == Algorithm::kDoubleQ;
+  ActionId a;
+  if (random_behavior || issue_episode_start_) {
+    a = rng_.draw_random_action();
+  } else {
+    QTA_CHECK_MSG(forwarded_action_ != kInvalidAction,
+                  "SARSA continuation without a forwarded action");
+    a = forwarded_action_;
+  }
+  issue_episode_start_ = false;
+
+  const unsigned table = config_.algorithm == Algorithm::kDoubleQ
+                             ? rng_.draw_table_select()
+                             : 0;
+  hw::Bram* learn_bram = table == 1 ? q2_table_ : q_table_;
+
+  const StateId s = issue_state_;
+  const unsigned noise_bits = env_.transition_noise_bits();
+  const StateId s_next =
+      noise_bits == 0
+          ? env_.transition(s, a)
+          : env_.transition(s, a, rng_.draw_transition_noise(noise_bits));
+  const std::uint64_t addr = map_.q_addr(s, a);
+  const fixed::raw_t q_read = learn_bram->read(rd_port_, addr);
+  const fixed::raw_t r = r_table_->read(
+      r_table_->ports() > 1 ? rd_port_ / 2 : 0, addr);
+  ++issue_episode_steps_;
+  const bool end = env_.is_terminal(s_next) ||
+                   issue_episode_steps_ >= config_.max_episode_length;
+
+  out.s = s;
+  out.a = a;
+  out.s_next = s_next;
+  out.end = end;
+  out.q_sa_read = q_read;
+  out.r = r;
+  out.table = table;
+
+  // SARSA exploratory path: this read IS the previous iteration's
+  // Q(S',A') access (same address by on-policy construction).
+  if (s2_next_.valid && s2_next_.q_next_pending && !s2_next_.end) {
+    QTA_CHECK_MSG(s2_next_.s_next == s && s2_next_.a_next == a,
+                  "shared-read address mismatch: the on-policy invariant "
+                  "(S',A') == next (S,A) was violated");
+    s2_next_.q_next = q_read;
+  }
+
+  issue_state_ = s_next;
+  if (end) issue_episode_start_ = true;
+}
+
+bool Pipeline::tick(bool allow_issue) {
+  // ---- begin cycle ----
+  if (owned_q_) {
+    kernel_.begin_cycle();
+  } else {
+    // Shared-table mode: the MultiPipeline owner clocks the BRAMs.
+  }
+  s1_next_ = {};
+  s2_next_ = {};
+  s3_next_ = {};
+
+  bool issue = allow_issue;
+  if (issue && config_.hazard == HazardMode::kStall && in_flight()) {
+    issue = false;
+    ++stats_.stall_cycles;
+  }
+  // SARSA shared reads require knowing whether stage 1 will run AND be a
+  // continuation; a continuation is guaranteed whenever the iteration now
+  // in stage 2 did not end its episode.
+  const bool will_issue = issue;
+
+  // ---- evaluate, oldest stage first ----
+  do_stage4();
+  do_stage3();
+  do_stage2(will_issue);
+  if (issue) do_stage1();
+
+  if (waveform_) emit_waveform_line();
+
+  // ---- clock edge ----
+  if (owned_q_) kernel_.clock_edge();
+  s1_ = s1_next_;
+  s2_ = s2_next_;
+  s3_ = s3_next_;
+  ++stats_.cycles;
+  return issue;
+}
+
+void Pipeline::emit_waveform_line() const {
+  std::ostream& os = *waveform_;
+  os << '[';
+  os.width(6);
+  os << stats_.cycles << "] ";
+  auto cell = [&os](const char* name, bool valid, bool bubble, StateId s,
+                    ActionId a) {
+    os << name << ' ';
+    if (!valid) {
+      os << "--          ";
+    } else if (bubble) {
+      os << "bubble      ";
+    } else {
+      os << "s=";
+      os.width(4);
+      os << s << " a=" << a << "  ";
+    }
+    os << "| ";
+  };
+  // Stage outputs evaluated this cycle: S1/S2/S3 are the *_next latches;
+  // the retiring iteration was consumed from s3_ by stage 4.
+  cell("S1", s1_next_.valid, s1_next_.bubble, s1_next_.s, s1_next_.a);
+  cell("S2", s2_next_.valid, s2_next_.bubble, s2_next_.s, s2_next_.a);
+  cell("S3", s3_next_.valid, s3_next_.bubble, s3_next_.s, s3_next_.a);
+  cell("RET", s3_.valid, s3_.bubble, s3_.s, s3_.a);
+  os << '\n';
+}
+
+void Pipeline::run_iterations(std::uint64_t n) {
+  const std::uint64_t target = stats_.issued + n;
+  while (stats_.issued < target) tick(true);
+  while (in_flight()) tick(false);
+}
+
+void Pipeline::run_samples(std::uint64_t n) {
+  while (stats_.samples < n) tick(true);
+  while (in_flight()) tick(false);
+}
+
+}  // namespace qta::qtaccel

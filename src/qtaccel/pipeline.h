@@ -1,0 +1,209 @@
+// Cycle-accurate model of the QTAccel 4-stage pipeline (Figure 1).
+//
+// Stage 1: episode control (random start on episode boundaries), behavior
+//          action (LFSR-random for Q-Learning; the forwarded stage-2
+//          action for SARSA), transition function, Q(S,A) and R reads,
+//          coefficient formation.
+// Stage 2: update-policy action for S' — Q-Learning reads the Qmax table;
+//          SARSA draws epsilon-greedy (greedy branch reads Qmax; the
+//          exploratory branch's Q(S',A') read is physically the SAME
+//          access as the next iteration's stage-1 Q(S,A) read, because
+//          on-policy means (S',A') of iteration i is (S,A) of i+1 — this
+//          is how the design stays within the Q-table's two BRAM ports).
+// Stage 3: three DSP products and the saturating adder tree.
+// Stage 4: Q-table write-back and conditional Qmax raise.
+//
+// Hazards are closed by a 3-deep write-back forwarding queue
+// (qtaccel/forwarding.h); with it the pipeline retires a trace that is
+// bit-identical to the sequential golden model while sustaining one
+// sample per clock cycle. Every BRAM access goes through the port-checked
+// Bram model, so the dual-port budget is enforced each cycle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "hw/bram.h"
+#include "hw/dsp.h"
+#include "hw/resource_ledger.h"
+#include "hw/sim_kernel.h"
+#include "qtaccel/action_units.h"
+#include "qtaccel/config.h"
+#include "qtaccel/forwarding.h"
+#include "qtaccel/golden_model.h"  // SampleTrace, RunCounters
+#include "qtaccel/qmax_unit.h"
+
+namespace qta::qtaccel {
+
+struct PipelineStats : RunCounters {
+  Cycle cycles = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t stall_cycles = 0;     // cycles with issue suppressed (stall mode)
+  std::uint64_t fwd_q_sa = 0;         // Q(S,A) served from the forwarding queue
+  std::uint64_t fwd_q_next = 0;       // Q(S',A') served from the queue
+  std::uint64_t fwd_qmax = 0;         // Qmax raised by an in-flight write-back
+  std::uint64_t adder_saturations = 0;
+
+  double samples_per_cycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(samples) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class Pipeline {
+ public:
+  /// `env` must outlive the pipeline. When `shared` BRAMs are passed (see
+  /// multi_pipeline.h) the pipeline uses them instead of owning tables;
+  /// `port_base` selects which port pair this pipeline drives.
+  Pipeline(const env::Environment& env, const PipelineConfig& config);
+
+  /// Shared-table constructor for the dual-pipeline mode (Section VII-A).
+  /// The tables must be pre-sized for `env`; this pipeline uses ports
+  /// {port_base, port_base + 1}.
+  Pipeline(const env::Environment& env, const PipelineConfig& config,
+           hw::Bram* shared_q, hw::Bram* shared_r, QmaxUnit* shared_qmax,
+           unsigned port_base);
+
+  /// Issues exactly `n` iterations (bubbles included), then drains.
+  void run_iterations(std::uint64_t n);
+
+  /// Issues until at least `n` samples (non-bubble updates) retire, then
+  /// drains; may overshoot by the pipeline depth.
+  void run_samples(std::uint64_t n);
+
+  /// Single-cycle stepping, for multi-pipeline lockstep and tests.
+  /// `allow_issue` gates stage 1; returns true if an iteration issued.
+  bool tick(bool allow_issue);
+  bool in_flight() const;
+
+  const PipelineStats& stats() const { return stats_; }
+  void set_trace(std::vector<SampleTrace>* trace) { trace_ = trace; }
+
+  /// Textual waveform: one line per cycle showing which iteration sits in
+  /// each stage ("[   42] S1 s=5 a=2 -> 6 | S2 ... | S3 ... | RET ...").
+  /// Pass nullptr to stop tracing. Intended for debugging and docs; it is
+  /// formatted per tick, so keep runs short while enabled.
+  void set_waveform(std::ostream* os) { waveform_ = os; }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const;
+  double q_value(StateId s, ActionId a) const;
+  /// Double Q-Learning's second table (aborts for other algorithms).
+  fixed::raw_t q2_raw(StateId s, ActionId a) const;
+  /// Row-major doubles; for kDoubleQ the acting estimate (A + B) / 2.
+  std::vector<double> q_as_double() const;
+  /// Greedy argmax policy over the learned table (kDoubleQ: over A+B).
+  std::vector<ActionId> greedy_policy() const;
+  QmaxUnit::Entry qmax_entry(StateId s) const;
+
+  /// Warm-start support (qtaccel/table_io.h): overwrites one Q entry
+  /// outside of simulation time. Call rebuild_qmax() after a batch of
+  /// presets so the monotone table matches the loaded values.
+  void preset_q(StateId s, ActionId a, fixed::raw_t value);
+  /// Sets every Qmax entry to its row's exact (max, argmax). Only valid
+  /// while nothing is in flight.
+  void rebuild_qmax();
+
+  const hw::Bram& q_table() const { return *q_table_; }
+  const hw::Bram& reward_table() const { return *r_table_; }
+  const env::Environment& environment() const { return env_; }
+  const PipelineConfig& config() const { return config_; }
+  const AddressMap& address_map() const { return map_; }
+
+  /// Saturation count across the three stage-3 DSP multipliers.
+  std::uint64_t dsp_saturations() const;
+
+ private:
+  struct S1Latch {
+    bool valid = false;
+    bool bubble = false;
+    StateId s = 0;
+    ActionId a = 0;
+    StateId s_next = 0;
+    bool end = false;
+    fixed::raw_t q_sa_read = 0;
+    fixed::raw_t r = 0;
+    unsigned table = 0;  // Double-Q: which table this sample updates
+  };
+  struct S2Latch {
+    bool valid = false;
+    bool bubble = false;
+    StateId s = 0;
+    ActionId a = 0;
+    StateId s_next = 0;
+    bool end = false;
+    fixed::raw_t q_sa_read = 0;
+    fixed::raw_t r = 0;
+    unsigned table = 0;
+    fixed::raw_t q_next = 0;       // resolved value (greedy/Qmax path)
+    ActionId a_next = kInvalidAction;
+    bool q_next_pending = false;   // SARSA explore: filled by the shared
+                                   // stage-1 read
+    bool q_next_fwd = false;       // stage 3 must forward at fwd addr
+    std::uint64_t q_next_fwd_addr = 0;  // tagged forwarding address
+  };
+  struct S3Latch {
+    bool valid = false;
+    bool bubble = false;
+    StateId s = 0;
+    ActionId a = 0;
+    fixed::raw_t r = 0;
+    fixed::raw_t new_q = 0;
+    StateId s_next = 0;
+    bool end = false;
+    unsigned table = 0;
+  };
+
+  void init_tables();
+  void do_stage4();
+  void do_stage3();
+  void do_stage2(bool will_issue);
+  void do_stage1();
+  /// Effective Qmax entry for `s` = stored entry max-combined with
+  /// in-flight write-backs (monotone mode) or the forwarded exact row scan.
+  QmaxUnit::Entry effective_max(StateId s);
+
+  const env::Environment& env_;
+  PipelineConfig config_;
+  AddressMap map_;
+  Coefficients coeff_;
+  std::uint64_t eps_threshold_;
+  RngBank rng_;
+
+  hw::SimKernel kernel_;
+  std::unique_ptr<hw::Bram> owned_q_, owned_q2_, owned_r_;
+  std::unique_ptr<QmaxUnit> owned_qmax_;
+  hw::Bram* q_table_;
+  hw::Bram* q2_table_ = nullptr;  // Double-Q table B
+  hw::Bram* r_table_;
+  QmaxUnit* qmax_;
+  unsigned rd_port_;  // stage-1/2 read port
+  unsigned wr_port_;  // stage-4 write port
+
+  hw::DspMultiplier dsp_r_, dsp_old_, dsp_next_;
+  WritebackQueue wbq_;
+
+  // Committed (current) and staged (next) latches.
+  S1Latch s1_, s1_next_;
+  S2Latch s2_, s2_next_;
+  S3Latch s3_, s3_next_;
+
+  // Issue-side walk state.
+  bool issue_episode_start_ = true;
+  StateId issue_state_ = 0;
+  std::uint64_t issue_episode_steps_ = 0;
+  ActionId forwarded_action_ = kInvalidAction;  // SARSA stage2 -> stage1
+  Cycle last_issue_cycle_ = 0;  // stall-mode spacing
+
+  void emit_waveform_line() const;
+
+  PipelineStats stats_;
+  std::vector<SampleTrace>* trace_ = nullptr;
+  std::ostream* waveform_ = nullptr;
+};
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,61 @@
+#include "qtaccel/qmax_unit.h"
+
+#include "common/bit_math.h"
+#include "common/check.h"
+
+namespace qta::qtaccel {
+
+QmaxUnit::QmaxUnit(StateId num_states, unsigned q_width,
+                   unsigned action_bits, unsigned ports)
+    : q_width_(q_width),
+      action_bits_(action_bits),
+      bram_("qmax_table", num_states, q_width + action_bits, ports) {
+  QTA_CHECK(q_width >= 2 && q_width <= 48);
+  QTA_CHECK(action_bits >= 1 && action_bits <= 8);
+}
+
+std::uint64_t QmaxUnit::pack(const Entry& e) const {
+  const std::uint64_t vmask = (std::uint64_t{1} << q_width_) - 1;
+  const auto v = static_cast<std::uint64_t>(e.value) & vmask;
+  return v | (static_cast<std::uint64_t>(e.action) << q_width_);
+}
+
+QmaxUnit::Entry QmaxUnit::unpack(std::uint64_t word) const {
+  Entry e;
+  const std::uint64_t vmask = (std::uint64_t{1} << q_width_) - 1;
+  std::uint64_t v = word & vmask;
+  // Sign-extend the q_width-bit value.
+  const std::uint64_t sign = std::uint64_t{1} << (q_width_ - 1);
+  if (v & sign) v |= ~vmask;
+  e.value = static_cast<fixed::raw_t>(v);
+  e.action = static_cast<ActionId>(bits(word, q_width_, action_bits_));
+  return e;
+}
+
+QmaxUnit::Entry QmaxUnit::read(unsigned port, StateId s) {
+  return unpack(static_cast<std::uint64_t>(bram_.read(port, s)));
+}
+
+bool QmaxUnit::raise(unsigned port, StateId s, ActionId a,
+                     fixed::raw_t new_q) {
+  // Read-modify-write on one port: the output latch supplies the old word
+  // for the strict-greater comparator.
+  const Entry old = unpack(static_cast<std::uint64_t>(bram_.peek(s)));
+  if (new_q > old.value) {
+    bram_.write(port, s, static_cast<fixed::raw_t>(pack({new_q, a})));
+    return true;
+  }
+  // The port is still occupied by the (suppressed) access this cycle.
+  bram_.read(port, s);
+  return false;
+}
+
+QmaxUnit::Entry QmaxUnit::peek(StateId s) const {
+  return unpack(static_cast<std::uint64_t>(bram_.peek(s)));
+}
+
+void QmaxUnit::preset(StateId s, const Entry& e) {
+  bram_.preset(s, static_cast<fixed::raw_t>(pack(e)));
+}
+
+}  // namespace qta::qtaccel

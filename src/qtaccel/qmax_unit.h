@@ -1,0 +1,58 @@
+// The Qmax side-table (Section V-A): one entry per state holding the
+// maximum Q value seen for that state and the action that achieved it,
+// packed into a single BRAM word of (q_width + action_bits) bits.
+//
+// Entries are raised on write-back only ("an update is made to the Qmax if
+// the new Q-value is higher") — a deliberate approximation: if the true
+// row maximum later *decreases*, the table goes stale-high. The exact-scan
+// ablation (QmaxMode::kExactScan) quantifies the effect on learning.
+//
+// The stage-4 update is modeled as a single-port read-modify-write: the
+// port's output latch presents the old word to the comparator while the
+// conditional write commits at the edge.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "fixed/fixed_point.h"
+#include "hw/bram.h"
+
+namespace qta::qtaccel {
+
+class QmaxUnit {
+ public:
+  struct Entry {
+    fixed::raw_t value = 0;
+    ActionId action = 0;
+  };
+
+  QmaxUnit(StateId num_states, unsigned q_width, unsigned action_bits,
+           unsigned ports = 2);
+
+  /// Stage-2 read on `port`.
+  Entry read(unsigned port, StateId s);
+
+  /// Stage-4 conditional raise on `port` (one port access whether or not
+  /// the write fires). Returns true when the entry was raised.
+  bool raise(unsigned port, StateId s, ActionId a, fixed::raw_t new_q);
+
+  /// Debug/verification access without port accounting.
+  Entry peek(StateId s) const;
+  void preset(StateId s, const Entry& e);
+
+  hw::Bram& bram() { return bram_; }
+  const hw::Bram& bram() const { return bram_; }
+
+  unsigned entry_width() const { return q_width_ + action_bits_; }
+
+ private:
+  std::uint64_t pack(const Entry& e) const;
+  Entry unpack(std::uint64_t word) const;
+
+  unsigned q_width_;
+  unsigned action_bits_;
+  hw::Bram bram_;
+};
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,113 @@
+#include "qtaccel/resources.h"
+
+#include "common/bit_math.h"
+#include "common/check.h"
+#include "device/calibration.h"
+#include "qtaccel/action_units.h"
+#include "qtaccel/forwarding.h"
+
+namespace qta::qtaccel {
+
+namespace dc = device::cal;
+
+namespace {
+void add_tables(hw::ResourceLedger& ledger, const env::Environment& env,
+                const PipelineConfig& config, const AddressMap& map,
+                const std::string& suffix) {
+  const std::uint64_t depth = map.depth();
+  if (config.algorithm == Algorithm::kDoubleQ) {
+    // Two Q tables; the cross-table read rides a double-pumped port.
+    ledger.add_memory({"q_table_a" + suffix, depth, config.q_fmt.width, 2});
+    ledger.add_memory({"q_table_b" + suffix, depth, config.q_fmt.width, 2});
+  } else {
+    ledger.add_memory({"q_table" + suffix, depth, config.q_fmt.width, 2});
+  }
+  ledger.add_memory({"reward_table" + suffix, depth, config.q_fmt.width, 1});
+  if (config.qmax == QmaxMode::kMonotoneTable &&
+      config.algorithm != Algorithm::kExpectedSarsa &&
+      config.algorithm != Algorithm::kDoubleQ) {
+    ledger.add_memory({"qmax_table" + suffix, env.num_states(),
+                       config.q_fmt.width + map.action_bits, 2});
+  }
+}
+
+void add_logic(hw::ResourceLedger& ledger, const env::Environment& env,
+               const PipelineConfig& config, const AddressMap& map,
+               const std::string& suffix) {
+  if (config.algorithm == Algorithm::kExpectedSarsa) {
+    // 4 update products + the (1-eps)*max and eps*mean mixers.
+    ledger.add_dsp(6, "update datapath + expectation mixers" + suffix);
+  } else {
+    ledger.add_dsp(4, "update datapath multipliers" + suffix);
+  }
+
+  const unsigned addr_bits = map.state_bits + map.action_bits;
+  unsigned ff = dc::kDatapathFixedFf;
+  ff += dc::kAddrCopiesPerBit * addr_bits;
+  ff += RngBank::flip_flops(config.algorithm);
+  if (config.hazard == HazardMode::kForward) {
+    ff += WritebackQueue::flip_flops(config.q_fmt.width, addr_bits);
+  }
+  ledger.add_flip_flops(ff, "pipeline + LFSR registers" + suffix);
+
+  unsigned lut = dc::kControlLuts;
+  lut += dc::kTransitionLutsPerBit * addr_bits;
+  if (config.algorithm != Algorithm::kQLearning) {
+    lut += 2 * config.epsilon_bits;  // epsilon comparator + explore mux
+  }
+  if (config.qmax == QmaxMode::kExactScan ||
+      config.algorithm == Algorithm::kExpectedSarsa ||
+      config.algorithm == Algorithm::kDoubleQ) {
+    // Comparator tree over the row: (|A| - 1) compares of q_fmt.width.
+    lut += (env.num_actions() - 1) * config.q_fmt.width;
+  }
+  if (config.algorithm == Algorithm::kDoubleQ) {
+    ledger.add_flip_flops(1, "table-select register" + suffix);
+  }
+  if (config.algorithm == Algorithm::kExpectedSarsa) {
+    // Adder tree for the row sum: (|A| - 1) adds at widening precision.
+    lut += (env.num_actions() - 1) *
+           (config.q_fmt.width + map.action_bits);
+  }
+  ledger.add_luts(lut, "control + transition function" + suffix);
+}
+}  // namespace
+
+hw::ResourceLedger build_resources(const env::Environment& env,
+                                   const PipelineConfig& config,
+                                   unsigned pipelines, bool share_tables) {
+  QTA_CHECK(pipelines >= 1);
+  QTA_CHECK_MSG(!share_tables || pipelines <= 2,
+                "the shared-table mode supports two pipelines "
+                "(double-pumped dual-port BRAM)");
+  const AddressMap map = make_address_map(env);
+  hw::ResourceLedger ledger;
+  const unsigned banks = share_tables ? 1 : pipelines;
+  for (unsigned b = 0; b < banks; ++b) {
+    add_tables(ledger, env, config, map,
+               banks == 1 ? "" : "[bank " + std::to_string(b) + "]");
+  }
+  for (unsigned p = 0; p < pipelines; ++p) {
+    add_logic(ledger, env, config, map,
+              pipelines == 1 ? "" : "[pipe " + std::to_string(p) + "]");
+  }
+  return ledger;
+}
+
+hw::ResourceLedger build_resources_with_probability_table(
+    const env::Environment& env, const PipelineConfig& config,
+    unsigned exp_lut_log2_entries) {
+  hw::ResourceLedger ledger = build_resources(env, config);
+  const AddressMap map = make_address_map(env);
+  ledger.add_memory(
+      {"probability_table", map.depth(), config.q_fmt.width, 2});
+  ledger.add_memory({"exp_lut", std::uint64_t{1} << exp_lut_log2_entries,
+                     config.q_fmt.width, 1});
+  // Prefix-sum/binary-search comparators for the selection stage.
+  ledger.add_luts(log2_ceil(env.num_actions()) * config.q_fmt.width,
+                  "binary-search comparators");
+  ledger.add_dsp(1, "probability-scale multiplier");
+  return ledger;
+}
+
+}  // namespace qta::qtaccel

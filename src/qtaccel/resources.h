@@ -1,0 +1,34 @@
+// Builds the resource ledger for a QTAccel instance, from which the device
+// model produces the utilization/clock/power numbers of Figures 3-6.
+//
+// Inventory per pipeline (Section IV-B):
+//   * Q table   : |S|*|A| words of q_fmt.width bits, dual-port
+//   * R table   : |S|*|A| words, single-port
+//   * Qmax table: |S| words of (q_fmt.width + action_bits), dual-port
+//   * 4 DSP multipliers (alpha*gamma, alpha*R, (1-alpha)*Q, alpha*gamma*Q')
+//   * pipeline/coefficient registers, LFSRs, forwarding registers
+//   * transition-function and control LUTs
+#pragma once
+
+#include "env/environment.h"
+#include "hw/resource_ledger.h"
+#include "qtaccel/config.h"
+
+namespace qta::qtaccel {
+
+/// Ledger for `pipelines` parallel instances. In shared-table mode
+/// (share_tables = true, pipelines == 2) the tables are counted once; in
+/// independent mode each pipeline brings its own bank. The per-pipeline
+/// logic (DSP/FF/LUT) always multiplies.
+hw::ResourceLedger build_resources(const env::Environment& env,
+                                   const PipelineConfig& config,
+                                   unsigned pipelines = 1,
+                                   bool share_tables = false);
+
+/// Ledger for the probability-table generalization (Section VII-B): adds
+/// the |S|*|A| probability table (and the exp LUT for EXP3-style updates).
+hw::ResourceLedger build_resources_with_probability_table(
+    const env::Environment& env, const PipelineConfig& config,
+    unsigned exp_lut_log2_entries = 10);
+
+}  // namespace qta::qtaccel

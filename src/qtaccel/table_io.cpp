@@ -1,0 +1,69 @@
+#include "qtaccel/table_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace qta::qtaccel {
+
+namespace {
+constexpr const char* kMagic = "QTACCEL-QTABLE";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_q_table(std::ostream& os, const Pipeline& pipeline) {
+  const env::Environment& env = pipeline.environment();
+  const fixed::Format fmt = pipeline.config().q_fmt;
+  os << kMagic << ' ' << kVersion << '\n'
+     << "states " << env.num_states() << " actions " << env.num_actions()
+     << " width " << fmt.width << " frac " << fmt.frac << '\n';
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    for (ActionId a = 0; a < env.num_actions(); ++a) {
+      if (a) os << ' ';
+      os << pipeline.q_raw(s, a);
+    }
+    os << '\n';
+  }
+}
+
+void load_q_table(std::istream& is, Pipeline& pipeline) {
+  std::string magic, version, key;
+  is >> magic >> version;
+  QTA_CHECK_MSG(is && magic == kMagic, "not a QTACCEL-QTABLE file");
+  QTA_CHECK_MSG(version == kVersion, "unsupported QTABLE version");
+
+  StateId states = 0;
+  ActionId actions = 0;
+  unsigned width = 0, frac = 0;
+  is >> key >> states;
+  QTA_CHECK_MSG(is && key == "states", "malformed header: states");
+  is >> key >> actions;
+  QTA_CHECK_MSG(is && key == "actions", "malformed header: actions");
+  is >> key >> width;
+  QTA_CHECK_MSG(is && key == "width", "malformed header: width");
+  is >> key >> frac;
+  QTA_CHECK_MSG(is && key == "frac", "malformed header: frac");
+
+  const env::Environment& env = pipeline.environment();
+  const fixed::Format fmt = pipeline.config().q_fmt;
+  QTA_CHECK_MSG(states == env.num_states() && actions == env.num_actions(),
+                "table geometry does not match the pipeline's environment");
+  QTA_CHECK_MSG(width == fmt.width && frac == fmt.frac,
+                "fixed-point format does not match the pipeline's config");
+
+  for (StateId s = 0; s < states; ++s) {
+    for (ActionId a = 0; a < actions; ++a) {
+      fixed::raw_t v = 0;
+      is >> v;
+      QTA_CHECK_MSG(static_cast<bool>(is), "truncated QTABLE payload");
+      QTA_CHECK_MSG(v >= fmt.min_raw() && v <= fmt.max_raw(),
+                    "QTABLE value outside the fixed-point range");
+      pipeline.preset_q(s, a, v);
+    }
+  }
+  pipeline.rebuild_qmax();
+}
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,27 @@
+// Q-table serialization: save a trained table, reload it into another
+// pipeline (warm start, or host-side deployment of a table trained in
+// simulation). Versioned plain-text format:
+//
+//   QTACCEL-QTABLE v1
+//   states <|S|> actions <|A|> width <bits> frac <bits>
+//   <|S| lines of |A| raw integers>
+//
+// Raw fixed-point words are stored, not doubles, so a round trip is
+// bit-exact. Loading validates the geometry and format against the
+// target pipeline and rebuilds the monotone Qmax table as the exact row
+// maxima of the loaded values (the tightest state consistent with them).
+#pragma once
+
+#include <iosfwd>
+
+#include "qtaccel/pipeline.h"
+
+namespace qta::qtaccel {
+
+void save_q_table(std::ostream& os, const Pipeline& pipeline);
+
+/// Aborts with a diagnostic on malformed input or a geometry/format
+/// mismatch with `pipeline`'s configuration.
+void load_q_table(std::istream& is, Pipeline& pipeline);
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,92 @@
+#include "rng/lfsr.h"
+
+#include "common/check.h"
+
+namespace qta::rng {
+
+namespace {
+// Maximal-length polynomial exponents per width (Xilinx XAPP052 table):
+// polynomial = x^w + x^t1 [+ x^t2 + x^t3] + 1. Index by width.
+struct Taps {
+  unsigned t[4];  // zero-terminated exponent list (excluding w and 0)
+};
+
+constexpr Taps kTaps[65] = {
+    {},          {},          {{1, 0}},     {{2, 0}},     {{3, 0}},
+    {{3, 0}},    {{5, 0}},    {{6, 0}},     {{6, 5, 4}},  {{5, 0}},
+    {{7, 0}},    {{9, 0}},    {{6, 4, 1}},  {{4, 3, 1}},  {{5, 3, 1}},
+    {{14, 0}},   {{15, 13, 4}}, {{14, 0}},  {{11, 0}},    {{6, 2, 1}},
+    {{17, 0}},   {{19, 0}},   {{21, 0}},    {{18, 0}},    {{23, 22, 17}},
+    {{22, 0}},   {{6, 2, 1}}, {{5, 2, 1}},  {{25, 0}},    {{27, 0}},
+    {{6, 4, 1}}, {{28, 0}},   {{22, 2, 1}}, {{20, 0}},    {{27, 2, 1}},
+    {{33, 0}},   {{25, 0}},   {{5, 4, 3, 2}}, {{6, 5, 1}}, {{35, 0}},
+    {{38, 21, 19}}, {{38, 0}}, {{41, 20, 19}}, {{42, 38, 37}}, {{43, 18, 17}},
+    {{44, 42, 41}}, {{45, 26, 25}}, {{42, 0}}, {{47, 21, 20}}, {{40, 0}},
+    {{49, 24, 23}}, {{50, 36, 35}}, {{49, 0}}, {{52, 38, 37}}, {{53, 18, 17}},
+    {{31, 0}},   {{55, 35, 34}}, {{50, 0}}, {{39, 0}},     {{58, 38, 37}},
+    {{59, 0}},   {{60, 46, 45}}, {{61, 6, 5}}, {{62, 0}},  {{63, 61, 60}},
+};
+}  // namespace
+
+std::uint64_t lfsr_taps(unsigned width) {
+  QTA_CHECK_MSG(width >= 2 && width <= 64, "LFSR width must be in [2, 64]");
+  std::uint64_t mask = 1;  // the "+1" term of the polynomial
+  for (unsigned e : kTaps[width].t) {
+    if (e == 0) break;
+    mask |= std::uint64_t{1} << e;
+  }
+  return mask;
+}
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed)
+    : width_(width),
+      mask_(width == 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << width) - 1),
+      taps_(lfsr_taps(width)) {
+  state_ = seed & mask_;
+  if (state_ == 0) state_ = 1;  // all-zero is the absorbing state
+}
+
+std::uint64_t Lfsr::step() {
+  // Galois left-shift form: the bit leaving at the MSB re-enters through
+  // the polynomial taps.
+  const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
+  state_ = ((state_ << 1) & mask_) ^ (out ? taps_ : 0u);
+  return state_;
+}
+
+std::uint64_t Lfsr::draw_bits(unsigned n) {
+  QTA_CHECK(n >= 1 && n <= 64);
+  // Bit-serial collection of the output stream (the MSB shifted out each
+  // step). Taking whole register snapshots instead would make successive
+  // draws overlap in all but one bit and badly correlate them.
+  std::uint64_t acc = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
+    acc |= out << i;
+    step();
+  }
+  return acc;
+}
+
+std::uint64_t Lfsr::below(std::uint64_t bound) {
+  QTA_CHECK(bound >= 1);
+  if (bound == 1) return 0;
+  __extension__ typedef unsigned __int128 u128;
+  const std::uint64_t draw = draw_bits(32);
+  return static_cast<std::uint64_t>((static_cast<u128>(draw) * bound) >> 32);
+}
+
+double Lfsr::uniform() {
+  const unsigned bits = width_ < 53 ? width_ : 53;
+  const std::uint64_t draw = draw_bits(bits);
+  return static_cast<double>(draw) /
+         static_cast<double>(std::uint64_t{1} << bits);
+}
+
+std::uint64_t Lfsr::period() const {
+  if (width_ == 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << width_) - 1;
+}
+
+}  // namespace qta::rng

@@ -1,0 +1,63 @@
+// Linear-feedback shift registers — the paper's random number source for
+// action selection and MAB reward sampling ("implemented using linear
+// feedback shift registers", Section IV-A).
+//
+// Galois form (one XOR level per shifted bit, the cheap FPGA realization)
+// with published maximal-length tap polynomials for widths 8..64 bits.
+// Each consumer in the pipeline owns its own LFSR instance so the stream
+// seen per purpose is independent of pipeline interleaving — this is what
+// makes the pipelined accelerator bit-identical to the sequential golden
+// model (see qtaccel/golden_model.h).
+#pragma once
+
+#include <cstdint>
+
+namespace qta::rng {
+
+/// Maximal-length Galois LFSR of configurable width (2..64 bits).
+class Lfsr {
+ public:
+  /// `width` selects the tap polynomial; `seed` is folded into the state
+  /// (a zero fold is replaced by 1, since the all-zero state is absorbing).
+  explicit Lfsr(unsigned width = 32, std::uint64_t seed = 0xace1u);
+
+  /// Advances one step and returns the full register state.
+  std::uint64_t step();
+
+  /// Draws `n` (1..64) pseudo-random bits from the output stream: one
+  /// register step per bit (the hardware unrolls the feedback n times in
+  /// combinational logic to produce n bits per cycle). Bit-serial
+  /// collection keeps successive draws decorrelated, which whole-register
+  /// snapshots would not.
+  std::uint64_t draw_bits(unsigned n);
+
+  /// Uniform value in [0, bound) via the fixed-point multiply trick
+  /// (one DSP): (draw * bound) >> width. Slight bias of bound/2^width,
+  /// identical to the hardware shortcut the paper describes for indexing
+  /// "one of the Q-values" directly.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) using width bits (capped at 53).
+  double uniform();
+
+  std::uint64_t state() const { return state_; }
+  unsigned width() const { return width_; }
+
+  /// Flip-flop cost of this register, for the resource ledger.
+  unsigned flip_flops() const { return width_; }
+
+  /// Period of a maximal-length LFSR of this width: 2^width - 1.
+  std::uint64_t period() const;
+
+ private:
+  unsigned width_;
+  std::uint64_t mask_;
+  std::uint64_t taps_;
+  std::uint64_t state_;
+};
+
+/// The tap polynomial (bit mask) used for a given width; exposed for tests
+/// that verify maximal periods.
+std::uint64_t lfsr_taps(unsigned width);
+
+}  // namespace qta::rng

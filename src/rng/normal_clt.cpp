@@ -1,0 +1,37 @@
+#include "rng/normal_clt.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qta::rng {
+
+NormalClt::NormalClt(std::uint64_t seed, unsigned k, unsigned bits)
+    : lfsr_(32, seed), k_(k), bits_(bits) {
+  QTA_CHECK_MSG(k >= 2 && k <= 64, "CLT sum length must be in [2, 64]");
+  QTA_CHECK(bits >= 4 && bits <= 32);
+  inv_scale_ = 1.0 / static_cast<double>(std::uint64_t{1} << bits);
+  // Sum of k U(0,1) has mean k/2 and variance k/12.
+  center_ = static_cast<double>(k) / 2.0;
+  norm_ = 1.0 / std::sqrt(static_cast<double>(k) / 12.0);
+}
+
+double NormalClt::sample_standard() {
+  double sum = 0.0;
+  for (unsigned i = 0; i < k_; ++i) {
+    sum += static_cast<double>(lfsr_.draw_bits(bits_)) * inv_scale_;
+  }
+  return (sum - center_) * norm_;
+}
+
+double NormalClt::sample(double mean, double stddev) {
+  QTA_CHECK(stddev >= 0.0);
+  return mean + stddev * sample_standard();
+}
+
+fixed::raw_t NormalClt::sample_fixed(double mean, double stddev,
+                                     fixed::Format fmt) {
+  return fixed::from_double(sample(mean, stddev), fmt);
+}
+
+}  // namespace qta::rng

@@ -1,0 +1,46 @@
+// Central-limit-theorem normal generator: the sum of K uniform LFSR draws,
+// shifted and scaled. This is the paper's MAB reward sampler (Section
+// VII-B: "uniform random numbers can be generated using linear feedback
+// shift registers whose output can be summed up to obtain the normal
+// distribution") — compact and single-cycle-able on FPGA, unlike Box-Muller
+// or discrete-Gaussian CDT samplers.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_point.h"
+#include "rng/lfsr.h"
+
+namespace qta::rng {
+
+class NormalClt {
+ public:
+  /// K = number of uniform draws summed (12 gives the classic Irwin-Hall
+  /// approximation with variance exactly 1); `bits` = bits per draw.
+  explicit NormalClt(std::uint64_t seed, unsigned k = 12, unsigned bits = 16);
+
+  /// Approximately N(0, 1).
+  double sample_standard();
+
+  /// Approximately N(mean, stddev^2).
+  double sample(double mean, double stddev);
+
+  /// Sample quantized into a fixed-point format, as the hardware reward
+  /// unit would produce it.
+  fixed::raw_t sample_fixed(double mean, double stddev, fixed::Format fmt);
+
+  unsigned k() const { return k_; }
+
+  /// Flip-flop cost: one LFSR register (the adder tree is LUT fabric).
+  unsigned flip_flops() const { return lfsr_.flip_flops(); }
+
+ private:
+  Lfsr lfsr_;
+  unsigned k_;
+  unsigned bits_;
+  double inv_scale_;
+  double center_;
+  double norm_;
+};
+
+}  // namespace qta::rng

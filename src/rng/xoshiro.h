@@ -1,0 +1,44 @@
+// Host-side pseudo-random generators for workload construction (grid-world
+// obstacle placement, random MDP generation, CPU baselines). These are NOT
+// part of the simulated hardware — the accelerator itself only ever uses
+// LFSRs (rng/lfsr.h).
+#pragma once
+
+#include <cstdint>
+
+namespace qta::rng {
+
+/// SplitMix64: used to expand a single user seed into independent streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality host RNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qta::rng

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "algo/double_q.h"
+#include "algo/expected_sarsa.h"
+#include "algo/mab_algorithms.h"
+#include "algo/q_learning.h"
+#include "algo/sarsa.h"
+#include "algo/trainer.h"
+#include "env/grid_world.h"
+#include "env/value_iteration.h"
+
+namespace qta::algo {
+namespace {
+
+env::GridWorldConfig grid(unsigned w, unsigned h, unsigned actions = 4) {
+  env::GridWorldConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_actions = actions;
+  return c;
+}
+
+TEST(QLearning, ConvergesToOptimalPolicyOnGrid) {
+  env::GridWorld g(grid(8, 8));
+  QLearningOptions opt;
+  opt.alpha = 0.2;
+  opt.gamma = 0.9;
+  QLearning learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 400000;
+  topt.seed = 1;
+  train(learner, topt);
+
+  const auto optimal = env::value_iteration(g, 0.9);
+  const auto policy = learner.greedy_policy();
+  // The learned greedy policy must reach the goal from every free state in
+  // optimal time (deterministic grid + exhaustive random exploration).
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_obstacle(s) || g.is_terminal(s)) continue;
+    const int got = env::rollout_steps(g, policy, s, 200);
+    const int best = env::rollout_steps(g, optimal.policy, s, 200);
+    ASSERT_GE(got, 0) << "state " << s << " never reaches the goal";
+    EXPECT_EQ(got, best) << "suboptimal path from state " << s;
+  }
+}
+
+TEST(QLearning, QValuesApproachOptimal) {
+  env::GridWorld g(grid(4, 4));
+  QLearningOptions opt;
+  opt.alpha = 0.1;
+  opt.gamma = 0.9;
+  QLearning learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 300000;
+  train(learner, topt);
+  const auto optimal = env::value_iteration(g, 0.9);
+  EXPECT_LT(env::greedy_path_q_error(g, optimal, learner.q(),
+                                     g.state_of(0, 0)),
+            1.0);
+}
+
+TEST(QLearning, MonotoneQmaxCacheNeverDecreases) {
+  env::GridWorld g(grid(4, 4));
+  QLearningOptions opt;
+  opt.use_monotone_qmax = true;
+  QLearning learner(g, opt);
+  policy::XoshiroSource rng(3);
+  std::vector<double> prev(g.num_states(), 0.0);
+  StateId s = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Step st = learner.step(s, rng);
+    for (StateId k = 0; k < g.num_states(); ++k) {
+      const double now = learner.cached_qmax(k);
+      ASSERT_GE(now, prev[k]);
+      prev[k] = now;
+    }
+    s = st.terminal ? 0 : st.next_state;
+  }
+}
+
+TEST(QLearning, MonotoneQmaxStillLearnsGoal) {
+  env::GridWorld g(grid(4, 4));
+  QLearningOptions opt;
+  opt.use_monotone_qmax = true;
+  opt.alpha = 0.2;
+  QLearning learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 200000;
+  train(learner, topt);
+  const auto policy = learner.greedy_policy();
+  EXPECT_GE(env::rollout_steps(g, policy, g.state_of(0, 0), 100), 0);
+}
+
+TEST(Sarsa, LearnsGoalDirectedPolicy) {
+  env::GridWorld g(grid(8, 8));
+  SarsaOptions opt;
+  opt.alpha = 0.2;
+  opt.gamma = 0.9;
+  opt.epsilon = 0.25;
+  Sarsa learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 500000;
+  train(learner, topt);
+  const auto policy = learner.greedy_policy();
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_obstacle(s) || g.is_terminal(s)) continue;
+    ++total;
+    if (env::rollout_steps(g, policy, s, 200) >= 0) ++reached;
+  }
+  EXPECT_GE(reached, total * 9 / 10);
+}
+
+TEST(Sarsa, CliffWalkPrefersSafePath) {
+  // Classic on-policy vs off-policy distinction: with a penalized "cliff"
+  // row, epsilon-greedy SARSA learns to stay away from the cliff edge,
+  // while Q-learning learns the risky shortest path. We verify SARSA's
+  // value along the edge is depressed relative to Q-learning's.
+  env::GridWorldConfig c = grid(8, 4);
+  c.goal_x = 7;
+  c.goal_y = 3;
+  c.step_reward = -1.0;
+  c.collision_penalty = 100.0;  // bumps hurt
+  env::GridWorld g(c);
+
+  SarsaOptions sopt;
+  sopt.alpha = 0.2;
+  sopt.gamma = 0.95;
+  sopt.epsilon = 0.3;
+  Sarsa sarsa(g, sopt);
+  TrainOptions topt;
+  topt.total_samples = 400000;
+  train(sarsa, topt);
+
+  QLearningOptions qopt;
+  qopt.alpha = 0.2;
+  qopt.gamma = 0.95;
+  QLearning qlearn(g, qopt);
+  train(qlearn, topt);
+
+  // Edge state next to the bottom boundary, action "down" bumps: SARSA's
+  // Q for walking along the bottom row should be lower than Q-learning's
+  // (it accounts for exploratory bumps).
+  const StateId edge = g.state_of(3, 3);
+  EXPECT_LT(sarsa.q_at(edge, 2), qlearn.q_at(edge, 2) + 1e-9);
+}
+
+TEST(ExpectedSarsa, Converges) {
+  env::GridWorld g(grid(4, 4));
+  ExpectedSarsaOptions opt;
+  opt.alpha = 0.2;
+  opt.epsilon = 0.2;
+  ExpectedSarsa learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 200000;
+  train(learner, topt);
+  const auto policy = learner.greedy_policy();
+  EXPECT_GE(env::rollout_steps(g, policy, g.state_of(0, 0), 100), 0);
+}
+
+TEST(DoubleQ, Converges) {
+  env::GridWorld g(grid(4, 4));
+  DoubleQOptions opt;
+  opt.alpha = 0.2;
+  DoubleQLearning learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 300000;
+  train(learner, topt);
+  const auto policy = learner.greedy_policy();
+  EXPECT_GE(env::rollout_steps(g, policy, g.state_of(0, 0), 100), 0);
+}
+
+TEST(Trainer, CountsEpisodesAndSamples) {
+  env::GridWorld g(grid(4, 4));
+  QLearning learner(g, QLearningOptions{});
+  TrainOptions topt;
+  topt.total_samples = 10000;
+  const TrainResult r = train(learner, topt);
+  EXPECT_EQ(r.samples, 10000u);
+  EXPECT_GT(r.episodes, 0u);
+  EXPECT_GT(r.samples_per_sec, 0.0);
+  EXPECT_GT(r.episode_length.mean(), 0.0);
+}
+
+TEST(Trainer, ProbeFires) {
+  env::GridWorld g(grid(4, 4));
+  QLearning learner(g, QLearningOptions{});
+  TrainOptions topt;
+  topt.total_samples = 1000;
+  topt.probe_interval = 100;
+  int probes = 0;
+  topt.probe = [&](std::uint64_t) { ++probes; };
+  train(learner, topt);
+  EXPECT_EQ(probes, 10);
+}
+
+TEST(Trainer, WatchdogCutsEpisodes) {
+  // Self-loop-free grid but a tiny step cap: episodes end by the cap.
+  env::GridWorld g(grid(8, 8));
+  QLearning learner(g, QLearningOptions{});
+  TrainOptions topt;
+  topt.total_samples = 5000;
+  topt.max_steps_per_episode = 10;
+  const TrainResult r = train(learner, topt);
+  EXPECT_LE(r.episode_length.max(), 10.0);
+}
+
+TEST(MabEpsGreedy, FindsBestArm) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 1);
+  EpsilonGreedyMab algo(5, 0.1);
+  policy::XoshiroSource rng(2);
+  run_bandit(algo, bandit, 20000, rng);
+  // Best arm's estimate dominates.
+  double best = -1e9;
+  unsigned best_arm = 0;
+  for (unsigned m = 0; m < 5; ++m) {
+    if (algo.value(m) > best) {
+      best = algo.value(m);
+      best_arm = m;
+    }
+  }
+  EXPECT_EQ(best_arm, bandit.best_arm());
+  // Regret grows sublinearly: far less than always pulling at random
+  // (~0.5 per pull average gap).
+  EXPECT_LT(bandit.cumulative_regret(), 20000 * 0.12);
+}
+
+TEST(MabUcb1, SweepsAllArmsFirst) {
+  Ucb1 algo(4);
+  policy::XoshiroSource rng(3);
+  std::set<unsigned> first;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned m = algo.select(rng);
+    first.insert(m);
+    algo.update(m, 0.5);
+  }
+  EXPECT_EQ(first.size(), 4u);
+}
+
+TEST(MabUcb1, LowRegret) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 4);
+  Ucb1 algo(5);
+  policy::XoshiroSource rng(5);
+  run_bandit(algo, bandit, 20000, rng);
+  EXPECT_LT(bandit.cumulative_regret(), 20000 * 0.05);
+}
+
+TEST(MabExp3, BeatsUniformPlay) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(4, 0.2, 6);
+  Exp3Mab algo(4, 0.1);
+  policy::XoshiroSource rng(7);
+  run_bandit(algo, bandit, 30000, rng, 0.0, 1.0);
+  // Uniform play loses (0.5+1/3+1/6)/... mean gap 0.5 per pull against
+  // the best arm; EXP3 should do much better.
+  EXPECT_LT(bandit.cumulative_regret(), 30000 * 0.3);
+}
+
+}  // namespace
+}  // namespace qta::algo

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "env/grid_world.h"
+#include "env/random_mdp.h"
+#include "env/value_iteration.h"
+#include "qtaccel/boltzmann_pipeline.h"
+
+namespace qta::qtaccel {
+namespace {
+
+env::GridWorldConfig grid(unsigned w, unsigned h, unsigned a = 4) {
+  env::GridWorldConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_actions = a;
+  return c;
+}
+
+TEST(Boltzmann, InitialPolicyIsUniform) {
+  env::GridWorld g(grid(4, 4));
+  BoltzmannConfig c;
+  BoltzmannPipeline p(g, c);
+  for (ActionId a = 0; a < 4; ++a) {
+    EXPECT_NEAR(p.action_probability(0, a), 0.25, 1e-6);
+  }
+}
+
+TEST(Boltzmann, SelectionMatchesStoredWeights) {
+  env::GridWorld g(grid(4, 4));
+  BoltzmannConfig c;
+  c.seed = 2;
+  BoltzmannPipeline p(g, c);
+  // All weights equal: samples should cover all actions ~uniformly.
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 40000; ++i) ++counts[p.sample_action_for_test(5)];
+  for (int k : counts) {
+    EXPECT_NEAR(static_cast<double>(k) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Boltzmann, WeightsTrackExpOfQOverT) {
+  env::GridWorld g(grid(4, 4));
+  BoltzmannConfig c;
+  c.temperature = 64.0;  // Q/T stays inside the LUT domain for |Q| <= 512
+  c.seed = 3;
+  BoltzmannPipeline p(g, c);
+  p.run_samples(50000);
+  // Every visited (s, a) has weight == expLUT(Q / T) within LUT +
+  // weight-quantization error.
+  int checked = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      const double q = p.q_value(s, a);
+      if (q == 0.0) continue;  // likely unvisited; init weight
+      const double expect = std::exp(q / c.temperature);
+      EXPECT_NEAR(p.weight(s, a), expect, 0.05 * expect + 0.15)
+          << "s=" << s << " a=" << a;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(Boltzmann, LearnsGoalDirectedPolicy) {
+  env::GridWorld g(grid(8, 8));
+  BoltzmannConfig c;
+  c.alpha = 0.2;
+  c.temperature = 24.0;
+  c.seed = 4;
+  c.max_episode_length = 256;
+  BoltzmannPipeline p(g, c);
+  p.run_samples(600000);
+  std::vector<ActionId> policy(g.num_states(), 0);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      if (p.q_value(s, a) > best) {
+        best = p.q_value(s, a);
+        policy[s] = a;
+      }
+    }
+  }
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    ++total;
+    reached += env::rollout_steps(g, policy, s, 500) >= 0 ? 1 : 0;
+  }
+  EXPECT_GE(reached, total * 8 / 10);
+}
+
+TEST(Boltzmann, HighQActionsDominateAfterLearning) {
+  env::GridWorld g(grid(4, 4));
+  BoltzmannConfig c;
+  c.alpha = 0.3;
+  c.temperature = 32.0;
+  c.seed = 5;
+  c.max_episode_length = 128;
+  BoltzmannPipeline p(g, c);
+  p.run_samples(200000);
+  // The cell left of the goal: moving right (into the goal, +255) must be
+  // the single most probable action.
+  const StateId s = g.state_of(2, 3);
+  for (ActionId a = 0; a < 4; ++a) {
+    if (a == 2) continue;
+    EXPECT_GT(p.action_probability(s, 2), p.action_probability(s, a));
+  }
+  EXPECT_GT(p.action_probability(s, 2), 0.35);
+}
+
+TEST(Boltzmann, SelectionStallCycleAccounting) {
+  env::GridWorld g(grid(4, 4));       // |A| = 4 -> 2 stall cycles
+  env::GridWorld g8(grid(4, 4, 8));   // |A| = 8 -> 3 stall cycles
+  BoltzmannConfig c;
+  c.seed = 6;
+  c.max_episode_length = 128;
+  BoltzmannPipeline p4(g, c);
+  BoltzmannPipeline p8(g8, c);
+  p4.run_samples(10000);
+  p8.run_samples(10000);
+  EXPECT_NEAR(p4.stats().samples_per_cycle(), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(p8.stats().samples_per_cycle(), 1.0 / 4.0, 0.01);
+  EXPECT_EQ(p4.stats().selection_stall_cycles, 2u * p4.stats().samples);
+}
+
+TEST(Boltzmann, TemperatureControlsExploration) {
+  // Hotter temperature => flatter learned distributions.
+  env::GridWorld g(grid(4, 4));
+  BoltzmannConfig hot, cold;
+  hot.temperature = 512.0;
+  cold.temperature = 48.0;
+  hot.seed = cold.seed = 7;
+  hot.max_episode_length = cold.max_episode_length = 128;
+  BoltzmannPipeline ph(g, hot), pc(g, cold);
+  ph.run_samples(150000);
+  pc.run_samples(150000);
+  const StateId s = g.state_of(2, 3);
+  double hmax = 0.0, cmax = 0.0;
+  for (ActionId a = 0; a < 4; ++a) {
+    hmax = std::max(hmax, ph.action_probability(s, a));
+    cmax = std::max(cmax, pc.action_probability(s, a));
+  }
+  EXPECT_LT(hmax, cmax);
+}
+
+TEST(Boltzmann, ResourcesIncludeProbabilityTable) {
+  env::GridWorld g(grid(16, 16, 8));
+  BoltzmannConfig c;
+  BoltzmannPipeline p(g, c);
+  const auto ledger = p.resources();
+  bool has_prob = false;
+  for (const auto& m : ledger.memories()) {
+    if (m.name == "probability_table") has_prob = true;
+  }
+  EXPECT_TRUE(has_prob);
+  EXPECT_EQ(ledger.dsp(), 5u);  // 4 datapath + 1 probability-scale
+}
+
+TEST(Boltzmann, WatchdogAndBubblesAccounted) {
+  env::RandomMdpConfig mc;
+  mc.num_states = 4;
+  mc.num_actions = 4;
+  mc.self_loop = true;
+  env::RandomMdp m(mc);
+  BoltzmannConfig c;
+  c.max_episode_length = 50;
+  c.seed = 8;
+  BoltzmannPipeline p(m, c);
+  p.run_samples(5000);
+  EXPECT_EQ(p.stats().episodes, 100u);
+}
+
+}  // namespace
+}  // namespace qta::qtaccel

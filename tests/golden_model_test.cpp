@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "env/grid_world.h"
+#include "env/random_mdp.h"
+#include "env/value_iteration.h"
+#include "qtaccel/golden_model.h"
+
+namespace qta::qtaccel {
+namespace {
+
+env::GridWorldConfig grid(unsigned w, unsigned h, unsigned a = 4) {
+  env::GridWorldConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_actions = a;
+  return c;
+}
+
+TEST(GoldenModel, QLearningConvergesOnGrid) {
+  env::GridWorld g(grid(8, 8));
+  PipelineConfig c;
+  c.alpha = 0.2;
+  c.gamma = 0.9;
+  c.seed = 1;
+  GoldenModel golden(g, c);
+  golden.run(400000);
+
+  const auto optimal = env::value_iteration(g, 0.9);
+  // Extract the greedy policy from the learned fixed-point table.
+  std::vector<ActionId> policy(g.num_states(), 0);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      if (golden.q_value(s, a) > best) {
+        best = golden.q_value(s, a);
+        policy[s] = a;
+      }
+    }
+  }
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    ++total;
+    if (env::rollout_steps(g, policy, s, 200) >= 0) ++reached;
+  }
+  EXPECT_GE(reached, total * 95 / 100);
+  // Q values on the optimal path approach Q* within fixed-point slack.
+  EXPECT_LT(env::greedy_path_q_error(g, optimal, golden.q_as_double(),
+                                     g.state_of(0, 0)),
+            2.0);
+}
+
+TEST(GoldenModel, SarsaConvergesOnGrid) {
+  env::GridWorld g(grid(8, 8));
+  PipelineConfig c;
+  c.algorithm = Algorithm::kSarsa;
+  c.alpha = 0.2;
+  c.epsilon = 0.3;
+  c.seed = 2;
+  // The watchdog matters for SARSA: with an empty Qmax table the greedy
+  // branch is pinned to action 0, and without episode truncation the
+  // on-policy walk can wedge against a wall for the entire run (observed:
+  // zero completed episodes in 800k samples at the default cap).
+  c.max_episode_length = 200;
+  GoldenModel golden(g, c);
+  golden.run(800000);
+  std::vector<ActionId> policy(g.num_states(), 0);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      if (golden.q_value(s, a) > best) {
+        best = golden.q_value(s, a);
+        policy[s] = a;
+      }
+    }
+  }
+  // On-policy SARSA with the hardware's monotone-Qmax greedy branch is a
+  // biased learner; require the bulk of states (not all corners) to have
+  // goal-directed greedy actions.
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    ++total;
+    if (env::rollout_steps(g, policy, s, 200) >= 0) ++reached;
+  }
+  EXPECT_GE(reached, total * 8 / 10);
+}
+
+TEST(GoldenModel, QmaxIsMonotoneUpperBoundOfItsRowHistory) {
+  env::GridWorld g(grid(4, 4));
+  PipelineConfig c;
+  c.seed = 3;
+  GoldenModel golden(g, c);
+  std::vector<fixed::raw_t> prev(g.num_states(), 0);
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    golden.run(200);
+    for (StateId s = 0; s < g.num_states(); ++s) {
+      ASSERT_GE(golden.qmax_value(s), prev[s]) << "Qmax decreased";
+      prev[s] = golden.qmax_value(s);
+    }
+  }
+}
+
+TEST(GoldenModel, QmaxEqualsRowMaxWhenValuesOnlyGrow) {
+  // With all rewards >= 0, Q rows never decrease, so the monotone Qmax
+  // equals the exact row maximum at all times.
+  env::GridWorldConfig cfg = grid(4, 4);
+  cfg.collision_penalty = 0.0;
+  cfg.step_reward = 0.5;
+  env::GridWorld g(cfg);
+  PipelineConfig c;
+  c.seed = 4;
+  GoldenModel golden(g, c);
+  golden.run(30000);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    fixed::raw_t mx = golden.q_raw(s, 0);
+    for (ActionId a = 1; a < g.num_actions(); ++a) {
+      mx = std::max(mx, golden.q_raw(s, a));
+    }
+    EXPECT_EQ(golden.qmax_value(s), std::max<fixed::raw_t>(mx, 0)) << s;
+  }
+}
+
+TEST(GoldenModel, QmaxCanGoStaleHighWithNegativeRewards) {
+  // Failure-mode characterization of the paper's approximation: once a Q
+  // value decays below its historical peak, Qmax over-reports the row max.
+  // All-negative rewards: every Q value decays below the Qmax table's
+  // initial 0, so the table over-reports the row max for every visited
+  // state (the staleness the exact-scan ablation removes).
+  env::RandomMdpConfig mc;
+  mc.num_states = 4;
+  mc.num_actions = 4;
+  mc.reward_lo = -1.0;
+  mc.reward_hi = -0.1;
+  mc.seed = 5;
+  env::RandomMdp m(mc);
+  PipelineConfig c;
+  c.alpha = 0.5;
+  c.seed = 5;
+  GoldenModel golden(m, c);
+  golden.run(50000);
+  bool stale_somewhere = false;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    fixed::raw_t mx = golden.q_raw(s, 0);
+    for (ActionId a = 1; a < m.num_actions(); ++a) {
+      mx = std::max(mx, golden.q_raw(s, a));
+    }
+    ASSERT_GE(golden.qmax_value(s), std::max<fixed::raw_t>(mx, 0));
+    if (golden.qmax_value(s) > mx) stale_somewhere = true;
+  }
+  EXPECT_TRUE(stale_somewhere);
+}
+
+TEST(GoldenModel, ExactScanTracksTrueRowMax) {
+  env::RandomMdpConfig mc;
+  mc.num_states = 4;
+  mc.num_actions = 4;
+  mc.seed = 6;
+  env::RandomMdp m(mc);
+  PipelineConfig c;
+  c.qmax = QmaxMode::kExactScan;
+  c.seed = 6;
+  GoldenModel golden(m, c);
+  golden.run(20000);  // must run without touching the monotone table
+  EXPECT_GT(golden.counters().samples, 0u);
+}
+
+TEST(GoldenModel, TraceShapeIsConsistent) {
+  env::GridWorld g(grid(4, 4));
+  PipelineConfig c;
+  c.seed = 7;
+  GoldenModel golden(g, c);
+  std::vector<SampleTrace> trace;
+  golden.set_trace(&trace);
+  golden.run(5000);
+  ASSERT_EQ(trace.size(), 5000u);
+  // Within an episode the chain is connected: next_state of sample i is
+  // state of sample i+1 (unless the episode ended or a bubble follows).
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    if (trace[i].bubble || trace[i].end_episode) continue;
+    if (trace[i + 1].bubble) continue;
+    EXPECT_EQ(trace[i].next_state, trace[i + 1].state) << i;
+  }
+  // Episode ends are followed by a fresh (possibly bubble) start.
+  EXPECT_EQ(golden.counters().iterations, 5000u);
+  EXPECT_EQ(golden.counters().samples + golden.counters().bubbles, 5000u);
+}
+
+TEST(GoldenModel, WatchdogTruncatesEpisodes) {
+  // Self-loop MDP never reaches a terminal: only the watchdog ends
+  // episodes.
+  env::RandomMdpConfig mc;
+  mc.num_states = 4;
+  mc.num_actions = 4;
+  mc.self_loop = true;
+  env::RandomMdp m(mc);
+  PipelineConfig c;
+  c.max_episode_length = 50;
+  c.seed = 8;
+  GoldenModel golden(m, c);
+  golden.run(5000);
+  EXPECT_EQ(golden.counters().episodes, 5000u / 50);
+}
+
+TEST(GoldenModel, BubblesHappenWhenStartHitsTerminal) {
+  // 2-state MDP with state 1 terminal: ~half the episode starts bubble.
+  env::RandomMdpConfig mc;
+  mc.num_states = 2;
+  mc.num_actions = 2;
+  mc.terminal_fraction = 0.0;
+  env::RandomMdp m(mc);
+  struct OneTerminal final : env::Environment {
+    explicit OneTerminal(const env::RandomMdp& base) : base_(base) {}
+    StateId num_states() const override { return base_.num_states(); }
+    ActionId num_actions() const override { return base_.num_actions(); }
+    StateId transition(StateId s, ActionId a) const override {
+      return base_.transition(s, a);
+    }
+    double reward(StateId s, ActionId a) const override {
+      return base_.reward(s, a);
+    }
+    bool is_terminal(StateId s) const override { return s == 1; }
+    const env::RandomMdp& base_;
+  } env_with_terminal(m);
+
+  PipelineConfig c;
+  c.seed = 9;
+  GoldenModel golden(env_with_terminal, c);
+  golden.run(10000);
+  EXPECT_GT(golden.counters().bubbles, 1000u);
+  EXPECT_GT(golden.counters().samples, 1000u);
+}
+
+TEST(GoldenModel, FixedPointSaturationIsBounded) {
+  // Large rewards + gamma near 1 drive values toward the format limit;
+  // the table must stay within representable range (saturating, not
+  // wrapping).
+  env::GridWorldConfig cfg = grid(4, 4);
+  cfg.goal_reward = 511.0;
+  cfg.collision_penalty = 511.0;
+  env::GridWorld g(cfg);
+  PipelineConfig c;
+  c.gamma = 0.99;
+  c.alpha = 0.9;
+  c.seed = 10;
+  GoldenModel golden(g, c);
+  golden.run(50000);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      EXPECT_GE(golden.q_raw(s, a), c.q_fmt.min_raw());
+      EXPECT_LE(golden.q_raw(s, a), c.q_fmt.max_raw());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qta::qtaccel

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "env/grid_map.h"
+#include "env/value_iteration.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta::env {
+namespace {
+
+constexpr const char* kMap =
+    ". . # .\n"
+    ". . # .\n"
+    ". . . .\n"
+    "# . . G\n";
+
+TEST(GridMap, ParsesGeometry) {
+  const GridWorldConfig c = parse_grid_map(kMap);
+  EXPECT_EQ(c.width, 4u);
+  EXPECT_EQ(c.height, 4u);
+  EXPECT_EQ(c.goal_x.value(), 3u);
+  EXPECT_EQ(c.goal_y.value(), 3u);
+  ASSERT_EQ(c.extra_obstacles.size(), 3u);
+}
+
+TEST(GridMap, BuildsWorkingWorld) {
+  GridWorld world(parse_grid_map(kMap));
+  EXPECT_TRUE(world.is_obstacle(world.state_of(2, 0)));
+  EXPECT_TRUE(world.is_obstacle(world.state_of(2, 1)));
+  EXPECT_TRUE(world.is_obstacle(world.state_of(0, 3)));
+  EXPECT_FALSE(world.is_obstacle(world.state_of(1, 1)));
+  EXPECT_EQ(world.goal_state(), world.state_of(3, 3));
+  // From (0,0) the goal is 6 moves away (Manhattan distance; the column-2
+  // wall gap at row 2 lies on a shortest path anyway).
+  const auto vi = value_iteration(world, 0.9);
+  EXPECT_EQ(rollout_steps(world, vi.policy, world.state_of(0, 0), 100), 6);
+}
+
+TEST(GridMap, CompactTokensWithoutSpaces) {
+  const GridWorldConfig c = parse_grid_map("..#.\n...#\n....\n...G\n");
+  EXPECT_EQ(c.width, 4u);
+  EXPECT_EQ(c.extra_obstacles.size(), 2u);
+}
+
+TEST(GridMap, RoundTripsThroughToString) {
+  GridWorld world(parse_grid_map(kMap));
+  const std::string rendered = grid_map_to_string(world);
+  GridWorld again(parse_grid_map(rendered));
+  EXPECT_EQ(grid_map_to_string(again), rendered);
+}
+
+TEST(GridMap, BaseConfigCarriesRewards) {
+  GridWorldConfig base;
+  base.goal_reward = 10.0;
+  base.num_actions = 8;
+  const GridWorldConfig c = parse_grid_map(kMap, base);
+  EXPECT_DOUBLE_EQ(c.goal_reward, 10.0);
+  EXPECT_EQ(c.num_actions, 8u);
+}
+
+TEST(GridMap, RejectsMalformedMaps) {
+  EXPECT_DEATH(parse_grid_map(""), "no rows");
+  EXPECT_DEATH(parse_grid_map("..\n...\n"), "differ in length");
+  EXPECT_DEATH(parse_grid_map("...\n...\n...\n"), "powers of two");
+  EXPECT_DEATH(parse_grid_map("....\n....\n....\n....\n"), "no goal");
+  EXPECT_DEATH(parse_grid_map("G..G\n....\n....\n....\n"),
+               "more than one goal");
+  EXPECT_DEATH(parse_grid_map("..X.\n....\n....\n...G\n"), "cell must be");
+}
+
+TEST(GridMap, AcceleratorLearnsTheMappedWorld) {
+  GridWorld world(parse_grid_map(kMap));
+  qtaccel::PipelineConfig c;
+  c.alpha = 0.2;
+  c.seed = 4;
+  c.max_episode_length = 256;
+  qtaccel::Pipeline p(world, c);
+  p.run_samples(100000);
+  std::vector<ActionId> policy(world.num_states(), 0);
+  for (StateId s = 0; s < world.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < world.num_actions(); ++a) {
+      if (p.q_value(s, a) > best) {
+        best = p.q_value(s, a);
+        policy[s] = a;
+      }
+    }
+  }
+  const auto vi = value_iteration(world, 0.9);
+  for (StateId s = 0; s < world.num_states(); ++s) {
+    if (world.is_terminal(s) || world.is_obstacle(s)) continue;
+    EXPECT_EQ(rollout_steps(world, policy, s, 100),
+              rollout_steps(world, vi.policy, s, 100))
+        << "state " << s;
+  }
+}
+
+}  // namespace
+}  // namespace qta::env

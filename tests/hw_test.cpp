@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "fixed/fixed_point.h"
+#include "hw/bram.h"
+#include "hw/dsp.h"
+#include "hw/resource_ledger.h"
+#include "hw/sim_kernel.h"
+
+namespace qta::hw {
+namespace {
+
+TEST(Reg, TwoPhaseUpdate) {
+  Reg<int> r(0);
+  r.set_next(5);
+  EXPECT_EQ(r.get(), 0);  // not visible until the edge
+  r.clock_edge();
+  EXPECT_EQ(r.get(), 5);
+}
+
+TEST(Reg, Force) {
+  Reg<int> r(0);
+  r.force(7);
+  EXPECT_EQ(r.get(), 7);
+  r.clock_edge();
+  EXPECT_EQ(r.get(), 7);
+}
+
+TEST(SimKernel, AdvancesTime) {
+  SimKernel k;
+  Reg<int> r(0);
+  k.attach(&r);
+  EXPECT_EQ(k.now(), 0u);
+  r.set_next(1);
+  k.begin_cycle();
+  k.clock_edge();
+  EXPECT_EQ(k.now(), 1u);
+  EXPECT_EQ(r.get(), 1);
+}
+
+TEST(Bram, ReadFirstSemantics) {
+  Bram b("t", 16, 18);
+  b.preset(3, 42);
+  b.begin_cycle();
+  b.write(1, 3, 99);          // queued
+  EXPECT_EQ(b.read(0, 3), 42);  // same cycle: old data
+  b.clock_edge();
+  b.begin_cycle();
+  EXPECT_EQ(b.read(0, 3), 99);  // next cycle: new data
+}
+
+TEST(Bram, PortReuseAborts) {
+  Bram b("t", 16, 18);
+  b.begin_cycle();
+  b.read(0, 0);
+  EXPECT_DEATH(b.read(0, 1), "port used twice");
+}
+
+TEST(Bram, PortReuseCountedWhenPolicyIsCount) {
+  Bram b("t", 16, 18, 2, PortConflictPolicy::kCount);
+  b.begin_cycle();
+  b.read(0, 0);
+  b.read(0, 1);
+  EXPECT_EQ(b.stats().port_conflicts, 1u);
+}
+
+TEST(Bram, PortsClearEachCycle) {
+  Bram b("t", 16, 18);
+  for (int c = 0; c < 5; ++c) {
+    b.begin_cycle();
+    b.read(0, 0);
+    b.write(1, 1, c);
+    b.clock_edge();
+  }
+  EXPECT_EQ(b.stats().port_conflicts, 0u);
+  EXPECT_EQ(b.peek(1), 4);
+}
+
+TEST(Bram, OutOfRangeAborts) {
+  Bram b("t", 16, 18);
+  b.begin_cycle();
+  EXPECT_DEATH(b.read(0, 16), "address out of range");
+  EXPECT_DEATH(b.write(1, 99, 0), "address out of range");
+}
+
+TEST(Bram, WriteCollisionArbitration) {
+  // Two ports writing the same address in one cycle: the higher port wins
+  // and the event is counted (Section VII-A shared-table semantics).
+  Bram b("t", 16, 18, 4);
+  b.begin_cycle();
+  b.write(1, 5, 111);
+  b.write(3, 5, 222);
+  b.clock_edge();
+  EXPECT_EQ(b.peek(5), 222);
+  EXPECT_EQ(b.stats().write_collisions, 1u);
+}
+
+TEST(Bram, DistinctAddressWritesAreNotCollisions) {
+  Bram b("t", 16, 18, 4);
+  b.begin_cycle();
+  b.write(1, 5, 1);
+  b.write(3, 6, 2);
+  b.clock_edge();
+  EXPECT_EQ(b.stats().write_collisions, 0u);
+  EXPECT_EQ(b.peek(5), 1);
+  EXPECT_EQ(b.peek(6), 2);
+}
+
+TEST(Bram, FillAndPeek) {
+  Bram b("t", 8, 18);
+  b.fill(-3);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(b.peek(i), -3);
+}
+
+TEST(Bram, StatsCountAccesses) {
+  Bram b("t", 8, 18);
+  b.begin_cycle();
+  b.read(0, 0);
+  b.write(1, 1, 5);
+  b.clock_edge();
+  EXPECT_EQ(b.stats().reads, 1u);
+  EXPECT_EQ(b.stats().writes, 1u);
+}
+
+TEST(Bram, RegisterResources) {
+  Bram b("qt", 2048, 18);
+  ResourceLedger ledger;
+  b.register_resources(ledger);
+  ASSERT_EQ(ledger.memories().size(), 1u);
+  EXPECT_EQ(ledger.memories()[0].name, "qt");
+  EXPECT_EQ(ledger.memories()[0].bits(), 2048u * 18u);
+}
+
+TEST(Dsp, MultipliesAndCounts) {
+  DspMultiplier dsp("m", fixed::Format{18, 8}, fixed::Format{18, 16},
+                    fixed::Format{18, 8});
+  const fixed::raw_t a = fixed::from_double(2.0, {18, 8});
+  const fixed::raw_t b = fixed::from_double(0.25, {18, 16});
+  EXPECT_EQ(dsp.multiply(a, b), fixed::from_double(0.5, {18, 8}));
+  EXPECT_EQ(dsp.invocations(), 1u);
+  EXPECT_EQ(dsp.saturations(), 0u);
+}
+
+TEST(Dsp, CountsSaturations) {
+  DspMultiplier dsp("m", fixed::Format{18, 2}, fixed::Format{18, 2},
+                    fixed::Format{18, 8});
+  const fixed::raw_t big = fixed::from_double(10000.0, {18, 2});
+  dsp.multiply(big, big);
+  EXPECT_EQ(dsp.saturations(), 1u);
+}
+
+TEST(Dsp, RegistersOneSlice) {
+  DspMultiplier dsp("m", fixed::Format{18, 8}, fixed::Format{18, 16},
+                    fixed::Format{18, 8});
+  ResourceLedger ledger;
+  dsp.register_resources(ledger);
+  EXPECT_EQ(ledger.dsp(), 1u);
+}
+
+TEST(ResourceLedger, Accumulates) {
+  ResourceLedger ledger;
+  ledger.add_memory({"a", 100, 18, 2});
+  ledger.add_memory({"b", 50, 36, 1});
+  ledger.add_dsp(4, "datapath");
+  ledger.add_flip_flops(100, "regs");
+  ledger.add_luts(200, "ctrl");
+  EXPECT_EQ(ledger.memory_bits(), 100u * 18 + 50u * 36);
+  EXPECT_EQ(ledger.dsp(), 4u);
+  EXPECT_EQ(ledger.flip_flops(), 100u);
+  EXPECT_EQ(ledger.luts(), 200u);
+  EXPECT_EQ(ledger.notes().size(), 5u);
+}
+
+TEST(ResourceLedger, Merge) {
+  ResourceLedger a, b;
+  a.add_dsp(4, "x");
+  b.add_dsp(4, "y");
+  b.add_memory({"m", 10, 18, 2});
+  a.merge(b);
+  EXPECT_EQ(a.dsp(), 8u);
+  EXPECT_EQ(a.memories().size(), 1u);
+}
+
+}  // namespace
+}  // namespace qta::hw

@@ -1,0 +1,117 @@
+// Cross-stack integration: the fixed-point accelerator, the
+// double-precision software references, and exact dynamic programming
+// must all agree on WHAT is learned across a sweep of obstacle worlds.
+// (The equivalence suite pins the accelerator to its golden model; this
+// suite pins the whole stack to ground truth.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/q_learning.h"
+#include "algo/trainer.h"
+#include "env/grid_world.h"
+#include "env/value_iteration.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta {
+namespace {
+
+struct WorldCase {
+  unsigned side;
+  double obstacles;
+  std::uint64_t seed;
+};
+
+std::string case_name(const testing::TestParamInfo<WorldCase>& info) {
+  std::ostringstream os;
+  os << info.param.side << "x" << info.param.side << "_obst"
+     << static_cast<int>(info.param.obstacles * 100) << "_s"
+     << info.param.seed;
+  return os.str();
+}
+
+class CrossStack : public testing::TestWithParam<WorldCase> {};
+
+std::vector<ActionId> greedy_of(const env::GridWorld& g,
+                                const std::vector<double>& q) {
+  std::vector<ActionId> policy(g.num_states(), 0);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      const double v = q[static_cast<std::size_t>(s) * g.num_actions() + a];
+      if (v > best) {
+        best = v;
+        policy[s] = a;
+      }
+    }
+  }
+  return policy;
+}
+
+double agreement_with_optimal(const env::GridWorld& g,
+                              const std::vector<ActionId>& policy,
+                              const env::ValueIterationResult& vi) {
+  int match = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s) || g.is_obstacle(s)) continue;
+    const int got = env::rollout_steps(g, policy, s, 2000);
+    const int best = env::rollout_steps(g, vi.policy, s, 2000);
+    if (best < 0) continue;  // walled-off pocket: unreachable even for DP
+    ++total;
+    match += (got == best) ? 1 : 0;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(match) / total;
+}
+
+TEST_P(CrossStack, AcceleratorAndSoftwareReachTheOptimum) {
+  const WorldCase& wc = GetParam();
+  env::GridWorldConfig gc;
+  gc.width = gc.height = wc.side;
+  gc.num_actions = 4;
+  gc.obstacle_density = wc.obstacles;
+  gc.obstacle_seed = wc.seed;
+  env::GridWorld world(gc);
+  const auto vi = env::value_iteration(world, 0.9);
+
+  const std::uint64_t samples = 1500ull * world.num_states();
+
+  // Fixed-point accelerator.
+  qtaccel::PipelineConfig pc;
+  pc.alpha = 0.2;
+  pc.gamma = 0.9;
+  pc.seed = wc.seed + 1;
+  pc.max_episode_length = 4 * world.num_states();
+  qtaccel::Pipeline accel(world, pc);
+  accel.run_samples(samples);
+
+  // Double-precision software reference.
+  algo::QLearningOptions qo;
+  qo.alpha = 0.2;
+  qo.gamma = 0.9;
+  algo::QLearning soft(world, qo);
+  algo::TrainOptions to;
+  to.total_samples = samples;
+  to.seed = wc.seed + 2;
+  to.max_steps_per_episode = 4 * world.num_states();
+  algo::train(soft, to);
+
+  const double acc_agree =
+      agreement_with_optimal(world, greedy_of(world, accel.q_as_double()),
+                             vi);
+  const double soft_agree =
+      agreement_with_optimal(world, soft.greedy_policy(), vi);
+  EXPECT_GT(acc_agree, 0.95) << "accelerator policy quality";
+  EXPECT_GT(soft_agree, 0.95) << "software policy quality";
+  // Fixed point must not lag the double reference by more than a whisker.
+  EXPECT_GT(acc_agree, soft_agree - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, CrossStack,
+    testing::Values(WorldCase{8, 0.0, 1}, WorldCase{8, 0.2, 2},
+                    WorldCase{16, 0.0, 3}, WorldCase{16, 0.15, 4},
+                    WorldCase{16, 0.25, 5}),
+    case_name);
+
+}  // namespace
+}  // namespace qta

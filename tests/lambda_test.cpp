@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "algo/lambda_returns.h"
+#include "algo/q_learning.h"
+#include "algo/sarsa.h"
+#include "algo/trainer.h"
+#include "env/grid_world.h"
+#include "env/value_iteration.h"
+
+namespace qta::algo {
+namespace {
+
+env::GridWorldConfig grid(unsigned w, unsigned h) {
+  env::GridWorldConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_actions = 4;
+  c.step_reward = -1.0;  // dense signal makes propagation measurable
+  c.goal_reward = 100.0;
+  c.collision_penalty = 5.0;
+  return c;
+}
+
+double success_rate(const env::GridWorld& g, const TabularLearner& l) {
+  const auto policy = l.greedy_policy();
+  int reached = 0, total = 0;
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    ++total;
+    reached += env::rollout_steps(g, policy, s, 500) >= 0 ? 1 : 0;
+  }
+  return static_cast<double>(reached) / total;
+}
+
+TEST(SarsaLambda, ConvergesOnGrid) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.alpha = 0.15;
+  opt.lambda = 0.85;
+  opt.epsilon = 0.2;
+  SarsaLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 200000;
+  topt.max_steps_per_episode = 512;
+  train(learner, topt);
+  EXPECT_GT(success_rate(g, learner), 0.9);
+}
+
+TEST(SarsaLambda, LambdaZeroMatchesPlainSarsaQualitatively) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.lambda = 0.0;
+  opt.alpha = 0.2;
+  opt.epsilon = 0.2;
+  SarsaLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 300000;
+  topt.max_steps_per_episode = 512;
+  train(learner, topt);
+  EXPECT_GT(success_rate(g, learner), 0.9);
+  // With lambda = 0 only the current pair ever has a trace.
+  EXPECT_LE(learner.active_traces(), 1u);
+}
+
+TEST(SarsaLambda, PropagatesFasterThanOneStep) {
+  // At a tight sample budget the traced learner should have spread value
+  // to more of the grid than 1-step SARSA.
+  env::GridWorld g(grid(16, 16));
+  LambdaOptions lopt;
+  lopt.alpha = 0.15;
+  lopt.lambda = 0.9;
+  lopt.epsilon = 0.2;
+  SarsaLambda traced(g, lopt);
+  SarsaOptions sopt;
+  sopt.alpha = 0.15;
+  sopt.epsilon = 0.2;
+  Sarsa one_step(g, sopt);
+
+  TrainOptions topt;
+  topt.total_samples = 60000;
+  topt.max_steps_per_episode = 512;
+  topt.seed = 3;
+  train(traced, topt);
+  train(one_step, topt);
+  EXPECT_GT(success_rate(g, traced), success_rate(g, one_step));
+}
+
+TEST(SarsaLambda, TracesDecayAndGetDropped) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.lambda = 0.5;
+  opt.trace_cutoff = 1e-3;
+  SarsaLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 20000;
+  topt.max_steps_per_episode = 256;
+  train(learner, topt);
+  // gamma * lambda = 0.45: traces die after ~9 steps, so the active set
+  // stays far below the table size.
+  EXPECT_LT(learner.active_traces(), 16u);
+}
+
+TEST(WatkinsQLambda, ConvergesOnGrid) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.alpha = 0.15;
+  opt.lambda = 0.85;
+  opt.epsilon = 0.2;
+  WatkinsQLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 200000;
+  topt.max_steps_per_episode = 512;
+  train(learner, topt);
+  EXPECT_GT(success_rate(g, learner), 0.9);
+}
+
+TEST(WatkinsQLambda, CutsTracesOnExploration) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.epsilon = 0.5;  // explore a lot -> many cuts
+  WatkinsQLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 20000;
+  topt.max_steps_per_episode = 256;
+  train(learner, topt);
+  // Roughly eps * (1 - 1/|A|) of steps take a non-greedy action.
+  EXPECT_GT(learner.trace_cuts(), 5000u);
+}
+
+TEST(WatkinsQLambda, MatchesQLearningFixpointDirection) {
+  // Both should approach Q* on the optimal path; Watkins must not
+  // diverge despite traces.
+  env::GridWorld g(grid(8, 8));
+  const auto optimal = env::value_iteration(g, 0.9);
+  LambdaOptions opt;
+  opt.alpha = 0.1;
+  opt.lambda = 0.7;
+  opt.epsilon = 0.3;
+  WatkinsQLambda learner(g, opt);
+  TrainOptions topt;
+  topt.total_samples = 400000;
+  topt.max_steps_per_episode = 512;
+  train(learner, topt);
+  EXPECT_LT(env::greedy_path_q_error(g, optimal, learner.q(),
+                                     g.state_of(0, 0)),
+            5.0);
+}
+
+TEST(LambdaOptions, Validation) {
+  env::GridWorld g(grid(8, 8));
+  LambdaOptions opt;
+  opt.lambda = 1.5;
+  EXPECT_DEATH(SarsaLambda(g, opt), "lambda");
+}
+
+}  // namespace
+}  // namespace qta::algo

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "env/bandit.h"
+#include "qtaccel/mab_accelerator.h"
+
+namespace qta::qtaccel {
+namespace {
+
+TEST(MabAccelerator, EpsilonGreedyFindsBestArm) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 1);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kEpsilonGreedy;
+  c.epsilon = 0.1;
+  c.seed = 1;
+  MabAccelerator acc(bandit, c);
+  acc.run(30000);
+  // The best arm (index 4) gets the lion's share of pulls.
+  EXPECT_GT(acc.pull_counts()[4], 30000u / 2);
+  // And its value estimate is the largest.
+  for (unsigned m = 0; m < 4; ++m) {
+    EXPECT_GT(acc.q_value(4), acc.q_value(m));
+  }
+}
+
+TEST(MabAccelerator, EpsilonGreedyFindsBestArmInTheMiddle) {
+  // Regression: the exploration index must come from the LOW bits of the
+  // draw — the epsilon comparison conditions the high bits, and scaling
+  // the full conditioned word always picked the LAST arm, so only
+  // best-arm-last instances could be learned.
+  env::MultiArmedBandit bandit(
+      {{0.1, 0.2}, {0.9, 0.2}, {0.2, 0.2}, {0.3, 0.2}, {0.15, 0.2}}, 11);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kEpsilonGreedy;
+  c.epsilon = 0.1;
+  c.seed = 11;
+  MabAccelerator acc(bandit, c);
+  acc.run(30000);
+  EXPECT_GT(acc.pull_counts()[1], 30000u / 2);
+  // Exploration actually touches every arm.
+  for (unsigned m = 0; m < 5; ++m) {
+    EXPECT_GT(acc.pull_counts()[m], 100u) << "arm " << m;
+  }
+}
+
+TEST(MabAccelerator, EpsilonGreedyOneSamplePerCycle) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(4, 0.2, 2);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kEpsilonGreedy;
+  c.seed = 2;
+  MabAccelerator acc(bandit, c);
+  acc.run(10000);
+  EXPECT_DOUBLE_EQ(acc.stats().samples_per_cycle(), 1.0);
+  EXPECT_EQ(acc.stats().selection_stall_cycles, 0u);
+}
+
+TEST(MabAccelerator, Exp3PaysBinarySearchStalls) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(8, 0.2, 3);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kExp3;
+  c.seed = 3;
+  MabAccelerator acc(bandit, c);
+  acc.run(10000);
+  // 8 arms: 1 + ceil(log2 8) = 4 cycles per sample.
+  EXPECT_DOUBLE_EQ(acc.stats().samples_per_cycle(), 0.25);
+  EXPECT_EQ(acc.stats().selection_stall_cycles, 3u * 10000u);
+}
+
+TEST(MabAccelerator, Exp3SublinearRegret) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(4, 0.2, 4);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kExp3;
+  c.exp3_gamma = 0.1;
+  c.reward_lo = -0.5;
+  c.reward_hi = 1.5;
+  c.seed = 4;
+  MabAccelerator acc(bandit, c);
+  acc.run(30000);
+  // Uniform play would pay ~0.5 regret per pull on this instance.
+  EXPECT_LT(acc.cumulative_regret(), 30000 * 0.3);
+}
+
+TEST(MabAccelerator, LutAndExactExpAgreeOnRegretScale) {
+  MabConfig lut_cfg;
+  lut_cfg.policy = MabConfig::Policy::kExp3;
+  lut_cfg.use_exp_lut = true;
+  lut_cfg.seed = 5;
+  lut_cfg.reward_lo = -0.5;
+  lut_cfg.reward_hi = 1.5;
+  MabConfig exact_cfg = lut_cfg;
+  exact_cfg.use_exp_lut = false;
+
+  auto bandit_a = env::MultiArmedBandit::evenly_spaced(4, 0.2, 6);
+  auto bandit_b = env::MultiArmedBandit::evenly_spaced(4, 0.2, 6);
+  MabAccelerator a(bandit_a, lut_cfg), b(bandit_b, exact_cfg);
+  a.run(20000);
+  b.run(20000);
+  // The quantized LUT must not wreck learning: same order of magnitude.
+  EXPECT_LT(a.cumulative_regret(), 2.5 * b.cumulative_regret() + 200.0);
+}
+
+TEST(MabAccelerator, EpsilonGreedyRegretBeatsUniform) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.3, 7);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kEpsilonGreedy;
+  c.epsilon = 0.1;
+  c.alpha = 0.05;
+  c.seed = 7;
+  MabAccelerator acc(bandit, c);
+  acc.run(30000);
+  // Uniform play pays 0.5/pull; epsilon-greedy should approach
+  // eps * 0.5 = 0.05/pull.
+  EXPECT_LT(acc.cumulative_regret(), 30000 * 0.15);
+}
+
+TEST(MabAccelerator, ValuesStayInFixedPointRange) {
+  env::MultiArmedBandit bandit({{400.0, 10.0}, {-400.0, 10.0}}, 8);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kEpsilonGreedy;
+  c.alpha = 0.5;
+  c.seed = 8;
+  MabAccelerator acc(bandit, c);
+  acc.run(5000);
+  for (unsigned m = 0; m < 2; ++m) {
+    EXPECT_LE(acc.q_value(m), c.q_fmt.max_value());
+    EXPECT_GE(acc.q_value(m), c.q_fmt.min_value());
+  }
+}
+
+TEST(MabAccelerator, Ucb1SweepsThenConverges) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 12);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kUcb1;
+  c.seed = 12;
+  MabAccelerator acc(bandit, c);
+  acc.run(30000);
+  // Every arm sampled, best arm dominates, regret well under
+  // epsilon-greedy's floor of eps * mean-gap.
+  for (unsigned m = 0; m < 5; ++m) EXPECT_GT(acc.pull_counts()[m], 0u);
+  EXPECT_GT(acc.pull_counts()[4], 30000u * 3 / 4);
+  EXPECT_LT(acc.cumulative_regret(), 30000 * 0.05);
+  EXPECT_DOUBLE_EQ(acc.stats().samples_per_cycle(), 1.0);
+}
+
+TEST(MabAccelerator, Ucb1BeatsEpsilonGreedyOnRegret) {
+  auto bandit_a = env::MultiArmedBandit::evenly_spaced(5, 0.3, 13);
+  auto bandit_b = env::MultiArmedBandit::evenly_spaced(5, 0.3, 13);
+  MabConfig ucb;
+  ucb.policy = MabConfig::Policy::kUcb1;
+  ucb.seed = 13;
+  MabConfig eps;
+  eps.policy = MabConfig::Policy::kEpsilonGreedy;
+  eps.epsilon = 0.1;
+  eps.seed = 13;
+  MabAccelerator a(bandit_a, ucb), b(bandit_b, eps);
+  a.run(40000);
+  b.run(40000);
+  // Epsilon-greedy pays a linear exploration tax; UCB1's is logarithmic.
+  EXPECT_LT(a.cumulative_regret(), b.cumulative_regret());
+}
+
+TEST(MabAccelerator, Ucb1SampleAverageEstimates) {
+  env::MultiArmedBandit bandit({{2.0, 0.0}, {5.0, 0.0}}, 14);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kUcb1;
+  c.seed = 14;
+  MabAccelerator acc(bandit, c);
+  acc.run(5000);
+  // Noiseless rewards: estimates converge to the exact means.
+  EXPECT_NEAR(acc.q_value(0), 2.0, 0.05);
+  EXPECT_NEAR(acc.q_value(1), 5.0, 0.05);
+}
+
+TEST(MabAccelerator, Ucb1ResourcesIncludeMathUnits) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 15);
+  MabConfig c;
+  c.policy = MabConfig::Policy::kUcb1;
+  MabAccelerator acc(bandit, c);
+  const auto ledger = acc.resources();
+  bool has_log_lut = false;
+  for (const auto& m : ledger.memories()) {
+    if (m.name == "log2_lut") has_log_lut = true;
+  }
+  EXPECT_TRUE(has_log_lut);
+  EXPECT_GT(ledger.dsp(), 2u);
+  EXPECT_GT(ledger.luts(), 5u * 100u);  // per-arm divider/sqrt arrays
+}
+
+TEST(MabAccelerator, ResourceInventory) {
+  auto bandit = env::MultiArmedBandit::evenly_spaced(5, 0.2, 9);
+  MabConfig eps;
+  eps.policy = MabConfig::Policy::kEpsilonGreedy;
+  MabConfig exp3;
+  exp3.policy = MabConfig::Policy::kExp3;
+  MabAccelerator a(bandit, eps);
+  MabAccelerator b(bandit, exp3);
+  EXPECT_EQ(a.resources().dsp(), 2u);
+  EXPECT_EQ(b.resources().dsp(), 3u);
+  EXPECT_GT(b.resources().memory_bits(), a.resources().memory_bits());
+}
+
+}  // namespace
+}  // namespace qta::qtaccel

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/math_lut.h"
+#include "rng/xoshiro.h"
+
+namespace qta::fixed {
+namespace {
+
+constexpr Format kWide{32, 16};
+
+TEST(Log2Fixed, ExactPowersOfTwo) {
+  for (int e = -10; e <= 10; ++e) {
+    const raw_t v = from_double(std::pow(2.0, e), kWide);
+    const double got = to_double(log2_fixed(v, kWide, kWide), kWide);
+    EXPECT_NEAR(got, e, 1e-3) << "2^" << e;
+  }
+}
+
+TEST(Log2Fixed, RandomValuesWithinLutError) {
+  rng::Xoshiro256 rng(1);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(0.01, 30000.0);
+    const raw_t v = from_double(x, kWide);
+    const double got = to_double(log2_fixed(v, kWide, kWide), kWide);
+    EXPECT_NEAR(got, std::log2(x), 2e-4 + 1e-3 / x) << x;
+  }
+}
+
+TEST(Log2Fixed, NonPositiveAborts) {
+  EXPECT_DEATH(log2_fixed(0, kWide, kWide), "non-positive");
+  EXPECT_DEATH(log2_fixed(-1, kWide, kWide), "non-positive");
+}
+
+TEST(LnFixed, MatchesStdLog) {
+  rng::Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.1, 10000.0);
+    const raw_t v = from_double(x, kWide);
+    const double got = to_double(ln_fixed(v, kWide, kWide), kWide);
+    EXPECT_NEAR(got, std::log(x), 5e-3) << x;
+  }
+}
+
+TEST(SqrtFixed, PerfectSquares) {
+  for (int k = 0; k <= 100; ++k) {
+    const raw_t v = from_double(static_cast<double>(k * k), kWide);
+    EXPECT_NEAR(to_double(sqrt_fixed(v, kWide, kWide), kWide), k, 1e-4)
+        << k;
+  }
+}
+
+TEST(SqrtFixed, RandomValuesWithinOneUlp) {
+  rng::Xoshiro256 rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(0.0, 20000.0);
+    const raw_t v = from_double(x, kWide);
+    const double got = to_double(sqrt_fixed(v, kWide, kWide), kWide);
+    EXPECT_NEAR(got, std::sqrt(to_double(v, kWide)),
+                2.0 * kWide.resolution())
+        << x;
+  }
+}
+
+TEST(SqrtFixed, ZeroAndNegative) {
+  EXPECT_EQ(sqrt_fixed(0, kWide, kWide), 0);
+  EXPECT_DEATH(sqrt_fixed(-1, kWide, kWide), "negative");
+}
+
+TEST(SqrtFixed, ResultIsFloor) {
+  // floor semantics: sqrt(x)^2 <= x < (sqrt(x) + ulp)^2.
+  rng::Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const raw_t v = static_cast<raw_t>(rng.below(1u << 30));
+    const raw_t r = sqrt_fixed(v, kWide, kWide);
+    const double x = to_double(v, kWide);
+    const double s = to_double(r, kWide);
+    EXPECT_LE(s * s, x + 1e-9);
+    const double s1 = s + kWide.resolution();
+    EXPECT_GT(s1 * s1, x - 1e-9);
+  }
+}
+
+TEST(DivFixed, ExactRatios) {
+  EXPECT_EQ(div_fixed(from_double(6.0, kWide), kWide,
+                      from_double(2.0, kWide), kWide, kWide),
+            from_double(3.0, kWide));
+  EXPECT_EQ(div_fixed(from_double(-6.0, kWide), kWide,
+                      from_double(2.0, kWide), kWide, kWide),
+            from_double(-3.0, kWide));
+  EXPECT_EQ(div_fixed(from_double(1.0, kWide), kWide,
+                      from_double(8.0, kWide), kWide, kWide),
+            from_double(0.125, kWide));
+}
+
+TEST(DivFixed, RandomWithinOneUlp) {
+  rng::Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const double a = rng.uniform(-1000.0, 1000.0);
+    const double b = rng.uniform(0.5, 300.0) * (rng.bernoulli(0.5) ? 1 : -1);
+    const raw_t ra = from_double(a, kWide);
+    const raw_t rb = from_double(b, kWide);
+    const double exact = to_double(ra, kWide) / to_double(rb, kWide);
+    const double got =
+        to_double(div_fixed(ra, kWide, rb, kWide, kWide), kWide);
+    EXPECT_NEAR(got, exact, 1.5 * kWide.resolution()) << a << "/" << b;
+  }
+}
+
+TEST(DivFixed, SaturatesOnOverflow) {
+  const Format narrow{18, 8};
+  const raw_t big = from_double(400.0, narrow);
+  const raw_t tiny = from_double(0.01, narrow);
+  EXPECT_EQ(div_fixed(big, narrow, tiny, narrow, narrow),
+            narrow.max_raw());
+}
+
+TEST(DivFixed, ByZeroAborts) {
+  EXPECT_DEATH(div_fixed(1, kWide, 0, kWide, kWide), "division by zero");
+}
+
+TEST(DivFixed, MixedFormats) {
+  // (2.5 in s9.8) / (2 in s31.0) = 1.25 in s15.16.
+  const Format q{18, 8};
+  const Format integer{32, 0};
+  EXPECT_EQ(div_fixed(from_double(2.5, q), q, 2, integer, kWide),
+            from_double(1.25, kWide));
+}
+
+TEST(MathLut, ResourceEstimatesPositive) {
+  EXPECT_GT(log2_lut_bits(), 0u);
+  EXPECT_GT(sqrt_iteration_luts(kWide), 0u);
+  EXPECT_GT(divider_luts(kWide), 0u);
+}
+
+// End-to-end: the UCB bonus sqrt(2 ln t / n) over realistic ranges.
+TEST(MathLut, UcbBonusAccuracy) {
+  for (const std::uint64_t t : {10ull, 1000ull, 100000ull}) {
+    for (const std::uint64_t n : {1ull, 7ull, 500ull}) {
+      const raw_t t_raw = static_cast<raw_t>(t) << kWide.frac;
+      const raw_t ln_t = ln_fixed(t_raw, kWide, kWide);
+      const Format cfmt{16, 8};
+      const raw_t two = from_double(2.0, cfmt);
+      const raw_t num = mul(two, cfmt, ln_t, kWide, kWide);
+      const raw_t n_raw = static_cast<raw_t>(n) << kWide.frac;
+      const raw_t ratio = div_fixed(num, kWide, n_raw, kWide, kWide);
+      const raw_t bonus = sqrt_fixed(ratio, kWide, kWide);
+      const double expect =
+          std::sqrt(2.0 * std::log(static_cast<double>(t)) /
+                    static_cast<double>(n));
+      EXPECT_NEAR(to_double(bonus, kWide), expect, 0.01)
+          << "t=" << t << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qta::fixed

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "policy/exp3.h"
+#include "policy/policies.h"
+#include "policy/probability_table.h"
+
+namespace qta::policy {
+namespace {
+
+TEST(Greedy, PicksMaxLowestIndexOnTies) {
+  const std::array<double, 4> row{1.0, 3.0, 3.0, 2.0};
+  EXPECT_EQ(greedy_action(row), 1u);
+  const std::array<double, 3> flat{0.0, 0.0, 0.0};
+  EXPECT_EQ(greedy_action(flat), 0u);
+}
+
+TEST(Random, UniformOverActions) {
+  XoshiroSource rng(1);
+  const std::array<double, 4> row{0, 0, 0, 0};
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[random_action(row, rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(EpsilonGreedy, ZeroEpsilonIsGreedy) {
+  XoshiroSource rng(2);
+  const std::array<double, 4> row{0.0, 5.0, 1.0, 2.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(epsilon_greedy_action(row, 0.0, rng), 1u);
+  }
+}
+
+TEST(EpsilonGreedy, OneEpsilonIsUniform) {
+  XoshiroSource rng(3);
+  const std::array<double, 4> row{0.0, 5.0, 1.0, 2.0};
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[epsilon_greedy_action(row, 1.0, rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(EpsilonGreedy, HardwareSemanticsDistribution) {
+  // With the paper's "index any action on explore" semantics, P(greedy) =
+  // (1 - eps) + eps/|A| and P(other) = eps/|A| each.
+  XoshiroSource rng(4);
+  const std::array<double, 4> row{0.0, 5.0, 1.0, 2.0};
+  const double eps = 0.4;
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[epsilon_greedy_action(row, eps, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.6 + 0.1, 0.01);
+  for (int a : {0, 2, 3}) {
+    EXPECT_NEAR(static_cast<double>(counts[a]) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Boltzmann, PrefersHighValues) {
+  XoshiroSource rng(5);
+  const std::array<double, 3> row{0.0, 1.0, 2.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[boltzmann_action(row, 1.0, rng)];
+  // exp(0) : exp(1) : exp(2) = 1 : 2.718 : 7.389 -> p2 ~ 0.665.
+  const double z = 1.0 + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, std::exp(2.0) / z, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, std::exp(1.0) / z, 0.02);
+}
+
+TEST(Boltzmann, HighTemperatureApproachesUniform) {
+  XoshiroSource rng(6);
+  const std::array<double, 3> row{0.0, 1.0, 2.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[boltzmann_action(row, 1000.0, rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(Boltzmann, LutVariantMatchesExact) {
+  const fixed::ExpLut lut(-16.0, 0.0, 14, fixed::Format{32, 16});
+  XoshiroSource rng_a(7);
+  XoshiroSource rng_b(7);
+  const std::array<double, 4> row{0.5, 1.5, -1.0, 2.0};
+  int agree = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const ActionId a = boltzmann_action(row, 0.7, rng_a);
+    const ActionId b = boltzmann_action(row, 0.7, rng_b, &lut);
+    agree += (a == b) ? 1 : 0;
+  }
+  EXPECT_GT(agree, n * 98 / 100);  // tiny LUT error may flip rare draws
+}
+
+TEST(PolicyObjects, Dispatch) {
+  XoshiroSource rng(8);
+  const std::array<double, 4> row{0.0, 5.0, 1.0, 2.0};
+  GreedyPolicy greedy;
+  EXPECT_EQ(greedy.select(row, rng), 1u);
+  RandomPolicy random;
+  EXPECT_LT(random.select(row, rng), 4u);
+  EpsilonGreedyPolicy eps(0.0);
+  EXPECT_EQ(eps.select(row, rng), 1u);
+  BoltzmannPolicy boltz(1.0);
+  EXPECT_LT(boltz.select(row, rng), 4u);
+}
+
+TEST(LfsrSource, DrawsFromLfsr) {
+  LfsrSource src(rng::Lfsr(16, 5));
+  rng::Lfsr ref(16, 5);
+  EXPECT_EQ(src.draw_bits(8), ref.draw_bits(8));
+}
+
+TEST(ProbabilityTable, UniformByDefault) {
+  ProbabilityTable t(4, 4);
+  for (ActionId a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(t.probability(0, a), 0.25);
+  }
+  EXPECT_DOUBLE_EQ(t.row_sum(2), 4.0);
+}
+
+TEST(ProbabilityTable, WeightUpdates) {
+  ProbabilityTable t(2, 4);
+  t.set_weight(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(t.probability(0, 1), 0.5);
+  t.scale_weight(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(t.weight(0, 1), 6.0);
+  EXPECT_DEATH(t.set_weight(0, 0, -1.0), "non-negative");
+}
+
+TEST(ProbabilityTable, SelectionMatchesDistribution) {
+  ProbabilityTable t(1, 4);
+  t.set_weight(0, 0, 1.0);
+  t.set_weight(0, 1, 2.0);
+  t.set_weight(0, 2, 3.0);
+  t.set_weight(0, 3, 4.0);
+  XoshiroSource rng(9);
+  std::array<int, 4> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[t.select(0, rng).action];
+  for (ActionId a = 0; a < 4; ++a) {
+    EXPECT_NEAR(static_cast<double>(counts[a]) / n, (a + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(ProbabilityTable, BinarySearchCycleCost) {
+  // 1 cycle to draw + ceil(log2 |A|) comparator steps (Section VII-B:
+  // "a binary search can provide the selected action in log n cycles").
+  ProbabilityTable t4(1, 4), t8(1, 8), t5(1, 5);
+  XoshiroSource rng(10);
+  EXPECT_EQ(t4.select(0, rng).cycles, 3u);
+  EXPECT_EQ(t8.select(0, rng).cycles, 4u);
+  EXPECT_EQ(t5.select(0, rng).cycles, 4u);
+  EXPECT_LE(t8.select(0, rng).comparisons, 3u);
+}
+
+TEST(ProbabilityTable, StorageBits) {
+  ProbabilityTable t(256, 8);
+  EXPECT_EQ(t.storage_bits(), 256u * 8u * 18u);
+}
+
+TEST(Exp3, ProbabilitiesFormDistribution) {
+  Exp3 exp3(4, 0.2);
+  double sum = 0.0;
+  for (unsigned m = 0; m < 4; ++m) sum += exp3.probability(m);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Uniform at start.
+  EXPECT_NEAR(exp3.probability(0), 0.25, 1e-12);
+}
+
+TEST(Exp3, GammaFloorsExploration) {
+  Exp3 exp3(4, 0.2);
+  for (int i = 0; i < 200; ++i) exp3.update(0, 1.0);
+  // Arm 0 dominates but every arm keeps at least gamma / M.
+  EXPECT_GT(exp3.probability(0), 0.8);
+  for (unsigned m = 1; m < 4; ++m) {
+    EXPECT_GE(exp3.probability(m), 0.2 / 4 - 1e-12);
+  }
+}
+
+TEST(Exp3, LearnsBestArm) {
+  Exp3 exp3(3, 0.15);
+  XoshiroSource rng(11);
+  rng::Xoshiro256 reward_rng(12);
+  // Arm 2 pays 0.9, others 0.1.
+  for (int t = 0; t < 3000; ++t) {
+    const unsigned m = exp3.select(rng);
+    const double p = m == 2 ? 0.9 : 0.1;
+    exp3.update(m, reward_rng.bernoulli(p) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(exp3.probability(2), exp3.probability(0));
+  EXPECT_GT(exp3.probability(2), exp3.probability(1));
+}
+
+TEST(Exp3, RejectsOutOfRangeRewards) {
+  Exp3 exp3(2, 0.1);
+  EXPECT_DEATH(exp3.update(0, 1.5), "scaled into");
+}
+
+TEST(Exp3, WeightsStayFinite) {
+  Exp3 exp3(2, 0.5);
+  for (int i = 0; i < 20000; ++i) exp3.update(0, 1.0);
+  EXPECT_TRUE(std::isfinite(exp3.weight(0)));
+  EXPECT_GT(exp3.weight(0), 0.0);
+}
+
+}  // namespace
+}  // namespace qta::policy

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "env/grid_world.h"
+#include "env/random_mdp.h"
+#include "qtaccel/config.h"
+#include "qtaccel/forwarding.h"
+#include "qtaccel/qmax_unit.h"
+#include "qtaccel/resources.h"
+
+namespace qta::qtaccel {
+namespace {
+
+env::GridWorldConfig grid(unsigned w, unsigned h, unsigned a = 4) {
+  env::GridWorldConfig c;
+  c.width = w;
+  c.height = h;
+  c.num_actions = a;
+  return c;
+}
+
+TEST(AddressMap, BitConcatenation) {
+  env::GridWorld g(grid(16, 16, 8));
+  const AddressMap m = make_address_map(g);
+  EXPECT_EQ(m.state_bits, 8u);
+  EXPECT_EQ(m.action_bits, 3u);
+  EXPECT_EQ(m.q_addr(5, 3), (5u << 3) | 3u);
+  EXPECT_EQ(m.depth(), 2048u);
+}
+
+TEST(AddressMap, RejectsNonPow2Actions) {
+  env::RandomMdpConfig c;
+  c.num_actions = 3;
+  env::RandomMdp m(c);
+  EXPECT_DEATH(make_address_map(m), "power of two");
+}
+
+TEST(Config, ValidationCatchesBadRates) {
+  env::GridWorld g(grid(4, 4));
+  PipelineConfig c;
+  c.alpha = 0.0;
+  EXPECT_DEATH(validate_config(c, g), "alpha");
+  c = {};
+  c.gamma = 1.0;
+  EXPECT_DEATH(validate_config(c, g), "gamma");
+  c = {};
+  c.coeff_fmt = fixed::Format{18, 17};  // cannot represent 1.0
+  EXPECT_DEATH(validate_config(c, g), "represent 1.0");
+}
+
+TEST(Config, EpsilonThreshold) {
+  EXPECT_EQ(epsilon_threshold(0.0, 16), 65536u);
+  EXPECT_EQ(epsilon_threshold(1.0, 16), 0u);
+  EXPECT_EQ(epsilon_threshold(0.5, 16), 32768u);
+  EXPECT_EQ(epsilon_threshold(0.1, 8), 230u);  // round(0.9 * 256)
+}
+
+TEST(Config, CoefficientsSumExactly) {
+  PipelineConfig c;
+  c.alpha = 0.3;
+  const Coefficients k = make_coefficients(c);
+  const fixed::raw_t one = fixed::from_double(1.0, c.coeff_fmt);
+  EXPECT_EQ(k.alpha + k.one_minus_alpha, one);
+}
+
+TEST(Config, AlphaGammaThroughDspRounding) {
+  PipelineConfig c;
+  c.alpha = 0.5;
+  c.gamma = 0.5;
+  const Coefficients k = make_coefficients(c);
+  EXPECT_EQ(k.alpha_gamma, fixed::from_double(0.25, c.coeff_fmt));
+}
+
+TEST(Forwarding, NewestFirstMatch) {
+  WritebackQueue q;
+  q.push({true, 10, 1, 0, 100});
+  q.push({true, 20, 2, 0, 200});
+  q.push({true, 10, 1, 0, 111});  // newer write to addr 10
+  EXPECT_EQ(q.match_q(10).value(), 111);
+  EXPECT_EQ(q.match_q(20).value(), 200);
+  EXPECT_FALSE(q.match_q(30).has_value());
+}
+
+TEST(Forwarding, DepthIsThree) {
+  WritebackQueue q;
+  q.push({true, 1, 0, 0, 1});
+  q.push({true, 2, 0, 0, 2});
+  q.push({true, 3, 0, 0, 3});
+  q.push({true, 4, 0, 0, 4});  // evicts addr 1
+  EXPECT_FALSE(q.match_q(1).has_value());
+  EXPECT_TRUE(q.match_q(2).has_value());
+  EXPECT_EQ(q.occupancy(), 3u);
+}
+
+TEST(Forwarding, WindowRestriction) {
+  WritebackQueue q;
+  q.push({true, 1, 0, 0, 1});
+  q.push({true, 2, 0, 0, 2});
+  q.push({true, 3, 0, 0, 3});
+  EXPECT_TRUE(q.match_q(1, 3).has_value());
+  EXPECT_FALSE(q.match_q(1, 2).has_value());
+  EXPECT_TRUE(q.match_q(3, 1).has_value());
+}
+
+TEST(Forwarding, QmaxCombineRaisesMonotonically) {
+  WritebackQueue q;
+  q.push({true, 0, 7, 1, 50});   // oldest
+  q.push({true, 1, 7, 2, 80});
+  q.push({true, 2, 7, 3, 60});   // newest but lower than 80
+  fixed::raw_t v = 40;
+  ActionId a = 0;
+  q.combine_qmax(7, v, a);
+  EXPECT_EQ(v, 80);
+  EXPECT_EQ(a, 2u);
+  // A stored value above all write-backs survives.
+  v = 90;
+  a = 5;
+  q.combine_qmax(7, v, a);
+  EXPECT_EQ(v, 90);
+  EXPECT_EQ(a, 5u);
+  // Other states are unaffected.
+  v = 0;
+  a = 9;
+  q.combine_qmax(8, v, a);
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(a, 9u);
+}
+
+TEST(Forwarding, TiesKeepOlderHolder) {
+  WritebackQueue q;
+  q.push({true, 0, 7, 1, 50});
+  q.push({true, 1, 7, 2, 50});  // equal, newer: must NOT take over
+  fixed::raw_t v = 0;
+  ActionId a = 0;
+  q.combine_qmax(7, v, a);
+  EXPECT_EQ(v, 50);
+  EXPECT_EQ(a, 1u);
+}
+
+TEST(Forwarding, Clear) {
+  WritebackQueue q;
+  q.push({true, 1, 0, 0, 1});
+  q.clear();
+  EXPECT_EQ(q.occupancy(), 0u);
+  EXPECT_FALSE(q.match_q(1).has_value());
+}
+
+TEST(QmaxUnit, PackUnpackRoundTrip) {
+  QmaxUnit u(16, 18, 3);
+  u.preset(5, {fixed::from_double(-3.5, {18, 8}), 6});
+  const auto e = u.peek(5);
+  EXPECT_EQ(e.value, fixed::from_double(-3.5, {18, 8}));
+  EXPECT_EQ(e.action, 6u);
+}
+
+TEST(QmaxUnit, RaiseOnlyIncreases) {
+  QmaxUnit u(4, 18, 2);
+  u.bram().begin_cycle();
+  EXPECT_TRUE(u.raise(1, 0, 2, 100));
+  u.bram().clock_edge();
+  u.bram().begin_cycle();
+  EXPECT_FALSE(u.raise(1, 0, 3, 100));  // equal: no update
+  u.bram().clock_edge();
+  u.bram().begin_cycle();
+  EXPECT_FALSE(u.raise(1, 0, 3, 50));   // lower: no update
+  u.bram().clock_edge();
+  EXPECT_EQ(u.peek(0).value, 100);
+  EXPECT_EQ(u.peek(0).action, 2u);
+}
+
+TEST(QmaxUnit, NegativeValuesSignExtend) {
+  QmaxUnit u(4, 18, 2);
+  u.preset(2, {-12345, 1});
+  EXPECT_EQ(u.peek(2).value, -12345);
+}
+
+TEST(QmaxUnit, PortAccountingOnSuppressedWrite) {
+  QmaxUnit u(4, 18, 2);
+  u.preset(0, {100, 0});
+  u.bram().begin_cycle();
+  u.raise(1, 0, 1, 50);  // suppressed, but the port is busy
+  EXPECT_DEATH(u.raise(1, 0, 1, 200), "port used twice");
+}
+
+TEST(Resources, SinglePipelineInventory) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig c;
+  const auto ledger = build_resources(g, c);
+  EXPECT_EQ(ledger.dsp(), 4u);  // the paper's headline constant
+  ASSERT_EQ(ledger.memories().size(), 3u);
+  // Q and R: 256 * 8 entries of 18 bits; Qmax: 256 of 21.
+  EXPECT_EQ(ledger.memories()[0].bits(), 2048u * 18);
+  EXPECT_EQ(ledger.memories()[1].bits(), 2048u * 18);
+  EXPECT_EQ(ledger.memories()[2].bits(), 256u * 21);
+  EXPECT_GT(ledger.flip_flops(), 0u);
+  EXPECT_GT(ledger.luts(), 0u);
+}
+
+TEST(Resources, DspCountIndependentOfStateSpace) {
+  PipelineConfig c;
+  env::GridWorld small(grid(8, 8, 8));
+  env::GridWorld large(grid(512, 512, 8));
+  EXPECT_EQ(build_resources(small, c).dsp(),
+            build_resources(large, c).dsp());
+}
+
+TEST(Resources, SarsaUsesMoreRegisters) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig ql;
+  PipelineConfig sarsa;
+  sarsa.algorithm = Algorithm::kSarsa;
+  EXPECT_GT(build_resources(g, sarsa).flip_flops(),
+            build_resources(g, ql).flip_flops());
+  // Same BRAM for both (Figure 4's single curve).
+  EXPECT_EQ(build_resources(g, sarsa).memory_bits(),
+            build_resources(g, ql).memory_bits());
+}
+
+TEST(Resources, ExactScanCostsLutsButNoQmaxTable) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig mono;
+  PipelineConfig exact;
+  exact.qmax = QmaxMode::kExactScan;
+  EXPECT_GT(build_resources(g, exact).luts(),
+            build_resources(g, mono).luts());
+  EXPECT_LT(build_resources(g, exact).memory_bits(),
+            build_resources(g, mono).memory_bits());
+}
+
+TEST(Resources, ExpectedSarsaCostsSixDspNoQmaxTable) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig c;
+  c.algorithm = Algorithm::kExpectedSarsa;
+  const auto ledger = build_resources(g, c);
+  EXPECT_EQ(ledger.dsp(), 6u);
+  for (const auto& m : ledger.memories()) {
+    EXPECT_NE(m.name, "qmax_table");
+  }
+  // Adder + comparator trees cost extra LUTs over plain SARSA.
+  PipelineConfig sarsa;
+  sarsa.algorithm = Algorithm::kSarsa;
+  EXPECT_GT(ledger.luts(), build_resources(g, sarsa).luts());
+}
+
+TEST(Resources, DoubleQDoublesQTablesOnly) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig c;
+  c.algorithm = Algorithm::kDoubleQ;
+  const auto ledger = build_resources(g, c);
+  unsigned q_tables = 0;
+  bool has_qmax = false;
+  for (const auto& m : ledger.memories()) {
+    if (m.name.rfind("q_table", 0) == 0) ++q_tables;
+    if (m.name == "qmax_table") has_qmax = true;
+  }
+  EXPECT_EQ(q_tables, 2u);
+  EXPECT_FALSE(has_qmax);
+  EXPECT_EQ(ledger.dsp(), 4u);  // same datapath, just two tables
+}
+
+TEST(Resources, MultiPipelineScaling) {
+  env::GridWorld g(grid(16, 16, 4));
+  PipelineConfig c;
+  const auto one = build_resources(g, c, 1);
+  const auto shared = build_resources(g, c, 2, /*share_tables=*/true);
+  const auto indep = build_resources(g, c, 4, /*share_tables=*/false);
+  EXPECT_EQ(shared.dsp(), 2 * one.dsp());
+  EXPECT_EQ(shared.memory_bits(), one.memory_bits());  // one bank
+  EXPECT_EQ(indep.dsp(), 4 * one.dsp());
+  EXPECT_EQ(indep.memory_bits(), 4 * one.memory_bits());
+}
+
+TEST(Resources, ProbabilityTableVariant) {
+  env::GridWorld g(grid(16, 16, 8));
+  PipelineConfig c;
+  const auto base = build_resources(g, c);
+  const auto prob = build_resources_with_probability_table(g, c);
+  EXPECT_GT(prob.memory_bits(), base.memory_bits());
+  EXPECT_EQ(prob.dsp(), base.dsp() + 1);
+}
+
+}  // namespace
+}  // namespace qta::qtaccel

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/lfsr.h"
+#include "rng/normal_clt.h"
+#include "rng/xoshiro.h"
+
+namespace qta::rng {
+namespace {
+
+// Maximal-length property: an LFSR of width w visits all 2^w - 1 nonzero
+// states before repeating. Exhaustive for small widths.
+class LfsrPeriodTest : public testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriodTest, IsMaximalLength) {
+  const unsigned width = GetParam();
+  Lfsr lfsr(width, 1);
+  const std::uint64_t period = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t start = lfsr.state();
+  std::uint64_t steps = 0;
+  do {
+    const std::uint64_t s = lfsr.step();
+    ASSERT_NE(s, 0u) << "LFSR reached the absorbing zero state";
+    ++steps;
+    ASSERT_LE(steps, period);
+  } while (lfsr.state() != start);
+  EXPECT_EQ(steps, period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriodTest,
+                         testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                         10u, 11u, 12u, 13u, 14u, 15u, 16u,
+                                         17u, 18u));
+
+// Larger widths: verify a long run produces no zero state and no short
+// cycle within a window.
+class LfsrWideTest : public testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrWideTest, NoShortCycle) {
+  const unsigned width = GetParam();
+  Lfsr lfsr(width, 0xdeadbeefcafeULL);
+  const std::uint64_t start = lfsr.state();
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t s = lfsr.step();
+    ASSERT_NE(s, 0u);
+    ASSERT_NE(s, start) << "cycle shorter than 100000 at width " << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrWideTest,
+                         testing::Values(24u, 32u, 40u, 48u, 56u, 64u));
+
+TEST(Lfsr, ZeroSeedIsFixedUp) {
+  Lfsr lfsr(16, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, SeedIsMasked) {
+  Lfsr lfsr(8, 0xFFFF);
+  EXPECT_LE(lfsr.state(), 0xFFu);
+}
+
+TEST(Lfsr, DrawBitsWidths) {
+  Lfsr lfsr(32, 99);
+  for (unsigned n = 1; n <= 64; ++n) {
+    const std::uint64_t v = lfsr.draw_bits(n);
+    if (n < 64) EXPECT_LT(v, std::uint64_t{1} << n) << n;
+  }
+}
+
+TEST(Lfsr, DrawBitsRoughlyUniform) {
+  Lfsr lfsr(32, 7);
+  // Count ones across many 32-bit draws; expect ~50%.
+  std::uint64_t ones = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ones += static_cast<std::uint64_t>(__builtin_popcountll(
+        lfsr.draw_bits(32)));
+  }
+  const double frac =
+      static_cast<double>(ones) / (32.0 * static_cast<double>(draws));
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+TEST(Lfsr, BelowStaysInBounds) {
+  Lfsr lfsr(32, 3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 5ull, 100ull, 262144ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(lfsr.below(bound), bound);
+    }
+  }
+}
+
+TEST(Lfsr, BelowCoversRange) {
+  Lfsr lfsr(32, 13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(lfsr.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Lfsr, DeterministicForSeed) {
+  Lfsr a(32, 42), b(32, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(Lfsr, Period) {
+  EXPECT_EQ(Lfsr(16).period(), 65535u);
+  EXPECT_EQ(Lfsr(32).period(), 4294967295u);
+}
+
+TEST(Lfsr, FlipFlops) { EXPECT_EQ(Lfsr(24).flip_flops(), 24u); }
+
+TEST(NormalClt, MeanAndStddev) {
+  NormalClt gen(123);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.sample_standard();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(NormalClt, ScaledSample) {
+  NormalClt gen(5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += gen.sample(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(NormalClt, BoundedSupport) {
+  // Irwin-Hall with k=12: support is +/- sqrt(12)/2 * ... => |x| <= 6.
+  NormalClt gen(9, 12);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(std::abs(gen.sample_standard()), 6.001);
+  }
+}
+
+TEST(NormalClt, FixedPointSample) {
+  NormalClt gen(77);
+  const fixed::Format f{18, 8};
+  for (int i = 0; i < 100; ++i) {
+    const fixed::raw_t r = gen.sample_fixed(0.0, 1.0, f);
+    EXPECT_GE(r, f.min_raw());
+    EXPECT_LE(r, f.max_raw());
+  }
+}
+
+TEST(NormalClt, RoughlyGaussianShape) {
+  // ~68% of samples within one stddev.
+  NormalClt gen(31);
+  int within = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(gen.sample_standard()) <= 1.0) ++within;
+  }
+  EXPECT_NEAR(static_cast<double>(within) / n, 0.6827, 0.02);
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(1), b(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, BelowUnbiasedCoverage) {
+  Xoshiro256 rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Xoshiro256 rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(SplitMix, DistinctStreams) {
+  SplitMix64 sm(1);
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace qta::rng

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "env/grid_world.h"
+#include "env/value_iteration.h"
+#include "qtaccel/table_io.h"
+
+namespace qta::qtaccel {
+namespace {
+
+env::GridWorldConfig grid4() {
+  env::GridWorldConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.num_actions = 4;
+  return c;
+}
+
+TEST(TableIo, RoundTripIsBitExact) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 1;
+  c.max_episode_length = 128;
+  Pipeline trained(g, c);
+  trained.run_samples(50000);
+
+  std::stringstream buf;
+  save_q_table(buf, trained);
+
+  Pipeline fresh(g, c);
+  load_q_table(buf, fresh);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      ASSERT_EQ(fresh.q_raw(s, a), trained.q_raw(s, a));
+    }
+  }
+}
+
+TEST(TableIo, RebuildsQmaxAsRowMaxima) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 2;
+  c.max_episode_length = 128;
+  Pipeline trained(g, c);
+  trained.run_samples(50000);
+  std::stringstream buf;
+  save_q_table(buf, trained);
+
+  Pipeline fresh(g, c);
+  load_q_table(buf, fresh);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    fixed::raw_t mx = fresh.q_raw(s, 0);
+    ActionId arg = 0;
+    for (ActionId a = 1; a < g.num_actions(); ++a) {
+      if (fresh.q_raw(s, a) > mx) {
+        mx = fresh.q_raw(s, a);
+        arg = a;
+      }
+    }
+    const auto e = fresh.qmax_entry(s);
+    if (mx < 0) {
+      EXPECT_EQ(e.value, 0);  // monotone table floor
+    } else {
+      EXPECT_EQ(e.value, mx);
+      EXPECT_EQ(e.action, arg);
+    }
+  }
+}
+
+TEST(TableIo, WarmStartKeepsLearningConsistent) {
+  // A warm-started pipeline must keep improving (and stay port-clean),
+  // and its greedy policy should immediately match the donor's.
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 3;
+  c.max_episode_length = 128;
+  Pipeline trained(g, c);
+  trained.run_samples(200000);
+  std::stringstream buf;
+  save_q_table(buf, trained);
+
+  PipelineConfig c2 = c;
+  c2.seed = 99;
+  Pipeline warm(g, c2);
+  load_q_table(buf, warm);
+  warm.run_samples(20000);
+  const auto vi = env::value_iteration(g, c.gamma);
+  std::vector<ActionId> policy(g.num_states(), 0);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    double best = -1e300;
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      if (warm.q_value(s, a) > best) {
+        best = warm.q_value(s, a);
+        policy[s] = a;
+      }
+    }
+  }
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    if (g.is_terminal(s)) continue;
+    EXPECT_EQ(env::rollout_steps(g, policy, s, 100),
+              env::rollout_steps(g, vi.policy, s, 100));
+  }
+  EXPECT_EQ(warm.q_table().stats().port_conflicts, 0u);
+}
+
+TEST(TableIo, RejectsWrongGeometry) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  Pipeline p(g, c);
+  std::stringstream buf;
+  save_q_table(buf, p);
+
+  env::GridWorldConfig other = grid4();
+  other.width = 8;
+  env::GridWorld g8(other);
+  Pipeline p8(g8, c);
+  EXPECT_DEATH(load_q_table(buf, p8), "geometry");
+}
+
+TEST(TableIo, RejectsWrongFormat) {
+  env::GridWorld g(grid4());
+  PipelineConfig a;
+  Pipeline pa(g, a);
+  std::stringstream buf;
+  save_q_table(buf, pa);
+
+  PipelineConfig b;
+  b.q_fmt = fixed::Format{16, 8};
+  Pipeline pb(g, b);
+  EXPECT_DEATH(load_q_table(buf, pb), "format");
+}
+
+TEST(TableIo, RejectsGarbage) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  Pipeline p(g, c);
+  std::stringstream not_a_table("hello world");
+  EXPECT_DEATH(load_q_table(not_a_table, p), "QTACCEL-QTABLE");
+  std::stringstream truncated(
+      "QTACCEL-QTABLE v1\nstates 16 actions 4 width 18 frac 8\n1 2 3\n");
+  EXPECT_DEATH(load_q_table(truncated, p), "truncated");
+}
+
+TEST(TableIo, RejectsOutOfRangeValues) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  Pipeline p(g, c);
+  std::stringstream bad("QTACCEL-QTABLE v1\n"
+                        "states 16 actions 4 width 18 frac 8\n"
+                        "9999999 0 0 0\n");
+  EXPECT_DEATH(load_q_table(bad, p), "outside the fixed-point range");
+}
+
+}  // namespace
+}  // namespace qta::qtaccel

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "env/grid_world.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta::qtaccel {
+namespace {
+
+env::GridWorldConfig grid4() {
+  env::GridWorldConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.num_actions = 4;
+  return c;
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Waveform, OneLinePerCycle) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 1;
+  Pipeline p(g, c);
+  std::ostringstream os;
+  p.set_waveform(&os);
+  p.run_iterations(10);
+  const auto lines = lines_of(os.str());
+  EXPECT_EQ(lines.size(), p.stats().cycles);
+}
+
+TEST(Waveform, PipelineFillsStageByStage) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 1;
+  Pipeline p(g, c);
+  std::ostringstream os;
+  p.set_waveform(&os);
+  p.run_iterations(6);
+  const auto lines = lines_of(os.str());
+  ASSERT_GE(lines.size(), 4u);
+  // Cycle 0: only S1 occupied.
+  EXPECT_NE(lines[0].find("S1 s="), std::string::npos);
+  EXPECT_NE(lines[0].find("S2 --"), std::string::npos);
+  EXPECT_NE(lines[0].find("S3 --"), std::string::npos);
+  EXPECT_NE(lines[0].find("RET --"), std::string::npos);
+  // Cycle 3: full pipe, first retirement.
+  EXPECT_EQ(lines[3].find("S2 --"), std::string::npos);
+  EXPECT_EQ(lines[3].find("S3 --"), std::string::npos);
+  EXPECT_NE(lines[3].find("RET s="), std::string::npos);
+}
+
+TEST(Waveform, DrainEmptiesStages) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 2;
+  Pipeline p(g, c);
+  std::ostringstream os;
+  p.set_waveform(&os);
+  p.run_iterations(5);
+  const auto lines = lines_of(os.str());
+  // The last drain cycle has only the retirement populated.
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("S1 --"), std::string::npos);
+  EXPECT_NE(last.find("S2 --"), std::string::npos);
+  EXPECT_NE(last.find("S3 --"), std::string::npos);
+  EXPECT_NE(last.find("RET s="), std::string::npos);
+}
+
+TEST(Waveform, StallModeShowsGaps) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.hazard = HazardMode::kStall;
+  c.seed = 3;
+  Pipeline p(g, c);
+  std::ostringstream os;
+  p.set_waveform(&os);
+  p.run_iterations(3);
+  const auto lines = lines_of(os.str());
+  // In stall mode an issue is followed by 3 cycles with S1 empty.
+  EXPECT_NE(lines[1].find("S1 --"), std::string::npos);
+  EXPECT_NE(lines[2].find("S1 --"), std::string::npos);
+  EXPECT_NE(lines[4].find("S1 s="), std::string::npos);
+}
+
+TEST(Waveform, DetachStopsEmission) {
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  Pipeline p(g, c);
+  std::ostringstream os;
+  p.set_waveform(&os);
+  p.run_iterations(2);
+  const auto before = os.str().size();
+  p.set_waveform(nullptr);
+  p.run_iterations(10);
+  EXPECT_EQ(os.str().size(), before);
+}
+
+}  // namespace
+}  // namespace qta::qtaccel
