@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_forwarding"
+  "../bench/bench_ablation_forwarding.pdb"
+  "CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cpp.o"
+  "CMakeFiles/bench_ablation_forwarding.dir/bench_ablation_forwarding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

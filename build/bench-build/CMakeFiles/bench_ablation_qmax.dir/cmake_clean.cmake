@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_qmax"
+  "../bench/bench_ablation_qmax.pdb"
+  "CMakeFiles/bench_ablation_qmax.dir/bench_ablation_qmax.cpp.o"
+  "CMakeFiles/bench_ablation_qmax.dir/bench_ablation_qmax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

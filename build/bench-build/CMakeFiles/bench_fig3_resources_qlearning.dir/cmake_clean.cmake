@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_resources_qlearning"
+  "../bench/bench_fig3_resources_qlearning.pdb"
+  "CMakeFiles/bench_fig3_resources_qlearning.dir/bench_fig3_resources_qlearning.cpp.o"
+  "CMakeFiles/bench_fig3_resources_qlearning.dir/bench_fig3_resources_qlearning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_resources_qlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_bram.cpp" "bench-build/CMakeFiles/bench_fig4_bram.dir/bench_fig4_bram.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig4_bram.dir/bench_fig4_bram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_qtaccel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

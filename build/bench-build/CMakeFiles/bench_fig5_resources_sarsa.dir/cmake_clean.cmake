@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_resources_sarsa"
+  "../bench/bench_fig5_resources_sarsa.pdb"
+  "CMakeFiles/bench_fig5_resources_sarsa.dir/bench_fig5_resources_sarsa.cpp.o"
+  "CMakeFiles/bench_fig5_resources_sarsa.dir/bench_fig5_resources_sarsa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_resources_sarsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_shared_pipelines"
+  "../bench/bench_fig8_shared_pipelines.pdb"
+  "CMakeFiles/bench_fig8_shared_pipelines.dir/bench_fig8_shared_pipelines.cpp.o"
+  "CMakeFiles/bench_fig8_shared_pipelines.dir/bench_fig8_shared_pipelines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_shared_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_independent_pipelines"
+  "../bench/bench_fig9_independent_pipelines.pdb"
+  "CMakeFiles/bench_fig9_independent_pipelines.dir/bench_fig9_independent_pipelines.cpp.o"
+  "CMakeFiles/bench_fig9_independent_pipelines.dir/bench_fig9_independent_pipelines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_independent_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mab"
+  "../bench/bench_mab.pdb"
+  "CMakeFiles/bench_mab.dir/bench_mab.cpp.o"
+  "CMakeFiles/bench_mab.dir/bench_mab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_prob_policy"
+  "../bench/bench_prob_policy.pdb"
+  "CMakeFiles/bench_prob_policy.dir/bench_prob_policy.cpp.o"
+  "CMakeFiles/bench_prob_policy.dir/bench_prob_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prob_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

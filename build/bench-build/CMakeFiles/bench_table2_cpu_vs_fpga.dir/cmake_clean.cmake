@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_cpu_vs_fpga"
+  "../bench/bench_table2_cpu_vs_fpga.pdb"
+  "CMakeFiles/bench_table2_cpu_vs_fpga.dir/bench_table2_cpu_vs_fpga.cpp.o"
+  "CMakeFiles/bench_table2_cpu_vs_fpga.dir/bench_table2_cpu_vs_fpga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cpu_vs_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandit_5g_channels.dir/bandit_5g_channels.cpp.o"
+  "CMakeFiles/bandit_5g_channels.dir/bandit_5g_channels.cpp.o.d"
+  "bandit_5g_channels"
+  "bandit_5g_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandit_5g_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

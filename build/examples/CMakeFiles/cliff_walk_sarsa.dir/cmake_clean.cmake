@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cliff_walk_sarsa.dir/cliff_walk_sarsa.cpp.o"
+  "CMakeFiles/cliff_walk_sarsa.dir/cliff_walk_sarsa.cpp.o.d"
+  "cliff_walk_sarsa"
+  "cliff_walk_sarsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cliff_walk_sarsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

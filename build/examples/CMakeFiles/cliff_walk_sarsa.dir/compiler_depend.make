@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cliff_walk_sarsa.
+# This may be replaced when dependencies are built.

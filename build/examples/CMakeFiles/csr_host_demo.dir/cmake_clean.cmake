@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_host_demo.dir/csr_host_demo.cpp.o"
+  "CMakeFiles/csr_host_demo.dir/csr_host_demo.cpp.o.d"
+  "csr_host_demo"
+  "csr_host_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_host_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rover_exploration.dir/rover_exploration.cpp.o"
+  "CMakeFiles/rover_exploration.dir/rover_exploration.cpp.o.d"
+  "rover_exploration"
+  "rover_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rover_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

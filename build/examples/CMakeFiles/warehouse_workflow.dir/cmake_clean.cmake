@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_workflow.dir/warehouse_workflow.cpp.o"
+  "CMakeFiles/warehouse_workflow.dir/warehouse_workflow.cpp.o.d"
+  "warehouse_workflow"
+  "warehouse_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

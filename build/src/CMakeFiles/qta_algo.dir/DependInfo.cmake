@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/double_q.cpp" "src/CMakeFiles/qta_algo.dir/algo/double_q.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/double_q.cpp.o.d"
+  "/root/repo/src/algo/expected_sarsa.cpp" "src/CMakeFiles/qta_algo.dir/algo/expected_sarsa.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/expected_sarsa.cpp.o.d"
+  "/root/repo/src/algo/lambda_returns.cpp" "src/CMakeFiles/qta_algo.dir/algo/lambda_returns.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/lambda_returns.cpp.o.d"
+  "/root/repo/src/algo/mab_algorithms.cpp" "src/CMakeFiles/qta_algo.dir/algo/mab_algorithms.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/mab_algorithms.cpp.o.d"
+  "/root/repo/src/algo/q_learning.cpp" "src/CMakeFiles/qta_algo.dir/algo/q_learning.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/q_learning.cpp.o.d"
+  "/root/repo/src/algo/sarsa.cpp" "src/CMakeFiles/qta_algo.dir/algo/sarsa.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/sarsa.cpp.o.d"
+  "/root/repo/src/algo/tabular_learner.cpp" "src/CMakeFiles/qta_algo.dir/algo/tabular_learner.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/tabular_learner.cpp.o.d"
+  "/root/repo/src/algo/trainer.cpp" "src/CMakeFiles/qta_algo.dir/algo/trainer.cpp.o" "gcc" "src/CMakeFiles/qta_algo.dir/algo/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_algo.dir/algo/double_q.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/double_q.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/expected_sarsa.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/expected_sarsa.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/lambda_returns.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/lambda_returns.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/mab_algorithms.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/mab_algorithms.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/q_learning.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/q_learning.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/sarsa.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/sarsa.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/tabular_learner.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/tabular_learner.cpp.o.d"
+  "CMakeFiles/qta_algo.dir/algo/trainer.cpp.o"
+  "CMakeFiles/qta_algo.dir/algo/trainer.cpp.o.d"
+  "libqta_algo.a"
+  "libqta_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

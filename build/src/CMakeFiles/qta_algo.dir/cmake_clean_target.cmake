@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqta_algo.a"
+)

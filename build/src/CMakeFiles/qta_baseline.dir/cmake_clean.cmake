@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_baseline.dir/baseline/dict_q_learning.cpp.o"
+  "CMakeFiles/qta_baseline.dir/baseline/dict_q_learning.cpp.o.d"
+  "CMakeFiles/qta_baseline.dir/baseline/flat_q_learning.cpp.o"
+  "CMakeFiles/qta_baseline.dir/baseline/flat_q_learning.cpp.o.d"
+  "CMakeFiles/qta_baseline.dir/baseline/fsm_accelerator.cpp.o"
+  "CMakeFiles/qta_baseline.dir/baseline/fsm_accelerator.cpp.o.d"
+  "libqta_baseline.a"
+  "libqta_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_common.dir/common/cli.cpp.o"
+  "CMakeFiles/qta_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/qta_common.dir/common/stats.cpp.o"
+  "CMakeFiles/qta_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/qta_common.dir/common/table_printer.cpp.o"
+  "CMakeFiles/qta_common.dir/common/table_printer.cpp.o.d"
+  "libqta_common.a"
+  "libqta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/qta_device.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/qta_device.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/frequency_model.cpp" "src/CMakeFiles/qta_device.dir/device/frequency_model.cpp.o" "gcc" "src/CMakeFiles/qta_device.dir/device/frequency_model.cpp.o.d"
+  "/root/repo/src/device/power_model.cpp" "src/CMakeFiles/qta_device.dir/device/power_model.cpp.o" "gcc" "src/CMakeFiles/qta_device.dir/device/power_model.cpp.o.d"
+  "/root/repo/src/device/resource_report.cpp" "src/CMakeFiles/qta_device.dir/device/resource_report.cpp.o" "gcc" "src/CMakeFiles/qta_device.dir/device/resource_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_device.dir/device/device.cpp.o"
+  "CMakeFiles/qta_device.dir/device/device.cpp.o.d"
+  "CMakeFiles/qta_device.dir/device/frequency_model.cpp.o"
+  "CMakeFiles/qta_device.dir/device/frequency_model.cpp.o.d"
+  "CMakeFiles/qta_device.dir/device/power_model.cpp.o"
+  "CMakeFiles/qta_device.dir/device/power_model.cpp.o.d"
+  "CMakeFiles/qta_device.dir/device/resource_report.cpp.o"
+  "CMakeFiles/qta_device.dir/device/resource_report.cpp.o.d"
+  "libqta_device.a"
+  "libqta_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/qtaccel_device.cpp" "src/CMakeFiles/qta_driver.dir/driver/qtaccel_device.cpp.o" "gcc" "src/CMakeFiles/qta_driver.dir/driver/qtaccel_device.cpp.o.d"
+  "/root/repo/src/driver/register_map.cpp" "src/CMakeFiles/qta_driver.dir/driver/register_map.cpp.o" "gcc" "src/CMakeFiles/qta_driver.dir/driver/register_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_qtaccel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

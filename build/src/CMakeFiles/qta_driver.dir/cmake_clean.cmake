@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_driver.dir/driver/qtaccel_device.cpp.o"
+  "CMakeFiles/qta_driver.dir/driver/qtaccel_device.cpp.o.d"
+  "CMakeFiles/qta_driver.dir/driver/register_map.cpp.o"
+  "CMakeFiles/qta_driver.dir/driver/register_map.cpp.o.d"
+  "libqta_driver.a"
+  "libqta_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

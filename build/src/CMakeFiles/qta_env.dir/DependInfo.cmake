@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/bandit.cpp" "src/CMakeFiles/qta_env.dir/env/bandit.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/bandit.cpp.o.d"
+  "/root/repo/src/env/grid_map.cpp" "src/CMakeFiles/qta_env.dir/env/grid_map.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/grid_map.cpp.o.d"
+  "/root/repo/src/env/grid_world.cpp" "src/CMakeFiles/qta_env.dir/env/grid_world.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/grid_world.cpp.o.d"
+  "/root/repo/src/env/partition.cpp" "src/CMakeFiles/qta_env.dir/env/partition.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/partition.cpp.o.d"
+  "/root/repo/src/env/random_mdp.cpp" "src/CMakeFiles/qta_env.dir/env/random_mdp.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/random_mdp.cpp.o.d"
+  "/root/repo/src/env/stateful_bandit.cpp" "src/CMakeFiles/qta_env.dir/env/stateful_bandit.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/stateful_bandit.cpp.o.d"
+  "/root/repo/src/env/value_iteration.cpp" "src/CMakeFiles/qta_env.dir/env/value_iteration.cpp.o" "gcc" "src/CMakeFiles/qta_env.dir/env/value_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

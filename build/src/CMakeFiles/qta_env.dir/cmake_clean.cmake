@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_env.dir/env/bandit.cpp.o"
+  "CMakeFiles/qta_env.dir/env/bandit.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/grid_map.cpp.o"
+  "CMakeFiles/qta_env.dir/env/grid_map.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/grid_world.cpp.o"
+  "CMakeFiles/qta_env.dir/env/grid_world.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/partition.cpp.o"
+  "CMakeFiles/qta_env.dir/env/partition.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/random_mdp.cpp.o"
+  "CMakeFiles/qta_env.dir/env/random_mdp.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/stateful_bandit.cpp.o"
+  "CMakeFiles/qta_env.dir/env/stateful_bandit.cpp.o.d"
+  "CMakeFiles/qta_env.dir/env/value_iteration.cpp.o"
+  "CMakeFiles/qta_env.dir/env/value_iteration.cpp.o.d"
+  "libqta_env.a"
+  "libqta_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

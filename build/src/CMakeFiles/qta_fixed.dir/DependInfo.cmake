@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixed/exp_lut.cpp" "src/CMakeFiles/qta_fixed.dir/fixed/exp_lut.cpp.o" "gcc" "src/CMakeFiles/qta_fixed.dir/fixed/exp_lut.cpp.o.d"
+  "/root/repo/src/fixed/fixed_point.cpp" "src/CMakeFiles/qta_fixed.dir/fixed/fixed_point.cpp.o" "gcc" "src/CMakeFiles/qta_fixed.dir/fixed/fixed_point.cpp.o.d"
+  "/root/repo/src/fixed/math_lut.cpp" "src/CMakeFiles/qta_fixed.dir/fixed/math_lut.cpp.o" "gcc" "src/CMakeFiles/qta_fixed.dir/fixed/math_lut.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

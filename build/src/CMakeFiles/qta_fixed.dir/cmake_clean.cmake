@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_fixed.dir/fixed/exp_lut.cpp.o"
+  "CMakeFiles/qta_fixed.dir/fixed/exp_lut.cpp.o.d"
+  "CMakeFiles/qta_fixed.dir/fixed/fixed_point.cpp.o"
+  "CMakeFiles/qta_fixed.dir/fixed/fixed_point.cpp.o.d"
+  "CMakeFiles/qta_fixed.dir/fixed/math_lut.cpp.o"
+  "CMakeFiles/qta_fixed.dir/fixed/math_lut.cpp.o.d"
+  "libqta_fixed.a"
+  "libqta_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/bram.cpp" "src/CMakeFiles/qta_hw.dir/hw/bram.cpp.o" "gcc" "src/CMakeFiles/qta_hw.dir/hw/bram.cpp.o.d"
+  "/root/repo/src/hw/dsp.cpp" "src/CMakeFiles/qta_hw.dir/hw/dsp.cpp.o" "gcc" "src/CMakeFiles/qta_hw.dir/hw/dsp.cpp.o.d"
+  "/root/repo/src/hw/resource_ledger.cpp" "src/CMakeFiles/qta_hw.dir/hw/resource_ledger.cpp.o" "gcc" "src/CMakeFiles/qta_hw.dir/hw/resource_ledger.cpp.o.d"
+  "/root/repo/src/hw/sim_kernel.cpp" "src/CMakeFiles/qta_hw.dir/hw/sim_kernel.cpp.o" "gcc" "src/CMakeFiles/qta_hw.dir/hw/sim_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

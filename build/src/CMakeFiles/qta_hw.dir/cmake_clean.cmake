@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_hw.dir/hw/bram.cpp.o"
+  "CMakeFiles/qta_hw.dir/hw/bram.cpp.o.d"
+  "CMakeFiles/qta_hw.dir/hw/dsp.cpp.o"
+  "CMakeFiles/qta_hw.dir/hw/dsp.cpp.o.d"
+  "CMakeFiles/qta_hw.dir/hw/resource_ledger.cpp.o"
+  "CMakeFiles/qta_hw.dir/hw/resource_ledger.cpp.o.d"
+  "CMakeFiles/qta_hw.dir/hw/sim_kernel.cpp.o"
+  "CMakeFiles/qta_hw.dir/hw/sim_kernel.cpp.o.d"
+  "libqta_hw.a"
+  "libqta_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

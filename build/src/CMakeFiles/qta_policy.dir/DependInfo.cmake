@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/exp3.cpp" "src/CMakeFiles/qta_policy.dir/policy/exp3.cpp.o" "gcc" "src/CMakeFiles/qta_policy.dir/policy/exp3.cpp.o.d"
+  "/root/repo/src/policy/policies.cpp" "src/CMakeFiles/qta_policy.dir/policy/policies.cpp.o" "gcc" "src/CMakeFiles/qta_policy.dir/policy/policies.cpp.o.d"
+  "/root/repo/src/policy/probability_table.cpp" "src/CMakeFiles/qta_policy.dir/policy/probability_table.cpp.o" "gcc" "src/CMakeFiles/qta_policy.dir/policy/probability_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

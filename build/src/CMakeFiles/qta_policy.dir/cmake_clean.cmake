@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_policy.dir/policy/exp3.cpp.o"
+  "CMakeFiles/qta_policy.dir/policy/exp3.cpp.o.d"
+  "CMakeFiles/qta_policy.dir/policy/policies.cpp.o"
+  "CMakeFiles/qta_policy.dir/policy/policies.cpp.o.d"
+  "CMakeFiles/qta_policy.dir/policy/probability_table.cpp.o"
+  "CMakeFiles/qta_policy.dir/policy/probability_table.cpp.o.d"
+  "libqta_policy.a"
+  "libqta_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

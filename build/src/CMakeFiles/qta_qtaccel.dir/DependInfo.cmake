@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qtaccel/action_units.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/action_units.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/action_units.cpp.o.d"
+  "/root/repo/src/qtaccel/boltzmann_pipeline.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/boltzmann_pipeline.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/boltzmann_pipeline.cpp.o.d"
+  "/root/repo/src/qtaccel/config.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/config.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/config.cpp.o.d"
+  "/root/repo/src/qtaccel/forwarding.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/forwarding.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/forwarding.cpp.o.d"
+  "/root/repo/src/qtaccel/golden_model.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/golden_model.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/golden_model.cpp.o.d"
+  "/root/repo/src/qtaccel/mab_accelerator.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/mab_accelerator.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/mab_accelerator.cpp.o.d"
+  "/root/repo/src/qtaccel/multi_pipeline.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/multi_pipeline.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/multi_pipeline.cpp.o.d"
+  "/root/repo/src/qtaccel/pipeline.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/pipeline.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/pipeline.cpp.o.d"
+  "/root/repo/src/qtaccel/qmax_unit.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/qmax_unit.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/qmax_unit.cpp.o.d"
+  "/root/repo/src/qtaccel/resources.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/resources.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/resources.cpp.o.d"
+  "/root/repo/src/qtaccel/table_io.cpp" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/table_io.cpp.o" "gcc" "src/CMakeFiles/qta_qtaccel.dir/qtaccel/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

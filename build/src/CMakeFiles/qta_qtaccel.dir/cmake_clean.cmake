@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/action_units.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/action_units.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/boltzmann_pipeline.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/boltzmann_pipeline.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/config.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/config.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/forwarding.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/forwarding.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/golden_model.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/golden_model.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/mab_accelerator.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/mab_accelerator.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/multi_pipeline.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/multi_pipeline.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/pipeline.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/pipeline.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/qmax_unit.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/qmax_unit.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/resources.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/resources.cpp.o.d"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/table_io.cpp.o"
+  "CMakeFiles/qta_qtaccel.dir/qtaccel/table_io.cpp.o.d"
+  "libqta_qtaccel.a"
+  "libqta_qtaccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_qtaccel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

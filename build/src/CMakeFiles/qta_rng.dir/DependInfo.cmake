@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/lfsr.cpp" "src/CMakeFiles/qta_rng.dir/rng/lfsr.cpp.o" "gcc" "src/CMakeFiles/qta_rng.dir/rng/lfsr.cpp.o.d"
+  "/root/repo/src/rng/normal_clt.cpp" "src/CMakeFiles/qta_rng.dir/rng/normal_clt.cpp.o" "gcc" "src/CMakeFiles/qta_rng.dir/rng/normal_clt.cpp.o.d"
+  "/root/repo/src/rng/xoshiro.cpp" "src/CMakeFiles/qta_rng.dir/rng/xoshiro.cpp.o" "gcc" "src/CMakeFiles/qta_rng.dir/rng/xoshiro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qta_rng.dir/rng/lfsr.cpp.o"
+  "CMakeFiles/qta_rng.dir/rng/lfsr.cpp.o.d"
+  "CMakeFiles/qta_rng.dir/rng/normal_clt.cpp.o"
+  "CMakeFiles/qta_rng.dir/rng/normal_clt.cpp.o.d"
+  "CMakeFiles/qta_rng.dir/rng/xoshiro.cpp.o"
+  "CMakeFiles/qta_rng.dir/rng/xoshiro.cpp.o.d"
+  "libqta_rng.a"
+  "libqta_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qta_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

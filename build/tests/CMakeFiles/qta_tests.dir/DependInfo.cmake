@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo_test.cpp" "tests/CMakeFiles/qta_tests.dir/algo_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/algo_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/qta_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/boltzmann_test.cpp" "tests/CMakeFiles/qta_tests.dir/boltzmann_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/boltzmann_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/qta_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/qta_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/qta_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/env_test.cpp" "tests/CMakeFiles/qta_tests.dir/env_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/env_test.cpp.o.d"
+  "/root/repo/tests/fixed_test.cpp" "tests/CMakeFiles/qta_tests.dir/fixed_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/fixed_test.cpp.o.d"
+  "/root/repo/tests/golden_model_test.cpp" "tests/CMakeFiles/qta_tests.dir/golden_model_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/golden_model_test.cpp.o.d"
+  "/root/repo/tests/grid_map_test.cpp" "tests/CMakeFiles/qta_tests.dir/grid_map_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/grid_map_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/qta_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/qta_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lambda_test.cpp" "tests/CMakeFiles/qta_tests.dir/lambda_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/lambda_test.cpp.o.d"
+  "/root/repo/tests/mab_test.cpp" "tests/CMakeFiles/qta_tests.dir/mab_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/mab_test.cpp.o.d"
+  "/root/repo/tests/math_lut_test.cpp" "tests/CMakeFiles/qta_tests.dir/math_lut_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/math_lut_test.cpp.o.d"
+  "/root/repo/tests/multi_pipeline_test.cpp" "tests/CMakeFiles/qta_tests.dir/multi_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/multi_pipeline_test.cpp.o.d"
+  "/root/repo/tests/pipeline_equivalence_test.cpp" "tests/CMakeFiles/qta_tests.dir/pipeline_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/pipeline_equivalence_test.cpp.o.d"
+  "/root/repo/tests/pipeline_fuzz_test.cpp" "tests/CMakeFiles/qta_tests.dir/pipeline_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/pipeline_fuzz_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/qta_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/qta_tests.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/policy_test.cpp.o.d"
+  "/root/repo/tests/qtaccel_config_test.cpp" "tests/CMakeFiles/qta_tests.dir/qtaccel_config_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/qtaccel_config_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/qta_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/stateful_bandit_test.cpp" "tests/CMakeFiles/qta_tests.dir/stateful_bandit_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/stateful_bandit_test.cpp.o.d"
+  "/root/repo/tests/table_io_test.cpp" "tests/CMakeFiles/qta_tests.dir/table_io_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/table_io_test.cpp.o.d"
+  "/root/repo/tests/waveform_test.cpp" "tests/CMakeFiles/qta_tests.dir/waveform_test.cpp.o" "gcc" "tests/CMakeFiles/qta_tests.dir/waveform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qta_qtaccel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
