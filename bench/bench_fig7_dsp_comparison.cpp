@@ -58,7 +58,7 @@ int main() {
     env::GridWorldConfig gc;
     const unsigned side = 1u << (log2_ceil(states) / 2);
     gc.width = side;
-    gc.height = states / side;
+    gc.height = static_cast<unsigned>(states / side);
     gc.num_actions = 4;
     env::GridWorld world(gc);
     qtaccel::PipelineConfig config;

@@ -1,3 +1,5 @@
+// qtlint: allow-file(datapath-purity)
+// ROM-image generation + host-side accuracy probes (see exp_lut.h).
 #include "fixed/exp_lut.h"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// qtlint: allow-file(datapath-purity)
+// Sanctioned host<->datapath conversion boundary (see fixed_point.h).
 #include "fixed/fixed_point.h"
 
 #include <cmath>

@@ -10,6 +10,12 @@
 // Rounding: round-half-away-from-zero (the cheap adder-based FPGA rounding).
 // Overflow: saturation to the format's representable range; the pipeline
 // counts saturation events so experiments can report precision loss.
+//
+// qtlint: allow-file(datapath-purity)
+// This file IS the sanctioned host<->datapath conversion boundary:
+// from_double/to_double and the resolution helpers are the only place the
+// model is allowed to touch IEEE floats. Everything downstream carries
+// raw_t only, which tools/qtlint enforces.
 #pragma once
 
 #include <cstdint>

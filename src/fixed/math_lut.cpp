@@ -1,3 +1,7 @@
+// qtlint: allow-file(datapath-purity)
+// The log2 correction table is generated with libm on first use — the
+// hardware analog is an offline-computed BRAM init image. The query paths
+// (log2_fixed, ln_fixed, sqrt_fixed, div_fixed) are integer-only.
 #include "fixed/math_lut.h"
 
 #include <array>

@@ -43,6 +43,8 @@ BoltzmannPipeline::BoltzmannPipeline(const env::Environment& env,
   }
 }
 
+// Host-side readback of the stored Q/P words for tests and reporting.
+// qtlint: push-allow(datapath-purity)
 double BoltzmannPipeline::q_value(StateId s, ActionId a) const {
   return fixed::to_double(q_table_.peek(map_.q_addr(s, a)), config_.q_fmt);
 }
@@ -58,6 +60,7 @@ double BoltzmannPipeline::action_probability(StateId s, ActionId a) const {
   QTA_CHECK(sum > 0.0);
   return weight(s, a) / sum;
 }
+// qtlint: pop-allow(datapath-purity)
 
 fixed::raw_t BoltzmannPipeline::refreshed_weight(fixed::raw_t q) const {
   // f = expLUT(Q / T). The division runs on the shift-subtract divider;

@@ -34,6 +34,10 @@
 
 namespace qta::qtaccel {
 
+// Host-side configuration: rates and LUT geometry arrive as doubles and
+// are quantized into fixed-point coefficients at construction, exactly
+// like PipelineConfig.
+// qtlint: push-allow(datapath-purity)
 struct BoltzmannConfig {
   double alpha = 0.1;
   double gamma = 0.9;
@@ -59,6 +63,7 @@ struct BoltzmannConfig {
   std::uint64_t seed = 1;
   std::uint64_t max_episode_length = 1u << 20;
 };
+// qtlint: pop-allow(datapath-purity)
 
 class BoltzmannPipeline {
  public:
@@ -73,6 +78,8 @@ class BoltzmannPipeline {
     std::uint64_t bubbles = 0;
     Cycle cycles = 0;
     std::uint64_t selection_stall_cycles = 0;
+    // Host-side throughput metric and table readback.
+    // qtlint: push-allow(datapath-purity)
     double samples_per_cycle() const {
       return cycles == 0 ? 0.0
                          : static_cast<double>(samples) /
@@ -86,6 +93,7 @@ class BoltzmannPipeline {
   double weight(StateId s, ActionId a) const;
   /// Normalized P(a | s) from the stored weights.
   double action_probability(StateId s, ActionId a) const;
+  // qtlint: pop-allow(datapath-purity)
 
   /// Samples an action for `s` from the stored weights (the stage-2
   /// selection path, exposed for tests); does not advance time.

@@ -61,6 +61,8 @@ std::uint64_t SharedTablePipelines::total_samples() const {
   return sum;
 }
 
+// Host-side metrics and table readback (see pipeline.cpp for rationale).
+// qtlint: push-allow(datapath-purity)
 double SharedTablePipelines::samples_per_cycle() const {
   return cycles_ == 0 ? 0.0
                       : static_cast<double>(total_samples()) /
@@ -81,6 +83,7 @@ std::vector<double> SharedTablePipelines::q_as_double() const {
   }
   return out;
 }
+// qtlint: pop-allow(datapath-purity)
 
 IndependentPipelines::IndependentPipelines(
     std::vector<std::unique_ptr<env::Environment>> environments,
@@ -124,6 +127,8 @@ std::uint64_t IndependentPipelines::total_samples() const {
   return sum;
 }
 
+// Host-side aggregate metric.
+// qtlint: push-allow(datapath-purity)
 double IndependentPipelines::samples_per_cycle() const {
   Cycle slowest = 0;
   for (const auto& p : pipes_) slowest = std::max(slowest, p->stats().cycles);
@@ -131,6 +136,7 @@ double IndependentPipelines::samples_per_cycle() const {
                       : static_cast<double>(total_samples()) /
                             static_cast<double>(slowest);
 }
+// qtlint: pop-allow(datapath-purity)
 
 hw::ResourceLedger IndependentPipelines::resources() const {
   return build_resources(*envs_[0], config_,

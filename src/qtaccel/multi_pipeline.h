@@ -50,11 +50,14 @@ class SharedTablePipelines {
   std::uint64_t q_write_collisions() const {
     return q_.stats().write_collisions;
   }
+  // Host-side metrics and table readback.
+  // qtlint: push-allow(datapath-purity)
   /// Combined throughput in samples per cycle (≈ num_pipelines).
   double samples_per_cycle() const;
 
   double q_value(StateId s, ActionId a) const;
   std::vector<double> q_as_double() const;
+  // qtlint: pop-allow(datapath-purity)
 
  private:
   void tick_all();
@@ -93,7 +96,7 @@ class IndependentPipelines {
   /// Aggregate throughput in samples per cycle, where a "cycle" is the
   /// slowest pipeline's cycle count (all pipelines run concurrently in
   /// hardware).
-  double samples_per_cycle() const;
+  double samples_per_cycle() const;  // qtlint: allow(datapath-purity)
 
   /// Combined resource ledger (N banks + N pipelines of logic).
   hw::ResourceLedger resources() const;

@@ -92,6 +92,9 @@ fixed::raw_t Pipeline::q_raw(StateId s, ActionId a) const {
   return q_table_->peek(map_.q_addr(s, a));
 }
 
+// Host-side readback: converts the stored raw words for tests, table IO
+// and benchmark reporting. Nothing here feeds back into the datapath.
+// qtlint: push-allow(datapath-purity)
 double Pipeline::q_value(StateId s, ActionId a) const {
   if (q2_table_) {
     return (fixed::to_double(q_raw(s, a), config_.q_fmt) +
@@ -117,6 +120,7 @@ std::vector<double> Pipeline::q_as_double() const {
   }
   return out;
 }
+// qtlint: pop-allow(datapath-purity)
 
 std::vector<ActionId> Pipeline::greedy_policy() const {
   return env::greedy_policy_from(env_, q_as_double());

@@ -48,11 +48,14 @@ struct PipelineStats : RunCounters {
   std::uint64_t fwd_qmax = 0;         // Qmax raised by an in-flight write-back
   std::uint64_t adder_saturations = 0;
 
+  // Host-side throughput metric, never part of the datapath.
+  // qtlint: push-allow(datapath-purity)
   double samples_per_cycle() const {
     return cycles == 0 ? 0.0
                        : static_cast<double>(samples) /
                              static_cast<double>(cycles);
   }
+  // qtlint: pop-allow(datapath-purity)
 };
 
 class Pipeline {
@@ -91,11 +94,11 @@ class Pipeline {
   void set_waveform(std::ostream* os) { waveform_ = os; }
 
   fixed::raw_t q_raw(StateId s, ActionId a) const;
-  double q_value(StateId s, ActionId a) const;
+  double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
   /// Double Q-Learning's second table (aborts for other algorithms).
   fixed::raw_t q2_raw(StateId s, ActionId a) const;
   /// Row-major doubles; for kDoubleQ the acting estimate (A + B) / 2.
-  std::vector<double> q_as_double() const;
+  std::vector<double> q_as_double() const;  // qtlint: allow(datapath-purity)
   /// Greedy argmax policy over the learned table (kDoubleQ: over A+B).
   std::vector<ActionId> greedy_policy() const;
   QmaxUnit::Entry qmax_entry(StateId s) const;

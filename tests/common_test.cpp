@@ -62,7 +62,9 @@ TEST(BitMath, Log2CeilProperty) {
   for (std::uint64_t v = 1; v < 5000; ++v) {
     const unsigned k = log2_ceil(v);
     EXPECT_GE(std::uint64_t{1} << k, v);
-    if (k > 0) EXPECT_LT(std::uint64_t{1} << (k - 1), v);
+    if (k > 0) {
+      EXPECT_LT(std::uint64_t{1} << (k - 1), v);
+    }
   }
 }
 

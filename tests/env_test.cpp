@@ -271,7 +271,7 @@ TEST(RandomMdp, TerminalFractionKeepsStateZeroLive) {
   RandomMdp m(c);
   EXPECT_FALSE(m.is_terminal(0));
   unsigned terminals = 0;
-  for (StateId s = 0; s < 32; ++s) terminals += m.is_terminal(s) ? 1 : 0;
+  for (StateId s = 0; s < 32; ++s) terminals += m.is_terminal(s) ? 1u : 0u;
   EXPECT_GT(terminals, 0u);
 }
 

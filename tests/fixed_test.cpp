@@ -183,9 +183,9 @@ INSTANTIATE_TEST_SUITE_P(Formats, FormatPropertyTest,
                          testing::Values(Format{18, 8}, Format{16, 8},
                                          Format{18, 12}, Format{32, 16},
                                          Format{24, 10}),
-                         [](const testing::TestParamInfo<Format>& info) {
-                           return "w" + std::to_string(info.param.width) +
-                                  "f" + std::to_string(info.param.frac);
+                         [](const testing::TestParamInfo<Format>& param_info) {
+                           return "w" + std::to_string(param_info.param.width) +
+                                  "f" + std::to_string(param_info.param.frac);
                          });
 
 TEST(ExpLut, ApproximatesExp) {

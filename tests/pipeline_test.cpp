@@ -324,9 +324,9 @@ TEST(Pipeline, DoubleQLearnsGridAtFullRate) {
   std::uint64_t a_nonzero = 0, b_nonzero = 0, differ = 0;
   for (StateId s = 0; s < g.num_states(); ++s) {
     for (ActionId act = 0; act < g.num_actions(); ++act) {
-      a_nonzero += p.q_raw(s, act) != 0 ? 1 : 0;
-      b_nonzero += p.q2_raw(s, act) != 0 ? 1 : 0;
-      differ += p.q_raw(s, act) != p.q2_raw(s, act) ? 1 : 0;
+      a_nonzero += p.q_raw(s, act) != 0 ? 1u : 0u;
+      b_nonzero += p.q2_raw(s, act) != 0 ? 1u : 0u;
+      differ += p.q_raw(s, act) != p.q2_raw(s, act) ? 1u : 0u;
     }
   }
   EXPECT_GT(a_nonzero, 50u);

@@ -58,7 +58,7 @@ TEST(EpsilonGreedy, HardwareSemanticsDistribution) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[epsilon_greedy_action(row, eps, rng)];
   EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.6 + 0.1, 0.01);
-  for (int a : {0, 2, 3}) {
+  for (std::size_t a : {0u, 2u, 3u}) {
     EXPECT_NEAR(static_cast<double>(counts[a]) / n, 0.1, 0.01);
   }
 }

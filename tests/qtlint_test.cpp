@@ -1,0 +1,221 @@
+// Rule-by-rule coverage for tools/qtlint. Each fixture is a known-bad
+// snippet fed through lint_content() under a path that puts it in the
+// rule's scope; the paired negative case moves the same snippet out of
+// scope or adds a qtlint: allow annotation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "qtlint/lint.h"
+
+namespace qta::lint {
+namespace {
+
+std::size_t count_rule(const std::vector<Violation>& vs, RuleId rule) {
+  return static_cast<std::size_t>(
+      std::count_if(vs.begin(), vs.end(),
+                    [rule](const Violation& v) { return v.rule == rule; }));
+}
+
+TEST(QtlintClassify, PathsMapToScopes) {
+  EXPECT_TRUE(classify_path("src/hw/bram.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/fixed/fixed_point.h").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/pipeline.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/multi_pipeline.h").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/boltzmann_pipeline.cpp").datapath);
+  EXPECT_FALSE(classify_path("src/qtaccel/config.cpp").datapath);
+  EXPECT_FALSE(classify_path("src/qtaccel/golden_model.cpp").datapath);
+  EXPECT_FALSE(classify_path("src/common/stats.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/rng/lfsr.cpp").rng);
+  EXPECT_TRUE(classify_path("src/hw/dsp.h").header);
+  EXPECT_FALSE(classify_path("tools/qtlint/lint.cpp").in_src);
+}
+
+TEST(QtlintDatapathPurity, FlagsFloatAndDoubleInDatapath) {
+  const auto vs = lint_content("src/hw/unit.cpp",
+                               "int f() { double x = 1; float y = 2; "
+                               "return int(x + y); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 2u);
+}
+
+TEST(QtlintDatapathPurity, FlagsLibmCallsAndCmathInclude) {
+  const auto vs = lint_content(
+      "src/fixed/unit.cpp",
+      "#include <cmath>\nlong f(long v) { return std::exp(v) + pow(v, 2); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 3u);
+}
+
+TEST(QtlintDatapathPurity, IgnoresHostSideCode) {
+  const auto vs = lint_content("src/common/stats.cpp",
+                               "double mean() { return std::sqrt(2.0); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 0u);
+}
+
+TEST(QtlintDatapathPurity, MemberNamesContainingBannedWordsAreLegal) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "long q_as_double(Lut& lut, long x) { return lut.eval_exp(x); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 0u);
+}
+
+TEST(QtlintDatapathPurity, CommentsAndStringsDoNotTrigger) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "// a double-pumped BRAM port\n"
+      "/* float would be wrong here */\n"
+      "const char* kMsg = \"double trouble: std::exp(x)\";\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 0u);
+}
+
+TEST(QtlintDeterminism, FlagsEntropySourcesOutsideRng) {
+  const auto vs = lint_content(
+      "src/algo/unit.cpp",
+      "#include <random>\n"
+      "int f() { std::random_device rd; srand(42); return rand(); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 4u);
+}
+
+TEST(QtlintDeterminism, FlagsWallClockSeeding) {
+  const auto vs = lint_content(
+      "src/env/unit.cpp", "long seed() { return time(nullptr); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 1u);
+}
+
+TEST(QtlintDeterminism, RngModuleIsExempt) {
+  const auto vs = lint_content(
+      "src/rng/unit.cpp",
+      "int f() { std::random_device rd; return int(rd()); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 0u);
+}
+
+TEST(QtlintDeterminism, SteadyClockAliasIsLegal) {
+  // src/common/stats.h names its chrono alias `clock`; only the libc
+  // call form clock() is banned.
+  const auto vs = lint_content(
+      "src/common/unit.h",
+      "#pragma once\nusing clock = std::chrono::steady_clock;\n"
+      "auto t() { return clock::now(); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 0u);
+}
+
+TEST(QtlintPragmaOnce, FlagsHeaderWithoutPragma) {
+  const auto vs = lint_content("src/hw/unit.h", "struct S {};\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kPragmaOnce), 1u);
+}
+
+TEST(QtlintPragmaOnce, AcceptsHeaderWithPragma) {
+  const auto vs =
+      lint_content("src/hw/unit.h", "// banner\n#pragma once\nstruct S {};\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kPragmaOnce), 0u);
+}
+
+TEST(QtlintPragmaOnce, DoesNotApplyToSourceFiles) {
+  const auto vs = lint_content("src/hw/unit.cpp", "struct S {};\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kPragmaOnce), 0u);
+}
+
+TEST(QtlintUsingNamespace, FlagsHeaderButNotSource) {
+  const std::string snippet = "#pragma once\nusing namespace std;\n";
+  EXPECT_EQ(count_rule(lint_content("src/env/unit.h", snippet),
+                       RuleId::kNoUsingNamespace),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/env/unit.cpp", snippet),
+                       RuleId::kNoUsingNamespace),
+            0u);
+}
+
+TEST(QtlintIostream, FlagsHotPathStreams) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "#include <iostream>\nvoid f() { std::cout << 1; std::cerr << 2; }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kNoIostream), 3u);
+}
+
+TEST(QtlintIostream, PipelineAndHostFilesMayStream) {
+  const std::string snippet = "#include <iostream>\nvoid f();\n";
+  EXPECT_EQ(count_rule(lint_content("src/qtaccel/pipeline.cpp", snippet),
+                       RuleId::kNoIostream),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("src/common/cli.cpp", snippet),
+                       RuleId::kNoIostream),
+            0u);
+}
+
+TEST(QtlintBareAssert, FlagsAssertButNotStaticAssert) {
+  const auto vs = lint_content(
+      "src/env/unit.cpp",
+      "#include <cassert>\n"
+      "static_assert(sizeof(int) == 4);\nvoid f(int x) { assert(x > 0); }\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kNoBareAssert), 2u);
+}
+
+TEST(QtlintAllow, LineAnnotationSuppressesThatLineOnly) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "double a;  // qtlint: allow(datapath-purity)\ndouble b;\n");
+  ASSERT_EQ(count_rule(vs, RuleId::kDatapathPurity), 1u);
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(QtlintAllow, LineAnnotationTakesMultipleRules) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "double a = time(nullptr);"
+      "  // qtlint: allow(datapath-purity, determinism)\n");
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(QtlintAllow, FileAnnotationSuppressesWholeFile) {
+  const auto vs = lint_content(
+      "src/fixed/unit.cpp",
+      "// qtlint: allow-file(datapath-purity)\n"
+      "double a;\ndouble b;\nfloat c;\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 0u);
+}
+
+TEST(QtlintAllow, PushPopBoundsTheSuppressedRegion) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "// qtlint: push-allow(datapath-purity)\n"
+      "double inside;\n"
+      "// qtlint: pop-allow(datapath-purity)\n"
+      "double outside;\n");
+  ASSERT_EQ(count_rule(vs, RuleId::kDatapathPurity), 1u);
+  EXPECT_EQ(vs[0].line, 4u);
+}
+
+TEST(QtlintAllow, UnknownRuleNameIsItselfAViolation) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp", "int a;  // qtlint: allow(no-such-rule)\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kUnknownAllow), 1u);
+}
+
+TEST(QtlintAllow, AllowDoesNotLeakToOtherRules) {
+  const auto vs = lint_content(
+      "src/hw/unit.cpp",
+      "double a = time(nullptr);  // qtlint: allow(datapath-purity)\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kDatapathPurity), 0u);
+  EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 1u);
+}
+
+TEST(QtlintReporting, ViolationsCarryFileLineAndSortedOrder) {
+  const auto vs = lint_content("src/hw/unit.cpp",
+                               "int ok;\ndouble bad1;\ndouble bad2;\n");
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].file, "src/hw/unit.cpp");
+  EXPECT_EQ(vs[0].line, 2u);
+  EXPECT_EQ(vs[1].line, 3u);
+}
+
+TEST(QtlintRules, EveryRuleHasNameScopeRationale) {
+  for (const RuleId id : all_rules()) {
+    EXPECT_FALSE(rule_name(id).empty());
+    EXPECT_FALSE(rule_scope(id).empty());
+    EXPECT_FALSE(rule_rationale(id).empty());
+  }
+}
+
+}  // namespace
+}  // namespace qta::lint

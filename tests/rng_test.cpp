@@ -67,7 +67,9 @@ TEST(Lfsr, DrawBitsWidths) {
   Lfsr lfsr(32, 99);
   for (unsigned n = 1; n <= 64; ++n) {
     const std::uint64_t v = lfsr.draw_bits(n);
-    if (n < 64) EXPECT_LT(v, std::uint64_t{1} << n) << n;
+    if (n < 64) {
+      EXPECT_LT(v, std::uint64_t{1} << n) << n;
+    }
   }
 }
 

@@ -1,0 +1,591 @@
+#include "qtlint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/table_printer.h"
+
+namespace qta::lint {
+namespace {
+
+struct RuleInfo {
+  RuleId id;
+  std::string_view name;
+  std::string_view scope;
+  std::string_view rationale;
+};
+
+constexpr std::array<RuleInfo, 7> kRules{{
+    {RuleId::kDatapathPurity, "datapath-purity",
+     "src/hw, src/fixed, qtaccel pipeline files",
+     "paper's fixed-point 4-DSP datapath: no float/double/libm"},
+    {RuleId::kDeterminism, "determinism", "src/** except src/rng",
+     "cycle-accuracy needs reproducible runs: no ambient entropy"},
+    {RuleId::kPragmaOnce, "pragma-once", "all headers",
+     "ODR hygiene: every header carries #pragma once"},
+    {RuleId::kNoUsingNamespace, "no-using-namespace", "all headers",
+     "headers must not inject namespaces into includers"},
+    {RuleId::kNoIostream, "no-iostream", "src/hw, src/fixed",
+     "hot-path cycle loop stays free of stream formatting"},
+    {RuleId::kNoBareAssert, "no-bare-assert", "src/**",
+     "QTA_CHECK aborts in release too; assert() vanishes under NDEBUG"},
+    {RuleId::kUnknownAllow, "unknown-allow", "qtlint annotations",
+     "allow() must name a real rule"},
+}};
+
+const RuleInfo& info(RuleId id) {
+  for (const auto& r : kRules) {
+    if (r.id == id) return r;
+  }
+  return kRules[0];
+}
+
+bool rule_from_name(std::string_view name, RuleId* out) {
+  for (const auto& r : kRules) {
+    if (r.name == name) {
+      *out = r.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+// Type names and libm calls banned from the synthesizable datapath model.
+// float/double are banned as bare identifiers; the call set is matched
+// only when followed by '(' so member names like eval_double stay legal.
+constexpr std::array<std::string_view, 2> kFloatTypes{"float", "double"};
+constexpr std::array<std::string_view, 34> kLibmCalls{
+    "pow",   "powf",  "exp",    "expf",   "exp2",      "log",    "logf",
+    "log10", "log2",  "log2f",  "sqrt",   "sqrtf",     "cbrt",   "sin",
+    "cos",   "tan",   "asin",   "acos",   "atan",      "atan2",  "sinh",
+    "cosh",  "tanh",  "erf",    "erfc",   "tgamma",    "lgamma", "hypot",
+    "fma",   "floor", "ceil",   "round",  "lround",    "llround"};
+
+// Entropy / wall-clock identifiers banned outside src/rng. The first set
+// is banned wherever the identifier appears; the second only as a call.
+constexpr std::array<std::string_view, 10> kEntropyTypes{
+    "random_device", "mt19937",   "mt19937_64",     "minstd_rand",
+    "minstd_rand0",  "ranlux24",  "ranlux48",       "knuth_b",
+    "default_random_engine",      "system_clock"};
+constexpr std::array<std::string_view, 7> kEntropyCalls{
+    "rand", "srand", "rand_r", "drand48", "random", "time", "clock"};
+
+constexpr std::array<std::string_view, 4> kStreamIdents{"cout", "cerr",
+                                                        "clog", "printf"};
+
+// qtaccel files that model pipeline hardware (as opposed to host-side
+// config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).
+constexpr std::array<std::string_view, 6> kPipelineFileStems{
+    "pipeline",   "multi_pipeline", "boltzmann_pipeline",
+    "forwarding", "qmax_unit",      "action_units"};
+
+struct LexedFile {
+  // Source with comments and string/char-literal contents blanked out;
+  // newlines preserved so token positions keep their line numbers.
+  std::string code;
+  // Comment text concatenated per line (1-based), for qtlint: directives.
+  std::map<unsigned, std::string> comments;
+  // Raw text of preprocessor-directive lines (1-based).
+  std::map<unsigned, std::string> pp_lines;
+};
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  out.code.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  unsigned line = 1;
+  bool line_has_code = false;  // non-ws code chars seen on this line
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      out.code.push_back('\n');
+      ++line;
+      line_has_code = false;
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated strings/chars cannot span lines in valid C++;
+      // recover rather than swallowing the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.code.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.code.append("  ");
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal: R"delim( ... )delim"
+          const bool raw = !out.code.empty() && out.code.back() == 'R' &&
+                           (out.code.size() < 2 ||
+                            !is_ident_char(out.code[out.code.size() - 2]));
+          if (raw) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(') delim.push_back(src[j++]);
+            const std::string closer = ")" + delim + "\"";
+            const auto end = src.find(closer, j);
+            const std::size_t stop =
+                end == std::string_view::npos ? src.size()
+                                              : end + closer.size();
+            for (std::size_t k = i; k < stop; ++k) {
+              out.code.push_back(src[k] == '\n' ? '\n' : ' ');
+              if (src[k] == '\n') ++line;
+            }
+            i = stop - 1;
+          } else {
+            out.code.push_back(' ');
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not char literals.
+          const bool digit_sep =
+              !out.code.empty() &&
+              std::isdigit(static_cast<unsigned char>(out.code.back()));
+          out.code.push_back(digit_sep ? c : ' ');
+          if (!digit_sep) state = State::kChar;
+        } else {
+          if (c == '#' && !line_has_code) {
+            // Record the raw directive line (up to newline) once.
+            const auto eol = src.find('\n', i);
+            out.pp_lines[line] = std::string(
+                src.substr(i, eol == std::string_view::npos ? src.size() - i
+                                                            : eol - i));
+          }
+          if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_has_code = true;
+          }
+          out.code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        out.comments[line].push_back(c);
+        out.code.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.code.append("  ");
+          ++i;
+        } else {
+          out.comments[line].push_back(c);
+          out.code.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+        } else {
+          if (c == '"') state = State::kCode;
+          out.code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+        } else {
+          if (c == '\'') state = State::kCode;
+          out.code.push_back(' ');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// Parsed qtlint: directives for one file.
+struct Allows {
+  std::set<RuleId> file;
+  std::map<unsigned, std::set<RuleId>> line;
+  struct Block {
+    RuleId rule;
+    unsigned begin;
+    unsigned end;  // inclusive; UINT_MAX for unterminated push
+  };
+  std::vector<Block> blocks;
+  std::vector<Violation> errors;  // unknown-allow diagnostics
+
+  bool allowed(RuleId rule, unsigned at_line) const {
+    if (file.count(rule)) return true;
+    if (auto it = line.find(at_line);
+        it != line.end() && it->second.count(rule)) {
+      return true;
+    }
+    return std::any_of(blocks.begin(), blocks.end(), [&](const Block& b) {
+      return b.rule == rule && b.begin <= at_line && at_line <= b.end;
+    });
+  }
+};
+
+void skip_ws(std::string_view s, std::size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+}
+
+// Parses "name(rule, rule)" directives out of one comment line.
+void parse_directives(std::string_view text, unsigned line,
+                      const std::string& file, Allows* allows,
+                      std::map<RuleId, unsigned>* open_pushes) {
+  // Only comments that BEGIN with "qtlint:" are directives; prose that
+  // merely mentions the syntax (docs, nested comment examples) is not.
+  std::size_t pos = 0;
+  skip_ws(text, &pos);
+  if (!starts_with(text.substr(pos), "qtlint:")) return;
+  pos += 7;
+  while (pos < text.size()) {
+    skip_ws(text, &pos);
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (is_ident_char(text[pos]) || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string_view verb = text.substr(start, pos - start);
+    if (verb.empty()) break;
+    skip_ws(text, &pos);
+    if (pos >= text.size() || text[pos] != '(') break;
+    ++pos;
+    const auto close = text.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string_view arg_list = text.substr(pos, close - pos);
+    pos = close + 1;
+
+    std::vector<std::string_view> names;
+    std::size_t a = 0;
+    while (a < arg_list.size()) {
+      while (a < arg_list.size() &&
+             (std::isspace(static_cast<unsigned char>(arg_list[a])) ||
+              arg_list[a] == ',')) {
+        ++a;
+      }
+      std::size_t s = a;
+      while (a < arg_list.size() && arg_list[a] != ',' &&
+             !std::isspace(static_cast<unsigned char>(arg_list[a]))) {
+        ++a;
+      }
+      if (a > s) names.push_back(arg_list.substr(s, a - s));
+    }
+
+    for (const auto& name : names) {
+      RuleId rule;
+      if (!rule_from_name(name, &rule)) {
+        allows->errors.push_back(
+            {file, line, RuleId::kUnknownAllow,
+             "qtlint: " + std::string(verb) + "() names unknown rule '" +
+                 std::string(name) + "'"});
+        continue;
+      }
+      if (verb == "allow") {
+        allows->line[line].insert(rule);
+      } else if (verb == "allow-file") {
+        allows->file.insert(rule);
+      } else if (verb == "push-allow") {
+        (*open_pushes)[rule] = line;
+      } else if (verb == "pop-allow") {
+        auto it = open_pushes->find(rule);
+        if (it != open_pushes->end()) {
+          allows->blocks.push_back({rule, it->second, line});
+          open_pushes->erase(it);
+        }
+      } else {
+        allows->errors.push_back(
+            {file, line, RuleId::kUnknownAllow,
+             "qtlint: unknown directive '" + std::string(verb) + "'"});
+      }
+    }
+  }
+}
+
+Allows collect_allows(const LexedFile& lexed, const std::string& file) {
+  Allows allows;
+  std::map<RuleId, unsigned> open_pushes;
+  for (const auto& [line, text] : lexed.comments) {
+    parse_directives(text, line, file, &allows, &open_pushes);
+  }
+  for (const auto& [rule, begin] : open_pushes) {
+    allows.blocks.push_back(
+        {rule, begin, std::numeric_limits<unsigned>::max()});
+  }
+  return allows;
+}
+
+// Extracts the <name> or "name" from a #include directive line, else "".
+std::string include_target(std::string_view pp) {
+  auto pos = pp.find("include");
+  if (pos == std::string_view::npos) return "";
+  pos += 7;
+  std::size_t p = pos;
+  skip_ws(pp, &p);
+  if (p >= pp.size()) return "";
+  const char open = pp[p];
+  const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+  if (close == '\0') return "";
+  const auto end = pp.find(close, p + 1);
+  if (end == std::string_view::npos) return "";
+  return std::string(pp.substr(p + 1, end - p - 1));
+}
+
+bool is_pragma_once(std::string_view pp) {
+  std::size_t p = 0;
+  skip_ws(pp, &p);
+  if (p >= pp.size() || pp[p] != '#') return false;
+  ++p;
+  skip_ws(pp, &p);
+  if (!starts_with(pp.substr(p), "pragma")) return false;
+  p += 6;
+  skip_ws(pp, &p);
+  return starts_with(pp.substr(p), "once");
+}
+
+template <std::size_t N>
+bool in_set(std::string_view ident, const std::array<std::string_view, N>& s) {
+  return std::find(s.begin(), s.end(), ident) != s.end();
+}
+
+struct Emitter {
+  const std::string& file;
+  const Allows& allows;
+  std::vector<Violation>* out;
+
+  void emit(RuleId rule, unsigned line, std::string message) const {
+    if (allows.allowed(rule, line)) return;
+    out->push_back({file, line, rule, std::move(message)});
+  }
+};
+
+void check_includes(const LexedFile& lexed, const FileClass& fc,
+                    const Emitter& e) {
+  for (const auto& [line, pp] : lexed.pp_lines) {
+    const std::string target = include_target(pp);
+    if (target.empty()) continue;
+    if (fc.datapath && (target == "cmath" || target == "math.h")) {
+      e.emit(RuleId::kDatapathPurity, line,
+             "#include <" + target + "> in datapath code");
+    }
+    if (fc.in_src && !fc.rng &&
+        (target == "random" || target == "ctime" || target == "time.h")) {
+      e.emit(RuleId::kDeterminism, line,
+             "#include <" + target + "> outside src/rng");
+    }
+    if (fc.hot_path && target == "iostream") {
+      e.emit(RuleId::kNoIostream, line,
+             "#include <iostream> in hot-path code");
+    }
+    if (fc.in_src && (target == "cassert" || target == "assert.h")) {
+      e.emit(RuleId::kNoBareAssert, line,
+             "#include <" + target + ">; use common/check.h");
+    }
+  }
+}
+
+void check_tokens(const LexedFile& lexed, const FileClass& fc,
+                  const Emitter& e) {
+  const std::string& code = lexed.code;
+  unsigned line = 1;
+  std::string prev_ident;
+  unsigned prev_ident_line = 0;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (!is_ident_start(code[i])) continue;
+    const std::size_t start = i;
+    while (i < code.size() && is_ident_char(code[i])) ++i;
+    const std::string_view ident(code.data() + start, i - start);
+    // Next non-whitespace character decides call context.
+    std::size_t k = i;
+    while (k < code.size() &&
+           (code[k] == ' ' || code[k] == '\t' || code[k] == '\n')) {
+      ++k;
+    }
+    const bool call = k < code.size() && code[k] == '(';
+
+    if (fc.datapath) {
+      if (in_set(ident, kFloatTypes)) {
+        e.emit(RuleId::kDatapathPurity, line,
+               "floating-point type '" + std::string(ident) +
+                   "' in datapath code");
+      } else if (call && in_set(ident, kLibmCalls)) {
+        e.emit(RuleId::kDatapathPurity, line,
+               "libm call '" + std::string(ident) + "()' in datapath code");
+      }
+    }
+    if (fc.in_src && !fc.rng) {
+      if (in_set(ident, kEntropyTypes)) {
+        e.emit(RuleId::kDeterminism, line,
+               "entropy source '" + std::string(ident) +
+                   "' outside src/rng");
+      } else if (call && in_set(ident, kEntropyCalls)) {
+        e.emit(RuleId::kDeterminism, line,
+               "nondeterministic call '" + std::string(ident) +
+                   "()' outside src/rng");
+      }
+    }
+    if (fc.hot_path && in_set(ident, kStreamIdents)) {
+      e.emit(RuleId::kNoIostream, line,
+             "stream/formatting identifier '" + std::string(ident) +
+                 "' in hot-path code");
+    }
+    if (fc.in_src && call && ident == "assert") {
+      e.emit(RuleId::kNoBareAssert, line,
+             "bare assert(); use QTA_CHECK / QTA_DCHECK");
+    }
+    if (fc.header && ident == "namespace" && prev_ident == "using" &&
+        prev_ident_line == line) {
+      e.emit(RuleId::kNoUsingNamespace, line,
+             "'using namespace' at header scope");
+    }
+    prev_ident = std::string(ident);
+    prev_ident_line = line;
+    --i;  // outer loop ++ lands on the char after the identifier
+  }
+}
+
+}  // namespace
+
+std::string_view rule_name(RuleId id) { return info(id).name; }
+std::string_view rule_scope(RuleId id) { return info(id).scope; }
+std::string_view rule_rationale(RuleId id) { return info(id).rationale; }
+
+const std::vector<RuleId>& all_rules() {
+  static const std::vector<RuleId> rules = [] {
+    std::vector<RuleId> r;
+    for (const auto& ri : kRules) {
+      if (ri.id != RuleId::kUnknownAllow) r.push_back(ri.id);
+    }
+    return r;
+  }();
+  return rules;
+}
+
+FileClass classify_path(std::string_view rel_path) {
+  std::string p(rel_path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  FileClass fc;
+  fc.header = ends_with(p, ".h") || ends_with(p, ".hpp");
+  fc.in_src = starts_with(p, "src/");
+  fc.rng = starts_with(p, "src/rng/");
+  fc.hot_path = starts_with(p, "src/hw/") || starts_with(p, "src/fixed/");
+  fc.datapath = fc.hot_path;
+  if (starts_with(p, "src/qtaccel/")) {
+    std::string_view stem = basename_of(p);
+    if (const auto dot = stem.find_last_of('.');
+        dot != std::string_view::npos) {
+      stem = stem.substr(0, dot);
+    }
+    if (in_set(stem, kPipelineFileStems)) fc.datapath = true;
+  }
+  return fc;
+}
+
+std::vector<Violation> lint_content(std::string_view rel_path,
+                                    std::string_view content) {
+  const std::string file(rel_path);
+  const FileClass fc = classify_path(rel_path);
+  const LexedFile lexed = lex(content);
+  const Allows allows = collect_allows(lexed, file);
+
+  std::vector<Violation> out = allows.errors;
+  const Emitter e{file, allows, &out};
+
+  if (fc.header) {
+    const bool has_once = std::any_of(
+        lexed.pp_lines.begin(), lexed.pp_lines.end(),
+        [](const auto& kv) { return is_pragma_once(kv.second); });
+    if (!has_once) {
+      e.emit(RuleId::kPragmaOnce, 1, "header is missing #pragma once");
+    }
+  }
+  check_includes(lexed, fc, e);
+  check_tokens(lexed, fc, e);
+
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::string& root,
+                                 const std::string& rel_path) {
+  const std::string full = root.empty() ? rel_path : root + "/" + rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    return {{rel_path, 0, RuleId::kUnknownAllow,
+             "cannot open file for linting"}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_content(rel_path, ss.str());
+}
+
+void print_rules_table(std::ostream& os) {
+  TablePrinter t({"Rule", "Scope", "Rationale"});
+  for (const RuleId id : all_rules()) {
+    t.add_row({std::string(rule_name(id)), std::string(rule_scope(id)),
+               std::string(rule_rationale(id))});
+  }
+  t.print(os);
+}
+
+void print_summary_table(std::ostream& os,
+                         const std::vector<Violation>& violations,
+                         std::size_t files_scanned) {
+  std::map<RuleId, std::size_t> counts;
+  for (const auto& v : violations) ++counts[v.rule];
+  TablePrinter t({"Rule", "Violations"});
+  for (const RuleId id : all_rules()) {
+    t.add_row({std::string(rule_name(id)),
+               std::to_string(counts.count(id) ? counts.at(id) : 0)});
+  }
+  if (counts.count(RuleId::kUnknownAllow)) {
+    t.add_row({std::string(rule_name(RuleId::kUnknownAllow)),
+               std::to_string(counts.at(RuleId::kUnknownAllow))});
+  }
+  t.print(os);
+  os << files_scanned << " file(s) scanned, " << violations.size()
+     << " violation(s)\n";
+}
+
+}  // namespace qta::lint

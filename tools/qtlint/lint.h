@@ -1,0 +1,92 @@
+// qtlint — domain linter enforcing QTAccel's hardware-derived invariants.
+//
+// The repo models a synthesizable fixed-point datapath; a handful of C++
+// habits silently break the correspondence between the software model and
+// the hardware the paper describes. qtlint is a token-level checker (it
+// lexes comments, string literals and identifiers — it is not a compiler
+// plugin) that fails the build when one of those habits sneaks in:
+//
+//   datapath-purity   no float/double and no libm in the datapath dirs
+//                     (src/hw, src/fixed, the qtaccel pipeline files) —
+//                     the paper's 4-DSP fixed-point datapath claim.
+//   determinism       no wall-clock / libc / std::random entropy outside
+//                     src/rng — cycle-accuracy requires reproducible runs.
+//   pragma-once       every header carries #pragma once.
+//   no-using-namespace no `using namespace` at header scope.
+//   no-iostream       no <iostream>/cout/cerr in hot-path src/hw and
+//                     src/fixed code.
+//   no-bare-assert    QTA_CHECK / QTA_DCHECK instead of assert().
+//
+// Escape hatches, all comment-driven and rule-scoped:
+//   // qtlint: allow(rule[, rule...])        — this line only
+//   // qtlint: push-allow(rule)  ... pop-allow(rule)
+//   // qtlint: allow-file(rule)              — whole file
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qta::lint {
+
+enum class RuleId {
+  kDatapathPurity,
+  kDeterminism,
+  kPragmaOnce,
+  kNoUsingNamespace,
+  kNoIostream,
+  kNoBareAssert,
+  kUnknownAllow,  // meta-rule: allow(...) names a rule that does not exist
+};
+
+/// Stable kebab-case name used in diagnostics and allow() annotations.
+std::string_view rule_name(RuleId id);
+
+/// One-line scope description ("src/hw, src/fixed, pipeline files", ...).
+std::string_view rule_scope(RuleId id);
+
+/// One-line rationale tying the rule to a paper claim.
+std::string_view rule_rationale(RuleId id);
+
+/// All real rules (excludes the kUnknownAllow meta-rule).
+const std::vector<RuleId>& all_rules();
+
+struct Violation {
+  std::string file;  // path as given to the linter (repo-relative)
+  unsigned line = 0;
+  RuleId rule = RuleId::kDatapathPurity;
+  std::string message;
+};
+
+/// Which rule families apply to a path. Derived from the repo-relative
+/// path, so callers must pass paths rooted at the repo (e.g.
+/// "src/hw/bram.cpp"), not absolute paths.
+struct FileClass {
+  bool datapath = false;  // src/hw, src/fixed, qtaccel pipeline files
+  bool rng = false;       // src/rng — the sanctioned entropy module
+  bool hot_path = false;  // src/hw, src/fixed (no-iostream scope)
+  bool in_src = false;    // under src/
+  bool header = false;    // .h / .hpp
+};
+
+FileClass classify_path(std::string_view rel_path);
+
+/// Lints one file's content. `rel_path` determines rule scoping.
+std::vector<Violation> lint_content(std::string_view rel_path,
+                                    std::string_view content);
+
+/// Reads and lints a file on disk. `rel_path` is used for both IO (resolved
+/// against `root`) and scoping. IO failures produce a synthetic violation.
+std::vector<Violation> lint_file(const std::string& root,
+                                 const std::string& rel_path);
+
+/// Renders the rule table (Rule | Scope | Rationale) via qta::TablePrinter.
+void print_rules_table(std::ostream& os);
+
+/// Renders a per-rule violation-count summary table.
+void print_summary_table(std::ostream& os,
+                         const std::vector<Violation>& violations,
+                         std::size_t files_scanned);
+
+}  // namespace qta::lint

@@ -1,0 +1,106 @@
+// qtlint CLI. With explicit file arguments it lints those (repo-relative)
+// paths; with none it walks src/ and tools/ under --root. Exit codes:
+// 0 clean, 1 violations found, 2 usage or IO error.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qtlint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+std::vector<std::string> discover(const std::string& root) {
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !lintable_extension(entry.path())) {
+        continue;
+      }
+      files.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: qtlint [--root DIR] [--list-rules] [--quiet] [files...]\n"
+        "  files are repo-relative; with none given, src/ and tools/ under\n"
+        "  --root (default: current directory) are scanned.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool list_rules = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        usage(std::cerr);
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qtlint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    qta::lint::print_rules_table(std::cout);
+    return 0;
+  }
+
+  if (files.empty()) files = discover(root);
+  if (files.empty()) {
+    std::cerr << "qtlint: nothing to lint under '" << root << "'\n";
+    return 2;
+  }
+
+  std::vector<qta::lint::Violation> all;
+  for (const auto& f : files) {
+    if (!fs::exists(fs::path(root) / f)) {
+      std::cerr << "qtlint: cannot open '" << f << "'\n";
+      return 2;
+    }
+    auto v = qta::lint::lint_file(root, f);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+
+  for (const auto& v : all) {
+    std::cout << v.file << ":" << v.line << ": ["
+              << qta::lint::rule_name(v.rule) << "] " << v.message << "\n";
+  }
+  if (!quiet) {
+    qta::lint::print_summary_table(std::cout, all, files.size());
+  }
+  return all.empty() ? 0 : 1;
+}
