@@ -8,6 +8,7 @@
 //
 // Usage: quickstart [--width=4] [--height=4] [--actions=4]
 //                   [--samples=200000] [--sarsa] [--slip=0.0] [--seed=1]
+//                   [--backend={cycle,fast}]
 #include <iostream>
 
 #include "common/cli.h"
@@ -15,7 +16,7 @@
 #include "device/resource_report.h"
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
-#include "qtaccel/pipeline.h"
+#include "qtaccel/fast_engine.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   config.epsilon = flags.get_double("epsilon", 0.2);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   config.max_episode_length = 512;
+  config.backend = qtaccel::parse_backend(flags.get_string("backend", "fast"));
   const auto samples =
       static_cast<std::uint64_t>(flags.get_int("samples", 200000));
 
@@ -45,10 +47,11 @@ int main(int argc, char** argv) {
             << " grid world (Figure 2), "
             << (config.algorithm == qtaccel::Algorithm::kSarsa ? "SARSA"
                                                                : "Q-Learning")
+            << " [" << qtaccel::backend_name(config.backend) << " backend]"
             << "\n\nWorld ('G' = goal):\n";
   world.render(std::cout);
 
-  qtaccel::Pipeline pipeline(world, config);
+  qtaccel::Engine pipeline(world, config);
   pipeline.run_samples(samples);
 
   // Greedy policy as an arrow map.

@@ -5,6 +5,7 @@
 // Usage: rover_exploration [--rovers=4] [--width=32] [--height=32]
 //                          [--obstacles=0.15] [--samples=400000]
 //                          [--threads=0] [--seed=7]
+//                          [--backend={cycle,fast}]
 #include <iostream>
 #include <memory>
 
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   config.gamma = 0.9;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   config.max_episode_length = 1024;
+  config.backend = qtaccel::parse_backend(flags.get_string("backend", "fast"));
 
   qtaccel::IndependentPipelines fleet(std::move(envs), config);
   const auto samples =
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
   for (unsigned i = 0; i < rovers_n; ++i) {
     const auto& band =
         static_cast<const env::GridWorld&>(fleet.environment(i));
-    const qtaccel::Pipeline& p = fleet.pipeline(i);
+    const qtaccel::Engine& p = fleet.engine(i);
     const auto policy = p.greedy_policy();
     int reached = 0, total = 0;
     for (StateId s = 0; s < band.num_states(); ++s) {
@@ -82,7 +84,7 @@ int main(int argc, char** argv) {
   // First rover's learned map, for a visual.
   const auto& band0 =
       static_cast<const env::GridWorld&>(fleet.environment(0));
-  const auto policy0 = fleet.pipeline(0).greedy_policy();
+  const auto policy0 = fleet.engine(0).greedy_policy();
   std::cout << "Rover 0's learned policy ('#' = obstacle):\n";
   band0.render(std::cout, &policy0);
   std::cout << "\n";

@@ -1,0 +1,123 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace qta {
+
+unsigned resolve_thread_count(unsigned requested, unsigned hardware,
+                              std::size_t max_useful) {
+  // hardware_concurrency() "may return 0 if the value is not computable";
+  // treat that as a single-threaded machine rather than clamping through 0.
+  unsigned t = requested != 0 ? requested : (hardware != 0 ? hardware : 1);
+  if (max_useful < t) t = static_cast<unsigned>(max_useful);
+  return std::max(1u, t);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_thread_count(
+      threads, std::thread::hardware_concurrency(),
+      std::numeric_limits<std::size_t>::max());
+  queues_.reserve(n);
+  steal_counts_.assign(n, 0);
+  for (unsigned i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::try_pop(unsigned id, std::size_t& item) {
+  WorkerQueue& q = *queues_[id];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.items.empty()) return false;
+  item = q.items.front();
+  q.items.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned thief, std::size_t& item) {
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  for (unsigned k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.items.empty()) continue;
+    item = victim.items.back();
+    victim.items.pop_back();
+    ++steal_counts_[thief];
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(unsigned id) {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    // A worker that slept through a whole batch (siblings drained it)
+    // wakes here with a stale fn_; its queues are empty by then, so the
+    // pointer is never called.
+    const std::function<void(std::size_t)>* fn = fn_;
+    ++active_;
+    lock.unlock();
+    std::size_t done_here = 0;
+    std::size_t item = 0;
+    while (try_pop(id, item) || try_steal(id, item)) {
+      (*fn)(item);
+      ++done_here;
+    }
+    lock.lock();
+    QTA_CHECK(unfinished_ >= done_here);
+    unfinished_ -= done_here;
+    --active_;
+    if (unfinished_ == 0 && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> serialize(submit_mu_);
+  const unsigned n = size();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Item placement happens under mu_, so a worker can only observe the
+  // new items together with the new epoch (and thus the new fn_).
+  // Round-robin initial placement (the old static layout); stealing
+  // rebalances from here.
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerQueue& q = *queues_[i % n];
+    std::lock_guard<std::mutex> qlock(q.mu);
+    q.items.push_back(i);
+  }
+  fn_ = &fn;
+  unfinished_ = count;
+  ++epoch_;
+  work_cv_.notify_all();
+  // Wait for quiescence, not just completion: every worker must be back
+  // inside the wait loop before fn (a caller-owned reference) dies.
+  done_cv_.wait(lock, [&] { return unfinished_ == 0 && active_ == 0; });
+}
+
+std::uint64_t ThreadPool::steals() const {
+  std::uint64_t total = 0;
+  for (const auto s : steal_counts_) total += s;
+  return total;
+}
+
+}  // namespace qta

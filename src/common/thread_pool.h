@@ -1,0 +1,90 @@
+// Persistent work-stealing thread pool for host-side parallel sweeps.
+//
+// IndependentPipelines used to spawn fresh std::threads on every
+// run_samples_each call and assign pipelines to threads with a static
+// round-robin (pipeline i -> thread i % T). With heterogeneous
+// partitions the static buckets serialize on their slowest member: one
+// large partition pins its bucket while the other threads finish their
+// small partitions and go idle. This pool keeps its workers alive across
+// calls and hands out items through per-worker deques with stealing, so
+// an idle worker drains the backlog of a loaded one instead of parking.
+//
+// Scheduling model: parallel_for(count, fn) distributes the item indices
+// round-robin over the worker deques (preserving the old locality-ish
+// layout as the initial placement), wakes the workers, and blocks until
+// every item has executed. A worker pops from the front of its own deque
+// and, when empty, steals from the back of a sibling's. One batch runs at
+// a time; parallel_for is serialized and must not be re-entered from
+// inside fn (workers execute fn directly, so a nested call would
+// deadlock on the batch lock).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qta {
+
+/// Resolves a user-facing thread-count request into an actual worker
+/// count. `requested == 0` means "use the hardware", `hardware` is the
+/// caller's std::thread::hardware_concurrency() reading (which is
+/// DOCUMENTED to return 0 when the platform cannot report a value — that
+/// case falls back to a single thread explicitly), and `max_useful` caps
+/// the answer at the number of independent work items.
+unsigned resolve_thread_count(unsigned requested, unsigned hardware,
+                              std::size_t max_useful);
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves to the hardware concurrency (minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and returns
+  /// once all items finished. Items are claimed dynamically (stealing),
+  /// so callers must not assume any index-to-thread mapping.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Total items stolen from a sibling's deque since construction
+  /// (diagnostic; racy reads are fine after parallel_for returned).
+  std::uint64_t steals() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+
+  void worker_main(unsigned id);
+  bool try_pop(unsigned id, std::size_t& item);
+  bool try_steal(unsigned thief, std::size_t& item);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::vector<std::uint64_t> steal_counts_;  // one slot per worker
+
+  // Batch state, guarded by mu_.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new batch or shutdown
+  std::condition_variable done_cv_;  // submitter: batch drained
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t epoch_ = 0;      // bumped per batch so workers re-arm
+  std::size_t unfinished_ = 0;   // items distributed but not yet executed
+  unsigned active_ = 0;          // workers currently out of the wait loop
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  // serializes parallel_for callers
+};
+
+}  // namespace qta

@@ -48,57 +48,6 @@ StateId GridWorld::num_states() const {
 
 ActionId GridWorld::num_actions() const { return config_.num_actions; }
 
-StateId GridWorld::state_of(unsigned x, unsigned y) const {
-  QTA_DCHECK(x < config_.width && y < config_.height);
-  return static_cast<StateId>((x << y_bits_) | y);
-}
-
-unsigned GridWorld::x_of(StateId s) const {
-  return static_cast<unsigned>(s >> y_bits_);
-}
-
-unsigned GridWorld::y_of(StateId s) const {
-  return static_cast<unsigned>(bits(s, 0, y_bits_));
-}
-
-void GridWorld::action_delta(unsigned num_actions, ActionId a, int& dx,
-                             int& dy) {
-  if (num_actions == 4) {
-    // 00 left, 01 up, 10 right, 11 down.
-    static constexpr int kDx[4] = {-1, 0, 1, 0};
-    static constexpr int kDy[4] = {0, -1, 0, 1};
-    QTA_DCHECK(a < 4);
-    dx = kDx[a];
-    dy = kDy[a];
-    return;
-  }
-  QTA_DCHECK(num_actions == 8 && a < 8);
-  // 000 left, then clockwise: top-left, up, top-right, right,
-  // bottom-right, down, bottom-left.
-  static constexpr int kDx[8] = {-1, -1, 0, 1, 1, 1, 0, -1};
-  static constexpr int kDy[8] = {0, -1, -1, -1, 0, 1, 1, 1};
-  dx = kDx[a];
-  dy = kDy[a];
-}
-
-bool GridWorld::in_bounds(int x, int y) const {
-  return x >= 0 && y >= 0 && x < static_cast<int>(config_.width) &&
-         y < static_cast<int>(config_.height);
-}
-
-StateId GridWorld::transition(StateId s, ActionId a) const {
-  QTA_DCHECK(s < num_states() && a < num_actions());
-  int dx = 0, dy = 0;
-  action_delta(config_.num_actions, a, dx, dy);
-  const int nx = static_cast<int>(x_of(s)) + dx;
-  const int ny = static_cast<int>(y_of(s)) + dy;
-  if (!in_bounds(nx, ny)) return s;  // bump into the boundary wall
-  const StateId next =
-      state_of(static_cast<unsigned>(nx), static_cast<unsigned>(ny));
-  if (obstacle_[next]) return s;  // bump into an obstacle
-  return next;
-}
-
 unsigned GridWorld::transition_noise_bits() const {
   // 8 bits for the slip compare + 1 direction bit.
   return config_.slip_probability > 0.0 ? 9 : 0;

@@ -20,6 +20,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/bit_math.h"
+#include "common/check.h"
 #include "env/environment.h"
 #include "rng/xoshiro.h"
 
@@ -52,17 +54,39 @@ class GridWorld final : public Environment {
 
   StateId num_states() const override;
   ActionId num_actions() const override;
-  StateId transition(StateId s, ActionId a) const override;
   unsigned transition_noise_bits() const override;
   StateId transition(StateId s, ActionId a,
                      std::uint64_t noise) const override;
   double reward(StateId s, ActionId a) const override;
   bool is_terminal(StateId s) const override;
 
+  /// Deterministic move. Inline (it is also the devirtualized fast path
+  /// of the functional backend, which executes it once per sample and
+  /// needs the optimizer to see through it — see qtaccel/fast_engine.h).
+  StateId transition(StateId s, ActionId a) const override {
+    QTA_DCHECK(s < num_states() && a < num_actions());
+    int dx = 0, dy = 0;
+    action_delta(config_.num_actions, a, dx, dy);
+    const int nx = static_cast<int>(x_of(s)) + dx;
+    const int ny = static_cast<int>(y_of(s)) + dy;
+    if (!in_bounds(nx, ny)) return s;  // bump into the boundary wall
+    const StateId next =
+        state_of(static_cast<unsigned>(nx), static_cast<unsigned>(ny));
+    if (obstacle_[next]) return s;  // bump into an obstacle
+    return next;
+  }
+
   // Coordinate helpers (paper addressing).
-  StateId state_of(unsigned x, unsigned y) const;
-  unsigned x_of(StateId s) const;
-  unsigned y_of(StateId s) const;
+  StateId state_of(unsigned x, unsigned y) const {
+    QTA_DCHECK(x < config_.width && y < config_.height);
+    return static_cast<StateId>((x << y_bits_) | y);
+  }
+  unsigned x_of(StateId s) const {
+    return static_cast<unsigned>(s >> y_bits_);
+  }
+  unsigned y_of(StateId s) const {
+    return static_cast<unsigned>(bits(s, 0, y_bits_));
+  }
 
   bool is_obstacle(StateId s) const;
   StateId goal_state() const { return goal_; }
@@ -70,7 +94,24 @@ class GridWorld final : public Environment {
 
   /// Signed displacement of action `a` as (dx, dy). y grows downward.
   static void action_delta(unsigned num_actions, ActionId a, int& dx,
-                           int& dy);
+                           int& dy) {
+    if (num_actions == 4) {
+      // 00 left, 01 up, 10 right, 11 down.
+      static constexpr int kDx4[4] = {-1, 0, 1, 0};
+      static constexpr int kDy4[4] = {0, -1, 0, 1};
+      QTA_DCHECK(a < 4);
+      dx = kDx4[a];
+      dy = kDy4[a];
+      return;
+    }
+    QTA_DCHECK(num_actions == 8 && a < 8);
+    // 000 left, then clockwise: top-left, up, top-right, right,
+    // bottom-right, down, bottom-left.
+    static constexpr int kDx8[8] = {-1, -1, 0, 1, 1, 1, 0, -1};
+    static constexpr int kDy8[8] = {0, -1, -1, -1, 0, 1, 1, 1};
+    dx = kDx8[a];
+    dy = kDy8[a];
+  }
 
   /// ASCII rendering: '.' free, '#' obstacle, 'G' goal, and optionally an
   /// arrow map of a greedy policy (one glyph per cell from `policy`,
@@ -79,7 +120,10 @@ class GridWorld final : public Environment {
               const std::vector<ActionId>* policy = nullptr) const;
 
  private:
-  bool in_bounds(int x, int y) const;
+  bool in_bounds(int x, int y) const {
+    return x >= 0 && y >= 0 && x < static_cast<int>(config_.width) &&
+           y < static_cast<int>(config_.height);
+  }
 
   GridWorldConfig config_;
   unsigned x_bits_;

@@ -1,5 +1,8 @@
 // qtlint: allow-file(datapath-purity)
 // Sanctioned host<->datapath conversion boundary (see fixed_point.h).
+// The per-operation arithmetic (saturate/mul/sat_add/...) lives inline in
+// the header — it is the simulators' innermost loop; only the
+// double-touching conversions and the name formatting stay out-of-line.
 #include "fixed/fixed_point.h"
 
 #include <cmath>
@@ -11,26 +14,6 @@ namespace qta::fixed {
 std::string to_string(Format f) {
   return "s" + std::to_string(f.int_bits()) + "." + std::to_string(f.frac) +
          " (" + std::to_string(f.width) + "b)";
-}
-
-void validate(Format f) {
-  QTA_CHECK_MSG(f.width >= 2 && f.width <= 48,
-                "fixed-point width must be in [2, 48]");
-  QTA_CHECK_MSG(f.frac < f.width, "fractional bits must leave a sign bit");
-}
-
-raw_t saturate(raw_t v, Format f, bool* saturated) {
-  const raw_t lo = f.min_raw();
-  const raw_t hi = f.max_raw();
-  if (v < lo) {
-    if (saturated) *saturated = true;
-    return lo;
-  }
-  if (v > hi) {
-    if (saturated) *saturated = true;
-    return hi;
-  }
-  return v;
 }
 
 raw_t from_double(double v, Format f) {
@@ -46,57 +29,6 @@ raw_t from_double(double v, Format f) {
 
 double to_double(raw_t v, Format f) {
   return static_cast<double>(v) / static_cast<double>(raw_t{1} << f.frac);
-}
-
-raw_t sat_add(raw_t a, raw_t b, Format f, bool* saturated) {
-  return saturate(a + b, f, saturated);
-}
-
-raw_t sat_sub(raw_t a, raw_t b, Format f, bool* saturated) {
-  return saturate(a - b, f, saturated);
-}
-
-raw_t rshift_round(raw_t v, unsigned shift) {
-  if (shift == 0) return v;
-  QTA_CHECK(shift < 63);
-  const raw_t half = raw_t{1} << (shift - 1);
-  if (v >= 0) return (v + half) >> shift;
-  // For negatives, mirror the positive case so rounding is symmetric.
-  return -((-v + half) >> shift);
-}
-
-namespace {
-raw_t round_shift(raw_t v, unsigned shift) { return rshift_round(v, shift); }
-}  // namespace
-
-raw_t mul(raw_t a, Format fa, raw_t b, Format fb, Format out,
-          bool* saturated) {
-  validate(fa);
-  validate(fb);
-  validate(out);
-  QTA_CHECK_MSG(fa.width + fb.width <= 62,
-                "product would overflow the 64-bit accumulator");
-  const raw_t product = a * b;  // frac bits: fa.frac + fb.frac
-  const unsigned pfrac = fa.frac + fb.frac;
-  raw_t rescaled;
-  if (pfrac >= out.frac) {
-    rescaled = round_shift(product, pfrac - out.frac);
-  } else {
-    rescaled = product << (out.frac - pfrac);
-  }
-  return saturate(rescaled, out, saturated);
-}
-
-raw_t convert(raw_t v, Format from, Format to, bool* saturated) {
-  validate(from);
-  validate(to);
-  raw_t rescaled;
-  if (from.frac >= to.frac) {
-    rescaled = round_shift(v, from.frac - to.frac);
-  } else {
-    rescaled = v << (to.frac - from.frac);
-  }
-  return saturate(rescaled, to, saturated);
 }
 
 }  // namespace qta::fixed

@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.h"
+
 namespace qta::fixed {
 
 /// Raw fixed-point value: two's-complement, sign-extended into 64 bits.
@@ -60,11 +62,30 @@ inline constexpr Format kCoeffFormat{18, 16};
 std::string to_string(Format f);
 
 /// Validates a format (2 <= width <= 48, frac < width). Aborts otherwise.
-void validate(Format f);
+/// Inline (along with the arithmetic below): these run once per simulated
+/// DSP operation, in the innermost loop of both backends, and the
+/// cross-TU call overhead dominated profiles before they lived here.
+inline void validate(Format f) {
+  QTA_CHECK_MSG(f.width >= 2 && f.width <= 48,
+                "fixed-point width must be in [2, 48]");
+  QTA_CHECK_MSG(f.frac < f.width, "fractional bits must leave a sign bit");
+}
 
 /// Clamps a raw value into the representable range of `f`. Returns the
 /// clamped value; `saturated` (if non-null) is set when clamping occurred.
-raw_t saturate(raw_t v, Format f, bool* saturated = nullptr);
+inline raw_t saturate(raw_t v, Format f, bool* saturated = nullptr) {
+  const raw_t lo = f.min_raw();
+  const raw_t hi = f.max_raw();
+  if (v < lo) {
+    if (saturated) *saturated = true;
+    return lo;
+  }
+  if (v > hi) {
+    if (saturated) *saturated = true;
+    return hi;
+  }
+  return v;
+}
 
 /// Quantizes a double to format `f` with round-half-away-from-zero and
 /// saturation.
@@ -74,23 +95,62 @@ raw_t from_double(double v, Format f);
 double to_double(raw_t v, Format f);
 
 /// Saturating addition of two values in the same format.
-raw_t sat_add(raw_t a, raw_t b, Format f, bool* saturated = nullptr);
+inline raw_t sat_add(raw_t a, raw_t b, Format f,
+                     bool* saturated = nullptr) {
+  return saturate(a + b, f, saturated);
+}
 
 /// Saturating subtraction in the same format.
-raw_t sat_sub(raw_t a, raw_t b, Format f, bool* saturated = nullptr);
-
-/// DSP multiply: a (format fa) times b (format fb), rescaled into `out`
-/// with rounding and saturation. This is one DSP48 in the resource model.
-raw_t mul(raw_t a, Format fa, raw_t b, Format fb, Format out,
-          bool* saturated = nullptr);
-
-/// Re-quantize a value from format `from` into format `to` (round+saturate).
-raw_t convert(raw_t v, Format from, Format to, bool* saturated = nullptr);
+inline raw_t sat_sub(raw_t a, raw_t b, Format f,
+                     bool* saturated = nullptr) {
+  return saturate(a - b, f, saturated);
+}
 
 /// Arithmetic right shift with round-half-away-from-zero — the division
 /// by a power of two the hardware uses for row means (adder tree output
 /// >> log2|A|).
-raw_t rshift_round(raw_t v, unsigned shift);
+inline raw_t rshift_round(raw_t v, unsigned shift) {
+  if (shift == 0) return v;
+  QTA_CHECK(shift < 63);
+  const raw_t half = raw_t{1} << (shift - 1);
+  if (v >= 0) return (v + half) >> shift;
+  // For negatives, mirror the positive case so rounding is symmetric.
+  return -((-v + half) >> shift);
+}
+
+/// DSP multiply: a (format fa) times b (format fb), rescaled into `out`
+/// with rounding and saturation. This is one DSP48 in the resource model.
+inline raw_t mul(raw_t a, Format fa, raw_t b, Format fb, Format out,
+                 bool* saturated = nullptr) {
+  validate(fa);
+  validate(fb);
+  validate(out);
+  QTA_CHECK_MSG(fa.width + fb.width <= 62,
+                "product would overflow the 64-bit accumulator");
+  const raw_t product = a * b;  // frac bits: fa.frac + fb.frac
+  const unsigned pfrac = fa.frac + fb.frac;
+  raw_t rescaled;
+  if (pfrac >= out.frac) {
+    rescaled = rshift_round(product, pfrac - out.frac);
+  } else {
+    rescaled = product << (out.frac - pfrac);
+  }
+  return saturate(rescaled, out, saturated);
+}
+
+/// Re-quantize a value from format `from` into format `to` (round+saturate).
+inline raw_t convert(raw_t v, Format from, Format to,
+                     bool* saturated = nullptr) {
+  validate(from);
+  validate(to);
+  raw_t rescaled;
+  if (from.frac >= to.frac) {
+    rescaled = rshift_round(v, from.frac - to.frac);
+  } else {
+    rescaled = v << (to.frac - from.frac);
+  }
+  return saturate(rescaled, to, saturated);
+}
 
 /// Convenience wrapper pairing a raw value with its format, used at module
 /// boundaries and in tests where mixing formats would be error-prone.

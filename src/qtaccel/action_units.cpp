@@ -33,34 +33,6 @@ RngBank::RngBank(std::uint64_t master_seed, const AddressMap& map)
         return seeded_lfsr(sm);
       }()) {}
 
-StateId RngBank::draw_start_state(StateId num_states) {
-  return static_cast<StateId>(start_.below(num_states));
-}
-
-ActionId RngBank::draw_random_action() {
-  return static_cast<ActionId>(behavior_.draw_bits(map_.action_bits));
-}
-
-RngBank::EpsilonDraw RngBank::draw_epsilon(std::uint64_t threshold,
-                                           unsigned bits) {
-  QTA_CHECK(bits >= map_.action_bits);
-  const std::uint64_t draw = update_.draw_bits(bits);
-  EpsilonDraw d;
-  d.greedy = draw < threshold;
-  d.explore_action =
-      static_cast<ActionId>(qta::bits(draw, 0, map_.action_bits));
-  return d;
-}
-
-std::uint64_t RngBank::draw_transition_noise(unsigned bits) {
-  QTA_CHECK(bits >= 1 && bits <= 64);
-  return noise_.draw_bits(bits);
-}
-
-unsigned RngBank::draw_table_select() {
-  return static_cast<unsigned>(update_.draw_bits(1));
-}
-
 unsigned RngBank::flip_flops(Algorithm algorithm) {
   // start + behavior LFSRs always present; the epsilon-greedy selectors
   // (SARSA, Expected SARSA) add the update LFSR and the threshold/compare

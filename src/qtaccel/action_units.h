@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "common/bit_math.h"
+#include "common/check.h"
 #include "common/types.h"
 #include "env/environment.h"
 #include "qtaccel/config.h"
@@ -22,13 +24,22 @@ class RngBank {
   /// Expands the master seed into three independent LFSR streams.
   RngBank(std::uint64_t master_seed, const AddressMap& map);
 
+  // The draw_* methods are inline: they run once or more per simulated
+  // sample in both backends' hot loops, and keeping them visible to the
+  // optimizer lets the LFSR registers live in machine registers across
+  // iterations.
+
   /// Episode-start state: uniform over [0, |S|) via the multiply trick
   /// (the draw may land on a terminal state — the caller then treats the
   /// iteration as a zero-length episode and redraws next iteration).
-  StateId draw_start_state(StateId num_states);
+  StateId draw_start_state(StateId num_states) {
+    return static_cast<StateId>(start_.below(num_states));
+  }
 
   /// Behavior action, uniform over the 2^action_bits encodings.
-  ActionId draw_random_action();
+  ActionId draw_random_action() {
+    return static_cast<ActionId>(behavior_.draw_bits(map_.action_bits));
+  }
 
   /// One epsilon-greedy draw (SARSA stage 2): an N-bit word compared with
   /// the threshold; the low action bits double as the exploration index.
@@ -36,16 +47,29 @@ class RngBank {
     bool greedy = false;
     ActionId explore_action = 0;
   };
-  EpsilonDraw draw_epsilon(std::uint64_t threshold, unsigned bits);
+  EpsilonDraw draw_epsilon(std::uint64_t threshold, unsigned bits) {
+    QTA_CHECK(bits >= map_.action_bits);
+    const std::uint64_t draw = update_.draw_bits(bits);
+    EpsilonDraw d;
+    d.greedy = draw < threshold;
+    d.explore_action =
+        static_cast<ActionId>(qta::bits(draw, 0, map_.action_bits));
+    return d;
+  }
 
   /// Noise input for stochastic transition functions (its own LFSR, so
   /// deterministic environments consume an identical stream to before).
-  std::uint64_t draw_transition_noise(unsigned bits);
+  std::uint64_t draw_transition_noise(unsigned bits) {
+    QTA_CHECK(bits >= 1 && bits <= 64);
+    return noise_.draw_bits(bits);
+  }
 
   /// Double Q-Learning's per-sample coin flip (which table learns);
   /// drawn from the update-policy LFSR, which kDoubleQ uses for nothing
   /// else.
-  unsigned draw_table_select();
+  unsigned draw_table_select() {
+    return static_cast<unsigned>(update_.draw_bits(1));
+  }
 
   /// Total flip-flops across the bank for the resource model (the update
   /// LFSR only exists for SARSA; pass the algorithm to count it).

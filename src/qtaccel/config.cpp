@@ -34,6 +34,19 @@ void validate_config(const PipelineConfig& config,
                 "coefficient format must represent 1.0 (for 1 - alpha)");
 }
 
+Backend parse_backend(const std::string& name) {
+  if (name == "cycle" || name == "cycle-accurate") {
+    return Backend::kCycleAccurate;
+  }
+  QTA_CHECK_MSG(name == "fast",
+                "--backend must be 'cycle' (cycle-accurate) or 'fast'");
+  return Backend::kFast;
+}
+
+const char* backend_name(Backend backend) {
+  return backend == Backend::kFast ? "fast" : "cycle";
+}
+
 std::uint64_t epsilon_threshold(double epsilon, unsigned bits) {
   QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
   QTA_CHECK(bits >= 1 && bits <= 32);

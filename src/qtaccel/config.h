@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 #include "env/environment.h"
@@ -47,10 +48,27 @@ enum class QmaxMode {
   kExactScan,      // full-row comparator tree: exact max, extra LUTs
 };
 
+/// Host execution backend (see docs/fast_engine.md). Both replay the
+/// accelerator's exact semantics and retire bit-identical traces; they
+/// differ only in what the host pays per sample.
+enum class Backend {
+  kCycleAccurate,  // qtaccel/pipeline.h: per-cycle SimKernel/Bram/port
+                   // accounting, waveforms, stall ablation — the model
+                   // of record for hardware-shape claims
+  kFast,           // qtaccel/fast_engine.h: batch functional replay on
+                   // flat arrays; PipelineStats reconstructed analytically
+};
+
+/// Parses "cycle"/"fast" (CLI flag spelling); aborts on anything else.
+Backend parse_backend(const std::string& name);
+/// The CLI spelling of a backend ("cycle" / "fast").
+const char* backend_name(Backend backend);
+
 struct PipelineConfig {
   Algorithm algorithm = Algorithm::kQLearning;
   HazardMode hazard = HazardMode::kForward;
   QmaxMode qmax = QmaxMode::kMonotoneTable;
+  Backend backend = Backend::kCycleAccurate;
 
   double alpha = 0.1;    // learning rate (quantized into coeff_fmt)
   double gamma = 0.9;    // discount factor

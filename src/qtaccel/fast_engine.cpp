@@ -1,0 +1,534 @@
+#include "qtaccel/fast_engine.h"
+
+#include "common/check.h"
+#include "env/grid_world.h"
+#include "env/value_iteration.h"
+
+namespace qta::qtaccel {
+
+namespace {
+// Transition tables are pre-baked only while they stay cache-resident
+// (2^16 entries = 256 KiB of StateId). Beyond that the lookup becomes a
+// data-dependent random walk through DRAM/LLC — one serialized miss per
+// sample, the slowest possible critical path — while environments compute
+// transitions with a few ALU ops; the inner loop then calls the
+// environment directly.
+constexpr std::uint64_t kMaxPrebakedTransitions = std::uint64_t{1} << 16;
+
+// Read-ahead hint for table rows whose index is already known one
+// iteration before use. No-op where unsupported.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+}  // namespace
+
+FastEngine::FastEngine(const env::Environment& env,
+                       const PipelineConfig& config)
+    : env_(env),
+      config_(config),
+      map_(make_address_map(env)),
+      coeff_(make_coefficients(config)),
+      eps_threshold_(
+          epsilon_threshold(config.epsilon, config.epsilon_bits)),
+      rng_(config.seed, map_) {
+  validate_config(config, env);
+  q_.assign(map_.depth(), 0);
+  if (config.algorithm == Algorithm::kDoubleQ) {
+    q2_.assign(map_.depth(), 0);
+  }
+  reward_.assign(map_.depth(), 0);
+  // Host-side initialization boundary: quantizing the environment's
+  // double rewards into the BRAM image, exactly as Pipeline::init_tables.
+  // qtlint: push-allow(datapath-purity)
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    for (ActionId a = 0; a < env.num_actions(); ++a) {
+      reward_[map_.q_addr(s, a)] =
+          fixed::from_double(env.reward(s, a), config.q_fmt);
+    }
+  }
+  // qtlint: pop-allow(datapath-purity)
+  qmax_value_.assign(env.num_states(), 0);
+  qmax_action_.assign(env.num_states(), 0);
+
+  terminal_.assign(env.num_states(), 0);
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    terminal_[s] = env.is_terminal(s) ? 1 : 0;
+  }
+  noise_bits_ = env.transition_noise_bits();
+  if (noise_bits_ == 0) {
+    grid_ = dynamic_cast<const env::GridWorld*>(&env);
+  }
+  if (noise_bits_ == 0 && grid_ == nullptr &&
+      env.table_size() <= kMaxPrebakedTransitions) {
+    next_.resize(env.table_size());
+    for (StateId s = 0; s < env.num_states(); ++s) {
+      for (ActionId a = 0; a < env.num_actions(); ++a) {
+        next_[map_.q_addr(s, a)] = env.transition(s, a);
+      }
+    }
+  }
+}
+
+StateId FastEngine::next_state(StateId s, ActionId a) {
+  // GridWorld is final, so this call devirtualizes and inlines — the
+  // paper's evaluation workload computes transitions with a handful of
+  // ALU ops instead of chasing a pre-baked table through the LLC.
+  if (grid_ != nullptr) return grid_->transition(s, a);
+  if (!next_.empty()) return next_[map_.q_addr(s, a)];
+  return noise_bits_ == 0
+             ? env_.transition(s, a)
+             : env_.transition(s, a,
+                               rng_.draw_transition_noise(noise_bits_));
+}
+
+fixed::raw_t FastEngine::q_raw(StateId s, ActionId a) const {
+  return q_[map_.q_addr(s, a)];
+}
+
+fixed::raw_t FastEngine::q2_raw(StateId s, ActionId a) const {
+  QTA_CHECK(config_.algorithm == Algorithm::kDoubleQ);
+  return q2_[map_.q_addr(s, a)];
+}
+
+// Host-side readback, identical to Pipeline's (nothing feeds back into
+// the replay).
+// qtlint: push-allow(datapath-purity)
+double FastEngine::q_value(StateId s, ActionId a) const {
+  if (config_.algorithm == Algorithm::kDoubleQ) {
+    return (fixed::to_double(q_raw(s, a), config_.q_fmt) +
+            fixed::to_double(q2_[map_.q_addr(s, a)], config_.q_fmt)) /
+           2.0;
+  }
+  return fixed::to_double(q_raw(s, a), config_.q_fmt);
+}
+
+std::vector<double> FastEngine::q_as_double() const {
+  std::vector<double> out;
+  out.reserve(env_.table_size());
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    for (ActionId a = 0; a < env_.num_actions(); ++a) {
+      out.push_back(q_value(s, a));
+    }
+  }
+  return out;
+}
+// qtlint: pop-allow(datapath-purity)
+
+std::vector<ActionId> FastEngine::greedy_policy() const {
+  return env::greedy_policy_from(env_, q_as_double());
+}
+
+QmaxUnit::Entry FastEngine::qmax_entry(StateId s) const {
+  QTA_CHECK(s < env_.num_states());
+  return {qmax_value_[s], qmax_action_[s]};
+}
+
+void FastEngine::preset_q(StateId s, ActionId a, fixed::raw_t value) {
+  q_[map_.q_addr(s, a)] = fixed::saturate(value, config_.q_fmt);
+}
+
+void FastEngine::rebuild_qmax() {
+  if (config_.qmax != QmaxMode::kMonotoneTable ||
+      config_.algorithm == Algorithm::kExpectedSarsa ||
+      config_.algorithm == Algorithm::kDoubleQ) {
+    return;  // no Qmax table in these configurations
+  }
+  for (StateId s = 0; s < env_.num_states(); ++s) {
+    fixed::raw_t value;
+    ActionId action;
+    exact_row_max(q_, s, value, action);
+    // The monotone table never reports below its reset value of 0.
+    if (value < 0) {
+      value = 0;
+      action = 0;
+    }
+    qmax_value_[s] = value;
+    qmax_action_[s] = action;
+  }
+}
+
+void FastEngine::exact_row_max(const std::vector<fixed::raw_t>& table,
+                               StateId s, fixed::raw_t& value,
+                               ActionId& action) const {
+  value = table[map_.q_addr(s, 0)];
+  action = 0;
+  for (ActionId a = 1; a < env_.num_actions(); ++a) {
+    const fixed::raw_t v = table[map_.q_addr(s, a)];
+    if (v > value) {
+      value = v;
+      action = a;
+    }
+  }
+}
+
+template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+void FastEngine::step_one_t() {
+  ++stats_.iterations;
+  ++stats_.issued;
+
+  if (episode_start_) {
+    state_ = rng_.draw_start_state(env_.num_states());
+    episode_steps_ = 0;
+    pending_action_ = kInvalidAction;
+    if (is_terminal(state_)) {
+      // Zero-length episode: redraw next iteration. The bubble occupies
+      // a pipeline slot (raise window advances) but pushes no write-back.
+      ++stats_.bubbles;
+      raise_ring_[1] = raise_ring_[0];
+      raise_ring_[0] = {kInvalidState, false};
+      if (trace_) {
+        SampleTrace tr;
+        tr.bubble = true;
+        tr.state = state_;
+        trace_->push_back(tr);
+      }
+      return;
+    }
+  }
+
+  // --- behavior action (stage 1) ---
+  constexpr bool kRandomBehavior = kAlgo == Algorithm::kQLearning ||
+                                   kAlgo == Algorithm::kDoubleQ;
+  ActionId a;
+  if (kRandomBehavior || episode_start_) {
+    a = rng_.draw_random_action();
+  } else {
+    QTA_DCHECK(pending_action_ != kInvalidAction);
+    a = pending_action_;
+  }
+  episode_start_ = false;
+
+  const unsigned table =
+      kAlgo == Algorithm::kDoubleQ ? rng_.draw_table_select() : 0;
+  std::vector<fixed::raw_t>& learn = table == 1 ? q2_ : q_;
+  const std::vector<fixed::raw_t>& eval =
+      kAlgo == Algorithm::kDoubleQ && table == 0 ? q2_ : q_;
+
+  const StateId s = state_;
+  const StateId s_next = next_state(s, a);
+  // The next iteration reads the Q/reward rows and the Qmax entry of
+  // s_next; their addresses are known a full iteration ahead of use, so
+  // start the (random, hence hardware-prefetcher-proof) fetches now. A
+  // row can straddle a cache line, so touch both ends.
+  {
+    const std::uint64_t row = map_.q_addr(s_next, 0);
+    const std::uint64_t row_end =
+        row + ((std::uint64_t{1} << map_.action_bits) - 1);
+    prefetch_ro(&q_[row]);
+    prefetch_ro(&q_[row_end]);
+    prefetch_ro(&reward_[row]);
+    prefetch_ro(&reward_[row_end]);
+    if (!q2_.empty()) {
+      prefetch_ro(&q2_[row]);
+      prefetch_ro(&q2_[row_end]);
+    }
+    prefetch_ro(&qmax_value_[s_next]);
+  }
+  const std::uint64_t sa_addr = map_.q_addr(s, a);
+  const fixed::raw_t r = reward_[sa_addr];
+  ++episode_steps_;
+  const bool end = is_terminal(s_next) ||
+                   episode_steps_ >= config_.max_episode_length;
+
+  // In stall mode nothing raises Qmax ahead of BRAM commit (the next
+  // iteration only issues once the pipe drained), so the fwd_qmax
+  // counter (kCountFwd) never fires; the queue-address matches below
+  // still do, because WritebackQueue entries are matched by address
+  // equality and are never retired from the registers.
+
+  // --- update-policy action and Q(S', A') (stage 2) ---
+  fixed::raw_t q_next = 0;
+  ActionId a_next = kInvalidAction;
+  std::uint64_t fwd_next_addr = kNoAddr;  // set when the pipeline would
+                                          // forward this read in stage 3
+  if (!end) {
+    if constexpr (kAlgo == Algorithm::kQLearning) {
+      if constexpr (kMono) {
+        q_next = qmax_value_[s_next];
+        if (kCountFwd && raise_hit(s_next)) ++stats_.fwd_qmax;
+      } else {
+        ActionId ignored;
+        exact_row_max(q_, s_next, q_next, ignored);
+      }
+    } else if constexpr (kAlgo == Algorithm::kDoubleQ) {
+      // argmax under the learning table, value from the other table
+      // (the cross read the pipeline forwards in stage 3).
+      fixed::raw_t ignored;
+      ActionId argmax;
+      exact_row_max(learn, s_next, ignored, argmax);
+      q_next = eval[map_.q_addr(s_next, argmax)];
+      fwd_next_addr = map_.tagged_addr(table == 1 ? 0 : 1, s_next, argmax);
+    } else if constexpr (kAlgo == Algorithm::kSarsa) {
+      const RngBank::EpsilonDraw d =
+          rng_.draw_epsilon(eps_threshold_, config_.epsilon_bits);
+      if (d.greedy) {
+        if constexpr (kMono) {
+          q_next = qmax_value_[s_next];
+          a_next = qmax_action_[s_next];
+          if (kCountFwd && raise_hit(s_next)) ++stats_.fwd_qmax;
+        } else {
+          exact_row_max(q_, s_next, q_next, a_next);
+        }
+      } else {
+        a_next = d.explore_action;
+        q_next = q_[map_.q_addr(s_next, a_next)];
+        // The exploratory read rides the next iteration's stage-1 port
+        // and is forwarded in stage 3.
+        fwd_next_addr = map_.tagged_addr(0, s_next, a_next);
+      }
+    } else {  // Expected SARSA: full-row scan + expectation
+      const RngBank::EpsilonDraw d =
+          rng_.draw_epsilon(eps_threshold_, config_.epsilon_bits);
+      fixed::raw_t row_max;
+      ActionId argmax;
+      exact_row_max(q_, s_next, row_max, argmax);
+      fixed::raw_t row_sum = 0;
+      for (ActionId k = 0; k < env_.num_actions(); ++k) {
+        row_sum += q_[map_.q_addr(s_next, k)];
+      }
+      a_next = d.greedy ? argmax : d.explore_action;
+      q_next = expected_sarsa_target(row_max, row_sum, map_.action_bits,
+                                     coeff_, config_.q_fmt,
+                                     config_.coeff_fmt);
+    }
+  }
+
+  // --- stage-3 forwarding-hit reconstruction ---
+  const std::uint64_t tagged_sa = map_.tagged_addr(table, s, a);
+  if (wb_hit(tagged_sa)) ++stats_.fwd_q_sa;
+  if (fwd_next_addr != kNoAddr && wb_hit(fwd_next_addr)) {
+    ++stats_.fwd_q_next;
+  }
+
+  // --- the three DSP products and the saturating adder tree (stage 3) ---
+  const fixed::Format qf = config_.q_fmt;
+  const fixed::Format cf = config_.coeff_fmt;
+  bool sat_r = false, sat_old = false, sat_next = false;
+  const fixed::raw_t term_r = fixed::mul(r, qf, coeff_.alpha, cf, qf,
+                                         &sat_r);
+  const fixed::raw_t q_old = learn[sa_addr];
+  const fixed::raw_t term_old =
+      fixed::mul(q_old, qf, coeff_.one_minus_alpha, cf, qf, &sat_old);
+  const fixed::raw_t term_next =
+      fixed::mul(q_next, qf, coeff_.alpha_gamma, cf, qf, &sat_next);
+  dsp_saturations_ += (sat_r ? 1u : 0u) + (sat_old ? 1u : 0u) +
+                      (sat_next ? 1u : 0u);
+  bool sat1 = false, sat2 = false;
+  const fixed::raw_t new_q =
+      fixed::sat_add(fixed::sat_add(term_r, term_old, qf, &sat1),
+                     term_next, qf, &sat2);
+  if (sat1) ++stats_.adder_saturations;
+  if (sat2) ++stats_.adder_saturations;
+
+  // --- write-back (stage 4) ---
+  learn[sa_addr] = new_q;
+  bool raised = false;
+  if constexpr (kAlgo != Algorithm::kExpectedSarsa &&
+                kAlgo != Algorithm::kDoubleQ && kMono) {
+    if (new_q > qmax_value_[s]) {
+      qmax_value_[s] = new_q;
+      qmax_action_[s] = a;
+      raised = true;
+    }
+  }
+
+  // Advance the reconstruction windows: the write-back ring mirrors the
+  // forwarding queue (samples only), the raise ring advances for every
+  // iteration (pipeline slots).
+  wb_ring_[2] = wb_ring_[1];
+  wb_ring_[1] = wb_ring_[0];
+  wb_ring_[0] = tagged_sa;
+  raise_ring_[1] = raise_ring_[0];
+  raise_ring_[0] = {s, raised};
+
+  ++stats_.samples;
+  if (trace_) {
+    SampleTrace tr;
+    tr.state = s;
+    tr.action = a;
+    tr.reward = r;
+    tr.new_q = new_q;
+    tr.next_state = s_next;
+    tr.end_episode = end;
+    tr.table = table;
+    trace_->push_back(tr);
+  }
+
+  if (end) {
+    ++stats_.episodes;
+    episode_start_ = true;
+  } else {
+    state_ = s_next;
+    pending_action_ = a_next;  // kInvalidAction for Q-Learning (unused)
+  }
+}
+
+template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+void FastEngine::run_steps(std::uint64_t iterations,
+                           std::uint64_t sample_target) {
+  if (sample_target != 0) {
+    while (stats_.samples < sample_target) {
+      step_one_t<kAlgo, kMono, kCountFwd>();
+    }
+  } else {
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      step_one_t<kAlgo, kMono, kCountFwd>();
+    }
+  }
+}
+
+template <Algorithm kAlgo>
+void FastEngine::run_algo(std::uint64_t iterations,
+                          std::uint64_t sample_target) {
+  const bool mono = config_.qmax == QmaxMode::kMonotoneTable;
+  if (mono && config_.hazard == HazardMode::kForward) {
+    run_steps<kAlgo, true, true>(iterations, sample_target);
+  } else if (mono) {
+    run_steps<kAlgo, true, false>(iterations, sample_target);
+  } else {
+    run_steps<kAlgo, false, false>(iterations, sample_target);
+  }
+}
+
+void FastEngine::run_steps_dispatch(std::uint64_t iterations,
+                                    std::uint64_t sample_target) {
+  switch (config_.algorithm) {
+    case Algorithm::kQLearning:
+      run_algo<Algorithm::kQLearning>(iterations, sample_target);
+      return;
+    case Algorithm::kSarsa:
+      run_algo<Algorithm::kSarsa>(iterations, sample_target);
+      return;
+    case Algorithm::kExpectedSarsa:
+      run_algo<Algorithm::kExpectedSarsa>(iterations, sample_target);
+      return;
+    case Algorithm::kDoubleQ:
+      run_algo<Algorithm::kDoubleQ>(iterations, sample_target);
+      return;
+  }
+  QTA_CHECK_MSG(false, "unknown algorithm");
+}
+
+void FastEngine::run_iterations(std::uint64_t n) {
+  if (n == 0) return;
+  // The previous call ended with a full drain, committing every
+  // in-flight Qmax raise; only raises from THIS call can be ahead of
+  // the BRAM. (The write-back address ring persists: queue entries are
+  // registers that never age out.)
+  raise_ring_ = {};
+  run_steps_dispatch(n, 0);
+  if (config_.hazard == HazardMode::kForward) {
+    // n issue ticks, then the 3-cycle drain of stages 2..4.
+    stats_.cycles += n + 3;
+  } else {
+    // One issue per 4 cycles; the final iteration's trailing cycles are
+    // drain ticks, which do not count as stalls.
+    stats_.cycles += 4 * n;
+    stats_.stall_cycles += 3 * (n - 1);
+  }
+}
+
+void FastEngine::run_samples(std::uint64_t n) {
+  if (stats_.samples >= n) return;  // the pipeline would not tick at all
+  raise_ring_ = {};  // fresh call: the prior drain committed all raises
+  const std::uint64_t iterations_before = stats_.iterations;
+  run_steps_dispatch(0, n);
+  if (config_.hazard == HazardMode::kForward) {
+    // The pipeline keeps issuing while the n-th sample drains toward
+    // stage 4, so exactly 3 extra iterations are in flight when the loop
+    // exits; they retire during the drain.
+    run_steps_dispatch(3, 0);
+    stats_.cycles += (stats_.iterations - iterations_before) + 3;
+  } else {
+    // Stall mode retires before the next issue: no overshoot, and the
+    // run ends exactly as the n-th sample commits.
+    const std::uint64_t k = stats_.iterations - iterations_before;
+    stats_.cycles += 4 * k;
+    stats_.stall_cycles += 3 * k;
+  }
+}
+
+Engine::Engine(const env::Environment& env, const PipelineConfig& config)
+    : config_(config) {
+  if (config.backend == Backend::kFast) {
+    fast_ = std::make_unique<FastEngine>(env, config);
+  } else {
+    pipe_ = std::make_unique<Pipeline>(env, config);
+  }
+}
+
+void Engine::run_iterations(std::uint64_t n) {
+  fast_ ? fast_->run_iterations(n) : pipe_->run_iterations(n);
+}
+
+void Engine::run_samples(std::uint64_t n) {
+  fast_ ? fast_->run_samples(n) : pipe_->run_samples(n);
+}
+
+const PipelineStats& Engine::stats() const {
+  return fast_ ? fast_->stats() : pipe_->stats();
+}
+
+void Engine::set_trace(std::vector<SampleTrace>* trace) {
+  fast_ ? fast_->set_trace(trace) : pipe_->set_trace(trace);
+}
+
+fixed::raw_t Engine::q_raw(StateId s, ActionId a) const {
+  return fast_ ? fast_->q_raw(s, a) : pipe_->q_raw(s, a);
+}
+
+// qtlint: push-allow(datapath-purity)
+double Engine::q_value(StateId s, ActionId a) const {
+  return fast_ ? fast_->q_value(s, a) : pipe_->q_value(s, a);
+}
+
+std::vector<double> Engine::q_as_double() const {
+  return fast_ ? fast_->q_as_double() : pipe_->q_as_double();
+}
+// qtlint: pop-allow(datapath-purity)
+
+fixed::raw_t Engine::q2_raw(StateId s, ActionId a) const {
+  return fast_ ? fast_->q2_raw(s, a) : pipe_->q2_raw(s, a);
+}
+
+std::vector<ActionId> Engine::greedy_policy() const {
+  return fast_ ? fast_->greedy_policy() : pipe_->greedy_policy();
+}
+
+QmaxUnit::Entry Engine::qmax_entry(StateId s) const {
+  return fast_ ? fast_->qmax_entry(s) : pipe_->qmax_entry(s);
+}
+
+void Engine::preset_q(StateId s, ActionId a, fixed::raw_t value) {
+  fast_ ? fast_->preset_q(s, a, value) : pipe_->preset_q(s, a, value);
+}
+
+void Engine::rebuild_qmax() {
+  fast_ ? fast_->rebuild_qmax() : pipe_->rebuild_qmax();
+}
+
+std::uint64_t Engine::dsp_saturations() const {
+  return fast_ ? fast_->dsp_saturations() : pipe_->dsp_saturations();
+}
+
+const env::Environment& Engine::environment() const {
+  return fast_ ? fast_->environment() : pipe_->environment();
+}
+
+Pipeline& Engine::pipeline() {
+  QTA_CHECK_MSG(pipe_ != nullptr,
+                "Engine::pipeline() requires Backend::kCycleAccurate");
+  return *pipe_;
+}
+
+const Pipeline& Engine::pipeline() const {
+  QTA_CHECK_MSG(pipe_ != nullptr,
+                "Engine::pipeline() requires Backend::kCycleAccurate");
+  return *pipe_;
+}
+
+}  // namespace qta::qtaccel

@@ -1,0 +1,215 @@
+// Fast functional backend ("turbo engine") — bit-exact batch replay of
+// the accelerator without the cycle-accurate machinery.
+//
+// FastEngine executes the accelerator's exact semantics — the same LFSR
+// draw sequences, the same fixed-point DSP operation order and
+// saturation, the same monotone-Qmax approximation, the same episode
+// control — straight against flat arrays: no SimKernel, no per-cycle
+// Bram port accounting, no pipeline latches, and no virtual dispatch in
+// the inner loop (deterministic environments are pre-baked into a flat
+// transition table). The retired SampleTrace sequence and the final
+// Q/Qmax tables are bit-identical to both GoldenModel and Pipeline;
+// tests/fast_engine_test.cpp proves it differentially per algorithm.
+//
+// PipelineStats is reconstructed analytically instead of simulated:
+//   cycles        = issue ticks + drain (forward: iterations + pipeline
+//                   depth - 1; stall: 4 per iteration),
+//   fwd_q_sa/next = recomputed from the dependency distance between
+//                   consecutive updates (a 3-deep ring of write-back
+//                   addresses mirrors the forwarding queue),
+//   fwd_qmax      = recomputed from the qmax raises of the two preceding
+//                   iterations (the only in-flight raises a stage-2 read
+//                   can observe ahead of BRAM commit).
+// docs/fast_engine.md carries the full fidelity matrix and says when the
+// cycle-accurate backend is mandatory (waveforms, port-conflict
+// auditing, shared-table collision modeling).
+//
+// Engine is the thin backend selector: construct it with a
+// PipelineConfig and it runs a Pipeline or a FastEngine per
+// config.backend behind one surface.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "env/environment.h"
+#include "qtaccel/action_units.h"
+#include "qtaccel/config.h"
+#include "qtaccel/pipeline.h"  // PipelineStats, SampleTrace
+
+namespace qta::env {
+class GridWorld;  // devirtualized fast path (see FastEngine::next_state)
+}  // namespace qta::env
+
+namespace qta::qtaccel {
+
+class FastEngine {
+ public:
+  FastEngine(const env::Environment& env, const PipelineConfig& config);
+
+  /// Replays exactly `n` iterations (bubbles included) — the same retire
+  /// stream Pipeline::run_iterations(n) produces.
+  void run_iterations(std::uint64_t n);
+
+  /// Replays until at least `n` samples retired, including the
+  /// pipeline's drain overshoot (forward mode retires exactly 3 extra
+  /// iterations; stall mode none) so the final tables stay bit-identical
+  /// to Pipeline::run_samples(n).
+  void run_samples(std::uint64_t n);
+
+  const PipelineStats& stats() const { return stats_; }
+  void set_trace(std::vector<SampleTrace>* trace) { trace_ = trace; }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const;
+  double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
+  /// Double Q-Learning's second table (aborts for other algorithms).
+  fixed::raw_t q2_raw(StateId s, ActionId a) const;
+  /// Row-major doubles; for kDoubleQ the acting estimate (A + B) / 2.
+  std::vector<double> q_as_double() const;  // qtlint: allow(datapath-purity)
+  std::vector<ActionId> greedy_policy() const;
+  QmaxUnit::Entry qmax_entry(StateId s) const;
+
+  /// Warm-start support, mirroring Pipeline::preset_q/rebuild_qmax.
+  void preset_q(StateId s, ActionId a, fixed::raw_t value);
+  void rebuild_qmax();
+
+  /// Saturation count across the three stage-3 DSP products (same events
+  /// Pipeline::dsp_saturations reports).
+  std::uint64_t dsp_saturations() const { return dsp_saturations_; }
+
+  const env::Environment& environment() const { return env_; }
+  const PipelineConfig& config() const { return config_; }
+  const AddressMap& address_map() const { return map_; }
+
+ private:
+  // One replayed iteration, specialized per (algorithm, Qmax mode,
+  // fwd_qmax counting). The specialization is not about the branches —
+  // they predict fine — but about size: the pruned body inlines into the
+  // run_steps loop, which lets the optimizer keep the walk and LFSR state
+  // in registers across iterations instead of spilling around an opaque
+  // per-sample call.
+  template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+  void step_one_t();
+  /// Runs `iterations` steps when `sample_target` == 0, otherwise steps
+  /// until stats_.samples reaches `sample_target`.
+  template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+  void run_steps(std::uint64_t iterations, std::uint64_t sample_target);
+  template <Algorithm kAlgo>
+  void run_algo(std::uint64_t iterations, std::uint64_t sample_target);
+  void run_steps_dispatch(std::uint64_t iterations,
+                          std::uint64_t sample_target);
+  void exact_row_max(const std::vector<fixed::raw_t>& table, StateId s,
+                     fixed::raw_t& value, ActionId& action) const;
+  bool is_terminal(StateId s) const {
+    return terminal_[s] != 0;
+  }
+  StateId next_state(StateId s, ActionId a);
+
+  const env::Environment& env_;
+  PipelineConfig config_;
+  AddressMap map_;
+  Coefficients coeff_;
+  std::uint64_t eps_threshold_;
+  RngBank rng_;
+
+  std::vector<fixed::raw_t> q_;       // indexed by AddressMap::q_addr
+  std::vector<fixed::raw_t> q2_;      // Double Q-Learning's table B
+  std::vector<fixed::raw_t> reward_;  // quantized R(s, a)
+  std::vector<fixed::raw_t> qmax_value_;
+  std::vector<ActionId> qmax_action_;
+
+  // Pre-baked environment: terminal flags always; the flat transition
+  // table only for deterministic environments small enough to stay
+  // cache-resident (stochastic ones draw noise per step, so the call
+  // into the environment stays).
+  std::vector<std::uint8_t> terminal_;
+  std::vector<StateId> next_;  // empty => call the environment
+  unsigned noise_bits_ = 0;
+  // Non-null when env_ is a deterministic GridWorld: transitions then go
+  // through the inline, devirtualized GridWorld::transition (the class is
+  // final), so the optimizer sees the whole inner loop and keeps the
+  // walk/LFSR state in registers instead of spilling around an opaque
+  // virtual call.
+  const env::GridWorld* grid_ = nullptr;
+
+  // Walk state (identical to the golden model's).
+  bool episode_start_ = true;
+  StateId state_ = 0;
+  ActionId pending_action_ = kInvalidAction;
+  std::uint64_t episode_steps_ = 0;
+
+  // --- PipelineStats reconstruction state ---
+  // Mirror of the 3-deep forwarding queue: tagged write-back addresses of
+  // the last three retired samples (bubbles push nothing, exactly like
+  // WritebackQueue). kNoAddr slots are empty (AddressMap addresses use at
+  // most state_bits + action_bits + 1 bits, so ~0 never collides).
+  static constexpr std::uint64_t kNoAddr = ~std::uint64_t{0};
+  std::array<std::uint64_t, 3> wb_ring_{kNoAddr, kNoAddr, kNoAddr};
+  bool wb_hit(std::uint64_t tagged) const {
+    return tagged == wb_ring_[0] || tagged == wb_ring_[1] ||
+           tagged == wb_ring_[2];
+  }
+  // Qmax raises of the two preceding iterations: at stage 2 of iteration
+  // i the Qmax BRAM has committed raises through iteration i-3, so the
+  // forwarding network is what surfaces raises from i-1 and i-2 (older
+  // queue entries are already committed and can never strictly raise).
+  struct RaiseEvent {
+    StateId state = kInvalidState;
+    bool raised = false;
+  };
+  std::array<RaiseEvent, 2> raise_ring_{};
+  bool raise_hit(StateId s) const {
+    return (raise_ring_[0].raised && raise_ring_[0].state == s) ||
+           (raise_ring_[1].raised && raise_ring_[1].state == s);
+  }
+
+  PipelineStats stats_;
+  std::uint64_t dsp_saturations_ = 0;
+  std::vector<SampleTrace>* trace_ = nullptr;
+};
+
+/// Backend selector: one construction surface over the cycle-accurate
+/// pipeline and the fast functional engine. Everything that does not need
+/// waveforms, per-cycle port auditing, or shared-table collision modeling
+/// can run either backend and retire identical results.
+class Engine {
+ public:
+  Engine(const env::Environment& env, const PipelineConfig& config);
+
+  Backend backend() const { return config_.backend; }
+
+  void run_iterations(std::uint64_t n);
+  void run_samples(std::uint64_t n);
+
+  const PipelineStats& stats() const;
+  void set_trace(std::vector<SampleTrace>* trace);
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const;
+  double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
+  fixed::raw_t q2_raw(StateId s, ActionId a) const;
+  std::vector<double> q_as_double() const;  // qtlint: allow(datapath-purity)
+  std::vector<ActionId> greedy_policy() const;
+  QmaxUnit::Entry qmax_entry(StateId s) const;
+
+  void preset_q(StateId s, ActionId a, fixed::raw_t value);
+  void rebuild_qmax();
+  std::uint64_t dsp_saturations() const;
+
+  const env::Environment& environment() const;
+  const PipelineConfig& config() const { return config_; }
+
+  /// The underlying cycle-accurate pipeline (aborts on the fast backend)
+  /// — for callers that need waveforms or Bram statistics.
+  Pipeline& pipeline();
+  const Pipeline& pipeline() const;
+
+ private:
+  PipelineConfig config_;
+  std::unique_ptr<Pipeline> pipe_;
+  std::unique_ptr<FastEngine> fast_;
+};
+
+}  // namespace qta::qtaccel

@@ -93,37 +93,45 @@ IndependentPipelines::IndependentPipelines(
   for (std::size_t i = 0; i < envs_.size(); ++i) {
     PipelineConfig pc = config;
     pc.seed = config.seed * 1000003ULL + i;
-    pipes_.push_back(std::make_unique<Pipeline>(*envs_[i], pc));
+    engines_.push_back(std::make_unique<Engine>(*envs_[i], pc));
   }
 }
 
 void IndependentPipelines::run_samples_each(std::uint64_t samples,
-                                            unsigned max_threads) {
-  unsigned threads = max_threads != 0 ? max_threads
-                                      : std::thread::hardware_concurrency();
-  threads = std::max(1u, std::min<unsigned>(
-                             threads,
-                             static_cast<unsigned>(pipes_.size())));
+                                            unsigned max_threads,
+                                            Schedule schedule) {
+  const unsigned threads = resolve_thread_count(
+      max_threads, std::thread::hardware_concurrency(), engines_.size());
   if (threads == 1) {
-    for (auto& p : pipes_) p->run_samples(samples);
+    for (auto& e : engines_) e->run_samples(samples);
     return;
   }
-  // Static round-robin partition: pipeline i runs on thread i % threads.
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back([this, t, threads, samples] {
-      for (std::size_t i = t; i < pipes_.size(); i += threads) {
-        pipes_[i]->run_samples(samples);
-      }
-    });
+  if (schedule == Schedule::kStaticRoundRobin) {
+    // Legacy schedule (pre-pool): fresh threads per call, pipeline i
+    // pinned to thread i % threads. Kept as the bench ablation baseline.
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([this, t, threads, samples] {
+        for (std::size_t i = t; i < engines_.size(); i += threads) {
+          engines_[i]->run_samples(samples);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    return;
   }
-  for (auto& th : pool) th.join();
+  if (!pool_ || pool_->size() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  pool_->parallel_for(engines_.size(), [this, samples](std::size_t i) {
+    engines_[i]->run_samples(samples);
+  });
 }
 
 std::uint64_t IndependentPipelines::total_samples() const {
   std::uint64_t sum = 0;
-  for (const auto& p : pipes_) sum += p->stats().samples;
+  for (const auto& e : engines_) sum += e->stats().samples;
   return sum;
 }
 
@@ -131,7 +139,9 @@ std::uint64_t IndependentPipelines::total_samples() const {
 // qtlint: push-allow(datapath-purity)
 double IndependentPipelines::samples_per_cycle() const {
   Cycle slowest = 0;
-  for (const auto& p : pipes_) slowest = std::max(slowest, p->stats().cycles);
+  for (const auto& e : engines_) {
+    slowest = std::max(slowest, e->stats().cycles);
+  }
   return slowest == 0 ? 0.0
                       : static_cast<double>(total_samples()) /
                             static_cast<double>(slowest);
@@ -140,7 +150,7 @@ double IndependentPipelines::samples_per_cycle() const {
 
 hw::ResourceLedger IndependentPipelines::resources() const {
   return build_resources(*envs_[0], config_,
-                         static_cast<unsigned>(pipes_.size()),
+                         static_cast<unsigned>(engines_.size()),
                          /*share_tables=*/false);
 }
 

@@ -17,9 +17,11 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "env/environment.h"
 #include "hw/bram.h"
 #include "hw/resource_ledger.h"
+#include "qtaccel/fast_engine.h"
 #include "qtaccel/pipeline.h"
 
 namespace qta::qtaccel {
@@ -72,22 +74,41 @@ class SharedTablePipelines {
   Cycle cycles_ = 0;
 };
 
+/// How run_samples_each maps pipelines onto host threads.
+enum class Schedule {
+  kWorkStealing,      // persistent pool, dynamic claiming (default)
+  kStaticRoundRobin,  // legacy: pipeline i pinned to thread i % T —
+                      // kept for the bench ablation; a skewed workload
+                      // serializes on its slowest bucket here
+};
+
 class IndependentPipelines {
  public:
-  /// One pipeline per environment; environment i uses seed
-  /// config.seed * 1000003 + i.
+  /// One engine per environment (cycle-accurate or fast per
+  /// config.backend); environment i uses seed config.seed * 1000003 + i.
   IndependentPipelines(
       std::vector<std::unique_ptr<env::Environment>> environments,
       const PipelineConfig& config);
 
   /// Runs every pipeline for `samples` samples, using up to
-  /// `max_threads` host threads (0 = hardware concurrency).
-  void run_samples_each(std::uint64_t samples, unsigned max_threads = 0);
+  /// `max_threads` host threads (0 = hardware concurrency; a platform
+  /// that cannot report its concurrency runs single-threaded). The
+  /// work-stealing schedule reuses one persistent pool across calls.
+  /// Results are schedule- and thread-count-independent: every engine is
+  /// fully self-contained, so only wall-clock time changes.
+  void run_samples_each(std::uint64_t samples, unsigned max_threads = 0,
+                        Schedule schedule = Schedule::kWorkStealing);
 
   unsigned num_pipelines() const {
-    return static_cast<unsigned>(pipes_.size());
+    return static_cast<unsigned>(engines_.size());
   }
-  const Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
+  /// The cycle-accurate pipeline behind engine i (aborts when
+  /// config.backend == Backend::kFast — use engine(i) there).
+  const Pipeline& pipeline(unsigned i) const {
+    return engines_[i]->pipeline();
+  }
+  Engine& engine(unsigned i) { return *engines_[i]; }
+  const Engine& engine(unsigned i) const { return *engines_[i]; }
   const env::Environment& environment(unsigned i) const {
     return *envs_[i];
   }
@@ -101,10 +122,15 @@ class IndependentPipelines {
   /// Combined resource ledger (N banks + N pipelines of logic).
   hw::ResourceLedger resources() const;
 
+  /// Items moved between worker deques by the pool so far (0 until a
+  /// work-stealing run happened; diagnostic for the bench).
+  std::uint64_t pool_steals() const { return pool_ ? pool_->steals() : 0; }
+
  private:
   std::vector<std::unique_ptr<env::Environment>> envs_;
   PipelineConfig config_;
-  std::vector<std::unique_ptr<Pipeline>> pipes_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built, reused across calls
 };
 
 }  // namespace qta::qtaccel

@@ -47,36 +47,6 @@ Lfsr::Lfsr(unsigned width, std::uint64_t seed)
   if (state_ == 0) state_ = 1;  // all-zero is the absorbing state
 }
 
-std::uint64_t Lfsr::step() {
-  // Galois left-shift form: the bit leaving at the MSB re-enters through
-  // the polynomial taps.
-  const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
-  state_ = ((state_ << 1) & mask_) ^ (out ? taps_ : 0u);
-  return state_;
-}
-
-std::uint64_t Lfsr::draw_bits(unsigned n) {
-  QTA_CHECK(n >= 1 && n <= 64);
-  // Bit-serial collection of the output stream (the MSB shifted out each
-  // step). Taking whole register snapshots instead would make successive
-  // draws overlap in all but one bit and badly correlate them.
-  std::uint64_t acc = 0;
-  for (unsigned i = 0; i < n; ++i) {
-    const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
-    acc |= out << i;
-    step();
-  }
-  return acc;
-}
-
-std::uint64_t Lfsr::below(std::uint64_t bound) {
-  QTA_CHECK(bound >= 1);
-  if (bound == 1) return 0;
-  __extension__ typedef unsigned __int128 u128;
-  const std::uint64_t draw = draw_bits(32);
-  return static_cast<std::uint64_t>((static_cast<u128>(draw) * bound) >> 32);
-}
-
 double Lfsr::uniform() {
   const unsigned bits = width_ < 53 ? width_ : 53;
   const std::uint64_t draw = draw_bits(bits);

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace qta::rng {
 
 /// Maximal-length Galois LFSR of configurable width (2..64 bits).
@@ -22,20 +24,47 @@ class Lfsr {
   explicit Lfsr(unsigned width = 32, std::uint64_t seed = 0xace1u);
 
   /// Advances one step and returns the full register state.
-  std::uint64_t step();
+  /// Inline: this is the innermost operation of every random draw in the
+  /// simulator's hot loops (one call per output bit).
+  std::uint64_t step() {
+    // Galois left-shift form: the bit leaving at the MSB re-enters through
+    // the polynomial taps.
+    const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
+    state_ = ((state_ << 1) & mask_) ^ (out ? taps_ : 0u);
+    return state_;
+  }
 
   /// Draws `n` (1..64) pseudo-random bits from the output stream: one
   /// register step per bit (the hardware unrolls the feedback n times in
   /// combinational logic to produce n bits per cycle). Bit-serial
   /// collection keeps successive draws decorrelated, which whole-register
   /// snapshots would not.
-  std::uint64_t draw_bits(unsigned n);
+  std::uint64_t draw_bits(unsigned n) {
+    QTA_CHECK(n >= 1 && n <= 64);
+    // Bit-serial collection of the output stream (the MSB shifted out each
+    // step). Taking whole register snapshots instead would make successive
+    // draws overlap in all but one bit and badly correlate them.
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint64_t out = (state_ >> (width_ - 1)) & 1u;
+      acc |= out << i;
+      step();
+    }
+    return acc;
+  }
 
   /// Uniform value in [0, bound) via the fixed-point multiply trick
   /// (one DSP): (draw * bound) >> width. Slight bias of bound/2^width,
   /// identical to the hardware shortcut the paper describes for indexing
   /// "one of the Q-values" directly.
-  std::uint64_t below(std::uint64_t bound);
+  std::uint64_t below(std::uint64_t bound) {
+    QTA_CHECK(bound >= 1);
+    if (bound == 1) return 0;
+    __extension__ typedef unsigned __int128 u128;
+    const std::uint64_t draw = draw_bits(32);
+    return static_cast<std::uint64_t>((static_cast<u128>(draw) * bound) >>
+                                      32);
+  }
 
   /// Uniform double in [0, 1) using width bits (capped at 53).
   double uniform();

@@ -19,6 +19,7 @@
 
 #include "env/grid_world.h"
 #include "env/random_mdp.h"
+#include "qtaccel/fast_engine.h"
 #include "qtaccel/golden_model.h"
 #include "qtaccel/pipeline.h"
 
@@ -245,6 +246,66 @@ TEST(EquivalenceForwarding, RingMdpExercisesAllForwardingPaths) {
   pipeline.run_iterations(5000);
   EXPECT_GT(pipeline.stats().fwd_q_sa, 0u);
   EXPECT_GT(pipeline.stats().fwd_qmax, 0u);
+}
+
+// The fast backend must hold the same equivalence against the golden
+// model on bubble-dense inputs: a terminal-heavy RandomMdp (40% of start
+// draws are zero-length episodes) and a slippery grid (transition noise,
+// so the engine cannot pre-bake transitions). Bubbles are where the fast
+// backend's episode control and stats windows are easiest to get wrong.
+TEST(EquivalenceFastBackend, MatchesGoldenOnBubbleDenseAndNoisyEnvs) {
+  std::vector<std::unique_ptr<env::Environment>> environments;
+  {
+    env::RandomMdpConfig c;
+    c.num_states = 16;
+    c.num_actions = 4;
+    c.terminal_fraction = 0.4;
+    c.seed = 13;
+    environments.push_back(std::make_unique<env::RandomMdp>(c));
+  }
+  {
+    env::GridWorldConfig c;
+    c.width = 4;
+    c.height = 4;
+    c.num_actions = 4;
+    c.slip_probability = 0.4;
+    environments.push_back(std::make_unique<env::GridWorld>(c));
+  }
+  for (const auto& environment : environments) {
+    for (auto algorithm : {Algorithm::kQLearning, Algorithm::kSarsa}) {
+      PipelineConfig config;
+      config.algorithm = algorithm;
+      config.seed = 17;
+      config.max_episode_length = 32;
+      config.backend = Backend::kFast;
+
+      GoldenModel golden(*environment, config);
+      std::vector<SampleTrace> golden_trace;
+      golden.set_trace(&golden_trace);
+      golden.run(6000);
+
+      Engine fast(*environment, config);
+      std::vector<SampleTrace> fast_trace;
+      fast.set_trace(&fast_trace);
+      fast.run_iterations(6000);
+
+      ASSERT_EQ(golden_trace.size(), fast_trace.size());
+      for (std::size_t i = 0; i < golden_trace.size(); ++i) {
+        ASSERT_EQ(golden_trace[i], fast_trace[i])
+            << "divergence at " << i;
+      }
+      ASSERT_GT(fast.stats().bubbles, 0u) << "case must be bubble-dense";
+      for (StateId s = 0; s < environment->num_states(); ++s) {
+        for (ActionId a = 0; a < environment->num_actions(); ++a) {
+          ASSERT_EQ(golden.q_raw(s, a), fast.q_raw(s, a))
+              << "Q mismatch at s=" << s << " a=" << a;
+        }
+      }
+      EXPECT_EQ(golden.counters().samples, fast.stats().samples);
+      EXPECT_EQ(golden.counters().episodes, fast.stats().episodes);
+      EXPECT_EQ(golden.counters().bubbles, fast.stats().bubbles);
+    }
+  }
 }
 
 TEST(EquivalenceForwarding, SarsaExploreSharedReadIsForwarded) {

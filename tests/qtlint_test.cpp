@@ -25,12 +25,39 @@ TEST(QtlintClassify, PathsMapToScopes) {
   EXPECT_TRUE(classify_path("src/qtaccel/pipeline.cpp").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/multi_pipeline.h").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/boltzmann_pipeline.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.h").datapath);
+  EXPECT_TRUE(classify_path("src/common/thread_pool.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/common/thread_pool.h").datapath);
   EXPECT_FALSE(classify_path("src/qtaccel/config.cpp").datapath);
   EXPECT_FALSE(classify_path("src/qtaccel/golden_model.cpp").datapath);
   EXPECT_FALSE(classify_path("src/common/stats.cpp").datapath);
   EXPECT_TRUE(classify_path("src/rng/lfsr.cpp").rng);
   EXPECT_TRUE(classify_path("src/hw/dsp.h").header);
   EXPECT_FALSE(classify_path("tools/qtlint/lint.cpp").in_src);
+}
+
+TEST(QtlintDatapathPurity, FastEngineScopeFlagsFloatsOutsideAllowBlocks) {
+  // The turbo engine replays the datapath against flat arrays; a stray
+  // double there would silently diverge from the fixed-point pipeline.
+  const auto bad = lint_content("src/qtaccel/fast_engine.cpp",
+                                "long f() { double x = 1; return long(x); }\n");
+  EXPECT_EQ(count_rule(bad, RuleId::kDatapathPurity), 1u);
+  // The sanctioned host-init boundary uses push/pop-allow blocks, exactly
+  // as the real file does around reward quantization.
+  const auto ok = lint_content(
+      "src/qtaccel/fast_engine.cpp",
+      "// qtlint: push-allow(datapath-purity)\n"
+      "long f() { double x = 1; return long(x); }\n"
+      "// qtlint: pop-allow(datapath-purity)\n");
+  EXPECT_EQ(count_rule(ok, RuleId::kDatapathPurity), 0u);
+}
+
+TEST(QtlintDatapathPurity, ThreadPoolScopeFlagsFloats) {
+  const auto vs = lint_content(
+      "src/common/thread_pool.cpp",
+      "double share(double items, double workers) { return items / workers; }\n");
+  EXPECT_GT(count_rule(vs, RuleId::kDatapathPurity), 0u);
 }
 
 TEST(QtlintDatapathPurity, FlagsFloatAndDoubleInDatapath) {

@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace qta {
+namespace {
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_thread_count(3, 16, 100), 3u);
+  EXPECT_EQ(resolve_thread_count(1, 16, 100), 1u);
+}
+
+TEST(ResolveThreadCount, ZeroRequestUsesHardware) {
+  EXPECT_EQ(resolve_thread_count(0, 8, 100), 8u);
+}
+
+// std::thread::hardware_concurrency() is documented to return 0 when the
+// platform cannot report a value; that must resolve to one thread, not
+// clamp through zero.
+TEST(ResolveThreadCount, UnknownHardwareFallsBackToOneThread) {
+  EXPECT_EQ(resolve_thread_count(0, 0, 100), 1u);
+  EXPECT_EQ(resolve_thread_count(0, 0, 0), 1u);
+}
+
+TEST(ResolveThreadCount, CappedByUsefulWork) {
+  EXPECT_EQ(resolve_thread_count(16, 16, 5), 5u);
+  EXPECT_EQ(resolve_thread_count(0, 16, 2), 2u);
+  // Zero items still resolves to a valid (1-thread) pool.
+  EXPECT_EQ(resolve_thread_count(4, 16, 0), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(17, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+// A skewed batch (one slow item first in worker 0's deque, many quick
+// ones behind it) must get rebalanced: the quick items land on other
+// workers via steals instead of waiting behind the slow one.
+TEST(ThreadPoolTest, StealsRebalanceSkewedWork) {
+  ThreadPool pool(4);
+  const std::size_t kItems = 64;
+  std::atomic<int> done{0};
+  pool.parallel_for(kItems, [&](std::size_t i) {
+    if (i == 0) {
+      // Item 0 parks worker 0 until everything else finished elsewhere.
+      while (done.load() < static_cast<int>(kItems) - 1) {
+        std::this_thread::yield();
+      }
+    }
+    ++done;
+  });
+  EXPECT_EQ(done.load(), static_cast<int>(kItems));
+  // Worker 0 held item 0 the whole time, so its remaining 15 round-robin
+  // items can only have run through steals.
+  EXPECT_GE(pool.steals(), 15u);
+}
+
+TEST(ThreadPoolTest, ExecutionIsDeterministicRegardlessOfSchedule) {
+  // Items write to disjoint slots: any interleaving yields the same
+  // result (the property IndependentPipelines relies on).
+  std::vector<std::uint64_t> a(100, 0), b(100, 0);
+  {
+    ThreadPool pool(7);
+    pool.parallel_for(a.size(), [&](std::size_t i) { a[i] = i * i; });
+  }
+  {
+    ThreadPool pool(2);
+    pool.parallel_for(b.size(), [&](std::size_t i) { b[i] = i * i; });
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace qta

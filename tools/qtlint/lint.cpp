@@ -103,9 +103,9 @@ constexpr std::array<std::string_view, 4> kStreamIdents{"cout", "cerr",
 
 // qtaccel files that model pipeline hardware (as opposed to host-side
 // config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).
-constexpr std::array<std::string_view, 6> kPipelineFileStems{
-    "pipeline",   "multi_pipeline", "boltzmann_pipeline",
-    "forwarding", "qmax_unit",      "action_units"};
+constexpr std::array<std::string_view, 7> kPipelineFileStems{
+    "pipeline",   "multi_pipeline", "boltzmann_pipeline", "forwarding",
+    "qmax_unit",  "action_units",   "fast_engine"};
 
 struct LexedFile {
   // Source with comments and string/char-literal contents blanked out;
@@ -508,6 +508,10 @@ FileClass classify_path(std::string_view rel_path) {
   fc.rng = starts_with(p, "src/rng/");
   fc.hot_path = starts_with(p, "src/hw/") || starts_with(p, "src/fixed/");
   fc.datapath = fc.hot_path;
+  // The persistent thread pool schedules the datapath replicas
+  // (IndependentPipelines::run_samples_each); floats sneaking in through
+  // scheduling code would be as damaging as in the pipeline itself.
+  if (starts_with(p, "src/common/thread_pool")) fc.datapath = true;
   if (starts_with(p, "src/qtaccel/")) {
     std::string_view stem = basename_of(p);
     if (const auto dot = stem.find_last_of('.');
