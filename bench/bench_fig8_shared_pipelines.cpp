@@ -7,13 +7,26 @@
 //   * write collisions are rare under random behavior ("collision is much
 //     less likely to happen") and their rate falls with the world size;
 //   * convergence per wall-clock cycle improves vs a single pipeline.
+//
+// --trace=out.json additionally records a Perfetto/Chrome trace-event
+// file (docs/observability.md): per-stage cycle-domain tracks for both
+// pipelines of a traced dual run, plus wall-clock worker tracks from
+// replaying the convergence sweep's six jobs on the work-stealing pool.
+#include <algorithm>
+#include <array>
 #include <functional>
 #include <iostream>
+#include <string>
+#include <thread>
 
 #include "bench_util.h"
+#include "common/cli.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "env/value_iteration.h"
 #include "qtaccel/multi_pipeline.h"
+#include "telemetry/pipeline_telemetry.h"
+#include "telemetry/pool_observer.h"
 
 using namespace qta;
 
@@ -29,9 +42,67 @@ double policy_success(const env::GridWorld& world,
   return env::policy_success_rate(world, policy, 4 * world.num_states(),
                                   &blocked);
 }
+
+// The --trace artifact: one traced dual shared-table run (per-stage
+// tracks, cycle domain) plus the convergence sweep's six jobs replayed
+// on the work-stealing pool (per-worker tracks, wall-clock domain).
+bool write_trace(const std::string& path) {
+  env::GridWorldConfig gc;
+  gc.width = 8;
+  gc.height = 8;
+  gc.num_actions = 4;
+  env::GridWorld world(gc);
+  qtaccel::PipelineConfig config;
+  config.seed = 3;
+  config.max_episode_length = 512;
+
+  telemetry::TraceSession trace;
+  telemetry::MetricsRegistry registry;
+  {
+    qtaccel::SharedTablePipelines dual(world, config, 2);
+    telemetry::PipelineTelemetry t0(qtaccel::make_run_labels(config, 0),
+                                    &registry, &trace, /*pid=*/1);
+    telemetry::PipelineTelemetry t1(qtaccel::make_run_labels(config, 1),
+                                    &registry, &trace, /*pid=*/2);
+    dual.set_telemetry(0, &t0);
+    dual.set_telemetry(1, &t1);
+    dual.run_cycles(4000);
+  }  // sink destructors flush trailing open spans
+
+  // Six jobs: {4k, 16k, 64k} cycles x {solo, dual}, claimed dynamically.
+  // At least two workers even on a single-core host so the artifact
+  // always shows the multi-track pool layout (work stealing included).
+  ThreadPool pool(std::clamp(std::thread::hardware_concurrency(), 2u, 4u));
+  telemetry::PoolTraceObserver observer(trace, /*pid=*/100, pool.size(),
+                                        "convergence sweep pool",
+                                        &registry);
+  pool.set_observer(&observer);
+  const std::array<std::uint64_t, 3> budgets{4000, 16000, 64000};
+  pool.parallel_for(6, [&](std::size_t i) {
+    qtaccel::SharedTablePipelines run(world, config,
+                                      1 + static_cast<unsigned>(i % 2));
+    run.run_cycles(budgets[i / 2]);
+  });
+  pool.set_observer(nullptr);
+
+  if (!trace.write_file(path)) {
+    std::cerr << "failed to write " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote trace (" << trace.event_count() << " events) to "
+            << path << " — open in ui.perfetto.dev\n";
+  return true;
+}
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string trace_path = flags.get_string("trace", "");
+  for (const auto& f : flags.unused()) {
+    std::cerr << "unknown flag: --" << f << "\n";
+    return 2;
+  }
+
   std::cout << "=== Figure 8: two pipelines sharing one Q table ===\n\n";
 
   bool ok = true;
@@ -93,6 +164,8 @@ int main() {
   }
   conv.print(std::cout);
   ok &= dual_never_worse_late;
+
+  if (!trace_path.empty() && !write_trace(trace_path)) return 2;
 
   std::cout << "\nClaims (2x samples/cycle; collision rate falls with "
                "|S|; dual converges at least as fast per cycle): "

@@ -1,158 +1,26 @@
 #include "bench_json.h"
 
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-
-#include "common/check.h"
+#include <thread>
 
 namespace qta::bench {
 
-namespace {
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-}  // namespace
+// QTA_GIT_SHA is injected by bench/CMakeLists.txt from `git rev-parse`
+// at configure time; a tarball build (no .git) reports "unknown".
+#ifndef QTA_GIT_SHA
+#define QTA_GIT_SHA "unknown"
+#endif
 
-void JsonWriter::raw(const std::string& text) { out_ += text; }
-
-void JsonWriter::before_value() {
-  if (stack_.empty()) {
-    QTA_CHECK_MSG(out_.empty(), "only one top-level JSON value");
-    return;
-  }
-  if (stack_.back() == Scope::kObject) {
-    QTA_CHECK_MSG(key_pending_, "object members need a key() first");
-    key_pending_ = false;
-    return;
-  }
-  if (has_items_.back()) raw(",");
-  has_items_.back() = true;
-}
-
-JsonWriter& JsonWriter::begin_object() {
-  before_value();
-  raw("{");
-  stack_.push_back(Scope::kObject);
-  has_items_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_object() {
-  QTA_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
-  QTA_CHECK_MSG(!key_pending_, "dangling key at end_object");
-  raw("}");
-  stack_.pop_back();
-  has_items_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::begin_array() {
-  before_value();
-  raw("[");
-  stack_.push_back(Scope::kArray);
-  has_items_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::end_array() {
-  QTA_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
-  raw("]");
-  stack_.pop_back();
-  has_items_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::key(const std::string& name) {
-  QTA_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
-  QTA_CHECK_MSG(!key_pending_, "key() twice without a value");
-  if (has_items_.back()) raw(",");
-  has_items_.back() = true;
-  raw("\"" + escape(name) + "\":");
-  key_pending_ = true;
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(const std::string& v) {
-  before_value();
-  raw("\"" + escape(v) + "\"");
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(const char* v) {
-  return value(std::string(v));
-}
-
-JsonWriter& JsonWriter::value(double v) {
-  before_value();
-  if (!std::isfinite(v)) {
-    raw("null");  // JSON has no Inf/NaN
-    return *this;
-  }
-  std::ostringstream os;
-  os.precision(12);
-  os << v;
-  raw(os.str());
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::uint64_t v) {
-  before_value();
-  raw(std::to_string(v));
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(std::int64_t v) {
-  before_value();
-  raw(std::to_string(v));
-  return *this;
-}
-
-JsonWriter& JsonWriter::value(int v) {
-  return value(static_cast<std::int64_t>(v));
-}
-
-JsonWriter& JsonWriter::value(unsigned v) {
-  return value(static_cast<std::uint64_t>(v));
-}
-
-JsonWriter& JsonWriter::value(bool v) {
-  before_value();
-  raw(v ? "true" : "false");
-  return *this;
-}
-
-std::string JsonWriter::str() const {
-  QTA_CHECK_MSG(stack_.empty(), "unbalanced begin/end in JSON document");
-  return out_;
-}
-
-bool JsonWriter::write_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << str() << "\n";
-  return static_cast<bool>(f);
+void write_bench_meta(JsonWriter& json) {
+  json.field("schema_version", kBenchSchemaVersion);
+  json.field("git_sha", QTA_GIT_SHA);
+  json.key("host").begin_object();
+  json.field("cpu_count", std::thread::hardware_concurrency());
+#if defined(__VERSION__)
+  json.field("compiler", __VERSION__);
+#else
+  json.field("compiler", "unknown");
+#endif
+  json.end_object();
 }
 
 }  // namespace qta::bench

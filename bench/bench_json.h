@@ -1,62 +1,29 @@
-// Dependency-free JSON emitter for benchmark reports.
+// Bench-side JSON support.
 //
-// Benchmarks that feed CI artifacts (bench_perf_smoke ->
-// BENCH_fast_engine.json) need machine-readable output without pulling a
-// JSON library into the image. This is a small streaming writer: explicit
-// begin/end nesting, automatic comma placement, string escaping, and
-// round-trippable number formatting. Invalid sequences (value without a
-// key inside an object, unbalanced end_*) abort via QTA_CHECK — a
-// malformed report should fail the writer, not the downstream parser.
+// The streaming writer itself moved to src/common/json_writer.h when the
+// telemetry subsystem needed it too; this header keeps the historical
+// qta::bench::JsonWriter spelling working and adds the shared report
+// metadata block every BENCH_*.json artifact embeds.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "common/json_writer.h"
 
 namespace qta::bench {
 
-class JsonWriter {
- public:
-  JsonWriter& begin_object();
-  JsonWriter& end_object();
-  JsonWriter& begin_array();
-  JsonWriter& end_array();
+using qta::JsonWriter;
 
-  /// Object member key; must be followed by a value or begin_*.
-  JsonWriter& key(const std::string& name);
+/// Schema version stamped into every bench artifact. Bump ONLY when a
+/// key changes meaning or disappears; adding keys is not a version bump
+/// (readers must ignore unknown keys).
+inline constexpr int kBenchSchemaVersion = 2;
 
-  JsonWriter& value(const std::string& v);
-  JsonWriter& value(const char* v);
-  JsonWriter& value(double v);
-  JsonWriter& value(std::uint64_t v);
-  JsonWriter& value(std::int64_t v);
-  JsonWriter& value(int v);
-  JsonWriter& value(unsigned v);
-  JsonWriter& value(bool v);
-
-  /// Shorthand for key(name).value(v).
-  template <typename T>
-  JsonWriter& field(const std::string& name, const T& v) {
-    key(name);
-    return value(v);
-  }
-
-  /// The finished document; aborts if nesting is unbalanced.
-  std::string str() const;
-
-  /// Writes str() to `path` (plus trailing newline); returns false on I/O
-  /// failure.
-  bool write_file(const std::string& path) const;
-
- private:
-  enum class Scope { kObject, kArray };
-  void before_value();
-  void raw(const std::string& text);
-
-  std::string out_;
-  std::vector<Scope> stack_;
-  std::vector<bool> has_items_;  // per scope: a comma is needed
-  bool key_pending_ = false;
-};
+/// Emits the shared metadata fields into the CURRENT object scope:
+///   "schema_version": 2,
+///   "git_sha": "<configure-time sha or 'unknown'>",
+///   "host": {"cpu_count": N, "compiler": "..."}
+/// Call right after the top-level begin_object() so artifacts from
+/// different machines/commits are comparable. Additive-only: old readers
+/// that ignore unknown keys keep working.
+void write_bench_meta(JsonWriter& json);
 
 }  // namespace qta::bench

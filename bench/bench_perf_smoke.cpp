@@ -179,6 +179,7 @@ int main(int argc, char** argv) {
 
   bench::JsonWriter json;
   json.begin_object();
+  bench::write_bench_meta(json);
   json.field("workload", "grid512x512_a8");
   json.field("quick", quick);
 

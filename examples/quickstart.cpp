@@ -9,15 +9,23 @@
 // Usage: quickstart [--width=4] [--height=4] [--actions=4]
 //                   [--samples=200000] [--sarsa] [--slip=0.0] [--seed=1]
 //                   [--backend={cycle,fast}]
+//                   [--trace=out.json] [--metrics] [--metrics-json=m.json]
+//
+// Observability (docs/observability.md): --trace writes a Perfetto /
+// Chrome trace-event JSON of the run, --metrics prints the Prometheus
+// text exposition, --metrics-json writes the same snapshot as JSON.
 #include <iostream>
+#include <memory>
 
 #include "common/cli.h"
+#include "common/json_writer.h"
 #include "common/table_printer.h"
 #include "device/resource_report.h"
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
 #include "qtaccel/fast_engine.h"
 #include "qtaccel/resources.h"
+#include "telemetry/pipeline_telemetry.h"
 
 using namespace qta;
 
@@ -51,8 +59,24 @@ int main(int argc, char** argv) {
             << "\n\nWorld ('G' = goal):\n";
   world.render(std::cout);
 
+  const std::string trace_path = flags.get_string("trace", "");
+  const bool want_metrics = flags.get_bool("metrics", false);
+  const std::string metrics_json_path = flags.get_string("metrics-json", "");
+
   qtaccel::Engine pipeline(world, config);
+
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceSession trace;
+  std::unique_ptr<telemetry::PipelineTelemetry> tel;
+  if (!trace_path.empty() || want_metrics || !metrics_json_path.empty()) {
+    tel = std::make_unique<telemetry::PipelineTelemetry>(
+        qtaccel::make_run_labels(config), &registry,
+        trace_path.empty() ? nullptr : &trace);
+    pipeline.set_telemetry(tel.get());
+  }
+
   pipeline.run_samples(samples);
+  if (tel) tel->flush();
 
   // Greedy policy as an arrow map.
   const auto policy = pipeline.greedy_policy();
@@ -85,6 +109,32 @@ int main(int argc, char** argv) {
 
   const auto ledger = qtaccel::build_resources(world, config);
   device::make_report(device::xcvu13p(), ledger).print(std::cout);
+
+  if (want_metrics) {
+    std::cout << "\n# Telemetry (Prometheus text exposition)\n"
+              << registry.prometheus_text();
+  }
+  if (!metrics_json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("metrics");
+    registry.write_json(json);
+    json.end_object();
+    if (!json.write_file(metrics_json_path)) {
+      std::cerr << "failed to write " << metrics_json_path << "\n";
+      return 2;
+    }
+    std::cout << "\nwrote metrics snapshot to " << metrics_json_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    if (!trace.write_file(trace_path)) {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 2;
+    }
+    std::cout << "\nwrote trace (" << trace.event_count()
+              << " events) to " << trace_path
+              << " — open in ui.perfetto.dev\n";
+  }
 
   for (const auto& unused : flags.unused()) {
     std::cerr << "warning: unused flag --" << unused << "\n";

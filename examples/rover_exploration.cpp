@@ -5,9 +5,14 @@
 // Usage: rover_exploration [--rovers=4] [--width=32] [--height=32]
 //                          [--obstacles=0.15] [--samples=400000]
 //                          [--threads=0] [--seed=7]
-//                          [--backend={cycle,fast}]
+//                          [--backend={cycle,fast}] [--trace=out.json]
+//
+// --trace records a Perfetto trace (docs/observability.md): one process
+// per rover (episode or stage tracks depending on the backend) plus one
+// wall-clock track per work-stealing pool worker.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/table_printer.h"
@@ -17,6 +22,8 @@
 #include "env/value_iteration.h"
 #include "qtaccel/multi_pipeline.h"
 #include "qtaccel/resources.h"
+#include "telemetry/pipeline_telemetry.h"
+#include "telemetry/pool_observer.h"
 
 using namespace qta;
 
@@ -51,8 +58,29 @@ int main(int argc, char** argv) {
   qtaccel::IndependentPipelines fleet(std::move(envs), config);
   const auto samples =
       static_cast<std::uint64_t>(flags.get_int("samples", 400000));
-  fleet.run_samples_each(
-      samples, static_cast<unsigned>(flags.get_int("threads", 0)));
+  const auto threads =
+      static_cast<unsigned>(flags.get_int("threads", 0));
+
+  const std::string trace_path = flags.get_string("trace", "");
+  telemetry::MetricsRegistry registry;
+  telemetry::TraceSession trace;
+  std::vector<std::unique_ptr<telemetry::PipelineTelemetry>> sinks;
+  std::unique_ptr<telemetry::PoolTraceObserver> pool_observer;
+  if (!trace_path.empty()) {
+    for (unsigned i = 0; i < rovers_n; ++i) {
+      sinks.push_back(std::make_unique<telemetry::PipelineTelemetry>(
+          qtaccel::make_run_labels(config, i), &registry, &trace,
+          /*pid=*/1 + i));
+      fleet.engine(i).set_telemetry(sinks.back().get());
+    }
+    pool_observer = std::make_unique<telemetry::PoolTraceObserver>(
+        trace, /*pid=*/100, fleet.pool_workers(threads), "rover fleet pool",
+        &registry);
+    fleet.set_pool_observer(pool_observer.get());
+  }
+
+  fleet.run_samples_each(samples, threads);
+  for (auto& s : sinks) s->flush();
 
   TablePrinter table({"rover", "band", "samples", "episodes",
                       "free cells reaching goal", "samples/cycle"});
@@ -91,5 +119,15 @@ int main(int argc, char** argv) {
 
   device::make_report(device::xcvu13p(), fleet.resources())
       .print(std::cout);
+
+  if (!trace_path.empty()) {
+    if (!trace.write_file(trace_path)) {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 2;
+    }
+    std::cout << "\nwrote trace (" << trace.event_count()
+              << " events) to " << trace_path
+              << " — open in ui.perfetto.dev\n";
+  }
   return 0;
 }

@@ -78,8 +78,16 @@ void ThreadPool::worker_main(unsigned id) {
     lock.unlock();
     std::size_t done_here = 0;
     std::size_t item = 0;
-    while (try_pop(id, item) || try_steal(id, item)) {
+    for (;;) {
+      bool stolen = false;
+      if (!try_pop(id, item)) {
+        if (!try_steal(id, item)) break;
+        stolen = true;
+      }
+      TaskObserver* obs = observer_.load(std::memory_order_acquire);
+      if (obs != nullptr) obs->on_task_start(id, item, stolen);
       (*fn)(item);
+      if (obs != nullptr) obs->on_task_end(id, item);
       ++done_here;
     }
     lock.lock();

@@ -19,6 +19,7 @@
 // deadlock on the batch lock).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +30,29 @@
 #include <vector>
 
 namespace qta {
+
+/// Observation hook for pool activity. Defined here rather than in
+/// src/telemetry so the pool stays at the bottom of the dependency
+/// stack; the telemetry adapter (src/telemetry/pool_observer.h)
+/// implements it to draw one Perfetto track per worker. Methods run on
+/// the executing worker's thread; an implementation shared by several
+/// workers must confine per-worker state to per-worker slots or lock.
+class TaskObserver {
+ public:
+  virtual ~TaskObserver() = default;
+  /// Immediately before fn(item) runs. `stolen` is true when the item
+  /// was taken from a sibling's deque.
+  virtual void on_task_start(unsigned worker, std::size_t item, bool stolen) {
+    (void)worker;
+    (void)item;
+    (void)stolen;
+  }
+  /// Immediately after fn(item) returned.
+  virtual void on_task_end(unsigned worker, std::size_t item) {
+    (void)worker;
+    (void)item;
+  }
+};
 
 /// Resolves a user-facing thread-count request into an actual worker
 /// count. `requested == 0` means "use the hardware", `hardware` is the
@@ -60,6 +84,13 @@ class ThreadPool {
   /// (diagnostic; racy reads are fine after parallel_for returned).
   std::uint64_t steals() const;
 
+  /// Attaches (or detaches, with nullptr) a task observer. Costs one
+  /// relaxed atomic load per item when detached. Only call while no
+  /// batch is in flight; the observer must outlive its attachment.
+  void set_observer(TaskObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -73,6 +104,7 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::vector<std::uint64_t> steal_counts_;  // one slot per worker
+  std::atomic<TaskObserver*> observer_{nullptr};
 
   // Batch state, guarded by mu_.
   std::mutex mu_;

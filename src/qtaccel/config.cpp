@@ -47,6 +47,35 @@ const char* backend_name(Backend backend) {
   return backend == Backend::kFast ? "fast" : "cycle";
 }
 
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kQLearning: return "q_learning";
+    case Algorithm::kSarsa: return "sarsa";
+    case Algorithm::kExpectedSarsa: return "expected_sarsa";
+    case Algorithm::kDoubleQ: return "double_q";
+  }
+  return "unknown";
+}
+
+const char* qmax_name(QmaxMode qmax) {
+  return qmax == QmaxMode::kMonotoneTable ? "monotone" : "exact";
+}
+
+const char* hazard_name(HazardMode hazard) {
+  return hazard == HazardMode::kForward ? "forward" : "stall";
+}
+
+telemetry::RunLabels make_run_labels(const PipelineConfig& config,
+                                     unsigned pipe) {
+  telemetry::RunLabels labels;
+  labels.algorithm = algorithm_name(config.algorithm);
+  labels.qmax = qmax_name(config.qmax);
+  labels.hazard = hazard_name(config.hazard);
+  labels.backend = backend_name(config.backend);
+  labels.pipe = pipe;
+  return labels;
+}
+
 std::uint64_t epsilon_threshold(double epsilon, unsigned bits) {
   QTA_CHECK(epsilon >= 0.0 && epsilon <= 1.0);
   QTA_CHECK(bits >= 1 && bits <= 32);

@@ -12,6 +12,7 @@
 #include "common/types.h"
 #include "env/environment.h"
 #include "fixed/fixed_point.h"
+#include "telemetry/sink.h"  // RunLabels
 
 namespace qta::qtaccel {
 
@@ -64,6 +65,11 @@ Backend parse_backend(const std::string& name);
 /// The CLI spelling of a backend ("cycle" / "fast").
 const char* backend_name(Backend backend);
 
+/// Stable label spellings used by telemetry and report output.
+const char* algorithm_name(Algorithm algorithm);  // "q_learning", ...
+const char* qmax_name(QmaxMode qmax);             // "monotone" / "exact"
+const char* hazard_name(HazardMode hazard);       // "forward" / "stall"
+
 struct PipelineConfig {
   Algorithm algorithm = Algorithm::kQLearning;
   HazardMode hazard = HazardMode::kForward;
@@ -90,6 +96,13 @@ struct PipelineConfig {
   /// The truncating transition is treated as terminal (future value 0).
   std::uint64_t max_episode_length = 1u << 20;
 };
+
+/// The telemetry identity of a run with this config: label strings for
+/// per-(algorithm, qmax, hazard) roll-ups. `pipe` distinguishes agents
+/// in multi-pipeline setups. Defined in config.cpp (host-side; the
+/// datapath never calls this).
+telemetry::RunLabels make_run_labels(const PipelineConfig& config,
+                                     unsigned pipe = 0);
 
 /// Address bit layout for the Q/reward tables: {state, action}
 /// bit-concatenated, exactly as the paper addresses BRAM.

@@ -165,8 +165,9 @@ void FastEngine::exact_row_max(const std::vector<fixed::raw_t>& table,
   }
 }
 
-template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+template <Algorithm kAlgo, bool kMono, bool kCountFwd, bool kTel>
 void FastEngine::step_one_t() {
+  const std::uint64_t iter = stats_.iterations;  // 0-based event index
   ++stats_.iterations;
   ++stats_.issued;
 
@@ -185,6 +186,12 @@ void FastEngine::step_one_t() {
         tr.bubble = true;
         tr.state = state_;
         trace_->push_back(tr);
+      }
+      if constexpr (kTel) {
+        telemetry::StepEvent ev;
+        ev.iteration = iter;
+        ev.bubble = true;
+        telemetry_->on_step(ev);
       }
       return;
     }
@@ -239,6 +246,12 @@ void FastEngine::step_one_t() {
   // counter (kCountFwd) never fires; the queue-address matches below
   // still do, because WritebackQueue entries are matched by address
   // equality and are never retired from the registers.
+
+  // Telemetry deltas: fwd_qmax can bump in the stage-2 block below, the
+  // saturation counters in the stage-3 arithmetic.
+  const std::uint64_t tel_fwd_qmax_before = stats_.fwd_qmax;
+  const std::uint64_t tel_sat_before =
+      stats_.adder_saturations + dsp_saturations_;
 
   // --- update-policy action and Q(S', A') (stage 2) ---
   fixed::raw_t q_next = 0;
@@ -299,9 +312,15 @@ void FastEngine::step_one_t() {
 
   // --- stage-3 forwarding-hit reconstruction ---
   const std::uint64_t tagged_sa = map_.tagged_addr(table, s, a);
-  if (wb_hit(tagged_sa)) ++stats_.fwd_q_sa;
+  std::uint8_t tel_sa_dist = 0;
+  std::uint8_t tel_next_dist = 0;
+  if (wb_hit(tagged_sa)) {
+    ++stats_.fwd_q_sa;
+    if constexpr (kTel) tel_sa_dist = ring_distance(tagged_sa);
+  }
   if (fwd_next_addr != kNoAddr && wb_hit(fwd_next_addr)) {
     ++stats_.fwd_q_next;
+    if constexpr (kTel) tel_next_dist = ring_distance(fwd_next_addr);
   }
 
   // --- the three DSP products and the saturating adder tree (stage 3) ---
@@ -358,6 +377,19 @@ void FastEngine::step_one_t() {
     trace_->push_back(tr);
   }
 
+  if constexpr (kTel) {
+    telemetry::StepEvent ev;
+    ev.iteration = iter;
+    ev.episode_end = end;
+    ev.fwd_sa_distance = tel_sa_dist;
+    ev.fwd_next_distance = tel_next_dist;
+    ev.fwd_qmax = stats_.fwd_qmax != tel_fwd_qmax_before;
+    ev.saturations = static_cast<std::uint8_t>(
+        stats_.adder_saturations + dsp_saturations_ - tel_sat_before);
+    ev.qmax_raised = raised;
+    telemetry_->on_step(ev);
+  }
+
   if (end) {
     ++stats_.episodes;
     episode_start_ = true;
@@ -367,17 +399,27 @@ void FastEngine::step_one_t() {
   }
 }
 
-template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+template <Algorithm kAlgo, bool kMono, bool kCountFwd, bool kTel>
 void FastEngine::run_steps(std::uint64_t iterations,
                            std::uint64_t sample_target) {
   if (sample_target != 0) {
     while (stats_.samples < sample_target) {
-      step_one_t<kAlgo, kMono, kCountFwd>();
+      step_one_t<kAlgo, kMono, kCountFwd, kTel>();
     }
   } else {
     for (std::uint64_t i = 0; i < iterations; ++i) {
-      step_one_t<kAlgo, kMono, kCountFwd>();
+      step_one_t<kAlgo, kMono, kCountFwd, kTel>();
     }
+  }
+}
+
+template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+void FastEngine::run_steps_any(std::uint64_t iterations,
+                               std::uint64_t sample_target) {
+  if (telemetry_ != nullptr) {
+    run_steps<kAlgo, kMono, kCountFwd, true>(iterations, sample_target);
+  } else {
+    run_steps<kAlgo, kMono, kCountFwd, false>(iterations, sample_target);
   }
 }
 
@@ -386,11 +428,11 @@ void FastEngine::run_algo(std::uint64_t iterations,
                           std::uint64_t sample_target) {
   const bool mono = config_.qmax == QmaxMode::kMonotoneTable;
   if (mono && config_.hazard == HazardMode::kForward) {
-    run_steps<kAlgo, true, true>(iterations, sample_target);
+    run_steps_any<kAlgo, true, true>(iterations, sample_target);
   } else if (mono) {
-    run_steps<kAlgo, true, false>(iterations, sample_target);
+    run_steps_any<kAlgo, true, false>(iterations, sample_target);
   } else {
-    run_steps<kAlgo, false, false>(iterations, sample_target);
+    run_steps_any<kAlgo, false, false>(iterations, sample_target);
   }
 }
 
@@ -421,15 +463,21 @@ void FastEngine::run_iterations(std::uint64_t n) {
   // registers that never age out.)
   raise_ring_ = {};
   run_steps_dispatch(n, 0);
+  telemetry::RunEvent run;
+  run.issue_cycles = n;
   if (config_.hazard == HazardMode::kForward) {
     // n issue ticks, then the 3-cycle drain of stages 2..4.
     stats_.cycles += n + 3;
+    run.drain_cycles = 3;
   } else {
     // One issue per 4 cycles; the final iteration's trailing cycles are
     // drain ticks, which do not count as stalls.
     stats_.cycles += 4 * n;
     stats_.stall_cycles += 3 * (n - 1);
+    run.stall_cycles = 3 * (n - 1);
+    run.drain_cycles = 3;  // 4n == n issue + 3(n-1) stall + 3 drain
   }
+  if (telemetry_ != nullptr) telemetry_->on_run(run);
 }
 
 void FastEngine::run_samples(std::uint64_t n) {
@@ -437,19 +485,25 @@ void FastEngine::run_samples(std::uint64_t n) {
   raise_ring_ = {};  // fresh call: the prior drain committed all raises
   const std::uint64_t iterations_before = stats_.iterations;
   run_steps_dispatch(0, n);
+  telemetry::RunEvent run;
   if (config_.hazard == HazardMode::kForward) {
     // The pipeline keeps issuing while the n-th sample drains toward
     // stage 4, so exactly 3 extra iterations are in flight when the loop
     // exits; they retire during the drain.
     run_steps_dispatch(3, 0);
-    stats_.cycles += (stats_.iterations - iterations_before) + 3;
+    run.issue_cycles = stats_.iterations - iterations_before;
+    run.drain_cycles = 3;
+    stats_.cycles += run.issue_cycles + 3;
   } else {
     // Stall mode retires before the next issue: no overshoot, and the
     // run ends exactly as the n-th sample commits.
     const std::uint64_t k = stats_.iterations - iterations_before;
     stats_.cycles += 4 * k;
     stats_.stall_cycles += 3 * k;
+    run.issue_cycles = k;
+    run.stall_cycles = 3 * k;
   }
+  if (telemetry_ != nullptr) telemetry_->on_run(run);
 }
 
 Engine::Engine(const env::Environment& env, const PipelineConfig& config)
@@ -475,6 +529,10 @@ const PipelineStats& Engine::stats() const {
 
 void Engine::set_trace(std::vector<SampleTrace>* trace) {
   fast_ ? fast_->set_trace(trace) : pipe_->set_trace(trace);
+}
+
+void Engine::set_telemetry(telemetry::TelemetrySink* sink) {
+  fast_ ? fast_->set_telemetry(sink) : pipe_->set_telemetry(sink);
 }
 
 fixed::raw_t Engine::q_raw(StateId s, ActionId a) const {

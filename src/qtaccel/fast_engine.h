@@ -63,6 +63,13 @@ class FastEngine {
   const PipelineStats& stats() const { return stats_; }
   void set_trace(std::vector<SampleTrace>* trace) { trace_ = trace; }
 
+  /// Attaches a telemetry sink (telemetry/sink.h): one StepEvent per
+  /// replayed iteration plus one RunEvent per run_* call with the
+  /// analytic cycle attribution. Zero-cost when detached — the step
+  /// loop takes the sink presence as a template parameter, so the
+  /// telemetry branches compile out of the hot path entirely.
+  void set_telemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
+
   fixed::raw_t q_raw(StateId s, ActionId a) const;
   double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
   /// Double Q-Learning's second table (aborts for other algorithms).
@@ -91,12 +98,16 @@ class FastEngine {
   // run_steps loop, which lets the optimizer keep the walk and LFSR state
   // in registers across iterations instead of spilling around an opaque
   // per-sample call.
-  template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+  template <Algorithm kAlgo, bool kMono, bool kCountFwd, bool kTel>
   void step_one_t();
   /// Runs `iterations` steps when `sample_target` == 0, otherwise steps
-  /// until stats_.samples reaches `sample_target`.
-  template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+  /// until stats_.samples reaches `sample_target`. kTel compiles the
+  /// telemetry emission in or out of the loop body.
+  template <Algorithm kAlgo, bool kMono, bool kCountFwd, bool kTel>
   void run_steps(std::uint64_t iterations, std::uint64_t sample_target);
+  /// Resolves kTel from telemetry_ at run time, once per run_* call.
+  template <Algorithm kAlgo, bool kMono, bool kCountFwd>
+  void run_steps_any(std::uint64_t iterations, std::uint64_t sample_target);
   template <Algorithm kAlgo>
   void run_algo(std::uint64_t iterations, std::uint64_t sample_target);
   void run_steps_dispatch(std::uint64_t iterations,
@@ -152,6 +163,14 @@ class FastEngine {
     return tagged == wb_ring_[0] || tagged == wb_ring_[1] ||
            tagged == wb_ring_[2];
   }
+  // Telemetry-only: queue position (1 = newest) the hit would have been
+  // served from — the same distance the cycle backend reports.
+  std::uint8_t ring_distance(std::uint64_t tagged) const {
+    if (tagged == wb_ring_[0]) return 1;
+    if (tagged == wb_ring_[1]) return 2;
+    if (tagged == wb_ring_[2]) return 3;
+    return 0;
+  }
   // Qmax raises of the two preceding iterations: at stage 2 of iteration
   // i the Qmax BRAM has committed raises through iteration i-3, so the
   // forwarding network is what surfaces raises from i-1 and i-2 (older
@@ -169,6 +188,7 @@ class FastEngine {
   PipelineStats stats_;
   std::uint64_t dsp_saturations_ = 0;
   std::vector<SampleTrace>* trace_ = nullptr;
+  telemetry::TelemetrySink* telemetry_ = nullptr;
 };
 
 /// Backend selector: one construction surface over the cycle-accurate
@@ -186,6 +206,8 @@ class Engine {
 
   const PipelineStats& stats() const;
   void set_trace(std::vector<SampleTrace>* trace);
+  /// Forwards to the active backend's set_telemetry.
+  void set_telemetry(telemetry::TelemetrySink* sink);
 
   fixed::raw_t q_raw(StateId s, ActionId a) const;
   double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)

@@ -97,6 +97,12 @@ IndependentPipelines::IndependentPipelines(
   }
 }
 
+unsigned IndependentPipelines::pool_workers(unsigned max_threads) const {
+  return resolve_thread_count(max_threads,
+                              std::thread::hardware_concurrency(),
+                              engines_.size());
+}
+
 void IndependentPipelines::run_samples_each(std::uint64_t samples,
                                             unsigned max_threads,
                                             Schedule schedule) {
@@ -123,6 +129,7 @@ void IndependentPipelines::run_samples_each(std::uint64_t samples,
   }
   if (!pool_ || pool_->size() != threads) {
     pool_ = std::make_unique<ThreadPool>(threads);
+    pool_->set_observer(pool_observer_);
   }
   pool_->parallel_for(engines_.size(), [this, samples](std::size_t i) {
     engines_[i]->run_samples(samples);

@@ -46,6 +46,12 @@ class SharedTablePipelines {
   const Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
   Cycle cycles() const { return cycles_; }
 
+  /// Attaches a telemetry sink to pipeline `i` (nullptr detaches). The
+  /// lockstep tick then emits one CycleEvent per pipeline per cycle.
+  void set_telemetry(unsigned i, telemetry::TelemetrySink* sink) {
+    pipes_[i]->set_telemetry(sink);
+  }
+
   /// Combined retired samples across pipelines.
   std::uint64_t total_samples() const;
   /// Same-cycle same-address write collisions on the shared Q table.
@@ -126,11 +132,23 @@ class IndependentPipelines {
   /// work-stealing run happened; diagnostic for the bench).
   std::uint64_t pool_steals() const { return pool_ ? pool_->steals() : 0; }
 
+  /// Observer attached to the persistent pool's next work-stealing run
+  /// (see telemetry/pool_observer.h; nullptr detaches). Stored here
+  /// because the pool is built lazily; applied at run_samples_each time.
+  void set_pool_observer(TaskObserver* observer) {
+    pool_observer_ = observer;
+    if (pool_) pool_->set_observer(observer);
+  }
+  /// Workers the work-stealing schedule would use for `max_threads`
+  /// (callers size PoolTraceObserver tracks with this).
+  unsigned pool_workers(unsigned max_threads = 0) const;
+
  private:
   std::vector<std::unique_ptr<env::Environment>> envs_;
   PipelineConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::unique_ptr<ThreadPool> pool_;  // lazily built, reused across calls
+  TaskObserver* pool_observer_ = nullptr;
 };
 
 }  // namespace qta::qtaccel

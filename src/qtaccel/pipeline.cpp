@@ -1,5 +1,6 @@
 #include "qtaccel/pipeline.h"
 
+#include <cstdio>
 #include <ostream>
 
 #include "common/check.h"
@@ -11,6 +12,15 @@ namespace {
 constexpr const char* kDspR = "stage3: alpha * R";
 constexpr const char* kDspOld = "stage3: (1-alpha) * Q(S,A)";
 constexpr const char* kDspNext = "stage3: (alpha*gamma) * Q(S',A')";
+
+// Position (1 = newest) of the queue entry that serviced a known-hit
+// address — telemetry-only re-probe, never consulted by the datapath.
+std::uint8_t fwd_distance(const WritebackQueue& wbq, std::uint64_t addr) {
+  for (unsigned w = 1; w <= WritebackQueue::kDepth; ++w) {
+    if (wbq.match_q(addr, w)) return static_cast<std::uint8_t>(w);
+  }
+  return 0;
+}
 }  // namespace
 
 Pipeline::Pipeline(const env::Environment& env, const PipelineConfig& config)
@@ -215,7 +225,7 @@ void Pipeline::do_stage4() {
   if (config_.qmax == QmaxMode::kMonotoneTable &&
       config_.algorithm != Algorithm::kExpectedSarsa &&
       config_.algorithm != Algorithm::kDoubleQ) {
-    qmax_->raise(wr_port_, in.s, in.a, in.new_q);
+    tel_.qmax_raised = qmax_->raise(wr_port_, in.s, in.a, in.new_q);
   }
   ++stats_.samples;
   if (in.end) ++stats_.episodes;
@@ -251,6 +261,7 @@ void Pipeline::do_stage3() {
   if (const auto fwd = wbq_.match_q(sa_addr)) {
     q_old = *fwd;
     ++stats_.fwd_q_sa;
+    if (telemetry_) tel_.fwd_sa_distance = fwd_distance(wbq_, sa_addr);
   }
 
   // Q(S',A'): the greedy/Qmax/expectation paths were resolved in stage 2;
@@ -264,6 +275,9 @@ void Pipeline::do_stage3() {
       if (const auto fwd = wbq_.match_q(in.q_next_fwd_addr)) {
         q_next = *fwd;
         ++stats_.fwd_q_next;
+        if (telemetry_) {
+          tel_.fwd_next_distance = fwd_distance(wbq_, in.q_next_fwd_addr);
+        }
       }
     } else {
       q_next = in.q_next;
@@ -477,12 +491,23 @@ bool Pipeline::tick(bool allow_issue) {
   // in stage 2 did not end its episode.
   const bool will_issue = issue;
 
+  // Telemetry derives per-cycle activity from counter deltas around the
+  // stage evaluation; everything below is observation-only.
+  PipelineStats before{};
+  std::uint64_t dsp_before = 0;
+  if (telemetry_) {
+    before = stats_;
+    dsp_before = dsp_saturations();
+    tel_ = {};
+  }
+
   // ---- evaluate, oldest stage first ----
   do_stage4();
   do_stage3();
   do_stage2(will_issue);
   if (issue) do_stage1();
 
+  if (telemetry_) emit_cycle_event(allow_issue, issue, before, dsp_before);
   if (waveform_) emit_waveform_line();
 
   // ---- clock edge ----
@@ -494,24 +519,66 @@ bool Pipeline::tick(bool allow_issue) {
   return issue;
 }
 
-void Pipeline::emit_waveform_line() const {
-  std::ostream& os = *waveform_;
-  os << '[';
-  os.width(6);
-  os << stats_.cycles << "] ";
-  auto cell = [&os](const char* name, bool valid, bool bubble, StateId s,
-                    ActionId a) {
-    os << name << ' ';
+void Pipeline::emit_cycle_event(bool allow_issue, bool issued,
+                                const PipelineStats& before,
+                                std::uint64_t dsp_before) {
+  telemetry::CycleEvent e;
+  e.cycle = stats_.cycles;
+  e.fwd_q_sa = static_cast<std::uint8_t>(stats_.fwd_q_sa - before.fwd_q_sa);
+  e.fwd_q_next =
+      static_cast<std::uint8_t>(stats_.fwd_q_next - before.fwd_q_next);
+  e.fwd_qmax = static_cast<std::uint8_t>(stats_.fwd_qmax - before.fwd_qmax);
+  const bool forwarded =
+      e.fwd_q_sa != 0 || e.fwd_q_next != 0 || e.fwd_qmax != 0;
+  e.cls = !allow_issue ? telemetry::CycleClass::kDrain
+          : !issued    ? telemetry::CycleClass::kStall
+          : forwarded  ? telemetry::CycleClass::kForwardServiced
+                       : telemetry::CycleClass::kIssue;
+  e.fwd_sa_distance = tel_.fwd_sa_distance;
+  e.fwd_next_distance = tel_.fwd_next_distance;
+  e.adder_saturations = static_cast<std::uint8_t>(
+      (stats_.adder_saturations - before.adder_saturations) +
+      (dsp_saturations() - dsp_before));
+  // Stage occupancy mirrors the waveform: S1/S2/S3 are this cycle's
+  // evaluated latches; RET is the iteration stage 4 just consumed.
+  const auto mark = [&e](bool valid, bool bubble, std::uint8_t bit) {
+    if (!valid) return;
+    e.stage_valid |= bit;
+    if (bubble) e.stage_bubble |= bit;
+  };
+  mark(s1_next_.valid, s1_next_.bubble, telemetry::kStageS1);
+  mark(s2_next_.valid, s2_next_.bubble, telemetry::kStageS2);
+  mark(s3_next_.valid, s3_next_.bubble, telemetry::kStageS3);
+  mark(s3_.valid, s3_.bubble, telemetry::kStageRet);
+  e.sample_retired = stats_.samples != before.samples;
+  e.episode_end = stats_.episodes != before.episodes;
+  e.qmax_raised = tel_.qmax_raised;
+  telemetry_->on_cycle(e);
+}
+
+void Pipeline::emit_waveform_line() {
+  // Formats into a line buffer reused across cycles — one ostream write
+  // per line instead of a dozen formatted inserts.
+  std::string& line = waveform_line_;
+  line.clear();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%6llu] ",
+                static_cast<unsigned long long>(stats_.cycles));
+  line += buf;
+  const auto cell = [&line, &buf](const char* name, bool valid, bool bubble,
+                                  StateId s, ActionId a) {
+    line += name;
+    line += ' ';
     if (!valid) {
-      os << "--          ";
+      line += "--          ";
     } else if (bubble) {
-      os << "bubble      ";
+      line += "bubble      ";
     } else {
-      os << "s=";
-      os.width(4);
-      os << s << " a=" << a << "  ";
+      std::snprintf(buf, sizeof(buf), "s=%4u a=%u  ",
+                    static_cast<unsigned>(s), static_cast<unsigned>(a));
+      line += buf;
     }
-    os << "| ";
+    line += "| ";
   };
   // Stage outputs evaluated this cycle: S1/S2/S3 are the *_next latches;
   // the retiring iteration was consumed from s3_ by stage 4.
@@ -519,7 +586,9 @@ void Pipeline::emit_waveform_line() const {
   cell("S2", s2_next_.valid, s2_next_.bubble, s2_next_.s, s2_next_.a);
   cell("S3", s3_next_.valid, s3_next_.bubble, s3_next_.s, s3_next_.a);
   cell("RET", s3_.valid, s3_.bubble, s3_.s, s3_.a);
-  os << '\n';
+  line += '\n';
+  waveform_->write(line.data(),
+                   static_cast<std::streamsize>(line.size()));
 }
 
 void Pipeline::run_iterations(std::uint64_t n) {

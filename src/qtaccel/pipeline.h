@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -36,6 +37,7 @@
 #include "qtaccel/forwarding.h"
 #include "qtaccel/golden_model.h"  // SampleTrace, RunCounters
 #include "qtaccel/qmax_unit.h"
+#include "telemetry/sink.h"  // the one allowed telemetry include (qtlint)
 
 namespace qta::qtaccel {
 
@@ -92,6 +94,13 @@ class Pipeline {
   /// Pass nullptr to stop tracing. Intended for debugging and docs; it is
   /// formatted per tick, so keep runs short while enabled.
   void set_waveform(std::ostream* os) { waveform_ = os; }
+
+  /// Attaches a telemetry sink (telemetry/sink.h); one CycleEvent is
+  /// emitted per tick. Pass nullptr to detach. Observation-only: the
+  /// sink never feeds the datapath, so the retired trace and final
+  /// tables are bit-identical with or without one attached. Costs a
+  /// null check per tick when detached.
+  void set_telemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
 
   fixed::raw_t q_raw(StateId s, ActionId a) const;
   double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
@@ -202,11 +211,25 @@ class Pipeline {
   ActionId forwarded_action_ = kInvalidAction;  // SARSA stage2 -> stage1
   Cycle last_issue_cycle_ = 0;  // stall-mode spacing
 
-  void emit_waveform_line() const;
+  void emit_waveform_line();
+  void emit_cycle_event(bool allow_issue, bool issued,
+                        const PipelineStats& before, std::uint64_t dsp_before);
 
   PipelineStats stats_;
   std::vector<SampleTrace>* trace_ = nullptr;
   std::ostream* waveform_ = nullptr;
+  std::string waveform_line_;  // reused per cycle to avoid realloc churn
+
+  // Per-cycle telemetry scratch, reset at the top of each tick while a
+  // sink is attached; stage handlers deposit facts the flat stats_
+  // counters cannot express (distances, the Qmax raise outcome).
+  struct TelScratch {
+    std::uint8_t fwd_sa_distance = 0;
+    std::uint8_t fwd_next_distance = 0;
+    bool qmax_raised = false;
+  };
+  TelScratch tel_;
+  telemetry::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace qta::qtaccel

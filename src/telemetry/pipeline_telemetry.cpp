@@ -1,0 +1,252 @@
+#include "telemetry/pipeline_telemetry.h"
+
+#include <utility>
+
+namespace qta::telemetry {
+
+namespace {
+
+constexpr const char* kStageTrackNames[4] = {"S1 issue", "S2 action",
+                                             "S3 dsp", "S4 retire"};
+constexpr std::uint32_t kAttributionTid = 0;
+constexpr std::uint32_t kStageTidBase = 1;  // stage s lives on tid s+1
+constexpr std::uint32_t kEpisodeTid = 1;    // fast backend episode track
+
+Labels base_labels(const RunLabels& labels) {
+  return Labels{{"algo", labels.algorithm},
+                {"qmax", labels.qmax},
+                {"hazard", labels.hazard},
+                {"backend", labels.backend},
+                {"pipe", std::to_string(labels.pipe)}};
+}
+
+Labels with_label(Labels labels, const std::string& key,
+                  const std::string& value) {
+  labels.emplace_back(key, value);
+  return labels;
+}
+
+}  // namespace
+
+PipelineTelemetry::PipelineTelemetry(RunLabels labels,
+                                     MetricsRegistry* metrics,
+                                     TraceSession* trace, std::uint32_t pid)
+    : labels_(std::move(labels)), metrics_(metrics), trace_(trace), pid_(pid) {
+  if (metrics_ != nullptr) {
+    const Labels base = base_labels(labels_);
+    for (unsigned c = 0; c < 4; ++c) {
+      cycles_by_class_[c] = &metrics_->counter(
+          "qta_cycles_total",
+          with_label(base, "class",
+                     cycle_class_name(static_cast<CycleClass>(c))),
+          "Pipeline cycles by attribution class");
+    }
+    samples_ = &metrics_->counter("qta_samples_total", base,
+                                  "Q-table updates retired");
+    episodes_ =
+        &metrics_->counter("qta_episodes_total", base, "Episodes completed");
+    fwd_hits_q_sa_ =
+        &metrics_->counter("qta_fwd_hits_total",
+                           with_label(base, "path", "q_sa"),
+                           "Reads served by the forwarding network");
+    fwd_hits_q_next_ = &metrics_->counter(
+        "qta_fwd_hits_total", with_label(base, "path", "q_next"),
+        "Reads served by the forwarding network");
+    fwd_hits_qmax_ = &metrics_->counter(
+        "qta_fwd_hits_total", with_label(base, "path", "qmax"),
+        "Reads served by the forwarding network");
+    qmax_raises_ = &metrics_->counter("qta_qmax_raises_total", base,
+                                      "Stage-4 Qmax register raises");
+    saturations_ = &metrics_->counter("qta_adder_saturations_total", base,
+                                      "Saturating-arithmetic clips");
+    fwd_distance_q_sa_ = &metrics_->histogram(
+        "qta_fwd_distance", with_label(base, "path", "q_sa"),
+        "Forwarding-queue distance of served reads (1 = newest)");
+    fwd_distance_q_next_ = &metrics_->histogram(
+        "qta_fwd_distance", with_label(base, "path", "q_next"),
+        "Forwarding-queue distance of served reads (1 = newest)");
+    stall_burst_ = &metrics_->histogram(
+        "qta_stall_burst_cycles", base,
+        "Lengths of consecutive-stall bursts (HazardMode::kStall)");
+    episode_length_ = &metrics_->histogram(
+        "qta_episode_length_samples", base, "Samples retired per episode");
+  }
+  if (trace_ != nullptr) {
+    trace_->set_process_name(pid_, "pipe " + std::to_string(labels_.pipe) +
+                                       " " + labels_.algorithm + "/" +
+                                       labels_.backend);
+    if (labels_.backend == "fast") {
+      trace_->set_thread_name(pid_, kEpisodeTid, "episodes");
+    } else {
+      trace_->set_thread_name(pid_, kAttributionTid, "attribution");
+      for (unsigned s = 0; s < kNumStages; ++s) {
+        trace_->set_thread_name(pid_, kStageTidBase + s, kStageTrackNames[s]);
+      }
+    }
+  }
+}
+
+PipelineTelemetry::~PipelineTelemetry() { flush(); }
+
+void PipelineTelemetry::close_stage_span(unsigned stage_index,
+                                         std::uint64_t end) {
+  if (!stage_open_[stage_index]) return;
+  stage_open_[stage_index] = false;
+  if (end > stage_start_[stage_index]) {
+    trace_->complete_event(pid_, kStageTidBase + stage_index, "busy",
+                           stage_start_[stage_index],
+                           end - stage_start_[stage_index]);
+  }
+}
+
+void PipelineTelemetry::close_class_span(std::uint64_t end) {
+  if (!class_open_) return;
+  class_open_ = false;
+  if (end > class_start_) {
+    trace_->complete_event(pid_, kAttributionTid,
+                           cycle_class_name(open_class_), class_start_,
+                           end - class_start_);
+  }
+}
+
+void PipelineTelemetry::close_episode_span(std::uint64_t end) {
+  if (!episode_open_) return;
+  episode_open_ = false;
+  if (end > episode_start_) {
+    trace_->complete_event(pid_, kEpisodeTid, "episode", episode_start_,
+                           end - episode_start_);
+  }
+}
+
+void PipelineTelemetry::on_cycle(const CycleEvent& event) {
+  cycle_end_ = event.cycle + 1;
+  if (metrics_ != nullptr) {
+    cycles_by_class_[static_cast<unsigned>(event.cls)]->inc();
+    if (event.fwd_q_sa != 0) {
+      fwd_hits_q_sa_->inc(event.fwd_q_sa);
+      if (event.fwd_sa_distance != 0) {
+        fwd_distance_q_sa_->observe(event.fwd_sa_distance);
+      }
+    }
+    if (event.fwd_q_next != 0) {
+      fwd_hits_q_next_->inc(event.fwd_q_next);
+      if (event.fwd_next_distance != 0) {
+        fwd_distance_q_next_->observe(event.fwd_next_distance);
+      }
+    }
+    if (event.fwd_qmax != 0) fwd_hits_qmax_->inc(event.fwd_qmax);
+    if (event.adder_saturations != 0) saturations_->inc(event.adder_saturations);
+    if (event.sample_retired) samples_->inc();
+    if (event.qmax_raised) qmax_raises_->inc();
+  }
+  if (event.sample_retired) ++episode_samples_;
+  if (event.episode_end) {
+    if (metrics_ != nullptr) {
+      episodes_->inc();
+      episode_length_->observe(episode_samples_);
+    }
+    episode_samples_ = 0;
+  }
+  if (event.cls == CycleClass::kStall) {
+    ++stall_run_;
+  } else if (stall_run_ != 0) {
+    if (metrics_ != nullptr) stall_burst_->observe(stall_run_);
+    stall_run_ = 0;
+  }
+  if (trace_ != nullptr) {
+    if (class_open_ && open_class_ != event.cls) close_class_span(event.cycle);
+    if (!class_open_) {
+      class_open_ = true;
+      open_class_ = event.cls;
+      class_start_ = event.cycle;
+    }
+    for (unsigned s = 0; s < kNumStages; ++s) {
+      const bool busy = (event.stage_valid & (1u << s)) != 0 &&
+                        (event.stage_bubble & (1u << s)) == 0;
+      if (busy && !stage_open_[s]) {
+        stage_open_[s] = true;
+        stage_start_[s] = event.cycle;
+      } else if (!busy) {
+        close_stage_span(s, event.cycle);
+      }
+    }
+    if (event.adder_saturations != 0) {
+      trace_->instant_event(pid_, kStageTidBase + 2, "saturation",
+                            event.cycle);
+    }
+    if (event.episode_end) {
+      trace_->instant_event(pid_, kStageTidBase + 3, "episode_end",
+                            event.cycle);
+    }
+  }
+}
+
+void PipelineTelemetry::on_step(const StepEvent& event) {
+  step_end_ = event.iteration + 1;
+  const bool forwarded = event.fwd_sa_distance != 0 ||
+                         event.fwd_next_distance != 0 || event.fwd_qmax;
+  if (metrics_ != nullptr) {
+    cycles_by_class_[static_cast<unsigned>(
+                         forwarded ? CycleClass::kForwardServiced
+                                   : CycleClass::kIssue)]
+        ->inc();
+    if (event.fwd_sa_distance != 0) {
+      fwd_hits_q_sa_->inc();
+      fwd_distance_q_sa_->observe(event.fwd_sa_distance);
+    }
+    if (event.fwd_next_distance != 0) {
+      fwd_hits_q_next_->inc();
+      fwd_distance_q_next_->observe(event.fwd_next_distance);
+    }
+    if (event.fwd_qmax) fwd_hits_qmax_->inc();
+    if (event.saturations != 0) saturations_->inc(event.saturations);
+    if (!event.bubble) samples_->inc();
+    if (event.qmax_raised) qmax_raises_->inc();
+  }
+  if (!event.bubble) ++episode_samples_;
+  if (trace_ != nullptr && !episode_open_) {
+    episode_open_ = true;
+    episode_start_ = event.iteration;
+  }
+  if (trace_ != nullptr && event.saturations != 0) {
+    trace_->instant_event(pid_, kEpisodeTid, "saturation", event.iteration);
+  }
+  if (event.episode_end) {
+    if (metrics_ != nullptr) {
+      episodes_->inc();
+      episode_length_->observe(episode_samples_);
+    }
+    episode_samples_ = 0;
+    if (trace_ != nullptr) close_episode_span(event.iteration + 1);
+  }
+}
+
+void PipelineTelemetry::on_run(const RunEvent& event) {
+  // Issue/forward-serviced cycles were already attributed one per
+  // on_step; the analytic roll-up contributes only the cycles the fast
+  // backend never replays individually.
+  if (metrics_ != nullptr) {
+    if (event.stall_cycles != 0) {
+      cycles_by_class_[static_cast<unsigned>(CycleClass::kStall)]->inc(
+          event.stall_cycles);
+    }
+    if (event.drain_cycles != 0) {
+      cycles_by_class_[static_cast<unsigned>(CycleClass::kDrain)]->inc(
+          event.drain_cycles);
+    }
+  }
+}
+
+void PipelineTelemetry::flush() {
+  if (stall_run_ != 0) {
+    if (metrics_ != nullptr) stall_burst_->observe(stall_run_);
+    stall_run_ = 0;
+  }
+  if (trace_ != nullptr) {
+    close_class_span(cycle_end_);
+    for (unsigned s = 0; s < kNumStages; ++s) close_stage_span(s, cycle_end_);
+    close_episode_span(step_end_);
+  }
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,93 @@
+// PipelineTelemetry: the standard TelemetrySink implementation. It
+// aggregates the raw per-cycle / per-step event stream from either
+// backend into (a) MetricsRegistry instruments labelled with the run's
+// (algorithm, qmax, hazard, backend, pipe) identity and (b) Perfetto
+// tracks in a TraceSession.
+//
+// Trace layout per instrumented engine (one process = one pid):
+//   tid 0 "attribution"  — cycle-class spans (issue / forward_serviced /
+//                          stall / drain), cycle domain (1 cycle = 1 us)
+//   tid 1..4 stage tracks — S1/S2/S3/RET occupancy spans ("busy" while a
+//                          real iteration sits in the stage);
+//                          saturation instants land on S3, episode-end
+//                          and qmax-raise-related instants on RET
+//   fast backend instead — tid 1 "episodes": one span per episode in
+//                          the iteration domain, saturation instants
+//
+// Attach one PipelineTelemetry per engine. Different engines may share
+// one MetricsRegistry / TraceSession (both are thread-safe); the
+// per-sink aggregation state itself is single-threaded like the engine
+// that feeds it. Call flush() (or destroy the sink) before snapshotting
+// the trace so trailing open spans are closed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/sink.h"
+#include "telemetry/trace.h"
+
+namespace qta::telemetry {
+
+class PipelineTelemetry : public TelemetrySink {
+ public:
+  /// `metrics` and/or `trace` may be null to aggregate only one way.
+  /// `pid` is the trace process id this engine's tracks live under.
+  PipelineTelemetry(RunLabels labels, MetricsRegistry* metrics,
+                    TraceSession* trace, std::uint32_t pid = 1);
+  ~PipelineTelemetry() override;
+
+  void on_cycle(const CycleEvent& event) override;
+  void on_step(const StepEvent& event) override;
+  void on_run(const RunEvent& event) override;
+
+  /// Closes open trace spans and the in-progress stall burst. Idempotent;
+  /// events arriving after a flush simply open fresh spans.
+  void flush();
+
+  const RunLabels& labels() const { return labels_; }
+
+ private:
+  void close_stage_span(unsigned stage_index, std::uint64_t end);
+  void close_class_span(std::uint64_t end);
+  void close_episode_span(std::uint64_t end);
+
+  RunLabels labels_;
+  MetricsRegistry* metrics_;
+  TraceSession* trace_;
+  std::uint32_t pid_;
+
+  // Cached instrument handles (null when metrics_ is null).
+  Counter* cycles_by_class_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* samples_ = nullptr;
+  Counter* episodes_ = nullptr;
+  Counter* fwd_hits_q_sa_ = nullptr;
+  Counter* fwd_hits_q_next_ = nullptr;
+  Counter* fwd_hits_qmax_ = nullptr;
+  Counter* qmax_raises_ = nullptr;
+  Counter* saturations_ = nullptr;
+  Histogram* fwd_distance_q_sa_ = nullptr;
+  Histogram* fwd_distance_q_next_ = nullptr;
+  Histogram* stall_burst_ = nullptr;
+  Histogram* episode_length_ = nullptr;
+
+  // Cycle-domain trace state (cycle backend).
+  bool stage_open_[4] = {false, false, false, false};
+  std::uint64_t stage_start_[4] = {0, 0, 0, 0};
+  bool class_open_ = false;
+  CycleClass open_class_ = CycleClass::kDrain;
+  std::uint64_t class_start_ = 0;
+  std::uint64_t cycle_end_ = 0;  // one past the last cycle seen
+
+  // Iteration-domain trace state (fast backend).
+  bool episode_open_ = false;
+  std::uint64_t episode_start_ = 0;
+  std::uint64_t step_end_ = 0;  // one past the last iteration seen
+
+  // Aggregation state shared by both domains.
+  std::uint64_t stall_run_ = 0;       // current consecutive-stall burst
+  std::uint64_t episode_samples_ = 0;  // samples retired this episode
+};
+
+}  // namespace qta::telemetry

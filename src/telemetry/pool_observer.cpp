@@ -1,0 +1,55 @@
+#include "telemetry/pool_observer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qta::telemetry {
+
+PoolTraceObserver::PoolTraceObserver(TraceSession& trace, std::uint32_t pid,
+                                     unsigned workers,
+                                     const std::string& process_name,
+                                     MetricsRegistry* metrics)
+    : trace_(trace), pid_(pid), slots_(workers) {
+  trace_.set_process_name(pid_, process_name);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::string wname = "worker " + std::to_string(w);
+    trace_.set_thread_name(pid_, w, wname);
+    if (metrics != nullptr) {
+      const Labels labels{{"worker", std::to_string(w)}};
+      slots_[w].tasks = &metrics->counter("qta_pool_tasks_total", labels,
+                                          "Tasks executed per pool worker");
+      slots_[w].stolen_tasks =
+          &metrics->counter("qta_pool_stolen_tasks_total", labels,
+                            "Tasks taken from a sibling's deque");
+      slots_[w].busy_us =
+          &metrics->counter("qta_pool_busy_us_total", labels,
+                            "Wall-clock microseconds spent inside tasks");
+    }
+  }
+}
+
+void PoolTraceObserver::on_task_start(unsigned worker, std::size_t item,
+                                      bool stolen) {
+  (void)item;
+  QTA_CHECK(worker < slots_.size());
+  slots_[worker].start_us = trace_.now_us();
+  slots_[worker].stolen = stolen;
+}
+
+void PoolTraceObserver::on_task_end(unsigned worker, std::size_t item) {
+  QTA_CHECK(worker < slots_.size());
+  WorkerSlot& slot = slots_[worker];
+  const std::uint64_t end = std::max(trace_.now_us(), slot.start_us + 1);
+  std::string name = "task " + std::to_string(item);
+  if (slot.stolen) name += " (stolen)";
+  trace_.complete_event(pid_, worker, name, slot.start_us,
+                        end - slot.start_us);
+  if (slot.tasks != nullptr) {
+    slot.tasks->inc();
+    if (slot.stolen) slot.stolen_tasks->inc();
+    slot.busy_us->inc(end - slot.start_us);
+  }
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,49 @@
+// PoolTraceObserver: the telemetry adapter for qta::TaskObserver. It
+// turns thread-pool task execution into one Perfetto track per worker
+// (wall-clock domain, microseconds since the TraceSession epoch) and,
+// when a MetricsRegistry is attached, per-worker task / steal / busy-
+// time counters.
+//
+// Each worker only touches its own per-worker slot between
+// on_task_start and on_task_end, so the observer needs no lock of its
+// own — the TraceSession and registry instruments are already
+// thread-safe. Attach with ThreadPool::set_observer while no batch is
+// in flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace qta::telemetry {
+
+class PoolTraceObserver : public qta::TaskObserver {
+ public:
+  /// Registers `process_name` as the trace process `pid` with one named
+  /// thread track per worker. `metrics` may be null.
+  PoolTraceObserver(TraceSession& trace, std::uint32_t pid, unsigned workers,
+                    const std::string& process_name = "thread pool",
+                    MetricsRegistry* metrics = nullptr);
+
+  void on_task_start(unsigned worker, std::size_t item, bool stolen) override;
+  void on_task_end(unsigned worker, std::size_t item) override;
+
+ private:
+  struct WorkerSlot {
+    std::uint64_t start_us = 0;
+    bool stolen = false;
+    Counter* tasks = nullptr;
+    Counter* stolen_tasks = nullptr;
+    Counter* busy_us = nullptr;
+  };
+
+  TraceSession& trace_;
+  std::uint32_t pid_;
+  std::vector<WorkerSlot> slots_;
+};
+
+}  // namespace qta::telemetry

@@ -1,0 +1,15 @@
+#include "telemetry/sink.h"
+
+namespace qta::telemetry {
+
+const char* cycle_class_name(CycleClass cls) {
+  switch (cls) {
+    case CycleClass::kIssue: return "issue";
+    case CycleClass::kForwardServiced: return "forward_serviced";
+    case CycleClass::kStall: return "stall";
+    case CycleClass::kDrain: return "drain";
+  }
+  return "?";
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,115 @@
+#include "telemetry/trace.h"
+
+#include "common/json_writer.h"
+
+namespace qta::telemetry {
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceSession::push(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::set_process_name(std::uint32_t pid,
+                                    const std::string& name) {
+  Event e{};
+  e.ph = 'M';
+  e.pid = pid;
+  e.has_tid = false;
+  e.name = "process_name";
+  e.arg_name = name;
+  push(std::move(e));
+}
+
+void TraceSession::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                   const std::string& name) {
+  Event e{};
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.has_tid = true;
+  e.name = "thread_name";
+  e.arg_name = name;
+  push(std::move(e));
+}
+
+void TraceSession::complete_event(std::uint32_t pid, std::uint32_t tid,
+                                  const std::string& name, std::uint64_t ts_us,
+                                  std::uint64_t dur_us) {
+  Event e{};
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.has_tid = true;
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.name = name;
+  push(std::move(e));
+}
+
+void TraceSession::instant_event(std::uint32_t pid, std::uint32_t tid,
+                                 const std::string& name, std::uint64_t ts_us) {
+  Event e{};
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.has_tid = true;
+  e.ts = ts_us;
+  e.name = name;
+  push(std::move(e));
+}
+
+std::uint64_t TraceSession::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSession::write_json(qta::JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const Event& e : events_) {
+    json.begin_object();
+    json.field("name", e.name);
+    json.field("ph", std::string(1, e.ph));
+    json.field("pid", static_cast<std::uint64_t>(e.pid));
+    if (e.has_tid) json.field("tid", static_cast<std::uint64_t>(e.tid));
+    switch (e.ph) {
+      case 'X':
+        json.field("ts", e.ts).field("dur", e.dur);
+        break;
+      case 'i':
+        json.field("ts", e.ts).field("s", "t");
+        break;
+      case 'M':
+        json.key("args").begin_object().field("name", e.arg_name).end_object();
+        break;
+      default: break;
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  json.end_object();
+}
+
+std::string TraceSession::json_text() const {
+  qta::JsonWriter json;
+  write_json(json);
+  return json.str();
+}
+
+bool TraceSession::write_file(const std::string& path) const {
+  qta::JsonWriter json;
+  write_json(json);
+  return json.write_file(path);
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,80 @@
+// TraceSession: Chrome trace-event JSON recorder, loadable in
+// ui.perfetto.dev or chrome://tracing.
+//
+// The session is a flat, thread-safe event log. Tracks are addressed by
+// (pid, tid) pairs exactly as the trace-event format does; name them
+// with set_process_name / set_thread_name and they render as labelled
+// process/thread groups in the viewer. This repo uses two time domains
+// on disjoint pids (documented in docs/observability.md):
+//   - cycle-domain tracks (pipeline stages): 1 simulated cycle == 1 us,
+//     timestamps are cycle indices;
+//   - wall-clock tracks (thread-pool workers): microseconds since the
+//     session's construction via now_us().
+// Perfetto renders both; just don't compare durations across domains.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qta {
+class JsonWriter;
+}  // namespace qta
+
+namespace qta::telemetry {
+
+class TraceSession {
+ public:
+  TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Viewer-facing track names ("M" metadata events).
+  void set_process_name(std::uint32_t pid, const std::string& name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       const std::string& name);
+
+  /// "X" complete event: a span of `dur_us` starting at `ts_us`.
+  void complete_event(std::uint32_t pid, std::uint32_t tid,
+                      const std::string& name, std::uint64_t ts_us,
+                      std::uint64_t dur_us);
+
+  /// "i" instant event (thread-scoped tick mark).
+  void instant_event(std::uint32_t pid, std::uint32_t tid,
+                     const std::string& name, std::uint64_t ts_us);
+
+  /// Microseconds of wall clock since this session was constructed —
+  /// the timestamp source for wall-clock-domain tracks.
+  std::uint64_t now_us() const;
+
+  std::size_t event_count() const;
+
+  /// Emits {"traceEvents":[...],"displayTimeUnit":"ms"} as one JSON
+  /// value into an in-progress document.
+  void write_json(qta::JsonWriter& json) const;
+  std::string json_text() const;
+  /// Writes json_text() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  // 'X' complete, 'i' instant, 'M' metadata
+    std::uint32_t pid;
+    std::uint32_t tid;
+    bool has_tid;          // metadata process_name has no tid member
+    std::uint64_t ts;
+    std::uint64_t dur;     // 'X' only
+    std::string name;      // event name, or "process_name"/"thread_name"
+    std::string arg_name;  // 'M' only: args.name payload
+  };
+
+  void push(Event event);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace qta::telemetry

@@ -227,6 +227,46 @@ TEST(QtlintAllow, AllowDoesNotLeakToOtherRules) {
   EXPECT_EQ(count_rule(vs, RuleId::kDeterminism), 1u);
 }
 
+TEST(QtlintTelemetryBoundary, FlagsHostMachineryIncludesInDatapath) {
+  const std::string snippet =
+      "#include \"telemetry/metrics.h\"\n"
+      "#include \"telemetry/trace.h\"\nvoid f();\n";
+  EXPECT_EQ(count_rule(lint_content("src/qtaccel/pipeline.cpp", snippet),
+                       RuleId::kTelemetryBoundary),
+            2u);
+  EXPECT_EQ(count_rule(lint_content("src/hw/bram.cpp", snippet),
+                       RuleId::kTelemetryBoundary),
+            2u);
+}
+
+TEST(QtlintTelemetryBoundary, SinkHeaderIsTheSanctionedInclude) {
+  const auto vs = lint_content(
+      "src/qtaccel/fast_engine.h",
+      "#pragma once\n#include \"telemetry/sink.h\"\n"
+      "void set_telemetry(telemetry::TelemetrySink* sink);\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kTelemetryBoundary), 0u);
+}
+
+TEST(QtlintTelemetryBoundary, FlagsHostTypeIdentifiersInDatapath) {
+  const auto vs = lint_content(
+      "src/qtaccel/forwarding.h",
+      "#pragma once\nstruct Wbq { telemetry::MetricsRegistry* reg; "
+      "telemetry::TraceSession* trace; };\n");
+  EXPECT_EQ(count_rule(vs, RuleId::kTelemetryBoundary), 2u);
+}
+
+TEST(QtlintTelemetryBoundary, HostSideFilesMayUseTheMachinery) {
+  const std::string snippet =
+      "#include \"telemetry/metrics.h\"\n"
+      "telemetry::MetricsRegistry* g_registry;\n";
+  EXPECT_EQ(count_rule(lint_content("src/telemetry/metrics.cpp", snippet),
+                       RuleId::kTelemetryBoundary),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
+                       RuleId::kTelemetryBoundary),
+            0u);
+}
+
 TEST(QtlintReporting, ViolationsCarryFileLineAndSortedOrder) {
   const auto vs = lint_content("src/hw/unit.cpp",
                                "int ok;\ndouble bad1;\ndouble bad2;\n");

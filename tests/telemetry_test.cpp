@@ -1,0 +1,599 @@
+// Telemetry subsystem tests (docs/observability.md):
+//   * histogram log2 bucketing is exact at the edges (0, powers of two,
+//     UINT64_MAX) and the registry exposes both exposition formats;
+//   * attaching a sink changes NOTHING observable — both backends retire
+//     bit-identical traces/tables/stats with telemetry on and off;
+//   * cycle attribution is complete: the four class counters sum to the
+//     engine's cycle count on both backends and both hazard modes;
+//   * the Chrome trace-event JSON parses (minimal in-test parser) and
+//     every track's spans have monotone, non-overlapping timestamps;
+//   * the thread-pool observer draws one span per executed task.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/thread_pool.h"
+#include "env/grid_world.h"
+#include "qtaccel/fast_engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/pipeline_telemetry.h"
+#include "telemetry/pool_observer.h"
+#include "telemetry/trace.h"
+
+namespace qta::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — just enough to validate the
+// writer's output without pulling a JSON library into the image.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+  const JsonValue& at(const std::string& key) const {
+    return object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool value(JsonValue* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return string(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+  bool string(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // consumed, not decoded — fine for validation
+            out->push_back('?');
+            break;
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(text_[pos_++]);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!value(&item)) return false;
+      out->array.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue item;
+      if (!value(&item)) return false;
+      out->object[key] = std::move(item);
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Fixtures
+
+env::GridWorldConfig grid8() {
+  env::GridWorldConfig c;
+  c.width = 8;
+  c.height = 8;
+  c.num_actions = 4;
+  return c;
+}
+
+qtaccel::PipelineConfig base_config() {
+  qtaccel::PipelineConfig c;
+  c.seed = 11;
+  c.max_episode_length = 256;
+  return c;
+}
+
+// The label set PipelineTelemetry derives from a config (class appended
+// last, exactly as the sink builds it).
+Labels run_labels(const qtaccel::PipelineConfig& config, unsigned pipe,
+                  const std::string& cls) {
+  const RunLabels rl = qtaccel::make_run_labels(config, pipe);
+  Labels labels{{"algo", rl.algorithm},
+                {"qmax", rl.qmax},
+                {"hazard", rl.hazard},
+                {"backend", rl.backend},
+                {"pipe", std::to_string(rl.pipe)}};
+  if (!cls.empty()) labels.emplace_back("class", cls);
+  return labels;
+}
+
+std::uint64_t class_cycle_sum(MetricsRegistry& registry,
+                              const qtaccel::PipelineConfig& config) {
+  std::uint64_t sum = 0;
+  for (const char* cls :
+       {"issue", "forward_serviced", "stall", "drain"}) {
+    sum += registry.counter("qta_cycles_total", run_labels(config, 0, cls))
+               .value();
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucketing
+
+TEST(TelemetryHistogram, SlotOfIsExactAtBucketEdges) {
+  EXPECT_EQ(Histogram::slot_of(0), 0u);
+  EXPECT_EQ(Histogram::slot_of(1), 1u);
+  EXPECT_EQ(Histogram::slot_of(2), 2u);
+  EXPECT_EQ(Histogram::slot_of(3), 2u);
+  EXPECT_EQ(Histogram::slot_of(4), 3u);
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t lo = std::uint64_t{1} << (k - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << k) - 1;
+    EXPECT_EQ(Histogram::slot_of(lo), k) << "low edge of slot " << k;
+    EXPECT_EQ(Histogram::slot_of(hi), k) << "high edge of slot " << k;
+  }
+  EXPECT_EQ(Histogram::slot_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+}
+
+TEST(TelemetryHistogram, SlotUpperBoundsTileTheRange) {
+  EXPECT_EQ(Histogram::slot_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::slot_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::slot_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::slot_upper_bound(64),
+            std::numeric_limits<std::uint64_t>::max());
+  for (unsigned k = 0; k < Histogram::kSlots; ++k) {
+    const std::uint64_t ub = Histogram::slot_upper_bound(k);
+    EXPECT_EQ(Histogram::slot_of(ub), k);
+    if (ub != std::numeric_limits<std::uint64_t>::max()) {
+      EXPECT_EQ(Histogram::slot_of(ub + 1), k + 1);
+    }
+  }
+}
+
+TEST(TelemetryHistogram, ObserveLandsZeroMaxAndSaturatingValues) {
+  Histogram h;
+  h.observe(0);
+  h.observe(1);
+  h.observe(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.slot_count(0), 1u);
+  EXPECT_EQ(h.slot_count(1), 1u);
+  EXPECT_EQ(h.slot_count(64), 1u);
+  // Top slot IS a real bucket — nothing overflows past it.
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k < Histogram::kSlots; ++k) total += h.slot_count(k);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(TelemetryRegistry, FindOrCreateReturnsStableInstruments) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("qta_test_total", {{"k", "v"}});
+  Counter& b = registry.counter("qta_test_total", {{"k", "v"}});
+  Counter& c = registry.counter("qta_test_total", {{"k", "w"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryRegistry, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("qta_h", {}, "test histogram");
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE qta_h histogram"), std::string::npos);
+  EXPECT_NE(text.find("qta_h_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("qta_h_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("qta_h_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("qta_h_count 3"), std::string::npos);
+  EXPECT_NE(text.find("qta_h_sum 6"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, JsonSnapshotParses) {
+  MetricsRegistry registry;
+  registry.counter("qta_c_total", {{"algo", "sarsa"}}).inc(7);
+  registry.gauge("qta_g").set(2.5);
+  registry.histogram("qta_h").observe(4);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.json_text()).parse(&root));
+  ASSERT_EQ(root.at("counters").array.size(), 1u);
+  EXPECT_EQ(root.at("counters").array[0].at("value").number, 7.0);
+  EXPECT_EQ(root.at("counters").array[0].at("labels").at("algo").string,
+            "sarsa");
+  ASSERT_EQ(root.at("gauges").array.size(), 1u);
+  EXPECT_EQ(root.at("gauges").array[0].at("value").number, 2.5);
+  ASSERT_EQ(root.at("histograms").array.size(), 1u);
+  EXPECT_EQ(root.at("histograms").array[0].at("count").number, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry-off bit-identity: attaching a full sink stack must not
+// change anything either backend retires.
+
+void expect_identical_runs(qtaccel::PipelineConfig config) {
+  env::GridWorld world(grid8());
+  for (const qtaccel::Backend backend :
+       {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
+    config.backend = backend;
+    qtaccel::Engine plain(world, config);
+    qtaccel::Engine observed(world, config);
+    std::vector<qtaccel::SampleTrace> plain_trace, observed_trace;
+    plain.set_trace(&plain_trace);
+    observed.set_trace(&observed_trace);
+
+    MetricsRegistry registry;
+    TraceSession trace;
+    PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
+                           &trace);
+    observed.set_telemetry(&sink);
+
+    plain.run_iterations(1500);
+    observed.run_iterations(1500);
+    plain.run_samples(2500);
+    observed.run_samples(2500);
+
+    ASSERT_EQ(plain_trace.size(), observed_trace.size())
+        << qtaccel::backend_name(backend);
+    for (std::size_t i = 0; i < plain_trace.size(); ++i) {
+      ASSERT_TRUE(plain_trace[i] == observed_trace[i])
+          << qtaccel::backend_name(backend) << " diverged at " << i;
+    }
+    for (StateId s = 0; s < world.num_states(); ++s) {
+      for (ActionId a = 0; a < world.num_actions(); ++a) {
+        ASSERT_EQ(plain.q_raw(s, a), observed.q_raw(s, a));
+      }
+      ASSERT_EQ(plain.qmax_entry(s).value, observed.qmax_entry(s).value);
+    }
+    const auto& ps = plain.stats();
+    const auto& os = observed.stats();
+    EXPECT_EQ(ps.cycles, os.cycles);
+    EXPECT_EQ(ps.samples, os.samples);
+    EXPECT_EQ(ps.episodes, os.episodes);
+    EXPECT_EQ(ps.fwd_q_sa, os.fwd_q_sa);
+    EXPECT_EQ(ps.fwd_q_next, os.fwd_q_next);
+    EXPECT_EQ(ps.fwd_qmax, os.fwd_qmax);
+    EXPECT_EQ(plain.dsp_saturations(), observed.dsp_saturations());
+  }
+}
+
+TEST(TelemetryBitIdentity, QLearningForward) {
+  expect_identical_runs(base_config());
+}
+
+TEST(TelemetryBitIdentity, SarsaForward) {
+  qtaccel::PipelineConfig c = base_config();
+  c.algorithm = qtaccel::Algorithm::kSarsa;
+  expect_identical_runs(c);
+}
+
+TEST(TelemetryBitIdentity, QLearningStall) {
+  qtaccel::PipelineConfig c = base_config();
+  c.hazard = qtaccel::HazardMode::kStall;
+  expect_identical_runs(c);
+}
+
+TEST(TelemetryBitIdentity, DoubleQExactScan) {
+  qtaccel::PipelineConfig c = base_config();
+  c.algorithm = qtaccel::Algorithm::kDoubleQ;
+  c.qmax = qtaccel::QmaxMode::kExactScan;
+  expect_identical_runs(c);
+}
+
+// ---------------------------------------------------------------------
+// Cycle attribution completeness: issue + forward_serviced + stall +
+// drain == the engine's cycle count, on both backends and hazard modes.
+
+void expect_complete_attribution(qtaccel::PipelineConfig config) {
+  env::GridWorld world(grid8());
+  for (const qtaccel::Backend backend :
+       {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
+    config.backend = backend;
+    qtaccel::Engine engine(world, config);
+    MetricsRegistry registry;
+    PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
+                           nullptr);
+    engine.set_telemetry(&sink);
+    engine.run_iterations(777);
+    engine.run_samples(2000);
+    sink.flush();
+    EXPECT_EQ(class_cycle_sum(registry, config), engine.stats().cycles)
+        << qtaccel::backend_name(backend) << "/"
+        << qtaccel::hazard_name(config.hazard);
+    EXPECT_EQ(
+        registry.counter("qta_samples_total", run_labels(config, 0, ""))
+            .value(),
+        engine.stats().samples);
+    EXPECT_EQ(
+        registry.counter("qta_episodes_total", run_labels(config, 0, ""))
+            .value(),
+        engine.stats().episodes);
+  }
+}
+
+TEST(TelemetryAttribution, ForwardModeCyclesSumToStats) {
+  expect_complete_attribution(base_config());
+}
+
+TEST(TelemetryAttribution, StallModeCyclesSumToStats) {
+  qtaccel::PipelineConfig c = base_config();
+  c.hazard = qtaccel::HazardMode::kStall;
+  expect_complete_attribution(c);
+}
+
+TEST(TelemetryAttribution, ForwardingHitCountersMatchStats) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig config = base_config();
+  qtaccel::Engine engine(world, config);
+  MetricsRegistry registry;
+  PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
+                         nullptr);
+  engine.set_telemetry(&sink);
+  engine.run_samples(4000);
+  sink.flush();
+  Labels sa = run_labels(config, 0, "");
+  sa.emplace_back("path", "q_sa");
+  Labels nx = run_labels(config, 0, "");
+  nx.emplace_back("path", "q_next");
+  Labels qm = run_labels(config, 0, "");
+  qm.emplace_back("path", "qmax");
+  EXPECT_EQ(registry.counter("qta_fwd_hits_total", sa).value(),
+            engine.stats().fwd_q_sa);
+  EXPECT_EQ(registry.counter("qta_fwd_hits_total", nx).value(),
+            engine.stats().fwd_q_next);
+  EXPECT_EQ(registry.counter("qta_fwd_hits_total", qm).value(),
+            engine.stats().fwd_qmax);
+  // Every serviced Q(S,A)/Q(S',A') read recorded a queue distance 1..3.
+  EXPECT_EQ(registry.histogram("qta_fwd_distance", sa).count(),
+            engine.stats().fwd_q_sa);
+  EXPECT_EQ(registry.histogram("qta_fwd_distance", nx).count(),
+            engine.stats().fwd_q_next);
+}
+
+// ---------------------------------------------------------------------
+// Trace JSON: parses, and per-(pid, tid) spans are monotone.
+
+TEST(TelemetryTrace, JsonParsesWithMonotonePerTrackSpans) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig config = base_config();
+  MetricsRegistry registry;
+  TraceSession trace;
+  {
+    qtaccel::Engine engine(world, config);
+    PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
+                           &trace);
+    engine.set_telemetry(&sink);
+    engine.run_samples(3000);
+  }
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(trace.json_text()).parse(&root));
+  ASSERT_TRUE(root.has("traceEvents"));
+  const auto& events = root.at("traceEvents").array;
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::pair<double, double>, double> track_end;  // (pid,tid) -> end
+  std::size_t spans = 0;
+  for (const auto& e : events) {
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("name"));
+    if (e.at("ph").string != "X") continue;
+    ++spans;
+    const std::pair<double, double> track{e.at("pid").number,
+                                          e.at("tid").number};
+    const double ts = e.at("ts").number;
+    const double dur = e.at("dur").number;
+    EXPECT_GE(dur, 1.0);
+    if (track_end.count(track)) {
+      EXPECT_GE(ts, track_end.at(track))
+          << "overlapping spans on pid/tid " << track.first << "/"
+          << track.second;
+    }
+    track_end[track] = ts + dur;
+  }
+  EXPECT_GT(spans, 0u);
+  // Cycle backend registers the attribution track and all four stages.
+  std::size_t thread_names = 0;
+  for (const auto& e : events) {
+    if (e.at("ph").string == "M" && e.at("name").string == "thread_name") {
+      ++thread_names;
+    }
+  }
+  EXPECT_EQ(thread_names, 5u);
+}
+
+TEST(TelemetryTrace, FastBackendEmitsEpisodeSpans) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig config = base_config();
+  config.backend = qtaccel::Backend::kFast;
+  MetricsRegistry registry;
+  TraceSession trace;
+  std::uint64_t episodes = 0;
+  {
+    qtaccel::Engine engine(world, config);
+    PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
+                           &trace);
+    engine.set_telemetry(&sink);
+    engine.run_samples(3000);
+    episodes = engine.stats().episodes;
+  }
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(trace.json_text()).parse(&root));
+  std::size_t episode_spans = 0;
+  for (const auto& e : root.at("traceEvents").array) {
+    if (e.at("ph").string == "X" && e.at("name").string == "episode") {
+      ++episode_spans;
+    }
+  }
+  EXPECT_GE(episode_spans, episodes);
+  EXPECT_LE(episode_spans, episodes + 1);  // + one flushed trailing span
+}
+
+TEST(TelemetryTrace, PoolObserverDrawsOneSpanPerTask) {
+  TraceSession trace;
+  MetricsRegistry registry;
+  ThreadPool pool(2);
+  PoolTraceObserver observer(trace, /*pid=*/9, pool.size(), "test pool",
+                             &registry);
+  pool.set_observer(&observer);
+  std::vector<std::atomic<int>> hits(16);
+  pool.parallel_for(16, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.set_observer(nullptr);
+
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(trace.json_text()).parse(&root));
+  std::size_t spans = 0;
+  for (const auto& e : root.at("traceEvents").array) {
+    if (e.at("ph").string == "X") {
+      ++spans;
+      EXPECT_EQ(e.at("pid").number, 9.0);
+    }
+  }
+  EXPECT_EQ(spans, 16u);
+  std::uint64_t tasks = 0;
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    tasks += registry
+                 .counter("qta_pool_tasks_total",
+                          {{"worker", std::to_string(w)}})
+                 .value();
+  }
+  EXPECT_EQ(tasks, 16u);
+}
+
+}  // namespace
+}  // namespace qta::telemetry

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "env/grid_world.h"
@@ -88,6 +89,32 @@ TEST(Waveform, StallModeShowsGaps) {
   EXPECT_NE(lines[1].find("S1 --"), std::string::npos);
   EXPECT_NE(lines[2].find("S1 --"), std::string::npos);
   EXPECT_NE(lines[4].find("S1 s="), std::string::npos);
+}
+
+TEST(Waveform, ReusedLineBufferIsDeterministic) {
+  // The writer reuses one line buffer across cycles; a stale tail from
+  // an earlier line must never leak into a later one. Two identically-
+  // seeded pipelines must emit byte-identical text, and because every
+  // field is padded to a fixed column layout, every line must come out
+  // the same width — a leaked tail would break both properties.
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  c.seed = 9;
+  Pipeline first(g, c);
+  Pipeline second(g, c);
+  std::ostringstream a, b;
+  first.set_waveform(&a);
+  second.set_waveform(&b);
+  first.run_iterations(60);
+  second.run_iterations(60);
+  ASSERT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+  const auto lines = lines_of(a.str());
+  ASSERT_FALSE(lines.empty());
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find('\0'), std::string::npos);
+    EXPECT_EQ(line.size(), lines.front().size());
+  }
 }
 
 TEST(Waveform, DetachStopsEmission) {

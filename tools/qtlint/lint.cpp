@@ -23,7 +23,7 @@ struct RuleInfo {
   std::string_view rationale;
 };
 
-constexpr std::array<RuleInfo, 7> kRules{{
+constexpr std::array<RuleInfo, 8> kRules{{
     {RuleId::kDatapathPurity, "datapath-purity",
      "src/hw, src/fixed, qtaccel pipeline files",
      "paper's fixed-point 4-DSP datapath: no float/double/libm"},
@@ -37,6 +37,9 @@ constexpr std::array<RuleInfo, 7> kRules{{
      "hot-path cycle loop stays free of stream formatting"},
     {RuleId::kNoBareAssert, "no-bare-assert", "src/**",
      "QTA_CHECK aborts in release too; assert() vanishes under NDEBUG"},
+    {RuleId::kTelemetryBoundary, "telemetry-boundary",
+     "src/hw, src/fixed, qtaccel pipeline files",
+     "datapath observes only via telemetry/sink.h; no registry/trace"},
     {RuleId::kUnknownAllow, "unknown-allow", "qtlint annotations",
      "allow() must name a real rule"},
 }};
@@ -100,6 +103,14 @@ constexpr std::array<std::string_view, 7> kEntropyCalls{
 
 constexpr std::array<std::string_view, 4> kStreamIdents{"cout", "cerr",
                                                         "clog", "printf"};
+
+// Host-side telemetry machinery the datapath must never name directly —
+// cycle/step events leave the datapath only through the TelemetrySink
+// interface in telemetry/sink.h (the one header datapath may include).
+constexpr std::string_view kTelemetrySinkHeader = "telemetry/sink.h";
+constexpr std::array<std::string_view, 4> kTelemetryHostIdents{
+    "MetricsRegistry", "TraceSession", "PipelineTelemetry",
+    "PoolTraceObserver"};
 
 // qtaccel files that model pipeline hardware (as opposed to host-side
 // config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).
@@ -414,6 +425,12 @@ void check_includes(const LexedFile& lexed, const FileClass& fc,
       e.emit(RuleId::kNoBareAssert, line,
              "#include <" + target + ">; use common/check.h");
     }
+    if (fc.datapath && starts_with(target, "telemetry/") &&
+        target != kTelemetrySinkHeader) {
+      e.emit(RuleId::kTelemetryBoundary, line,
+             "#include \"" + target +
+                 "\" in datapath code; only telemetry/sink.h is allowed");
+    }
   }
 }
 
@@ -470,6 +487,11 @@ void check_tokens(const LexedFile& lexed, const FileClass& fc,
     if (fc.in_src && call && ident == "assert") {
       e.emit(RuleId::kNoBareAssert, line,
              "bare assert(); use QTA_CHECK / QTA_DCHECK");
+    }
+    if (fc.datapath && in_set(ident, kTelemetryHostIdents)) {
+      e.emit(RuleId::kTelemetryBoundary, line,
+             "host-side telemetry type '" + std::string(ident) +
+                 "' in datapath code; emit through a TelemetrySink*");
     }
     if (fc.header && ident == "namespace" && prev_ident == "using" &&
         prev_ident_line == line) {

@@ -16,6 +16,9 @@
 //   no-iostream       no <iostream>/cout/cerr in hot-path src/hw and
 //                     src/fixed code.
 //   no-bare-assert    QTA_CHECK / QTA_DCHECK instead of assert().
+//   telemetry-boundary datapath files touch telemetry only through the
+//                     host-side sink interface (telemetry/sink.h); the
+//                     registry/trace/profiler machinery stays host-side.
 //
 // Escape hatches, all comment-driven and rule-scoped:
 //   // qtlint: allow(rule[, rule...])        — this line only
@@ -37,6 +40,7 @@ enum class RuleId {
   kNoUsingNamespace,
   kNoIostream,
   kNoBareAssert,
+  kTelemetryBoundary,
   kUnknownAllow,  // meta-rule: allow(...) names a rule that does not exist
 };
 
