@@ -13,7 +13,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "env/value_iteration.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 
 using namespace qta;
 
@@ -64,7 +64,7 @@ int main() {
     pc.gamma = 0.9;
     pc.seed = 51;
     pc.max_episode_length = 1024;
-    qtaccel::Pipeline p(world, pc);
+    runtime::Engine p(world, pc);
     p.run_iterations(400000);
 
     std::vector<ActionId> policy(world.num_states(), 0);

@@ -11,7 +11,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "device/frequency_model.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;
@@ -31,8 +31,8 @@ int main() {
     qtaccel::PipelineConfig stall = fwd;
     stall.hazard = qtaccel::HazardMode::kStall;
 
-    qtaccel::Pipeline pf(world, fwd);
-    qtaccel::Pipeline ps(world, stall);
+    runtime::Engine pf(world, fwd);
+    runtime::Engine ps(world, stall);
     const std::uint64_t iters = 60000;
     pf.run_iterations(iters);
     ps.run_iterations(iters);

@@ -14,19 +14,19 @@
 #include "common/table_printer.h"
 #include "env/random_mdp.h"
 #include "env/value_iteration.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 
 using namespace qta;
 
 namespace {
 double grid_policy_success(const env::GridWorld& world,
-                           const qtaccel::Pipeline& p) {
+                           const runtime::Engine& p) {
   return env::policy_success_rate(world, p.greedy_policy());
 }
 
 /// Mean over-estimation of max_a Q(s, a) by the Qmax table.
 double mean_staleness(const env::Environment& world,
-                      const qtaccel::Pipeline& p) {
+                      const runtime::Engine& p) {
   double total = 0.0;
   for (StateId s = 0; s < world.num_states(); ++s) {
     double mx = p.q_value(s, 0);
@@ -64,7 +64,7 @@ int main() {
       c.alpha = 0.2;
       c.seed = 31;
       c.max_episode_length = 1024;
-      qtaccel::Pipeline p(world, c);
+      runtime::Engine p(world, c);
       p.run_iterations(600000);
       const double s = grid_policy_success(world, p);
       const double err = env::greedy_path_q_error(
@@ -105,7 +105,7 @@ int main() {
       c.alpha = 0.2;
       c.seed = 33;
       c.max_episode_length = 256;
-      qtaccel::Pipeline p(world, c);
+      runtime::Engine p(world, c);
       p.run_iterations(400000);
       const auto q = p.q_as_double();
       double sup = 0.0;
@@ -163,7 +163,7 @@ int main() {
       c.alpha = 0.02;
       c.seed = 34;
       c.max_episode_length = 512;
-      qtaccel::Pipeline p(world, c);
+      runtime::Engine p(world, c);
       p.run_samples(2000000);
       double mean = 0.0, sup = 0.0;
       int total = 0;

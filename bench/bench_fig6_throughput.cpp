@@ -19,7 +19,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "device/frequency_model.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;
@@ -28,7 +28,7 @@ namespace {
 double measure_samples_per_cycle(const env::Environment& world,
                                  qtaccel::PipelineConfig config,
                                  std::uint64_t iterations) {
-  qtaccel::Pipeline pipeline(world, config);
+  runtime::Engine pipeline(world, config);
   pipeline.run_iterations(iterations);
   return pipeline.stats().samples_per_cycle();
 }

@@ -24,7 +24,7 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "env/value_iteration.h"
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/multi_pipeline.h"
 #include "telemetry/pipeline_telemetry.h"
 #include "telemetry/pool_observer.h"
 
@@ -59,7 +59,7 @@ bool write_trace(const std::string& path) {
   telemetry::TraceSession trace;
   telemetry::MetricsRegistry registry;
   {
-    qtaccel::SharedTablePipelines dual(world, config, 2);
+    runtime::SharedTablePipelines dual(world, config, 2);
     telemetry::PipelineTelemetry t0(qtaccel::make_run_labels(config, 0),
                                     &registry, &trace, /*pid=*/1);
     telemetry::PipelineTelemetry t1(qtaccel::make_run_labels(config, 1),
@@ -79,7 +79,7 @@ bool write_trace(const std::string& path) {
   pool.set_observer(&observer);
   const std::array<std::uint64_t, 3> budgets{4000, 16000, 64000};
   pool.parallel_for(6, [&](std::size_t i) {
-    qtaccel::SharedTablePipelines run(world, config,
+    runtime::SharedTablePipelines run(world, config,
                                       1 + static_cast<unsigned>(i % 2));
     run.run_cycles(budgets[i / 2]);
   });
@@ -98,6 +98,18 @@ bool write_trace(const std::string& path) {
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   const std::string trace_path = flags.get_string("trace", "");
+  // Shared-table mode is a port-level model: only the cycle-accurate
+  // backend exists for it. Reject --backend=fast up front with a clear
+  // message instead of letting the pool constructor abort.
+  const auto backend =
+      qtaccel::parse_backend(flags.get_string("backend", "cycle"));
+  if (backend != qtaccel::Backend::kCycleAccurate) {
+    std::cerr << "fig8 measures port-level table sharing; the fast "
+                 "functional backend has no shared-table model. Re-run "
+                 "with --backend=cycle (or use fig9 / rover_exploration "
+                 "for fast fleets).\n";
+    return 2;
+  }
   for (const auto& f : flags.unused()) {
     std::cerr << "unknown flag: --" << f << "\n";
     return 2;
@@ -120,7 +132,7 @@ int main(int argc, char** argv) {
     qtaccel::PipelineConfig config;
     config.seed = 3;
     config.max_episode_length = 512;
-    qtaccel::SharedTablePipelines dual(world, config, 2);
+    runtime::SharedTablePipelines dual(world, config, 2);
     const std::uint64_t cycles = 40000;
     dual.run_cycles(cycles);
     const double rate =
@@ -152,8 +164,8 @@ int main(int argc, char** argv) {
     config.alpha = 0.2;
     config.seed = 5;
     config.max_episode_length = 512;
-    qtaccel::SharedTablePipelines solo(world, config, 1);
-    qtaccel::SharedTablePipelines dual(world, config, 2);
+    runtime::SharedTablePipelines solo(world, config, 1);
+    runtime::SharedTablePipelines dual(world, config, 2);
     solo.run_cycles(budget);
     dual.run_cycles(budget);
     const double s1 = policy_success(world, solo.q_as_double());

@@ -15,7 +15,7 @@
 #include "device/resource_report.h"
 #include "env/partition.h"
 #include "env/value_iteration.h"
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/multi_pipeline.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;
@@ -42,7 +42,7 @@ int main() {
     config.alpha = 0.2;
     config.seed = 9;
     config.max_episode_length = 512;
-    qtaccel::IndependentPipelines rovers(std::move(envs), config);
+    runtime::IndependentPipelines rovers(std::move(envs), config);
     // Random-walk exploration needs samples proportional to the band's
     // state count to cover it (bands shrink as N grows).
     rovers.run_samples_each(800ull * (1024 / n));
@@ -51,7 +51,7 @@ int main() {
     for (unsigned i = 0; i < n; ++i) {
       const auto& band =
           static_cast<const env::GridWorld&>(rovers.environment(i));
-      const auto policy = rovers.pipeline(i).greedy_policy();
+      const auto policy = rovers.engine(i).greedy_policy();
       all_learned &= env::policy_success_rate(band, policy) >= 0.9;
     }
 

@@ -11,8 +11,8 @@
 #include "env/grid_world.h"
 #include "fixed/fixed_point.h"
 #include "qtaccel/golden_model.h"
-#include "qtaccel/pipeline.h"
 #include "rng/lfsr.h"
+#include "runtime/engine.h"
 
 using namespace qta;
 
@@ -54,7 +54,8 @@ void BM_PipelineCycle(benchmark::State& state) {
                              8));
   qtaccel::PipelineConfig config;
   config.max_episode_length = 4096;
-  qtaccel::Pipeline pipeline(world, config);
+  runtime::Engine engine(world, config);
+  qtaccel::Pipeline& pipeline = *engine.cycle_pipeline();
   for (auto _ : state) {
     pipeline.tick(true);
   }

@@ -26,8 +26,8 @@
 #include "common/cli.h"
 #include "common/stats.h"
 #include "env/grid_world.h"
-#include "qtaccel/fast_engine.h"
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/engine.h"
+#include "runtime/multi_pipeline.h"
 
 using namespace qta;
 
@@ -61,11 +61,14 @@ void verify_bit_exact(const env::Environment& env,
   config.seed = 12345;
   config.max_episode_length = 4096;
 
-  qtaccel::Pipeline pipeline(env, config);
+  qtaccel::PipelineConfig fast_config = config;
+  fast_config.backend = qtaccel::Backend::kFast;
+
+  runtime::Engine pipeline(env, config);
   std::vector<qtaccel::SampleTrace> pipe_trace;
   pipeline.set_trace(&pipe_trace);
 
-  qtaccel::FastEngine fast(env, config);
+  runtime::Engine fast(env, fast_config);
   std::vector<qtaccel::SampleTrace> fast_trace;
   fast.set_trace(&fast_trace);
 
@@ -198,7 +201,7 @@ int main(int argc, char** argv) {
   config.max_episode_length = 4096;
   double cycle_sps = 0.0, fast_sps = 0.0;
   {
-    qtaccel::Pipeline pipeline(big, config);
+    runtime::Engine pipeline(big, config);
     Stopwatch sw;
     pipeline.run_samples(cycle_samples);
     const double secs = sw.seconds();
@@ -208,7 +211,9 @@ int main(int argc, char** argv) {
               << " samples/s\n";
   }
   {
-    qtaccel::FastEngine fast(big, config);
+    qtaccel::PipelineConfig fc = config;
+    fc.backend = qtaccel::Backend::kFast;
+    runtime::Engine fast(big, fc);
     Stopwatch sw;
     fast.run_samples(fast_samples);
     const double secs = sw.seconds();
@@ -237,7 +242,7 @@ int main(int argc, char** argv) {
   {
     qtaccel::PipelineConfig mc = config;
     mc.backend = qtaccel::Backend::kCycleAccurate;
-    qtaccel::IndependentPipelines fleet(make_skewed_envs(), mc);
+    runtime::IndependentPipelines fleet(make_skewed_envs(), mc);
     Stopwatch sw;
     fleet.run_samples_each(multi_each_cycle, skew_threads);
     multi_cycle_sps =
@@ -249,18 +254,18 @@ int main(int argc, char** argv) {
   mf.backend = qtaccel::Backend::kFast;
   double static_secs = 0.0, pool_secs = 0.0;
   std::uint64_t pool_steals = 0;
-  qtaccel::IndependentPipelines static_fleet(make_skewed_envs(), mf);
+  runtime::IndependentPipelines static_fleet(make_skewed_envs(), mf);
   {
     Stopwatch sw;
     static_fleet.run_samples_each(multi_each_fast, skew_threads,
-                                  qtaccel::Schedule::kStaticRoundRobin);
+                                  runtime::Schedule::kStaticRoundRobin);
     static_secs = sw.seconds();
   }
-  qtaccel::IndependentPipelines pool_fleet(make_skewed_envs(), mf);
+  runtime::IndependentPipelines pool_fleet(make_skewed_envs(), mf);
   {
     Stopwatch sw;
     pool_fleet.run_samples_each(multi_each_fast, skew_threads,
-                                qtaccel::Schedule::kWorkStealing);
+                                runtime::Schedule::kWorkStealing);
     pool_secs = sw.seconds();
     pool_steals = pool_fleet.pool_steals();
   }

@@ -17,7 +17,7 @@
 #include "device/frequency_model.h"
 #include "env/value_iteration.h"
 #include "qtaccel/boltzmann_pipeline.h"
-#include "qtaccel/pipeline.h"
+#include "qtaccel/config.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;

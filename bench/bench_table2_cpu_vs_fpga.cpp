@@ -14,7 +14,7 @@
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "device/frequency_model.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 #include "qtaccel/resources.h"
 
 using namespace qta;
@@ -39,7 +39,7 @@ double fpga_model_msps(const env::Environment& world, unsigned actions) {
   qtaccel::PipelineConfig config;
   config.max_episode_length = 4096;
   config.seed = 11;
-  qtaccel::Pipeline pipeline(world, config);
+  runtime::Engine pipeline(world, config);
   pipeline.run_iterations(60000);
   const auto ledger = qtaccel::build_resources(world, config);
   const double mhz =

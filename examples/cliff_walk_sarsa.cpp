@@ -11,7 +11,7 @@
 #include "common/cli.h"
 #include "common/table_printer.h"
 #include "env/grid_world.h"
-#include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 
 using namespace qta;
 
@@ -50,10 +50,10 @@ int main(int argc, char** argv) {
   qtaccel::PipelineConfig dq = ql;
   dq.algorithm = qtaccel::Algorithm::kDoubleQ;
 
-  qtaccel::Pipeline pq(world, ql);
-  qtaccel::Pipeline ps(world, sarsa);
-  qtaccel::Pipeline pe(world, esarsa);
-  qtaccel::Pipeline pd(world, dq);
+  runtime::Engine pq(world, ql);
+  runtime::Engine ps(world, sarsa);
+  runtime::Engine pe(world, esarsa);
+  runtime::Engine pd(world, dq);
   pq.run_samples(samples);
   ps.run_samples(samples);
   pe.run_samples(samples);

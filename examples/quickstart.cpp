@@ -9,11 +9,17 @@
 // Usage: quickstart [--width=4] [--height=4] [--actions=4]
 //                   [--samples=200000] [--sarsa] [--slip=0.0] [--seed=1]
 //                   [--backend={cycle,fast}]
+//                   [--save-snapshot=ckpt] [--resume=ckpt]
 //                   [--trace=out.json] [--metrics] [--metrics-json=m.json]
 //
 // Observability (docs/observability.md): --trace writes a Perfetto /
 // Chrome trace-event JSON of the run, --metrics prints the Prometheus
 // text exposition, --metrics-json writes the same snapshot as JSON.
+//
+// Checkpointing (docs/runtime.md): --save-snapshot writes the full
+// machine state after the run; --resume restores one before running
+// (--samples is the TOTAL budget, counting resumed samples), so
+// interrupting and resuming retires the same trace as one long run.
 #include <iostream>
 #include <memory>
 
@@ -23,8 +29,9 @@
 #include "device/resource_report.h"
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
-#include "qtaccel/fast_engine.h"
 #include "qtaccel/resources.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
 #include "telemetry/pipeline_telemetry.h"
 
 using namespace qta;
@@ -62,8 +69,15 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.get_string("trace", "");
   const bool want_metrics = flags.get_bool("metrics", false);
   const std::string metrics_json_path = flags.get_string("metrics-json", "");
+  const std::string resume_path = flags.get_string("resume", "");
+  const std::string snapshot_path = flags.get_string("save-snapshot", "");
 
-  qtaccel::Engine pipeline(world, config);
+  runtime::Engine pipeline(world, config);
+  if (!resume_path.empty()) {
+    runtime::load_snapshot_file(pipeline, resume_path);
+    std::cout << "\nresumed from " << resume_path << " at "
+              << pipeline.stats().samples << " samples\n";
+  }
 
   telemetry::MetricsRegistry registry;
   telemetry::TraceSession trace;
@@ -77,6 +91,10 @@ int main(int argc, char** argv) {
 
   pipeline.run_samples(samples);
   if (tel) tel->flush();
+  if (!snapshot_path.empty()) {
+    runtime::save_snapshot_file(pipeline, snapshot_path);
+    std::cout << "\nwrote machine snapshot to " << snapshot_path << "\n";
+  }
 
   // Greedy policy as an arrow map.
   const auto policy = pipeline.greedy_policy();

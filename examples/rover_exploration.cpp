@@ -6,22 +6,30 @@
 //                          [--obstacles=0.15] [--samples=400000]
 //                          [--threads=0] [--seed=7]
 //                          [--backend={cycle,fast}] [--trace=out.json]
+//                          [--save-snapshot=ckpt] [--resume=ckpt]
 //
 // --trace records a Perfetto trace (docs/observability.md): one process
 // per rover (episode or stage tracks depending on the backend) plus one
 // wall-clock track per work-stealing pool worker.
+//
+// --save-snapshot writes a fleet checkpoint (one machine snapshot per
+// rover, docs/runtime.md) after the run; --resume restores one before
+// running. --samples is each rover's TOTAL budget, counting resumed
+// samples, so a resumed run finishes the interrupted one bit-exactly.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/cli.h"
 #include "common/table_printer.h"
 #include "device/resource_report.h"
 #include "env/grid_world.h"
 #include "env/partition.h"
 #include "env/value_iteration.h"
-#include "qtaccel/multi_pipeline.h"
 #include "qtaccel/resources.h"
+#include "runtime/multi_pipeline.h"
 #include "telemetry/pipeline_telemetry.h"
 #include "telemetry/pool_observer.h"
 
@@ -55,11 +63,20 @@ int main(int argc, char** argv) {
   config.max_episode_length = 1024;
   config.backend = qtaccel::parse_backend(flags.get_string("backend", "fast"));
 
-  qtaccel::IndependentPipelines fleet(std::move(envs), config);
+  runtime::IndependentPipelines fleet(std::move(envs), config);
   const auto samples =
       static_cast<std::uint64_t>(flags.get_int("samples", 400000));
   const auto threads =
       static_cast<unsigned>(flags.get_int("threads", 0));
+
+  const std::string resume_path = flags.get_string("resume", "");
+  if (!resume_path.empty()) {
+    std::ifstream in(resume_path);
+    QTA_CHECK_MSG(in.is_open(), "cannot open fleet checkpoint for reading");
+    fleet.load_checkpoint(in);
+    std::cout << "resumed fleet from " << resume_path << " at "
+              << fleet.total_samples() << " total samples\n\n";
+  }
 
   const std::string trace_path = flags.get_string("trace", "");
   telemetry::MetricsRegistry registry;
@@ -82,12 +99,20 @@ int main(int argc, char** argv) {
   fleet.run_samples_each(samples, threads);
   for (auto& s : sinks) s->flush();
 
+  const std::string snapshot_path = flags.get_string("save-snapshot", "");
+  if (!snapshot_path.empty()) {
+    std::ofstream out(snapshot_path);
+    QTA_CHECK_MSG(out.is_open(), "cannot open fleet checkpoint for writing");
+    fleet.save_checkpoint(out);
+    std::cout << "wrote fleet checkpoint to " << snapshot_path << "\n\n";
+  }
+
   TablePrinter table({"rover", "band", "samples", "episodes",
                       "free cells reaching goal", "samples/cycle"});
   for (unsigned i = 0; i < rovers_n; ++i) {
     const auto& band =
         static_cast<const env::GridWorld&>(fleet.environment(i));
-    const qtaccel::Engine& p = fleet.engine(i);
+    const runtime::Engine& p = fleet.engine(i);
     const auto policy = p.greedy_policy();
     int reached = 0, total = 0;
     for (StateId s = 0; s < band.num_states(); ++s) {

@@ -12,8 +12,8 @@
 #include "common/table_printer.h"
 #include "env/grid_map.h"
 #include "env/value_iteration.h"
-#include "qtaccel/pipeline.h"
-#include "qtaccel/table_io.h"
+#include "runtime/engine.h"
+#include "runtime/table_io.h"
 
 using namespace qta;
 
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   c.gamma = 0.9;
   c.seed = seed;
   c.max_episode_length = 1024;
-  qtaccel::Pipeline robot_a(floor, c);
+  runtime::Engine robot_a(floor, c);
   robot_a.run_samples(samples);
 
   int total = 0;
@@ -81,14 +81,14 @@ int main(int argc, char** argv) {
 
   // --- save / reload ---
   std::stringstream checkpoint;
-  qtaccel::save_q_table(checkpoint, robot_a);
+  runtime::save_q_table(checkpoint, robot_a);
   std::cout << "Checkpoint size: " << checkpoint.str().size()
             << " bytes (raw fixed-point words, bit-exact)\n";
 
   qtaccel::PipelineConfig c2 = c;
   c2.seed = seed + 1;  // different robot, different random walk
-  qtaccel::Pipeline robot_b(floor, c2);
-  qtaccel::load_q_table(checkpoint, robot_b);
+  runtime::Engine robot_b(floor, c2);
+  runtime::load_q_table(checkpoint, robot_b);
 
   const int b_cold = optimal_paths(floor, robot_b.greedy_policy(),
                                    vi, total);

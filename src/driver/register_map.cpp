@@ -19,7 +19,7 @@ double unpack_coefficient(std::uint32_t word) {
 
 bool is_valid_register(std::uint32_t offset) {
   return offset % 4 == 0 &&
-         offset <= static_cast<std::uint32_t>(Reg::kSaturationCount);
+         offset <= static_cast<std::uint32_t>(Reg::kBackend);
 }
 
 bool is_writable_register(std::uint32_t offset) {

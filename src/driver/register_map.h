@@ -46,6 +46,7 @@ enum class Reg : std::uint32_t {
   kFwdQnextCount = 0x64,  // Q(S',A') values served by forwarding
   kFwdQmaxCount = 0x68,   // Qmax entries raised by in-flight write-backs
   kSaturationCount = 0x6C,  // DSP + adder saturation events
+  kBackend = 0x70,      // RW: 0 = cycle-accurate, 1 = fast functional
 };
 
 inline constexpr std::uint32_t kMagic = 0x51544131;  // "QTA1"

@@ -25,6 +25,15 @@ class DspMultiplier {
 
   std::uint64_t invocations() const { return invocations_; }
   std::uint64_t saturations() const { return saturations_; }
+
+  /// Restores the event counters when resuming from a machine-state
+  /// snapshot, so counter readback continues as if the run never paused.
+  void restore_counters(std::uint64_t invocations,
+                        std::uint64_t saturations) {
+    invocations_ = invocations;
+    saturations_ = saturations;
+  }
+
   const std::string& name() const { return name_; }
 
  private:

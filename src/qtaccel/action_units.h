@@ -8,6 +8,7 @@
 // in the pipeline and in the golden model.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/bit_math.h"
@@ -74,6 +75,19 @@ class RngBank {
   /// Total flip-flops across the bank for the resource model (the update
   /// LFSR only exists for SARSA; pass the algorithm to count it).
   static unsigned flip_flops(Algorithm algorithm);
+
+  /// Register snapshot of the four streams, in the fixed order
+  /// {start, behavior, update, noise} (machine_state.h relies on it).
+  std::array<std::uint64_t, 4> lfsr_state() const {
+    return {start_.state(), behavior_.state(), update_.state(),
+            noise_.state()};
+  }
+  void set_lfsr_state(const std::array<std::uint64_t, 4>& state) {
+    start_.set_state(state[0]);
+    behavior_.set_state(state[1]);
+    update_.set_state(state[2]);
+    noise_.set_state(state[3]);
+  }
 
  private:
   AddressMap map_;

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
+#include "qtaccel/machine_state.h"
 
 namespace qta::qtaccel {
 
@@ -251,7 +252,7 @@ void FastEngine::step_one_t() {
   // saturation counters in the stage-3 arithmetic.
   const std::uint64_t tel_fwd_qmax_before = stats_.fwd_qmax;
   const std::uint64_t tel_sat_before =
-      stats_.adder_saturations + dsp_saturations_;
+      stats_.adder_saturations + dsp_saturations();
 
   // --- update-policy action and Q(S', A') (stage 2) ---
   fixed::raw_t q_next = 0;
@@ -334,8 +335,9 @@ void FastEngine::step_one_t() {
       fixed::mul(q_old, qf, coeff_.one_minus_alpha, cf, qf, &sat_old);
   const fixed::raw_t term_next =
       fixed::mul(q_next, qf, coeff_.alpha_gamma, cf, qf, &sat_next);
-  dsp_saturations_ += (sat_r ? 1u : 0u) + (sat_old ? 1u : 0u) +
-                      (sat_next ? 1u : 0u);
+  dsp_saturations_[0] += sat_r ? 1u : 0u;
+  dsp_saturations_[1] += sat_old ? 1u : 0u;
+  dsp_saturations_[2] += sat_next ? 1u : 0u;
   bool sat1 = false, sat2 = false;
   const fixed::raw_t new_q =
       fixed::sat_add(fixed::sat_add(term_r, term_old, qf, &sat1),
@@ -385,7 +387,7 @@ void FastEngine::step_one_t() {
     ev.fwd_next_distance = tel_next_dist;
     ev.fwd_qmax = stats_.fwd_qmax != tel_fwd_qmax_before;
     ev.saturations = static_cast<std::uint8_t>(
-        stats_.adder_saturations + dsp_saturations_ - tel_sat_before);
+        stats_.adder_saturations + dsp_saturations() - tel_sat_before);
     ev.qmax_raised = raised;
     telemetry_->on_step(ev);
   }
@@ -506,87 +508,50 @@ void FastEngine::run_samples(std::uint64_t n) {
   if (telemetry_ != nullptr) telemetry_->on_run(run);
 }
 
-Engine::Engine(const env::Environment& env, const PipelineConfig& config)
-    : config_(config) {
-  if (config.backend == Backend::kFast) {
-    fast_ = std::make_unique<FastEngine>(env, config);
-  } else {
-    pipe_ = std::make_unique<Pipeline>(env, config);
-  }
+MachineState FastEngine::save_state() const {
+  MachineState ms;
+  ms.q = q_;
+  ms.q2 = q2_;
+  ms.qmax_value = qmax_value_;
+  ms.qmax_action = qmax_action_;
+  ms.rng = rng_.lfsr_state();
+  ms.episode_start = episode_start_;
+  ms.state = state_;
+  ms.pending_action = pending_action_;
+  ms.episode_steps = episode_steps_;
+  // kNoAddr and MachineState::kNoWriteback are both ~0, so the ring maps
+  // across without translation.
+  static_assert(kNoAddr == MachineState::kNoWriteback);
+  ms.wb_addrs = wb_ring_;
+  ms.stats = stats_;
+  ms.dsp_saturations = dsp_saturations_;
+  return ms;
 }
 
-void Engine::run_iterations(std::uint64_t n) {
-  fast_ ? fast_->run_iterations(n) : pipe_->run_iterations(n);
-}
-
-void Engine::run_samples(std::uint64_t n) {
-  fast_ ? fast_->run_samples(n) : pipe_->run_samples(n);
-}
-
-const PipelineStats& Engine::stats() const {
-  return fast_ ? fast_->stats() : pipe_->stats();
-}
-
-void Engine::set_trace(std::vector<SampleTrace>* trace) {
-  fast_ ? fast_->set_trace(trace) : pipe_->set_trace(trace);
-}
-
-void Engine::set_telemetry(telemetry::TelemetrySink* sink) {
-  fast_ ? fast_->set_telemetry(sink) : pipe_->set_telemetry(sink);
-}
-
-fixed::raw_t Engine::q_raw(StateId s, ActionId a) const {
-  return fast_ ? fast_->q_raw(s, a) : pipe_->q_raw(s, a);
-}
-
-// qtlint: push-allow(datapath-purity)
-double Engine::q_value(StateId s, ActionId a) const {
-  return fast_ ? fast_->q_value(s, a) : pipe_->q_value(s, a);
-}
-
-std::vector<double> Engine::q_as_double() const {
-  return fast_ ? fast_->q_as_double() : pipe_->q_as_double();
-}
-// qtlint: pop-allow(datapath-purity)
-
-fixed::raw_t Engine::q2_raw(StateId s, ActionId a) const {
-  return fast_ ? fast_->q2_raw(s, a) : pipe_->q2_raw(s, a);
-}
-
-std::vector<ActionId> Engine::greedy_policy() const {
-  return fast_ ? fast_->greedy_policy() : pipe_->greedy_policy();
-}
-
-QmaxUnit::Entry Engine::qmax_entry(StateId s) const {
-  return fast_ ? fast_->qmax_entry(s) : pipe_->qmax_entry(s);
-}
-
-void Engine::preset_q(StateId s, ActionId a, fixed::raw_t value) {
-  fast_ ? fast_->preset_q(s, a, value) : pipe_->preset_q(s, a, value);
-}
-
-void Engine::rebuild_qmax() {
-  fast_ ? fast_->rebuild_qmax() : pipe_->rebuild_qmax();
-}
-
-std::uint64_t Engine::dsp_saturations() const {
-  return fast_ ? fast_->dsp_saturations() : pipe_->dsp_saturations();
-}
-
-const env::Environment& Engine::environment() const {
-  return fast_ ? fast_->environment() : pipe_->environment();
-}
-
-Pipeline& Engine::pipeline() {
-  QTA_CHECK_MSG(pipe_ != nullptr,
-                "Engine::pipeline() requires Backend::kCycleAccurate");
-  return *pipe_;
-}
-
-const Pipeline& Engine::pipeline() const {
-  QTA_CHECK_MSG(pipe_ != nullptr,
-                "Engine::pipeline() requires Backend::kCycleAccurate");
-  return *pipe_;
+void FastEngine::load_state(const MachineState& ms) {
+  QTA_CHECK_MSG(ms.q.size() == q_.size(),
+                "machine state does not match the engine's table geometry");
+  QTA_CHECK_MSG(ms.q2.size() == q2_.size(),
+                "machine state and engine disagree on the second Q table");
+  QTA_CHECK_MSG(ms.qmax_value.size() == qmax_value_.size() &&
+                    ms.qmax_action.size() == qmax_action_.size(),
+                "machine state does not match the engine's state count");
+  q_ = ms.q;
+  q2_ = ms.q2;
+  qmax_value_ = ms.qmax_value;
+  qmax_action_ = ms.qmax_action;
+  rng_.set_lfsr_state(ms.rng);
+  episode_start_ = ms.episode_start;
+  state_ = ms.state;
+  pending_action_ = ms.pending_action;
+  episode_steps_ = ms.episode_steps;
+  wb_ring_ = ms.wb_addrs;
+  // The raise ring is intentionally NOT restored: states are saved
+  // post-drain, where every raise has committed, and run_* resets the
+  // ring at entry anyway (machine_state.h spells out the invariant).
+  raise_ring_ = {};
+  stats_ = ms.stats;
+  dsp_saturations_ = ms.dsp_saturations;
 }
 
 }  // namespace qta::qtaccel

@@ -24,14 +24,13 @@
 // cycle-accurate backend is mandatory (waveforms, port-conflict
 // auditing, shared-table collision modeling).
 //
-// Engine is the thin backend selector: construct it with a
-// PipelineConfig and it runs a Pipeline or a FastEngine per
-// config.backend behind one surface.
+// Backend selection lives one layer up: runtime::Engine (see
+// src/runtime/engine.h) constructs a Pipeline or a FastEngine per
+// config.backend behind one uniform surface.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -85,7 +84,15 @@ class FastEngine {
 
   /// Saturation count across the three stage-3 DSP products (same events
   /// Pipeline::dsp_saturations reports).
-  std::uint64_t dsp_saturations() const { return dsp_saturations_; }
+  std::uint64_t dsp_saturations() const {
+    return dsp_saturations_[0] + dsp_saturations_[1] + dsp_saturations_[2];
+  }
+
+  /// Complete machine state (qtaccel/machine_state.h) — field-for-field
+  /// compatible with Pipeline::save_state/load_state, so a state saved
+  /// on either backend resumes bit-exactly on the other.
+  MachineState save_state() const;
+  void load_state(const MachineState& ms);
 
   const env::Environment& environment() const { return env_; }
   const PipelineConfig& config() const { return config_; }
@@ -186,52 +193,11 @@ class FastEngine {
   }
 
   PipelineStats stats_;
-  std::uint64_t dsp_saturations_ = 0;
+  // Saturations per stage-3 product in {r, old, next} order, matching
+  // MachineState::dsp_saturations and Pipeline's three DspMultipliers.
+  std::array<std::uint64_t, 3> dsp_saturations_{};
   std::vector<SampleTrace>* trace_ = nullptr;
   telemetry::TelemetrySink* telemetry_ = nullptr;
-};
-
-/// Backend selector: one construction surface over the cycle-accurate
-/// pipeline and the fast functional engine. Everything that does not need
-/// waveforms, per-cycle port auditing, or shared-table collision modeling
-/// can run either backend and retire identical results.
-class Engine {
- public:
-  Engine(const env::Environment& env, const PipelineConfig& config);
-
-  Backend backend() const { return config_.backend; }
-
-  void run_iterations(std::uint64_t n);
-  void run_samples(std::uint64_t n);
-
-  const PipelineStats& stats() const;
-  void set_trace(std::vector<SampleTrace>* trace);
-  /// Forwards to the active backend's set_telemetry.
-  void set_telemetry(telemetry::TelemetrySink* sink);
-
-  fixed::raw_t q_raw(StateId s, ActionId a) const;
-  double q_value(StateId s, ActionId a) const;  // qtlint: allow(datapath-purity)
-  fixed::raw_t q2_raw(StateId s, ActionId a) const;
-  std::vector<double> q_as_double() const;  // qtlint: allow(datapath-purity)
-  std::vector<ActionId> greedy_policy() const;
-  QmaxUnit::Entry qmax_entry(StateId s) const;
-
-  void preset_q(StateId s, ActionId a, fixed::raw_t value);
-  void rebuild_qmax();
-  std::uint64_t dsp_saturations() const;
-
-  const env::Environment& environment() const;
-  const PipelineConfig& config() const { return config_; }
-
-  /// The underlying cycle-accurate pipeline (aborts on the fast backend)
-  /// — for callers that need waveforms or Bram statistics.
-  Pipeline& pipeline();
-  const Pipeline& pipeline() const;
-
- private:
-  PipelineConfig config_;
-  std::unique_ptr<Pipeline> pipe_;
-  std::unique_ptr<FastEngine> fast_;
 };
 
 }  // namespace qta::qtaccel

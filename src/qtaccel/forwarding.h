@@ -56,6 +56,15 @@ class WritebackQueue {
 
   void clear();
 
+  /// Raw register contents, newest first — snapshot support. A restored
+  /// queue must hold values equal to the committed table words at the
+  /// same addresses (the post-drain invariant machine_state.h documents),
+  /// or forwarding would diverge from a continuous run.
+  const std::array<Writeback, kDepth>& entries() const { return entries_; }
+  void restore(const std::array<Writeback, kDepth>& entries) {
+    entries_ = entries;
+  }
+
   /// Flip-flop cost of the forwarding registers, for the resource model:
   /// kDepth x (q value + address + valid).
   static unsigned flip_flops(unsigned q_width, unsigned addr_bits) {

@@ -1,0 +1,81 @@
+// Backend-neutral machine state — the complete register/BRAM contents a
+// drained accelerator needs to resume bit-exactly.
+//
+// Both backends expose save_state()/load_state() over this struct, and the
+// runtime snapshot layer (src/runtime/snapshot.h) serializes exactly these
+// fields, so a state saved on one backend restores on the other.
+//
+// Save points are post-drain (nothing in flight). That is what makes the
+// state this small:
+//
+//  * Pipeline latches (S1/S2/S3) are all invalid after a drain, so they
+//    are not part of the state.
+//  * The 3-deep forwarding queue still holds the last three write-backs,
+//    but post-drain every queued value has already committed to BRAM: the
+//    newest-first match can only return the committed word, so the queue
+//    is reconstructible from its three tagged ADDRESSES plus the restored
+//    tables. Only the addresses are stored (wb_addrs).
+//  * The Qmax raise history (the fast backend's 2-deep raise ring, the
+//    cycle backend's combine_qmax over the queue) can never raise again
+//    post-drain — the committed Qmax entry is >= every drained write-back
+//    under the strictly-greater raise rule — so it is not stored at all.
+//
+// Consequence for exactness (asserted by tests/snapshot_test.cpp): for a
+// single instance, run(N); save; load; run(M) retires a trace AND stats
+// bit-identical to run(N); run(M). Against a contiguous run(N+M), the
+// retired trace, tables, and all sample-derived counters are identical,
+// while the analytic cycle accounting differs by exactly one drain/refill
+// (forward: cycles +3; stall: stall_cycles +3) and fwd_qmax may differ at
+// the seam — the same deltas two back-to-back run_*() calls exhibit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "fixed/fixed_point.h"
+#include "qtaccel/pipeline.h"  // PipelineStats
+
+namespace qta::qtaccel {
+
+struct MachineState {
+  /// Empty slot in wb_addrs. AddressMap tagged addresses use at most
+  /// state_bits + action_bits + 1 bits, so ~0 never collides.
+  static constexpr std::uint64_t kNoWriteback = ~std::uint64_t{0};
+
+  // BRAM contents, indexed by AddressMap::q_addr (row-major s, a).
+  std::vector<fixed::raw_t> q;
+  std::vector<fixed::raw_t> q2;  // Double Q-Learning only; empty otherwise
+
+  // Monotone-Qmax table, indexed by state. Always present (zero-filled
+  // and identical across backends when the config runs exact-scan mode),
+  // so the serialized layout does not depend on qmax_mode.
+  std::vector<fixed::raw_t> qmax_value;
+  std::vector<ActionId> qmax_action;
+
+  // LFSR registers in RngBank order {start, behavior, update, noise}.
+  std::array<std::uint64_t, 4> rng{};
+
+  // Agent/episode walk state (identical fields in both backends).
+  bool episode_start = true;
+  StateId state = 0;
+  ActionId pending_action = kInvalidAction;
+  std::uint64_t episode_steps = 0;
+
+  // Tagged write-back addresses of the last three retired samples,
+  // newest first ([0] mirrors WritebackQueue::entries()[0] and the fast
+  // backend's wb_ring_[0]).
+  std::array<std::uint64_t, 3> wb_addrs{kNoWriteback, kNoWriteback,
+                                        kNoWriteback};
+
+  // Full counter block, including the analytic cycle accounting.
+  PipelineStats stats;
+
+  // Per-multiplier saturation events in stage-3 order {r, old, next}.
+  // Invocation counts are not stored: each DSP multiplies exactly once
+  // per retired sample, so invocations == stats.samples by construction.
+  std::array<std::uint64_t, 3> dsp_saturations{};
+};
+
+}  // namespace qta::qtaccel

@@ -1,10 +1,12 @@
 #include "qtaccel/pipeline.h"
 
+#include <array>
 #include <cstdio>
 #include <ostream>
 
 #include "common/check.h"
 #include "env/value_iteration.h"
+#include "qtaccel/machine_state.h"
 
 namespace qta::qtaccel {
 
@@ -600,6 +602,114 @@ void Pipeline::run_iterations(std::uint64_t n) {
 void Pipeline::run_samples(std::uint64_t n) {
   while (stats_.samples < n) tick(true);
   while (in_flight()) tick(false);
+}
+
+MachineState Pipeline::save_state() const {
+  QTA_CHECK_MSG(!in_flight(), "save_state while the pipeline is running");
+  MachineState ms;
+  const std::uint64_t depth = map_.depth();
+  ms.q.resize(depth);
+  for (std::uint64_t addr = 0; addr < depth; ++addr) {
+    ms.q[addr] = q_table_->peek(addr);
+  }
+  if (q2_table_) {
+    ms.q2.resize(depth);
+    for (std::uint64_t addr = 0; addr < depth; ++addr) {
+      ms.q2[addr] = q2_table_->peek(addr);
+    }
+  }
+  const StateId num_states = env_.num_states();
+  ms.qmax_value.resize(num_states);
+  ms.qmax_action.resize(num_states);
+  for (StateId s = 0; s < num_states; ++s) {
+    const QmaxUnit::Entry e = qmax_->peek(s);
+    ms.qmax_value[s] = e.value;
+    ms.qmax_action[s] = e.action;
+  }
+  ms.rng = rng_.lfsr_state();
+  ms.episode_start = issue_episode_start_;
+  ms.state = issue_state_;
+  ms.pending_action = forwarded_action_;
+  ms.episode_steps = issue_episode_steps_;
+  const auto& wb = wbq_.entries();
+  for (unsigned i = 0; i < WritebackQueue::kDepth; ++i) {
+    ms.wb_addrs[i] = wb[i].valid ? wb[i].q_addr : MachineState::kNoWriteback;
+  }
+  ms.stats = stats_;
+  ms.dsp_saturations = {dsp_r_.saturations(), dsp_old_.saturations(),
+                        dsp_next_.saturations()};
+  return ms;
+}
+
+void Pipeline::load_state(const MachineState& ms) {
+  QTA_CHECK_MSG(!in_flight(), "load_state while the pipeline is running");
+  const std::uint64_t depth = map_.depth();
+  QTA_CHECK_MSG(ms.q.size() == depth,
+                "machine state does not match the pipeline's table geometry");
+  QTA_CHECK_MSG((q2_table_ != nullptr) == !ms.q2.empty(),
+                "machine state and pipeline disagree on the second Q table");
+  for (std::uint64_t addr = 0; addr < depth; ++addr) {
+    q_table_->preset(addr, ms.q[addr]);
+  }
+  if (q2_table_) {
+    QTA_CHECK(ms.q2.size() == depth);
+    for (std::uint64_t addr = 0; addr < depth; ++addr) {
+      q2_table_->preset(addr, ms.q2[addr]);
+    }
+  }
+  const StateId num_states = env_.num_states();
+  QTA_CHECK_MSG(
+      ms.qmax_value.size() == num_states &&
+          ms.qmax_action.size() == num_states,
+      "machine state does not match the pipeline's state count");
+  for (StateId s = 0; s < num_states; ++s) {
+    qmax_->preset(s, {ms.qmax_value[s], ms.qmax_action[s]});
+  }
+  rng_.set_lfsr_state(ms.rng);
+  issue_episode_start_ = ms.episode_start;
+  issue_state_ = ms.state;
+  forwarded_action_ = ms.pending_action;
+  issue_episode_steps_ = ms.episode_steps;
+
+  // Rebuild the forwarding queue from its tagged addresses: post-drain
+  // every queued value has committed, so the entries come straight off
+  // the just-restored tables (the invariant machine_state.h documents).
+  std::array<Writeback, WritebackQueue::kDepth> entries{};
+  for (unsigned i = 0; i < WritebackQueue::kDepth; ++i) {
+    const std::uint64_t tagged = ms.wb_addrs[i];
+    if (tagged == MachineState::kNoWriteback) continue;
+    const unsigned table = static_cast<unsigned>(
+        tagged >> (map_.state_bits + map_.action_bits));
+    const std::uint64_t q_addr = tagged & (depth - 1);
+    QTA_CHECK_MSG(table <= 1 && (table == 0 || q2_table_ != nullptr),
+                  "machine state write-back address tags a table this "
+                  "pipeline does not have");
+    const hw::Bram* src = table == 1 ? q2_table_ : q_table_;
+    Writeback e;
+    e.valid = true;
+    e.q_addr = tagged;
+    e.state = static_cast<StateId>(q_addr >> map_.action_bits);
+    e.action = static_cast<ActionId>(
+        q_addr & ((std::uint64_t{1} << map_.action_bits) - 1));
+    e.new_q = src->peek(q_addr);
+    entries[i] = e;
+  }
+  wbq_.restore(entries);
+
+  // A drained pipeline has empty latches; a restored one starts the same
+  // way.
+  s1_ = {};
+  s1_next_ = {};
+  s2_ = {};
+  s2_next_ = {};
+  s3_ = {};
+  s3_next_ = {};
+
+  stats_ = ms.stats;
+  // Each stage-3 DSP multiplies exactly once per retired sample.
+  dsp_r_.restore_counters(ms.stats.samples, ms.dsp_saturations[0]);
+  dsp_old_.restore_counters(ms.stats.samples, ms.dsp_saturations[1]);
+  dsp_next_.restore_counters(ms.stats.samples, ms.dsp_saturations[2]);
 }
 
 }  // namespace qta::qtaccel

@@ -41,6 +41,8 @@
 
 namespace qta::qtaccel {
 
+struct MachineState;  // qtaccel/machine_state.h
+
 struct PipelineStats : RunCounters {
   Cycle cycles = 0;
   std::uint64_t issued = 0;
@@ -128,6 +130,14 @@ class Pipeline {
 
   /// Saturation count across the three stage-3 DSP multipliers.
   std::uint64_t dsp_saturations() const;
+
+  /// Complete post-drain machine state (qtaccel/machine_state.h); only
+  /// valid while nothing is in flight. save_state() then load_state()
+  /// on a fresh pipeline resumes the run bit-exactly — including the
+  /// forwarding queue, reconstructed from the saved tagged addresses and
+  /// the committed tables.
+  MachineState save_state() const;
+  void load_state(const MachineState& ms);
 
  private:
   struct S1Latch {

@@ -70,6 +70,16 @@ class Lfsr {
   double uniform();
 
   std::uint64_t state() const { return state_; }
+
+  /// Restores a previously observed register state (snapshot resume).
+  /// The state must be a value this register can actually hold: nonzero
+  /// (the all-zero state is absorbing) and within the register width.
+  void set_state(std::uint64_t state) {
+    QTA_CHECK_MSG(state != 0 && (state & mask_) == state,
+                  "LFSR state outside the register's reachable set");
+    state_ = state;
+  }
+
   unsigned width() const { return width_; }
 
   /// Flip-flop cost of this register, for the resource ledger.

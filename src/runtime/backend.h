@@ -1,0 +1,97 @@
+// The runtime's backend abstraction: one QRL machine, interchangeable
+// observation surfaces.
+//
+// A QrlBackend is one accelerator instance — the paper's machine —
+// executed by either the cycle-accurate pipeline (qtaccel/pipeline.h) or
+// the fast functional engine (qtaccel/fast_engine.h). Both retire
+// bit-identical traces and tables; they differ in what the host pays per
+// sample and in which observation surfaces exist (waveforms, per-cycle
+// telemetry, port auditing). Capability flags expose that difference so
+// callers probe instead of assuming a backend.
+//
+// Layering rule (enforced by qtlint's runtime-boundary rule): runtime/
+// includes qtaccel/, never the reverse. Everything above the datapath —
+// driver, tools, examples, benches — talks to QrlBackend or the Engine
+// facade (runtime/engine.h), not to Pipeline/FastEngine directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/environment.h"
+#include "qtaccel/config.h"
+#include "qtaccel/machine_state.h"
+#include "qtaccel/pipeline.h"
+#include "qtaccel/qmax_unit.h"
+#include "telemetry/sink.h"
+
+namespace qta::runtime {
+
+/// What a backend can observe beyond the retired trace and stats. The
+/// trace/table semantics themselves are identical across backends — these
+/// flags only gate observation surfaces.
+struct BackendCaps {
+  bool waveforms = false;     // textual per-cycle waveform (set_waveform)
+  bool cycle_events = false;  // telemetry CycleEvents (fast backend emits
+                              // StepEvents/RunEvents instead)
+  bool port_audit = false;    // per-cycle Bram port/conflict accounting
+  bool single_cycle_step = false;  // tick()-level stepping (driver CSR run)
+};
+
+class QrlBackend {
+ public:
+  virtual ~QrlBackend() = default;
+
+  QrlBackend() = default;
+  QrlBackend(const QrlBackend&) = delete;
+  QrlBackend& operator=(const QrlBackend&) = delete;
+
+  virtual qtaccel::Backend kind() const = 0;
+  virtual BackendCaps caps() const = 0;
+
+  // Capability queries, for call sites that read better as a question.
+  bool has_waveforms() const { return caps().waveforms; }
+  bool has_cycle_events() const { return caps().cycle_events; }
+  bool has_port_audit() const { return caps().port_audit; }
+  bool has_single_cycle_step() const { return caps().single_cycle_step; }
+
+  virtual void run_iterations(std::uint64_t n) = 0;
+  virtual void run_samples(std::uint64_t n) = 0;
+
+  virtual const qtaccel::PipelineStats& stats() const = 0;
+  virtual void set_trace(std::vector<qtaccel::SampleTrace>* trace) = 0;
+  virtual void set_telemetry(telemetry::TelemetrySink* sink) = 0;
+
+  virtual fixed::raw_t q_raw(StateId s, ActionId a) const = 0;
+  // qtlint: allow(datapath-purity)
+  virtual double q_value(StateId s, ActionId a) const = 0;
+  virtual fixed::raw_t q2_raw(StateId s, ActionId a) const = 0;
+  // qtlint: allow(datapath-purity)
+  virtual std::vector<double> q_as_double() const = 0;
+  virtual std::vector<ActionId> greedy_policy() const = 0;
+  virtual qtaccel::QmaxUnit::Entry qmax_entry(StateId s) const = 0;
+
+  virtual void preset_q(StateId s, ActionId a, fixed::raw_t value) = 0;
+  virtual void rebuild_qmax() = 0;
+  virtual std::uint64_t dsp_saturations() const = 0;
+
+  /// Complete machine state (qtaccel/machine_state.h). Backend-generic:
+  /// a state saved here restores on any backend of the same config.
+  virtual qtaccel::MachineState save_state() const = 0;
+  virtual void load_state(const qtaccel::MachineState& ms) = 0;
+
+  virtual const env::Environment& environment() const = 0;
+  virtual const qtaccel::PipelineConfig& config() const = 0;
+  virtual const qtaccel::AddressMap& address_map() const = 0;
+
+  /// The cycle-accurate pipeline when this backend wraps one, else
+  /// nullptr — the nullable replacement for the old aborting accessor.
+  /// Check has_waveforms()/has_port_audit() (or null-test the result)
+  /// instead of assuming the cycle backend.
+  virtual qtaccel::Pipeline* cycle_pipeline() { return nullptr; }
+  const qtaccel::Pipeline* cycle_pipeline() const {
+    return const_cast<QrlBackend*>(this)->cycle_pipeline();
+  }
+};
+
+}  // namespace qta::runtime

@@ -1,0 +1,236 @@
+#include "runtime/backend_registry.h"
+
+#include <array>
+#include <mutex>
+
+#include "common/check.h"
+#include "qtaccel/fast_engine.h"
+#include "qtaccel/pipeline.h"
+
+namespace qta::runtime {
+
+namespace {
+
+// The two in-tree adapters. These are the ONLY places outside unit tests
+// where Pipeline/FastEngine are constructed (the qtlint runtime-boundary
+// rule keeps it that way).
+
+class PipelineBackend final : public QrlBackend {
+ public:
+  PipelineBackend(const env::Environment& env,
+                  const qtaccel::PipelineConfig& config)
+      : pipe_(env, config) {}
+
+  qtaccel::Backend kind() const override {
+    return qtaccel::Backend::kCycleAccurate;
+  }
+  BackendCaps caps() const override {
+    BackendCaps c;
+    c.waveforms = true;
+    c.cycle_events = true;
+    c.port_audit = true;
+    c.single_cycle_step = true;
+    return c;
+  }
+
+  void run_iterations(std::uint64_t n) override { pipe_.run_iterations(n); }
+  void run_samples(std::uint64_t n) override { pipe_.run_samples(n); }
+
+  const qtaccel::PipelineStats& stats() const override {
+    return pipe_.stats();
+  }
+  void set_trace(std::vector<qtaccel::SampleTrace>* trace) override {
+    pipe_.set_trace(trace);
+  }
+  void set_telemetry(telemetry::TelemetrySink* sink) override {
+    pipe_.set_telemetry(sink);
+  }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const override {
+    return pipe_.q_raw(s, a);
+  }
+  double q_value(StateId s, ActionId a) const override {
+    return pipe_.q_value(s, a);
+  }
+  fixed::raw_t q2_raw(StateId s, ActionId a) const override {
+    return pipe_.q2_raw(s, a);
+  }
+  std::vector<double> q_as_double() const override {
+    return pipe_.q_as_double();
+  }
+  std::vector<ActionId> greedy_policy() const override {
+    return pipe_.greedy_policy();
+  }
+  qtaccel::QmaxUnit::Entry qmax_entry(StateId s) const override {
+    return pipe_.qmax_entry(s);
+  }
+
+  void preset_q(StateId s, ActionId a, fixed::raw_t value) override {
+    pipe_.preset_q(s, a, value);
+  }
+  void rebuild_qmax() override { pipe_.rebuild_qmax(); }
+  std::uint64_t dsp_saturations() const override {
+    return pipe_.dsp_saturations();
+  }
+
+  qtaccel::MachineState save_state() const override {
+    return pipe_.save_state();
+  }
+  void load_state(const qtaccel::MachineState& ms) override {
+    pipe_.load_state(ms);
+  }
+
+  const env::Environment& environment() const override {
+    return pipe_.environment();
+  }
+  const qtaccel::PipelineConfig& config() const override {
+    return pipe_.config();
+  }
+  const qtaccel::AddressMap& address_map() const override {
+    return pipe_.address_map();
+  }
+
+  qtaccel::Pipeline* cycle_pipeline() override { return &pipe_; }
+
+ private:
+  qtaccel::Pipeline pipe_;
+};
+
+class FastEngineBackend final : public QrlBackend {
+ public:
+  FastEngineBackend(const env::Environment& env,
+                    const qtaccel::PipelineConfig& config)
+      : fast_(env, config) {}
+
+  qtaccel::Backend kind() const override { return qtaccel::Backend::kFast; }
+  BackendCaps caps() const override { return BackendCaps{}; }
+
+  void run_iterations(std::uint64_t n) override { fast_.run_iterations(n); }
+  void run_samples(std::uint64_t n) override { fast_.run_samples(n); }
+
+  const qtaccel::PipelineStats& stats() const override {
+    return fast_.stats();
+  }
+  void set_trace(std::vector<qtaccel::SampleTrace>* trace) override {
+    fast_.set_trace(trace);
+  }
+  void set_telemetry(telemetry::TelemetrySink* sink) override {
+    fast_.set_telemetry(sink);
+  }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const override {
+    return fast_.q_raw(s, a);
+  }
+  double q_value(StateId s, ActionId a) const override {
+    return fast_.q_value(s, a);
+  }
+  fixed::raw_t q2_raw(StateId s, ActionId a) const override {
+    return fast_.q2_raw(s, a);
+  }
+  std::vector<double> q_as_double() const override {
+    return fast_.q_as_double();
+  }
+  std::vector<ActionId> greedy_policy() const override {
+    return fast_.greedy_policy();
+  }
+  qtaccel::QmaxUnit::Entry qmax_entry(StateId s) const override {
+    return fast_.qmax_entry(s);
+  }
+
+  void preset_q(StateId s, ActionId a, fixed::raw_t value) override {
+    fast_.preset_q(s, a, value);
+  }
+  void rebuild_qmax() override { fast_.rebuild_qmax(); }
+  std::uint64_t dsp_saturations() const override {
+    return fast_.dsp_saturations();
+  }
+
+  qtaccel::MachineState save_state() const override {
+    return fast_.save_state();
+  }
+  void load_state(const qtaccel::MachineState& ms) override {
+    fast_.load_state(ms);
+  }
+
+  const env::Environment& environment() const override {
+    return fast_.environment();
+  }
+  const qtaccel::PipelineConfig& config() const override {
+    return fast_.config();
+  }
+  const qtaccel::AddressMap& address_map() const override {
+    return fast_.address_map();
+  }
+
+ private:
+  qtaccel::FastEngine fast_;
+};
+
+std::unique_ptr<QrlBackend> make_pipeline_backend(
+    const env::Environment& env, const qtaccel::PipelineConfig& config) {
+  return std::make_unique<PipelineBackend>(env, config);
+}
+
+std::unique_ptr<QrlBackend> make_fast_backend(
+    const env::Environment& env, const qtaccel::PipelineConfig& config) {
+  return std::make_unique<FastEngineBackend>(env, config);
+}
+
+constexpr std::size_t kNumBackends = 2;
+
+struct Registry {
+  std::mutex mu;
+  std::array<BackendFactory, kNumBackends> factories{};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::size_t slot(qtaccel::Backend kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  QTA_CHECK_MSG(index < kNumBackends, "unknown backend kind");
+  return index;
+}
+
+std::once_flag builtins_once;
+
+// Installed directly (not via register_backend) so an out-of-tree
+// factory registered BEFORE the first make_backend call is never
+// clobbered by the lazy built-in installation.
+void ensure_builtins() {
+  std::call_once(builtins_once, [] {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.factories[slot(qtaccel::Backend::kCycleAccurate)] =
+        &make_pipeline_backend;
+    r.factories[slot(qtaccel::Backend::kFast)] = &make_fast_backend;
+  });
+}
+
+}  // namespace
+
+void register_backend(qtaccel::Backend kind, BackendFactory factory) {
+  QTA_CHECK(factory != nullptr);
+  ensure_builtins();  // explicit registrations always win over built-ins
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.factories[slot(kind)] = factory;
+}
+
+std::unique_ptr<QrlBackend> make_backend(
+    const env::Environment& env, const qtaccel::PipelineConfig& config) {
+  ensure_builtins();
+  BackendFactory factory = nullptr;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    factory = r.factories[slot(config.backend)];
+  }
+  QTA_CHECK_MSG(factory != nullptr,
+                "no backend registered for this config.backend");
+  return factory(env, config);
+}
+
+}  // namespace qta::runtime

@@ -1,0 +1,11 @@
+#include "runtime/engine.h"
+
+#include "runtime/backend_registry.h"
+
+namespace qta::runtime {
+
+Engine::Engine(const env::Environment& env,
+               const qtaccel::PipelineConfig& config)
+    : backend_(make_backend(env, config)) {}
+
+}  // namespace qta::runtime

@@ -1,19 +1,52 @@
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/multi_pipeline.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
 #include <thread>
 
 #include "common/check.h"
+#include "qtaccel/machine_state.h"
 #include "qtaccel/resources.h"
+#include "runtime/snapshot.h"
 
-namespace qta::qtaccel {
+namespace qta::runtime {
+
+namespace {
+constexpr const char* kPoolMagic = "QTACCEL-POOL-CHECKPOINT";
+constexpr const char* kFleetMagic = "QTACCEL-FLEET-CHECKPOINT";
+constexpr const char* kPoolVersion = "v1";
+
+void expect_pool_header(std::istream& is, const char* magic,
+                        const char* key, std::uint64_t expected_count,
+                        std::uint64_t* out_cycles) {
+  std::string tok;
+  is >> tok;
+  QTA_CHECK_MSG(static_cast<bool>(is) && tok == magic,
+                "not a QTACCEL pool checkpoint file");
+  is >> tok;
+  QTA_CHECK_MSG(static_cast<bool>(is) && tok == kPoolVersion,
+                "unsupported pool checkpoint version");
+  std::uint64_t count = 0;
+  is >> tok >> count;
+  QTA_CHECK_MSG(static_cast<bool>(is) && tok == key && count == expected_count,
+                "pool checkpoint shape does not match this pool");
+  if (out_cycles != nullptr) {
+    is >> tok >> *out_cycles;
+    QTA_CHECK_MSG(static_cast<bool>(is) && tok == "cycles",
+                  "truncated pool checkpoint header");
+  }
+}
+}  // namespace
 
 SharedTablePipelines::SharedTablePipelines(const env::Environment& env,
-                                           const PipelineConfig& config,
+                                           const qtaccel::PipelineConfig&
+                                               config,
                                            unsigned num_pipelines)
     : env_(env),
       config_(config),
-      map_(make_address_map(env)),
+      map_(qtaccel::make_address_map(env)),
       q_("shared_q_table", map_.depth(), config.q_fmt.width,
          2 * num_pipelines),
       r_("shared_reward_table", map_.depth(), config.q_fmt.width,
@@ -22,6 +55,12 @@ SharedTablePipelines::SharedTablePipelines(const env::Environment& env,
             2 * num_pipelines) {
   QTA_CHECK_MSG(num_pipelines >= 1 && num_pipelines <= 2,
                 "shared-table mode supports one or two pipelines");
+  QTA_CHECK_MSG(
+      config.backend == qtaccel::Backend::kCycleAccurate,
+      "shared-table mode requires the cycle-accurate backend: the fast "
+      "engine has no port-level table sharing or collision model (set "
+      "config.backend = Backend::kCycleAccurate, or use "
+      "IndependentPipelines for fast fleets)");
   for (StateId s = 0; s < env.num_states(); ++s) {
     for (ActionId a = 0; a < env.num_actions(); ++a) {
       r_.preset(map_.q_addr(s, a),
@@ -29,30 +68,65 @@ SharedTablePipelines::SharedTablePipelines(const env::Environment& env,
     }
   }
   for (unsigned p = 0; p < num_pipelines; ++p) {
-    PipelineConfig pc = config;
+    qtaccel::PipelineConfig pc = config;
     pc.seed = config.seed + p;
-    pipes_.push_back(
-        std::make_unique<Pipeline>(env, pc, &q_, &r_, &qmax_, 2 * p));
+    pipes_.push_back(std::make_unique<qtaccel::Pipeline>(env, pc, &q_, &r_,
+                                                         &qmax_, 2 * p));
   }
 }
 
-void SharedTablePipelines::tick_all() {
+void SharedTablePipelines::tick_all(bool allow_issue) {
   q_.begin_cycle();
   r_.begin_cycle();
   qmax_.bram().begin_cycle();
-  for (auto& p : pipes_) p->tick(true);
+  for (auto& p : pipes_) p->tick(allow_issue);
   q_.clock_edge();
   r_.clock_edge();
   qmax_.bram().clock_edge();
   ++cycles_;
 }
 
+bool SharedTablePipelines::any_in_flight() const {
+  for (const auto& p : pipes_) {
+    if (p->in_flight()) return true;
+  }
+  return false;
+}
+
+void SharedTablePipelines::drain() {
+  while (any_in_flight()) tick_all(false);
+}
+
 void SharedTablePipelines::run_cycles(std::uint64_t cycles) {
-  for (std::uint64_t c = 0; c < cycles; ++c) tick_all();
+  for (std::uint64_t c = 0; c < cycles; ++c) tick_all(true);
 }
 
 void SharedTablePipelines::run_samples_total(std::uint64_t total) {
-  while (total_samples() < total) tick_all();
+  while (total_samples() < total) tick_all(true);
+}
+
+void SharedTablePipelines::save_checkpoint(std::ostream& os) {
+  drain();  // the lockstep barrier: every pipe's state is now committed
+  os << kPoolMagic << ' ' << kPoolVersion << '\n'
+     << "pipes " << pipes_.size() << '\n'
+     << "cycles " << cycles_ << '\n';
+  // Each pipe snapshots the shared tables through its own pointers; the
+  // duplication buys per-pipe files that are individually complete.
+  for (const auto& p : pipes_) {
+    write_snapshot(os, p->config(), env_, p->save_state());
+  }
+}
+
+void SharedTablePipelines::load_checkpoint(std::istream& is) {
+  std::uint64_t cycles = 0;
+  expect_pool_header(is, kPoolMagic, "pipes", pipes_.size(), &cycles);
+  // Per-pipe restore re-presets the shared tables once per pipe — they
+  // were saved post-drain, so every copy is identical and the repeated
+  // preset is idempotent.
+  for (const auto& p : pipes_) {
+    p->load_state(read_snapshot(is, p->config(), env_));
+  }
+  cycles_ = cycles;
 }
 
 std::uint64_t SharedTablePipelines::total_samples() const {
@@ -87,11 +161,11 @@ std::vector<double> SharedTablePipelines::q_as_double() const {
 
 IndependentPipelines::IndependentPipelines(
     std::vector<std::unique_ptr<env::Environment>> environments,
-    const PipelineConfig& config)
+    const qtaccel::PipelineConfig& config)
     : envs_(std::move(environments)), config_(config) {
   QTA_CHECK(!envs_.empty());
   for (std::size_t i = 0; i < envs_.size(); ++i) {
-    PipelineConfig pc = config;
+    qtaccel::PipelineConfig pc = config;
     pc.seed = config.seed * 1000003ULL + i;
     engines_.push_back(std::make_unique<Engine>(*envs_[i], pc));
   }
@@ -136,6 +210,18 @@ void IndependentPipelines::run_samples_each(std::uint64_t samples,
   });
 }
 
+void IndependentPipelines::save_checkpoint(std::ostream& os) const {
+  os << kFleetMagic << ' ' << kPoolVersion << '\n'
+     << "engines " << engines_.size() << '\n';
+  for (const auto& e : engines_) save_snapshot(*e, os);
+}
+
+void IndependentPipelines::load_checkpoint(std::istream& is) {
+  expect_pool_header(is, kFleetMagic, "engines", engines_.size(),
+                     /*out_cycles=*/nullptr);
+  for (auto& e : engines_) load_snapshot(*e, is);
+}
+
 std::uint64_t IndependentPipelines::total_samples() const {
   std::uint64_t sum = 0;
   for (const auto& e : engines_) sum += e->stats().samples;
@@ -156,9 +242,9 @@ double IndependentPipelines::samples_per_cycle() const {
 // qtlint: pop-allow(datapath-purity)
 
 hw::ResourceLedger IndependentPipelines::resources() const {
-  return build_resources(*envs_[0], config_,
-                         static_cast<unsigned>(engines_.size()),
-                         /*share_tables=*/false);
+  return qtaccel::build_resources(*envs_[0], config_,
+                                  static_cast<unsigned>(engines_.size()),
+                                  /*share_tables=*/false);
 }
 
-}  // namespace qta::qtaccel
+}  // namespace qta::runtime

@@ -6,14 +6,29 @@
 // pipelines write the same address in one cycle, one arbitrarily
 // overwrites the other (counted as a collision, exactly the behaviour the
 // paper describes). There is no cross-pipeline forwarding: each agent's
-// hazard network only covers its own in-flight updates.
+// hazard network only covers its own in-flight updates. Shared-table mode
+// REQUIRES the cycle-accurate backend — the fast engine has no port-level
+// table sharing — and the constructor rejects a fast-backend config with
+// a clear error instead of silently running the wrong model.
 //
-// IndependentPipelines — "Independent Learners": N pipelines, each with
-// its own environment partition and its own BRAM bank; embarrassingly
-// parallel, simulated with host threads.
+// IndependentPipelines — "Independent Learners": N engines, each with its
+// own environment partition and its own BRAM bank; embarrassingly
+// parallel, simulated with host threads. Either backend works.
+//
+// Both pools checkpoint through the snapshot layer: per-pipe machine
+// snapshots concatenated under a pool header, written at a lockstep
+// barrier (shared mode drains all pipes first; independent mode saves
+// after run_samples_each's join). Restoring is save/load-transparent: a
+// restored pool continues exactly as the saved pool would have. For the
+// shared pool the checkpoint seam is additionally a forwarding boundary
+// (like any drain); cross-pipe write visibility at the seam differs from
+// an uninterrupted run, so shared-mode checkpoints are transparent but
+// not bit-identical to a run that never paused — docs/runtime.md spells
+// this out.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -21,17 +36,19 @@
 #include "env/environment.h"
 #include "hw/bram.h"
 #include "hw/resource_ledger.h"
-#include "qtaccel/fast_engine.h"
 #include "qtaccel/pipeline.h"
+#include "qtaccel/qmax_unit.h"
+#include "runtime/engine.h"
 
-namespace qta::qtaccel {
+namespace qta::runtime {
 
 class SharedTablePipelines {
  public:
   /// `num_pipelines` is 1 or 2 (1 exists so single/dual comparisons run
   /// through identical code). Pipeline p gets seed config.seed + p.
+  /// Aborts when config.backend is not the cycle-accurate backend.
   SharedTablePipelines(const env::Environment& env,
-                       const PipelineConfig& config,
+                       const qtaccel::PipelineConfig& config,
                        unsigned num_pipelines = 2);
 
   /// Runs `cycles` lockstep cycles (all pipelines issue every cycle).
@@ -40,10 +57,22 @@ class SharedTablePipelines {
   /// Runs until the pipelines have retired `total` samples combined.
   void run_samples_total(std::uint64_t total);
 
+  /// Lockstep drain: issue is suppressed on every pipe until nothing is
+  /// in flight anywhere. The checkpoint barrier; also usable on its own.
+  void drain();
+
+  /// Pool-wide atomic checkpoint: drains, then writes the pool header
+  /// and one machine snapshot per pipe (shared tables appear in each —
+  /// restore is idempotent). Non-const because of the drain.
+  void save_checkpoint(std::ostream& os);
+  /// Restores a checkpoint written by save_checkpoint; aborts with a
+  /// diagnostic on a foreign file or a pool-shape mismatch.
+  void load_checkpoint(std::istream& is);
+
   unsigned num_pipelines() const {
     return static_cast<unsigned>(pipes_.size());
   }
-  const Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
+  const qtaccel::Pipeline& pipeline(unsigned i) const { return *pipes_[i]; }
   Cycle cycles() const { return cycles_; }
 
   /// Attaches a telemetry sink to pipeline `i` (nullptr detaches). The
@@ -68,15 +97,16 @@ class SharedTablePipelines {
   // qtlint: pop-allow(datapath-purity)
 
  private:
-  void tick_all();
+  void tick_all(bool allow_issue);
+  bool any_in_flight() const;
 
   const env::Environment& env_;
-  PipelineConfig config_;
-  AddressMap map_;
+  qtaccel::PipelineConfig config_;
+  qtaccel::AddressMap map_;
   hw::Bram q_;
   hw::Bram r_;
-  QmaxUnit qmax_;
-  std::vector<std::unique_ptr<Pipeline>> pipes_;
+  qtaccel::QmaxUnit qmax_;
+  std::vector<std::unique_ptr<qtaccel::Pipeline>> pipes_;
   Cycle cycles_ = 0;
 };
 
@@ -94,7 +124,7 @@ class IndependentPipelines {
   /// config.backend); environment i uses seed config.seed * 1000003 + i.
   IndependentPipelines(
       std::vector<std::unique_ptr<env::Environment>> environments,
-      const PipelineConfig& config);
+      const qtaccel::PipelineConfig& config);
 
   /// Runs every pipeline for `samples` samples, using up to
   /// `max_threads` host threads (0 = hardware concurrency; a platform
@@ -105,13 +135,19 @@ class IndependentPipelines {
   void run_samples_each(std::uint64_t samples, unsigned max_threads = 0,
                         Schedule schedule = Schedule::kWorkStealing);
 
+  /// Fleet checkpoint: one machine snapshot per engine. Valid at any
+  /// point between run_samples_each calls (the parallel_for join is the
+  /// barrier); restoring resumes every engine bit-exactly.
+  void save_checkpoint(std::ostream& os) const;
+  void load_checkpoint(std::istream& is);
+
   unsigned num_pipelines() const {
     return static_cast<unsigned>(engines_.size());
   }
-  /// The cycle-accurate pipeline behind engine i (aborts when
-  /// config.backend == Backend::kFast — use engine(i) there).
-  const Pipeline& pipeline(unsigned i) const {
-    return engines_[i]->pipeline();
+  /// The cycle-accurate pipeline behind engine i, or nullptr when the
+  /// backend has none (fast backend) — probe, don't assume.
+  const qtaccel::Pipeline* cycle_pipeline(unsigned i) const {
+    return engines_[i]->cycle_pipeline();
   }
   Engine& engine(unsigned i) { return *engines_[i]; }
   const Engine& engine(unsigned i) const { return *engines_[i]; }
@@ -145,10 +181,10 @@ class IndependentPipelines {
 
  private:
   std::vector<std::unique_ptr<env::Environment>> envs_;
-  PipelineConfig config_;
+  qtaccel::PipelineConfig config_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::unique_ptr<ThreadPool> pool_;  // lazily built, reused across calls
   TaskObserver* pool_observer_ = nullptr;
 };
 
-}  // namespace qta::qtaccel
+}  // namespace qta::runtime

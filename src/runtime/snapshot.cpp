@@ -1,0 +1,304 @@
+#include "runtime/snapshot.h"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+
+namespace qta::runtime {
+
+namespace {
+
+constexpr const char* kQtableMagic = "QTACCEL-QTABLE";
+constexpr const char* kQtableVersion = "v1";
+
+void expect_key(std::istream& is, const char* key) {
+  std::string tok;
+  is >> tok;
+  QTA_CHECK_MSG(static_cast<bool>(is) && tok == key,
+                "truncated or malformed snapshot header");
+}
+
+template <typename T>
+T read_value(std::istream& is) {
+  T v{};
+  is >> v;
+  QTA_CHECK_MSG(static_cast<bool>(is), "truncated snapshot payload");
+  return v;
+}
+
+void write_words(std::ostream& os, const char* key, std::size_t count,
+                 const auto& values) {
+  os << key << ' ' << count;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Wrap every 16 words: keeps lines reviewable without affecting the
+    // whitespace-agnostic reader.
+    os << (i % 16 == 0 ? '\n' : ' ') << values[i];
+  }
+  os << '\n';
+}
+
+// --- v1 warm-start path (the old table_io loader, retargeted) ---
+
+void load_qtable_v1_body(std::istream& is, Engine& engine) {
+  std::string version, key;
+  is >> version;
+  QTA_CHECK_MSG(static_cast<bool>(is) && version == kQtableVersion,
+                "unsupported QTABLE version");
+
+  StateId states = 0;
+  ActionId actions = 0;
+  unsigned width = 0, frac = 0;
+  is >> key >> states;
+  QTA_CHECK_MSG(static_cast<bool>(is) && key == "states",
+                "malformed header: states");
+  is >> key >> actions;
+  QTA_CHECK_MSG(static_cast<bool>(is) && key == "actions",
+                "malformed header: actions");
+  is >> key >> width;
+  QTA_CHECK_MSG(static_cast<bool>(is) && key == "width",
+                "malformed header: width");
+  is >> key >> frac;
+  QTA_CHECK_MSG(static_cast<bool>(is) && key == "frac",
+                "malformed header: frac");
+
+  const env::Environment& env = engine.environment();
+  const fixed::Format fmt = engine.config().q_fmt;
+  QTA_CHECK_MSG(states == env.num_states() && actions == env.num_actions(),
+                "table geometry does not match the pipeline's environment");
+  QTA_CHECK_MSG(width == fmt.width && frac == fmt.frac,
+                "fixed-point format does not match the pipeline's config");
+
+  for (StateId s = 0; s < states; ++s) {
+    for (ActionId a = 0; a < actions; ++a) {
+      fixed::raw_t v = 0;
+      is >> v;
+      QTA_CHECK_MSG(static_cast<bool>(is), "truncated QTABLE payload");
+      QTA_CHECK_MSG(v >= fmt.min_raw() && v <= fmt.max_raw(),
+                    "QTABLE value outside the fixed-point range");
+      engine.preset_q(s, a, v);
+    }
+  }
+  engine.rebuild_qmax();
+}
+
+qtaccel::MachineState read_snapshot_body(std::istream& is,
+                                         const qtaccel::PipelineConfig& config,
+                                         const env::Environment& env) {
+  // --- fingerprint ---
+  expect_key(is, "algorithm");
+  const auto algorithm = read_value<unsigned>(is);
+  expect_key(is, "hazard");
+  const auto hazard = read_value<unsigned>(is);
+  expect_key(is, "qmax");
+  const auto qmax = read_value<unsigned>(is);
+  expect_key(is, "alpha");
+  const auto alpha_bits = read_value<std::uint64_t>(is);
+  expect_key(is, "gamma");
+  const auto gamma_bits = read_value<std::uint64_t>(is);
+  expect_key(is, "epsilon");
+  const auto epsilon_bits_pattern = read_value<std::uint64_t>(is);
+  expect_key(is, "epsilon_bits");
+  const auto epsilon_bits = read_value<unsigned>(is);
+  expect_key(is, "qfmt");
+  const auto q_width = read_value<unsigned>(is);
+  const auto q_frac = read_value<unsigned>(is);
+  expect_key(is, "cfmt");
+  const auto c_width = read_value<unsigned>(is);
+  const auto c_frac = read_value<unsigned>(is);
+  expect_key(is, "max_episode_length");
+  const auto max_episode_length = read_value<std::uint64_t>(is);
+  expect_key(is, "states");
+  const auto states = read_value<StateId>(is);
+  expect_key(is, "actions");
+  const auto actions = read_value<ActionId>(is);
+
+  QTA_CHECK_MSG(states == env.num_states() && actions == env.num_actions(),
+                "snapshot geometry does not match the engine's environment");
+  QTA_CHECK_MSG(
+      algorithm == static_cast<unsigned>(config.algorithm) &&
+          hazard == static_cast<unsigned>(config.hazard) &&
+          qmax == static_cast<unsigned>(config.qmax) &&
+          alpha_bits == std::bit_cast<std::uint64_t>(config.alpha) &&
+          gamma_bits == std::bit_cast<std::uint64_t>(config.gamma) &&
+          epsilon_bits_pattern == std::bit_cast<std::uint64_t>(
+                                      config.epsilon) &&
+          epsilon_bits == config.epsilon_bits &&
+          q_width == config.q_fmt.width && q_frac == config.q_fmt.frac &&
+          c_width == config.coeff_fmt.width &&
+          c_frac == config.coeff_fmt.frac &&
+          max_episode_length == config.max_episode_length,
+      "snapshot fingerprint does not match the engine's config");
+
+  qtaccel::MachineState ms;
+
+  // --- registers ---
+  expect_key(is, "rng");
+  for (auto& w : ms.rng) w = read_value<std::uint64_t>(is);
+  expect_key(is, "walk");
+  ms.episode_start = read_value<unsigned>(is) != 0;
+  ms.state = read_value<StateId>(is);
+  ms.pending_action = read_value<ActionId>(is);
+  ms.episode_steps = read_value<std::uint64_t>(is);
+  QTA_CHECK_MSG(ms.state < states, "snapshot walk state out of range");
+  expect_key(is, "wb");
+  for (auto& w : ms.wb_addrs) w = read_value<std::uint64_t>(is);
+  expect_key(is, "stats");
+  ms.stats.iterations = read_value<std::uint64_t>(is);
+  ms.stats.samples = read_value<std::uint64_t>(is);
+  ms.stats.episodes = read_value<std::uint64_t>(is);
+  ms.stats.bubbles = read_value<std::uint64_t>(is);
+  ms.stats.cycles = read_value<std::uint64_t>(is);
+  ms.stats.issued = read_value<std::uint64_t>(is);
+  ms.stats.stall_cycles = read_value<std::uint64_t>(is);
+  ms.stats.fwd_q_sa = read_value<std::uint64_t>(is);
+  ms.stats.fwd_q_next = read_value<std::uint64_t>(is);
+  ms.stats.fwd_qmax = read_value<std::uint64_t>(is);
+  ms.stats.adder_saturations = read_value<std::uint64_t>(is);
+  expect_key(is, "dsp");
+  for (auto& w : ms.dsp_saturations) w = read_value<std::uint64_t>(is);
+
+  // --- tables ---
+  const qtaccel::AddressMap map = qtaccel::make_address_map(env);
+  const std::uint64_t depth = map.depth();
+  const fixed::Format qf = config.q_fmt;
+  const auto read_table = [&](const char* key, std::uint64_t expected,
+                              bool may_be_empty,
+                              std::vector<fixed::raw_t>& out) {
+    expect_key(is, key);
+    const auto count = read_value<std::uint64_t>(is);
+    QTA_CHECK_MSG(count == expected || (may_be_empty && count == 0),
+                  "snapshot table size does not match the engine's "
+                  "geometry");
+    out.resize(count);
+    for (auto& v : out) {
+      v = read_value<fixed::raw_t>(is);
+      QTA_CHECK_MSG(v >= qf.min_raw() && v <= qf.max_raw(),
+                    "snapshot value outside the fixed-point range");
+    }
+  };
+  read_table("q", depth, /*may_be_empty=*/false, ms.q);
+  read_table("q2", depth, /*may_be_empty=*/true, ms.q2);
+  QTA_CHECK_MSG(
+      ms.q2.empty() ==
+          (config.algorithm != qtaccel::Algorithm::kDoubleQ),
+      "snapshot and config disagree on the second Q table");
+  read_table("qmaxv", states, /*may_be_empty=*/false, ms.qmax_value);
+  expect_key(is, "qmaxa");
+  const auto qmaxa_count = read_value<std::uint64_t>(is);
+  QTA_CHECK_MSG(qmaxa_count == states,
+                "snapshot table size does not match the engine's geometry");
+  ms.qmax_action.resize(qmaxa_count);
+  for (auto& a : ms.qmax_action) {
+    a = read_value<ActionId>(is);
+    QTA_CHECK_MSG(a < actions, "snapshot Qmax action out of range");
+  }
+
+  // The sentinel catches files truncated between sections, which token
+  // reads alone would not (eof after a complete section parses cleanly).
+  expect_key(is, "end");
+  return ms;
+}
+
+}  // namespace
+
+void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
+                    const env::Environment& env,
+                    const qtaccel::MachineState& ms) {
+  os << kSnapshotMagic << ' ' << kSnapshotVersion << '\n';
+  os << "algorithm " << static_cast<unsigned>(config.algorithm)
+     << " hazard " << static_cast<unsigned>(config.hazard) << " qmax "
+     << static_cast<unsigned>(config.qmax) << '\n';
+  // Rates as IEEE-754 bit patterns: decimal round-trips of doubles lose
+  // bits; the patterns never do.
+  os << "alpha " << std::bit_cast<std::uint64_t>(config.alpha) << " gamma "
+     << std::bit_cast<std::uint64_t>(config.gamma) << " epsilon "
+     << std::bit_cast<std::uint64_t>(config.epsilon) << " epsilon_bits "
+     << config.epsilon_bits << '\n';
+  os << "qfmt " << config.q_fmt.width << ' ' << config.q_fmt.frac
+     << " cfmt " << config.coeff_fmt.width << ' ' << config.coeff_fmt.frac
+     << '\n';
+  os << "max_episode_length " << config.max_episode_length << '\n';
+  os << "states " << env.num_states() << " actions " << env.num_actions()
+     << '\n';
+
+  os << "rng";
+  for (const auto w : ms.rng) os << ' ' << w;
+  os << '\n';
+  os << "walk " << (ms.episode_start ? 1 : 0) << ' ' << ms.state << ' '
+     << ms.pending_action << ' ' << ms.episode_steps << '\n';
+  os << "wb";
+  for (const auto w : ms.wb_addrs) os << ' ' << w;
+  os << '\n';
+  os << "stats " << ms.stats.iterations << ' ' << ms.stats.samples << ' '
+     << ms.stats.episodes << ' ' << ms.stats.bubbles << ' '
+     << ms.stats.cycles << ' ' << ms.stats.issued << ' '
+     << ms.stats.stall_cycles << ' ' << ms.stats.fwd_q_sa << ' '
+     << ms.stats.fwd_q_next << ' ' << ms.stats.fwd_qmax << ' '
+     << ms.stats.adder_saturations << '\n';
+  os << "dsp";
+  for (const auto w : ms.dsp_saturations) os << ' ' << w;
+  os << '\n';
+
+  write_words(os, "q", ms.q.size(), ms.q);
+  write_words(os, "q2", ms.q2.size(), ms.q2);
+  write_words(os, "qmaxv", ms.qmax_value.size(), ms.qmax_value);
+  write_words(os, "qmaxa", ms.qmax_action.size(), ms.qmax_action);
+  os << "end\n";
+}
+
+qtaccel::MachineState read_snapshot(std::istream& is,
+                                    const qtaccel::PipelineConfig& config,
+                                    const env::Environment& env) {
+  std::string magic, version;
+  is >> magic;
+  QTA_CHECK_MSG(static_cast<bool>(is) && magic == kSnapshotMagic,
+                "not a QTACCEL-SNAPSHOT file");
+  is >> version;
+  QTA_CHECK_MSG(static_cast<bool>(is) && version == kSnapshotVersion,
+                "unsupported SNAPSHOT version");
+  return read_snapshot_body(is, config, env);
+}
+
+void save_snapshot(const Engine& engine, std::ostream& os) {
+  write_snapshot(os, engine.config(), engine.environment(),
+                 engine.save_state());
+}
+
+void load_snapshot(Engine& engine, std::istream& is) {
+  std::string magic;
+  is >> magic;
+  QTA_CHECK_MSG(static_cast<bool>(is) &&
+                    (magic == kSnapshotMagic || magic == kQtableMagic),
+                "not a QTACCEL-QTABLE or QTACCEL-SNAPSHOT file");
+  if (magic == kQtableMagic) {
+    load_qtable_v1_body(is, engine);
+    return;
+  }
+  std::string version;
+  is >> version;
+  QTA_CHECK_MSG(static_cast<bool>(is) && version == kSnapshotVersion,
+                "unsupported SNAPSHOT version");
+  engine.load_state(
+      read_snapshot_body(is, engine.config(), engine.environment()));
+}
+
+void save_snapshot_file(const Engine& engine, const std::string& path) {
+  std::ofstream os(path);
+  QTA_CHECK_MSG(os.is_open(), "cannot open snapshot file for writing");
+  save_snapshot(engine, os);
+  os.flush();
+  QTA_CHECK_MSG(os.good(), "failed writing snapshot file");
+}
+
+void load_snapshot_file(Engine& engine, const std::string& path) {
+  std::ifstream is(path);
+  QTA_CHECK_MSG(is.is_open(), "cannot open snapshot file for reading");
+  load_snapshot(engine, is);
+}
+
+}  // namespace qta::runtime

@@ -1,0 +1,77 @@
+// Backend-generic machine snapshots: QTACCEL-SNAPSHOT v2.
+//
+// A snapshot captures a complete drained machine state
+// (qtaccel/machine_state.h) plus a config fingerprint, in a versioned
+// plain-text format. Raw fixed-point words and the bit patterns of the
+// floating-point rates are stored, so a round trip is lossless and
+// `run(N); save; load; run(M)` resumes bit-exactly — on either backend,
+// and across backends (save on cycle, resume on fast, or the reverse).
+//
+// Format (whitespace-separated; docs/runtime.md has the full spec and
+// the versioning policy):
+//
+//   QTACCEL-SNAPSHOT v2
+//   algorithm <0-3> hazard <0-1> qmax <0-1>
+//   alpha <u64 bits> gamma <u64 bits> epsilon <u64 bits> epsilon_bits <n>
+//   qfmt <width> <frac> cfmt <width> <frac>
+//   max_episode_length <n>
+//   states <|S|> actions <|A|>
+//   rng <4 words>         walk <start> <state> <action> <steps>
+//   wb <3 tagged addrs>   stats <11 counters>   dsp <3 counters>
+//   q <count> <words...>  q2 <count> <words...>
+//   qmaxv <count> <words...>  qmaxa <count> <words...>
+//   end
+//
+// The fingerprint covers everything that changes the machine's future
+// behavior — algorithm, hazard, qmax mode, quantized rates, formats,
+// geometry — and deliberately EXCLUDES `seed` (the live LFSR registers
+// are part of the state; the seed only chose their t=0 value) and
+// `backend` (snapshots are the bridge between backends).
+//
+// The v1 QTACCEL-QTABLE format stays loadable: load_snapshot sniffs the
+// magic and routes v1 files through the warm-start path (preset_q +
+// rebuild_qmax), exactly as the old table_io loader did.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "env/environment.h"
+#include "qtaccel/config.h"
+#include "qtaccel/machine_state.h"
+#include "runtime/engine.h"
+
+namespace qta::runtime {
+
+inline constexpr const char* kSnapshotMagic = "QTACCEL-SNAPSHOT";
+inline constexpr const char* kSnapshotVersion = "v2";
+
+/// Serializes a machine state with `config`/`env` as its fingerprint.
+/// Operates on the raw state so pools of bare pipelines (multi_pipeline)
+/// reuse the same writer; most callers use save_snapshot(engine, os).
+void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
+                    const env::Environment& env,
+                    const qtaccel::MachineState& ms);
+
+/// Parses a v2 snapshot and validates its fingerprint against
+/// `config`/`env`; aborts with a diagnostic on a foreign magic, an
+/// unsupported version, a fingerprint mismatch, or truncation.
+qtaccel::MachineState read_snapshot(std::istream& is,
+                                    const qtaccel::PipelineConfig& config,
+                                    const env::Environment& env);
+
+/// Drained-engine snapshot (engines are always drained between run_*
+/// calls, so any point between calls is a valid save point).
+void save_snapshot(const Engine& engine, std::ostream& os);
+
+/// Restores `engine` from a QTACCEL-SNAPSHOT v2 (full machine state) or
+/// a QTACCEL-QTABLE v1 stream (Q table only: warm start via preset_q +
+/// rebuild_qmax, leaving counters and RNG state at their current values).
+void load_snapshot(Engine& engine, std::istream& is);
+
+/// File helpers; abort with a diagnostic when the file cannot be
+/// opened/written.
+void save_snapshot_file(const Engine& engine, const std::string& path);
+void load_snapshot_file(Engine& engine, const std::string& path);
+
+}  // namespace qta::runtime

@@ -1,0 +1,30 @@
+#include "runtime/table_io.h"
+
+#include <ostream>
+
+#include "runtime/snapshot.h"
+
+namespace qta::runtime {
+
+void save_q_table(std::ostream& os, const Engine& engine) {
+  const env::Environment& env = engine.environment();
+  const fixed::Format fmt = engine.config().q_fmt;
+  os << "QTACCEL-QTABLE v1\n"
+     << "states " << env.num_states() << " actions " << env.num_actions()
+     << " width " << fmt.width << " frac " << fmt.frac << '\n';
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    for (ActionId a = 0; a < env.num_actions(); ++a) {
+      if (a) os << ' ';
+      os << engine.q_raw(s, a);
+    }
+    os << '\n';
+  }
+}
+
+void load_q_table(std::istream& is, Engine& engine) {
+  // One loader for both formats: the snapshot layer sniffs the magic and
+  // takes the v1 warm-start path or the v2 full-restore path.
+  load_snapshot(engine, is);
+}
+
+}  // namespace qta::runtime

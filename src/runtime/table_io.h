@@ -1,0 +1,29 @@
+// Q-table serialization: save a trained table, reload it into another
+// engine (warm start, or host-side deployment of a table trained in
+// simulation). Versioned plain-text format:
+//
+//   QTACCEL-QTABLE v1
+//   states <|S|> actions <|A|> width <bits> frac <bits>
+//   <|S| lines of |A| raw integers>
+//
+// Raw fixed-point words are stored, not doubles, so a round trip is
+// bit-exact. v1 is the Q-table-only subset of the full machine snapshot
+// (runtime/snapshot.h): save_q_table still writes v1 for portability of
+// trained tables, and load_q_table routes through the snapshot layer, so
+// it accepts BOTH a v1 table (warm start: preset_q + rebuild_qmax) and a
+// v2 QTACCEL-SNAPSHOT (full bit-exact machine restore).
+#pragma once
+
+#include <iosfwd>
+
+#include "runtime/engine.h"
+
+namespace qta::runtime {
+
+void save_q_table(std::ostream& os, const Engine& engine);
+
+/// Aborts with a diagnostic on malformed input or a geometry/format
+/// mismatch with `engine`'s configuration.
+void load_q_table(std::istream& is, Engine& engine);
+
+}  // namespace qta::runtime

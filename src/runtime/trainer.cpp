@@ -1,0 +1,48 @@
+#include "runtime/trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "runtime/snapshot.h"
+
+namespace qta::runtime {
+
+TrainResult train(Engine& engine, const TrainOptions& options) {
+  QTA_CHECK_MSG(options.chunk_samples > 0, "chunk_samples must be nonzero");
+  QTA_CHECK_MSG(options.snapshot_interval == 0 ||
+                    !options.snapshot_path.empty(),
+                "snapshot_interval needs a snapshot_path");
+
+  TrainResult result;
+  std::uint64_t next_probe =
+      options.probe_interval == 0
+          ? ~std::uint64_t{0}
+          : engine.stats().samples + options.probe_interval;
+  std::uint64_t next_snapshot =
+      options.snapshot_interval == 0
+          ? ~std::uint64_t{0}
+          : engine.stats().samples + options.snapshot_interval;
+
+  while (engine.stats().samples < options.total_samples) {
+    const std::uint64_t target =
+        std::min(options.total_samples,
+                 engine.stats().samples + options.chunk_samples);
+    engine.run_samples(target);
+    const std::uint64_t done = engine.stats().samples;
+    if (options.probe && done >= next_probe) {
+      options.probe(done);
+      next_probe = done + options.probe_interval;
+    }
+    if (done >= next_snapshot) {
+      save_snapshot_file(engine, options.snapshot_path);
+      ++result.snapshots_written;
+      next_snapshot = done + options.snapshot_interval;
+    }
+  }
+
+  result.samples = engine.stats().samples;
+  result.episodes = engine.stats().episodes;
+  return result;
+}
+
+}  // namespace qta::runtime

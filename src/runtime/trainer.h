@@ -1,0 +1,47 @@
+// Long-run training driver over the runtime Engine — the
+// accelerator-backed counterpart of algo/trainer.h's software loop.
+//
+// Drives run_samples in chunks so the host can interleave observation
+// (probes for learning curves) and durability (periodic machine
+// snapshots) without touching the machine mid-flight: every chunk
+// boundary is a drained state and therefore a valid snapshot point. A
+// training run killed between chunks resumes bit-exactly from its last
+// snapshot (runtime/snapshot.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/engine.h"
+
+namespace qta::runtime {
+
+struct TrainOptions {
+  std::uint64_t total_samples = 100000;
+  /// Samples per run_samples chunk (the probe/snapshot granularity).
+  /// The engine may overshoot a chunk by the pipeline drain, exactly as
+  /// back-to-back run_samples calls do.
+  std::uint64_t chunk_samples = 10000;
+  /// Called after every chunk (0 disables) with the samples retired so
+  /// far — used to record learning curves.
+  std::uint64_t probe_interval = 0;
+  std::function<void(std::uint64_t)> probe;
+  /// Every `snapshot_interval` samples (0 disables), the full machine
+  /// state is written to `snapshot_path` (atomically replaced).
+  std::uint64_t snapshot_interval = 0;
+  std::string snapshot_path;
+};
+
+struct TrainResult {
+  std::uint64_t samples = 0;
+  std::uint64_t episodes = 0;
+  std::uint64_t snapshots_written = 0;
+};
+
+/// Runs the engine to `total_samples` retired samples (counting samples
+/// already retired before the call — resuming from a snapshot continues
+/// the same budget rather than restarting it).
+TrainResult train(Engine& engine, const TrainOptions& options);
+
+}  // namespace qta::runtime

@@ -30,7 +30,8 @@ TEST(RegisterMap, Validity) {
   EXPECT_TRUE(is_valid_register(off(Reg::kId)));
   EXPECT_TRUE(is_valid_register(off(Reg::kQmaxData)));
   EXPECT_TRUE(is_valid_register(off(Reg::kSaturationCount)));
-  EXPECT_FALSE(is_valid_register(off(Reg::kSaturationCount) + 4));
+  EXPECT_TRUE(is_valid_register(off(Reg::kBackend)));
+  EXPECT_FALSE(is_valid_register(off(Reg::kBackend) + 4));
   EXPECT_FALSE(is_valid_register(2));  // unaligned
 }
 
@@ -41,6 +42,7 @@ TEST(RegisterMap, Writability) {
   EXPECT_TRUE(is_writable_register(off(Reg::kAlpha)));
   EXPECT_TRUE(is_writable_register(off(Reg::kCtrl)));
   EXPECT_TRUE(is_writable_register(off(Reg::kTableAddr)));
+  EXPECT_TRUE(is_writable_register(off(Reg::kBackend)));
 }
 
 TEST(Device, IdentifiesItself) {
@@ -103,11 +105,11 @@ TEST(Device, MatchesGoldenModel) {
   c.seed = 77;
   c.max_episode_length = 128;
   qtaccel::GoldenModel golden(g, c);
-  golden.run(dev.pipeline()->stats().iterations);
+  golden.run(dev.engine()->stats().iterations);
 
   for (StateId s = 0; s < g.num_states(); ++s) {
     for (ActionId a = 0; a < g.num_actions(); ++a) {
-      ASSERT_EQ(golden.q_raw(s, a), dev.pipeline()->q_raw(s, a));
+      ASSERT_EQ(golden.q_raw(s, a), dev.engine()->q_raw(s, a));
     }
   }
 }
@@ -129,12 +131,12 @@ TEST(Device, TableWindowReadback) {
   // 18-bit sign extension.
   auto v = static_cast<std::int64_t>(word & 0x3FFFF);
   if (v & (1 << 17)) v |= ~0x3FFFFll;
-  EXPECT_EQ(v, dev.pipeline()->q_raw(s, a));
+  EXPECT_EQ(v, dev.engine()->q_raw(s, a));
   EXPECT_GT(dev.q_value(s, a), 100.0);
 
   // Qmax window for the same state.
   const auto qmax_word = dev.read_csr(off(Reg::kQmaxData));
-  const auto entry = dev.pipeline()->qmax_entry(s);
+  const auto entry = dev.engine()->qmax_entry(s);
   EXPECT_EQ(qmax_word >> 18, entry.action);
 }
 
@@ -151,7 +153,7 @@ TEST(Device, PerformanceCountersExposed) {
   EXPECT_GT(dev.read_csr(off(Reg::kFwdQsaCount)), 0u);
   EXPECT_EQ(dev.read_csr(off(Reg::kStallCount)), 0u);  // forwarding mode
   EXPECT_EQ(dev.read_csr(off(Reg::kFwdQsaCount)),
-            dev.pipeline()->stats().fwd_q_sa);
+            dev.engine()->stats().fwd_q_sa);
   EXPECT_FALSE(is_writable_register(off(Reg::kFwdQmaxCount)));
 }
 
@@ -197,9 +199,9 @@ TEST(Device, SarsaSelectable) {
   dev.write_csr(off(Reg::kCtrl), kCtrlStart);
   while (dev.busy()) dev.advance(10000);
   EXPECT_TRUE(dev.done());
-  EXPECT_EQ(dev.pipeline()->config().algorithm,
+  EXPECT_EQ(dev.engine()->config().algorithm,
             qtaccel::Algorithm::kSarsa);
-  EXPECT_NEAR(dev.pipeline()->config().epsilon, 0.2, 1e-4);
+  EXPECT_NEAR(dev.engine()->config().epsilon, 0.2, 1e-4);
 }
 
 TEST(Device, AllFourAlgorithmsSelectable) {
@@ -215,7 +217,7 @@ TEST(Device, AllFourAlgorithmsSelectable) {
     dev.write_csr(off(Reg::kCtrl), kCtrlStart);
     while (dev.busy()) dev.advance(10000);
     EXPECT_TRUE(dev.done()) << "algorithm code " << code;
-    EXPECT_EQ(dev.pipeline()->config().algorithm, expect[code]);
+    EXPECT_EQ(dev.engine()->config().algorithm, expect[code]);
   }
   // Code 4 is a config error.
   QtAccelDevice dev(g);
@@ -240,7 +242,7 @@ TEST(Device, CsrFuzzNeverCorruptsTheDevice) {
   env::GridWorld g(grid4());
   QtAccelDevice dev(g);
   rng::Xoshiro256 rng(99);
-  const std::uint32_t max_off = off(Reg::kSaturationCount);
+  const std::uint32_t max_off = off(Reg::kBackend);
   for (int i = 0; i < 5000; ++i) {
     const auto offset =
         static_cast<std::uint32_t>(rng.below(max_off / 4 + 1)) * 4;
@@ -271,6 +273,7 @@ TEST(Device, CsrFuzzNeverCorruptsTheDevice) {
   // Recover to a known-good configuration and run to completion.
   dev.write_csr(off(Reg::kCtrl), kCtrlReset);
   dev.write_csr(off(Reg::kAlgorithm), 0);
+  dev.write_csr(off(Reg::kBackend), 0);
   dev.write_csr(off(Reg::kAlpha), pack_coefficient(0.2));
   dev.write_csr(off(Reg::kGamma), pack_coefficient(0.9));
   dev.write_csr(off(Reg::kEpsilonThresh), 58982);
@@ -288,6 +291,91 @@ TEST(Device, AdvanceWhileIdleIsNoop) {
   QtAccelDevice dev(g);
   dev.advance(100);
   EXPECT_EQ(dev.read_csr(off(Reg::kCycleCountLo)), 0u);
+}
+
+TEST(Device, FastBackendBatchesTheRunAndMatchesCycleBackend) {
+  // BACKEND=1 selects the fast functional engine: no per-cycle clock, so
+  // the first nonzero advance() retires the whole run. The retired table
+  // must match the cycle-accurate device bit for bit.
+  env::GridWorld g(grid4());
+  QtAccelDevice cycle_dev(g);
+  cycle_dev.write_csr(off(Reg::kMaxEpisodeLen), 128);
+  cycle_dev.write_csr(off(Reg::kSamplesTargetLo), 8000);
+  cycle_dev.write_csr(off(Reg::kCtrl), kCtrlStart);
+  while (cycle_dev.busy()) cycle_dev.advance(10000);
+
+  QtAccelDevice fast_dev(g);
+  fast_dev.write_csr(off(Reg::kBackend), 1);
+  fast_dev.write_csr(off(Reg::kMaxEpisodeLen), 128);
+  fast_dev.write_csr(off(Reg::kSamplesTargetLo), 8000);
+  fast_dev.write_csr(off(Reg::kCtrl), kCtrlStart);
+  EXPECT_TRUE(fast_dev.busy());
+  EXPECT_EQ(fast_dev.cycle_pipeline(), nullptr);
+  fast_dev.advance(1);  // batch semantics: one call finishes the run
+  EXPECT_FALSE(fast_dev.busy());
+  EXPECT_TRUE(fast_dev.done());
+
+  EXPECT_EQ(fast_dev.read_csr(off(Reg::kSampleCountLo)),
+            cycle_dev.read_csr(off(Reg::kSampleCountLo)));
+  EXPECT_EQ(fast_dev.read_csr(off(Reg::kEpisodeCountLo)),
+            cycle_dev.read_csr(off(Reg::kEpisodeCountLo)));
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      ASSERT_EQ(fast_dev.engine()->q_raw(s, a),
+                cycle_dev.engine()->q_raw(s, a));
+    }
+  }
+}
+
+TEST(Device, InvalidBackendCodeIsConfigError) {
+  env::GridWorld g(grid4());
+  QtAccelDevice dev(g);
+  dev.write_csr(off(Reg::kBackend), 2);
+  dev.write_csr(off(Reg::kSamplesTargetLo), 100);
+  dev.write_csr(off(Reg::kCtrl), kCtrlStart);
+  EXPECT_FALSE(dev.busy());
+  EXPECT_NE(dev.read_csr(off(Reg::kStatus)) & kStatusCfgError, 0u);
+}
+
+TEST(Device, SnapshotDmaRoundTripResumesBitExactly) {
+  // Host-side pause/resume through the snapshot DMA: run a device
+  // partway, save, restore into a second device configured with the
+  // same CSRs, and let both finish. save_snapshot quiesces (drains
+  // in-flight work), which never changes what retires, so both devices
+  // must converge on identical counters and tables.
+  env::GridWorld g(grid4());
+  QtAccelDevice dev(g);
+  dev.write_csr(off(Reg::kMaxEpisodeLen), 128);
+  dev.write_csr(off(Reg::kSamplesTargetLo), 12000);
+  dev.write_csr(off(Reg::kCtrl), kCtrlStart);
+  while (dev.busy() &&
+         dev.read_csr(off(Reg::kSampleCountLo)) < 4000) {
+    dev.advance(500);
+  }
+  std::stringstream snap;
+  dev.save_snapshot(snap);
+  EXPECT_TRUE(dev.busy());  // saving does not stop the machine
+
+  QtAccelDevice resumed(g);
+  resumed.write_csr(off(Reg::kMaxEpisodeLen), 128);
+  resumed.write_csr(off(Reg::kSamplesTargetLo), 12000);
+  resumed.load_snapshot(snap);  // START-with-state: no kCtrlStart needed
+  EXPECT_TRUE(resumed.busy());
+  EXPECT_GE(resumed.read_csr(off(Reg::kSampleCountLo)), 4000u);
+
+  while (dev.busy()) dev.advance(10000);
+  while (resumed.busy()) resumed.advance(10000);
+  EXPECT_TRUE(dev.done());
+  EXPECT_TRUE(resumed.done());
+  EXPECT_EQ(dev.read_csr(off(Reg::kSampleCountLo)),
+            resumed.read_csr(off(Reg::kSampleCountLo)));
+  EXPECT_EQ(dev.read_csr(off(Reg::kEpisodeCountLo)),
+            resumed.read_csr(off(Reg::kEpisodeCountLo)));
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      ASSERT_EQ(dev.engine()->q_raw(s, a), resumed.engine()->q_raw(s, a));
+    }
+  }
 }
 
 }  // namespace

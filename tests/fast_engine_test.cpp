@@ -16,6 +16,7 @@
 #include "qtaccel/fast_engine.h"
 #include "qtaccel/golden_model.h"
 #include "qtaccel/pipeline.h"
+#include "runtime/engine.h"
 
 namespace qta::qtaccel {
 namespace {
@@ -311,13 +312,12 @@ TEST(EngineFacade, BackendsProduceIdenticalResults) {
   config.seed = 3;
 
   config.backend = Backend::kCycleAccurate;
-  Engine cycle(*environment, config);
+  runtime::Engine cycle(*environment, config);
   config.backend = Backend::kFast;
-  Engine fast(*environment, config);
+  runtime::Engine fast(*environment, config);
 
-  EXPECT_EQ(cycle.backend(), Backend::kCycleAccurate);
-  EXPECT_EQ(fast.backend(), Backend::kFast);
-  cycle.pipeline();  // must not abort on the cycle-accurate backend
+  EXPECT_EQ(cycle.backend_kind(), Backend::kCycleAccurate);
+  EXPECT_EQ(fast.backend_kind(), Backend::kFast);
 
   cycle.run_samples(8000);
   fast.run_samples(8000);
@@ -332,12 +332,27 @@ TEST(EngineFacade, BackendsProduceIdenticalResults) {
   EXPECT_EQ(cycle.greedy_policy(), fast.greedy_policy());
 }
 
-TEST(EngineFacadeDeath, PipelineAccessorAbortsOnFastBackend) {
+// The capability API replaces the old aborting pipeline() accessor:
+// callers probe caps()/cycle_pipeline() instead of assuming a backend.
+TEST(EngineFacade, CapabilityFlagsAndNullableCyclePipeline) {
   auto environment = make_env(FastEnvKind::kRing2);
   PipelineConfig config;
+
+  config.backend = Backend::kCycleAccurate;
+  runtime::Engine cycle(*environment, config);
+  EXPECT_TRUE(cycle.backend().has_waveforms());
+  EXPECT_TRUE(cycle.backend().has_cycle_events());
+  EXPECT_TRUE(cycle.backend().has_port_audit());
+  EXPECT_TRUE(cycle.backend().has_single_cycle_step());
+  ASSERT_NE(cycle.cycle_pipeline(), nullptr);
+
   config.backend = Backend::kFast;
-  Engine fast(*environment, config);
-  EXPECT_DEATH(fast.pipeline(), "kCycleAccurate");
+  runtime::Engine fast(*environment, config);
+  EXPECT_FALSE(fast.backend().has_waveforms());
+  EXPECT_FALSE(fast.backend().has_cycle_events());
+  EXPECT_FALSE(fast.backend().has_port_audit());
+  EXPECT_FALSE(fast.backend().has_single_cycle_step());
+  EXPECT_EQ(fast.cycle_pipeline(), nullptr);
 }
 
 TEST(BackendParsing, RoundTripsAndRejectsJunk) {

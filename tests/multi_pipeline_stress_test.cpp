@@ -22,10 +22,13 @@
 #include "env/partition.h"
 #include "fixed/exp_lut.h"
 #include "fixed/math_lut.h"
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/multi_pipeline.h"
 
 namespace qta::qtaccel {
 namespace {
+
+using runtime::IndependentPipelines;
+using runtime::SharedTablePipelines;
 
 env::GridWorldConfig grid(unsigned w, unsigned h, unsigned a = 4) {
   env::GridWorldConfig c;
@@ -74,8 +77,8 @@ TEST(MultiPipelineStress, RepeatedThreadPoolLaunches) {
     const auto& e = serial->environment(i);
     for (StateId s = 0; s < e.num_states(); ++s) {
       for (ActionId a = 0; a < e.num_actions(); ++a) {
-        ASSERT_EQ(serial->pipeline(i).q_raw(s, a),
-                  threaded->pipeline(i).q_raw(s, a))
+        ASSERT_EQ(serial->engine(i).q_raw(s, a),
+                  threaded->engine(i).q_raw(s, a))
             << "pipeline " << i;
       }
     }

@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "env/grid_world.h"
 #include "env/partition.h"
 #include "env/value_iteration.h"
-#include "qtaccel/multi_pipeline.h"
+#include "runtime/multi_pipeline.h"
 
 namespace qta::qtaccel {
 namespace {
+
+using runtime::IndependentPipelines;
+using runtime::SharedTablePipelines;
 
 env::GridWorldConfig grid(unsigned w, unsigned h, unsigned a = 4) {
   env::GridWorldConfig c;
@@ -149,7 +153,7 @@ TEST(IndependentPipelines, EachBandLearnsItsOwnGoal) {
   for (unsigned i = 0; i < 4; ++i) {
     const auto& band_env =
         static_cast<const env::GridWorld&>(rovers.environment(i));
-    const Pipeline& p = rovers.pipeline(i);
+    const runtime::Engine& p = rovers.engine(i);
     std::vector<ActionId> policy(band_env.num_states(), 0);
     for (StateId s = 0; s < band_env.num_states(); ++s) {
       double best = -1e300;
@@ -214,11 +218,118 @@ TEST(IndependentPipelines, ThreadedAndSerialAgree) {
     const auto& es = serial->environment(i);
     for (StateId s = 0; s < es.num_states(); ++s) {
       for (ActionId a = 0; a < es.num_actions(); ++a) {
-        ASSERT_EQ(serial->pipeline(i).q_raw(s, a),
-                  threaded->pipeline(i).q_raw(s, a));
+        ASSERT_EQ(serial->engine(i).q_raw(s, a),
+                  threaded->engine(i).q_raw(s, a));
       }
     }
   }
+}
+
+TEST(SharedPipelinesDeath, RejectsFastBackendConfig) {
+  // The satellite bugfix: a fast-backend config reaching shared-table
+  // mode must be a loud config error, not a silent misconfig (the fast
+  // engine has no port-level sharing or collision model).
+  env::GridWorld g(grid(8, 8));
+  PipelineConfig c;
+  c.backend = Backend::kFast;
+  EXPECT_DEATH(SharedTablePipelines(g, c, 2),
+               "shared-table mode requires the cycle-accurate backend");
+}
+
+TEST(SharedPipelines, CheckpointRoundTripResumesTransparently) {
+  env::GridWorld g(grid(8, 8));
+  PipelineConfig c;
+  c.seed = 12;
+  c.max_episode_length = 256;
+
+  // Reference: run to the barrier, checkpoint, keep running.
+  SharedTablePipelines pool(g, c, 2);
+  pool.run_cycles(6000);
+  std::stringstream ckpt;
+  pool.save_checkpoint(ckpt);
+  pool.run_cycles(4000);
+
+  // Restored pool continues exactly as the saved pool did.
+  SharedTablePipelines restored(g, c, 2);
+  restored.load_checkpoint(ckpt);
+  EXPECT_LT(restored.total_samples(), pool.total_samples());
+  restored.run_cycles(4000);
+
+  EXPECT_EQ(restored.cycles(), pool.cycles());
+  EXPECT_EQ(restored.total_samples(), pool.total_samples());
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      ASSERT_EQ(restored.pipeline(0).q_raw(s, a),
+                pool.pipeline(0).q_raw(s, a))
+          << "shared Q divergence at s=" << s << " a=" << a;
+    }
+  }
+}
+
+TEST(SharedPipelinesDeath, CheckpointRejectsForeignAndMisshapenFiles) {
+  env::GridWorld g(grid(4, 4));
+  PipelineConfig c;
+  SharedTablePipelines pool(g, c, 2);
+  std::stringstream junk("definitely not a checkpoint");
+  EXPECT_DEATH(pool.load_checkpoint(junk), "pool checkpoint");
+
+  // A 1-pipe checkpoint must not restore into a 2-pipe pool.
+  SharedTablePipelines solo(g, c, 1);
+  solo.run_cycles(200);
+  std::stringstream one;
+  solo.save_checkpoint(one);
+  EXPECT_DEATH(pool.load_checkpoint(one),
+               "checkpoint shape does not match this pool");
+}
+
+TEST(IndependentPipelines, FleetCheckpointResumesBitExactly) {
+  auto make = [] {
+    auto bands = env::partition_grid(grid(8, 16), 2);
+    std::vector<std::unique_ptr<env::Environment>> envs;
+    for (const auto& b : bands) {
+      envs.push_back(std::make_unique<env::GridWorld>(b));
+    }
+    PipelineConfig c;
+    c.seed = 13;
+    c.backend = Backend::kFast;
+    return std::make_unique<IndependentPipelines>(std::move(envs), c);
+  };
+  auto fleet = make();
+  fleet->run_samples_each(8000, 2);
+  std::stringstream ckpt;
+  fleet->save_checkpoint(ckpt);
+  fleet->run_samples_each(16000, 2);
+
+  auto restored = make();
+  restored->load_checkpoint(ckpt);
+  restored->run_samples_each(16000, 2);
+
+  for (unsigned i = 0; i < 2; ++i) {
+    const auto& es = fleet->environment(i);
+    EXPECT_EQ(restored->engine(i).stats().samples,
+              fleet->engine(i).stats().samples);
+    for (StateId s = 0; s < es.num_states(); ++s) {
+      for (ActionId a = 0; a < es.num_actions(); ++a) {
+        ASSERT_EQ(restored->engine(i).q_raw(s, a),
+                  fleet->engine(i).q_raw(s, a))
+            << "fleet divergence: engine " << i << " s=" << s << " a="
+            << a;
+      }
+    }
+  }
+}
+
+TEST(IndependentPipelines, CyclePipelineIsNullableByBackend) {
+  auto bands = env::partition_grid(grid(8, 16), 2);
+  std::vector<std::unique_ptr<env::Environment>> envs;
+  for (const auto& b : bands) {
+    envs.push_back(std::make_unique<env::GridWorld>(b));
+  }
+  PipelineConfig c;
+  c.backend = Backend::kFast;
+  IndependentPipelines fleet(std::move(envs), c);
+  EXPECT_EQ(fleet.cycle_pipeline(0), nullptr);
+  EXPECT_EQ(fleet.engine(0).backend_kind(), Backend::kFast);
 }
 
 }  // namespace

@@ -19,7 +19,7 @@
 
 #include "env/grid_world.h"
 #include "env/random_mdp.h"
-#include "qtaccel/fast_engine.h"
+#include "runtime/engine.h"
 #include "qtaccel/golden_model.h"
 #include "qtaccel/pipeline.h"
 
@@ -284,7 +284,7 @@ TEST(EquivalenceFastBackend, MatchesGoldenOnBubbleDenseAndNoisyEnvs) {
       golden.set_trace(&golden_trace);
       golden.run(6000);
 
-      Engine fast(*environment, config);
+      runtime::Engine fast(*environment, config);
       std::vector<SampleTrace> fast_trace;
       fast.set_trace(&fast_trace);
       fast.run_iterations(6000);

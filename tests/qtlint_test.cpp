@@ -23,7 +23,6 @@ TEST(QtlintClassify, PathsMapToScopes) {
   EXPECT_TRUE(classify_path("src/hw/bram.cpp").datapath);
   EXPECT_TRUE(classify_path("src/fixed/fixed_point.h").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/pipeline.cpp").datapath);
-  EXPECT_TRUE(classify_path("src/qtaccel/multi_pipeline.h").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/boltzmann_pipeline.cpp").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.cpp").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.h").datapath);
@@ -35,6 +34,18 @@ TEST(QtlintClassify, PathsMapToScopes) {
   EXPECT_TRUE(classify_path("src/rng/lfsr.cpp").rng);
   EXPECT_TRUE(classify_path("src/hw/dsp.h").header);
   EXPECT_FALSE(classify_path("tools/qtlint/lint.cpp").in_src);
+}
+
+TEST(QtlintClassify, RuntimeDriverAndQtaccelScopes) {
+  EXPECT_TRUE(classify_path("src/runtime/engine.h").runtime);
+  EXPECT_FALSE(classify_path("src/runtime/engine.h").datapath);
+  // multi_pipeline moved out of the datapath module into the runtime
+  // layer: it orchestrates engines, it is not pipeline hardware.
+  EXPECT_TRUE(classify_path("src/runtime/multi_pipeline.cpp").runtime);
+  EXPECT_FALSE(classify_path("src/runtime/multi_pipeline.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/driver/qtaccel_device.cpp").driver);
+  EXPECT_TRUE(classify_path("src/qtaccel/pipeline.cpp").qtaccel);
+  EXPECT_FALSE(classify_path("examples/quickstart.cpp").in_src);
 }
 
 TEST(QtlintDatapathPurity, FastEngineScopeFlagsFloatsOutsideAllowBlocks) {
@@ -264,6 +275,62 @@ TEST(QtlintTelemetryBoundary, HostSideFilesMayUseTheMachinery) {
             0u);
   EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
                        RuleId::kTelemetryBoundary),
+            0u);
+}
+
+TEST(QtlintRuntimeBoundary, DatapathAndSupportCodeMayNotIncludeRuntime) {
+  const std::string snippet = "#include \"runtime/engine.h\"\nvoid f();\n";
+  EXPECT_EQ(count_rule(lint_content("src/qtaccel/pipeline.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/telemetry/metrics.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            1u);
+  // The runtime itself, the driver above it, and out-of-tree consumers
+  // (examples, benches, tools) are the sanctioned includers.
+  EXPECT_EQ(count_rule(lint_content("src/runtime/snapshot.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            0u);
+  EXPECT_EQ(
+      count_rule(lint_content("src/driver/qtaccel_device.cpp", snippet),
+                 RuleId::kRuntimeBoundary),
+      0u);
+  EXPECT_EQ(count_rule(lint_content("bench/bench_perf_smoke.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            0u);
+}
+
+TEST(QtlintRuntimeBoundary, OnlyRuntimeAndQtaccelNameConcreteBackends) {
+  const std::string snippet =
+      "#include \"qtaccel/pipeline.h\"\n"
+      "#include \"qtaccel/fast_engine.h\"\nvoid f();\n";
+  // Everything above the seam goes through the Engine facade instead.
+  EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            2u);
+  EXPECT_EQ(count_rule(lint_content("bench/bench_microbench.cpp", snippet),
+                       RuleId::kRuntimeBoundary),
+            2u);
+  EXPECT_EQ(
+      count_rule(lint_content("src/driver/qtaccel_device.cpp", snippet),
+                 RuleId::kRuntimeBoundary),
+      2u);
+  // The adapters and the backends' own module keep direct access.
+  EXPECT_EQ(
+      count_rule(lint_content("src/runtime/backend_registry.cpp", snippet),
+                 RuleId::kRuntimeBoundary),
+      0u);
+  EXPECT_EQ(count_rule(lint_content("src/qtaccel/machine_state.h",
+                                    "#pragma once\n" + snippet),
+                       RuleId::kRuntimeBoundary),
+            0u);
+  // Other qtaccel headers stay fair game for everyone.
+  EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp",
+                                    "#include \"qtaccel/config.h\"\n"),
+                       RuleId::kRuntimeBoundary),
             0u);
 }
 

@@ -1,0 +1,363 @@
+// QTACCEL-SNAPSHOT v2 contract tests: the fuzzed pause/resume invariant
+// (run(N); save; load; run(M) is bit-identical to an uninterrupted
+// continuation — trace, stats, tables, AND telemetry), cross-backend
+// restores in both directions, v1 warm-start sniffing, the backend
+// registry, and rejection of corrupted/foreign/truncated streams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "env/grid_world.h"
+#include "runtime/backend_registry.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
+#include "runtime/table_io.h"
+#include "telemetry/metrics.h"
+#include "telemetry/pipeline_telemetry.h"
+
+namespace qta::runtime {
+namespace {
+
+env::GridWorldConfig grid8() {
+  env::GridWorldConfig c;
+  c.width = 8;
+  c.height = 8;
+  c.num_actions = 4;
+  return c;
+}
+
+void expect_same_tables(const Engine& a, const Engine& b,
+                        const env::Environment& env,
+                        const std::string& tag) {
+  for (StateId s = 0; s < env.num_states(); ++s) {
+    for (ActionId act = 0; act < env.num_actions(); ++act) {
+      ASSERT_EQ(a.q_raw(s, act), b.q_raw(s, act)) << tag;
+      if (a.config().algorithm == qtaccel::Algorithm::kDoubleQ) {
+        ASSERT_EQ(a.q2_raw(s, act), b.q2_raw(s, act)) << tag;
+      }
+    }
+    ASSERT_EQ(a.qmax_entry(s).value, b.qmax_entry(s).value) << tag;
+    ASSERT_EQ(a.qmax_entry(s).action, b.qmax_entry(s).action) << tag;
+  }
+}
+
+void expect_same_stats(const qtaccel::PipelineStats& a,
+                       const qtaccel::PipelineStats& b,
+                       const std::string& tag) {
+  EXPECT_EQ(a.iterations, b.iterations) << tag;
+  EXPECT_EQ(a.samples, b.samples) << tag;
+  EXPECT_EQ(a.episodes, b.episodes) << tag;
+  EXPECT_EQ(a.bubbles, b.bubbles) << tag;
+  EXPECT_EQ(a.cycles, b.cycles) << tag;
+  EXPECT_EQ(a.issued, b.issued) << tag;
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles) << tag;
+  EXPECT_EQ(a.fwd_q_sa, b.fwd_q_sa) << tag;
+  EXPECT_EQ(a.fwd_q_next, b.fwd_q_next) << tag;
+  EXPECT_EQ(a.fwd_qmax, b.fwd_qmax) << tag;
+  EXPECT_EQ(a.adder_saturations, b.adder_saturations) << tag;
+}
+
+// One fuzz case: random algorithm/qmax/hazard, random save and resume
+// backends, random split point. The reference runs the SAME two chunks
+// on one uninterrupted engine (on the resume backend — backends retire
+// identical traces/stats, so this also covers the cross-backend pairs);
+// the candidate pauses at the split through a serialized snapshot. The
+// post-split trace, final stats, final tables, and the telemetry both
+// sides aggregate over the second chunk must all be identical.
+void check_resume_case(std::mt19937& rng, const std::string& tag) {
+  env::GridWorld world(grid8());
+
+  qtaccel::PipelineConfig base;
+  base.algorithm =
+      static_cast<qtaccel::Algorithm>(rng() % 4);
+  base.qmax = static_cast<qtaccel::QmaxMode>(rng() % 2);
+  base.hazard = static_cast<qtaccel::HazardMode>(rng() % 2);
+  base.alpha = 0.2;
+  base.gamma = 0.9;
+  base.seed = 1 + rng() % 1000;
+  base.max_episode_length = 128;
+
+  const qtaccel::Backend save_backend = (rng() % 2 == 0)
+                                            ? qtaccel::Backend::kCycleAccurate
+                                            : qtaccel::Backend::kFast;
+  const qtaccel::Backend resume_backend =
+      (rng() % 2 == 0) ? qtaccel::Backend::kCycleAccurate
+                       : qtaccel::Backend::kFast;
+  const std::uint64_t split = 500 + rng() % 4000;
+  const std::uint64_t total = split + 500 + rng() % 4000;
+
+  const std::string what =
+      tag + " [" + qtaccel::algorithm_name(base.algorithm) + " " +
+      qtaccel::backend_name(save_backend) + "->" +
+      qtaccel::backend_name(resume_backend) + " split=" +
+      std::to_string(split) + " total=" + std::to_string(total) + "]";
+
+  qtaccel::PipelineConfig rc = base;
+  rc.backend = resume_backend;
+  Engine ref(world, rc);
+  std::vector<qtaccel::SampleTrace> ref_trace;
+  ref.set_trace(&ref_trace);
+  ref.run_samples(split);
+  const std::size_t ref_prefix = ref_trace.size();
+
+  qtaccel::PipelineConfig sc = base;
+  sc.backend = save_backend;
+  Engine saver(world, sc);
+  saver.run_samples(split);
+  std::stringstream snap;
+  save_snapshot(saver, snap);
+
+  Engine resumed(world, rc);
+  load_snapshot(resumed, snap);
+  std::vector<qtaccel::SampleTrace> resumed_trace;
+  resumed.set_trace(&resumed_trace);
+
+  // Both sinks attach at the same logical point (the split), so the
+  // metrics each registry aggregates over the second chunk — cycle
+  // attribution, forwarding hits, episode/stall histograms — must be
+  // identical if the restore was truly bit-exact.
+  telemetry::MetricsRegistry ref_metrics, resumed_metrics;
+  {
+    telemetry::PipelineTelemetry ref_sink(qtaccel::make_run_labels(rc),
+                                          &ref_metrics, nullptr);
+    telemetry::PipelineTelemetry resumed_sink(qtaccel::make_run_labels(rc),
+                                              &resumed_metrics, nullptr);
+    ref.set_telemetry(&ref_sink);
+    resumed.set_telemetry(&resumed_sink);
+    ref.run_samples(total);
+    resumed.run_samples(total);
+    ref.set_telemetry(nullptr);
+    resumed.set_telemetry(nullptr);
+  }
+
+  ASSERT_EQ(ref_trace.size(), ref_prefix + resumed_trace.size()) << what;
+  for (std::size_t i = 0; i < resumed_trace.size(); ++i) {
+    ASSERT_TRUE(ref_trace[ref_prefix + i] == resumed_trace[i])
+        << what << " trace diverged at " << i;
+  }
+  expect_same_stats(ref.stats(), resumed.stats(), what);
+  EXPECT_EQ(ref.dsp_saturations(), resumed.dsp_saturations()) << what;
+  expect_same_tables(ref, resumed, world, what);
+  EXPECT_EQ(ref_metrics.json_text(), resumed_metrics.json_text()) << what;
+}
+
+TEST(SnapshotFuzz, RandomConfigAndSplitResumeBitExactly) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int i = 0; i < 12; ++i) {
+    check_resume_case(rng, "case " + std::to_string(i));
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(Snapshot, CrossBackendResumeBothDirections) {
+  // The fuzz test hits cross-backend pairs probabilistically; this one
+  // pins both directions explicitly for every algorithm.
+  env::GridWorld world(grid8());
+  for (const auto algorithm :
+       {qtaccel::Algorithm::kQLearning, qtaccel::Algorithm::kSarsa,
+        qtaccel::Algorithm::kExpectedSarsa, qtaccel::Algorithm::kDoubleQ}) {
+    for (const bool save_on_cycle : {true, false}) {
+      qtaccel::PipelineConfig sc;
+      sc.algorithm = algorithm;
+      sc.seed = 7;
+      sc.max_episode_length = 128;
+      sc.backend = save_on_cycle ? qtaccel::Backend::kCycleAccurate
+                                 : qtaccel::Backend::kFast;
+      qtaccel::PipelineConfig rc = sc;
+      rc.backend = save_on_cycle ? qtaccel::Backend::kFast
+                                 : qtaccel::Backend::kCycleAccurate;
+
+      Engine ref(world, rc);
+      ref.run_samples(4000);
+      ref.run_samples(10000);
+
+      Engine saver(world, sc);
+      saver.run_samples(4000);
+      std::stringstream snap;
+      save_snapshot(saver, snap);
+      Engine resumed(world, rc);
+      load_snapshot(resumed, snap);
+      resumed.run_samples(10000);
+
+      const std::string tag =
+          std::string(qtaccel::algorithm_name(algorithm)) +
+          (save_on_cycle ? " cycle->fast" : " fast->cycle");
+      expect_same_stats(ref.stats(), resumed.stats(), tag);
+      expect_same_tables(ref, resumed, world, tag);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(Snapshot, SniffsV1QtableMagicAsWarmStart) {
+  // load_snapshot routes on the magic word: a v1 QTACCEL-QTABLE stream
+  // warm-starts the Q table (preset_q + rebuild_qmax) instead of being
+  // rejected as a foreign file.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 5;
+  c.max_episode_length = 128;
+  Engine trained(world, c);
+  trained.run_samples(30000);
+  std::stringstream buf;
+  save_q_table(buf, trained);  // writes the v1 format
+
+  Engine fresh(world, c);
+  load_snapshot(fresh, buf);
+  for (StateId s = 0; s < world.num_states(); ++s) {
+    for (ActionId a = 0; a < world.num_actions(); ++a) {
+      ASSERT_EQ(fresh.q_raw(s, a), trained.q_raw(s, a));
+    }
+  }
+  // Warm start, not a machine restore: counters stay at zero.
+  EXPECT_EQ(fresh.stats().samples, 0u);
+}
+
+TEST(BackendRegistry, BuildsTheConfiguredBackend) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.backend = qtaccel::Backend::kCycleAccurate;
+  const auto cycle = make_backend(world, c);
+  EXPECT_EQ(cycle->kind(), qtaccel::Backend::kCycleAccurate);
+  EXPECT_TRUE(cycle->has_waveforms());
+  EXPECT_TRUE(cycle->has_single_cycle_step());
+  EXPECT_NE(cycle->cycle_pipeline(), nullptr);
+
+  c.backend = qtaccel::Backend::kFast;
+  const auto fast = make_backend(world, c);
+  EXPECT_EQ(fast->kind(), qtaccel::Backend::kFast);
+  EXPECT_FALSE(fast->has_waveforms());
+  EXPECT_FALSE(fast->has_port_audit());
+  EXPECT_EQ(fast->cycle_pipeline(), nullptr);
+}
+
+std::unique_ptr<QrlBackend> aborting_factory(const env::Environment&,
+                                             const qtaccel::PipelineConfig&) {
+  QTA_CHECK_MSG(false, "out-of-tree backend factory invoked");
+  return nullptr;
+}
+
+TEST(BackendRegistryDeath, RegisteredFactoryReplacesBuiltin) {
+  // register_backend must win over the built-in adapter. Run inside the
+  // death-test child so the parent process keeps the real fast backend.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.backend = qtaccel::Backend::kFast;
+  EXPECT_DEATH(
+      {
+        register_backend(qtaccel::Backend::kFast, &aborting_factory);
+        Engine e(world, c);
+      },
+      "out-of-tree backend factory invoked");
+}
+
+std::string valid_snapshot_text(const env::Environment& env,
+                                const qtaccel::PipelineConfig& c) {
+  Engine e(env, c);
+  e.run_samples(2000);
+  std::stringstream buf;
+  save_snapshot(e, buf);
+  return buf.str();
+}
+
+TEST(SnapshotDeath, RejectsForeignAndCorruptedStreams) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  Engine target(world, c);
+  const std::string good = valid_snapshot_text(world, c);
+
+  {
+    std::stringstream garbage("hello world");
+    EXPECT_DEATH(load_snapshot(target, garbage),
+                 "not a QTACCEL-QTABLE or QTACCEL-SNAPSHOT file");
+  }
+  {
+    std::string future = good;
+    future.replace(future.find("v2"), 2, "v9");
+    std::stringstream in(future);
+    EXPECT_DEATH(load_snapshot(target, in), "unsupported SNAPSHOT version");
+  }
+  {
+    // Cut mid-payload: the word reads hit eof.
+    std::stringstream in(good.substr(0, good.size() / 2));
+    EXPECT_DEATH(load_snapshot(target, in), "truncated");
+  }
+  {
+    // Remove the trailing sentinel only: every section parses, the
+    // missing `end` is what catches it.
+    std::string headless = good.substr(0, good.rfind("end"));
+    std::stringstream in(headless);
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "truncated or malformed snapshot header");
+  }
+}
+
+TEST(SnapshotDeath, RejectsFingerprintAndGeometryMismatch) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  const std::string good = valid_snapshot_text(world, c);
+
+  {
+    qtaccel::PipelineConfig other = c;
+    other.alpha = 0.25;
+    Engine target(world, other);
+    std::stringstream in(good);
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "snapshot fingerprint does not match");
+  }
+  {
+    env::GridWorldConfig gc = grid8();
+    gc.width = 16;
+    env::GridWorld bigger(gc);
+    Engine target(bigger, c);
+    std::stringstream in(good);
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "snapshot geometry does not match");
+  }
+  {
+    // Same geometry/rates but the wrong algorithm: the fingerprint (not
+    // the table-shape check) must reject it.
+    qtaccel::PipelineConfig other = c;
+    other.algorithm = qtaccel::Algorithm::kSarsa;
+    Engine target(world, other);
+    std::stringstream in(good);
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "snapshot fingerprint does not match");
+  }
+}
+
+TEST(Snapshot, SeedAndBackendAreNotPartOfTheFingerprint) {
+  // The live RNG registers travel in the snapshot; the seed only chose
+  // their t=0 value. A restore into an engine built with a different
+  // seed (or backend) must succeed and still resume bit-exactly.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 3;
+  c.max_episode_length = 128;
+  Engine ref(world, c);
+  ref.run_samples(3000);
+  std::stringstream snap;
+  save_snapshot(ref, snap);
+  ref.run_samples(8000);
+
+  qtaccel::PipelineConfig other = c;
+  other.seed = 4444;
+  other.backend = qtaccel::Backend::kFast;
+  Engine resumed(world, other);
+  load_snapshot(resumed, snap);
+  resumed.run_samples(8000);
+  expect_same_stats(ref.stats(), resumed.stats(), "seed/backend");
+  expect_same_tables(ref, resumed, world, "seed/backend");
+}
+
+}  // namespace
+}  // namespace qta::runtime

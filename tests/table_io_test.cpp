@@ -2,12 +2,18 @@
 
 #include <sstream>
 
+#include <fstream>
+
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
-#include "qtaccel/table_io.h"
+#include "runtime/table_io.h"
 
 namespace qta::qtaccel {
 namespace {
+
+using runtime::Engine;
+using runtime::load_q_table;
+using runtime::save_q_table;
 
 env::GridWorldConfig grid4() {
   env::GridWorldConfig c;
@@ -22,13 +28,13 @@ TEST(TableIo, RoundTripIsBitExact) {
   PipelineConfig c;
   c.seed = 1;
   c.max_episode_length = 128;
-  Pipeline trained(g, c);
+  Engine trained(g, c);
   trained.run_samples(50000);
 
   std::stringstream buf;
   save_q_table(buf, trained);
 
-  Pipeline fresh(g, c);
+  Engine fresh(g, c);
   load_q_table(buf, fresh);
   for (StateId s = 0; s < g.num_states(); ++s) {
     for (ActionId a = 0; a < g.num_actions(); ++a) {
@@ -42,12 +48,12 @@ TEST(TableIo, RebuildsQmaxAsRowMaxima) {
   PipelineConfig c;
   c.seed = 2;
   c.max_episode_length = 128;
-  Pipeline trained(g, c);
+  Engine trained(g, c);
   trained.run_samples(50000);
   std::stringstream buf;
   save_q_table(buf, trained);
 
-  Pipeline fresh(g, c);
+  Engine fresh(g, c);
   load_q_table(buf, fresh);
   for (StateId s = 0; s < g.num_states(); ++s) {
     fixed::raw_t mx = fresh.q_raw(s, 0);
@@ -75,14 +81,14 @@ TEST(TableIo, WarmStartKeepsLearningConsistent) {
   PipelineConfig c;
   c.seed = 3;
   c.max_episode_length = 128;
-  Pipeline trained(g, c);
+  Engine trained(g, c);
   trained.run_samples(200000);
   std::stringstream buf;
   save_q_table(buf, trained);
 
   PipelineConfig c2 = c;
   c2.seed = 99;
-  Pipeline warm(g, c2);
+  Engine warm(g, c2);
   load_q_table(buf, warm);
   warm.run_samples(20000);
   const auto vi = env::value_iteration(g, c.gamma);
@@ -101,40 +107,71 @@ TEST(TableIo, WarmStartKeepsLearningConsistent) {
     EXPECT_EQ(env::rollout_steps(g, policy, s, 100),
               env::rollout_steps(g, vi.policy, s, 100));
   }
-  EXPECT_EQ(warm.q_table().stats().port_conflicts, 0u);
+  EXPECT_EQ(warm.cycle_pipeline()->q_table().stats().port_conflicts, 0u);
+}
+
+TEST(TableIo, LoadsCheckedInV1Fixture) {
+  // Back-compat gate: the v1 format written by older releases must stay
+  // loadable through the snapshot layer. The fixture is checked in, not
+  // generated here, so any accidental format drift fails this test.
+  env::GridWorld g(grid4());
+  PipelineConfig c;
+  Engine p(g, c);
+  std::ifstream in(std::string(QTA_TEST_DATA_DIR) +
+                   "/qtable_v1_grid4.txt");
+  ASSERT_TRUE(in.is_open());
+  load_q_table(in, p);
+  for (StateId s = 0; s < g.num_states(); ++s) {
+    for (ActionId a = 0; a < g.num_actions(); ++a) {
+      const auto want =
+          static_cast<fixed::raw_t>(3 * static_cast<int>(s * 4 + a) - 50);
+      ASSERT_EQ(p.q_raw(s, a), want) << "s=" << s << " a=" << a;
+    }
+    // Qmax was rebuilt as the row maximum (action 3 in the fixture's
+    // ascending rows), with the monotone table's floor at zero.
+    const auto e = p.qmax_entry(s);
+    const auto row_max =
+        static_cast<fixed::raw_t>(3 * static_cast<int>(s * 4 + 3) - 50);
+    if (row_max < 0) {
+      EXPECT_EQ(e.value, 0);
+    } else {
+      EXPECT_EQ(e.value, row_max);
+      EXPECT_EQ(e.action, 3u);
+    }
+  }
 }
 
 TEST(TableIo, RejectsWrongGeometry) {
   env::GridWorld g(grid4());
   PipelineConfig c;
-  Pipeline p(g, c);
+  Engine p(g, c);
   std::stringstream buf;
   save_q_table(buf, p);
 
   env::GridWorldConfig other = grid4();
   other.width = 8;
   env::GridWorld g8(other);
-  Pipeline p8(g8, c);
+  Engine p8(g8, c);
   EXPECT_DEATH(load_q_table(buf, p8), "geometry");
 }
 
 TEST(TableIo, RejectsWrongFormat) {
   env::GridWorld g(grid4());
   PipelineConfig a;
-  Pipeline pa(g, a);
+  Engine pa(g, a);
   std::stringstream buf;
   save_q_table(buf, pa);
 
   PipelineConfig b;
   b.q_fmt = fixed::Format{16, 8};
-  Pipeline pb(g, b);
+  Engine pb(g, b);
   EXPECT_DEATH(load_q_table(buf, pb), "format");
 }
 
 TEST(TableIo, RejectsGarbage) {
   env::GridWorld g(grid4());
   PipelineConfig c;
-  Pipeline p(g, c);
+  Engine p(g, c);
   std::stringstream not_a_table("hello world");
   EXPECT_DEATH(load_q_table(not_a_table, p), "QTACCEL-QTABLE");
   std::stringstream truncated(
@@ -145,7 +182,7 @@ TEST(TableIo, RejectsGarbage) {
 TEST(TableIo, RejectsOutOfRangeValues) {
   env::GridWorld g(grid4());
   PipelineConfig c;
-  Pipeline p(g, c);
+  Engine p(g, c);
   std::stringstream bad("QTACCEL-QTABLE v1\n"
                         "states 16 actions 4 width 18 frac 8\n"
                         "9999999 0 0 0\n");

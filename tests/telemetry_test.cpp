@@ -24,7 +24,7 @@
 #include "common/json_writer.h"
 #include "common/thread_pool.h"
 #include "env/grid_world.h"
-#include "qtaccel/fast_engine.h"
+#include "runtime/engine.h"
 #include "telemetry/metrics.h"
 #include "telemetry/pipeline_telemetry.h"
 #include "telemetry/pool_observer.h"
@@ -348,8 +348,8 @@ void expect_identical_runs(qtaccel::PipelineConfig config) {
   for (const qtaccel::Backend backend :
        {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
     config.backend = backend;
-    qtaccel::Engine plain(world, config);
-    qtaccel::Engine observed(world, config);
+    runtime::Engine plain(world, config);
+    runtime::Engine observed(world, config);
     std::vector<qtaccel::SampleTrace> plain_trace, observed_trace;
     plain.set_trace(&plain_trace);
     observed.set_trace(&observed_trace);
@@ -421,7 +421,7 @@ void expect_complete_attribution(qtaccel::PipelineConfig config) {
   for (const qtaccel::Backend backend :
        {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
     config.backend = backend;
-    qtaccel::Engine engine(world, config);
+    runtime::Engine engine(world, config);
     MetricsRegistry registry;
     PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
                            nullptr);
@@ -456,7 +456,7 @@ TEST(TelemetryAttribution, StallModeCyclesSumToStats) {
 TEST(TelemetryAttribution, ForwardingHitCountersMatchStats) {
   env::GridWorld world(grid8());
   qtaccel::PipelineConfig config = base_config();
-  qtaccel::Engine engine(world, config);
+  runtime::Engine engine(world, config);
   MetricsRegistry registry;
   PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
                          nullptr);
@@ -491,7 +491,7 @@ TEST(TelemetryTrace, JsonParsesWithMonotonePerTrackSpans) {
   MetricsRegistry registry;
   TraceSession trace;
   {
-    qtaccel::Engine engine(world, config);
+    runtime::Engine engine(world, config);
     PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
                            &trace);
     engine.set_telemetry(&sink);
@@ -542,7 +542,7 @@ TEST(TelemetryTrace, FastBackendEmitsEpisodeSpans) {
   TraceSession trace;
   std::uint64_t episodes = 0;
   {
-    qtaccel::Engine engine(world, config);
+    runtime::Engine engine(world, config);
     PipelineTelemetry sink(qtaccel::make_run_labels(config), &registry,
                            &trace);
     engine.set_telemetry(&sink);

@@ -23,7 +23,7 @@ struct RuleInfo {
   std::string_view rationale;
 };
 
-constexpr std::array<RuleInfo, 8> kRules{{
+constexpr std::array<RuleInfo, 9> kRules{{
     {RuleId::kDatapathPurity, "datapath-purity",
      "src/hw, src/fixed, qtaccel pipeline files",
      "paper's fixed-point 4-DSP datapath: no float/double/libm"},
@@ -40,6 +40,9 @@ constexpr std::array<RuleInfo, 8> kRules{{
     {RuleId::kTelemetryBoundary, "telemetry-boundary",
      "src/hw, src/fixed, qtaccel pipeline files",
      "datapath observes only via telemetry/sink.h; no registry/trace"},
+    {RuleId::kRuntimeBoundary, "runtime-boundary",
+     "src/**, tools, examples, bench",
+     "backends are built only via runtime/; datapath never sees runtime/"},
     {RuleId::kUnknownAllow, "unknown-allow", "qtlint annotations",
      "allow() must name a real rule"},
 }};
@@ -114,9 +117,9 @@ constexpr std::array<std::string_view, 4> kTelemetryHostIdents{
 
 // qtaccel files that model pipeline hardware (as opposed to host-side
 // config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).
-constexpr std::array<std::string_view, 7> kPipelineFileStems{
-    "pipeline",   "multi_pipeline", "boltzmann_pipeline", "forwarding",
-    "qmax_unit",  "action_units",   "fast_engine"};
+constexpr std::array<std::string_view, 6> kPipelineFileStems{
+    "pipeline",  "boltzmann_pipeline", "forwarding",
+    "qmax_unit", "action_units",       "fast_engine"};
 
 struct LexedFile {
   // Source with comments and string/char-literal contents blanked out;
@@ -431,6 +434,26 @@ void check_includes(const LexedFile& lexed, const FileClass& fc,
              "#include \"" + target +
                  "\" in datapath code; only telemetry/sink.h is allowed");
     }
+    // Layering: runtime/ sits above the datapath. Below it, only the
+    // driver (which wraps an Engine behind its CSR surface) may look up.
+    if (fc.in_src && !fc.runtime && !fc.driver &&
+        starts_with(target, "runtime/")) {
+      e.emit(RuleId::kRuntimeBoundary, line,
+             "#include \"" + target +
+                 "\" inverts the layering: datapath and support code "
+                 "must not depend on src/runtime");
+    }
+    // And nobody above the seam names the concrete backends: Pipeline /
+    // FastEngine are constructed only by the runtime's adapters (plus
+    // their own module and unit tests).
+    if (!fc.runtime && !fc.qtaccel &&
+        (target == "qtaccel/pipeline.h" ||
+         target == "qtaccel/fast_engine.h")) {
+      e.emit(RuleId::kRuntimeBoundary, line,
+             "#include \"" + target +
+                 "\" outside src/runtime: use the Engine facade "
+                 "(runtime/engine.h) or the backend registry instead");
+    }
   }
 }
 
@@ -528,6 +551,9 @@ FileClass classify_path(std::string_view rel_path) {
   fc.header = ends_with(p, ".h") || ends_with(p, ".hpp");
   fc.in_src = starts_with(p, "src/");
   fc.rng = starts_with(p, "src/rng/");
+  fc.runtime = starts_with(p, "src/runtime/");
+  fc.driver = starts_with(p, "src/driver/");
+  fc.qtaccel = starts_with(p, "src/qtaccel/");
   fc.hot_path = starts_with(p, "src/hw/") || starts_with(p, "src/fixed/");
   fc.datapath = fc.hot_path;
   // The persistent thread pool schedules the datapath replicas

@@ -19,6 +19,13 @@
 //   telemetry-boundary datapath files touch telemetry only through the
 //                     host-side sink interface (telemetry/sink.h); the
 //                     registry/trace/profiler machinery stays host-side.
+//   runtime-boundary  layering between the datapath and the runtime:
+//                     nothing in src/ below src/runtime (except the
+//                     driver) may include runtime/ headers, and only
+//                     src/runtime and src/qtaccel may include
+//                     qtaccel/pipeline.h or qtaccel/fast_engine.h —
+//                     everything else constructs machines through the
+//                     Engine facade / backend registry.
 //
 // Escape hatches, all comment-driven and rule-scoped:
 //   // qtlint: allow(rule[, rule...])        — this line only
@@ -41,6 +48,7 @@ enum class RuleId {
   kNoIostream,
   kNoBareAssert,
   kTelemetryBoundary,
+  kRuntimeBoundary,
   kUnknownAllow,  // meta-rule: allow(...) names a rule that does not exist
 };
 
@@ -71,6 +79,9 @@ struct FileClass {
   bool rng = false;       // src/rng — the sanctioned entropy module
   bool hot_path = false;  // src/hw, src/fixed (no-iostream scope)
   bool in_src = false;    // under src/
+  bool runtime = false;   // src/runtime — the backend/facade layer
+  bool driver = false;    // src/driver — sits above runtime, may use it
+  bool qtaccel = false;   // src/qtaccel — the backends' own module
   bool header = false;    // .h / .hpp
 };
 

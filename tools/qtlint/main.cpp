@@ -1,6 +1,6 @@
 // qtlint CLI. With explicit file arguments it lints those (repo-relative)
-// paths; with none it walks src/ and tools/ under --root. Exit codes:
-// 0 clean, 1 violations found, 2 usage or IO error.
+// paths; with none it walks src/, tools/, examples/ and bench/ under
+// --root. Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
@@ -21,7 +21,7 @@ bool lintable_extension(const fs::path& p) {
 
 std::vector<std::string> discover(const std::string& root) {
   std::vector<std::string> files;
-  for (const char* top : {"src", "tools"}) {
+  for (const char* top : {"src", "tools", "examples", "bench"}) {
     const fs::path dir = fs::path(root) / top;
     if (!fs::exists(dir)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
@@ -38,8 +38,9 @@ std::vector<std::string> discover(const std::string& root) {
 
 void usage(std::ostream& os) {
   os << "usage: qtlint [--root DIR] [--list-rules] [--quiet] [files...]\n"
-        "  files are repo-relative; with none given, src/ and tools/ under\n"
-        "  --root (default: current directory) are scanned.\n";
+        "  files are repo-relative; with none given, src/, tools/,\n"
+        "  examples/ and bench/ under --root (default: current\n"
+        "  directory) are scanned.\n";
 }
 
 }  // namespace
