@@ -5,6 +5,7 @@
 // would run.
 //
 // Usage: warehouse_workflow [--samples=300000] [--seed=11]
+//                           [--backend={cycle,fast}]
 #include <iostream>
 #include <sstream>
 
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   c.gamma = 0.9;
   c.seed = seed;
   c.max_episode_length = 1024;
+  c.backend = qtaccel::parse_backend(flags.get_string("backend", "fast"));
   runtime::Engine robot_a(floor, c);
   robot_a.run_samples(samples);
 

@@ -1,6 +1,7 @@
 #include "runtime/multi_pipeline.h"
 
 #include <algorithm>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -18,25 +19,41 @@ constexpr const char* kPoolMagic = "QTACCEL-POOL-CHECKPOINT";
 constexpr const char* kFleetMagic = "QTACCEL-FLEET-CHECKPOINT";
 constexpr const char* kPoolVersion = "v1";
 
+/// QTA_CHECK_MSG with the checkpoint's source context appended — the
+/// leading message text is unchanged so existing death-test regexes
+/// keep matching; the suffix names the file (and pipe, when set).
+void require(bool ok, const char* msg, const SnapshotSource& src) {
+  if (ok) return;
+  const std::string full = msg + src.describe();
+  QTA_CHECK_MSG(false, full.c_str());
+}
+
 void expect_pool_header(std::istream& is, const char* magic,
                         const char* key, std::uint64_t expected_count,
-                        std::uint64_t* out_cycles) {
+                        std::uint64_t* out_cycles,
+                        const SnapshotSource& src) {
   std::string tok;
   is >> tok;
-  QTA_CHECK_MSG(static_cast<bool>(is) && tok == magic,
-                "not a QTACCEL pool checkpoint file");
+  require(static_cast<bool>(is) && tok == magic,
+          "not a QTACCEL pool checkpoint file", src);
   is >> tok;
-  QTA_CHECK_MSG(static_cast<bool>(is) && tok == kPoolVersion,
-                "unsupported pool checkpoint version");
+  require(static_cast<bool>(is) && tok == kPoolVersion,
+          "unsupported pool checkpoint version", src);
   std::uint64_t count = 0;
   is >> tok >> count;
-  QTA_CHECK_MSG(static_cast<bool>(is) && tok == key && count == expected_count,
-                "pool checkpoint shape does not match this pool");
+  require(static_cast<bool>(is) && tok == key && count == expected_count,
+          "pool checkpoint shape does not match this pool", src);
   if (out_cycles != nullptr) {
     is >> tok >> *out_cycles;
-    QTA_CHECK_MSG(static_cast<bool>(is) && tok == "cycles",
-                  "truncated pool checkpoint header");
+    require(static_cast<bool>(is) && tok == "cycles",
+            "truncated pool checkpoint header", src);
   }
+}
+
+SnapshotSource pipe_source(const SnapshotSource& base, std::size_t pipe) {
+  SnapshotSource src = base;
+  src.pipe = static_cast<int>(pipe);
+  return src;
 }
 }  // namespace
 
@@ -117,16 +134,36 @@ void SharedTablePipelines::save_checkpoint(std::ostream& os) {
   }
 }
 
-void SharedTablePipelines::load_checkpoint(std::istream& is) {
+void SharedTablePipelines::load_checkpoint(std::istream& is,
+                                           const SnapshotSource& source) {
   std::uint64_t cycles = 0;
-  expect_pool_header(is, kPoolMagic, "pipes", pipes_.size(), &cycles);
+  expect_pool_header(is, kPoolMagic, "pipes", pipes_.size(), &cycles,
+                     source);
   // Per-pipe restore re-presets the shared tables once per pipe — they
   // were saved post-drain, so every copy is identical and the repeated
   // preset is idempotent.
-  for (const auto& p : pipes_) {
-    p->load_state(read_snapshot(is, p->config(), env_));
+  for (std::size_t i = 0; i < pipes_.size(); ++i) {
+    pipes_[i]->load_state(read_snapshot(is, pipes_[i]->config(), env_,
+                                        pipe_source(source, i)));
   }
   cycles_ = cycles;
+}
+
+void SharedTablePipelines::save_checkpoint_file(const std::string& path) {
+  std::ofstream os(path);
+  require(os.is_open(), "cannot open pool checkpoint file for writing",
+          SnapshotSource{path});
+  save_checkpoint(os);
+  os.flush();
+  require(os.good(), "failed writing pool checkpoint file",
+          SnapshotSource{path});
+}
+
+void SharedTablePipelines::load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.is_open(), "cannot open pool checkpoint file for reading",
+          SnapshotSource{path});
+  load_checkpoint(is, SnapshotSource{path});
 }
 
 std::uint64_t SharedTablePipelines::total_samples() const {
@@ -216,10 +253,31 @@ void IndependentPipelines::save_checkpoint(std::ostream& os) const {
   for (const auto& e : engines_) save_snapshot(*e, os);
 }
 
-void IndependentPipelines::load_checkpoint(std::istream& is) {
+void IndependentPipelines::load_checkpoint(std::istream& is,
+                                           const SnapshotSource& source) {
   expect_pool_header(is, kFleetMagic, "engines", engines_.size(),
-                     /*out_cycles=*/nullptr);
-  for (auto& e : engines_) load_snapshot(*e, is);
+                     /*out_cycles=*/nullptr, source);
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    load_snapshot(*engines_[i], is, pipe_source(source, i));
+  }
+}
+
+void IndependentPipelines::save_checkpoint_file(
+    const std::string& path) const {
+  std::ofstream os(path);
+  require(os.is_open(), "cannot open fleet checkpoint file for writing",
+          SnapshotSource{path});
+  save_checkpoint(os);
+  os.flush();
+  require(os.good(), "failed writing fleet checkpoint file",
+          SnapshotSource{path});
+}
+
+void IndependentPipelines::load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.is_open(), "cannot open fleet checkpoint file for reading",
+          SnapshotSource{path});
+  load_checkpoint(is, SnapshotSource{path});
 }
 
 std::uint64_t IndependentPipelines::total_samples() const {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -39,6 +40,7 @@
 #include "qtaccel/pipeline.h"
 #include "qtaccel/qmax_unit.h"
 #include "runtime/engine.h"
+#include "runtime/snapshot.h"
 
 namespace qta::runtime {
 
@@ -66,8 +68,14 @@ class SharedTablePipelines {
   /// restore is idempotent). Non-const because of the drain.
   void save_checkpoint(std::ostream& os);
   /// Restores a checkpoint written by save_checkpoint; aborts with a
-  /// diagnostic on a foreign file or a pool-shape mismatch.
-  void load_checkpoint(std::istream& is);
+  /// diagnostic on a foreign file or a pool-shape mismatch. The
+  /// diagnostic names `source` plus the offending pipe index, so a bad
+  /// snapshot inside a multi-pipe stream is attributable.
+  void load_checkpoint(std::istream& is, const SnapshotSource& source = {});
+  /// File helpers; abort with a diagnostic (naming the path) when the
+  /// file cannot be opened/written or fails to parse.
+  void save_checkpoint_file(const std::string& path);
+  void load_checkpoint_file(const std::string& path);
 
   unsigned num_pipelines() const {
     return static_cast<unsigned>(pipes_.size());
@@ -137,9 +145,14 @@ class IndependentPipelines {
 
   /// Fleet checkpoint: one machine snapshot per engine. Valid at any
   /// point between run_samples_each calls (the parallel_for join is the
-  /// barrier); restoring resumes every engine bit-exactly.
+  /// barrier); restoring resumes every engine bit-exactly. Load
+  /// diagnostics name `source` plus the offending engine's pipe index.
   void save_checkpoint(std::ostream& os) const;
-  void load_checkpoint(std::istream& is);
+  void load_checkpoint(std::istream& is, const SnapshotSource& source = {});
+  /// File helpers; abort with a diagnostic (naming the path) when the
+  /// file cannot be opened/written or fails to parse.
+  void save_checkpoint_file(const std::string& path) const;
+  void load_checkpoint_file(const std::string& path);
 
   unsigned num_pipelines() const {
     return static_cast<unsigned>(engines_.size());

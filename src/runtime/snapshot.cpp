@@ -11,23 +11,45 @@
 
 namespace qta::runtime {
 
+std::string SnapshotSource::describe() const {
+  if (name.empty() && pipe < 0) return "";
+  std::string out = " (";
+  if (!name.empty()) out += name;
+  if (pipe >= 0) {
+    if (!name.empty()) out += ", ";
+    out += "pipe " + std::to_string(pipe);
+  }
+  out += ")";
+  return out;
+}
+
 namespace {
 
 constexpr const char* kQtableMagic = "QTACCEL-QTABLE";
 constexpr const char* kQtableVersion = "v1";
 
-void expect_key(std::istream& is, const char* key) {
+/// QTA_CHECK_MSG with the snapshot's source context appended — the
+/// leading message text is unchanged so existing death-test regexes
+/// keep matching; the suffix names the file and pipe.
+void require(bool ok, const char* msg, const SnapshotSource& src) {
+  if (ok) return;
+  const std::string full = msg + src.describe();
+  QTA_CHECK_MSG(false, full.c_str());
+}
+
+void expect_key(std::istream& is, const char* key,
+                const SnapshotSource& src) {
   std::string tok;
   is >> tok;
-  QTA_CHECK_MSG(static_cast<bool>(is) && tok == key,
-                "truncated or malformed snapshot header");
+  require(static_cast<bool>(is) && tok == key,
+          "truncated or malformed snapshot header", src);
 }
 
 template <typename T>
-T read_value(std::istream& is) {
+T read_value(std::istream& is, const SnapshotSource& src) {
   T v{};
   is >> v;
-  QTA_CHECK_MSG(static_cast<bool>(is), "truncated snapshot payload");
+  require(static_cast<bool>(is), "truncated snapshot payload", src);
   return v;
 }
 
@@ -44,42 +66,43 @@ void write_words(std::ostream& os, const char* key, std::size_t count,
 
 // --- v1 warm-start path (the old table_io loader, retargeted) ---
 
-void load_qtable_v1_body(std::istream& is, Engine& engine) {
+void load_qtable_v1_body(std::istream& is, Engine& engine,
+                         const SnapshotSource& src) {
   std::string version, key;
   is >> version;
-  QTA_CHECK_MSG(static_cast<bool>(is) && version == kQtableVersion,
-                "unsupported QTABLE version");
+  require(static_cast<bool>(is) && version == kQtableVersion,
+          "unsupported QTABLE version", src);
 
   StateId states = 0;
   ActionId actions = 0;
   unsigned width = 0, frac = 0;
   is >> key >> states;
-  QTA_CHECK_MSG(static_cast<bool>(is) && key == "states",
-                "malformed header: states");
+  require(static_cast<bool>(is) && key == "states",
+          "malformed header: states", src);
   is >> key >> actions;
-  QTA_CHECK_MSG(static_cast<bool>(is) && key == "actions",
-                "malformed header: actions");
+  require(static_cast<bool>(is) && key == "actions",
+          "malformed header: actions", src);
   is >> key >> width;
-  QTA_CHECK_MSG(static_cast<bool>(is) && key == "width",
-                "malformed header: width");
+  require(static_cast<bool>(is) && key == "width",
+          "malformed header: width", src);
   is >> key >> frac;
-  QTA_CHECK_MSG(static_cast<bool>(is) && key == "frac",
-                "malformed header: frac");
+  require(static_cast<bool>(is) && key == "frac",
+          "malformed header: frac", src);
 
   const env::Environment& env = engine.environment();
   const fixed::Format fmt = engine.config().q_fmt;
-  QTA_CHECK_MSG(states == env.num_states() && actions == env.num_actions(),
-                "table geometry does not match the pipeline's environment");
-  QTA_CHECK_MSG(width == fmt.width && frac == fmt.frac,
-                "fixed-point format does not match the pipeline's config");
+  require(states == env.num_states() && actions == env.num_actions(),
+          "table geometry does not match the pipeline's environment", src);
+  require(width == fmt.width && frac == fmt.frac,
+          "fixed-point format does not match the pipeline's config", src);
 
   for (StateId s = 0; s < states; ++s) {
     for (ActionId a = 0; a < actions; ++a) {
       fixed::raw_t v = 0;
       is >> v;
-      QTA_CHECK_MSG(static_cast<bool>(is), "truncated QTABLE payload");
-      QTA_CHECK_MSG(v >= fmt.min_raw() && v <= fmt.max_raw(),
-                    "QTABLE value outside the fixed-point range");
+      require(static_cast<bool>(is), "truncated QTABLE payload", src);
+      require(v >= fmt.min_raw() && v <= fmt.max_raw(),
+              "QTABLE value outside the fixed-point range", src);
       engine.preset_q(s, a, v);
     }
   }
@@ -88,38 +111,39 @@ void load_qtable_v1_body(std::istream& is, Engine& engine) {
 
 qtaccel::MachineState read_snapshot_body(std::istream& is,
                                          const qtaccel::PipelineConfig& config,
-                                         const env::Environment& env) {
+                                         const env::Environment& env,
+                                         const SnapshotSource& src) {
   // --- fingerprint ---
-  expect_key(is, "algorithm");
-  const auto algorithm = read_value<unsigned>(is);
-  expect_key(is, "hazard");
-  const auto hazard = read_value<unsigned>(is);
-  expect_key(is, "qmax");
-  const auto qmax = read_value<unsigned>(is);
-  expect_key(is, "alpha");
-  const auto alpha_bits = read_value<std::uint64_t>(is);
-  expect_key(is, "gamma");
-  const auto gamma_bits = read_value<std::uint64_t>(is);
-  expect_key(is, "epsilon");
-  const auto epsilon_bits_pattern = read_value<std::uint64_t>(is);
-  expect_key(is, "epsilon_bits");
-  const auto epsilon_bits = read_value<unsigned>(is);
-  expect_key(is, "qfmt");
-  const auto q_width = read_value<unsigned>(is);
-  const auto q_frac = read_value<unsigned>(is);
-  expect_key(is, "cfmt");
-  const auto c_width = read_value<unsigned>(is);
-  const auto c_frac = read_value<unsigned>(is);
-  expect_key(is, "max_episode_length");
-  const auto max_episode_length = read_value<std::uint64_t>(is);
-  expect_key(is, "states");
-  const auto states = read_value<StateId>(is);
-  expect_key(is, "actions");
-  const auto actions = read_value<ActionId>(is);
+  expect_key(is, "algorithm", src);
+  const auto algorithm = read_value<unsigned>(is, src);
+  expect_key(is, "hazard", src);
+  const auto hazard = read_value<unsigned>(is, src);
+  expect_key(is, "qmax", src);
+  const auto qmax = read_value<unsigned>(is, src);
+  expect_key(is, "alpha", src);
+  const auto alpha_bits = read_value<std::uint64_t>(is, src);
+  expect_key(is, "gamma", src);
+  const auto gamma_bits = read_value<std::uint64_t>(is, src);
+  expect_key(is, "epsilon", src);
+  const auto epsilon_bits_pattern = read_value<std::uint64_t>(is, src);
+  expect_key(is, "epsilon_bits", src);
+  const auto epsilon_bits = read_value<unsigned>(is, src);
+  expect_key(is, "qfmt", src);
+  const auto q_width = read_value<unsigned>(is, src);
+  const auto q_frac = read_value<unsigned>(is, src);
+  expect_key(is, "cfmt", src);
+  const auto c_width = read_value<unsigned>(is, src);
+  const auto c_frac = read_value<unsigned>(is, src);
+  expect_key(is, "max_episode_length", src);
+  const auto max_episode_length = read_value<std::uint64_t>(is, src);
+  expect_key(is, "states", src);
+  const auto states = read_value<StateId>(is, src);
+  expect_key(is, "actions", src);
+  const auto actions = read_value<ActionId>(is, src);
 
-  QTA_CHECK_MSG(states == env.num_states() && actions == env.num_actions(),
-                "snapshot geometry does not match the engine's environment");
-  QTA_CHECK_MSG(
+  require(states == env.num_states() && actions == env.num_actions(),
+          "snapshot geometry does not match the engine's environment", src);
+  require(
       algorithm == static_cast<unsigned>(config.algorithm) &&
           hazard == static_cast<unsigned>(config.hazard) &&
           qmax == static_cast<unsigned>(config.qmax) &&
@@ -132,35 +156,35 @@ qtaccel::MachineState read_snapshot_body(std::istream& is,
           c_width == config.coeff_fmt.width &&
           c_frac == config.coeff_fmt.frac &&
           max_episode_length == config.max_episode_length,
-      "snapshot fingerprint does not match the engine's config");
+      "snapshot fingerprint does not match the engine's config", src);
 
   qtaccel::MachineState ms;
 
   // --- registers ---
-  expect_key(is, "rng");
-  for (auto& w : ms.rng) w = read_value<std::uint64_t>(is);
-  expect_key(is, "walk");
-  ms.episode_start = read_value<unsigned>(is) != 0;
-  ms.state = read_value<StateId>(is);
-  ms.pending_action = read_value<ActionId>(is);
-  ms.episode_steps = read_value<std::uint64_t>(is);
-  QTA_CHECK_MSG(ms.state < states, "snapshot walk state out of range");
-  expect_key(is, "wb");
-  for (auto& w : ms.wb_addrs) w = read_value<std::uint64_t>(is);
-  expect_key(is, "stats");
-  ms.stats.iterations = read_value<std::uint64_t>(is);
-  ms.stats.samples = read_value<std::uint64_t>(is);
-  ms.stats.episodes = read_value<std::uint64_t>(is);
-  ms.stats.bubbles = read_value<std::uint64_t>(is);
-  ms.stats.cycles = read_value<std::uint64_t>(is);
-  ms.stats.issued = read_value<std::uint64_t>(is);
-  ms.stats.stall_cycles = read_value<std::uint64_t>(is);
-  ms.stats.fwd_q_sa = read_value<std::uint64_t>(is);
-  ms.stats.fwd_q_next = read_value<std::uint64_t>(is);
-  ms.stats.fwd_qmax = read_value<std::uint64_t>(is);
-  ms.stats.adder_saturations = read_value<std::uint64_t>(is);
-  expect_key(is, "dsp");
-  for (auto& w : ms.dsp_saturations) w = read_value<std::uint64_t>(is);
+  expect_key(is, "rng", src);
+  for (auto& w : ms.rng) w = read_value<std::uint64_t>(is, src);
+  expect_key(is, "walk", src);
+  ms.episode_start = read_value<unsigned>(is, src) != 0;
+  ms.state = read_value<StateId>(is, src);
+  ms.pending_action = read_value<ActionId>(is, src);
+  ms.episode_steps = read_value<std::uint64_t>(is, src);
+  require(ms.state < states, "snapshot walk state out of range", src);
+  expect_key(is, "wb", src);
+  for (auto& w : ms.wb_addrs) w = read_value<std::uint64_t>(is, src);
+  expect_key(is, "stats", src);
+  ms.stats.iterations = read_value<std::uint64_t>(is, src);
+  ms.stats.samples = read_value<std::uint64_t>(is, src);
+  ms.stats.episodes = read_value<std::uint64_t>(is, src);
+  ms.stats.bubbles = read_value<std::uint64_t>(is, src);
+  ms.stats.cycles = read_value<std::uint64_t>(is, src);
+  ms.stats.issued = read_value<std::uint64_t>(is, src);
+  ms.stats.stall_cycles = read_value<std::uint64_t>(is, src);
+  ms.stats.fwd_q_sa = read_value<std::uint64_t>(is, src);
+  ms.stats.fwd_q_next = read_value<std::uint64_t>(is, src);
+  ms.stats.fwd_qmax = read_value<std::uint64_t>(is, src);
+  ms.stats.adder_saturations = read_value<std::uint64_t>(is, src);
+  expect_key(is, "dsp", src);
+  for (auto& w : ms.dsp_saturations) w = read_value<std::uint64_t>(is, src);
 
   // --- tables ---
   const qtaccel::AddressMap map = qtaccel::make_address_map(env);
@@ -169,38 +193,38 @@ qtaccel::MachineState read_snapshot_body(std::istream& is,
   const auto read_table = [&](const char* key, std::uint64_t expected,
                               bool may_be_empty,
                               std::vector<fixed::raw_t>& out) {
-    expect_key(is, key);
-    const auto count = read_value<std::uint64_t>(is);
-    QTA_CHECK_MSG(count == expected || (may_be_empty && count == 0),
-                  "snapshot table size does not match the engine's "
-                  "geometry");
+    expect_key(is, key, src);
+    const auto count = read_value<std::uint64_t>(is, src);
+    require(count == expected || (may_be_empty && count == 0),
+            "snapshot table size does not match the engine's "
+            "geometry",
+            src);
     out.resize(count);
     for (auto& v : out) {
-      v = read_value<fixed::raw_t>(is);
-      QTA_CHECK_MSG(v >= qf.min_raw() && v <= qf.max_raw(),
-                    "snapshot value outside the fixed-point range");
+      v = read_value<fixed::raw_t>(is, src);
+      require(v >= qf.min_raw() && v <= qf.max_raw(),
+              "snapshot value outside the fixed-point range", src);
     }
   };
   read_table("q", depth, /*may_be_empty=*/false, ms.q);
   read_table("q2", depth, /*may_be_empty=*/true, ms.q2);
-  QTA_CHECK_MSG(
-      ms.q2.empty() ==
-          (config.algorithm != qtaccel::Algorithm::kDoubleQ),
-      "snapshot and config disagree on the second Q table");
+  require(ms.q2.empty() ==
+              (config.algorithm != qtaccel::Algorithm::kDoubleQ),
+          "snapshot and config disagree on the second Q table", src);
   read_table("qmaxv", states, /*may_be_empty=*/false, ms.qmax_value);
-  expect_key(is, "qmaxa");
-  const auto qmaxa_count = read_value<std::uint64_t>(is);
-  QTA_CHECK_MSG(qmaxa_count == states,
-                "snapshot table size does not match the engine's geometry");
+  expect_key(is, "qmaxa", src);
+  const auto qmaxa_count = read_value<std::uint64_t>(is, src);
+  require(qmaxa_count == states,
+          "snapshot table size does not match the engine's geometry", src);
   ms.qmax_action.resize(qmaxa_count);
   for (auto& a : ms.qmax_action) {
-    a = read_value<ActionId>(is);
-    QTA_CHECK_MSG(a < actions, "snapshot Qmax action out of range");
+    a = read_value<ActionId>(is, src);
+    require(a < actions, "snapshot Qmax action out of range", src);
   }
 
   // The sentinel catches files truncated between sections, which token
   // reads alone would not (eof after a complete section parses cleanly).
-  expect_key(is, "end");
+  expect_key(is, "end", src);
   return ms;
 }
 
@@ -253,15 +277,16 @@ void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
 
 qtaccel::MachineState read_snapshot(std::istream& is,
                                     const qtaccel::PipelineConfig& config,
-                                    const env::Environment& env) {
+                                    const env::Environment& env,
+                                    const SnapshotSource& source) {
   std::string magic, version;
   is >> magic;
-  QTA_CHECK_MSG(static_cast<bool>(is) && magic == kSnapshotMagic,
-                "not a QTACCEL-SNAPSHOT file");
+  require(static_cast<bool>(is) && magic == kSnapshotMagic,
+          "not a QTACCEL-SNAPSHOT file", source);
   is >> version;
-  QTA_CHECK_MSG(static_cast<bool>(is) && version == kSnapshotVersion,
-                "unsupported SNAPSHOT version");
-  return read_snapshot_body(is, config, env);
+  require(static_cast<bool>(is) && version == kSnapshotVersion,
+          "unsupported SNAPSHOT version", source);
+  return read_snapshot_body(is, config, env, source);
 }
 
 void save_snapshot(const Engine& engine, std::ostream& os) {
@@ -269,36 +294,39 @@ void save_snapshot(const Engine& engine, std::ostream& os) {
                  engine.save_state());
 }
 
-void load_snapshot(Engine& engine, std::istream& is) {
+void load_snapshot(Engine& engine, std::istream& is,
+                   const SnapshotSource& source) {
   std::string magic;
   is >> magic;
-  QTA_CHECK_MSG(static_cast<bool>(is) &&
-                    (magic == kSnapshotMagic || magic == kQtableMagic),
-                "not a QTACCEL-QTABLE or QTACCEL-SNAPSHOT file");
+  require(static_cast<bool>(is) &&
+              (magic == kSnapshotMagic || magic == kQtableMagic),
+          "not a QTACCEL-QTABLE or QTACCEL-SNAPSHOT file", source);
   if (magic == kQtableMagic) {
-    load_qtable_v1_body(is, engine);
+    load_qtable_v1_body(is, engine, source);
     return;
   }
   std::string version;
   is >> version;
-  QTA_CHECK_MSG(static_cast<bool>(is) && version == kSnapshotVersion,
-                "unsupported SNAPSHOT version");
-  engine.load_state(
-      read_snapshot_body(is, engine.config(), engine.environment()));
+  require(static_cast<bool>(is) && version == kSnapshotVersion,
+          "unsupported SNAPSHOT version", source);
+  engine.load_state(read_snapshot_body(is, engine.config(),
+                                       engine.environment(), source));
 }
 
 void save_snapshot_file(const Engine& engine, const std::string& path) {
   std::ofstream os(path);
-  QTA_CHECK_MSG(os.is_open(), "cannot open snapshot file for writing");
+  require(os.is_open(), "cannot open snapshot file for writing",
+          SnapshotSource{path});
   save_snapshot(engine, os);
   os.flush();
-  QTA_CHECK_MSG(os.good(), "failed writing snapshot file");
+  require(os.good(), "failed writing snapshot file", SnapshotSource{path});
 }
 
 void load_snapshot_file(Engine& engine, const std::string& path) {
   std::ifstream is(path);
-  QTA_CHECK_MSG(is.is_open(), "cannot open snapshot file for reading");
-  load_snapshot(engine, is);
+  require(is.is_open(), "cannot open snapshot file for reading",
+          SnapshotSource{path});
+  load_snapshot(engine, is, SnapshotSource{path});
 }
 
 }  // namespace qta::runtime

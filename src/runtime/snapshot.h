@@ -46,6 +46,18 @@ namespace qta::runtime {
 inline constexpr const char* kSnapshotMagic = "QTACCEL-SNAPSHOT";
 inline constexpr const char* kSnapshotVersion = "v2";
 
+/// Where a snapshot/checkpoint stream came from, for diagnostics. Load
+/// failures keep their original leading message text (existing death
+/// tests and scripts match on it) and append this context, so a pool
+/// restore that dies names the offending file and pipe index instead of
+/// leaving the user to bisect a multi-snapshot stream by hand.
+struct SnapshotSource {
+  std::string name;  ///< file path or stream label; "" = anonymous stream
+  int pipe = -1;     ///< pool pipe/engine index; -1 = not pool-scoped
+  /// " (name, pipe N)" / " (name)" / " (pipe N)" / "".
+  std::string describe() const;
+};
+
 /// Serializes a machine state with `config`/`env` as its fingerprint.
 /// Operates on the raw state so pools of bare pipelines (multi_pipeline)
 /// reuse the same writer; most callers use save_snapshot(engine, os).
@@ -55,10 +67,12 @@ void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
 
 /// Parses a v2 snapshot and validates its fingerprint against
 /// `config`/`env`; aborts with a diagnostic on a foreign magic, an
-/// unsupported version, a fingerprint mismatch, or truncation.
+/// unsupported version, a fingerprint mismatch, or truncation. The
+/// diagnostic carries `source` (file path / pipe index) when given.
 qtaccel::MachineState read_snapshot(std::istream& is,
                                     const qtaccel::PipelineConfig& config,
-                                    const env::Environment& env);
+                                    const env::Environment& env,
+                                    const SnapshotSource& source = {});
 
 /// Drained-engine snapshot (engines are always drained between run_*
 /// calls, so any point between calls is a valid save point).
@@ -67,10 +81,11 @@ void save_snapshot(const Engine& engine, std::ostream& os);
 /// Restores `engine` from a QTACCEL-SNAPSHOT v2 (full machine state) or
 /// a QTACCEL-QTABLE v1 stream (Q table only: warm start via preset_q +
 /// rebuild_qmax, leaving counters and RNG state at their current values).
-void load_snapshot(Engine& engine, std::istream& is);
+void load_snapshot(Engine& engine, std::istream& is,
+                   const SnapshotSource& source = {});
 
-/// File helpers; abort with a diagnostic when the file cannot be
-/// opened/written.
+/// File helpers; abort with a diagnostic (naming the path) when the
+/// file cannot be opened/written or fails to parse.
 void save_snapshot_file(const Engine& engine, const std::string& path);
 void load_snapshot_file(Engine& engine, const std::string& path);
 

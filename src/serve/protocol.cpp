@@ -1,0 +1,335 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace qta::serve {
+
+namespace {
+
+// --- little-endian, bounds-checked payload readers/writers ---
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return fail();
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool u16(std::uint16_t* v) {
+    std::uint64_t w = 0;
+    if (!uint(2, &w)) return false;
+    *v = static_cast<std::uint16_t>(w);
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    std::uint64_t w = 0;
+    if (!uint(4, &w)) return false;
+    *v = static_cast<std::uint32_t>(w);
+    return true;
+  }
+  bool u64(std::uint64_t* v) { return uint(8, v); }
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool str(std::string* v) {
+    std::uint32_t len = 0;
+    if (!u32(&len)) return false;
+    if (pos_ + len > data_.size()) return fail();
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  bool uint(unsigned bytes, std::uint64_t* v) {
+    if (pos_ + bytes > data_.size()) return fail();
+    std::uint64_t w = 0;
+    for (unsigned i = 0; i < bytes; ++i) {
+      w |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += bytes;
+    *v = w;
+    return true;
+  }
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool set_error(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+// Header shared by requests and responses. `version` newer than ours is
+// rejected (we cannot know what the fields mean); older versions do not
+// exist yet and are rejected too.
+bool read_header(Reader& r, std::string* error) {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  if (!r.u32(&magic) || !r.u16(&version)) {
+    return set_error(error, "truncated QTSERVE header");
+  }
+  if (magic != kWireMagic) {
+    return set_error(error, "not a QTSERVE-WIRE payload (bad magic)");
+  }
+  if (version != kWireVersion) {
+    return set_error(error, "unsupported QTSERVE-WIRE version");
+  }
+  return true;
+}
+
+void write_spec(Writer& w, const SessionSpec& spec) {
+  w.u32(spec.width);
+  w.u32(spec.height);
+  w.u32(spec.actions);
+  w.u8(static_cast<std::uint8_t>(spec.algorithm));
+  w.u8(static_cast<std::uint8_t>(spec.backend));
+  w.f64(spec.alpha);
+  w.f64(spec.gamma);
+  w.f64(spec.epsilon);
+  w.u64(spec.seed);
+  w.u64(spec.max_episode_length);
+  w.u8(spec.telemetry ? 1 : 0);
+}
+
+bool read_spec(Reader& r, SessionSpec* spec) {
+  std::uint8_t algorithm = 0, backend = 0, telemetry = 0;
+  if (!r.u32(&spec->width) || !r.u32(&spec->height) ||
+      !r.u32(&spec->actions) || !r.u8(&algorithm) || !r.u8(&backend) ||
+      !r.f64(&spec->alpha) || !r.f64(&spec->gamma) ||
+      !r.f64(&spec->epsilon) || !r.u64(&spec->seed) ||
+      !r.u64(&spec->max_episode_length) || !r.u8(&telemetry)) {
+    return false;
+  }
+  if (algorithm > static_cast<std::uint8_t>(
+                      qtaccel::Algorithm::kDoubleQ) ||
+      backend > static_cast<std::uint8_t>(qtaccel::Backend::kFast)) {
+    return false;
+  }
+  spec->algorithm = static_cast<qtaccel::Algorithm>(algorithm);
+  spec->backend = static_cast<qtaccel::Backend>(backend);
+  spec->telemetry = telemetry != 0;
+  return true;
+}
+
+bool is_power_of_two(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+qtaccel::PipelineConfig make_config(const SessionSpec& spec) {
+  qtaccel::PipelineConfig config;
+  config.algorithm = spec.algorithm;
+  config.backend = spec.backend;
+  config.alpha = spec.alpha;
+  config.gamma = spec.gamma;
+  config.epsilon = spec.epsilon;
+  config.seed = spec.seed;
+  config.max_episode_length = spec.max_episode_length;
+  return config;
+}
+
+std::string validate_spec(const SessionSpec& spec) {
+  if (!is_power_of_two(spec.width) || !is_power_of_two(spec.height)) {
+    return "grid width/height must be powers of two";
+  }
+  if (spec.width < 2 || spec.height < 2 || spec.width > 256 ||
+      spec.height > 256) {
+    return "grid dimensions must be in [2, 256]";
+  }
+  if (spec.actions != 4 && spec.actions != 8) {
+    return "grid worlds support 4 or 8 actions";
+  }
+  if (!(spec.alpha > 0.0 && spec.alpha < 1.0) ||
+      !(spec.gamma > 0.0 && spec.gamma < 1.0) ||
+      !(spec.epsilon >= 0.0 && spec.epsilon < 1.0)) {
+    return "rates out of range: need 0<alpha<1, 0<gamma<1, 0<=epsilon<1";
+  }
+  if (spec.max_episode_length == 0) {
+    return "max_episode_length must be nonzero";
+  }
+  return "";
+}
+
+const char* request_type_name(RequestType type) {
+  switch (type) {
+    case RequestType::kCreateSession: return "create_session";
+    case RequestType::kStep: return "step";
+    case RequestType::kQuery: return "query";
+    case RequestType::kSnapshot: return "snapshot";
+    case RequestType::kEvict: return "evict";
+    case RequestType::kClose: return "close";
+    case RequestType::kStats: return "stats";
+    case RequestType::kPing: return "ping";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const Request& req) {
+  Writer w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(req.type));
+  w.u64(req.session);
+  w.u64(req.steps);
+  w.u32(req.state);
+  if (req.type == RequestType::kCreateSession) write_spec(w, req.spec);
+  return w.take();
+}
+
+std::optional<Request> decode_request(std::string_view payload,
+                                      std::string* error) {
+  Reader r(payload);
+  if (!read_header(r, error)) return std::nullopt;
+  Request req;
+  std::uint8_t type = 0;
+  if (!r.u8(&type) || !r.u64(&req.session) || !r.u64(&req.steps) ||
+      !r.u32(&req.state)) {
+    set_error(error, "truncated request body");
+    return std::nullopt;
+  }
+  if (type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+    set_error(error, "unknown request type");
+    return std::nullopt;
+  }
+  req.type = static_cast<RequestType>(type);
+  if (req.type == RequestType::kCreateSession &&
+      !read_spec(r, &req.spec)) {
+    set_error(error, "malformed session spec");
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::string encode_response(const Response& resp) {
+  Writer w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(resp.status));
+  w.u8(static_cast<std::uint8_t>(resp.type));
+  w.str(resp.error);
+  w.u64(resp.session);
+  w.u64(resp.samples);
+  w.u64(resp.episodes);
+  w.u64(resp.cycles);
+  w.u32(resp.action);
+  w.u32(static_cast<std::uint32_t>(resp.q_row.size()));
+  for (const double q : resp.q_row) w.f64(q);
+  w.str(resp.snapshot);
+  w.str(resp.stats_json);
+  w.str(resp.stats_prometheus);
+  return w.take();
+}
+
+std::optional<Response> decode_response(std::string_view payload,
+                                        std::string* error) {
+  Reader r(payload);
+  if (!read_header(r, error)) return std::nullopt;
+  Response resp;
+  std::uint8_t status = 0, type = 0;
+  std::uint32_t q_count = 0;
+  if (!r.u8(&status) || !r.u8(&type) || !r.str(&resp.error) ||
+      !r.u64(&resp.session) || !r.u64(&resp.samples) ||
+      !r.u64(&resp.episodes) || !r.u64(&resp.cycles) ||
+      !r.u32(&resp.action) || !r.u32(&q_count)) {
+    set_error(error, "truncated response body");
+    return std::nullopt;
+  }
+  if (status > static_cast<std::uint8_t>(Status::kOverloaded) ||
+      type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+    set_error(error, "unknown response status or type");
+    return std::nullopt;
+  }
+  resp.status = static_cast<Status>(status);
+  resp.type = static_cast<RequestType>(type);
+  // An adversarial count could otherwise reserve 64M doubles before the
+  // bounds check fires; cap by what the remaining bytes can hold.
+  if (q_count > payload.size() / 8) {
+    set_error(error, "q_row length exceeds payload");
+    return std::nullopt;
+  }
+  resp.q_row.resize(q_count);
+  for (auto& q : resp.q_row) {
+    if (!r.f64(&q)) {
+      set_error(error, "truncated q_row");
+      return std::nullopt;
+    }
+  }
+  if (!r.str(&resp.snapshot) || !r.str(&resp.stats_json) ||
+      !r.str(&resp.stats_prometheus)) {
+    set_error(error, "truncated response blobs");
+    return std::nullopt;
+  }
+  return resp;
+}
+
+std::string frame(std::string_view payload) {
+  QTA_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                "frame payload exceeds kMaxFrameBytes");
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  std::string out = w.take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+std::optional<std::string> unframe(std::string& buffer, bool* oversized) {
+  if (oversized != nullptr) *oversized = false;
+  if (buffer.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buffer.data(), 4);
+  if constexpr (std::endian::native == std::endian::big) {
+    len = ((len & 0xffu) << 24) | ((len & 0xff00u) << 8) |
+          ((len >> 8) & 0xff00u) | (len >> 24);
+  }
+  if (len > kMaxFrameBytes) {
+    if (oversized != nullptr) *oversized = true;
+    return std::nullopt;
+  }
+  if (buffer.size() < 4u + len) return std::nullopt;
+  std::string payload = buffer.substr(4, len);
+  buffer.erase(0, 4u + len);
+  return payload;
+}
+
+}  // namespace qta::serve

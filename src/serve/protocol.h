@@ -1,0 +1,154 @@
+// qtserved wire protocol: QTSERVE-WIRE v1.
+//
+// The serving layer multiplexes many logical learner sessions onto a
+// bounded pool of runtime backends; clients talk to it through small
+// length-prefixed binary frames:
+//
+//   frame    := u32le payload_length, payload
+//   payload  := u32le magic ("QTSV"), u16le version (1), u8 kind,
+//               kind-specific fields (all integers little-endian,
+//               doubles as IEEE-754 bit patterns, strings/blobs as
+//               u32le length + raw bytes)
+//
+// The payload encoding is versioned exactly like the snapshot format
+// (docs/runtime.md): adding request types or trailing response fields
+// is NOT a version bump (decoders ignore unknown trailing bytes);
+// changing the meaning or layout of an existing field is. A decoder
+// that sees a foreign magic or a newer version rejects the frame with
+// a diagnostic instead of guessing — parse failures are Error replies,
+// never aborts, because the bytes come off a network.
+//
+// Request types (docs/serving.md has the full field tables):
+//   CreateSession(spec)  -> session id        (control plane, immediate)
+//   Step(session, n)     -> stats after step  (queued, per-session FIFO;
+//                           advances the session by n samples — the
+//                           engine may overshoot by its pipeline depth
+//                           when draining, so replies report totals)
+//   Query(session, s)    -> greedy action + Q row    (queued)
+//   Snapshot(session)    -> QTACCEL-SNAPSHOT v2 text (queued)
+//   Evict(session)       -> ok                (queued; forces a cold save)
+//   Close(session)       -> ok                (queued; frees the session)
+//   Stats                -> metrics JSON + Prometheus text (immediate)
+//   Ping / Shutdown      -> ok                (immediate)
+//
+// Overload is a first-class reply: when the admission-control queue is
+// full the server answers kOverloaded immediately and drops nothing —
+// clients retry; memory stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "qtaccel/config.h"
+
+namespace qta::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x56535451u;  // "QTSV" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Hard ceiling on one frame (snapshot replies dominate; a 256x256x8
+/// double-Q table snapshot is ~30 MB of text).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+using SessionId = std::uint64_t;
+
+/// Everything needed to (re)build a session's environment + engine.
+/// The spec is the session's config fingerprint: it is fixed at
+/// CreateSession and identical across evict/restore cycles.
+struct SessionSpec {
+  // Environment (a grid world; width/height powers of two, 4/8 actions).
+  unsigned width = 8;
+  unsigned height = 8;
+  unsigned actions = 4;
+  // Learner.
+  qtaccel::Algorithm algorithm = qtaccel::Algorithm::kQLearning;
+  qtaccel::Backend backend = qtaccel::Backend::kFast;
+  double alpha = 0.2;
+  double gamma = 0.9;
+  double epsilon = 0.1;
+  std::uint64_t seed = 1;
+  std::uint64_t max_episode_length = 256;
+  /// Attach a per-session PipelineTelemetry sink (labelled with the
+  /// session id on the `pipe` label) to the server's registry.
+  bool telemetry = false;
+
+  friend bool operator==(const SessionSpec&, const SessionSpec&) = default;
+};
+
+/// The pipeline config a spec denotes (shared by server and verifying
+/// clients so both build bit-identical engines).
+qtaccel::PipelineConfig make_config(const SessionSpec& spec);
+
+/// Validates a spec without aborting; returns an error message, or ""
+/// when the spec is servable.
+std::string validate_spec(const SessionSpec& spec);
+
+enum class RequestType : std::uint8_t {
+  kCreateSession = 0,
+  kStep = 1,
+  kQuery = 2,
+  kSnapshot = 3,
+  kEvict = 4,
+  kClose = 5,
+  kStats = 6,
+  kPing = 7,
+  kShutdown = 8,
+};
+
+/// Stable wire/metric spelling ("create_session", "step", ...).
+const char* request_type_name(RequestType type);
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  SessionId session = 0;       // all session-scoped types
+  std::uint64_t steps = 0;     // kStep
+  StateId state = 0;           // kQuery
+  SessionSpec spec;            // kCreateSession
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,       // request was understood but cannot be served
+  kOverloaded = 2,  // admission control: retry later
+};
+
+struct Response {
+  Status status = Status::kOk;
+  RequestType type = RequestType::kPing;  // echoes the request
+  std::string error;                      // kError diagnostic
+  SessionId session = 0;
+  // kStep / kQuery: engine counters after the request executed.
+  std::uint64_t samples = 0;
+  std::uint64_t episodes = 0;
+  std::uint64_t cycles = 0;
+  // kQuery.
+  ActionId action = 0;
+  std::vector<double> q_row;
+  // kSnapshot: QTACCEL-SNAPSHOT v2 text. kStats: metrics snapshots.
+  std::string snapshot;
+  std::string stats_json;
+  std::string stats_prometheus;
+};
+
+/// Payload codecs (no frame header; see frame helpers below).
+std::string encode_request(const Request& req);
+std::string encode_response(const Response& resp);
+/// Return nullopt on malformed/foreign/truncated payloads and, when
+/// `error` is non-null, say why.
+std::optional<Request> decode_request(std::string_view payload,
+                                      std::string* error = nullptr);
+std::optional<Response> decode_response(std::string_view payload,
+                                        std::string* error = nullptr);
+
+/// Length-prefix helpers for stream transports: frame() prepends the
+/// u32le length; unframe() extracts one complete payload from `buffer`
+/// (consuming it) or returns nullopt when more bytes are needed. A
+/// frame longer than kMaxFrameBytes is a protocol error: unframe()
+/// reports it through `oversized` so the transport can drop the peer.
+std::string frame(std::string_view payload);
+std::optional<std::string> unframe(std::string& buffer,
+                                   bool* oversized = nullptr);
+
+}  // namespace qta::serve

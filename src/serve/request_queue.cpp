@@ -1,0 +1,38 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qta::serve {
+
+bool RequestQueue::push(QueuedRequest qr) {
+  if (depth_ >= max_depth_) return false;
+  const SessionId id = qr.request.session;
+  auto [it, inserted] = queues_.try_emplace(id);
+  if (inserted) ring_.push_back(id);
+  it->second.push_back(std::move(qr));
+  ++depth_;
+  return true;
+}
+
+std::vector<QueuedRequest> RequestQueue::pop_batch(std::size_t max_sessions) {
+  std::vector<QueuedRequest> batch;
+  const std::size_t take = std::min(max_sessions, ring_.size());
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const SessionId id = ring_.front();
+    ring_.pop_front();
+    auto it = queues_.find(id);
+    batch.push_back(std::move(it->second.front()));
+    it->second.pop_front();
+    --depth_;
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      ring_.push_back(id);  // still ready: rotate to the back
+    }
+  }
+  return batch;
+}
+
+}  // namespace qta::serve

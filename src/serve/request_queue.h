@@ -1,0 +1,60 @@
+// RequestQueue: admission-controlled, per-session FIFO request staging.
+//
+// Invariants the server's correctness rests on:
+//   - Per-session FIFO: requests for one session leave the queue in the
+//     order they were pushed (a Query submitted after a Step observes
+//     the post-Step state).
+//   - Round-robin fairness across sessions: pop_batch takes at most the
+//     FRONT request of each ready session, visiting sessions in a
+//     rotating ring, so one chatty session cannot starve the rest.
+//   - Bounded depth: push refuses (returns false) once `max_depth`
+//     requests are staged. The caller turns that into an explicit
+//     kOverloaded reply — backpressure instead of unbounded buffering.
+//
+// Single-threaded: the server's control thread is the only caller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace qta::serve {
+
+/// One staged request plus its completion bookkeeping.
+struct QueuedRequest {
+  std::uint64_t ticket = 0;
+  Request request;
+  std::uint64_t enqueue_us = 0;  // server-clock submit time (latency)
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t max_depth) : max_depth_(max_depth) {}
+
+  /// Stages `qr` behind its session's earlier requests. Returns false —
+  /// staging nothing — when the queue is at max_depth.
+  bool push(QueuedRequest qr);
+
+  /// Pops the front request of up to `max_sessions` distinct sessions,
+  /// round-robin. Sessions with remaining requests keep their ring
+  /// position (they rotate to the back).
+  std::vector<QueuedRequest> pop_batch(std::size_t max_sessions);
+
+  std::size_t depth() const { return depth_; }
+  bool empty() const { return depth_ == 0; }
+  std::size_t max_depth() const { return max_depth_; }
+  /// Sessions that currently have staged requests.
+  std::size_t ready_sessions() const { return queues_.size(); }
+
+ private:
+  std::size_t max_depth_;
+  std::size_t depth_ = 0;
+  std::map<SessionId, std::deque<QueuedRequest>> queues_;
+  std::list<SessionId> ring_;  // rotation order; one entry per ready session
+};
+
+}  // namespace qta::serve

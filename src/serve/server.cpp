@@ -1,0 +1,282 @@
+#include "serve/server.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "runtime/snapshot.h"
+
+namespace qta::serve {
+
+namespace {
+
+Response error_response(const Request& req, std::string message) {
+  Response resp;
+  resp.status = Status::kError;
+  resp.type = req.type;
+  resp.session = req.session;
+  resp.error = std::move(message);
+  return resp;
+}
+
+bool is_session_scoped(RequestType type) {
+  switch (type) {
+    case RequestType::kStep:
+    case RequestType::kQuery:
+    case RequestType::kSnapshot:
+    case RequestType::kEvict:
+    case RequestType::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      sessions_(options.max_hot, &metrics_),
+      queue_(options.max_queue),
+      pool_(options.workers == 0 ? 1 : options.workers),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.trace) {
+    trace_ = std::make_unique<telemetry::TraceSession>();
+    trace_->set_process_name(0, "qtserved requests");
+  }
+  for (unsigned t = 0; t <= static_cast<unsigned>(RequestType::kShutdown);
+       ++t) {
+    requests_by_type_[t] = &metrics_.counter(
+        "qtserve_requests_total",
+        {{"type", request_type_name(static_cast<RequestType>(t))}},
+        "requests accepted, by request type");
+  }
+  overloads_ = &metrics_.counter(
+      "qtserve_overload_total", {},
+      "session requests refused by admission control");
+  errors_ = &metrics_.counter("qtserve_errors_total", {},
+                              "requests answered with an error status");
+  sessions_created_ =
+      &metrics_.counter("qtserve_sessions_created_total", {});
+  sessions_closed_ = &metrics_.counter("qtserve_sessions_closed_total", {});
+  sessions_live_ = &metrics_.gauge("qtserve_sessions_live", {},
+                                   "logical sessions currently registered");
+  sessions_hot_ = &metrics_.gauge("qtserve_sessions_hot", {},
+                                  "sessions with a resident engine");
+  queue_depth_ = &metrics_.histogram(
+      "qtserve_queue_depth", {}, "staged requests, observed at admission");
+  batch_size_ = &metrics_.histogram(
+      "qtserve_batch_size", {}, "engine requests executed per pump batch");
+  latency_us_ = &metrics_.histogram(
+      "qtserve_request_latency_us", {},
+      "session request latency, admission to completion (us)");
+}
+
+Server::~Server() = default;
+
+std::uint64_t Server::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Server::update_gauges() {
+  sessions_live_->set(static_cast<double>(sessions_.size()));
+  sessions_hot_->set(static_cast<double>(sessions_.hot_count()));
+}
+
+Ticket Server::submit(const Request& req) {
+  const Ticket ticket = next_ticket_++;
+  requests_by_type_[static_cast<unsigned>(req.type)]->inc();
+  QueuedRequest qr{ticket, req, now_us()};
+
+  if (is_session_scoped(req.type)) {
+    if (!sessions_.exists(req.session)) {
+      finish(qr, error_response(req, "unknown session"));
+      return ticket;
+    }
+    if (!queue_.push(qr)) {
+      overloads_->inc();
+      Response resp;
+      resp.status = Status::kOverloaded;
+      resp.type = req.type;
+      resp.session = req.session;
+      resp.error = "admission queue full; retry";
+      finish(qr, std::move(resp));
+      return ticket;
+    }
+    queue_depth_->observe(queue_.depth());
+    return ticket;
+  }
+
+  Response resp;
+  resp.type = req.type;
+  resp.session = req.session;
+  switch (req.type) {
+    case RequestType::kCreateSession: {
+      const std::string problem = validate_spec(req.spec);
+      if (!problem.empty()) {
+        resp = error_response(req, problem);
+        break;
+      }
+      resp.session = sessions_.create(req.spec);
+      sessions_created_->inc();
+      break;
+    }
+    case RequestType::kStats:
+      resp.stats_json = metrics_.json_text();
+      resp.stats_prometheus = metrics_.prometheus_text();
+      break;
+    case RequestType::kPing:
+      break;
+    case RequestType::kShutdown:
+      shutdown_ = true;
+      break;
+    default:
+      resp = error_response(req, "request type cannot be submitted");
+      break;
+  }
+  update_gauges();
+  finish(qr, std::move(resp));
+  return ticket;
+}
+
+Response Server::execute(const Request& req, runtime::Engine& engine) {
+  Response resp;
+  resp.type = req.type;
+  resp.session = req.session;
+  switch (req.type) {
+    case RequestType::kStep: {
+      // run_samples takes an absolute sample target; Step(n) advances
+      // the session BY n. The pipeline may overshoot by its depth when
+      // draining, so the base is whatever the session retired so far.
+      engine.run_samples(engine.stats().samples + req.steps);
+      const qtaccel::PipelineStats& stats = engine.stats();
+      resp.samples = stats.samples;
+      resp.episodes = stats.episodes;
+      resp.cycles = stats.cycles;
+      break;
+    }
+    case RequestType::kQuery: {
+      const env::Environment& env = engine.environment();
+      if (req.state >= env.num_states()) {
+        return error_response(req, "state id out of range");
+      }
+      const ActionId actions = env.num_actions();
+      resp.q_row.reserve(actions);
+      ActionId best = 0;
+      fixed::raw_t best_raw = engine.q_raw(req.state, 0);
+      for (ActionId a = 0; a < actions; ++a) {
+        resp.q_row.push_back(engine.q_value(req.state, a));
+        const fixed::raw_t raw = engine.q_raw(req.state, a);
+        if (raw > best_raw) {  // ties keep the lowest action id
+          best_raw = raw;
+          best = a;
+        }
+      }
+      resp.action = best;
+      const qtaccel::PipelineStats& stats = engine.stats();
+      resp.samples = stats.samples;
+      resp.episodes = stats.episodes;
+      resp.cycles = stats.cycles;
+      break;
+    }
+    case RequestType::kSnapshot: {
+      std::ostringstream os;
+      runtime::save_snapshot(engine, os);
+      resp.snapshot = std::move(os).str();
+      break;
+    }
+    default:
+      return error_response(req, "request type is not engine work");
+  }
+  return resp;
+}
+
+bool Server::pump() {
+  std::vector<QueuedRequest> popped = queue_.pop_batch(options_.max_hot);
+
+  // Split control work (inline) from engine work (pool). Evict/Close
+  // mutate the LRU and session map, so they run here on the control
+  // thread; the engine requests are acquired hot afterwards — at most
+  // max_hot of them, so acquiring one cannot evict another batch member.
+  struct Item {
+    QueuedRequest qr;
+    runtime::Engine* engine;
+    Response resp;
+  };
+  std::vector<Item> batch;
+  batch.reserve(popped.size());
+  for (QueuedRequest& qr : popped) {
+    const Request& req = qr.request;
+    if (!sessions_.exists(req.session)) {
+      // Closed while staged (Close is FIFO like everything else).
+      finish(qr, error_response(req, "unknown session"));
+      continue;
+    }
+    if (req.type == RequestType::kEvict) {
+      sessions_.evict(req.session);
+      Response resp;
+      resp.type = req.type;
+      resp.session = req.session;
+      finish(qr, std::move(resp));
+      continue;
+    }
+    if (req.type == RequestType::kClose) {
+      sessions_.close(req.session);
+      sessions_closed_->inc();
+      Response resp;
+      resp.type = req.type;
+      resp.session = req.session;
+      finish(qr, std::move(resp));
+      continue;
+    }
+    runtime::Engine* engine = sessions_.acquire(req.session);
+    QTA_CHECK_MSG(engine != nullptr, "acquire failed for a live session");
+    batch.push_back(Item{std::move(qr), engine, Response{}});
+  }
+
+  batch_size_->observe(batch.size());
+  if (!batch.empty()) {
+    pool_.parallel_for(batch.size(), [&batch, this](std::size_t i) {
+      // Workers touch only their own item: one session's engine, one
+      // response slot. All shared state waits for the control thread.
+      batch[i].resp = execute(batch[i].qr.request, *batch[i].engine);
+    });
+    for (Item& item : batch) {
+      finish(item.qr, std::move(item.resp));
+    }
+  }
+  update_gauges();
+  return !queue_.empty();
+}
+
+void Server::drain() {
+  while (pump()) {
+  }
+}
+
+void Server::finish(const QueuedRequest& qr, Response resp) {
+  if (resp.status == Status::kError) errors_->inc();
+  const std::uint64_t end = now_us();
+  latency_us_->observe(end - qr.enqueue_us);
+  if (trace_ != nullptr) {
+    trace_->complete_event(
+        /*pid=*/0, /*tid=*/static_cast<std::uint32_t>(qr.request.session),
+        request_type_name(qr.request.type), qr.enqueue_us,
+        end - qr.enqueue_us);
+  }
+  done_.emplace(qr.ticket, std::move(resp));
+}
+
+Response Server::take(Ticket ticket) {
+  auto it = done_.find(ticket);
+  QTA_CHECK_MSG(it != done_.end(), "take(): ticket is not done");
+  Response resp = std::move(it->second);
+  done_.erase(it);
+  return resp;
+}
+
+}  // namespace qta::serve

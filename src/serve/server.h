@@ -1,0 +1,122 @@
+// Server: the qtserved core, transport-agnostic.
+//
+// Execution model (docs/serving.md has the full walkthrough):
+//   - submit() runs on the control thread. Control-plane requests
+//     (CreateSession, Stats, Ping, Shutdown) and rejections (unknown
+//     session, admission-control overload) complete immediately; the
+//     session-scoped rest (Step, Query, Snapshot, Evict, Close) stage
+//     in the RequestQueue behind the same session's earlier requests.
+//   - pump() executes one batch: it pops at most one staged request per
+//     session (round-robin, capped at the hot-slot count so no batch
+//     member can be evicted mid-batch), executes Evict/Close inline,
+//     acquires engines for the rest — restoring cold sessions through
+//     the snapshot layer — and runs them on the ThreadPool, one worker
+//     item per session. Workers only touch their own session's engine
+//     and response slot; every queue/LRU/metrics-map mutation stays on
+//     the control thread.
+//   - Responses are retrieved by ticket: done(t), then take(t).
+//
+// Backpressure: a session request that arrives while RequestQueue holds
+// `max_queue` staged requests is answered kOverloaded immediately.
+// Nothing is buffered beyond that bound, so server memory stays bounded
+// no matter how fast clients push.
+//
+// Telemetry (metric catalog in docs/serving.md): request/overload/error
+// counters, queue-depth / batch-size / request-latency log2 histograms,
+// live/hot session gauges, plus the SessionManager's eviction/restore
+// counters — all in the server-owned MetricsRegistry, which per-session
+// engine sinks share. With ServerOptions.trace set, every completed
+// request also lands as a Perfetto span (one track per session).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/request_queue.h"
+#include "serve/session_manager.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace qta::serve {
+
+struct ServerOptions {
+  /// Resident engines (SessionManager LRU capacity); also the batch cap.
+  unsigned max_hot = 8;
+  /// ThreadPool workers executing a batch.
+  unsigned workers = 4;
+  /// Admission bound on staged session requests.
+  std::size_t max_queue = 64;
+  /// Record a Perfetto span per completed request.
+  bool trace = false;
+};
+
+using Ticket = std::uint64_t;
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accepts one request and returns its ticket. The response may be
+  /// ready immediately (control plane / rejection) or after pump()s.
+  Ticket submit(const Request& req);
+
+  bool done(Ticket ticket) const { return done_.count(ticket) != 0; }
+  /// Takes a completed response; aborts on unknown/unfinished tickets.
+  Response take(Ticket ticket);
+
+  /// Executes one batch of staged requests. Returns true while staged
+  /// work remains.
+  bool pump();
+  /// pump() until the queue is empty.
+  void drain();
+
+  bool pending() const { return !queue_.empty(); }
+  /// Set once a Shutdown request was accepted; the transport frontend
+  /// is expected to stop accepting, drain(), and exit.
+  bool shutdown_requested() const { return shutdown_; }
+
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::TraceSession* trace() const { return trace_.get(); }
+  SessionManager& sessions() { return sessions_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void finish(const QueuedRequest& qr, Response resp);
+  Response execute(const Request& req, runtime::Engine& engine);
+  void update_gauges();
+  std::uint64_t now_us() const;
+
+  ServerOptions options_;
+  telemetry::MetricsRegistry metrics_;
+  std::unique_ptr<telemetry::TraceSession> trace_;  // null unless opted in
+  SessionManager sessions_;
+  RequestQueue queue_;
+  ThreadPool pool_;
+  std::map<Ticket, Response> done_;
+  Ticket next_ticket_ = 1;
+  bool shutdown_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+
+  // Instrument handles, resolved once at construction.
+  telemetry::Counter* requests_by_type_[9] = {};
+  telemetry::Counter* overloads_ = nullptr;
+  telemetry::Counter* errors_ = nullptr;
+  telemetry::Counter* sessions_created_ = nullptr;
+  telemetry::Counter* sessions_closed_ = nullptr;
+  telemetry::Gauge* sessions_live_ = nullptr;
+  telemetry::Gauge* sessions_hot_ = nullptr;
+  telemetry::Histogram* queue_depth_ = nullptr;
+  telemetry::Histogram* batch_size_ = nullptr;
+  telemetry::Histogram* latency_us_ = nullptr;
+};
+
+}  // namespace qta::serve

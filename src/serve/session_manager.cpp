@@ -1,0 +1,133 @@
+#include "serve/session_manager.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "runtime/snapshot.h"
+
+namespace qta::serve {
+
+SessionManager::SessionManager(unsigned max_hot,
+                               telemetry::MetricsRegistry* metrics)
+    : max_hot_(max_hot), metrics_(metrics) {
+  QTA_CHECK_MSG(max_hot_ >= 1, "SessionManager needs at least one hot slot");
+  if (metrics_ != nullptr) {
+    lru_eviction_counter_ = &metrics_->counter(
+        "qtserve_evictions_total", {{"reason", "lru"}},
+        "sessions forced cold (by LRU pressure or an explicit request)");
+    request_eviction_counter_ = &metrics_->counter(
+        "qtserve_evictions_total", {{"reason", "request"}});
+    restore_counter_ = &metrics_->counter(
+        "qtserve_restores_total", {},
+        "sessions rebuilt from their cold snapshot");
+  }
+}
+
+SessionManager::~SessionManager() = default;
+
+SessionId SessionManager::create(const SessionSpec& spec) {
+  const SessionId id = next_id_++;
+  Session& s = sessions_[id];
+  s.spec = spec;
+  s.config = make_config(spec);
+  env::GridWorldConfig gc;
+  gc.width = spec.width;
+  gc.height = spec.height;
+  gc.num_actions = spec.actions;
+  s.env = std::make_unique<env::GridWorld>(gc);
+  if (spec.telemetry && metrics_ != nullptr) {
+    s.sink = std::make_unique<telemetry::PipelineTelemetry>(
+        qtaccel::make_run_labels(s.config, static_cast<unsigned>(id)),
+        metrics_, /*trace=*/nullptr, /*pid=*/static_cast<std::uint32_t>(id));
+  }
+  return id;
+}
+
+runtime::Engine* SessionManager::acquire(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  Session& s = it->second;
+  if (s.engine == nullptr) {
+    make_hot(id, s);
+  } else {
+    lru_.splice(lru_.end(), lru_, s.lru_pos);  // touch: move to MRU end
+  }
+  return s.engine.get();
+}
+
+bool SessionManager::evict(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  if (it->second.engine != nullptr) {
+    make_cold(id, it->second, /*count_as_lru=*/false);
+  }
+  return true;
+}
+
+bool SessionManager::close(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  if (it->second.engine != nullptr) lru_.erase(it->second.lru_pos);
+  sessions_.erase(it);
+  return true;
+}
+
+bool SessionManager::is_hot(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it != sessions_.end() && it->second.engine != nullptr;
+}
+
+const SessionSpec* SessionManager::spec(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second.spec;
+}
+
+std::string SessionManager::snapshot_text(SessionId id) const {
+  auto it = sessions_.find(id);
+  QTA_CHECK_MSG(it != sessions_.end(),
+                "snapshot_text: unknown session id");
+  const Session& s = it->second;
+  if (s.engine == nullptr) return s.cold;
+  std::ostringstream os;
+  runtime::save_snapshot(*s.engine, os);
+  return std::move(os).str();
+}
+
+void SessionManager::make_cold(SessionId id, Session& s, bool count_as_lru) {
+  std::ostringstream os;
+  runtime::save_snapshot(*s.engine, os);
+  s.cold = std::move(os).str();
+  // Deliberately no sink flush: a flush would close the in-progress
+  // stall burst and trace spans, making an evicted session's telemetry
+  // diverge from an uninterrupted run. The sink survives and the
+  // restored engine keeps feeding it.
+  s.engine.reset();
+  lru_.erase(s.lru_pos);
+  if (count_as_lru) {
+    ++lru_evictions_;
+    if (lru_eviction_counter_ != nullptr) lru_eviction_counter_->inc();
+  } else if (request_eviction_counter_ != nullptr) {
+    request_eviction_counter_->inc();
+  }
+  (void)id;
+}
+
+void SessionManager::make_hot(SessionId id, Session& s) {
+  while (lru_.size() >= max_hot_) {
+    const SessionId victim = lru_.front();
+    make_cold(victim, sessions_.at(victim), /*count_as_lru=*/true);
+  }
+  s.engine = std::make_unique<runtime::Engine>(*s.env, s.config);
+  if (s.sink != nullptr) s.engine->set_telemetry(s.sink.get());
+  if (!s.cold.empty()) {
+    std::istringstream is(s.cold);
+    runtime::load_snapshot(*s.engine, is);
+    ++restores_;
+    if (restore_counter_ != nullptr) restore_counter_->inc();
+  }
+  lru_.push_back(id);
+  s.lru_pos = std::prev(lru_.end());
+}
+
+}  // namespace qta::serve

@@ -1,0 +1,124 @@
+// SessionManager: an unbounded set of logical learner sessions mapped
+// onto a bounded set of resident (hot) runtime backends.
+//
+// A session is a SessionSpec (the config fingerprint, fixed at create
+// time) plus machine state. The state lives in exactly one of two
+// places:
+//   hot  — a live runtime::Engine on one of the manager's `max_hot`
+//          resident slots;
+//   cold — a QTACCEL-SNAPSHOT v2 text blob (or empty for a session that
+//          has never run: restoring an empty blob is just a fresh
+//          engine, which is bit-identical by construction).
+//
+// acquire() is the only path that makes a session hot; when all slots
+// are taken it evicts the least-recently-used hot session through the
+// snapshot layer. Because QTACCEL-SNAPSHOT v2 round trips are bit-exact
+// (docs/runtime.md), an evict/restore cycle between run_samples calls
+// is invisible to the session: tables, stats, RNG registers, and
+// telemetry counters continue exactly as if the engine had stayed
+// resident (proven by tests/serve_test.cpp and serve_churn_test.cpp).
+//
+// Per-session telemetry: when spec.telemetry is set, the session owns a
+// PipelineTelemetry sink (labelled with the session id on the `pipe`
+// label) that aggregates into the manager's MetricsRegistry. The sink
+// outlives evictions — it is reattached on restore — so its counters
+// span the session's whole life, not one residency.
+//
+// Threading: the manager itself is control-plane single-threaded (the
+// server mutates it only between batches). Worker threads may touch the
+// *engines* of distinct acquired sessions concurrently; they never call
+// the manager.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "env/grid_world.h"
+#include "runtime/engine.h"
+#include "serve/protocol.h"
+#include "telemetry/metrics.h"
+#include "telemetry/pipeline_telemetry.h"
+
+namespace qta::serve {
+
+class SessionManager {
+ public:
+  /// `max_hot` bounds resident engines (>= 1). `metrics` may be null
+  /// (no per-session telemetry, no eviction counters); it must outlive
+  /// the manager.
+  SessionManager(unsigned max_hot, telemetry::MetricsRegistry* metrics);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a session for `spec` (the caller has validated it) and
+  /// returns its id. Cheap: no engine is built until first acquire().
+  SessionId create(const SessionSpec& spec);
+
+  /// Ensures the session is hot (restoring from its cold snapshot and
+  /// evicting the LRU resident session if needed) and returns its
+  /// engine; nullptr for an unknown/closed id. Touches the LRU: the
+  /// `max_hot` most recently acquired sessions are never evicted by a
+  /// later acquire, so a caller may hold up to `max_hot` engines at
+  /// once (the server's batch bound).
+  runtime::Engine* acquire(SessionId id);
+
+  /// Forces the session cold now (snapshot + engine teardown). Returns
+  /// false for unknown ids; a no-op for already-cold sessions.
+  bool evict(SessionId id);
+
+  /// Destroys the session entirely. Returns false for unknown ids.
+  bool close(SessionId id);
+
+  bool exists(SessionId id) const { return sessions_.count(id) != 0; }
+  bool is_hot(SessionId id) const;
+  const SessionSpec* spec(SessionId id) const;
+
+  /// The session's current machine state as QTACCEL-SNAPSHOT v2 text
+  /// (serialized live for hot sessions, the stored blob for cold ones;
+  /// "" for a fresh session that never ran). Unknown id aborts — gate
+  /// on exists().
+  std::string snapshot_text(SessionId id) const;
+
+  std::size_t size() const { return sessions_.size(); }
+  unsigned hot_count() const {
+    return static_cast<unsigned>(lru_.size());
+  }
+  unsigned capacity() const { return max_hot_; }
+
+  /// Capacity evictions performed since construction (the LRU tail
+  /// being pushed out by acquire; explicit evict() is not counted).
+  std::uint64_t lru_evictions() const { return lru_evictions_; }
+  std::uint64_t restores() const { return restores_; }
+
+ private:
+  struct Session {
+    SessionSpec spec;
+    qtaccel::PipelineConfig config;
+    std::unique_ptr<env::GridWorld> env;
+    std::unique_ptr<runtime::Engine> engine;  // non-null iff hot
+    std::string cold;  // snapshot text; "" = never made hot
+    std::unique_ptr<telemetry::PipelineTelemetry> sink;
+    std::list<SessionId>::iterator lru_pos;  // valid iff hot
+  };
+
+  void make_cold(SessionId id, Session& s, bool count_as_lru);
+  void make_hot(SessionId id, Session& s);
+
+  unsigned max_hot_;
+  telemetry::MetricsRegistry* metrics_;
+  std::map<SessionId, Session> sessions_;
+  std::list<SessionId> lru_;  // front = least recently used, hot only
+  SessionId next_id_ = 1;
+  std::uint64_t lru_evictions_ = 0;
+  std::uint64_t restores_ = 0;
+  telemetry::Counter* lru_eviction_counter_ = nullptr;
+  telemetry::Counter* request_eviction_counter_ = nullptr;
+  telemetry::Counter* restore_counter_ = nullptr;
+};
+
+}  // namespace qta::serve

@@ -1,0 +1,37 @@
+#include "serve/transport.h"
+
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+
+namespace qta::serve {
+
+LoopbackTransport::LoopbackTransport(const ServerOptions& options)
+    : server_(std::make_unique<Server>(options)) {}
+
+LoopbackTransport::~LoopbackTransport() = default;
+
+Ticket LoopbackTransport::post(const Request& req) {
+  std::string error;
+  std::optional<Request> decoded = decode_request(encode_request(req), &error);
+  QTA_CHECK_MSG(decoded.has_value(),
+                "loopback request failed its own codec round trip");
+  return server_->submit(*decoded);
+}
+
+Response LoopbackTransport::wait(Ticket ticket) {
+  while (!server_->done(ticket)) {
+    QTA_CHECK_MSG(server_->pending(),
+                  "wait(): ticket is not done and nothing is staged");
+    server_->pump();
+  }
+  std::string error;
+  std::optional<Response> decoded =
+      decode_response(encode_response(server_->take(ticket)), &error);
+  QTA_CHECK_MSG(decoded.has_value(),
+                "loopback response failed its own codec round trip");
+  return *decoded;
+}
+
+}  // namespace qta::serve

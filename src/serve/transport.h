@@ -1,0 +1,44 @@
+// LoopbackTransport: the in-process client surface over a Server.
+//
+// Unit tests and benches talk to the serving layer through this class
+// instead of sockets — but not by shortcutting the protocol: every post
+// encodes the request and decodes it back, and every wait encodes the
+// response and decodes it back, so the QTSERVE-WIRE codec sits on the
+// loopback path exactly as it does on TCP. What loopback skips is only
+// the socket I/O and framing.
+//
+// post() stages without executing; wait() pumps the server until the
+// ticket completes. Posting several requests before the first wait is
+// how tests build multi-session batches and deterministic overload:
+// nothing executes until a wait (or an explicit pump) lets it.
+#pragma once
+
+#include <memory>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace qta::serve {
+
+class LoopbackTransport {
+ public:
+  explicit LoopbackTransport(const ServerOptions& options);
+  ~LoopbackTransport();
+
+  /// Encodes `req`, decodes it (aborting on a codec defect — loopback
+  /// frames are self-produced, not network input), and submits.
+  Ticket post(const Request& req);
+
+  /// Pumps the server until `ticket` is done and returns its response,
+  /// round-tripped through the response codec.
+  Response wait(Ticket ticket);
+
+  Response call(const Request& req) { return wait(post(req)); }
+
+  Server& server() { return *server_; }
+
+ private:
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace qta::serve

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
 #include <sstream>
+#include <string>
 
 #include "env/grid_world.h"
 #include "env/partition.h"
@@ -282,6 +284,38 @@ TEST(SharedPipelinesDeath, CheckpointRejectsForeignAndMisshapenFiles) {
                "checkpoint shape does not match this pool");
 }
 
+TEST(SharedPipelinesDeath, CheckpointErrorsNameTheFileAndPipe) {
+  env::GridWorld g(grid(4, 4));
+  PipelineConfig c;
+  SharedTablePipelines pool(g, c, 2);
+  pool.run_cycles(400);
+
+  // Cut the checkpoint inside the SECOND pipe's snapshot: the
+  // diagnostic must name both the offending file and pipe 1, not leave
+  // the user to bisect a multi-snapshot stream by hand.
+  std::stringstream full;
+  pool.save_checkpoint(full);
+  std::string text = full.str();
+  const std::size_t second_magic =
+      text.find("QTACCEL-SNAPSHOT", text.find("QTACCEL-SNAPSHOT") + 1);
+  ASSERT_NE(second_magic, std::string::npos);
+  text.resize(second_magic + 64);
+
+  const std::string path =
+      testing::TempDir() + "qta_pool_ckpt_truncated.txt";
+  {
+    std::ofstream os(path);
+    os << text;
+  }
+  SharedTablePipelines target(g, c, 2);
+  EXPECT_DEATH(target.load_checkpoint_file(path),
+               "truncated.*qta_pool_ckpt_truncated.*pipe 1");
+
+  EXPECT_DEATH(
+      target.load_checkpoint_file("/nonexistent/qta_pool_nope.txt"),
+      "cannot open pool checkpoint file for reading.*qta_pool_nope");
+}
+
 TEST(IndependentPipelines, FleetCheckpointResumesBitExactly) {
   auto make = [] {
     auto bands = env::partition_grid(grid(8, 16), 2);
@@ -317,6 +351,68 @@ TEST(IndependentPipelines, FleetCheckpointResumesBitExactly) {
       }
     }
   }
+}
+
+TEST(IndependentPipelines, FleetCheckpointFileRoundTrips) {
+  auto make = [] {
+    auto bands = env::partition_grid(grid(8, 16), 2);
+    std::vector<std::unique_ptr<env::Environment>> envs;
+    for (const auto& b : bands) {
+      envs.push_back(std::make_unique<env::GridWorld>(b));
+    }
+    PipelineConfig c;
+    c.seed = 21;
+    c.backend = Backend::kFast;
+    return std::make_unique<IndependentPipelines>(std::move(envs), c);
+  };
+  const std::string path = testing::TempDir() + "qta_fleet_ckpt.txt";
+  auto fleet = make();
+  fleet->run_samples_each(4000, 2);
+  fleet->save_checkpoint_file(path);
+
+  auto restored = make();
+  restored->load_checkpoint_file(path);
+  for (unsigned i = 0; i < 2; ++i) {
+    EXPECT_EQ(restored->engine(i).stats().samples,
+              fleet->engine(i).stats().samples);
+  }
+}
+
+TEST(IndependentPipelinesDeath, CheckpointErrorsNameTheFileAndPipe) {
+  auto make = [] {
+    auto bands = env::partition_grid(grid(8, 16), 2);
+    std::vector<std::unique_ptr<env::Environment>> envs;
+    for (const auto& b : bands) {
+      envs.push_back(std::make_unique<env::GridWorld>(b));
+    }
+    PipelineConfig c;
+    c.backend = Backend::kFast;
+    return std::make_unique<IndependentPipelines>(std::move(envs), c);
+  };
+  auto fleet = make();
+  fleet->run_samples_each(1000, 2);
+  std::stringstream full;
+  fleet->save_checkpoint(full);
+  std::string text = full.str();
+  // Cut inside the SECOND engine's snapshot: the diagnostic must name
+  // the file and pipe 1.
+  const std::size_t second_magic =
+      text.find("QTACCEL-SNAPSHOT", text.find("QTACCEL-SNAPSHOT") + 1);
+  ASSERT_NE(second_magic, std::string::npos);
+  text.resize(second_magic + 64);
+
+  const std::string path =
+      testing::TempDir() + "qta_fleet_ckpt_truncated.txt";
+  {
+    std::ofstream os(path);
+    os << text;
+  }
+  auto target = make();
+  EXPECT_DEATH(target->load_checkpoint_file(path),
+               "truncated.*qta_fleet_ckpt_truncated.*pipe 1");
+  EXPECT_DEATH(
+      target->load_checkpoint_file("/nonexistent/qta_fleet_nope.txt"),
+      "cannot open fleet checkpoint file for reading.*qta_fleet_nope");
 }
 
 TEST(IndependentPipelines, CyclePipelineIsNullableByBackend) {

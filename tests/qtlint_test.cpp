@@ -334,6 +334,54 @@ TEST(QtlintRuntimeBoundary, OnlyRuntimeAndQtaccelNameConcreteBackends) {
             0u);
 }
 
+TEST(QtlintServeBoundary, OnlyServeIncludesServeWithinSrc) {
+  const std::string snippet =
+      "#include \"serve/protocol.h\"\nvoid f();\n";
+  // Within src/, only the serving layer itself may depend on serve/.
+  EXPECT_EQ(count_rule(lint_content("src/runtime/engine.cpp", snippet),
+                       RuleId::kServeBoundary),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp", snippet),
+                       RuleId::kServeBoundary),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/serve/server.cpp", snippet),
+                       RuleId::kServeBoundary),
+            0u);
+  // Tools, examples and benches sit above the seam and may.
+  EXPECT_EQ(count_rule(lint_content("tools/qtserved.cpp", snippet),
+                       RuleId::kServeBoundary),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("bench/bench_serve.cpp", snippet),
+                       RuleId::kServeBoundary),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
+                       RuleId::kServeBoundary),
+            0u);
+}
+
+TEST(QtlintServeBoundary, ServeStaysBackendGeneric) {
+  // The serving layer multiplexes Engines; naming a concrete backend
+  // would break the snapshot bridge between backends.
+  const std::string snippet =
+      "#include \"qtaccel/pipeline.h\"\n"
+      "#include \"qtaccel/fast_engine.h\"\nvoid f();\n";
+  const auto vs = lint_content("src/serve/session_manager.cpp", snippet);
+  EXPECT_EQ(count_rule(vs, RuleId::kServeBoundary), 2u);
+  // serve-boundary, not runtime-boundary, owns this diagnostic.
+  EXPECT_EQ(count_rule(vs, RuleId::kRuntimeBoundary), 0u);
+  // The sanctioned dependency direction: serve includes runtime/.
+  EXPECT_EQ(count_rule(lint_content("src/serve/session_manager.cpp",
+                                    "#include \"runtime/engine.h\"\n"),
+                       RuleId::kRuntimeBoundary),
+            0u);
+  // And config.h (backend-agnostic types) stays fair game for serve.
+  EXPECT_EQ(count_rule(lint_content("src/serve/protocol.h",
+                                    "#pragma once\n"
+                                    "#include \"qtaccel/config.h\"\n"),
+                       RuleId::kServeBoundary),
+            0u);
+}
+
 TEST(QtlintReporting, ViolationsCarryFileLineAndSortedOrder) {
   const auto vs = lint_content("src/hw/unit.cpp",
                                "int ok;\ndouble bad1;\ndouble bad2;\n");

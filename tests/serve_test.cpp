@@ -1,0 +1,512 @@
+// Serving-layer contract tests (docs/serving.md):
+//   - QTSERVE-WIRE v1 codec round trips, and rejects foreign/corrupted/
+//     truncated payloads with error strings instead of aborts (the bytes
+//     come off a network).
+//   - Loopback end-to-end lifecycle: create / step / query / snapshot /
+//     evict / close, plus the error and overload reply paths.
+//   - The tentpole invariant: evict/restore through the SessionManager
+//     is bit-exact for every algorithm x backend — snapshot text AND
+//     per-session telemetry counters match a standalone engine that was
+//     never evicted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "env/grid_world.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
+#include "serve/protocol.h"
+#include "serve/request_queue.h"
+#include "serve/session_manager.h"
+#include "serve/transport.h"
+#include "telemetry/metrics.h"
+#include "telemetry/pipeline_telemetry.h"
+
+namespace qta::serve {
+namespace {
+
+SessionSpec small_spec(std::uint64_t seed = 7) {
+  SessionSpec spec;
+  spec.width = 8;
+  spec.height = 8;
+  spec.actions = 4;
+  spec.seed = seed;
+  spec.max_episode_length = 128;
+  return spec;
+}
+
+// --- protocol ---
+
+TEST(ServeProtocol, RequestRoundTripsEveryType) {
+  Request req;
+  req.type = RequestType::kCreateSession;
+  req.spec = small_spec(99);
+  req.spec.algorithm = qtaccel::Algorithm::kDoubleQ;
+  req.spec.backend = qtaccel::Backend::kCycleAccurate;
+  req.spec.alpha = 0.125;
+  req.spec.telemetry = true;
+  auto back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, RequestType::kCreateSession);
+  EXPECT_EQ(back->spec, req.spec);
+
+  for (const RequestType t :
+       {RequestType::kStep, RequestType::kQuery, RequestType::kSnapshot,
+        RequestType::kEvict, RequestType::kClose, RequestType::kStats,
+        RequestType::kPing, RequestType::kShutdown}) {
+    Request r;
+    r.type = t;
+    r.session = 0x1122334455667788ull;
+    r.steps = 4096;
+    r.state = 17;
+    auto d = decode_request(encode_request(r));
+    ASSERT_TRUE(d.has_value()) << request_type_name(t);
+    EXPECT_EQ(d->type, t);
+    EXPECT_EQ(d->session, r.session);
+    if (t == RequestType::kStep) {
+      EXPECT_EQ(d->steps, 4096u);
+    }
+    if (t == RequestType::kQuery) {
+      EXPECT_EQ(d->state, 17u);
+    }
+  }
+}
+
+TEST(ServeProtocol, ResponseRoundTripsEveryField) {
+  Response resp;
+  resp.status = Status::kError;
+  resp.type = RequestType::kQuery;
+  resp.error = "no such session";
+  resp.session = 42;
+  resp.samples = 1000;
+  resp.episodes = 31;
+  resp.cycles = 1234;
+  resp.action = 3;
+  resp.q_row = {0.5, -1.25, 0.0, 7.75};
+  resp.snapshot = "QTACCEL-SNAPSHOT v2\n...";
+  resp.stats_json = "{\"a\":1}";
+  resp.stats_prometheus = "qtserve_requests_total 9\n";
+  auto back = decode_response(encode_response(resp));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, Status::kError);
+  EXPECT_EQ(back->type, RequestType::kQuery);
+  EXPECT_EQ(back->error, resp.error);
+  EXPECT_EQ(back->session, 42u);
+  EXPECT_EQ(back->samples, 1000u);
+  EXPECT_EQ(back->episodes, 31u);
+  EXPECT_EQ(back->cycles, 1234u);
+  EXPECT_EQ(back->action, 3u);
+  EXPECT_EQ(back->q_row, resp.q_row);
+  EXPECT_EQ(back->snapshot, resp.snapshot);
+  EXPECT_EQ(back->stats_json, resp.stats_json);
+  EXPECT_EQ(back->stats_prometheus, resp.stats_prometheus);
+}
+
+TEST(ServeProtocol, RejectsForeignCorruptedAndTruncatedPayloads) {
+  Request req;
+  req.type = RequestType::kStep;
+  req.session = 5;
+  req.steps = 100;
+  const std::string good = encode_request(req);
+  std::string error;
+
+  // Network bytes must never abort: every rejection is a nullopt + why.
+  EXPECT_FALSE(decode_request("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(decode_request("hello, I am not a frame", &error));
+
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x55);
+  EXPECT_FALSE(decode_request(bad_magic, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(0x7F);
+  EXPECT_FALSE(decode_request(bad_version, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  std::string bad_kind = good;
+  bad_kind[6] = static_cast<char>(0xFF);
+  EXPECT_FALSE(decode_request(bad_kind, &error));
+
+  EXPECT_FALSE(decode_request(good.substr(0, good.size() - 1), &error));
+
+  // Same guarantees on the response codec.
+  Response resp;
+  resp.q_row = {1.0, 2.0};
+  const std::string rgood = encode_response(resp);
+  EXPECT_FALSE(decode_response(rgood.substr(0, rgood.size() - 1), &error));
+  EXPECT_FALSE(decode_response("junk", &error));
+}
+
+TEST(ServeProtocol, FrameUnframeHandlesPartialAndBackToBackFrames) {
+  const std::string a = frame("first payload");
+  const std::string b = frame("second");
+
+  // Dribble the first frame in byte by byte: no payload until complete.
+  std::string buffer;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    buffer.push_back(a[i]);
+    EXPECT_FALSE(unframe(buffer).has_value());
+  }
+  buffer.push_back(a.back());
+  buffer += b;  // and a complete second frame right behind it
+  auto first = unframe(buffer);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, "first payload");
+  auto second = unframe(buffer);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, "second");
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(unframe(buffer).has_value());
+}
+
+TEST(ServeProtocol, UnframeFlagsOversizedFrames) {
+  // A length prefix beyond kMaxFrameBytes is a protocol error the
+  // transport uses to drop the peer, not an allocation request.
+  std::string buffer;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>((huge >> (8 * i)) & 0xFF));
+  }
+  bool oversized = false;
+  EXPECT_FALSE(unframe(buffer, &oversized).has_value());
+  EXPECT_TRUE(oversized);
+}
+
+TEST(ServeProtocol, ValidateSpecCatchesUnservableGeometry) {
+  EXPECT_EQ(validate_spec(small_spec()), "");
+  SessionSpec s = small_spec();
+  s.width = 6;  // not a power of two
+  EXPECT_NE(validate_spec(s), "");
+  s = small_spec();
+  s.actions = 5;
+  EXPECT_NE(validate_spec(s), "");
+  s = small_spec();
+  s.alpha = 2.0;
+  EXPECT_NE(validate_spec(s), "");
+  s = small_spec();
+  s.epsilon = -0.5;
+  EXPECT_NE(validate_spec(s), "");
+}
+
+// --- request queue ---
+
+TEST(ServeRequestQueue, PerSessionFifoAndCrossSessionRoundRobin) {
+  RequestQueue q(/*max_depth=*/8);
+  auto push = [&](SessionId session, Ticket ticket) {
+    QueuedRequest qr;
+    qr.ticket = ticket;
+    qr.request.session = session;
+    return q.push(qr);
+  };
+  // Session 1: tickets 10, 11; session 2: ticket 20; session 3: 30.
+  EXPECT_TRUE(push(1, 10));
+  EXPECT_TRUE(push(1, 11));
+  EXPECT_TRUE(push(2, 20));
+  EXPECT_TRUE(push(3, 30));
+  EXPECT_EQ(q.depth(), 4u);
+
+  // One per session per batch, in arrival order of the sessions.
+  auto batch = q.pop_batch(/*max_sessions=*/2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].ticket, 10u);
+  EXPECT_EQ(batch[1].ticket, 20u);
+  // Session 1 still has work; it rotates behind session 3.
+  batch = q.pop_batch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].ticket, 30u);
+  EXPECT_EQ(batch[1].ticket, 11u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeRequestQueue, RefusesBeyondMaxDepth) {
+  RequestQueue q(/*max_depth=*/2);
+  QueuedRequest qr;
+  qr.request.session = 1;
+  EXPECT_TRUE(q.push(qr));
+  EXPECT_TRUE(q.push(qr));
+  EXPECT_FALSE(q.push(qr));  // admission control, not buffering
+  q.pop_batch(1);
+  EXPECT_TRUE(q.push(qr));
+}
+
+// --- loopback end-to-end ---
+
+TEST(ServeLoopback, SessionLifecycleStepQuerySnapshotEvictClose) {
+  ServerOptions options;
+  options.max_hot = 2;
+  options.workers = 2;
+  LoopbackTransport transport(options);
+
+  Request create;
+  create.type = RequestType::kCreateSession;
+  create.spec = small_spec();
+  const Response created = transport.call(create);
+  ASSERT_EQ(created.status, Status::kOk);
+  const SessionId id = created.session;
+
+  Request step;
+  step.type = RequestType::kStep;
+  step.session = id;
+  step.steps = 500;
+  const Response stepped = transport.call(step);
+  ASSERT_EQ(stepped.status, Status::kOk);
+  EXPECT_GE(stepped.samples, 500u);  // absolute total, drain may overshoot
+
+  // Query must agree with a bit-exact local replay.
+  env::GridWorldConfig gc;
+  gc.width = create.spec.width;
+  gc.height = create.spec.height;
+  gc.num_actions = create.spec.actions;
+  env::GridWorld world(gc);
+  runtime::Engine replay(world, make_config(create.spec));
+  replay.run_samples(replay.stats().samples + 500);
+
+  Request query;
+  query.type = RequestType::kQuery;
+  query.session = id;
+  query.state = 9;
+  const Response queried = transport.call(query);
+  ASSERT_EQ(queried.status, Status::kOk);
+  ASSERT_EQ(queried.q_row.size(), create.spec.actions);
+  for (ActionId a = 0; a < create.spec.actions; ++a) {
+    EXPECT_EQ(queried.q_row[a], replay.q_value(9, a));
+  }
+  EXPECT_EQ(queried.action, replay.greedy_policy()[9]);
+
+  // Snapshot over the wire == local snapshot.
+  std::ostringstream local;
+  runtime::save_snapshot(replay, local);
+  Request snap;
+  snap.type = RequestType::kSnapshot;
+  snap.session = id;
+  const Response snapped = transport.call(snap);
+  ASSERT_EQ(snapped.status, Status::kOk);
+  EXPECT_EQ(snapped.snapshot, local.str());
+
+  // Evict forces the session cold; the next Step restores it and the
+  // session never notices.
+  Request evict;
+  evict.type = RequestType::kEvict;
+  evict.session = id;
+  EXPECT_EQ(transport.call(evict).status, Status::kOk);
+  EXPECT_FALSE(transport.server().sessions().is_hot(id));
+  step.steps = 250;
+  const Response resumed = transport.call(step);
+  ASSERT_EQ(resumed.status, Status::kOk);
+  replay.run_samples(replay.stats().samples + 250);
+  EXPECT_EQ(resumed.samples, replay.stats().samples);
+
+  Request close;
+  close.type = RequestType::kClose;
+  close.session = id;
+  EXPECT_EQ(transport.call(close).status, Status::kOk);
+  EXPECT_FALSE(transport.server().sessions().exists(id));
+  const Response after_close = transport.call(step);
+  EXPECT_EQ(after_close.status, Status::kError);
+  EXPECT_FALSE(after_close.error.empty());
+}
+
+TEST(ServeLoopback, ErrorRepliesForBadSpecUnknownSessionAndBadState) {
+  LoopbackTransport transport(ServerOptions{});
+
+  Request create;
+  create.type = RequestType::kCreateSession;
+  create.spec = small_spec();
+  create.spec.width = 6;  // not a power of two
+  const Response rejected = transport.call(create);
+  EXPECT_EQ(rejected.status, Status::kError);
+  EXPECT_FALSE(rejected.error.empty());
+
+  Request step;
+  step.type = RequestType::kStep;
+  step.session = 12345;
+  step.steps = 1;
+  EXPECT_EQ(transport.call(step).status, Status::kError);
+
+  create.spec = small_spec();
+  const SessionId id = transport.call(create).session;
+  Request query;
+  query.type = RequestType::kQuery;
+  query.session = id;
+  query.state = 64;  // 8x8 grid: states are [0, 64)
+  const Response bad_state = transport.call(query);
+  EXPECT_EQ(bad_state.status, Status::kError);
+  EXPECT_NE(bad_state.error.find("state"), std::string::npos);
+}
+
+TEST(ServeLoopback, OverloadRepliesWhenAdmissionQueueIsFull) {
+  ServerOptions options;
+  options.max_hot = 2;
+  options.workers = 1;
+  options.max_queue = 3;
+  LoopbackTransport transport(options);
+
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 6; ++i) {
+    Request create;
+    create.type = RequestType::kCreateSession;
+    create.spec = small_spec(static_cast<std::uint64_t>(i + 1));
+    ids.push_back(transport.call(create).session);
+  }
+  // Post 6 Steps with no pump in between: exactly max_queue admitted.
+  std::vector<Ticket> tickets;
+  for (const SessionId id : ids) {
+    Request step;
+    step.type = RequestType::kStep;
+    step.session = id;
+    step.steps = 50;
+    tickets.push_back(transport.post(step));
+  }
+  std::size_t ok = 0, overloaded = 0;
+  for (const Ticket t : tickets) {
+    const Response resp = transport.wait(t);
+    if (resp.status == Status::kOk) ++ok;
+    if (resp.status == Status::kOverloaded) {
+      ++overloaded;
+      EXPECT_FALSE(resp.error.empty());
+    }
+  }
+  EXPECT_EQ(ok, options.max_queue);
+  EXPECT_EQ(overloaded, ids.size() - options.max_queue);
+
+  // The refusals are visible in the metric catalog.
+  const std::string prom = transport.server().metrics().prometheus_text();
+  EXPECT_NE(prom.find("qtserve_overload_total"), std::string::npos);
+}
+
+TEST(ServeLoopback, StatsPingAndShutdown) {
+  LoopbackTransport transport(ServerOptions{});
+  Request ping;
+  ping.type = RequestType::kPing;
+  EXPECT_EQ(transport.call(ping).status, Status::kOk);
+
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Response s = transport.call(stats);
+  ASSERT_EQ(s.status, Status::kOk);
+  EXPECT_NE(s.stats_prometheus.find("qtserve_requests_total"),
+            std::string::npos);
+  EXPECT_NE(s.stats_json.find("qtserve_requests_total"),
+            std::string::npos);
+
+  EXPECT_FALSE(transport.server().shutdown_requested());
+  Request shutdown;
+  shutdown.type = RequestType::kShutdown;
+  EXPECT_EQ(transport.call(shutdown).status, Status::kOk);
+  EXPECT_TRUE(transport.server().shutdown_requested());
+}
+
+// --- evict/restore bit-exactness, every algorithm x backend ---
+
+std::vector<std::string> session_metric_lines(const std::string& prom,
+                                              SessionId id) {
+  // Pipeline-telemetry lines for this session: qta_* metrics carrying
+  // pipe="<id>" (the qtserve_* serving metrics have no pipe label).
+  const std::string needle = "pipe=\"" + std::to_string(id) + "\"";
+  std::vector<std::string> lines;
+  std::istringstream is(prom);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("qta_", 0) == 0 &&
+        line.find(needle) != std::string::npos) {
+      lines.push_back(line);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(ServeBitExact, EvictRestoreMatchesStandaloneForEveryAlgorithmAndBackend) {
+  for (const qtaccel::Algorithm algorithm :
+       {qtaccel::Algorithm::kQLearning, qtaccel::Algorithm::kSarsa,
+        qtaccel::Algorithm::kExpectedSarsa,
+        qtaccel::Algorithm::kDoubleQ}) {
+    for (const qtaccel::Backend backend :
+         {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
+      // max_hot=1 with two sessions: every alternation forces an
+      // eviction, so session A lives through 3 evict/restore cycles.
+      ServerOptions options;
+      options.max_hot = 1;
+      options.workers = 1;
+      LoopbackTransport transport(options);
+
+      SessionSpec spec = small_spec(31);
+      spec.algorithm = algorithm;
+      spec.backend = backend;
+      spec.telemetry = true;
+
+      SessionId ids[2];
+      for (int i = 0; i < 2; ++i) {
+        Request create;
+        create.type = RequestType::kCreateSession;
+        create.spec = spec;
+        create.spec.seed = spec.seed + static_cast<std::uint64_t>(i);
+        const Response resp = transport.call(create);
+        ASSERT_EQ(resp.status, Status::kOk);
+        ids[i] = resp.session;
+      }
+      constexpr std::uint64_t kChunk = 300;
+      constexpr int kRounds = 4;
+      for (int round = 0; round < kRounds; ++round) {
+        for (const SessionId id : ids) {
+          Request step;
+          step.type = RequestType::kStep;
+          step.session = id;
+          step.steps = kChunk;
+          ASSERT_EQ(transport.call(step).status, Status::kOk);
+        }
+      }
+
+      // Standalone reference for session A: same engine partitioning,
+      // same telemetry labels, never evicted.
+      env::GridWorldConfig gc;
+      gc.width = spec.width;
+      gc.height = spec.height;
+      gc.num_actions = spec.actions;
+      env::GridWorld world(gc);
+      SessionSpec spec_a = spec;
+      spec_a.seed = spec.seed;
+      telemetry::MetricsRegistry standalone_metrics;
+      telemetry::PipelineTelemetry sink(
+          qtaccel::make_run_labels(make_config(spec_a),
+                                   static_cast<unsigned>(ids[0])),
+          &standalone_metrics, nullptr,
+          static_cast<std::uint32_t>(ids[0]));
+      runtime::Engine standalone(world, make_config(spec_a));
+      standalone.set_telemetry(&sink);
+      for (int round = 0; round < kRounds; ++round) {
+        standalone.run_samples(standalone.stats().samples + kChunk);
+      }
+
+      const std::string tag =
+          std::string(qtaccel::algorithm_name(algorithm)) + "/" +
+          qtaccel::backend_name(backend);
+      ASSERT_GT(transport.server().sessions().lru_evictions(), 0u) << tag;
+
+      // Tables + stats + RNG: the snapshot text is the whole machine.
+      std::ostringstream reference;
+      runtime::save_snapshot(standalone, reference);
+      EXPECT_EQ(transport.server().sessions().snapshot_text(ids[0]),
+                reference.str())
+          << tag;
+
+      // Telemetry counters survive eviction too: the session's sink is
+      // carried across residencies, never flushed mid-life.
+      const auto served = session_metric_lines(
+          transport.server().metrics().prometheus_text(), ids[0]);
+      const auto local = session_metric_lines(
+          standalone_metrics.prometheus_text(), ids[0]);
+      ASSERT_FALSE(local.empty()) << tag;
+      EXPECT_EQ(served, local) << tag;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qta::serve

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
@@ -297,6 +298,37 @@ TEST(SnapshotDeath, RejectsForeignAndCorruptedStreams) {
     EXPECT_DEATH(load_snapshot(target, in),
                  "truncated or malformed snapshot header");
   }
+}
+
+TEST(SnapshotDeath, FileDiagnosticsNameThePath) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  Engine target(world, c);
+
+  EXPECT_DEATH(
+      load_snapshot_file(target, "/nonexistent/qta_snap_nope.txt"),
+      "cannot open snapshot file for reading.*qta_snap_nope");
+
+  // A corrupted file's parse diagnostic carries the path too.
+  const std::string good = valid_snapshot_text(world, c);
+  const std::string path =
+      testing::TempDir() + "qta_snap_truncated.txt";
+  {
+    std::ofstream os(path);
+    os << good.substr(0, good.size() / 2);
+  }
+  EXPECT_DEATH(load_snapshot_file(target, path),
+               "truncated.*qta_snap_truncated");
+}
+
+TEST(Snapshot, SourceDescribeFormats) {
+  EXPECT_EQ(SnapshotSource{}.describe(), "");
+  EXPECT_EQ((SnapshotSource{"ckpt.txt", -1}).describe(), " (ckpt.txt)");
+  EXPECT_EQ((SnapshotSource{"ckpt.txt", 3}).describe(),
+            " (ckpt.txt, pipe 3)");
+  EXPECT_EQ((SnapshotSource{"", 0}).describe(), " (pipe 0)");
 }
 
 TEST(SnapshotDeath, RejectsFingerprintAndGeometryMismatch) {

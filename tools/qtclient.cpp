@@ -1,0 +1,312 @@
+// qtclient — closed-loop load generator and correctness checker for
+// qtserved (docs/serving.md).
+//
+// One TCP connection carries every session (qtserved preserves
+// per-connection FIFO order, which subsumes per-session ordering). Each
+// round the client bursts one Step per session, then reads the replies;
+// kOverloaded replies are retried in follow-up bursts until the round
+// completes, so admission-control pushback slows the client down
+// instead of losing work. After the last round each session is Queried
+// once (exercising the Q-row decoding path).
+//
+// Usage: qtclient --port=P [--host=127.0.0.1]
+//                 [--sessions=64] [--rounds=8] [--steps=512]
+//                 [--algorithm={q_learning,sarsa,expected_sarsa,double_q}]
+//                 [--backend={cycle,fast}] [--width=8] [--height=8]
+//                 [--actions=4] [--seed-base=1] [--telemetry]
+//                 [--burst=0] [--verify] [--expect-overload]
+//                 [--stats] [--stats-json=FILE] [--shutdown]
+//
+// --burst caps how many Steps are in flight per burst (0 = all
+//   sessions at once, the overload-provoking default).
+// --verify replays every session locally with the identical Step
+//   partitioning and byte-compares the server's Snapshot text against
+//   the local one: bit-exactness across the wire, evictions included.
+// --expect-overload exits nonzero unless at least one kOverloaded
+//   reply was observed (CI uses it to prove backpressure engages).
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "env/grid_world.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
+#include "serve/protocol.h"
+#include "serve/tcp.h"
+
+using namespace qta;
+
+namespace {
+
+struct Client {
+  int fd = serve::kInvalidSocket;
+  std::string error;
+
+  bool send(const serve::Request& req) {
+    return serve::send_frame(fd, serve::encode_request(req), &error);
+  }
+  bool recv(serve::Response* resp) {
+    std::string payload;
+    if (!serve::recv_frame(fd, &payload, &error)) return false;
+    std::optional<serve::Response> decoded =
+        serve::decode_response(payload, &error);
+    if (!decoded.has_value()) return false;
+    *resp = std::move(*decoded);
+    return true;
+  }
+};
+
+bool parse_algorithm(const std::string& name, qtaccel::Algorithm* out) {
+  if (name == "q_learning") *out = qtaccel::Algorithm::kQLearning;
+  else if (name == "sarsa") *out = qtaccel::Algorithm::kSarsa;
+  else if (name == "expected_sarsa") *out = qtaccel::Algorithm::kExpectedSarsa;
+  else if (name == "double_q") *out = qtaccel::Algorithm::kDoubleQ;
+  else return false;
+  return true;
+}
+
+int fail(const Client& client, const std::string& what) {
+  std::cerr << "qtclient: " << what
+            << (client.error.empty() ? "" : ": " + client.error) << "\n";
+  return 1;
+}
+
+/// Closed-loop burst: sends make_req(i) for every i in [0, count),
+/// reads the replies, and retries kOverloaded ones in follow-up bursts
+/// until everything succeeded. OK replies go through check(i, resp);
+/// kOverloaded replies bump *overloads. Any other status (or I/O
+/// failure) stops the loop with false.
+bool closed_loop(Client& client, std::size_t count, std::size_t burst,
+                 std::uint64_t* overloads, std::string* problem,
+                 const std::function<serve::Request(std::size_t)>& make_req,
+                 const std::function<bool(std::size_t, const serve::Response&,
+                                          std::string*)>& check) {
+  std::vector<std::size_t> todo(count);
+  for (std::size_t i = 0; i < count; ++i) todo[i] = i;
+  while (!todo.empty()) {
+    const std::size_t n =
+        burst == 0 ? todo.size() : std::min(burst, todo.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!client.send(make_req(todo[k]))) {
+        *problem = "send failed";
+        return false;
+      }
+    }
+    std::vector<std::size_t> retry;
+    for (std::size_t k = 0; k < n; ++k) {
+      serve::Response resp;
+      if (!client.recv(&resp)) {
+        *problem = "recv failed";
+        return false;
+      }
+      if (resp.status == serve::Status::kOverloaded) {
+        ++*overloads;
+        retry.push_back(todo[k]);
+        continue;
+      }
+      if (resp.status != serve::Status::kOk) {
+        *problem = "request failed: " + resp.error;
+        return false;
+      }
+      if (!check(todo[k], resp, problem)) return false;
+    }
+    todo.erase(todo.begin(), todo.begin() + static_cast<std::ptrdiff_t>(n));
+    todo.insert(todo.begin(), retry.begin(), retry.end());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string host = flags.get_string("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 7477));
+  const auto sessions = static_cast<std::size_t>(flags.get_int("sessions", 64));
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 8));
+  const auto steps = static_cast<std::uint64_t>(flags.get_int("steps", 512));
+  const auto burst = static_cast<std::size_t>(flags.get_int("burst", 0));
+
+  serve::SessionSpec spec;
+  spec.width = static_cast<unsigned>(flags.get_int("width", 8));
+  spec.height = static_cast<unsigned>(flags.get_int("height", 8));
+  spec.actions = static_cast<unsigned>(flags.get_int("actions", 4));
+  spec.backend = qtaccel::parse_backend(flags.get_string("backend", "fast"));
+  spec.telemetry = flags.get_bool("telemetry", false);
+  const std::string algorithm = flags.get_string("algorithm", "q_learning");
+  if (!parse_algorithm(algorithm, &spec.algorithm)) {
+    std::cerr << "qtclient: unknown --algorithm " << algorithm << "\n";
+    return 2;
+  }
+  const auto seed_base =
+      static_cast<std::uint64_t>(flags.get_int("seed-base", 1));
+  const bool verify = flags.get_bool("verify", false);
+  const bool expect_overload = flags.get_bool("expect-overload", false);
+  const bool want_stats = flags.get_bool("stats", false);
+  const std::string stats_json_path = flags.get_string("stats-json", "");
+  const bool want_shutdown = flags.get_bool("shutdown", false);
+  for (const auto& unused : flags.unused()) {
+    std::cerr << "qtclient: unknown flag --" << unused << "\n";
+    return 2;
+  }
+
+  Client client;
+  client.fd = serve::tcp_connect(host, port, &client.error);
+  if (client.fd == serve::kInvalidSocket) return fail(client, "connect");
+
+  // Create every session in one burst.
+  std::vector<serve::SessionId> ids(sessions);
+  std::vector<serve::SessionSpec> specs(sessions, spec);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    specs[i].seed = seed_base + i;
+    serve::Request req;
+    req.type = serve::RequestType::kCreateSession;
+    req.spec = specs[i];
+    if (!client.send(req)) return fail(client, "send create");
+  }
+  for (std::size_t i = 0; i < sessions; ++i) {
+    serve::Response resp;
+    if (!client.recv(&resp)) return fail(client, "recv create");
+    if (resp.status != serve::Status::kOk) {
+      return fail(client, "create rejected: " + resp.error);
+    }
+    ids[i] = resp.session;
+  }
+
+  // Closed training loop: burst Steps, collect, retry overloads.
+  std::uint64_t overloads = 0;
+  std::string problem;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const bool ok = closed_loop(
+        client, sessions, burst, &overloads, &problem,
+        [&](std::size_t i) {
+          serve::Request req;
+          req.type = serve::RequestType::kStep;
+          req.session = ids[i];
+          req.steps = steps;
+          return req;
+        },
+        [&](std::size_t, const serve::Response& resp, std::string* why) {
+          // Each Step advances by `steps`; drain overshoot makes the
+          // total a lower bound, not an equality.
+          const std::uint64_t want = steps * (round + 1);
+          if (resp.samples < want) {
+            std::ostringstream os;
+            os << "session " << resp.session << " retired " << resp.samples
+               << " samples, expected at least " << want;
+            *why = os.str();
+            return false;
+          }
+          return true;
+        });
+    if (!ok) return fail(client, problem);
+  }
+
+  // One Query per session: decodes the Q row and greedy action.
+  if (!closed_loop(
+          client, sessions, burst, &overloads, &problem,
+          [&](std::size_t i) {
+            serve::Request req;
+            req.type = serve::RequestType::kQuery;
+            req.session = ids[i];
+            req.state = 0;
+            return req;
+          },
+          [&](std::size_t, const serve::Response& resp, std::string* why) {
+            if (resp.q_row.size() != spec.actions ||
+                resp.action >= spec.actions) {
+              *why = "query reply has a malformed Q row";
+              return false;
+            }
+            return true;
+          })) {
+    return fail(client, problem);
+  }
+
+  // Bit-exactness across the wire: server snapshot vs local replay with
+  // the identical run partitioning.
+  std::size_t verified = 0;
+  if (verify) {
+    const bool ok = closed_loop(
+        client, sessions, burst, &overloads, &problem,
+        [&](std::size_t i) {
+          serve::Request req;
+          req.type = serve::RequestType::kSnapshot;
+          req.session = ids[i];
+          return req;
+        },
+        [&](std::size_t i, const serve::Response& resp, std::string* why) {
+          env::GridWorldConfig gc;
+          gc.width = specs[i].width;
+          gc.height = specs[i].height;
+          gc.num_actions = specs[i].actions;
+          env::GridWorld world(gc);
+          runtime::Engine replay(world, serve::make_config(specs[i]));
+          // Identical run partitioning to the server's Step handling:
+          // advance BY `steps` from whatever total the last call
+          // reached.
+          for (std::size_t round = 0; round < rounds; ++round) {
+            replay.run_samples(replay.stats().samples + steps);
+          }
+          std::ostringstream local;
+          runtime::save_snapshot(replay, local);
+          if (resp.snapshot != local.str()) {
+            std::ostringstream os;
+            os << "session " << ids[i]
+               << ": server snapshot differs from local replay";
+            *why = os.str();
+            return false;
+          }
+          ++verified;
+          return true;
+        });
+    if (!ok) return fail(client, problem);
+  }
+
+  if (want_stats || !stats_json_path.empty()) {
+    serve::Request req;
+    req.type = serve::RequestType::kStats;
+    if (!client.send(req)) return fail(client, "send stats");
+    serve::Response resp;
+    if (!client.recv(&resp)) return fail(client, "recv stats");
+    if (resp.status != serve::Status::kOk) {
+      return fail(client, "stats failed: " + resp.error);
+    }
+    if (want_stats) std::cout << resp.stats_prometheus;
+    if (!stats_json_path.empty()) {
+      std::ofstream out(stats_json_path);
+      out << resp.stats_json;
+      if (!out) return fail(client, "cannot write " + stats_json_path);
+    }
+  }
+
+  if (want_shutdown) {
+    serve::Request req;
+    req.type = serve::RequestType::kShutdown;
+    if (!client.send(req)) return fail(client, "send shutdown");
+    serve::Response resp;
+    if (!client.recv(&resp)) return fail(client, "recv shutdown");
+    if (resp.status != serve::Status::kOk) {
+      return fail(client, "shutdown failed: " + resp.error);
+    }
+  }
+  serve::tcp_close(client.fd);
+
+  std::cout << "qtclient: " << sessions << " sessions x " << rounds
+            << " rounds x " << steps << " steps (" << algorithm << ", "
+            << qtaccel::backend_name(spec.backend) << "): ok, "
+            << overloads << " overload replies";
+  if (verify) std::cout << ", " << verified << " snapshots verified";
+  std::cout << "\n";
+  if (expect_overload && overloads == 0) {
+    std::cerr << "qtclient: expected overload replies but saw none\n";
+    return 1;
+  }
+  return 0;
+}

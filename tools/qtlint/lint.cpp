@@ -23,7 +23,7 @@ struct RuleInfo {
   std::string_view rationale;
 };
 
-constexpr std::array<RuleInfo, 9> kRules{{
+constexpr std::array<RuleInfo, 10> kRules{{
     {RuleId::kDatapathPurity, "datapath-purity",
      "src/hw, src/fixed, qtaccel pipeline files",
      "paper's fixed-point 4-DSP datapath: no float/double/libm"},
@@ -43,6 +43,8 @@ constexpr std::array<RuleInfo, 9> kRules{{
     {RuleId::kRuntimeBoundary, "runtime-boundary",
      "src/**, tools, examples, bench",
      "backends are built only via runtime/; datapath never sees runtime/"},
+    {RuleId::kServeBoundary, "serve-boundary", "src/**",
+     "only src/serve includes serve/; serve stays backend-generic"},
     {RuleId::kUnknownAllow, "unknown-allow", "qtlint annotations",
      "allow() must name a real rule"},
 }};
@@ -435,8 +437,9 @@ void check_includes(const LexedFile& lexed, const FileClass& fc,
                  "\" in datapath code; only telemetry/sink.h is allowed");
     }
     // Layering: runtime/ sits above the datapath. Below it, only the
-    // driver (which wraps an Engine behind its CSR surface) may look up.
-    if (fc.in_src && !fc.runtime && !fc.driver &&
+    // driver (which wraps an Engine behind its CSR surface) and the
+    // serving layer (which multiplexes Engines) may look up.
+    if (fc.in_src && !fc.runtime && !fc.driver && !fc.serve &&
         starts_with(target, "runtime/")) {
       e.emit(RuleId::kRuntimeBoundary, line,
              "#include \"" + target +
@@ -445,14 +448,32 @@ void check_includes(const LexedFile& lexed, const FileClass& fc,
     }
     // And nobody above the seam names the concrete backends: Pipeline /
     // FastEngine are constructed only by the runtime's adapters (plus
-    // their own module and unit tests).
+    // their own module and unit tests). For the serving layer the same
+    // include is a serve-boundary violation — serve stays
+    // backend-generic so snapshots keep bridging backends.
     if (!fc.runtime && !fc.qtaccel &&
         (target == "qtaccel/pipeline.h" ||
          target == "qtaccel/fast_engine.h")) {
-      e.emit(RuleId::kRuntimeBoundary, line,
+      if (fc.serve) {
+        e.emit(RuleId::kServeBoundary, line,
+               "#include \"" + target +
+                   "\" in the serving layer: serve is backend-generic "
+                   "and builds machines only through runtime/engine.h");
+      } else {
+        e.emit(RuleId::kRuntimeBoundary, line,
+               "#include \"" + target +
+                   "\" outside src/runtime: use the Engine facade "
+                   "(runtime/engine.h) or the backend registry instead");
+      }
+    }
+    // The serving layer is the top of src/: nothing in src/ below it
+    // may depend on serve/ headers (tools, examples and bench sit
+    // above the seam and may).
+    if (fc.in_src && !fc.serve && starts_with(target, "serve/")) {
+      e.emit(RuleId::kServeBoundary, line,
              "#include \"" + target +
-                 "\" outside src/runtime: use the Engine facade "
-                 "(runtime/engine.h) or the backend registry instead");
+                 "\" outside src/serve: the serving layer sits on top "
+                 "of the runtime; lower layers must not depend on it");
     }
   }
 }
@@ -553,6 +574,7 @@ FileClass classify_path(std::string_view rel_path) {
   fc.rng = starts_with(p, "src/rng/");
   fc.runtime = starts_with(p, "src/runtime/");
   fc.driver = starts_with(p, "src/driver/");
+  fc.serve = starts_with(p, "src/serve/");
   fc.qtaccel = starts_with(p, "src/qtaccel/");
   fc.hot_path = starts_with(p, "src/hw/") || starts_with(p, "src/fixed/");
   fc.datapath = fc.hot_path;

@@ -21,11 +21,18 @@
 //                     registry/trace/profiler machinery stays host-side.
 //   runtime-boundary  layering between the datapath and the runtime:
 //                     nothing in src/ below src/runtime (except the
-//                     driver) may include runtime/ headers, and only
-//                     src/runtime and src/qtaccel may include
-//                     qtaccel/pipeline.h or qtaccel/fast_engine.h —
-//                     everything else constructs machines through the
-//                     Engine facade / backend registry.
+//                     driver and the serving layer) may include
+//                     runtime/ headers, and only src/runtime and
+//                     src/qtaccel may include qtaccel/pipeline.h or
+//                     qtaccel/fast_engine.h — everything else
+//                     constructs machines through the Engine facade /
+//                     backend registry.
+//   serve-boundary    the serving layer sits at the top of src/:
+//                     within src/, only src/serve may include serve/
+//                     headers (tools, examples and bench sit above the
+//                     seam and may), and src/serve itself stays
+//                     backend-generic — it must not name
+//                     qtaccel/pipeline.h or qtaccel/fast_engine.h.
 //
 // Escape hatches, all comment-driven and rule-scoped:
 //   // qtlint: allow(rule[, rule...])        — this line only
@@ -49,6 +56,7 @@ enum class RuleId {
   kNoBareAssert,
   kTelemetryBoundary,
   kRuntimeBoundary,
+  kServeBoundary,
   kUnknownAllow,  // meta-rule: allow(...) names a rule that does not exist
 };
 
@@ -81,6 +89,7 @@ struct FileClass {
   bool in_src = false;    // under src/
   bool runtime = false;   // src/runtime — the backend/facade layer
   bool driver = false;    // src/driver — sits above runtime, may use it
+  bool serve = false;     // src/serve — the serving layer, above runtime
   bool qtaccel = false;   // src/qtaccel — the backends' own module
   bool header = false;    // .h / .hpp
 };

@@ -1,0 +1,255 @@
+// qtserved — the TCP frontend of the serving layer (docs/serving.md).
+//
+// A single-threaded poll() loop owns all sockets and the serve::Server
+// control plane; engine work fans out onto the server's ThreadPool from
+// inside Server::pump(). Per connection the loop keeps an input buffer
+// (unframed with serve/protocol.h), an output buffer (nonblocking
+// sends, partial writes carried over), and the FIFO of tickets still in
+// flight — responses go back in request order, which is also the
+// protocol's per-session ordering guarantee as long as a session stays
+// on one connection.
+//
+// Usage: qtserved [--port=7477] [--port-file=path]
+//                 [--max-hot=8] [--workers=4] [--max-queue=64]
+//                 [--trace=out.json] [--verbose]
+//
+// --port=0 lets the kernel pick; --port-file writes the bound port for
+// scripts. A Shutdown request stops the accept loop, drains every
+// staged request and output buffer, optionally writes the trace, and
+// exits 0.
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/tcp.h"
+
+using namespace qta;
+
+namespace {
+
+struct Connection {
+  int fd = serve::kInvalidSocket;
+  std::string inbuf;
+  std::string outbuf;
+  std::deque<serve::Ticket> in_flight;  // response order == request order
+  bool dead = false;
+};
+
+// Drains the socket into conn.inbuf. Returns false when the peer hung
+// up or errored.
+bool read_some(Connection& conn) {
+  char chunk[65536];
+  while (true) {
+    const ssize_t r = ::recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (r > 0) {
+      conn.inbuf.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) return false;  // orderly EOF
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+// Pushes conn.outbuf to the socket without blocking. Returns false on a
+// hard send error.
+bool write_some(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t r = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+    }
+    conn.outbuf.erase(0, static_cast<std::size_t>(r));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  serve::ServerOptions options;
+  options.max_hot = static_cast<unsigned>(flags.get_int("max-hot", 8));
+  options.workers = static_cast<unsigned>(flags.get_int("workers", 4));
+  options.max_queue =
+      static_cast<std::size_t>(flags.get_int("max-queue", 64));
+  const std::string trace_path = flags.get_string("trace", "");
+  options.trace = !trace_path.empty();
+  const auto port = static_cast<std::uint16_t>(flags.get_int("port", 7477));
+  const std::string port_file = flags.get_string("port-file", "");
+  const bool verbose = flags.get_bool("verbose", false);
+  for (const auto& unused : flags.unused()) {
+    std::cerr << "qtserved: unknown flag --" << unused << "\n";
+    return 2;
+  }
+
+  std::string error;
+  std::uint16_t bound_port = 0;
+  int listen_fd = serve::tcp_listen(port, &bound_port, &error);
+  if (listen_fd == serve::kInvalidSocket) {
+    std::cerr << "qtserved: " << error << "\n";
+    return 1;
+  }
+  // Nonblocking accepts: the loop drains the backlog after each POLLIN
+  // and must not park inside accept() waiting for the next peer.
+  ::fcntl(listen_fd, F_SETFL, O_NONBLOCK);
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << bound_port << "\n";
+    if (!pf) {
+      std::cerr << "qtserved: cannot write " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  serve::Server server(options);
+  std::cout << "qtserved listening on 127.0.0.1:" << bound_port
+            << " (max-hot=" << options.max_hot
+            << " workers=" << options.workers
+            << " max-queue=" << options.max_queue << ")" << std::endl;
+
+  std::list<Connection> conns;
+  std::vector<serve::Ticket> orphans;  // tickets of closed connections
+
+  while (true) {
+    // Assemble the poll set: the listener (while accepting) + sockets.
+    // `polled` mirrors the connection entries of `fds` — connections
+    // accepted later this iteration are not in either (std::list keeps
+    // the pointers stable across the push_backs).
+    std::vector<pollfd> fds;
+    std::vector<Connection*> polled;
+    if (listen_fd != serve::kInvalidSocket) {
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    }
+    for (Connection& conn : conns) {
+      const short events = static_cast<short>(
+          conn.outbuf.empty() ? POLLIN : (POLLIN | POLLOUT));
+      fds.push_back(pollfd{conn.fd, events, 0});
+      polled.push_back(&conn);
+    }
+    const bool draining = server.shutdown_requested();
+    if (draining && !server.pending() && orphans.empty()) {
+      bool flushed = true;
+      for (Connection& conn : conns) {
+        if (!conn.outbuf.empty() || !conn.in_flight.empty()) {
+          flushed = false;
+        }
+      }
+      if (flushed) break;
+    }
+    const int timeout_ms =
+        (server.pending() || !orphans.empty() || draining) ? 0 : -1;
+    if (fds.empty() && timeout_ms < 0) break;  // nothing left to wait on
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      std::cerr << "qtserved: poll failed\n";
+      return 1;
+    }
+
+    // Accept new peers.
+    std::size_t idx = 0;
+    if (listen_fd != serve::kInvalidSocket) {
+      if ((fds[idx].revents & POLLIN) != 0) {
+        while (true) {
+          const int fd = ::accept(listen_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          Connection conn;
+          conn.fd = fd;
+          conns.push_back(std::move(conn));
+          if (verbose) std::cerr << "qtserved: accepted fd " << fd << "\n";
+        }
+      }
+      ++idx;
+    }
+
+    // Ingest every readable connection fully, submitting each decoded
+    // frame, BEFORE pumping: a burst from many sessions lands in one
+    // queue generation and batches across sessions.
+    for (Connection* conn_ptr : polled) {
+      Connection& conn = *conn_ptr;
+      const short revents = fds[idx++].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        if (!read_some(conn)) conn.dead = true;
+        while (!conn.dead) {
+          bool oversized = false;
+          std::optional<std::string> payload =
+              serve::unframe(conn.inbuf, &oversized);
+          if (oversized) {
+            std::cerr << "qtserved: dropping peer (oversized frame)\n";
+            conn.dead = true;
+            break;
+          }
+          if (!payload.has_value()) break;
+          std::string why;
+          std::optional<serve::Request> req =
+              serve::decode_request(*payload, &why);
+          if (!req.has_value()) {
+            serve::Response resp;
+            resp.status = serve::Status::kError;
+            resp.error = "bad request: " + why;
+            conn.outbuf += serve::frame(serve::encode_response(resp));
+            continue;
+          }
+          conn.in_flight.push_back(server.submit(*req));
+        }
+      }
+    }
+
+    if (server.pending()) server.pump();
+
+    // Deliver finished responses in per-connection FIFO order, then
+    // flush what the sockets will take.
+    for (Connection& conn : conns) {
+      while (!conn.in_flight.empty() &&
+             server.done(conn.in_flight.front())) {
+        serve::Response resp = server.take(conn.in_flight.front());
+        conn.in_flight.pop_front();
+        conn.outbuf += serve::frame(serve::encode_response(resp));
+      }
+      if (!conn.dead && !write_some(conn)) conn.dead = true;
+    }
+
+    // Reap dead connections; their unfinished tickets become orphans
+    // that still need take()ing once they complete.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->dead) {
+        for (const serve::Ticket t : it->in_flight) orphans.push_back(t);
+        serve::tcp_close(it->fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::erase_if(orphans, [&server](serve::Ticket t) {
+      if (!server.done(t)) return false;
+      (void)server.take(t);
+      return true;
+    });
+  }
+
+  serve::tcp_close(listen_fd);
+  for (Connection& conn : conns) serve::tcp_close(conn.fd);
+
+  if (!trace_path.empty() && server.trace() != nullptr) {
+    if (!server.trace()->write_file(trace_path)) {
+      std::cerr << "qtserved: failed to write " << trace_path << "\n";
+      return 1;
+    }
+  }
+  std::cout << "qtserved: drained, exiting ("
+            << server.sessions().lru_evictions() << " LRU evictions, "
+            << server.sessions().restores() << " restores)" << std::endl;
+  return 0;
+}
