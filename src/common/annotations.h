@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Lock discipline in this repo is a build-time property: every mutex and
+// condition-variable member under src/ either uses the annotated wrappers
+// in common/mutex.h or carries one of these QTA_* annotations (enforced
+// by qtlint's mutex-annotation rule), and the `thread-safety` CMake
+// preset builds the whole tree under clang's
+// `-Wthread-safety -Wthread-safety-beta -Werror`.
+//
+// The macros expand to clang's capability attributes and compile away on
+// GCC (which has no thread-safety analysis), so annotated code builds
+// identically everywhere and the analysis runs in the clang CI leg.
+// docs/static_analysis.md has the usage guide; the authoritative
+// attribute semantics are
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+//
+// Escapes from the analysis use QTA_NO_THREAD_SAFETY_ANALYSIS on the
+// narrowest possible function — never a pragma, so qtlint and reviewers
+// can grep one spelling.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define QTA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef QTA_THREAD_ANNOTATION
+#define QTA_THREAD_ANNOTATION(x)  // compiled away: no analysis available
+#endif
+
+/// Declares a type to be a capability ("mutex"-kind) the analysis tracks.
+#define QTA_CAPABILITY(x) QTA_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime equals a capability hold.
+#define QTA_SCOPED_CAPABILITY QTA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define QTA_GUARDED_BY(x) QTA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define QTA_PT_GUARDED_BY(x) QTA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capabilities held (and keeps
+/// them held).
+#define QTA_REQUIRES(...) \
+  QTA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QTA_REQUIRES_SHARED(...) \
+  QTA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capabilities (caller must not hold them).
+#define QTA_ACQUIRE(...) \
+  QTA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QTA_ACQUIRE_SHARED(...) \
+  QTA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the capabilities (caller must hold them).
+#define QTA_RELEASE(...) \
+  QTA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QTA_RELEASE_SHARED(...) \
+  QTA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `result`.
+#define QTA_TRY_ACQUIRE(...) \
+  QTA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called WITHOUT the capabilities held (deadlock
+/// documentation for self-locking APIs).
+#define QTA_EXCLUDES(...) QTA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held.
+#define QTA_ASSERT_CAPABILITY(x) QTA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the named capability.
+#define QTA_RETURN_CAPABILITY(x) QTA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts one function out of the analysis. Use only with a comment
+/// explaining why the invariant holds anyway.
+#define QTA_NO_THREAD_SAFETY_ANALYSIS \
+  QTA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,93 @@
+// Annotated synchronization primitives: qta::Mutex / MutexLock / CondVar.
+//
+// libstdc++'s std::mutex carries no capability attributes, so clang's
+// thread-safety analysis cannot see through it. These thin wrappers put
+// the attributes on the API surface (zero runtime cost — every method is
+// an inline forward) so that QTA_GUARDED_BY(mu_) members and
+// QTA_REQUIRES(mu_) methods are actually checked by the `thread-safety`
+// preset. All concurrency code under src/ uses these instead of the raw
+// std types (enforced by qtlint's mutex-annotation rule).
+//
+// CondVar deliberately exposes only the un-predicated wait(Mutex&):
+// the analysis is intra-procedural and cannot look into a predicate
+// lambda, so callers write the explicit loop —
+//
+//   while (!ready_) cv_.wait(mu_);   // ready_ is QTA_GUARDED_BY(mu_)
+//
+// — which the analysis verifies reads `ready_` under `mu_`.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace qta {
+
+class CondVar;
+
+/// std::mutex with capability attributes. Prefer MutexLock for scoped
+/// holds; call lock()/unlock() directly only where a hold must span a
+/// non-lexical region (e.g. a worker loop re-arming around a batch).
+class QTA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QTA_ACQUIRE() { mu_.lock(); }
+  void unlock() QTA_RELEASE() { mu_.unlock(); }
+  bool try_lock() QTA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the native handle to sleep on
+
+  // This IS the annotated wrapper: the raw mutex below is the capability
+  // itself, not state guarded by one.
+  std::mutex mu_;  // qtlint: allow(mutex-annotation)
+};
+
+/// RAII lock over qta::Mutex, visible to the analysis as a scoped
+/// capability (the std::lock_guard / std::unique_lock equivalent).
+class QTA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QTA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() QTA_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to qta::Mutex. wait() requires the mutex so
+/// the analysis proves every predicate read happens under the lock; see
+/// the header comment for the loop idiom.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps, and re-acquires `mu` before
+  /// returning. Spurious wakeups happen; always wait in a loop.
+  void wait(Mutex& mu) QTA_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking, so from the
+    // analysis's point of view `mu` is held across the whole call.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // Part of the annotated wrapper itself; the capability relationship
+  // lives on wait()'s QTA_REQUIRES signature.
+  std::condition_variable cv_;  // qtlint: allow(mutex-annotation)
+};
+
+}  // namespace qta

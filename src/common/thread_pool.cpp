@@ -16,12 +16,12 @@ unsigned resolve_thread_count(unsigned requested, unsigned hardware,
   return std::max(1u, t);
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
-  const unsigned n = resolve_thread_count(
-      threads, std::thread::hardware_concurrency(),
-      std::numeric_limits<std::size_t>::max());
+ThreadPool::ThreadPool(unsigned threads)
+    : steal_counts_(resolve_thread_count(
+          threads, std::thread::hardware_concurrency(),
+          std::numeric_limits<std::size_t>::max())) {
+  const unsigned n = static_cast<unsigned>(steal_counts_.size());
   queues_.reserve(n);
-  steal_counts_.assign(n, 0);
   for (unsigned i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
   }
@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -42,7 +42,7 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::try_pop(unsigned id, std::size_t& item) {
   WorkerQueue& q = *queues_[id];
-  std::lock_guard<std::mutex> lock(q.mu);
+  MutexLock lock(q.mu);
   if (q.items.empty()) return false;
   item = q.items.front();
   q.items.pop_front();
@@ -53,11 +53,11 @@ bool ThreadPool::try_steal(unsigned thief, std::size_t& item) {
   const unsigned n = static_cast<unsigned>(queues_.size());
   for (unsigned k = 1; k < n; ++k) {
     WorkerQueue& victim = *queues_[(thief + k) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (victim.items.empty()) continue;
     item = victim.items.back();
     victim.items.pop_back();
-    ++steal_counts_[thief];
+    steal_counts_[thief].fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -65,17 +65,23 @@ bool ThreadPool::try_steal(unsigned thief, std::size_t& item) {
 
 void ThreadPool::worker_main(unsigned id) {
   std::uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
+    // Explicit predicate loop (not the lambda-predicate wait overload):
+    // the thread-safety analysis is intra-procedural, so the guarded
+    // reads must be syntactically under the lock here.
+    while (!stop_ && epoch_ == seen_epoch) work_cv_.wait(mu_);
+    if (stop_) {
+      mu_.unlock();
+      return;
+    }
     seen_epoch = epoch_;
     // A worker that slept through a whole batch (siblings drained it)
     // wakes here with a stale fn_; its queues are empty by then, so the
     // pointer is never called.
     const std::function<void(std::size_t)>* fn = fn_;
     ++active_;
-    lock.unlock();
+    mu_.unlock();
     std::size_t done_here = 0;
     std::size_t item = 0;
     for (;;) {
@@ -90,7 +96,7 @@ void ThreadPool::worker_main(unsigned id) {
       if (obs != nullptr) obs->on_task_end(id, item);
       ++done_here;
     }
-    lock.lock();
+    mu_.lock();
     QTA_CHECK(unfinished_ >= done_here);
     unfinished_ -= done_here;
     --active_;
@@ -101,16 +107,16 @@ void ThreadPool::worker_main(unsigned id) {
 void ThreadPool::parallel_for(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  std::lock_guard<std::mutex> serialize(submit_mu_);
+  MutexLock serialize(submit_mu_);
   const unsigned n = size();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Item placement happens under mu_, so a worker can only observe the
   // new items together with the new epoch (and thus the new fn_).
   // Round-robin initial placement (the old static layout); stealing
   // rebalances from here.
   for (std::size_t i = 0; i < count; ++i) {
     WorkerQueue& q = *queues_[i % n];
-    std::lock_guard<std::mutex> qlock(q.mu);
+    MutexLock qlock(q.mu);
     q.items.push_back(i);
   }
   fn_ = &fn;
@@ -119,12 +125,14 @@ void ThreadPool::parallel_for(
   work_cv_.notify_all();
   // Wait for quiescence, not just completion: every worker must be back
   // inside the wait loop before fn (a caller-owned reference) dies.
-  done_cv_.wait(lock, [&] { return unfinished_ == 0 && active_ == 0; });
+  while (unfinished_ != 0 || active_ != 0) done_cv_.wait(mu_);
 }
 
 std::uint64_t ThreadPool::steals() const {
   std::uint64_t total = 0;
-  for (const auto s : steal_counts_) total += s;
+  for (const auto& s : steal_counts_) {
+    total += s.load(std::memory_order_relaxed);
+  }
   return total;
 }
 

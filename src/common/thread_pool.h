@@ -17,17 +17,23 @@
 // a time; parallel_for is serialized and must not be re-entered from
 // inside fn (workers execute fn directly, so a nested call would
 // deadlock on the batch lock).
+//
+// Lock discipline (checked by clang -Wthread-safety via the QTA_*
+// annotations): batch state lives under mu_; each deque under its own
+// WorkerQueue::mu. The only nesting is mu_ -> q.mu inside parallel_for;
+// workers take queue locks with mu_ released, so the order is acyclic.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace qta {
 
@@ -78,10 +84,13 @@ class ThreadPool {
   /// once all items finished. Items are claimed dynamically (stealing),
   /// so callers must not assume any index-to-thread mapping.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      QTA_EXCLUDES(mu_);
 
-  /// Total items stolen from a sibling's deque since construction
-  /// (diagnostic; racy reads are fine after parallel_for returned).
+  /// Total items stolen from a sibling's deque since construction.
+  /// Diagnostic; per-slot counts are relaxed atomics, so this is safe to
+  /// poll from any thread while a batch is in flight (the value is then
+  /// a snapshot that may lag in-progress steals).
   std::uint64_t steals() const;
 
   /// Attaches (or detaches, with nullptr) a task observer. Costs one
@@ -93,30 +102,33 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::size_t> items;
+    Mutex mu;
+    std::deque<std::size_t> items QTA_GUARDED_BY(mu);
   };
 
-  void worker_main(unsigned id);
+  void worker_main(unsigned id) QTA_EXCLUDES(mu_);
   bool try_pop(unsigned id, std::size_t& item);
   bool try_steal(unsigned thief, std::size_t& item);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::vector<std::uint64_t> steal_counts_;  // one slot per worker
+  // One slot per worker. Atomic because steals() may sum the slots while
+  // workers bump them mid-batch; each slot is written only by its own
+  // worker (under the victim's queue lock), so relaxed ops suffice.
+  std::vector<std::atomic<std::uint64_t>> steal_counts_;
   std::atomic<TaskObserver*> observer_{nullptr};
 
   // Batch state, guarded by mu_.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: new batch or shutdown
-  std::condition_variable done_cv_;  // submitter: batch drained
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::uint64_t epoch_ = 0;      // bumped per batch so workers re-arm
-  std::size_t unfinished_ = 0;   // items distributed but not yet executed
-  unsigned active_ = 0;          // workers currently out of the wait loop
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: new batch or shutdown
+  CondVar done_cv_;  // submitter: batch drained
+  const std::function<void(std::size_t)>* fn_ QTA_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ QTA_GUARDED_BY(mu_) = 0;     // bumped per batch
+  std::size_t unfinished_ QTA_GUARDED_BY(mu_) = 0;  // distributed, not done
+  unsigned active_ QTA_GUARDED_BY(mu_) = 0;  // workers out of the wait loop
+  bool stop_ QTA_GUARDED_BY(mu_) = false;
 
-  std::mutex submit_mu_;  // serializes parallel_for callers
+  Mutex submit_mu_;  // serializes parallel_for callers
 };
 
 }  // namespace qta

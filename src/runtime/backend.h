@@ -9,7 +9,7 @@
 // telemetry, port auditing). Capability flags expose that difference so
 // callers probe instead of assuming a backend.
 //
-// Layering rule (enforced by qtlint's runtime-boundary rule): runtime/
+// Layering rule (enforced by qtlint's layering DAG): runtime/
 // includes qtaccel/, never the reverse. Everything above the datapath —
 // driver, tools, examples, benches — talks to QrlBackend or the Engine
 // facade (runtime/engine.h), not to Pipeline/FastEngine directly.

@@ -3,7 +3,9 @@
 #include <array>
 #include <mutex>
 
+#include "common/annotations.h"
 #include "common/check.h"
+#include "common/mutex.h"
 #include "qtaccel/fast_engine.h"
 #include "qtaccel/pipeline.h"
 
@@ -12,8 +14,8 @@ namespace qta::runtime {
 namespace {
 
 // The two in-tree adapters. These are the ONLY places outside unit tests
-// where Pipeline/FastEngine are constructed (the qtlint runtime-boundary
-// rule keeps it that way).
+// where Pipeline/FastEngine are constructed (the qtlint layering rule
+// keeps it that way).
 
 class PipelineBackend final : public QrlBackend {
  public:
@@ -179,8 +181,8 @@ std::unique_ptr<QrlBackend> make_fast_backend(
 constexpr std::size_t kNumBackends = 2;
 
 struct Registry {
-  std::mutex mu;
-  std::array<BackendFactory, kNumBackends> factories{};
+  qta::Mutex mu;
+  std::array<BackendFactory, kNumBackends> factories QTA_GUARDED_BY(mu) = {};
 };
 
 Registry& registry() {
@@ -202,7 +204,7 @@ std::once_flag builtins_once;
 void ensure_builtins() {
   std::call_once(builtins_once, [] {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const qta::MutexLock lock(r.mu);
     r.factories[slot(qtaccel::Backend::kCycleAccurate)] =
         &make_pipeline_backend;
     r.factories[slot(qtaccel::Backend::kFast)] = &make_fast_backend;
@@ -215,7 +217,7 @@ void register_backend(qtaccel::Backend kind, BackendFactory factory) {
   QTA_CHECK(factory != nullptr);
   ensure_builtins();  // explicit registrations always win over built-ins
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const qta::MutexLock lock(r.mu);
   r.factories[slot(kind)] = factory;
 }
 
@@ -225,7 +227,7 @@ std::unique_ptr<QrlBackend> make_backend(
   BackendFactory factory = nullptr;
   {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const qta::MutexLock lock(r.mu);
     factory = r.factories[slot(config.backend)];
   }
   QTA_CHECK_MSG(factory != nullptr,

@@ -126,6 +126,14 @@ enum class Schedule {
                       // serializes on its slowest bucket here
 };
 
+/// Lock discipline: this class owns no mutex. Parallelism happens only
+/// inside ThreadPool::parallel_for (annotated and checked by clang's
+/// thread-safety analysis; common/annotations.h), each worker item
+/// touching exactly one self-contained engine — so the fleet itself
+/// needs confinement, not locking. The qtlint mutex-annotation rule
+/// ensures any future lock here arrives with QTA_* annotations; the
+/// TSan preset runs the MultiPipeline/Independent/Stress suites against
+/// the same claim dynamically.
 class IndependentPipelines {
  public:
   /// One engine per environment (cycle-accurate or fast per

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -28,13 +29,27 @@ namespace {
 constexpr const char* kQtableMagic = "QTACCEL-QTABLE";
 constexpr const char* kQtableVersion = "v1";
 
-/// QTA_CHECK_MSG with the snapshot's source context appended — the
+/// Parse failure carrying the full diagnostic. Internal only: the
+/// aborting entry points catch it and re-raise through QTA_CHECK_MSG
+/// (preserving the historical abort-with-message behavior and its
+/// death-test regexes); try_load_snapshot catches it and reports the
+/// message through its out-parameter instead, which is what makes the
+/// parser fuzzable.
+struct SnapshotError {
+  std::string message;
+};
+
+/// Fails the parse with the snapshot's source context appended — the
 /// leading message text is unchanged so existing death-test regexes
 /// keep matching; the suffix names the file and pipe.
 void require(bool ok, const char* msg, const SnapshotSource& src) {
   if (ok) return;
-  const std::string full = msg + src.describe();
-  QTA_CHECK_MSG(false, full.c_str());
+  throw SnapshotError{msg + src.describe()};
+}
+
+[[noreturn]] void abort_with(const SnapshotError& e) {
+  QTA_CHECK_MSG(false, e.message.c_str());
+  std::abort();  // unreachable: QTA_CHECK_MSG(false, ...) terminates
 }
 
 void expect_key(std::istream& is, const char* key,
@@ -279,14 +294,18 @@ qtaccel::MachineState read_snapshot(std::istream& is,
                                     const qtaccel::PipelineConfig& config,
                                     const env::Environment& env,
                                     const SnapshotSource& source) {
-  std::string magic, version;
-  is >> magic;
-  require(static_cast<bool>(is) && magic == kSnapshotMagic,
-          "not a QTACCEL-SNAPSHOT file", source);
-  is >> version;
-  require(static_cast<bool>(is) && version == kSnapshotVersion,
-          "unsupported SNAPSHOT version", source);
-  return read_snapshot_body(is, config, env, source);
+  try {
+    std::string magic, version;
+    is >> magic;
+    require(static_cast<bool>(is) && magic == kSnapshotMagic,
+            "not a QTACCEL-SNAPSHOT file", source);
+    is >> version;
+    require(static_cast<bool>(is) && version == kSnapshotVersion,
+            "unsupported SNAPSHOT version", source);
+    return read_snapshot_body(is, config, env, source);
+  } catch (const SnapshotError& e) {
+    abort_with(e);
+  }
 }
 
 void save_snapshot(const Engine& engine, std::ostream& os) {
@@ -294,8 +313,12 @@ void save_snapshot(const Engine& engine, std::ostream& os) {
                  engine.save_state());
 }
 
-void load_snapshot(Engine& engine, std::istream& is,
-                   const SnapshotSource& source) {
+namespace {
+
+/// Shared by load_snapshot (aborting) and try_load_snapshot
+/// (non-aborting); throws SnapshotError on any parse/validation failure.
+void load_snapshot_impl(Engine& engine, std::istream& is,
+                        const SnapshotSource& source) {
   std::string magic;
   is >> magic;
   require(static_cast<bool>(is) &&
@@ -313,19 +336,49 @@ void load_snapshot(Engine& engine, std::istream& is,
                                        engine.environment(), source));
 }
 
+}  // namespace
+
+void load_snapshot(Engine& engine, std::istream& is,
+                   const SnapshotSource& source) {
+  try {
+    load_snapshot_impl(engine, is, source);
+  } catch (const SnapshotError& e) {
+    abort_with(e);
+  }
+}
+
+bool try_load_snapshot(Engine& engine, std::istream& is, std::string* error,
+                       const SnapshotSource& source) {
+  try {
+    load_snapshot_impl(engine, is, source);
+    return true;
+  } catch (const SnapshotError& e) {
+    if (error != nullptr) *error = e.message;
+    return false;
+  }
+}
+
 void save_snapshot_file(const Engine& engine, const std::string& path) {
   std::ofstream os(path);
-  require(os.is_open(), "cannot open snapshot file for writing",
-          SnapshotSource{path});
-  save_snapshot(engine, os);
-  os.flush();
-  require(os.good(), "failed writing snapshot file", SnapshotSource{path});
+  try {
+    require(os.is_open(), "cannot open snapshot file for writing",
+            SnapshotSource{path});
+    save_snapshot(engine, os);
+    os.flush();
+    require(os.good(), "failed writing snapshot file", SnapshotSource{path});
+  } catch (const SnapshotError& e) {
+    abort_with(e);
+  }
 }
 
 void load_snapshot_file(Engine& engine, const std::string& path) {
   std::ifstream is(path);
-  require(is.is_open(), "cannot open snapshot file for reading",
-          SnapshotSource{path});
+  try {
+    require(is.is_open(), "cannot open snapshot file for reading",
+            SnapshotSource{path});
+  } catch (const SnapshotError& e) {
+    abort_with(e);
+  }
   load_snapshot(engine, is, SnapshotSource{path});
 }
 

@@ -84,6 +84,19 @@ void save_snapshot(const Engine& engine, std::ostream& os);
 void load_snapshot(Engine& engine, std::istream& is,
                    const SnapshotSource& source = {});
 
+/// Non-aborting load_snapshot: same sniffing, validation, and
+/// diagnostics, but a malformed/foreign/truncated stream returns false
+/// (setting `*error` to the message load_snapshot would have aborted
+/// with) instead of terminating the process. This is the entry point
+/// for untrusted bytes — the snapshot fuzz harness drives it
+/// (tests/fuzz/snapshot_fuzz.cpp). Caveat: the v1 warm-start path
+/// mutates the engine while parsing, so on a false return from a v1
+/// stream the engine may hold a partial table; parse into a scratch
+/// engine when atomicity matters. The v2 path validates fully before
+/// load_state, so a false return leaves the engine untouched.
+bool try_load_snapshot(Engine& engine, std::istream& is, std::string* error,
+                       const SnapshotSource& source = {});
+
 /// File helpers; abort with a diagnostic (naming the path) when the
 /// file cannot be opened/written or fails to parse.
 void save_snapshot_file(const Engine& engine, const std::string& path);

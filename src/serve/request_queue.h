@@ -11,7 +11,12 @@
 //     requests are staged. The caller turns that into an explicit
 //     kOverloaded reply — backpressure instead of unbounded buffering.
 //
-// Single-threaded: the server's control thread is the only caller.
+// Single-threaded: the server's control thread is the only caller, so
+// the queue carries no lock — and therefore nothing for clang's
+// thread-safety analysis to check. The qtlint mutex-annotation rule
+// keeps that honest: a mutex added here later must come with QTA_*
+// annotations (common/annotations.h), at which point the `thread-safety`
+// preset starts verifying its discipline at compile time.
 #pragma once
 
 #include <cstdint>

@@ -16,6 +16,14 @@
 //     the control thread.
 //   - Responses are retrieved by ticket: done(t), then take(t).
 //
+// Lock discipline: the server itself holds no mutex — all shared-state
+// mutation is confined to the control thread, and cross-thread work
+// only flows through ThreadPool::parallel_for (whose internal locking
+// is verified by clang's thread-safety analysis; common/annotations.h).
+// Workers read/write disjoint batch slots, which TSan checks in the
+// serve_churn tests. The qtlint mutex-annotation rule ensures any
+// future lock in this layer arrives annotated and analysis-checked.
+//
 // Backpressure: a session request that arrives while RequestQueue holds
 // `max_queue` staged requests is answered kOverloaded immediately.
 // Nothing is buffered beyond that bound, so server memory stays bounded

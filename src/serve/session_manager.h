@@ -27,7 +27,13 @@
 // Threading: the manager itself is control-plane single-threaded (the
 // server mutates it only between batches). Worker threads may touch the
 // *engines* of distinct acquired sessions concurrently; they never call
-// the manager.
+// the manager. Because confinement — not locking — is the discipline
+// here, this class deliberately owns NO mutex for clang's thread-safety
+// analysis to find (common/annotations.h, docs/static_analysis.md): the
+// qtlint mutex-annotation rule guarantees that if a lock is ever added
+// to this file it must arrive annotated, and the analysis then checks
+// every access. Until then the single-caller contract is the invariant;
+// tests/serve_churn_test.cpp exercises it under the TSan preset.
 #pragma once
 
 #include <cstdint>

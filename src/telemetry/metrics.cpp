@@ -58,7 +58,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 MetricsRegistry::Series& MetricsRegistry::find_or_create(
     const std::string& name, const Labels& labels, const std::string& help,
     Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string key = series_key(name, labels);
   auto it = series_.find(key);
   if (it == series_.end()) {
@@ -138,7 +138,7 @@ const char* prom_type(int kind) {
 }  // namespace
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string last_family;
   for (const auto& [key, s] : series_) {
     (void)key;
@@ -205,7 +205,7 @@ void json_labels(qta::JsonWriter& json, const Labels& labels) {
 }  // namespace
 
 void MetricsRegistry::write_json(qta::JsonWriter& json) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json.begin_object();
   json.key("counters").begin_array();
   for (const auto& [key, s] : series_) {

@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace qta {
 class JsonWriter;
@@ -126,15 +128,21 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  // Self-locking (QTA_EXCLUDES, not QTA_REQUIRES): the public
+  // find-or-create entry points call it without holding mu_.
   Series& find_or_create(const std::string& name, const Labels& labels,
-                         const std::string& help, Kind kind);
+                         const std::string& help, Kind kind)
+      QTA_EXCLUDES(mu_);
   static std::string series_key(const std::string& name, const Labels& labels);
 
-  mutable std::mutex mu_;
+  mutable qta::Mutex mu_;
   // Keyed by name + serialized labels => deterministic, family-grouped
-  // iteration order for both exposition formats.
-  std::map<std::string, Series> series_;
-  std::map<std::string, std::string> help_;  // metric family name -> help
+  // iteration order for both exposition formats. The Series objects
+  // themselves are append-only under mu_; the instruments they own are
+  // lock-free atomics mutated through stable references.
+  std::map<std::string, Series> series_ QTA_GUARDED_BY(mu_);
+  // Metric family name -> help text.
+  std::map<std::string, std::string> help_ QTA_GUARDED_BY(mu_);
 };
 
 }  // namespace qta::telemetry

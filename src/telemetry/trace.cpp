@@ -7,7 +7,7 @@ namespace qta::telemetry {
 TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
 
 void TraceSession::push(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -67,12 +67,12 @@ std::uint64_t TraceSession::now_us() const {
 }
 
 std::size_t TraceSession::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceSession::write_json(qta::JsonWriter& json) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   json.begin_object();
   json.key("traceEvents").begin_array();
   for (const Event& e : events_) {

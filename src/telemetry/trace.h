@@ -15,9 +15,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace qta {
 class JsonWriter;
@@ -70,11 +72,11 @@ class TraceSession {
     std::string arg_name;  // 'M' only: args.name payload
   };
 
-  void push(Event event);
+  void push(Event event) QTA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::chrono::steady_clock::time_point epoch_;
+  mutable qta::Mutex mu_;
+  std::vector<Event> events_ QTA_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point epoch_;  // immutable after ctor
 };
 
 }  // namespace qta::telemetry

@@ -1,0 +1,11 @@
+// Assertion macro for the fuzz harnesses: no gtest, no logging — a
+// failed property traps so both libFuzzer and the corpus-replay driver
+// report the input as a crash.
+#pragma once
+
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)        \
+  do {                           \
+    if (!(cond)) std::abort();   \
+  } while (0)

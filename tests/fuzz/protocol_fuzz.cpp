@@ -1,0 +1,87 @@
+// libFuzzer harness for the QTSERVE-WIRE payload codecs
+// (serve/protocol.h). Properties checked on every input:
+//
+//   1. decode_request/decode_response never crash, whatever the bytes;
+//      a failed decode always reports why.
+//   2. A successful decode re-encodes to a canonical payload that is a
+//      fixed point: decode(encode(decode(p))) round-trips bit-exactly.
+//      (encode(decode(p)) need not equal p — decoders deliberately
+//      ignore unknown trailing bytes, that is the versioning policy.)
+//   3. unframe() consumes a hostile stream buffer without crashing,
+//      reading past the end, or spinning forever.
+//   4. frame()/unframe() are inverses for any payload.
+//
+// Built two ways (tests/fuzz/CMakeLists.txt): as a real fuzzer under
+// clang with -fsanitize=fuzzer (QTACCEL_FUZZERS=ON), and linked with
+// replay_main.cpp into a plain executable that replays the checked-in
+// corpus as a ctest in every build.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_assert.h"
+#include "serve/protocol.h"
+
+namespace {
+
+void check_request_roundtrip(std::string_view payload) {
+  std::string error;
+  const auto req = qta::serve::decode_request(payload, &error);
+  if (!req.has_value()) {
+    FUZZ_ASSERT(!error.empty());
+    return;
+  }
+  const std::string canon = qta::serve::encode_request(*req);
+  const auto again = qta::serve::decode_request(canon, &error);
+  FUZZ_ASSERT(again.has_value());
+  FUZZ_ASSERT(qta::serve::encode_request(*again) == canon);
+}
+
+void check_response_roundtrip(std::string_view payload) {
+  std::string error;
+  const auto resp = qta::serve::decode_response(payload, &error);
+  if (!resp.has_value()) {
+    FUZZ_ASSERT(!error.empty());
+    return;
+  }
+  const std::string canon = qta::serve::encode_response(*resp);
+  const auto again = qta::serve::decode_response(canon, &error);
+  FUZZ_ASSERT(again.has_value());
+  FUZZ_ASSERT(qta::serve::encode_response(*again) == canon);
+}
+
+void check_stream_reassembly(std::string_view payload) {
+  // Treat the raw bytes as a transport buffer: unframe() must make
+  // strict progress on every extracted frame and stop cleanly on a
+  // partial tail or an oversized length prefix.
+  std::string buffer(payload);
+  bool oversized = false;
+  while (true) {
+    const std::size_t before = buffer.size();
+    const auto one = qta::serve::unframe(buffer, &oversized);
+    if (!one.has_value()) break;
+    FUZZ_ASSERT(buffer.size() < before);
+    std::string ignored;
+    (void)qta::serve::decode_request(*one, &ignored);
+  }
+  if (oversized) return;  // poisoned peer: transport drops the stream
+
+  // frame() round-trips any payload through one clean unframe().
+  std::string reframed = qta::serve::frame(payload);
+  const auto back = qta::serve::unframe(reframed, &oversized);
+  FUZZ_ASSERT(back.has_value() && !oversized);
+  FUZZ_ASSERT(*back == payload);
+  FUZZ_ASSERT(reframed.empty());
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  check_request_roundtrip(payload);
+  check_response_roundtrip(payload);
+  check_stream_reassembly(payload);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Corpus-replay driver: links against a fuzz harness's
+// LLVMFuzzerTestOneInput and feeds it every file in the corpus
+// directories/files named on the command line. This makes the
+// checked-in corpora a plain ctest in EVERY build configuration —
+// including GCC builds, which have no libFuzzer — so a parser
+// regression on a known-interesting input fails CI everywhere, not
+// just in the clang fuzz-smoke job.
+//
+// Exits 1 when no inputs were found: an empty corpus run would
+// otherwise pass vacuously (e.g. after a bad path rename).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p = argv[i];
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      inputs.push_back(p);
+    } else {
+      std::fprintf(stderr, "replay: no such input '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "replay: no corpus inputs found\n");
+    return 1;
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  for (const auto& p : inputs) {
+    std::ifstream is(p, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "replay: cannot read '%s'\n", p.c_str());
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(is)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %zu corpus input(s)\n", inputs.size());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// libFuzzer harness for the snapshot parser (runtime/snapshot.h): feeds
+// arbitrary bytes to try_load_snapshot — the non-aborting twin of
+// load_snapshot, added precisely so untrusted streams have a fuzzable
+// entry point. Covers the v2 QTACCEL-SNAPSHOT parser, the v1
+// QTACCEL-QTABLE warm-start path, and the magic-sniffing router between
+// them. Properties checked on every input:
+//
+//   1. try_load_snapshot never crashes and never aborts, whatever the
+//      bytes; a failed load always reports why.
+//   2. A successful load is save/reload-stable: saving the loaded
+//      engine and loading that into a second engine reproduces the
+//      exact same snapshot text (the bit-exact pause/resume contract).
+//
+// Built two ways (tests/fuzz/CMakeLists.txt): as a real fuzzer under
+// clang with -fsanitize=fuzzer (QTACCEL_FUZZERS=ON), and linked with
+// replay_main.cpp into a plain executable that replays the checked-in
+// corpus as a ctest in every build.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "env/grid_world.h"
+#include "fuzz_assert.h"
+#include "qtaccel/config.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
+
+namespace {
+
+// Small fixed geometry keeps per-input engine construction cheap; the
+// fingerprint check rejects snapshots for any other shape, which is
+// itself a parser path worth fuzzing.
+const qta::env::GridWorld& world() {
+  static const qta::env::GridWorld w([] {
+    qta::env::GridWorldConfig c;
+    c.width = 4;
+    c.height = 4;
+    c.num_actions = 4;
+    return c;
+  }());
+  return w;
+}
+
+qta::qtaccel::PipelineConfig config() {
+  qta::qtaccel::PipelineConfig c;
+  c.seed = 3;
+  c.max_episode_length = 64;
+  return c;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  qta::runtime::Engine engine(world(), config());
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size));
+
+  std::string error;
+  if (!qta::runtime::try_load_snapshot(engine, is, &error)) {
+    FUZZ_ASSERT(!error.empty());
+    return 0;
+  }
+
+  // Accepted input: the loaded state must round-trip bit-exactly.
+  std::ostringstream saved;
+  qta::runtime::save_snapshot(engine, saved);
+
+  qta::runtime::Engine second(world(), config());
+  std::istringstream again(saved.str());
+  FUZZ_ASSERT(qta::runtime::try_load_snapshot(second, again, &error));
+
+  std::ostringstream resaved;
+  qta::runtime::save_snapshot(second, resaved);
+  FUZZ_ASSERT(resaved.str() == saved.str());
+  return 0;
+}

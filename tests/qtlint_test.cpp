@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -278,108 +279,313 @@ TEST(QtlintTelemetryBoundary, HostSideFilesMayUseTheMachinery) {
             0u);
 }
 
-TEST(QtlintRuntimeBoundary, DatapathAndSupportCodeMayNotIncludeRuntime) {
+// The layering rule subsumed the old runtime-boundary and serve-boundary
+// scanners; these fixtures pin that every violation the old rules caught
+// still fires (now as `layering`), plus the DAG cases only the
+// data-driven table covers.
+
+TEST(QtlintLayering, DatapathAndSupportCodeMayNotIncludeRuntime) {
   const std::string snippet = "#include \"runtime/engine.h\"\nvoid f();\n";
   EXPECT_EQ(count_rule(lint_content("src/qtaccel/pipeline.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             1u);
   EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             1u);
   EXPECT_EQ(count_rule(lint_content("src/telemetry/metrics.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             1u);
   // The runtime itself, the driver above it, and out-of-tree consumers
   // (examples, benches, tools) are the sanctioned includers.
   EXPECT_EQ(count_rule(lint_content("src/runtime/snapshot.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             0u);
   EXPECT_EQ(
       count_rule(lint_content("src/driver/qtaccel_device.cpp", snippet),
-                 RuleId::kRuntimeBoundary),
+                 RuleId::kLayering),
       0u);
   EXPECT_EQ(count_rule(lint_content("bench/bench_perf_smoke.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             0u);
 }
 
-TEST(QtlintRuntimeBoundary, OnlyRuntimeAndQtaccelNameConcreteBackends) {
+TEST(QtlintLayering, OnlyRuntimeAndQtaccelNameConcreteBackends) {
   const std::string snippet =
       "#include \"qtaccel/pipeline.h\"\n"
       "#include \"qtaccel/fast_engine.h\"\nvoid f();\n";
   // Everything above the seam goes through the Engine facade instead.
   EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             2u);
   EXPECT_EQ(count_rule(lint_content("bench/bench_microbench.cpp", snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             2u);
   EXPECT_EQ(
       count_rule(lint_content("src/driver/qtaccel_device.cpp", snippet),
-                 RuleId::kRuntimeBoundary),
+                 RuleId::kLayering),
       2u);
   // The adapters and the backends' own module keep direct access.
   EXPECT_EQ(
       count_rule(lint_content("src/runtime/backend_registry.cpp", snippet),
-                 RuleId::kRuntimeBoundary),
+                 RuleId::kLayering),
       0u);
   EXPECT_EQ(count_rule(lint_content("src/qtaccel/machine_state.h",
                                     "#pragma once\n" + snippet),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             0u);
   // Other qtaccel headers stay fair game for everyone.
   EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp",
                                     "#include \"qtaccel/config.h\"\n"),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             0u);
 }
 
-TEST(QtlintServeBoundary, OnlyServeIncludesServeWithinSrc) {
+TEST(QtlintLayering, OnlyServeIncludesServeWithinSrc) {
   const std::string snippet =
       "#include \"serve/protocol.h\"\nvoid f();\n";
   // Within src/, only the serving layer itself may depend on serve/.
   EXPECT_EQ(count_rule(lint_content("src/runtime/engine.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             1u);
   EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             1u);
   EXPECT_EQ(count_rule(lint_content("src/serve/server.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             0u);
   // Tools, examples and benches sit above the seam and may.
   EXPECT_EQ(count_rule(lint_content("tools/qtserved.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             0u);
   EXPECT_EQ(count_rule(lint_content("bench/bench_serve.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             0u);
   EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             0u);
 }
 
-TEST(QtlintServeBoundary, ServeStaysBackendGeneric) {
+TEST(QtlintLayering, ServeStaysBackendGeneric) {
   // The serving layer multiplexes Engines; naming a concrete backend
   // would break the snapshot bridge between backends.
   const std::string snippet =
       "#include \"qtaccel/pipeline.h\"\n"
       "#include \"qtaccel/fast_engine.h\"\nvoid f();\n";
   const auto vs = lint_content("src/serve/session_manager.cpp", snippet);
-  EXPECT_EQ(count_rule(vs, RuleId::kServeBoundary), 2u);
-  // serve-boundary, not runtime-boundary, owns this diagnostic.
-  EXPECT_EQ(count_rule(vs, RuleId::kRuntimeBoundary), 0u);
+  EXPECT_EQ(count_rule(vs, RuleId::kLayering), 2u);
+  // Each restricted-header include fires exactly one violation (the
+  // restricted-header check wins over the generic DAG walk).
+  EXPECT_EQ(vs.size(), 2u);
   // The sanctioned dependency direction: serve includes runtime/.
   EXPECT_EQ(count_rule(lint_content("src/serve/session_manager.cpp",
                                     "#include \"runtime/engine.h\"\n"),
-                       RuleId::kRuntimeBoundary),
+                       RuleId::kLayering),
             0u);
   // And config.h (backend-agnostic types) stays fair game for serve.
   EXPECT_EQ(count_rule(lint_content("src/serve/protocol.h",
                                     "#pragma once\n"
                                     "#include \"qtaccel/config.h\"\n"),
-                       RuleId::kServeBoundary),
+                       RuleId::kLayering),
             0u);
+}
+
+TEST(QtlintLayering, DagRejectsUndeclaredEdgesAndAllowsDeclaredOnes) {
+  // Declared edges from the kLayerSpecs table.
+  EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp",
+                                    "#include \"fixed/fixed_point.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("src/runtime/engine.cpp",
+                                    "#include \"telemetry/metrics.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  // Undeclared edges the old boundary scanners never saw.
+  EXPECT_EQ(count_rule(lint_content("src/common/cli.cpp",
+                                    "#include \"env/environment.h\"\n"),
+                       RuleId::kLayering),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/fixed/fixed_point.cpp",
+                                    "#include \"rng/lfsr.h\"\n"),
+                       RuleId::kLayering),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/telemetry/trace.cpp",
+                                    "#include \"env/environment.h\"\n"),
+                       RuleId::kLayering),
+            1u);
+  // Self-includes within a module are always fine.
+  EXPECT_EQ(count_rule(lint_content("src/env/grid_world.cpp",
+                                    "#include \"env/environment.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  // System headers and non-module targets are outside the DAG.
+  EXPECT_EQ(count_rule(lint_content("src/common/cli.cpp",
+                                    "#include <vector>\n"
+                                    "#include \"gtest/gtest.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  // An allow() annotation silences a deliberate edge.
+  EXPECT_EQ(count_rule(
+                lint_content("src/common/cli.cpp",
+                             "#include \"env/environment.h\"  "
+                             "// qtlint: allow(layering)\n"),
+                RuleId::kLayering),
+            0u);
+}
+
+TEST(QtlintLayering, RepoPassDetectsIncludeCycles) {
+  const std::vector<SourceFile> files = {
+      {"src/env/a.h", "#pragma once\n#include \"env/b.h\"\n"},
+      {"src/env/b.h", "#pragma once\n#include \"env/c.h\"\n"},
+      {"src/env/c.h", "#pragma once\n#include \"env/a.h\"\n"},
+      {"src/env/leaf.h", "#pragma once\n#include \"env/a.h\"\n"},
+  };
+  const auto vs = lint_repo(files);
+  ASSERT_EQ(count_rule(vs, RuleId::kLayering), 1u);
+  const auto it =
+      std::find_if(vs.begin(), vs.end(), [](const Violation& v) {
+        return v.rule == RuleId::kLayering;
+      });
+  EXPECT_NE(it->message.find("include cycle"), std::string::npos);
+  EXPECT_NE(it->message.find("src/env/a.h"), std::string::npos);
+  EXPECT_NE(it->message.find("src/env/b.h"), std::string::npos);
+  EXPECT_NE(it->message.find("src/env/c.h"), std::string::npos);
+}
+
+TEST(QtlintLayering, RepoPassResolvesSameDirectoryIncludes) {
+  // tools/ sources include siblings by bare name; a mutual include is
+  // still a cycle even though neither path starts with src/.
+  const std::vector<SourceFile> files = {
+      {"tools/demo/x.h", "#pragma once\n#include \"y.h\"\n"},
+      {"tools/demo/y.h", "#pragma once\n#include \"x.h\"\n"},
+  };
+  EXPECT_EQ(count_rule(lint_repo(files), RuleId::kLayering), 1u);
+}
+
+TEST(QtlintLayering, RepoPassReportsEachCycleOnce) {
+  // Two files that include each other produce ONE cycle report, not one
+  // per entry point.
+  const std::vector<SourceFile> files = {
+      {"src/hw/p.h", "#pragma once\n#include \"hw/q.h\"\n"},
+      {"src/hw/q.h", "#pragma once\n#include \"hw/p.h\"\n"},
+      {"src/hw/user1.h", "#pragma once\n#include \"hw/p.h\"\n"},
+      {"src/hw/user2.h", "#pragma once\n#include \"hw/q.h\"\n"},
+  };
+  EXPECT_EQ(count_rule(lint_repo(files), RuleId::kLayering), 1u);
+}
+
+TEST(QtlintLayering, AcyclicRepoIsCleanAndAllowBreaksCycleEdge) {
+  const std::vector<SourceFile> clean = {
+      {"src/hw/top.h", "#pragma once\n#include \"hw/base.h\"\n"},
+      {"src/hw/base.h", "#pragma once\n"},
+  };
+  EXPECT_EQ(count_rule(lint_repo(clean), RuleId::kLayering), 0u);
+  // An edge under allow(layering) is invisible to the cycle pass.
+  const std::vector<SourceFile> allowed = {
+      {"src/hw/p.h",
+       "#pragma once\n"
+       "#include \"hw/q.h\"  // qtlint: allow(layering)\n"},
+      {"src/hw/q.h", "#pragma once\n#include \"hw/p.h\"\n"},
+  };
+  EXPECT_EQ(count_rule(lint_repo(allowed), RuleId::kLayering), 0u);
+}
+
+TEST(QtlintMutexAnnotation, FlagsBareStdMutexMembersInSrc) {
+  const std::string snippet =
+      "#pragma once\n"
+      "class S {\n"
+      "  std::mutex mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "  std::shared_mutex smu_;\n"
+      "};\n";
+  EXPECT_EQ(count_rule(lint_content("src/serve/unit.h", snippet),
+                       RuleId::kMutexAnnotation),
+            3u);
+  // Out-of-src code (tools, tests fixtures, benches) is not scoped.
+  EXPECT_EQ(count_rule(lint_content("tools/demo/unit.h", snippet),
+                       RuleId::kMutexAnnotation),
+            0u);
+}
+
+TEST(QtlintMutexAnnotation, AnnotatedAndWrapperDeclarationsPass) {
+  // A QTA_ annotation anywhere in the declaration satisfies the rule …
+  EXPECT_EQ(count_rule(lint_content(
+                           "src/serve/unit.h",
+                           "#pragma once\n"
+                           "class S { std::mutex mu_ QTA_GUARDED_BY(x); };\n"),
+                       RuleId::kMutexAnnotation),
+            0u);
+  // … as does the annotated qta::Mutex wrapper (no std:: type at all).
+  EXPECT_EQ(count_rule(lint_content("src/serve/unit.h",
+                                    "#pragma once\n"
+                                    "class S { qta::Mutex mu_; };\n"),
+                       RuleId::kMutexAnnotation),
+            0u);
+  // Uses of std lock TYPES in template args / refs are not declarations.
+  EXPECT_EQ(
+      count_rule(lint_content(
+                     "src/serve/unit.cpp",
+                     "void f(std::mutex& mu) {\n"
+                     "  std::lock_guard<std::mutex> lock(mu);\n"
+                     "  std::unique_lock<std::mutex> u(mu);\n"
+                     "}\n"),
+                 RuleId::kMutexAnnotation),
+      0u);
+}
+
+TEST(QtlintMutexAnnotation, AllowAnnotationScopesTheEscapeHatch) {
+  // The wrappers themselves hold the raw std types; they carry a
+  // line-scoped allow, exactly as src/common/mutex.h does.
+  const auto vs = lint_content(
+      "src/common/unit.h",
+      "#pragma once\n"
+      "class M {\n"
+      "  std::mutex mu_;  // qtlint: allow(mutex-annotation)\n"
+      "  std::mutex other_;\n"
+      "};\n");
+  ASSERT_EQ(count_rule(vs, RuleId::kMutexAnnotation), 1u);
+  EXPECT_EQ(vs[0].line, 4u);
+}
+
+TEST(QtlintIncludeGraph, ListIncludesReturnsTargetsInLineOrder) {
+  const auto edges = list_includes(
+      "// #include \"commented/out.h\"\n"
+      "#include <vector>\n"
+      "#include \"env/environment.h\"\n"
+      "const char* s = \"#include \\\"string/literal.h\\\"\";\n"
+      "  #  include   \"hw/bram.h\"\n");
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].target, "vector");
+  EXPECT_EQ(edges[0].line, 2u);
+  EXPECT_EQ(edges[1].target, "env/environment.h");
+  EXPECT_EQ(edges[1].line, 3u);
+  EXPECT_EQ(edges[2].target, "hw/bram.h");
+  EXPECT_EQ(edges[2].line, 5u);
+}
+
+TEST(QtlintJson, ReportShapeCarriesFileLineRuleMessageAndCounts) {
+  const std::vector<SourceFile> files = {
+      {"src/hw/unit.cpp", "double bad;\n"},
+      {"src/env/ok.cpp", "int fine;\n"},
+  };
+  const auto vs = lint_repo(files);
+  ASSERT_EQ(vs.size(), 1u);
+  std::ostringstream os;
+  write_violations_json(os, vs, files.size());
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"violations\":["), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"src/hw/unit.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"datapath-purity\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\":"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(QtlintJson, EmptyReportStillWellFormed) {
+  std::ostringstream os;
+  write_violations_json(os, {}, 3);
+  EXPECT_EQ(os.str(),
+            "{\"violations\":[],\"files_scanned\":3,\"count\":0}\n");
 }
 
 TEST(QtlintReporting, ViolationsCarryFileLineAndSortedOrder) {

@@ -300,6 +300,99 @@ TEST(SnapshotDeath, RejectsForeignAndCorruptedStreams) {
   }
 }
 
+TEST(Snapshot, TryLoadReportsFailuresWithoutAborting) {
+  // try_load_snapshot is the non-aborting twin of load_snapshot (the
+  // fuzz harness's entry point): same sniffing and diagnostics, but a
+  // bad stream returns false and the message load_snapshot would have
+  // died with.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  Engine target(world, c);
+  const std::string good = valid_snapshot_text(world, c);
+  std::string error;
+
+  {
+    std::stringstream garbage("hello world");
+    EXPECT_FALSE(try_load_snapshot(target, garbage, &error));
+    EXPECT_NE(
+        error.find("not a QTACCEL-QTABLE or QTACCEL-SNAPSHOT file"),
+        std::string::npos);
+  }
+  {
+    std::string future = good;
+    future.replace(future.find("v2"), 2, "v9");
+    std::stringstream in(future);
+    EXPECT_FALSE(try_load_snapshot(target, in, &error));
+    EXPECT_NE(error.find("unsupported SNAPSHOT version"),
+              std::string::npos);
+  }
+  {
+    std::stringstream in(good.substr(0, good.size() / 2));
+    EXPECT_FALSE(try_load_snapshot(target, in, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+  }
+  {
+    // The failure message carries the source context, exactly like the
+    // aborting path's diagnostic.
+    std::stringstream in("junk");
+    EXPECT_FALSE(try_load_snapshot(target, in, &error,
+                                   SnapshotSource{"ckpt.txt", 2}));
+    EXPECT_NE(error.find("(ckpt.txt, pipe 2)"), std::string::npos);
+    // A null error pointer is legal (caller only wants the bool).
+    std::stringstream again("junk");
+    EXPECT_FALSE(try_load_snapshot(target, again, nullptr));
+  }
+}
+
+TEST(Snapshot, TryLoadSucceedsOnV2AndV1Streams) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  std::string error = "untouched on success";
+
+  // v2 machine restore.
+  const std::string good = valid_snapshot_text(world, c);
+  Engine restored(world, c);
+  std::stringstream in(good);
+  EXPECT_TRUE(try_load_snapshot(restored, in, &error));
+  EXPECT_EQ(error, "untouched on success");
+  // Counters came from the snapshot (the pipeline may retire a few
+  // in-flight samples past the requested 2000 before draining).
+  EXPECT_GE(restored.stats().samples, 2000u);
+
+  // v1 warm start through the same sniffing path.
+  Engine trained(world, c);
+  trained.run_samples(2000);
+  std::stringstream v1;
+  save_q_table(v1, trained);
+  Engine warm(world, c);
+  EXPECT_TRUE(try_load_snapshot(warm, v1, &error));
+  EXPECT_EQ(warm.q_raw(0, 0), trained.q_raw(0, 0));
+  EXPECT_EQ(warm.stats().samples, 0u);  // warm start, not a restore
+}
+
+TEST(Snapshot, TryLoadV2FailureLeavesEngineUntouched) {
+  // The v2 path validates the whole stream before load_state, so a
+  // failed try_load leaves the target exactly as it was.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  const std::string good = valid_snapshot_text(world, c);
+
+  Engine target(world, c);
+  target.run_samples(777);
+  const auto samples_before = target.stats().samples;
+  const auto q00 = target.q_raw(0, 0);
+  std::stringstream in(good.substr(0, good.size() / 2));
+  EXPECT_FALSE(try_load_snapshot(target, in, nullptr));
+  EXPECT_EQ(target.stats().samples, samples_before);
+  EXPECT_EQ(target.q_raw(0, 0), q00);
+}
+
 TEST(SnapshotDeath, FileDiagnosticsNameThePath) {
   env::GridWorld world(grid8());
   qtaccel::PipelineConfig c;

@@ -87,6 +87,37 @@ TEST(ThreadPoolTest, StealsRebalanceSkewedWork) {
   EXPECT_GE(pool.steals(), 15u);
 }
 
+// Regression: steals() used to read plain (non-atomic) per-worker
+// counters that workers increment concurrently — a data race under
+// TSan. The counters are atomics now; polling steals() while a batch
+// is in flight must be clean (this test runs in the TSan CI leg).
+TEST(ThreadPoolTest, StealsIsSafeToPollDuringABatch) {
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::uint64_t observed = 0;
+  std::thread poller([&] {
+    while (!stop.load()) {
+      observed = pool.steals();
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> done{0};
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 0) {
+        while (done.load() < 63) std::this_thread::yield();
+      }
+      ++done;
+    });
+  }
+  stop.store(true);
+  poller.join();
+  // The skewed batches force steals, and the monotone counter's final
+  // value must dominate anything the poller saw mid-flight.
+  EXPECT_GE(pool.steals(), observed);
+  EXPECT_GE(pool.steals(), 15u);
+}
+
 TEST(ThreadPoolTest, ExecutionIsDeterministicRegardlessOfSchedule) {
   // Items write to disjoint slots: any interleaving yields the same
   // result (the property IndependentPipelines relies on).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdint>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -11,6 +12,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "common/json_writer.h"
 #include "common/table_printer.h"
 
 namespace qta::lint {
@@ -40,11 +42,10 @@ constexpr std::array<RuleInfo, 10> kRules{{
     {RuleId::kTelemetryBoundary, "telemetry-boundary",
      "src/hw, src/fixed, qtaccel pipeline files",
      "datapath observes only via telemetry/sink.h; no registry/trace"},
-    {RuleId::kRuntimeBoundary, "runtime-boundary",
-     "src/**, tools, examples, bench",
-     "backends are built only via runtime/; datapath never sees runtime/"},
-    {RuleId::kServeBoundary, "serve-boundary", "src/**",
-     "only src/serve includes serve/; serve stays backend-generic"},
+    {RuleId::kLayering, "layering", "src/**, tools, examples, bench",
+     "one include-graph DAG: modules see only declared deps; no cycles"},
+    {RuleId::kMutexAnnotation, "mutex-annotation", "src/**",
+     "every mutex/cv member is annotated so clang -Wthread-safety sees it"},
     {RuleId::kUnknownAllow, "unknown-allow", "qtlint annotations",
      "allow() must name a real rule"},
 }};
@@ -122,6 +123,91 @@ constexpr std::array<std::string_view, 4> kTelemetryHostIdents{
 constexpr std::array<std::string_view, 6> kPipelineFileStems{
     "pipeline",  "boltzmann_pipeline", "forwarding",
     "qmax_unit", "action_units",       "fast_engine"};
+
+// --- the layering DAG (docs/static_analysis.md renders this table) ---
+//
+// One row per src/ module: the module name and the space-separated set
+// of modules its files may #include (itself is always allowed). The
+// table IS the architecture: runtime/ is visible only to runtime,
+// driver and serve; serve/ only to itself (tools, examples and bench
+// sit above the seam and may include anything except the restricted
+// backend headers below). Extending the architecture = editing this
+// table, not writing a new scanner.
+struct LayerSpec {
+  std::string_view module;
+  std::string_view deps;
+};
+
+constexpr std::array<LayerSpec, 14> kLayerSpecs{{
+    {"common", ""},
+    {"fixed", "common"},
+    {"rng", "common fixed"},
+    {"hw", "common fixed"},
+    {"telemetry", "common"},
+    {"env", "common fixed rng"},
+    {"policy", "common fixed rng"},
+    {"device", "common fixed hw"},
+    {"algo", "common fixed rng env policy"},
+    {"baseline", "common fixed rng hw env policy device"},
+    {"qtaccel", "common fixed rng hw env policy device telemetry"},
+    {"runtime",
+     "common fixed rng hw env policy device telemetry qtaccel"},
+    {"driver",
+     "common fixed rng hw env policy device telemetry qtaccel runtime "
+     "algo baseline"},
+    {"serve",
+     "common fixed rng hw env policy device telemetry qtaccel runtime"},
+}};
+
+// Concrete backend headers: constructible only from src/runtime (the
+// registry's adapters) and src/qtaccel (the backends' own module).
+// Everything else — including tools/examples/bench above the seam —
+// programs against the Engine facade or the backend registry.
+constexpr std::array<std::string_view, 2> kRestrictedBackendHeaders{
+    "qtaccel/pipeline.h", "qtaccel/fast_engine.h"};
+
+bool is_src_module(std::string_view module) {
+  for (const auto& row : kLayerSpecs) {
+    if (row.module == module) return true;
+  }
+  return false;
+}
+
+// Whether src module `from` may include headers of src module `to`,
+// per the kLayerSpecs row (self-includes always allowed).
+bool layer_allows(std::string_view from, std::string_view to) {
+  if (from == to) return true;
+  for (const auto& row : kLayerSpecs) {
+    if (row.module != from) continue;
+    std::size_t pos = 0;
+    const std::string_view deps = row.deps;
+    while (pos < deps.size()) {
+      while (pos < deps.size() && deps[pos] == ' ') ++pos;
+      std::size_t start = pos;
+      while (pos < deps.size() && deps[pos] != ' ') ++pos;
+      if (pos > start && deps.substr(start, pos - start) == to) return true;
+    }
+    return false;
+  }
+  return false;  // unknown module: nothing declared, nothing allowed
+}
+
+// The src module an include target addresses ("runtime/engine.h" ->
+// "runtime"), or "" when the target is not a src-module header (std
+// headers, tools-local includes, ...).
+std::string_view target_module(std::string_view target) {
+  const auto slash = target.find('/');
+  if (slash == std::string_view::npos) return "";
+  const std::string_view head = target.substr(0, slash);
+  return is_src_module(head) ? head : std::string_view{};
+}
+
+// Mutex-ish std:: member types that must carry a QTA_* annotation when
+// declared under src/ (the mutex-annotation rule).
+constexpr std::array<std::string_view, 8> kMutexTypes{
+    "mutex",       "shared_mutex",           "recursive_mutex",
+    "timed_mutex", "recursive_timed_mutex",  "shared_timed_mutex",
+    "condition_variable", "condition_variable_any"};
 
 struct LexedFile {
   // Source with comments and string/char-literal contents blanked out;
@@ -436,44 +522,53 @@ void check_includes(const LexedFile& lexed, const FileClass& fc,
              "#include \"" + target +
                  "\" in datapath code; only telemetry/sink.h is allowed");
     }
-    // Layering: runtime/ sits above the datapath. Below it, only the
-    // driver (which wraps an Engine behind its CSR surface) and the
-    // serving layer (which multiplexes Engines) may look up.
-    if (fc.in_src && !fc.runtime && !fc.driver && !fc.serve &&
-        starts_with(target, "runtime/")) {
-      e.emit(RuleId::kRuntimeBoundary, line,
-             "#include \"" + target +
-                 "\" inverts the layering: datapath and support code "
-                 "must not depend on src/runtime");
-    }
-    // And nobody above the seam names the concrete backends: Pipeline /
-    // FastEngine are constructed only by the runtime's adapters (plus
-    // their own module and unit tests). For the serving layer the same
-    // include is a serve-boundary violation — serve stays
-    // backend-generic so snapshots keep bridging backends.
+    // Layering, part 1: the restricted backend headers. Applies
+    // everywhere (src AND the tools/examples/bench dirs above the
+    // seam): Pipeline / FastEngine are constructed only by the
+    // runtime's adapters and their own module. The serving layer gets
+    // a tailored message — serve stays backend-generic so snapshots
+    // keep bridging backends.
     if (!fc.runtime && !fc.qtaccel &&
-        (target == "qtaccel/pipeline.h" ||
-         target == "qtaccel/fast_engine.h")) {
+        in_set(std::string_view(target), kRestrictedBackendHeaders)) {
       if (fc.serve) {
-        e.emit(RuleId::kServeBoundary, line,
+        e.emit(RuleId::kLayering, line,
                "#include \"" + target +
                    "\" in the serving layer: serve is backend-generic "
                    "and builds machines only through runtime/engine.h");
       } else {
-        e.emit(RuleId::kRuntimeBoundary, line,
+        e.emit(RuleId::kLayering, line,
                "#include \"" + target +
                    "\" outside src/runtime: use the Engine facade "
                    "(runtime/engine.h) or the backend registry instead");
       }
+      continue;
     }
-    // The serving layer is the top of src/: nothing in src/ below it
-    // may depend on serve/ headers (tools, examples and bench sit
-    // above the seam and may).
-    if (fc.in_src && !fc.serve && starts_with(target, "serve/")) {
-      e.emit(RuleId::kServeBoundary, line,
-             "#include \"" + target +
-                 "\" outside src/serve: the serving layer sits on top "
-                 "of the runtime; lower layers must not depend on it");
+    // Layering, part 2: the module DAG (src files only; tools,
+    // examples and bench sit above the whole stack). One data-driven
+    // check replaces the old runtime-boundary/serve-boundary scanners;
+    // kLayerSpecs is the single source of truth.
+    if (fc.in_src && is_src_module(fc.module)) {
+      const std::string_view to = target_module(target);
+      if (!to.empty() && !layer_allows(fc.module, to)) {
+        if (to == "runtime") {
+          e.emit(RuleId::kLayering, line,
+                 "#include \"" + target +
+                     "\" inverts the layering: datapath and support "
+                     "code must not depend on src/runtime");
+        } else if (to == "serve") {
+          e.emit(RuleId::kLayering, line,
+                 "#include \"" + target +
+                     "\" outside src/serve: the serving layer sits on "
+                     "top of the runtime; lower layers must not depend "
+                     "on it");
+        } else {
+          e.emit(RuleId::kLayering, line,
+                 "#include \"" + target + "\" violates the layering "
+                     "DAG: src/" + std::string(fc.module) +
+                     " may not depend on " + std::string(to) +
+                     "/ (see docs/static_analysis.md)");
+        }
+      }
     }
   }
 }
@@ -542,6 +637,31 @@ void check_tokens(const LexedFile& lexed, const FileClass& fc,
       e.emit(RuleId::kNoUsingNamespace, line,
              "'using namespace' at header scope");
     }
+    // mutex-annotation: a raw std:: mutex/condvar DECLARATION under
+    // src/ (next token is the declared name — usages like
+    // `std::lock_guard<std::mutex>` or `std::mutex&` parameters see a
+    // non-identifier next char and stay legal) must carry a QTA_*
+    // annotation before the declaration's ';' so clang's thread-safety
+    // analysis tracks it. qta::Mutex / qta::CondVar (common/mutex.h)
+    // are the preferred spelling and need nothing extra.
+    if (fc.in_src && prev_ident == "std" && in_set(ident, kMutexTypes) &&
+        k < code.size() && is_ident_start(code[k])) {
+      bool annotated = false;
+      for (std::size_t j = k; j < code.size() && code[j] != ';'; ++j) {
+        if (code[j] == 'Q' && code.compare(j, 4, "QTA_") == 0) {
+          annotated = true;
+          break;
+        }
+      }
+      if (!annotated) {
+        e.emit(RuleId::kMutexAnnotation, line,
+               "std::" + std::string(ident) +
+                   " member without a thread-safety annotation; use "
+                   "qta::Mutex / qta::CondVar (common/mutex.h) or add a "
+                   "QTA_GUARDED_BY-family annotation "
+                   "(common/annotations.h)");
+      }
+    }
     prev_ident = std::string(ident);
     prev_ident_line = line;
     --i;  // outer loop ++ lands on the char after the identifier
@@ -590,7 +710,24 @@ FileClass classify_path(std::string_view rel_path) {
     }
     if (in_set(stem, kPipelineFileStems)) fc.datapath = true;
   }
+  // Layering module: "src/runtime/engine.h" -> "runtime";
+  // "tools/qtlint/lint.cpp" -> "tools".
+  std::string_view rest = p;
+  if (fc.in_src) rest = std::string_view(p).substr(4);
+  if (const auto slash = rest.find('/'); slash != std::string_view::npos) {
+    fc.module = std::string(rest.substr(0, slash));
+  }
   return fc;
+}
+
+std::vector<IncludeEdge> list_includes(std::string_view content) {
+  const LexedFile lexed = lex(content);
+  std::vector<IncludeEdge> out;
+  for (const auto& [line, pp] : lexed.pp_lines) {
+    std::string target = include_target(pp);
+    if (!target.empty()) out.push_back({std::move(target), line});
+  }
+  return out;
 }
 
 std::vector<Violation> lint_content(std::string_view rel_path,
@@ -613,6 +750,116 @@ std::vector<Violation> lint_content(std::string_view rel_path,
   }
   check_includes(lexed, fc, e);
   check_tokens(lexed, fc, e);
+
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  return out;
+}
+
+namespace {
+
+// One resolved include edge for the cross-file graph.
+struct GraphEdge {
+  std::size_t to;
+  unsigned line;
+};
+
+// Depth-first search for include cycles. A gray-on-gray edge closes a
+// cycle; each distinct cycle (as a set of files) is reported once, at
+// the include line that closes it.
+struct CycleFinder {
+  const std::vector<SourceFile>& files;
+  const std::vector<std::vector<GraphEdge>>& graph;
+  std::vector<int> color;  // 0 white, 1 gray (on stack), 2 black
+  std::vector<std::size_t> stack;
+  std::set<std::string> reported;
+  std::vector<Violation>* out;
+
+  void visit(std::size_t n) {
+    color[n] = 1;
+    stack.push_back(n);
+    for (const GraphEdge& e : graph[n]) {
+      if (color[e.to] == 1) {
+        report(n, e);
+      } else if (color[e.to] == 0) {
+        visit(e.to);
+      }
+    }
+    stack.pop_back();
+    color[n] = 2;
+  }
+
+  void report(std::size_t from, const GraphEdge& back) {
+    const auto begin = std::find(stack.begin(), stack.end(), back.to);
+    std::vector<std::size_t> cycle(begin, stack.end());
+    if (cycle.empty()) return;
+    // Canonical form: rotate the lexicographically smallest file to the
+    // front so the same cycle found from different entry points dedups.
+    const auto min_it = std::min_element(
+        cycle.begin(), cycle.end(), [&](std::size_t a, std::size_t b) {
+          return files[a].path < files[b].path;
+        });
+    std::rotate(cycle.begin(), min_it, cycle.end());
+    std::string key, msg = "include cycle: ";
+    for (const std::size_t n : cycle) {
+      key += files[n].path;
+      key += '\0';
+      msg += files[n].path;
+      msg += " -> ";
+    }
+    msg += files[cycle.front()].path;
+    if (!reported.insert(key).second) return;
+    out->push_back({files[from].path, back.line, RuleId::kLayering, msg});
+  }
+};
+
+}  // namespace
+
+std::vector<Violation> lint_repo(const std::vector<SourceFile>& files) {
+  std::vector<Violation> out;
+  for (const auto& f : files) {
+    auto v = lint_content(f.path, f.content);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+
+  // Cross-file pass: resolve include targets against the scanned set
+  // and reject cycles. Resolution mirrors the build's include dirs
+  // (src/, tools/) plus same-directory includes; an edge whose include
+  // line carries `qtlint: allow(layering)` is invisible.
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < files.size(); ++i) index[files[i].path] = i;
+
+  std::vector<std::vector<GraphEdge>> graph(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const LexedFile lexed = lex(files[i].content);
+    const Allows allows = collect_allows(lexed, files[i].path);
+    std::string dir;
+    if (const auto slash = files[i].path.find_last_of('/');
+        slash != std::string::npos) {
+      dir = files[i].path.substr(0, slash + 1);
+    }
+    for (const auto& [line, pp] : lexed.pp_lines) {
+      const std::string target = include_target(pp);
+      if (target.empty()) continue;
+      if (allows.allowed(RuleId::kLayering, line)) continue;
+      for (const std::string& cand :
+           {"src/" + target, "tools/" + target, dir + target}) {
+        if (const auto it = index.find(cand); it != index.end()) {
+          graph[i].push_back({it->second, line});
+          break;
+        }
+      }
+    }
+  }
+
+  CycleFinder finder{files, graph,
+                     std::vector<int>(files.size(), 0),
+                     {}, {}, &out};
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (finder.color[i] == 0) finder.visit(i);
+  }
 
   std::sort(out.begin(), out.end(),
             [](const Violation& a, const Violation& b) {
@@ -660,6 +907,27 @@ void print_summary_table(std::ostream& os,
   t.print(os);
   os << files_scanned << " file(s) scanned, " << violations.size()
      << " violation(s)\n";
+}
+
+void write_violations_json(std::ostream& os,
+                           const std::vector<Violation>& violations,
+                           std::size_t files_scanned) {
+  qta::JsonWriter json;
+  json.begin_object();
+  json.key("violations").begin_array();
+  for (const auto& v : violations) {
+    json.begin_object()
+        .field("file", v.file)
+        .field("line", v.line)
+        .field("rule", std::string(rule_name(v.rule)))
+        .field("message", v.message)
+        .end_object();
+  }
+  json.end_array();
+  json.field("files_scanned", static_cast<std::uint64_t>(files_scanned));
+  json.field("count", static_cast<std::uint64_t>(violations.size()));
+  json.end_object();
+  os << json.str() << "\n";
 }
 
 }  // namespace qta::lint

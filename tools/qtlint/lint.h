@@ -19,20 +19,27 @@
 //   telemetry-boundary datapath files touch telemetry only through the
 //                     host-side sink interface (telemetry/sink.h); the
 //                     registry/trace/profiler machinery stays host-side.
-//   runtime-boundary  layering between the datapath and the runtime:
-//                     nothing in src/ below src/runtime (except the
-//                     driver and the serving layer) may include
-//                     runtime/ headers, and only src/runtime and
-//                     src/qtaccel may include qtaccel/pipeline.h or
-//                     qtaccel/fast_engine.h — everything else
-//                     constructs machines through the Engine facade /
-//                     backend registry.
-//   serve-boundary    the serving layer sits at the top of src/:
-//                     within src/, only src/serve may include serve/
-//                     headers (tools, examples and bench sit above the
-//                     seam and may), and src/serve itself stays
-//                     backend-generic — it must not name
-//                     qtaccel/pipeline.h or qtaccel/fast_engine.h.
+//   layering          the full include-graph DAG in one data-driven
+//                     rule (it subsumed the old runtime-boundary and
+//                     serve-boundary scanners): every src/ module may
+//                     include only its declared lower layers — e.g.
+//                     runtime/ headers are visible only to runtime,
+//                     driver and serve; serve/ headers only to serve
+//                     itself — and the concrete backend headers
+//                     (qtaccel/pipeline.h, qtaccel/fast_engine.h) are
+//                     constructible only from src/runtime and
+//                     src/qtaccel; everything else goes through the
+//                     Engine facade / backend registry. lint_repo also
+//                     rejects #include cycles anywhere in the scanned
+//                     set. The DAG itself is the kLayering table in
+//                     lint.cpp, documented in docs/static_analysis.md.
+//   mutex-annotation  every std::mutex / std::shared_mutex /
+//                     std::condition_variable (and friends) MEMBER
+//                     declared under src/ must carry a QTA_GUARDED_BY-
+//                     family annotation (common/annotations.h) on its
+//                     declaration, or use the annotated qta::Mutex /
+//                     qta::CondVar wrappers (common/mutex.h) — so the
+//                     clang thread-safety analysis sees every lock.
 //
 // Escape hatches, all comment-driven and rule-scoped:
 //   // qtlint: allow(rule[, rule...])        — this line only
@@ -55,8 +62,8 @@ enum class RuleId {
   kNoIostream,
   kNoBareAssert,
   kTelemetryBoundary,
-  kRuntimeBoundary,
-  kServeBoundary,
+  kLayering,
+  kMutexAnnotation,
   kUnknownAllow,  // meta-rule: allow(...) names a rule that does not exist
 };
 
@@ -92,13 +99,40 @@ struct FileClass {
   bool serve = false;     // src/serve — the serving layer, above runtime
   bool qtaccel = false;   // src/qtaccel — the backends' own module
   bool header = false;    // .h / .hpp
+  /// Layering module: the segment after src/ ("common", "runtime", ...)
+  /// for src files, the top directory ("tools", "bench", ...) otherwise.
+  std::string module;
 };
 
 FileClass classify_path(std::string_view rel_path);
 
-/// Lints one file's content. `rel_path` determines rule scoping.
+/// One repo-relative file handed to lint_repo.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One #include directive: its (unresolved) target and 1-based line.
+struct IncludeEdge {
+  std::string target;
+  unsigned line = 0;
+};
+
+/// The #include targets of one file, in line order (comments and string
+/// literals are ignored). Exposed for tests and include-graph tooling.
+std::vector<IncludeEdge> list_includes(std::string_view content);
+
+/// Lints one file's content: every per-file rule (including the
+/// per-edge layering checks). `rel_path` determines rule scoping.
+/// Cross-file analyses (include cycles) need lint_repo.
 std::vector<Violation> lint_content(std::string_view rel_path,
                                     std::string_view content);
+
+/// Lints a whole repo view: lint_content on every file, plus the
+/// cross-file include-graph pass (cycle detection over edges between
+/// the given files; an edge whose include line carries
+/// `qtlint: allow(layering)` is invisible to it).
+std::vector<Violation> lint_repo(const std::vector<SourceFile>& files);
 
 /// Reads and lints a file on disk. `rel_path` is used for both IO (resolved
 /// against `root`) and scoping. IO failures produce a synthetic violation.
@@ -112,5 +146,12 @@ void print_rules_table(std::ostream& os);
 void print_summary_table(std::ostream& os,
                          const std::vector<Violation>& violations,
                          std::size_t files_scanned);
+
+/// Machine-readable report for CI problem matchers:
+///   {"violations":[{"file":...,"line":N,"rule":"...","message":...},...],
+///    "files_scanned":N,"count":N}
+void write_violations_json(std::ostream& os,
+                           const std::vector<Violation>& violations,
+                           std::size_t files_scanned);
 
 }  // namespace qta::lint

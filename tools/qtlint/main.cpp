@@ -1,9 +1,13 @@
 // qtlint CLI. With explicit file arguments it lints those (repo-relative)
 // paths; with none it walks src/, tools/, examples/ and bench/ under
-// --root. Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+// --root. Either way the files are linted as one repo view (lint_repo),
+// so cross-file checks (include cycles) see every scanned file.
+// Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,10 +41,12 @@ std::vector<std::string> discover(const std::string& root) {
 }
 
 void usage(std::ostream& os) {
-  os << "usage: qtlint [--root DIR] [--list-rules] [--quiet] [files...]\n"
+  os << "usage: qtlint [--root DIR] [--list-rules] [--quiet]\n"
+        "              [--format=text|json] [files...]\n"
         "  files are repo-relative; with none given, src/, tools/,\n"
         "  examples/ and bench/ under --root (default: current\n"
-        "  directory) are scanned.\n";
+        "  directory) are scanned. --format=json emits one machine-\n"
+        "  readable report on stdout (CI problem matchers consume it).\n";
 }
 
 }  // namespace
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   bool list_rules = false;
   bool quiet = false;
+  bool json = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +70,10 @@ int main(int argc, char** argv) {
       list_rules = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -86,14 +97,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<qta::lint::Violation> all;
+  std::vector<qta::lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const auto& f : files) {
-    if (!fs::exists(fs::path(root) / f)) {
+    std::ifstream is(fs::path(root) / f);
+    if (!is) {
       std::cerr << "qtlint: cannot open '" << f << "'\n";
       return 2;
     }
-    auto v = qta::lint::lint_file(root, f);
-    all.insert(all.end(), v.begin(), v.end());
+    std::ostringstream content;
+    content << is.rdbuf();
+    sources.push_back({f, std::move(content).str()});
+  }
+
+  const std::vector<qta::lint::Violation> all = qta::lint::lint_repo(sources);
+
+  if (json) {
+    qta::lint::write_violations_json(std::cout, all, files.size());
+    return all.empty() ? 0 : 1;
   }
 
   for (const auto& v : all) {
