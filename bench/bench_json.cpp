@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "common/simd.h"
+
 namespace qta::bench {
 
 // QTA_GIT_SHA is injected by bench/CMakeLists.txt from `git rev-parse`
@@ -20,6 +22,11 @@ void write_bench_meta(JsonWriter& json) {
 #else
   json.field("compiler", "unknown");
 #endif
+  // What the lane engine's runtime dispatch picked on THIS host — lane
+  // throughput numbers are not comparable across artifacts without it.
+  const SimdIsa isa = detected_simd_isa();
+  json.field("isa", simd_isa_name(isa));
+  json.field("simd_lane_width", simd_lane_width(isa));
   json.end_object();
 }
 

@@ -14,13 +14,17 @@ using qta::JsonWriter;
 
 /// Schema version stamped into every bench artifact. Bump ONLY when a
 /// key changes meaning or disappears; adding keys is not a version bump
-/// (readers must ignore unknown keys).
-inline constexpr int kBenchSchemaVersion = 2;
+/// (readers must ignore unknown keys). v3: the host block gained the
+/// detected SIMD ISA and its 64-bit lane width (the lane-backend
+/// sections in BENCH_fast_engine.json are meaningless without knowing
+/// what the host dispatched to).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Emits the shared metadata fields into the CURRENT object scope:
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "git_sha": "<configure-time sha or 'unknown'>",
-///   "host": {"cpu_count": N, "compiler": "..."}
+///   "host": {"cpu_count": N, "compiler": "...",
+///            "isa": "avx2", "simd_lane_width": 4}
 /// Call right after the top-level begin_object() so artifacts from
 /// different machines/commits are comparable. Additive-only: old readers
 /// that ignore unknown keys keep working.

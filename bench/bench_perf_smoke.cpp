@@ -1,8 +1,8 @@
 // Perf-regression smoke for the fast functional backend (CI: perf-smoke).
 //
-// Three claims, one artifact (BENCH_fast_engine.json at the CWD, which CI
+// Four claims, one artifact (BENCH_fast_engine.json at the CWD, which CI
 // runs from the repo root):
-//   1. Bit-exactness (the only exit-code gate): on the paper's largest
+//   1. Bit-exactness (an exit-code gate): on the paper's largest
 //      Table I workload (262144 states x 8 actions), FastEngine retires a
 //      trace, Q table, Qmax table, and PipelineStats bit-identical to the
 //      cycle-accurate Pipeline; and the work-stealing vs static schedules
@@ -13,6 +13,13 @@
 //   3. Skew rebalancing (report-only): 16 pipelines (1 large + 15 small)
 //      on 4 threads finish measurably faster under the work-stealing pool
 //      than under the legacy static round-robin partition.
+//   4. Lane batching: a 1/4/8/16-lane sweep of the lane-batched backend
+//      on a latency-bound random MDP whose Q table dwarfs the LLC.
+//      Per-lane bit-exactness vs solo FastEngine runs is a gate; the
+//      lane_speedup_vs_fast numbers are report-only, and bounded by the
+//      host's memory-level parallelism — a core that overlaps few cache
+//      misses gains little from batching independent miss streams, so
+//      low speedups on small hosts are expected and honest.
 // Timing claims are REPORTED, never asserted via exit code — CI machines
 // are noisy; only correctness may fail the job.
 #include <cstdint>
@@ -26,7 +33,9 @@
 #include "common/cli.h"
 #include "common/stats.h"
 #include "env/grid_world.h"
+#include "env/random_mdp.h"
 #include "runtime/engine.h"
+#include "runtime/lane_coalescer.h"
 #include "runtime/multi_pipeline.h"
 
 using namespace qta;
@@ -169,6 +178,11 @@ int main(int argc, char** argv) {
           flags.get_int("multi-each-fast", 400000)) / scale;
   const unsigned skew_threads =
       static_cast<unsigned>(flags.get_int("threads", 4));
+  const std::uint64_t lane_samples =
+      static_cast<std::uint64_t>(
+          flags.get_int("lane-samples", 2000000)) / scale;
+  const std::uint64_t lane_states =
+      static_cast<std::uint64_t>(flags.get_int("lane-states", 1 << 21));
   const std::string out_path =
       flags.get_string("out", "BENCH_fast_engine.json");
   for (const auto& f : flags.unused()) {
@@ -187,7 +201,7 @@ int main(int argc, char** argv) {
   json.field("quick", quick);
 
   // --- 1. bit-exactness (the exit-code gate) ---
-  std::cout << "[1/3] bit-exactness vs cycle-accurate pipeline ("
+  std::cout << "[1/4] bit-exactness vs cycle-accurate pipeline ("
             << verify_iters << " iterations per algorithm)\n";
   json.key("bit_exactness").begin_array();
   verify_bit_exact(big, qtaccel::Algorithm::kQLearning, verify_iters, json);
@@ -195,7 +209,7 @@ int main(int argc, char** argv) {
   json.end_array();
 
   // --- 2. single-pipeline host throughput ---
-  std::cout << "[2/3] single-pipeline throughput, cycle vs fast backend\n";
+  std::cout << "[2/4] single-pipeline throughput, cycle vs fast backend\n";
   qtaccel::PipelineConfig config;
   config.seed = 7;
   config.max_episode_length = 4096;
@@ -236,7 +250,7 @@ int main(int argc, char** argv) {
       .end_object();
 
   // --- 3. multi-pipeline: backends + schedules on the skewed fleet ---
-  std::cout << "[3/3] 16 skewed pipelines (1 large + 15 small), "
+  std::cout << "[3/4] 16 skewed pipelines (1 large + 15 small), "
             << skew_threads << " threads\n";
   double multi_cycle_sps = 0.0;
   {
@@ -315,6 +329,120 @@ int main(int argc, char** argv) {
       .field("pool_faster", pool_secs < static_secs)
       .field("schedule_deterministic", schedule_deterministic)
       .end_object();
+
+  // --- 4. lane-batched backend: throughput sweep + bit-exactness ---
+  // A random MDP this size defeats both the cache (the Q table alone is
+  // ~8x any LLC) and the hardware prefetcher (transitions are random),
+  // so per-sample cost is dominated by memory latency — the regime the
+  // lane backend's batched miss streams target.
+  std::cout << "[4/4] lane-batched backend sweep (random MDP, "
+            << lane_states << " states x 4 actions)\n";
+  env::RandomMdpConfig rmc;
+  rmc.num_states = static_cast<StateId>(lane_states);
+  rmc.num_actions = 4;
+  rmc.seed = 99;
+  env::RandomMdp mdp(rmc);
+  qtaccel::PipelineConfig lane_cfg = config;  // seed 7, episode cap 4096
+  lane_cfg.backend = qtaccel::Backend::kFast;
+
+  double lane_fast_sps = 0.0;
+  {
+    runtime::Engine fast(mdp, lane_cfg);
+    Stopwatch sw;
+    fast.run_samples(lane_samples);
+    lane_fast_sps = static_cast<double>(fast.stats().samples) / sw.seconds();
+    std::cout << "  fast baseline: " << lane_fast_sps << " samples/s\n";
+  }
+
+  json.key("lane_backend")
+      .begin_object()
+      .field("workload",
+             "random_mdp_" + std::to_string(lane_states) + "x4")
+      .field("samples_total", lane_samples)
+      .field("fast_samples_per_sec", lane_fast_sps);
+  json.key("sweep").begin_array();
+  bool lanes_exact = true;
+  for (const int lanes : {1, 4, 8, 16}) {
+    // The shipped coalescing path: per-session kLanes engines migrated
+    // into one lane group for the run, states donated back after —
+    // exactly what MultiPipeline and qtserved do for a lane fleet.
+    std::vector<std::unique_ptr<runtime::Engine>> engines;
+    std::vector<runtime::Engine*> members;
+    for (int i = 0; i < lanes; ++i) {
+      qtaccel::PipelineConfig cfg = lane_cfg;
+      cfg.backend = qtaccel::Backend::kLanes;
+      cfg.seed = lane_cfg.seed + static_cast<std::uint64_t>(i);
+      engines.push_back(std::make_unique<runtime::Engine>(mdp, cfg));
+      members.push_back(engines.back().get());
+    }
+    // Constant total work per sweep point so wall times are comparable.
+    const std::uint64_t per_lane =
+        lane_samples / static_cast<std::uint64_t>(lanes);
+    Stopwatch sw;
+    {
+      runtime::LaneGroupRunner runner(members);
+      runner.run_to_targets(
+          std::vector<std::uint64_t>(static_cast<std::size_t>(lanes),
+                                     per_lane));
+    }
+    const double secs = sw.seconds();
+    std::uint64_t total = 0;
+    for (int i = 0; i < lanes; ++i) {
+      total += engines[static_cast<std::size_t>(i)]->stats().samples;
+    }
+    const double lane_sps = static_cast<double>(total) / secs;
+    const double lane_speedup =
+        lane_fast_sps > 0.0 ? lane_sps / lane_fast_sps : 0.0;
+    std::cout << "  lanes=" << lanes << ": " << lane_sps
+              << " samples/s, " << lane_speedup
+              << "x vs fast (report-only)\n";
+    json.begin_object()
+        .field("lanes", static_cast<std::uint64_t>(lanes))
+        .field("lane_samples_per_sec", lane_sps)
+        .field("lane_speedup_vs_fast", lane_speedup)
+        .end_object();
+
+    // Gate (lanes=4 point): every lane bit-identical to a solo
+    // FastEngine run with the same seed — stats fingerprint plus a
+    // strided Q/Qmax sweep over the whole table.
+    if (lanes == 4) {
+      for (int i = 0; i < lanes && lanes_exact; ++i) {
+        const runtime::Engine& lane =
+            *engines[static_cast<std::size_t>(i)];
+        qtaccel::PipelineConfig solo_cfg = lane_cfg;
+        solo_cfg.seed = lane_cfg.seed + static_cast<std::uint64_t>(i);
+        runtime::Engine solo(mdp, solo_cfg);
+        solo.run_samples(per_lane);
+        const auto& ls = lane.stats();
+        const auto& ss = solo.stats();
+        lanes_exact =
+            ls.samples == ss.samples && ls.episodes == ss.episodes &&
+            ls.cycles == ss.cycles && ls.issued == ss.issued &&
+            ls.fwd_q_sa == ss.fwd_q_sa && ls.fwd_q_next == ss.fwd_q_next &&
+            ls.fwd_qmax == ss.fwd_qmax &&
+            ls.adder_saturations == ss.adder_saturations;
+        for (StateId s = 0; s < mdp.num_states() && lanes_exact; s += 97) {
+          for (ActionId a = 0; a < mdp.num_actions(); ++a) {
+            if (lane.q_raw(s, a) != solo.q_raw(s, a)) {
+              lanes_exact = false;
+              break;
+            }
+          }
+          if (lanes_exact &&
+              lane.qmax_entry(s).value != solo.qmax_entry(s).value) {
+            lanes_exact = false;
+          }
+        }
+      }
+      check_exact(lanes_exact,
+                  "lane backend diverges from solo fast engines");
+      std::cout << "  lanes=4 vs solo fast engines: "
+                << (lanes_exact ? "bit-exact" : "DIVERGED") << "\n";
+    }
+  }
+  json.end_array();
+  json.field("bit_exact_vs_fast", lanes_exact);
+  json.end_object();
 
   json.field("divergences", static_cast<std::uint64_t>(
                                 g_divergences.size()));

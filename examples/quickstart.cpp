@@ -8,7 +8,7 @@
 //
 // Usage: quickstart [--width=4] [--height=4] [--actions=4]
 //                   [--samples=200000] [--sarsa] [--slip=0.0] [--seed=1]
-//                   [--backend={cycle,fast}]
+//                   [--backend={cycle,fast,lanes}]
 //                   [--save-snapshot=ckpt] [--resume=ckpt]
 //                   [--trace=out.json] [--metrics] [--metrics-json=m.json]
 //

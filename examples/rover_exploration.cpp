@@ -5,7 +5,7 @@
 // Usage: rover_exploration [--rovers=4] [--width=32] [--height=32]
 //                          [--obstacles=0.15] [--samples=400000]
 //                          [--threads=0] [--seed=7]
-//                          [--backend={cycle,fast}] [--trace=out.json]
+//                          [--backend={cycle,fast,lanes}] [--trace=out.json]
 //                          [--save-snapshot=ckpt] [--resume=ckpt]
 //
 // --trace records a Perfetto trace (docs/observability.md): one process

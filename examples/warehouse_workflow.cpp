@@ -5,7 +5,7 @@
 // would run.
 //
 // Usage: warehouse_workflow [--samples=300000] [--seed=11]
-//                           [--backend={cycle,fast}]
+//                           [--backend={cycle,fast,lanes}]
 #include <iostream>
 #include <sstream>
 

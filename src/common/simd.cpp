@@ -1,0 +1,51 @@
+#include "common/simd.h"
+
+namespace qta {
+
+namespace {
+
+SimdIsa detect() {
+#if defined(__aarch64__)
+  // Advanced SIMD is baseline on aarch64 — no runtime probe needed.
+  return SimdIsa::kNeon;
+#elif (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") ? SimdIsa::kAvx2
+                                        : SimdIsa::kScalar;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdIsa detected_simd_isa() {
+  static const SimdIsa isa = detect();
+  return isa;
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+unsigned simd_lane_width(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return 1;
+    case SimdIsa::kAvx2:
+      return 4;
+    case SimdIsa::kNeon:
+      return 2;
+  }
+  return 1;
+}
+
+}  // namespace qta

@@ -1,0 +1,32 @@
+// Runtime SIMD capability detection for the lane-batched backend and for
+// bench provenance (bench artifacts record the ISA they ran on, so
+// numbers from different hosts are comparable).
+//
+// Detection is about the *host we run on*, not the ISA the binary was
+// compiled for: the lane engine compiles its AVX2 kernel with a function-
+// level target attribute and selects it here at runtime, so one binary
+// runs correctly on machines with and without the extension.
+#pragma once
+
+namespace qta {
+
+/// The widest vector extension usable on this host (for the lane
+/// engine's fixed-point kernel, which needs 64-bit integer lanes).
+enum class SimdIsa {
+  kScalar,  // no usable extension: portable autovectorized loop
+  kAvx2,    // x86-64 AVX2: 4 x int64 per vector
+  kNeon,    // aarch64 Advanced SIMD: 2 x int64 per vector
+};
+
+/// Detects the host's ISA once (cached after the first call; safe to
+/// call concurrently).
+SimdIsa detected_simd_isa();
+
+/// Stable spelling for bench/telemetry artifacts: "scalar", "avx2",
+/// "neon".
+const char* simd_isa_name(SimdIsa isa);
+
+/// int64 lanes per vector register for `isa` (1 for kScalar).
+unsigned simd_lane_width(SimdIsa isa);
+
+}  // namespace qta

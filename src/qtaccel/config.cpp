@@ -38,13 +38,20 @@ Backend parse_backend(const std::string& name) {
   if (name == "cycle" || name == "cycle-accurate") {
     return Backend::kCycleAccurate;
   }
-  QTA_CHECK_MSG(name == "fast",
-                "--backend must be 'cycle' (cycle-accurate) or 'fast'");
+  if (name == "lanes") return Backend::kLanes;
+  QTA_CHECK_MSG(
+      name == "fast",
+      "--backend must be 'cycle' (cycle-accurate), 'fast', or 'lanes'");
   return Backend::kFast;
 }
 
 const char* backend_name(Backend backend) {
-  return backend == Backend::kFast ? "fast" : "cycle";
+  switch (backend) {
+    case Backend::kCycleAccurate: return "cycle";
+    case Backend::kFast: return "fast";
+    case Backend::kLanes: return "lanes";
+  }
+  return "cycle";
 }
 
 const char* algorithm_name(Algorithm algorithm) {

@@ -58,11 +58,16 @@ enum class Backend {
                    // of record for hardware-shape claims
   kFast,           // qtaccel/fast_engine.h: batch functional replay on
                    // flat arrays; PipelineStats reconstructed analytically
+  kLanes,          // qtaccel/lane_engine.h: structure-of-arrays batch of
+                   // independent FastEngine replicas advanced one round
+                   // per step loop (SIMD across lanes); per lane
+                   // bit-identical to kFast
 };
 
-/// Parses "cycle"/"fast" (CLI flag spelling); aborts on anything else.
+/// Parses "cycle"/"fast"/"lanes" (CLI flag spelling); aborts on anything
+/// else.
 Backend parse_backend(const std::string& name);
-/// The CLI spelling of a backend ("cycle" / "fast").
+/// The CLI spelling of a backend ("cycle" / "fast" / "lanes").
 const char* backend_name(Backend backend);
 
 /// Stable label spellings used by telemetry and report output.

@@ -25,6 +25,10 @@
 #include "qtaccel/qmax_unit.h"
 #include "telemetry/sink.h"
 
+namespace qta::qtaccel {
+class LaneEngine;  // runtime/lane_coalescer.h migrates state through it
+}  // namespace qta::qtaccel
+
 namespace qta::runtime {
 
 /// What a backend can observe beyond the retired trace and stats. The
@@ -36,6 +40,8 @@ struct BackendCaps {
                               // StepEvents/RunEvents instead)
   bool port_audit = false;    // per-cycle Bram port/conflict accounting
   bool single_cycle_step = false;  // tick()-level stepping (driver CSR run)
+  bool lane_batched = false;  // state can migrate into a lane group
+                              // (runtime/lane_coalescer.h) and back, O(1)
 };
 
 class QrlBackend {
@@ -91,6 +97,15 @@ class QrlBackend {
   virtual qtaccel::Pipeline* cycle_pipeline() { return nullptr; }
   const qtaccel::Pipeline* cycle_pipeline() const {
     return const_cast<QrlBackend*>(this)->cycle_pipeline();
+  }
+
+  /// The (single-lane) lane engine when this backend wraps one, else
+  /// nullptr. Check caps().lane_batched (or null-test) instead of
+  /// assuming — the coalescer uses this to donate state into a lane
+  /// group (take_state/put_state) without copying tables.
+  virtual qtaccel::LaneEngine* lane_engine() { return nullptr; }
+  const qtaccel::LaneEngine* lane_engine() const {
+    return const_cast<QrlBackend*>(this)->lane_engine();
   }
 };
 

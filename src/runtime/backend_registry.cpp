@@ -7,15 +7,16 @@
 #include "common/check.h"
 #include "common/mutex.h"
 #include "qtaccel/fast_engine.h"
+#include "qtaccel/lane_engine.h"
 #include "qtaccel/pipeline.h"
 
 namespace qta::runtime {
 
 namespace {
 
-// The two in-tree adapters. These are the ONLY places outside unit tests
-// where Pipeline/FastEngine are constructed (the qtlint layering rule
-// keeps it that way).
+// The three in-tree adapters. These are the ONLY places outside unit
+// tests where Pipeline/FastEngine/LaneEngine are constructed (the qtlint
+// layering rule keeps it that way).
 
 class PipelineBackend final : public QrlBackend {
  public:
@@ -168,6 +169,89 @@ class FastEngineBackend final : public QrlBackend {
   qtaccel::FastEngine fast_;
 };
 
+// A one-lane LaneEngine behind the standard backend surface. Runs the
+// same bit-exact semantics as FastEngine; what the kind buys is the
+// lane_batched capability — the coalescer (runtime/lane_coalescer.h)
+// can move this session's state into a multi-lane group and back in
+// O(1), so batches of same-shape sessions advance together.
+class LaneEngineBackend final : public QrlBackend {
+ public:
+  LaneEngineBackend(const env::Environment& env,
+                    const qtaccel::PipelineConfig& config)
+      : lanes_(env, config) {}
+
+  qtaccel::Backend kind() const override { return qtaccel::Backend::kLanes; }
+  BackendCaps caps() const override {
+    BackendCaps c;
+    c.lane_batched = true;
+    return c;
+  }
+
+  void run_iterations(std::uint64_t n) override {
+    lanes_.run_iterations(0, n);
+  }
+  void run_samples(std::uint64_t n) override { lanes_.run_samples(0, n); }
+
+  const qtaccel::PipelineStats& stats() const override {
+    return lanes_.stats(0);
+  }
+  void set_trace(std::vector<qtaccel::SampleTrace>* trace) override {
+    lanes_.set_trace(0, trace);
+  }
+  void set_telemetry(telemetry::TelemetrySink* sink) override {
+    lanes_.set_telemetry(0, sink);
+  }
+
+  fixed::raw_t q_raw(StateId s, ActionId a) const override {
+    return lanes_.q_raw(0, s, a);
+  }
+  double q_value(StateId s, ActionId a) const override {
+    return lanes_.q_value(0, s, a);
+  }
+  fixed::raw_t q2_raw(StateId s, ActionId a) const override {
+    return lanes_.q2_raw(0, s, a);
+  }
+  std::vector<double> q_as_double() const override {
+    return lanes_.q_as_double(0);
+  }
+  std::vector<ActionId> greedy_policy() const override {
+    return lanes_.greedy_policy(0);
+  }
+  qtaccel::QmaxUnit::Entry qmax_entry(StateId s) const override {
+    return lanes_.qmax_entry(0, s);
+  }
+
+  void preset_q(StateId s, ActionId a, fixed::raw_t value) override {
+    lanes_.preset_q(0, s, a, value);
+  }
+  void rebuild_qmax() override { lanes_.rebuild_qmax(0); }
+  std::uint64_t dsp_saturations() const override {
+    return lanes_.dsp_saturations(0);
+  }
+
+  qtaccel::MachineState save_state() const override {
+    return lanes_.save_state(0);
+  }
+  void load_state(const qtaccel::MachineState& ms) override {
+    lanes_.load_state(0, ms);
+  }
+
+  const env::Environment& environment() const override {
+    return lanes_.environment(0);
+  }
+  const qtaccel::PipelineConfig& config() const override {
+    return lanes_.config(0);
+  }
+  const qtaccel::AddressMap& address_map() const override {
+    return lanes_.address_map(0);
+  }
+
+  qtaccel::LaneEngine* lane_engine() override { return &lanes_; }
+
+ private:
+  qtaccel::LaneEngine lanes_;
+};
+
 std::unique_ptr<QrlBackend> make_pipeline_backend(
     const env::Environment& env, const qtaccel::PipelineConfig& config) {
   return std::make_unique<PipelineBackend>(env, config);
@@ -178,7 +262,12 @@ std::unique_ptr<QrlBackend> make_fast_backend(
   return std::make_unique<FastEngineBackend>(env, config);
 }
 
-constexpr std::size_t kNumBackends = 2;
+std::unique_ptr<QrlBackend> make_lane_backend(
+    const env::Environment& env, const qtaccel::PipelineConfig& config) {
+  return std::make_unique<LaneEngineBackend>(env, config);
+}
+
+constexpr std::size_t kNumBackends = 3;
 
 struct Registry {
   qta::Mutex mu;
@@ -208,6 +297,7 @@ void ensure_builtins() {
     r.factories[slot(qtaccel::Backend::kCycleAccurate)] =
         &make_pipeline_backend;
     r.factories[slot(qtaccel::Backend::kFast)] = &make_fast_backend;
+    r.factories[slot(qtaccel::Backend::kLanes)] = &make_lane_backend;
   });
 }
 

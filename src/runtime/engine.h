@@ -97,6 +97,13 @@ class Engine {
     return backend_->cycle_pipeline();
   }
 
+  /// The lane engine, or nullptr on backends without one (see
+  /// runtime/lane_coalescer.h for the only intended caller).
+  qtaccel::LaneEngine* lane_engine() { return backend_->lane_engine(); }
+  const qtaccel::LaneEngine* lane_engine() const {
+    return backend_->lane_engine();
+  }
+
  private:
   std::unique_ptr<QrlBackend> backend_;
 };

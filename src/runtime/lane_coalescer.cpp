@@ -1,0 +1,76 @@
+#include "runtime/lane_coalescer.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "qtaccel/lane_engine.h"
+#include "qtaccel/machine_state.h"
+
+namespace qta::runtime {
+
+bool is_lane_backend(const Engine& engine) {
+  return engine.lane_engine() != nullptr;
+}
+
+bool can_coalesce(const Engine& a, const Engine& b) {
+  return is_lane_backend(a) && is_lane_backend(b) &&
+         qtaccel::LaneEngine::compatible(a.config(), b.config());
+}
+
+LaneGroupRunner::LaneGroupRunner(std::vector<Engine*> engines)
+    : engines_(std::move(engines)) {
+  QTA_CHECK_MSG(!engines_.empty(), "lane group needs at least one engine");
+  std::vector<qtaccel::LaneEngine::LaneSpec> specs;
+  std::vector<qtaccel::MachineState> states;
+  specs.reserve(engines_.size());
+  states.reserve(engines_.size());
+  for (Engine* e : engines_) {
+    qtaccel::LaneEngine* donor = e->lane_engine();
+    QTA_CHECK_MSG(donor != nullptr,
+                  "lane coalescing requires the lanes backend");
+    QTA_CHECK_MSG(
+        qtaccel::LaneEngine::compatible(engines_[0]->config(), e->config()),
+        "lane group members must agree on (algorithm, qmax, hazard)");
+    qtaccel::LaneEngine::LaneSpec spec;
+    spec.env = &e->environment();
+    spec.config = e->config();
+    spec.image = donor->env_image(0);  // share the donor's baked image
+    spec.defer_tables = true;          // tables arrive via put_state
+    specs.push_back(std::move(spec));
+    states.push_back(donor->take_state(0));
+  }
+  group_ = std::make_unique<qtaccel::LaneEngine>(specs);
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    group_->put_state(i, std::move(states[i]));
+    qtaccel::LaneEngine* donor = engines_[i]->lane_engine();
+    group_->set_trace(i, donor->trace(0));
+    group_->set_telemetry(i, donor->telemetry(0));
+  }
+}
+
+LaneGroupRunner::~LaneGroupRunner() {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i]->lane_engine()->put_state(0, group_->take_state(i));
+  }
+}
+
+void LaneGroupRunner::run_steps(const std::vector<std::uint64_t>& steps) {
+  QTA_CHECK(steps.size() == engines_.size());
+  std::vector<std::uint64_t> targets(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    targets[i] = group_->stats(i).samples + steps[i];
+  }
+  group_->run_samples_all(targets);
+}
+
+void LaneGroupRunner::run_to_targets(
+    const std::vector<std::uint64_t>& targets) {
+  QTA_CHECK(targets.size() == engines_.size());
+  group_->run_samples_all(targets);
+}
+
+const qtaccel::PipelineStats& LaneGroupRunner::stats(std::size_t i) const {
+  return group_->stats(i);
+}
+
+}  // namespace qta::runtime

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "qtaccel/machine_state.h"
 #include "qtaccel/resources.h"
+#include "runtime/lane_coalescer.h"
 #include "runtime/snapshot.h"
 
 namespace qta::runtime {
@@ -209,16 +210,44 @@ IndependentPipelines::IndependentPipelines(
 }
 
 unsigned IndependentPipelines::pool_workers(unsigned max_threads) const {
-  return resolve_thread_count(max_threads,
-                              std::thread::hardware_concurrency(),
-                              engines_.size());
+  // Matches run_samples_each's work-stealing resolution, including the
+  // hardware clamp, so observer tracks line up with actual workers.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  unsigned threads =
+      resolve_thread_count(max_threads, hardware, engines_.size());
+  if (hardware != 0 && threads > hardware) threads = hardware;
+  return threads;
 }
 
 void IndependentPipelines::run_samples_each(std::uint64_t samples,
                                             unsigned max_threads,
                                             Schedule schedule) {
-  const unsigned threads = resolve_thread_count(
-      max_threads, std::thread::hardware_concurrency(), engines_.size());
+  if (config_.backend == qtaccel::Backend::kLanes) {
+    // The lanes backend IS the batching mechanism: coalesce the whole
+    // fleet into one lane group (same config everywhere, so always
+    // compatible) and advance every pipeline in the round loop instead
+    // of spreading single-lane engines over threads. The runner's
+    // destructor hands each engine its state back.
+    std::vector<Engine*> members;
+    members.reserve(engines_.size());
+    for (auto& e : engines_) members.push_back(e.get());
+    LaneGroupRunner runner(std::move(members));
+    runner.run_to_targets(
+        std::vector<std::uint64_t>(engines_.size(), samples));
+    return;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  unsigned threads =
+      resolve_thread_count(max_threads, hardware, engines_.size());
+  if (schedule == Schedule::kWorkStealing && hardware != 0 &&
+      threads > hardware) {
+    // Over-subscribing compute-bound engines only buys context-switch
+    // overhead: with more workers than cores the pool's dynamic
+    // claiming degenerates to the OS scheduler time-slicing them. Clamp
+    // to the hardware (the static schedule keeps the caller's count —
+    // it is the legacy-ablation baseline and must not silently change).
+    threads = hardware;
+  }
   if (threads == 1) {
     for (auto& e : engines_) e->run_samples(samples);
     return;

@@ -145,9 +145,15 @@ class IndependentPipelines {
   /// Runs every pipeline for `samples` samples, using up to
   /// `max_threads` host threads (0 = hardware concurrency; a platform
   /// that cannot report its concurrency runs single-threaded). The
-  /// work-stealing schedule reuses one persistent pool across calls.
-  /// Results are schedule- and thread-count-independent: every engine is
-  /// fully self-contained, so only wall-clock time changes.
+  /// work-stealing schedule reuses one persistent pool across calls and
+  /// clamps the worker count to the hardware concurrency (requesting
+  /// more workers than cores only adds context switches; the static
+  /// schedule keeps the raw request — it is the ablation baseline).
+  /// With the lanes backend the fleet is coalesced into one LaneEngine
+  /// group instead (runtime/lane_coalescer.h): all pipelines advance in
+  /// one lane-batched round loop, and `max_threads`/`schedule` are
+  /// moot. Results are schedule- and thread-count-independent: every
+  /// engine is fully self-contained, so only wall-clock time changes.
   void run_samples_each(std::uint64_t samples, unsigned max_threads = 0,
                         Schedule schedule = Schedule::kWorkStealing);
 

@@ -143,7 +143,7 @@ bool read_spec(Reader& r, SessionSpec* spec) {
   }
   if (algorithm > static_cast<std::uint8_t>(
                       qtaccel::Algorithm::kDoubleQ) ||
-      backend > static_cast<std::uint8_t>(qtaccel::Backend::kFast)) {
+      backend > static_cast<std::uint8_t>(qtaccel::Backend::kLanes)) {
     return false;
   }
   spec->algorithm = static_cast<qtaccel::Algorithm>(algorithm);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "runtime/lane_coalescer.h"
 #include "runtime/snapshot.h"
 
 namespace qta::serve {
@@ -240,10 +241,67 @@ bool Server::pump() {
 
   batch_size_->observe(batch.size());
   if (!batch.empty()) {
-    pool_.parallel_for(batch.size(), [&batch, this](std::size_t i) {
-      // Workers touch only their own item: one session's engine, one
-      // response slot. All shared state waits for the control thread.
-      batch[i].resp = execute(batch[i].qr.request, *batch[i].engine);
+    // Partition the batch into execution units. A unit is either one
+    // session's request, or a lane group: Step requests whose sessions
+    // run the lanes backend with compatible configs coalesce, so the
+    // whole group advances in one LaneEngine round loop instead of one
+    // engine at a time (greedy first-fit — at most max_hot members, so
+    // the scan is tiny).
+    struct Unit {
+      std::vector<std::size_t> members;  // indices into batch
+    };
+    std::vector<Unit> units;
+    units.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      bool grouped = false;
+      if (options_.coalesce_lanes &&
+          batch[i].qr.request.type == RequestType::kStep &&
+          runtime::is_lane_backend(*batch[i].engine)) {
+        for (Unit& u : units) {
+          const Item& head = batch[u.members.front()];
+          if (head.qr.request.type == RequestType::kStep &&
+              runtime::can_coalesce(*head.engine, *batch[i].engine)) {
+            u.members.push_back(i);
+            grouped = true;
+            break;
+          }
+        }
+      }
+      if (!grouped) units.push_back(Unit{{i}});
+    }
+
+    pool_.parallel_for(units.size(), [&units, &batch, this](std::size_t u) {
+      // Workers touch only their own unit: its sessions' engines, its
+      // response slots. All shared state waits for the control thread.
+      const Unit& unit = units[u];
+      if (unit.members.size() == 1) {
+        Item& item = batch[unit.members.front()];
+        item.resp = execute(item.qr.request, *item.engine);
+        return;
+      }
+      std::vector<runtime::Engine*> engines;
+      std::vector<std::uint64_t> steps;
+      engines.reserve(unit.members.size());
+      steps.reserve(unit.members.size());
+      for (const std::size_t idx : unit.members) {
+        engines.push_back(batch[idx].engine);
+        steps.push_back(batch[idx].qr.request.steps);
+      }
+      {
+        runtime::LaneGroupRunner runner(std::move(engines));
+        runner.run_steps(steps);
+      }  // runner destruction hands each engine its state back
+      for (const std::size_t idx : unit.members) {
+        Item& item = batch[idx];
+        Response resp;
+        resp.type = item.qr.request.type;
+        resp.session = item.qr.request.session;
+        const qtaccel::PipelineStats& stats = item.engine->stats();
+        resp.samples = stats.samples;
+        resp.episodes = stats.episodes;
+        resp.cycles = stats.cycles;
+        item.resp = std::move(resp);
+      }
     });
     for (Item& item : batch) {
       finish(item.qr, std::move(item.resp));

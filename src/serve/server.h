@@ -10,10 +10,14 @@
 //     session (round-robin, capped at the hot-slot count so no batch
 //     member can be evicted mid-batch), executes Evict/Close inline,
 //     acquires engines for the rest — restoring cold sessions through
-//     the snapshot layer — and runs them on the ThreadPool, one worker
-//     item per session. Workers only touch their own session's engine
-//     and response slot; every queue/LRU/metrics-map mutation stays on
-//     the control thread.
+//     the snapshot layer — and runs them on the ThreadPool. Step
+//     requests for lane-backed sessions with compatible configs are
+//     coalesced into one LaneEngine group per batch (one pool item
+//     advancing all of them in the lane round loop; see
+//     runtime/lane_coalescer.h and ServerOptions::coalesce_lanes);
+//     everything else runs one worker item per session. Workers only
+//     touch their own unit's engines and response slots; every
+//     queue/LRU/metrics-map mutation stays on the control thread.
 //   - Responses are retrieved by ticket: done(t), then take(t).
 //
 // Lock discipline: the server itself holds no mutex — all shared-state
@@ -61,6 +65,12 @@ struct ServerOptions {
   std::size_t max_queue = 64;
   /// Record a Perfetto span per completed request.
   bool trace = false;
+  /// Coalesce compatible lane-backed Step requests within one pump
+  /// batch into a single LaneEngine group (runtime/lane_coalescer.h):
+  /// the batch advances in one lane-parallel round loop instead of one
+  /// engine per worker. Per-session results are bit-identical either
+  /// way; this only changes how the host executes the batch.
+  bool coalesce_lanes = true;
 };
 
 using Ticket = std::uint64_t;

@@ -10,10 +10,13 @@ PoolTraceObserver::PoolTraceObserver(TraceSession& trace, std::uint32_t pid,
                                      unsigned workers,
                                      const std::string& process_name,
                                      MetricsRegistry* metrics)
-    : trace_(trace), pid_(pid), slots_(workers) {
+    : trace_(trace), pid_(pid), slots_(workers + 1) {
   trace_.set_process_name(pid_, process_name);
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::string wname = "worker " + std::to_string(w);
+  // Slot `workers` is the submitting thread, which ThreadPool lets join
+  // the batch as an extra execution context (TaskObserver contract).
+  for (unsigned w = 0; w <= workers; ++w) {
+    const std::string wname =
+        w == workers ? "submitter" : "worker " + std::to_string(w);
     trace_.set_thread_name(pid_, w, wname);
     if (metrics != nullptr) {
       const Labels labels{{"worker", std::to_string(w)}};

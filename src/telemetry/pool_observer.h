@@ -27,7 +27,9 @@ namespace qta::telemetry {
 class PoolTraceObserver : public qta::TaskObserver {
  public:
   /// Registers `process_name` as the trace process `pid` with one named
-  /// thread track per worker. `metrics` may be null.
+  /// thread track per worker, plus a "submitter" track at id `workers`
+  /// for the thread calling parallel_for (which executes items too —
+  /// see the TaskObserver contract). `metrics` may be null.
   PoolTraceObserver(TraceSession& trace, std::uint32_t pid, unsigned workers,
                     const std::string& process_name = "thread pool",
                     MetricsRegistry* metrics = nullptr);

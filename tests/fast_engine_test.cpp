@@ -359,8 +359,10 @@ TEST(BackendParsing, RoundTripsAndRejectsJunk) {
   EXPECT_EQ(parse_backend("cycle"), Backend::kCycleAccurate);
   EXPECT_EQ(parse_backend("cycle-accurate"), Backend::kCycleAccurate);
   EXPECT_EQ(parse_backend("fast"), Backend::kFast);
+  EXPECT_EQ(parse_backend("lanes"), Backend::kLanes);
   EXPECT_STREQ(backend_name(Backend::kCycleAccurate), "cycle");
   EXPECT_STREQ(backend_name(Backend::kFast), "fast");
+  EXPECT_STREQ(backend_name(Backend::kLanes), "lanes");
   EXPECT_DEATH(parse_backend("warp"), "--backend");
 }
 

@@ -27,6 +27,8 @@ TEST(QtlintClassify, PathsMapToScopes) {
   EXPECT_TRUE(classify_path("src/qtaccel/boltzmann_pipeline.cpp").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.cpp").datapath);
   EXPECT_TRUE(classify_path("src/qtaccel/fast_engine.h").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/lane_engine.cpp").datapath);
+  EXPECT_TRUE(classify_path("src/qtaccel/lane_engine.h").datapath);
   EXPECT_TRUE(classify_path("src/common/thread_pool.cpp").datapath);
   EXPECT_TRUE(classify_path("src/common/thread_pool.h").datapath);
   EXPECT_FALSE(classify_path("src/qtaccel/config.cpp").datapath);
@@ -312,18 +314,19 @@ TEST(QtlintLayering, DatapathAndSupportCodeMayNotIncludeRuntime) {
 TEST(QtlintLayering, OnlyRuntimeAndQtaccelNameConcreteBackends) {
   const std::string snippet =
       "#include \"qtaccel/pipeline.h\"\n"
-      "#include \"qtaccel/fast_engine.h\"\nvoid f();\n";
+      "#include \"qtaccel/fast_engine.h\"\n"
+      "#include \"qtaccel/lane_engine.h\"\nvoid f();\n";
   // Everything above the seam goes through the Engine facade instead.
   EXPECT_EQ(count_rule(lint_content("examples/quickstart.cpp", snippet),
                        RuleId::kLayering),
-            2u);
+            3u);
   EXPECT_EQ(count_rule(lint_content("bench/bench_microbench.cpp", snippet),
                        RuleId::kLayering),
-            2u);
+            3u);
   EXPECT_EQ(
       count_rule(lint_content("src/driver/qtaccel_device.cpp", snippet),
                  RuleId::kLayering),
-      2u);
+      3u);
   // The adapters and the backends' own module keep direct access.
   EXPECT_EQ(
       count_rule(lint_content("src/runtime/backend_registry.cpp", snippet),

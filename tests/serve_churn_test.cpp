@@ -4,7 +4,8 @@
 // session must end bit-identical — snapshot text (tables, stats, RNG)
 // AND telemetry counters — to a standalone engine that executed the same
 // Step partitioning with no serving layer, no eviction, and no thread
-// pool. Run on both backends.
+// pool. Run on all three backends; on the lanes backend the bursts also
+// exercise pump()'s lane-group coalescing against the eviction churn.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -199,6 +200,15 @@ TEST(ServeChurn, SixtyFourSessionsBitExactOnFastBackend) {
 
 TEST(ServeChurn, SixtyFourSessionsBitExactOnCycleBackend) {
   churn(qtaccel::Backend::kCycleAccurate);
+}
+
+// Lane backend under churn: bursts coalesce same-algorithm sessions
+// into lane groups while the LRU evicts and restores around them, so
+// state migrates engine -> group -> engine -> cold snapshot and back.
+// Runs under TSan in CI (the ServeChurn filter) to race-hunt the
+// group-vs-eviction interleaving.
+TEST(ServeChurn, SixtyFourSessionsBitExactOnLanesBackend) {
+  churn(qtaccel::Backend::kLanes);
 }
 
 }  // namespace

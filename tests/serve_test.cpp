@@ -428,7 +428,8 @@ TEST(ServeBitExact, EvictRestoreMatchesStandaloneForEveryAlgorithmAndBackend) {
         qtaccel::Algorithm::kExpectedSarsa,
         qtaccel::Algorithm::kDoubleQ}) {
     for (const qtaccel::Backend backend :
-         {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast}) {
+         {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast,
+          qtaccel::Backend::kLanes}) {
       // max_hot=1 with two sessions: every alternation forces an
       // eviction, so session A lives through 3 evict/restore cycles.
       ServerOptions options;
@@ -502,6 +503,97 @@ TEST(ServeBitExact, EvictRestoreMatchesStandaloneForEveryAlgorithmAndBackend) {
           transport.server().metrics().prometheus_text(), ids[0]);
       const auto local = session_metric_lines(
           standalone_metrics.prometheus_text(), ids[0]);
+      ASSERT_FALSE(local.empty()) << tag;
+      EXPECT_EQ(served, local) << tag;
+    }
+  }
+}
+
+// Lane coalescing in pump(): kLanes sessions whose Step requests land in
+// the same batch are run as ONE lane group (two groups here — the
+// algorithms differ, so q_learning and sarsa sessions cannot share
+// one). Every session must still end bit-identical — snapshot text and
+// telemetry — to a standalone engine stepped with the same partitioning
+// and no serving layer.
+TEST(ServeBitExact, CoalescedLaneBatchesMatchStandalone) {
+  constexpr std::size_t kLaneSessions = 6;
+  constexpr int kRounds = 5;
+  ServerOptions options;
+  options.max_hot = kLaneSessions;
+  options.workers = 2;
+  LoopbackTransport transport(options);
+
+  std::vector<SessionId> ids(kLaneSessions);
+  std::vector<SessionSpec> specs(kLaneSessions);
+  std::vector<std::vector<std::uint64_t>> chunks(kLaneSessions);
+  for (std::size_t i = 0; i < kLaneSessions; ++i) {
+    specs[i] = small_spec(200 + i);
+    specs[i].backend = qtaccel::Backend::kLanes;
+    specs[i].algorithm = (i < kLaneSessions / 2)
+                             ? qtaccel::Algorithm::kQLearning
+                             : qtaccel::Algorithm::kSarsa;
+    specs[i].telemetry = (i % 2 == 0);
+    Request create;
+    create.type = RequestType::kCreateSession;
+    create.spec = specs[i];
+    const Response resp = transport.call(create);
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    ids[i] = resp.session;
+  }
+
+  // Post every session's Step BEFORE waiting so pump() sees them as one
+  // batch and coalesces compatible sessions into lane groups.
+  const std::uint64_t step_sizes[] = {64, 96, 128, 256};
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<Ticket> tickets;
+    for (std::size_t i = 0; i < kLaneSessions; ++i) {
+      Request step;
+      step.type = RequestType::kStep;
+      step.session = ids[i];
+      step.steps = step_sizes[(static_cast<std::size_t>(round) + i) % 4];
+      chunks[i].push_back(step.steps);
+      tickets.push_back(transport.post(step));
+    }
+    for (const Ticket t : tickets) {
+      const Response resp = transport.wait(t);
+      ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    }
+  }
+
+  const std::string served_prom =
+      transport.server().metrics().prometheus_text();
+  for (std::size_t i = 0; i < kLaneSessions; ++i) {
+    env::GridWorldConfig gc;
+    gc.width = specs[i].width;
+    gc.height = specs[i].height;
+    gc.num_actions = specs[i].actions;
+    env::GridWorld world(gc);
+
+    telemetry::MetricsRegistry standalone_metrics;
+    std::unique_ptr<telemetry::PipelineTelemetry> sink;
+    runtime::Engine standalone(world, make_config(specs[i]));
+    if (specs[i].telemetry) {
+      sink = std::make_unique<telemetry::PipelineTelemetry>(
+          qtaccel::make_run_labels(make_config(specs[i]),
+                                   static_cast<unsigned>(ids[i])),
+          &standalone_metrics, nullptr,
+          static_cast<std::uint32_t>(ids[i]));
+      standalone.set_telemetry(sink.get());
+    }
+    for (const std::uint64_t chunk : chunks[i]) {
+      standalone.run_samples(standalone.stats().samples + chunk);
+    }
+
+    const std::string tag = "lane session " + std::to_string(ids[i]);
+    std::ostringstream reference;
+    runtime::save_snapshot(standalone, reference);
+    EXPECT_EQ(transport.server().sessions().snapshot_text(ids[i]),
+              reference.str())
+        << tag;
+    if (specs[i].telemetry) {
+      const auto served = session_metric_lines(served_prom, ids[i]);
+      const auto local = session_metric_lines(
+          standalone_metrics.prometheus_text(), ids[i]);
       ASSERT_FALSE(local.empty()) << tag;
       EXPECT_EQ(served, local) << tag;
     }

@@ -586,7 +586,9 @@ TEST(TelemetryTrace, PoolObserverDrawsOneSpanPerTask) {
   }
   EXPECT_EQ(spans, 16u);
   std::uint64_t tasks = 0;
-  for (unsigned w = 0; w < pool.size(); ++w) {
+  // <= : the submitting thread executes items too, as worker pool.size()
+  // (the PoolTraceObserver "submitter" track).
+  for (unsigned w = 0; w <= pool.size(); ++w) {
     tasks += registry
                  .counter("qta_pool_tasks_total",
                           {{"worker", std::to_string(w)}})

@@ -12,7 +12,7 @@
 // Usage: qtclient --port=P [--host=127.0.0.1]
 //                 [--sessions=64] [--rounds=8] [--steps=512]
 //                 [--algorithm={q_learning,sarsa,expected_sarsa,double_q}]
-//                 [--backend={cycle,fast}] [--width=8] [--height=8]
+//                 [--backend={cycle,fast,lanes}] [--width=8] [--height=8]
 //                 [--actions=4] [--seed-base=1] [--telemetry]
 //                 [--burst=0] [--verify] [--expect-overload]
 //                 [--stats] [--stats-json=FILE] [--shutdown]

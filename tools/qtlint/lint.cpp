@@ -120,9 +120,9 @@ constexpr std::array<std::string_view, 4> kTelemetryHostIdents{
 
 // qtaccel files that model pipeline hardware (as opposed to host-side
 // config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).
-constexpr std::array<std::string_view, 6> kPipelineFileStems{
-    "pipeline",  "boltzmann_pipeline", "forwarding",
-    "qmax_unit", "action_units",       "fast_engine"};
+constexpr std::array<std::string_view, 7> kPipelineFileStems{
+    "pipeline",  "boltzmann_pipeline", "forwarding", "qmax_unit",
+    "action_units", "fast_engine", "lane_engine"};
 
 // --- the layering DAG (docs/static_analysis.md renders this table) ---
 //
@@ -163,8 +163,9 @@ constexpr std::array<LayerSpec, 14> kLayerSpecs{{
 // registry's adapters) and src/qtaccel (the backends' own module).
 // Everything else — including tools/examples/bench above the seam —
 // programs against the Engine facade or the backend registry.
-constexpr std::array<std::string_view, 2> kRestrictedBackendHeaders{
-    "qtaccel/pipeline.h", "qtaccel/fast_engine.h"};
+constexpr std::array<std::string_view, 3> kRestrictedBackendHeaders{
+    "qtaccel/pipeline.h", "qtaccel/fast_engine.h",
+    "qtaccel/lane_engine.h"};
 
 bool is_src_module(std::string_view module) {
   for (const auto& row : kLayerSpecs) {
