@@ -17,8 +17,13 @@ using qta::JsonWriter;
 /// (readers must ignore unknown keys). v3: the host block gained the
 /// detected SIMD ISA and its 64-bit lane width (the lane-backend
 /// sections in BENCH_fast_engine.json are meaningless without knowing
-/// what the host dispatched to).
-inline constexpr int kBenchSchemaVersion = 3;
+/// what the host dispatched to). v4: BENCH_serve.json cells carry
+/// per-phase latency percentiles (queue_wait / restore / execute /
+/// reply) read from the server's own qtserve_phase_us histograms, and
+/// serve wall_us now includes the always-on flight recorder's
+/// bookkeeping — v3 and v4 serve throughput numbers are not directly
+/// comparable.
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Emits the shared metadata fields into the CURRENT object scope:
 ///   "schema_version": 3,

@@ -1,5 +1,5 @@
 // Serving-layer sweep: sessions x workers over the loopback transport,
-// writing BENCH_serve.json (schema v2 provenance via write_bench_meta).
+// writing BENCH_serve.json (schema provenance via write_bench_meta).
 //
 // Exit code gates ONLY correctness, never throughput:
 //   1. Bit-exactness through the serving stack: after every sweep cell,
@@ -11,7 +11,10 @@
 //      kOverloaded replies, and every admitted request completes.
 // Throughput (samples/sec per cell) is report-only: this host is a
 // shared CI box and the serving layer's scheduling is the subject under
-// test, not the machine.
+// test, not the machine. Each cell also reports p50/p95/p99 per request
+// phase (queue wait, restore, execute, reply), read straight from the
+// server's qtserve_phase_us histograms — log2-bucket upper bounds, so
+// they are coarse but comparable across runs.
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -25,6 +28,7 @@
 #include "runtime/snapshot.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
+#include "telemetry/metrics.h"
 
 using namespace qta;
 
@@ -59,6 +63,17 @@ std::string standalone_snapshot(const serve::SessionSpec& spec) {
   return std::move(os).str();
 }
 
+constexpr const char* kPhases[] = {"queue_wait", "restore", "execute",
+                                   "reply"};
+constexpr std::size_t kPhaseCount = 4;
+
+struct PhaseStats {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;  // log2-bucket upper bounds, microseconds
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
 struct Cell {
   std::size_t sessions;
   unsigned workers;
@@ -66,6 +81,7 @@ struct Cell {
   std::uint64_t wall_us = 0;
   std::uint64_t lru_evictions = 0;
   std::uint64_t restores = 0;
+  PhaseStats phases[kPhaseCount];
   bool verified = false;
 };
 
@@ -139,6 +155,18 @@ bool run_cell(std::size_t sessions, unsigned workers, Cell* out) {
           .count());
   out->lru_evictions = transport.server().sessions().lru_evictions();
   out->restores = transport.server().sessions().restores();
+  // Per-phase latency from the server's own histograms (finish()
+  // populates them on the control thread, so the totals are settled once
+  // every wait() returned).
+  telemetry::MetricsRegistry& metrics = transport.server().metrics();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const telemetry::Histogram& h =
+        metrics.histogram("qtserve_phase_us", {{"phase", kPhases[p]}});
+    out->phases[p].count = h.count();
+    out->phases[p].p50 = telemetry::histogram_percentile_upper_bound(h, 0.50);
+    out->phases[p].p95 = telemetry::histogram_percentile_upper_bound(h, 0.95);
+    out->phases[p].p99 = telemetry::histogram_percentile_upper_bound(h, 0.99);
+  }
   out->verified = true;
   return true;
 }
@@ -206,6 +234,13 @@ int main() {
                 << format_double(rate, 0) << " samples/s, "
                 << cell.lru_evictions << " evictions, " << cell.restores
                 << " restores) [bit-exact]\n";
+      std::cout << "  phase p50/p95/p99 us:";
+      for (std::size_t p = 0; p < kPhaseCount; ++p) {
+        std::cout << " " << kPhases[p] << "<=" << cell.phases[p].p50 << "/"
+                  << cell.phases[p].p95 << "/" << cell.phases[p].p99 << "(n="
+                  << cell.phases[p].count << ")";
+      }
+      std::cout << "\n";
       cells.push_back(cell);
     }
   }
@@ -234,6 +269,18 @@ int main() {
                          static_cast<double>(cell.wall_us));
     json.field("lru_evictions", cell.lru_evictions);
     json.field("restores", cell.restores);
+    json.key("phases");
+    json.begin_object();
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      json.key(kPhases[p]);
+      json.begin_object();
+      json.field("count", cell.phases[p].count);
+      json.field("p50_us", cell.phases[p].p50);
+      json.field("p95_us", cell.phases[p].p95);
+      json.field("p99_us", cell.phases[p].p99);
+      json.end_object();
+    }
+    json.end_object();
     json.field("bit_exact", cell.verified);
     json.end_object();
   }

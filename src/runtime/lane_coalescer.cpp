@@ -1,10 +1,12 @@
 #include "runtime/lane_coalescer.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "qtaccel/lane_engine.h"
 #include "qtaccel/machine_state.h"
+#include "telemetry/trace.h"
 
 namespace qta::runtime {
 
@@ -54,19 +56,50 @@ LaneGroupRunner::~LaneGroupRunner() {
   }
 }
 
+void LaneGroupRunner::set_trace(telemetry::TraceSession* trace,
+                                std::uint32_t pid, std::uint32_t tid) {
+  trace_ = trace;
+  trace_pid_ = pid;
+  trace_tid_ = tid;
+}
+
+void LaneGroupRunner::run_group(const std::vector<std::uint64_t>& targets) {
+  if (trace_ == nullptr) {
+    group_->run_samples_all(targets);
+    return;
+  }
+  telemetry::TraceSession::SpanArgs args{
+      {"lanes", static_cast<std::uint64_t>(engines_.size())}};
+  std::vector<std::uint64_t> before(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    before[i] = group_->stats(i).samples;
+  }
+  const std::uint64_t start = trace_->now_us();
+  group_->run_samples_all(targets);
+  const std::uint64_t end = trace_->now_us();
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    args.emplace_back("lane" + std::to_string(i) + "_samples",
+                      group_->stats(i).samples - before[i]);
+  }
+  trace_->complete_event(trace_pid_, trace_tid_,
+                         "lane_group[" + std::to_string(engines_.size()) +
+                             "]",
+                         start, end - start, std::move(args));
+}
+
 void LaneGroupRunner::run_steps(const std::vector<std::uint64_t>& steps) {
   QTA_CHECK(steps.size() == engines_.size());
   std::vector<std::uint64_t> targets(steps.size());
   for (std::size_t i = 0; i < steps.size(); ++i) {
     targets[i] = group_->stats(i).samples + steps[i];
   }
-  group_->run_samples_all(targets);
+  run_group(targets);
 }
 
 void LaneGroupRunner::run_to_targets(
     const std::vector<std::uint64_t>& targets) {
   QTA_CHECK(targets.size() == engines_.size());
-  group_->run_samples_all(targets);
+  run_group(targets);
 }
 
 const qtaccel::PipelineStats& LaneGroupRunner::stats(std::size_t i) const {

@@ -28,6 +28,10 @@
 
 #include "runtime/engine.h"
 
+namespace qta::telemetry {
+class TraceSession;
+}  // namespace qta::telemetry
+
 namespace qta::runtime {
 
 /// True when `engine` runs the lanes backend (its state can migrate
@@ -52,6 +56,14 @@ class LaneGroupRunner {
   LaneGroupRunner(const LaneGroupRunner&) = delete;
   LaneGroupRunner& operator=(const LaneGroupRunner&) = delete;
 
+  /// Span attribution (qtscope): after this, every run emits one
+  /// "lane_group" Perfetto span on `trace`'s (pid, tid) track, stamped
+  /// with the group size and per-lane retired-sample deltas as args —
+  /// the coalesced-batch counterpart of the server's per-request
+  /// "execute" spans. `trace` must outlive the runner; null detaches.
+  void set_trace(telemetry::TraceSession* trace, std::uint32_t pid,
+                 std::uint32_t tid);
+
   /// Advances engine i BY steps[i] samples (the serve Step contract:
   /// absolute targets are computed from each lane's retired total, so a
   /// pipeline-drain overshoot from an earlier run is not re-counted).
@@ -66,8 +78,13 @@ class LaneGroupRunner {
   const qtaccel::PipelineStats& stats(std::size_t i) const;
 
  private:
+  void run_group(const std::vector<std::uint64_t>& targets);
+
   std::vector<Engine*> engines_;
   std::unique_ptr<qtaccel::LaneEngine> group_;
+  telemetry::TraceSession* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  std::uint32_t trace_tid_ = 0;
 };
 
 }  // namespace qta::runtime

@@ -1,0 +1,75 @@
+#include "serve/http_endpoint.h"
+
+#include <cstddef>
+
+#include "serve/server.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+
+namespace qta::serve {
+
+namespace {
+
+std::string http_response(const char* status_line, const std::string& body,
+                          const char* content_type, bool include_body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string handle_http(Server& server, const std::string& request_text) {
+  // Request line: METHOD SP TARGET SP VERSION. Tolerate a bare
+  // "METHOD TARGET" (no HTTP version) — curl never sends it but the
+  // parse costs nothing.
+  const std::size_t line_end = request_text.find_first_of("\r\n");
+  const std::string line = request_text.substr(
+      0, line_end == std::string::npos ? request_text.size() : line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    return http_response("400 Bad Request", "bad request\n", "text/plain",
+                         true);
+  }
+  const std::string method = line.substr(0, method_end);
+  std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) target_end = line.size();
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  // Scrapers may append query strings (?format=...); the routes ignore
+  // them.
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  const bool head = method == "HEAD";
+  if (method != "GET" && !head) {
+    return http_response("405 Method Not Allowed", "only GET here\n",
+                         "text/plain", true);
+  }
+  if (target == "/healthz") {
+    return http_response("200 OK", "ok\n", "text/plain", !head);
+  }
+  if (target == "/metrics") {
+    return http_response("200 OK", server.metrics().prometheus_text(),
+                         "text/plain; version=0.0.4", !head);
+  }
+  if (target == "/flightrecorder") {
+    const telemetry::FlightRecorder* flight = server.flight();
+    if (flight == nullptr) {
+      return http_response("404 Not Found", "flight recorder disabled\n",
+                           "text/plain", true);
+    }
+    return http_response("200 OK", flight->json_text(), "application/json",
+                         !head);
+  }
+  return http_response("404 Not Found", "no such route\n", "text/plain",
+                       true);
+}
+
+}  // namespace qta::serve

@@ -1,0 +1,29 @@
+// Minimal HTTP/1.0 introspection endpoint for qtserved.
+//
+// Prometheus and load balancers speak HTTP, not QTSERVE-WIRE, so the
+// daemon exposes a second listener whose request handling is this one
+// pure function: given the raw request text (everything up to the
+// blank line), produce the complete response bytes. Keeping it a pure
+// function keeps the socket plumbing in tools/qtserved.cpp and makes
+// the endpoint unit-testable without a socket.
+//
+// Routes (GET only; HEAD gets the same status line without a body):
+//   /healthz        -> 200 "ok\n"
+//   /metrics        -> 200 Prometheus text exposition (version 0.0.4)
+//   /flightrecorder -> 200 flight-recorder JSON dump, 404 when disabled
+// Anything else is 404; non-GET/HEAD methods are 405; an unparsable
+// request line is 400. Every response closes the connection
+// (Connection: close) — scrapes are one-shot by design.
+#pragma once
+
+#include <string>
+
+namespace qta::serve {
+
+class Server;
+
+/// `request_text` is the request head (request line + headers, with or
+/// without the trailing blank line). Returns the full response bytes.
+std::string handle_http(Server& server, const std::string& request_text);
+
+}  // namespace qta::serve

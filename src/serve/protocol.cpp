@@ -100,22 +100,25 @@ bool set_error(std::string* error, const char* what) {
   return false;
 }
 
-// Header shared by requests and responses. `version` newer than ours is
-// rejected (we cannot know what the fields mean); older versions do not
-// exist yet and are rejected too.
-bool read_header(Reader& r, std::string* error) {
+// Header shared by requests and responses. A version newer than ours is
+// rejected (we cannot know what the fields mean); supported older
+// versions decode with the v2-only fields left at their defaults.
+bool read_header(Reader& r, std::uint16_t* version, std::string* error) {
   std::uint32_t magic = 0;
-  std::uint16_t version = 0;
-  if (!r.u32(&magic) || !r.u16(&version)) {
+  if (!r.u32(&magic) || !r.u16(version)) {
     return set_error(error, "truncated QTSERVE header");
   }
   if (magic != kWireMagic) {
     return set_error(error, "not a QTSERVE-WIRE payload (bad magic)");
   }
-  if (version != kWireVersion) {
+  if (*version < kWireVersionMin || *version > kWireVersion) {
     return set_error(error, "unsupported QTSERVE-WIRE version");
   }
   return true;
+}
+
+bool check_encode_version(std::uint16_t version) {
+  return version >= kWireVersionMin && version <= kWireVersion;
 }
 
 void write_spec(Writer& w, const SessionSpec& spec) {
@@ -201,18 +204,26 @@ const char* request_type_name(RequestType type) {
     case RequestType::kStats: return "stats";
     case RequestType::kPing: return "ping";
     case RequestType::kShutdown: return "shutdown";
+    case RequestType::kIntrospect: return "introspect";
   }
   return "unknown";
 }
 
-std::string encode_request(const Request& req) {
+std::string encode_request(const Request& req, std::uint16_t version) {
+  QTA_CHECK_MSG(check_encode_version(version),
+                "encode_request: unsupported wire version");
   Writer w;
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u8(static_cast<std::uint8_t>(req.type));
   w.u64(req.session);
   w.u64(req.steps);
   w.u32(req.state);
+  if (version >= 2) {
+    w.u64(req.trace_id);
+    w.u64(req.parent_span);
+    w.u8(static_cast<std::uint8_t>(req.probe));
+  }
   if (req.type == RequestType::kCreateSession) write_spec(w, req.spec);
   return w.take();
 }
@@ -220,7 +231,8 @@ std::string encode_request(const Request& req) {
 std::optional<Request> decode_request(std::string_view payload,
                                       std::string* error) {
   Reader r(payload);
-  if (!read_header(r, error)) return std::nullopt;
+  std::uint16_t version = 0;
+  if (!read_header(r, &version, error)) return std::nullopt;
   Request req;
   std::uint8_t type = 0;
   if (!r.u8(&type) || !r.u64(&req.session) || !r.u64(&req.steps) ||
@@ -228,11 +240,29 @@ std::optional<Request> decode_request(std::string_view payload,
     set_error(error, "truncated request body");
     return std::nullopt;
   }
-  if (type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+  const std::uint8_t max_type = static_cast<std::uint8_t>(
+      version >= 2 ? RequestType::kIntrospect : RequestType::kShutdown);
+  if (type > max_type) {
     set_error(error, "unknown request type");
     return std::nullopt;
   }
   req.type = static_cast<RequestType>(type);
+  if (version >= 2) {
+    std::uint8_t probe = 0;
+    if (!r.u64(&req.trace_id) || !r.u64(&req.parent_span) || !r.u8(&probe)) {
+      set_error(error, "truncated trace context");
+      return std::nullopt;
+    }
+    if (req.type == RequestType::kIntrospect) {
+      if (probe > static_cast<std::uint8_t>(IntrospectProbe::kSession)) {
+        set_error(error, "unknown introspect probe");
+        return std::nullopt;
+      }
+      req.probe = static_cast<IntrospectProbe>(probe);
+    }
+    // probe is meaningless on other types; canonicalize to kMetrics so
+    // encode∘decode stays a fixed point for the fuzzer.
+  }
   if (req.type == RequestType::kCreateSession &&
       !read_spec(r, &req.spec)) {
     set_error(error, "malformed session spec");
@@ -241,10 +271,12 @@ std::optional<Request> decode_request(std::string_view payload,
   return req;
 }
 
-std::string encode_response(const Response& resp) {
+std::string encode_response(const Response& resp, std::uint16_t version) {
+  QTA_CHECK_MSG(check_encode_version(version),
+                "encode_response: unsupported wire version");
   Writer w;
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u8(static_cast<std::uint8_t>(resp.status));
   w.u8(static_cast<std::uint8_t>(resp.type));
   w.str(resp.error);
@@ -258,13 +290,18 @@ std::string encode_response(const Response& resp) {
   w.str(resp.snapshot);
   w.str(resp.stats_json);
   w.str(resp.stats_prometheus);
+  if (version >= 2) {
+    w.u64(resp.span_id);
+    w.str(resp.introspect_json);
+  }
   return w.take();
 }
 
 std::optional<Response> decode_response(std::string_view payload,
                                         std::string* error) {
   Reader r(payload);
-  if (!read_header(r, error)) return std::nullopt;
+  std::uint16_t version = 0;
+  if (!read_header(r, &version, error)) return std::nullopt;
   Response resp;
   std::uint8_t status = 0, type = 0;
   std::uint32_t q_count = 0;
@@ -275,8 +312,10 @@ std::optional<Response> decode_response(std::string_view payload,
     set_error(error, "truncated response body");
     return std::nullopt;
   }
+  const std::uint8_t max_type = static_cast<std::uint8_t>(
+      version >= 2 ? RequestType::kIntrospect : RequestType::kShutdown);
   if (status > static_cast<std::uint8_t>(Status::kOverloaded) ||
-      type > static_cast<std::uint8_t>(RequestType::kShutdown)) {
+      type > max_type) {
     set_error(error, "unknown response status or type");
     return std::nullopt;
   }
@@ -298,6 +337,11 @@ std::optional<Response> decode_response(std::string_view payload,
   if (!r.str(&resp.snapshot) || !r.str(&resp.stats_json) ||
       !r.str(&resp.stats_prometheus)) {
     set_error(error, "truncated response blobs");
+    return std::nullopt;
+  }
+  if (version >= 2 &&
+      (!r.u64(&resp.span_id) || !r.str(&resp.introspect_json))) {
+    set_error(error, "truncated introspection trailer");
     return std::nullopt;
   }
   return resp;

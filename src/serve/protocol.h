@@ -1,11 +1,11 @@
-// qtserved wire protocol: QTSERVE-WIRE v1.
+// qtserved wire protocol: QTSERVE-WIRE v2.
 //
 // The serving layer multiplexes many logical learner sessions onto a
 // bounded pool of runtime backends; clients talk to it through small
 // length-prefixed binary frames:
 //
 //   frame    := u32le payload_length, payload
-//   payload  := u32le magic ("QTSV"), u16le version (1), u8 kind,
+//   payload  := u32le magic ("QTSV"), u16le version (1 or 2), u8 kind,
 //               kind-specific fields (all integers little-endian,
 //               doubles as IEEE-754 bit patterns, strings/blobs as
 //               u32le length + raw bytes)
@@ -13,7 +13,13 @@
 // The payload encoding is versioned exactly like the snapshot format
 // (docs/runtime.md): adding request types or trailing response fields
 // is NOT a version bump (decoders ignore unknown trailing bytes);
-// changing the meaning or layout of an existing field is. A decoder
+// changing the meaning or layout of an existing field is. v2 inserts
+// the trace-context block (trace_id, parent_span, probe) into the
+// request body ahead of the optional spec — a layout change, hence the
+// bump — and appends span_id + introspect_json to responses. Decoders
+// accept both versions (v1 bodies simply have no trace context and no
+// introspection fields); encoders emit v2 unless asked for v1, so old
+// clients keep working against new servers and vice versa. A decoder
 // that sees a foreign magic or a newer version rejects the frame with
 // a diagnostic instead of guessing — parse failures are Error replies,
 // never aborts, because the bytes come off a network.
@@ -30,6 +36,16 @@
 //   Close(session)       -> ok                (queued; frees the session)
 //   Stats                -> metrics JSON + Prometheus text (immediate)
 //   Ping / Shutdown      -> ok                (immediate)
+//   Introspect(probe)    -> introspect_json   (immediate; v2 only — the
+//                           qtscope plane: metrics snapshot, flight-
+//                           recorder dump, or one session's summary)
+//
+// Trace context: a v2 client may stamp any request with a nonzero
+// trace_id (and optionally its own parent_span). The server then emits
+// the request's full lifecycle — admission, queue wait, engine acquire
+// (hot vs restore), execute, reply — as Perfetto spans carrying that
+// trace_id, and echoes the span id it assigned in Response.span_id.
+// Zero trace_id means "not traced"; v1 frames decode with trace_id 0.
 //
 // Overload is a first-class reply: when the admission-control queue is
 // full the server answers kOverloaded immediately and drops nothing —
@@ -47,7 +63,9 @@
 namespace qta::serve {
 
 inline constexpr std::uint32_t kWireMagic = 0x56535451u;  // "QTSV" LE
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest version decoders still accept (v1 = pre-trace-context).
+inline constexpr std::uint16_t kWireVersionMin = 1;
 /// Hard ceiling on one frame (snapshot replies dominate; a 256x256x8
 /// double-Q table snapshot is ~30 MB of text).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
@@ -95,6 +113,14 @@ enum class RequestType : std::uint8_t {
   kStats = 6,
   kPing = 7,
   kShutdown = 8,
+  kIntrospect = 9,  // v2 qtscope plane; a v1 peer never sends it
+};
+
+/// What an Introspect request wants back (Request.probe).
+enum class IntrospectProbe : std::uint8_t {
+  kMetrics = 0,         // registry snapshot: introspect_json + both stats blobs
+  kFlightRecorder = 1,  // flight-recorder JSON dump
+  kSession = 2,         // one session's state summary (Request.session)
 };
 
 /// Stable wire/metric spelling ("create_session", "step", ...).
@@ -105,6 +131,10 @@ struct Request {
   SessionId session = 0;       // all session-scoped types
   std::uint64_t steps = 0;     // kStep
   StateId state = 0;           // kQuery
+  // v2 trace context; all-zero on v1 frames and untraced v2 frames.
+  std::uint64_t trace_id = 0;     // nonzero => emit lifecycle spans
+  std::uint64_t parent_span = 0;  // client-side enclosing span, if any
+  IntrospectProbe probe = IntrospectProbe::kMetrics;  // kIntrospect
   SessionSpec spec;            // kCreateSession
 };
 
@@ -130,11 +160,19 @@ struct Response {
   std::string snapshot;
   std::string stats_json;
   std::string stats_prometheus;
+  // v2 trailing fields; zero/empty on v1 frames.
+  std::uint64_t span_id = 0;     // server-assigned request span (the ticket)
+  std::string introspect_json;   // kIntrospect payload
 };
 
-/// Payload codecs (no frame header; see frame helpers below).
-std::string encode_request(const Request& req);
-std::string encode_response(const Response& resp);
+/// Payload codecs (no frame header; see frame helpers below). `version`
+/// selects the emitted wire version (kWireVersionMin..kWireVersion) so
+/// back-compat tests and old-peer shims can produce v1 bytes; v1 drops
+/// the v2-only fields.
+std::string encode_request(const Request& req,
+                           std::uint16_t version = kWireVersion);
+std::string encode_response(const Response& resp,
+                            std::uint16_t version = kWireVersion);
 /// Return nullopt on malformed/foreign/truncated payloads and, when
 /// `error` is non-null, say why.
 std::optional<Request> decode_request(std::string_view payload,

@@ -29,11 +29,22 @@
 
 namespace qta::serve {
 
-/// One staged request plus its completion bookkeeping.
+/// One staged request plus its completion bookkeeping. The *_us fields
+/// are server-clock phase timestamps (serve/server.cpp stamps them as
+/// the request moves through its lifecycle); they exist so finish() can
+/// emit per-phase latency histograms and the qtscope span chain without
+/// re-deriving anything. Zero means "phase not reached".
 struct QueuedRequest {
   std::uint64_t ticket = 0;
   Request request;
-  std::uint64_t enqueue_us = 0;  // server-clock submit time (latency)
+  std::uint64_t submit_us = 0;      // control thread first saw the request
+  std::uint64_t enqueue_us = 0;     // staged into the queue (admission end)
+  std::uint64_t pop_us = 0;         // popped into a pump batch
+  std::uint64_t acquire_us = 0;     // engine resident (end of acquire)
+  std::uint64_t exec_start_us = 0;  // worker began engine work
+  std::uint64_t exec_end_us = 0;    // worker finished engine work
+  bool restored = false;            // acquire restored a cold snapshot
+  bool executed = false;            // took the engine path (not inline)
 };
 
 class RequestQueue {

@@ -38,15 +38,20 @@ bool is_session_scoped(RequestType type) {
 
 Server::Server(const ServerOptions& options)
     : options_(options),
-      sessions_(options.max_hot, &metrics_),
+      flight_(options.flight_recorder_capacity > 0
+                  ? std::make_unique<telemetry::FlightRecorder>(
+                        options.flight_recorder_capacity)
+                  : nullptr),
+      sessions_(options.max_hot, &metrics_, flight_.get()),
       queue_(options.max_queue),
       pool_(options.workers == 0 ? 1 : options.workers),
       epoch_(std::chrono::steady_clock::now()) {
   if (options_.trace) {
     trace_ = std::make_unique<telemetry::TraceSession>();
     trace_->set_process_name(0, "qtserved requests");
+    trace_->set_process_name(1, "qtserved lane groups");
   }
-  for (unsigned t = 0; t <= static_cast<unsigned>(RequestType::kShutdown);
+  for (unsigned t = 0; t <= static_cast<unsigned>(RequestType::kIntrospect);
        ++t) {
     requests_by_type_[t] = &metrics_.counter(
         "qtserve_requests_total",
@@ -69,14 +74,15 @@ Server::Server(const ServerOptions& options)
       "qtserve_queue_depth", {}, "staged requests, observed at admission");
   batch_size_ = &metrics_.histogram(
       "qtserve_batch_size", {}, "engine requests executed per pump batch");
-  latency_us_ = &metrics_.histogram(
-      "qtserve_request_latency_us", {},
-      "session request latency, admission to completion (us)");
 }
 
 Server::~Server() = default;
 
 std::uint64_t Server::now_us() const {
+  // When tracing, the trace session's clock IS the server clock, so
+  // span timestamps stamped here and spans emitted inside the runtime
+  // (lane-group attribution) share one epoch.
+  if (trace_ != nullptr) return trace_->now_us();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - epoch_)
@@ -91,15 +97,27 @@ void Server::update_gauges() {
 Ticket Server::submit(const Request& req) {
   const Ticket ticket = next_ticket_++;
   requests_by_type_[static_cast<unsigned>(req.type)]->inc();
-  QueuedRequest qr{ticket, req, now_us()};
+  QueuedRequest qr;
+  qr.ticket = ticket;
+  qr.request = req;
+  qr.submit_us = now_us();
 
   if (is_session_scoped(req.type)) {
     if (!sessions_.exists(req.session)) {
       finish(qr, error_response(req, "unknown session"));
       return ticket;
     }
+    qr.enqueue_us = now_us();
     if (!queue_.push(qr)) {
       overloads_->inc();
+      if (flight_ != nullptr) {
+        telemetry::ServeEvent event;
+        event.kind = telemetry::ServeEventKind::kOverload;
+        event.session = req.session;
+        event.label = request_type_name(req.type);
+        event.value = queue_.depth();
+        flight_->record(event);
+      }
       Response resp;
       resp.status = Status::kOverloaded;
       resp.type = req.type;
@@ -124,11 +142,20 @@ Ticket Server::submit(const Request& req) {
       }
       resp.session = sessions_.create(req.spec);
       sessions_created_->inc();
+      if (flight_ != nullptr) {
+        telemetry::ServeEvent event;
+        event.kind = telemetry::ServeEventKind::kSessionCreated;
+        event.session = resp.session;
+        flight_->record(event);
+      }
       break;
     }
     case RequestType::kStats:
       resp.stats_json = metrics_.json_text();
       resp.stats_prometheus = metrics_.prometheus_text();
+      break;
+    case RequestType::kIntrospect:
+      resp = introspect(req);
       break;
     case RequestType::kPing:
       break;
@@ -142,6 +169,32 @@ Ticket Server::submit(const Request& req) {
   update_gauges();
   finish(qr, std::move(resp));
   return ticket;
+}
+
+Response Server::introspect(const Request& req) {
+  Response resp;
+  resp.type = req.type;
+  resp.session = req.session;
+  switch (req.probe) {
+    case IntrospectProbe::kMetrics:
+      resp.introspect_json = metrics_.json_text();
+      resp.stats_json = resp.introspect_json;
+      resp.stats_prometheus = metrics_.prometheus_text();
+      break;
+    case IntrospectProbe::kFlightRecorder:
+      if (flight_ == nullptr) {
+        return error_response(req, "flight recorder disabled");
+      }
+      resp.introspect_json = flight_->json_text();
+      break;
+    case IntrospectProbe::kSession:
+      if (!sessions_.exists(req.session)) {
+        return error_response(req, "unknown session");
+      }
+      resp.introspect_json = sessions_.summary_json(req.session);
+      break;
+  }
+  return resp;
 }
 
 Response Server::execute(const Request& req, runtime::Engine& engine) {
@@ -211,6 +264,7 @@ bool Server::pump() {
   std::vector<Item> batch;
   batch.reserve(popped.size());
   for (QueuedRequest& qr : popped) {
+    qr.pop_us = now_us();
     const Request& req = qr.request;
     if (!sessions_.exists(req.session)) {
       // Closed while staged (Close is FIFO like everything else).
@@ -228,14 +282,24 @@ bool Server::pump() {
     if (req.type == RequestType::kClose) {
       sessions_.close(req.session);
       sessions_closed_->inc();
+      if (flight_ != nullptr) {
+        telemetry::ServeEvent event;
+        event.kind = telemetry::ServeEventKind::kSessionClosed;
+        event.session = req.session;
+        flight_->record(event);
+      }
       Response resp;
       resp.type = req.type;
       resp.session = req.session;
       finish(qr, std::move(resp));
       continue;
     }
-    runtime::Engine* engine = sessions_.acquire(req.session);
+    bool restored = false;
+    runtime::Engine* engine = sessions_.acquire(req.session, &restored);
     QTA_CHECK_MSG(engine != nullptr, "acquire failed for a live session");
+    qr.restored = restored;
+    qr.executed = true;
+    qr.acquire_us = now_us();
     batch.push_back(Item{std::move(qr), engine, Response{}});
   }
 
@@ -272,11 +336,15 @@ bool Server::pump() {
 
     pool_.parallel_for(units.size(), [&units, &batch, this](std::size_t u) {
       // Workers touch only their own unit: its sessions' engines, its
-      // response slots. All shared state waits for the control thread.
+      // response slots (exec timestamps included). All shared state
+      // waits for the control thread.
       const Unit& unit = units[u];
+      const std::uint64_t exec_start = now_us();
       if (unit.members.size() == 1) {
         Item& item = batch[unit.members.front()];
+        item.qr.exec_start_us = exec_start;
         item.resp = execute(item.qr.request, *item.engine);
+        item.qr.exec_end_us = now_us();
         return;
       }
       std::vector<runtime::Engine*> engines;
@@ -289,10 +357,22 @@ bool Server::pump() {
       }
       {
         runtime::LaneGroupRunner runner(std::move(engines));
+        if (trace_ != nullptr) {
+          // Lane-group spans land on their own track (pid 1) keyed by
+          // the head session, so a coalesced batch shows up as one
+          // span the member request spans overlap with.
+          runner.set_trace(trace_.get(), /*pid=*/1,
+                           /*tid=*/static_cast<std::uint32_t>(
+                               batch[unit.members.front()]
+                                   .qr.request.session));
+        }
         runner.run_steps(steps);
       }  // runner destruction hands each engine its state back
+      const std::uint64_t exec_end = now_us();
       for (const std::size_t idx : unit.members) {
         Item& item = batch[idx];
+        item.qr.exec_start_us = exec_start;
+        item.qr.exec_end_us = exec_end;
         Response resp;
         resp.type = item.qr.request.type;
         resp.session = item.qr.request.session;
@@ -319,14 +399,88 @@ void Server::drain() {
 void Server::finish(const QueuedRequest& qr, Response resp) {
   if (resp.status == Status::kError) errors_->inc();
   const std::uint64_t end = now_us();
-  latency_us_->observe(end - qr.enqueue_us);
-  if (trace_ != nullptr) {
-    trace_->complete_event(
-        /*pid=*/0, /*tid=*/static_cast<std::uint32_t>(qr.request.session),
-        request_type_name(qr.request.type), qr.enqueue_us,
-        end - qr.enqueue_us);
+  const std::uint64_t latency = end - qr.submit_us;
+
+  // One latency series per (type, path): engine requests split by
+  // whether their acquire hit a resident engine or restored a snapshot;
+  // everything answered without an engine (control plane, Evict/Close,
+  // rejections) is "inline".
+  const char* path =
+      qr.executed ? (qr.restored ? "restore" : "hot") : "inline";
+  metrics_
+      .histogram("qtserve_request_latency_us",
+                 {{"path", path},
+                  {"type", request_type_name(qr.request.type)}},
+                 "request latency, admission to completion (us), by "
+                 "request type and hot/restore/inline path")
+      .observe(latency);
+  if (qr.executed) {
+    metrics_
+        .histogram("qtserve_phase_us", {{"phase", "queue_wait"}},
+                   "engine-request phase durations (us): queue_wait, "
+                   "restore, execute, reply")
+        .observe(qr.pop_us - qr.enqueue_us);
+    if (qr.restored) {
+      metrics_.histogram("qtserve_phase_us", {{"phase", "restore"}})
+          .observe(qr.acquire_us - qr.pop_us);
+    }
+    metrics_.histogram("qtserve_phase_us", {{"phase", "execute"}})
+        .observe(qr.exec_end_us - qr.exec_start_us);
+    metrics_.histogram("qtserve_phase_us", {{"phase", "reply"}})
+        .observe(end - qr.exec_end_us);
   }
+
+  if (flight_ != nullptr) {
+    telemetry::ServeEvent event;
+    event.session = qr.request.session;
+    event.label = request_type_name(qr.request.type);
+    switch (resp.status) {
+      case Status::kOk:
+        event.kind = telemetry::ServeEventKind::kRequest;
+        event.value = latency;
+        flight_->record(event);
+        break;
+      case Status::kError:
+        event.kind = telemetry::ServeEventKind::kError;
+        event.value = latency;
+        flight_->record(event);
+        break;
+      case Status::kOverloaded:
+        break;  // recorded at refusal, with the queue depth
+    }
+  }
+
+  if (trace_ != nullptr) emit_spans(qr, end);
+  resp.span_id = qr.ticket;
   done_.emplace(qr.ticket, std::move(resp));
+}
+
+void Server::emit_spans(const QueuedRequest& qr, std::uint64_t end_us) {
+  // The request's track is its session (pid 0); the enclosing span is
+  // the whole lifecycle, its children the phases. Every span carries
+  // the ticket (and the client's trace context when present) as args,
+  // which is what lets a test — or a human in Perfetto — reconnect the
+  // chain.
+  const std::uint32_t tid = static_cast<std::uint32_t>(qr.request.session);
+  telemetry::TraceSession::SpanArgs args{{"ticket", qr.ticket}};
+  if (qr.request.trace_id != 0) {
+    args.emplace_back("trace_id", qr.request.trace_id);
+    args.emplace_back("parent_span", qr.request.parent_span);
+  }
+  trace_->complete_event(0, tid, request_type_name(qr.request.type),
+                         qr.submit_us, end_us - qr.submit_us, args);
+  if (!qr.executed) return;
+  trace_->complete_event(0, tid, "admission", qr.submit_us,
+                         qr.enqueue_us - qr.submit_us, args);
+  trace_->complete_event(0, tid, "queue", qr.enqueue_us,
+                         qr.pop_us - qr.enqueue_us, args);
+  trace_->complete_event(0, tid,
+                         qr.restored ? "acquire (restore)" : "acquire (hot)",
+                         qr.pop_us, qr.acquire_us - qr.pop_us, args);
+  trace_->complete_event(0, tid, "execute", qr.exec_start_us,
+                         qr.exec_end_us - qr.exec_start_us, args);
+  trace_->complete_event(0, tid, "reply", qr.exec_end_us,
+                         end_us - qr.exec_end_us, args);
 }
 
 Response Server::take(Ticket ticket) {

@@ -34,11 +34,19 @@
 // no matter how fast clients push.
 //
 // Telemetry (metric catalog in docs/serving.md): request/overload/error
-// counters, queue-depth / batch-size / request-latency log2 histograms,
-// live/hot session gauges, plus the SessionManager's eviction/restore
-// counters — all in the server-owned MetricsRegistry, which per-session
-// engine sinks share. With ServerOptions.trace set, every completed
-// request also lands as a Perfetto span (one track per session).
+// counters, queue-depth / batch-size log2 histograms, request latency
+// split by type and hot/restore/inline path, per-phase durations
+// (qtserve_phase_us), live/hot session gauges, plus the
+// SessionManager's reason-labelled eviction/restore counters — all in
+// the server-owned MetricsRegistry, which per-session engine sinks
+// share. With ServerOptions.trace set, every completed request lands as
+// a Perfetto span chain (admission → queue → acquire → execute → reply
+// on the session's track, lane-group spans on their own track), and
+// unless flight_recorder_capacity is 0 the last N request / eviction /
+// overload events stay dumpable through the flight recorder
+// (telemetry/flight_recorder.h) — both observation-only: the
+// observability-off differential in tests/serve_test.cpp pins that
+// neither changes a single engine byte.
 #pragma once
 
 #include <chrono>
@@ -51,6 +59,7 @@
 #include "serve/protocol.h"
 #include "serve/request_queue.h"
 #include "serve/session_manager.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -63,8 +72,15 @@ struct ServerOptions {
   unsigned workers = 4;
   /// Admission bound on staged session requests.
   std::size_t max_queue = 64;
-  /// Record a Perfetto span per completed request.
+  /// Record Perfetto spans: one enclosing span per completed request
+  /// plus its lifecycle children (admission, queue, acquire, execute,
+  /// reply) on the session's track.
   bool trace = false;
+  /// Flight-recorder ring capacity (telemetry/flight_recorder.h); 0
+  /// disables it entirely. The default keeps the last 256 request /
+  /// eviction / overload events dumpable via Introspect or the HTTP
+  /// /flightrecorder route at a few stores per request.
+  std::size_t flight_recorder_capacity = 256;
   /// Coalesce compatible lane-backed Step requests within one pump
   /// batch into a single LaneEngine group (runtime/lane_coalescer.h):
   /// the batch advances in one lane-parallel round loop instead of one
@@ -104,18 +120,23 @@ class Server {
 
   telemetry::MetricsRegistry& metrics() { return metrics_; }
   const telemetry::TraceSession* trace() const { return trace_.get(); }
+  /// The flight recorder, or null when disabled (capacity 0).
+  telemetry::FlightRecorder* flight() { return flight_.get(); }
   SessionManager& sessions() { return sessions_; }
   const ServerOptions& options() const { return options_; }
 
  private:
   void finish(const QueuedRequest& qr, Response resp);
   Response execute(const Request& req, runtime::Engine& engine);
+  Response introspect(const Request& req);
+  void emit_spans(const QueuedRequest& qr, std::uint64_t end_us);
   void update_gauges();
   std::uint64_t now_us() const;
 
   ServerOptions options_;
   telemetry::MetricsRegistry metrics_;
   std::unique_ptr<telemetry::TraceSession> trace_;  // null unless opted in
+  std::unique_ptr<telemetry::FlightRecorder> flight_;  // null iff capacity 0
   SessionManager sessions_;
   RequestQueue queue_;
   ThreadPool pool_;
@@ -125,7 +146,7 @@ class Server {
   std::chrono::steady_clock::time_point epoch_;
 
   // Instrument handles, resolved once at construction.
-  telemetry::Counter* requests_by_type_[9] = {};
+  telemetry::Counter* requests_by_type_[10] = {};
   telemetry::Counter* overloads_ = nullptr;
   telemetry::Counter* errors_ = nullptr;
   telemetry::Counter* sessions_created_ = nullptr;
@@ -134,7 +155,10 @@ class Server {
   telemetry::Gauge* sessions_hot_ = nullptr;
   telemetry::Histogram* queue_depth_ = nullptr;
   telemetry::Histogram* batch_size_ = nullptr;
-  telemetry::Histogram* latency_us_ = nullptr;
+  // qtserve_request_latency_us{type=...,path=hot|restore|inline} and
+  // qtserve_phase_us{phase=...} series are resolved lazily in finish()
+  // (control thread only) — the label cross product is created on
+  // demand, not eagerly as empty series.
 };
 
 }  // namespace qta::serve

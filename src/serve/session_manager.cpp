@@ -4,20 +4,26 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/json_writer.h"
 #include "runtime/snapshot.h"
 
 namespace qta::serve {
 
 SessionManager::SessionManager(unsigned max_hot,
-                               telemetry::MetricsRegistry* metrics)
-    : max_hot_(max_hot), metrics_(metrics) {
+                               telemetry::MetricsRegistry* metrics,
+                               telemetry::FlightRecorder* flight)
+    : max_hot_(max_hot), metrics_(metrics), flight_(flight) {
   QTA_CHECK_MSG(max_hot_ >= 1, "SessionManager needs at least one hot slot");
   if (metrics_ != nullptr) {
     lru_eviction_counter_ = &metrics_->counter(
         "qtserve_evictions_total", {{"reason", "lru"}},
-        "sessions forced cold (by LRU pressure or an explicit request)");
+        "sessions forced cold, by what drove the eviction: capacity "
+        "pressure from a fresh acquire (lru), capacity pressure from a "
+        "restoring acquire (restore), or an explicit Evict (request)");
     request_eviction_counter_ = &metrics_->counter(
         "qtserve_evictions_total", {{"reason", "request"}});
+    restore_eviction_counter_ = &metrics_->counter(
+        "qtserve_evictions_total", {{"reason", "restore"}});
     restore_counter_ = &metrics_->counter(
         "qtserve_restores_total", {},
         "sessions rebuilt from their cold snapshot");
@@ -44,12 +50,13 @@ SessionId SessionManager::create(const SessionSpec& spec) {
   return id;
 }
 
-runtime::Engine* SessionManager::acquire(SessionId id) {
+runtime::Engine* SessionManager::acquire(SessionId id, bool* restored) {
+  if (restored != nullptr) *restored = false;
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   Session& s = it->second;
   if (s.engine == nullptr) {
-    make_hot(id, s);
+    make_hot(id, s, restored);
   } else {
     lru_.splice(lru_.end(), lru_, s.lru_pos);  // touch: move to MRU end
   }
@@ -60,7 +67,7 @@ bool SessionManager::evict(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   if (it->second.engine != nullptr) {
-    make_cold(id, it->second, /*count_as_lru=*/false);
+    make_cold(id, it->second, EvictReason::kRequest);
   }
   return true;
 }
@@ -94,7 +101,8 @@ std::string SessionManager::snapshot_text(SessionId id) const {
   return std::move(os).str();
 }
 
-void SessionManager::make_cold(SessionId id, Session& s, bool count_as_lru) {
+void SessionManager::make_cold(SessionId id, Session& s,
+                               EvictReason reason) {
   std::ostringstream os;
   runtime::save_snapshot(*s.engine, os);
   s.cold = std::move(os).str();
@@ -104,30 +112,99 @@ void SessionManager::make_cold(SessionId id, Session& s, bool count_as_lru) {
   // restored engine keeps feeding it.
   s.engine.reset();
   lru_.erase(s.lru_pos);
-  if (count_as_lru) {
-    ++lru_evictions_;
-    if (lru_eviction_counter_ != nullptr) lru_eviction_counter_->inc();
-  } else if (request_eviction_counter_ != nullptr) {
-    request_eviction_counter_->inc();
+  const char* label = "request";
+  switch (reason) {
+    case EvictReason::kRequest:
+      if (request_eviction_counter_ != nullptr) {
+        request_eviction_counter_->inc();
+      }
+      break;
+    case EvictReason::kLru:
+      ++lru_evictions_;
+      label = "lru";
+      if (lru_eviction_counter_ != nullptr) lru_eviction_counter_->inc();
+      break;
+    case EvictReason::kRestore:
+      ++lru_evictions_;  // still a capacity eviction for the plain total
+      label = "restore";
+      if (restore_eviction_counter_ != nullptr) {
+        restore_eviction_counter_->inc();
+      }
+      break;
   }
-  (void)id;
+  if (flight_ != nullptr) {
+    telemetry::ServeEvent event;
+    event.kind = telemetry::ServeEventKind::kEviction;
+    event.session = id;
+    event.label = label;
+    event.value = static_cast<std::uint64_t>(s.cold.size());
+    flight_->record(event);
+  }
 }
 
-void SessionManager::make_hot(SessionId id, Session& s) {
+void SessionManager::make_hot(SessionId id, Session& s, bool* restored) {
+  // Attribute the capacity evictions this acquire forces to what the
+  // acquire is doing: restoring a cold session (churn) vs warming a
+  // fresh one. One eviction, one reason.
+  const bool restoring = !s.cold.empty();
   while (lru_.size() >= max_hot_) {
     const SessionId victim = lru_.front();
-    make_cold(victim, sessions_.at(victim), /*count_as_lru=*/true);
+    make_cold(victim, sessions_.at(victim),
+              restoring ? EvictReason::kRestore : EvictReason::kLru);
   }
   s.engine = std::make_unique<runtime::Engine>(*s.env, s.config);
   if (s.sink != nullptr) s.engine->set_telemetry(s.sink.get());
-  if (!s.cold.empty()) {
+  if (restoring) {
     std::istringstream is(s.cold);
     runtime::load_snapshot(*s.engine, is);
     ++restores_;
     if (restore_counter_ != nullptr) restore_counter_->inc();
+    if (restored != nullptr) *restored = true;
+    if (flight_ != nullptr) {
+      telemetry::ServeEvent event;
+      event.kind = telemetry::ServeEventKind::kRestore;
+      event.session = id;
+      event.value = static_cast<std::uint64_t>(s.cold.size());
+      flight_->record(event);
+    }
   }
   lru_.push_back(id);
   s.lru_pos = std::prev(lru_.end());
+}
+
+std::string SessionManager::summary_json(SessionId id) const {
+  auto it = sessions_.find(id);
+  QTA_CHECK_MSG(it != sessions_.end(), "summary_json: unknown session id");
+  const Session& s = it->second;
+  qta::JsonWriter json;
+  json.begin_object();
+  json.field("session", id);
+  json.field("hot", s.engine != nullptr);
+  json.field("has_snapshot", s.engine != nullptr || !s.cold.empty());
+  json.field("cold_bytes", static_cast<std::uint64_t>(s.cold.size()));
+  json.field("telemetry", s.sink != nullptr);
+  json.key("spec").begin_object();
+  json.field("width", static_cast<std::uint64_t>(s.spec.width));
+  json.field("height", static_cast<std::uint64_t>(s.spec.height));
+  json.field("actions", static_cast<std::uint64_t>(s.spec.actions));
+  json.field("algorithm", qtaccel::algorithm_name(s.spec.algorithm));
+  json.field("backend", qtaccel::backend_name(s.spec.backend));
+  json.field("alpha", s.spec.alpha);
+  json.field("gamma", s.spec.gamma);
+  json.field("epsilon", s.spec.epsilon);
+  json.field("seed", s.spec.seed);
+  json.field("max_episode_length", s.spec.max_episode_length);
+  json.end_object();
+  if (s.engine != nullptr) {
+    const qtaccel::PipelineStats& stats = s.engine->stats();
+    json.key("stats").begin_object();
+    json.field("samples", stats.samples);
+    json.field("episodes", stats.episodes);
+    json.field("cycles", stats.cycles);
+    json.end_object();
+  }
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace qta::serve

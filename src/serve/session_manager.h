@@ -45,6 +45,7 @@
 #include "env/grid_world.h"
 #include "runtime/engine.h"
 #include "serve/protocol.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/pipeline_telemetry.h"
 
@@ -53,9 +54,11 @@ namespace qta::serve {
 class SessionManager {
  public:
   /// `max_hot` bounds resident engines (>= 1). `metrics` may be null
-  /// (no per-session telemetry, no eviction counters); it must outlive
+  /// (no per-session telemetry, no eviction counters), as may `flight`
+  /// (no eviction/restore flight-recorder events); both must outlive
   /// the manager.
-  SessionManager(unsigned max_hot, telemetry::MetricsRegistry* metrics);
+  SessionManager(unsigned max_hot, telemetry::MetricsRegistry* metrics,
+                 telemetry::FlightRecorder* flight = nullptr);
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -70,8 +73,11 @@ class SessionManager {
   /// engine; nullptr for an unknown/closed id. Touches the LRU: the
   /// `max_hot` most recently acquired sessions are never evicted by a
   /// later acquire, so a caller may hold up to `max_hot` engines at
-  /// once (the server's batch bound).
-  runtime::Engine* acquire(SessionId id);
+  /// once (the server's batch bound). When `restored` is non-null it is
+  /// set to whether THIS call rebuilt the engine from a non-empty cold
+  /// snapshot (false for hot hits and never-ran sessions) — the
+  /// hot/restore path label on the server's latency metrics.
+  runtime::Engine* acquire(SessionId id, bool* restored = nullptr);
 
   /// Forces the session cold now (snapshot + engine teardown). Returns
   /// false for unknown ids; a no-op for already-cold sessions.
@@ -101,6 +107,11 @@ class SessionManager {
   std::uint64_t lru_evictions() const { return lru_evictions_; }
   std::uint64_t restores() const { return restores_; }
 
+  /// One session's state summary as a JSON object (the Introspect
+  /// kSession payload; docs/serving.md documents the shape). Unknown
+  /// id aborts — gate on exists().
+  std::string summary_json(SessionId id) const;
+
  private:
   struct Session {
     SessionSpec spec;
@@ -112,11 +123,23 @@ class SessionManager {
     std::list<SessionId>::iterator lru_pos;  // valid iff hot
   };
 
-  void make_cold(SessionId id, Session& s, bool count_as_lru);
-  void make_hot(SessionId id, Session& s);
+  // Eviction attribution for qtserve_evictions_total{reason=...}: an
+  // eviction lands under exactly ONE reason.
+  //   kRequest — an explicit Evict request forced the session cold;
+  //   kLru     — capacity pressure from an acquire making a never-ran
+  //              session hot (fresh engine, nothing to restore);
+  //   kRestore — capacity pressure from an acquire that was itself
+  //              restoring a cold snapshot (previously this showed as
+  //              "lru" while the same acquire also bumped restores,
+  //              double-counting churn across the two reasons).
+  enum class EvictReason { kRequest, kLru, kRestore };
+
+  void make_cold(SessionId id, Session& s, EvictReason reason);
+  void make_hot(SessionId id, Session& s, bool* restored);
 
   unsigned max_hot_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::FlightRecorder* flight_;
   std::map<SessionId, Session> sessions_;
   std::list<SessionId> lru_;  // front = least recently used, hot only
   SessionId next_id_ = 1;
@@ -124,6 +147,7 @@ class SessionManager {
   std::uint64_t restores_ = 0;
   telemetry::Counter* lru_eviction_counter_ = nullptr;
   telemetry::Counter* request_eviction_counter_ = nullptr;
+  telemetry::Counter* restore_eviction_counter_ = nullptr;
   telemetry::Counter* restore_counter_ = nullptr;
 };
 

@@ -1,0 +1,31 @@
+#include "telemetry/event_log.h"
+
+#include "common/json_writer.h"
+
+namespace qta::telemetry {
+
+const char* serve_event_kind_name(ServeEventKind kind) {
+  switch (kind) {
+    case ServeEventKind::kRequest: return "request";
+    case ServeEventKind::kOverload: return "overload";
+    case ServeEventKind::kError: return "error";
+    case ServeEventKind::kEviction: return "eviction";
+    case ServeEventKind::kRestore: return "restore";
+    case ServeEventKind::kSessionCreated: return "session_created";
+    case ServeEventKind::kSessionClosed: return "session_closed";
+  }
+  return "unknown";
+}
+
+void write_event_json(qta::JsonWriter& json, const ServeEvent& event) {
+  json.begin_object();
+  json.field("seq", event.seq);
+  json.field("ts_us", event.ts_us);
+  json.field("kind", serve_event_kind_name(event.kind));
+  json.field("session", event.session);
+  json.field("label", event.label);
+  json.field("value", event.value);
+  json.end_object();
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,53 @@
+// Structured serving-tier events: the vocabulary the flight recorder
+// (telemetry/flight_recorder.h) records and dumps.
+//
+// One event is one thing that happened to one request or session —
+// a request completing, an admission refusal, an eviction, a restore.
+// Events are plain structs of integers plus a static-storage label so
+// recording one is a few stores and never allocates; the JSON shape is
+// produced only at dump time. The serving layer owns the meaning of
+// `session`, `label`, and `value` per kind (docs/observability.md has
+// the table); telemetry stays a passive container and deliberately
+// knows nothing about serve/ (qtlint layering: telemetry depends only
+// on common).
+#pragma once
+
+#include <cstdint>
+
+namespace qta {
+class JsonWriter;
+}  // namespace qta
+
+namespace qta::telemetry {
+
+enum class ServeEventKind : std::uint8_t {
+  kRequest = 0,         // a request completed OK; value = latency (us)
+  kOverload = 1,        // admission refusal; value = queue depth at refusal
+  kError = 2,           // error reply; value = latency (us)
+  kEviction = 3,        // session forced cold; label = reason
+  kRestore = 4,         // session rebuilt from its cold snapshot
+  kSessionCreated = 5,  // logical session registered
+  kSessionClosed = 6,   // logical session destroyed
+};
+
+/// Stable JSON/metric spelling ("request", "overload", ...).
+const char* serve_event_kind_name(ServeEventKind kind);
+
+struct ServeEvent {
+  std::uint64_t seq = 0;    // assigned by the recorder, monotone from 1
+  std::uint64_t ts_us = 0;  // recorder-clock microseconds (stamped on record)
+  ServeEventKind kind = ServeEventKind::kRequest;
+  std::uint64_t session = 0;  // 0 when the event is not session-scoped
+  /// Kind-specific detail. MUST point at static storage (string
+  /// literals, request_type_name(), ...): events outlive the call that
+  /// recorded them.
+  const char* label = "";
+  std::uint64_t value = 0;  // kind-specific magnitude (latency us, depth)
+};
+
+/// Emits one event as a JSON object value into an in-progress document:
+/// {"seq":1,"ts_us":42,"kind":"request","session":3,"label":"step",
+///  "value":180}.
+void write_event_json(qta::JsonWriter& json, const ServeEvent& event);
+
+}  // namespace qta::telemetry

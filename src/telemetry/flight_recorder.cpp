@@ -1,0 +1,86 @@
+#include "telemetry/flight_recorder.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+
+namespace qta::telemetry {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  QTA_CHECK_MSG(capacity_ >= 1, "FlightRecorder needs capacity >= 1");
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t FlightRecorder::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void FlightRecorder::record(ServeEvent event) {
+  const std::uint64_t ts = now_us();
+  MutexLock lock(mu_);
+  event.seq = ++recorded_;
+  event.ts_us = ts;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_slot_] = event;  // overwrite the oldest
+  }
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+std::size_t FlightRecorder::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  MutexLock lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  MutexLock lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<ServeEvent> FlightRecorder::events() const {
+  MutexLock lock(mu_);
+  std::vector<ServeEvent> out;
+  out.reserve(ring_.size());
+  // Before the first wrap next_slot_ == ring_.size(), so the loop below
+  // is the plain front-to-back copy in both regimes.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_slot_;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::write_json(qta::JsonWriter& json) const {
+  const std::vector<ServeEvent> snapshot = events();
+  std::uint64_t total = 0;
+  {
+    MutexLock lock(mu_);
+    total = recorded_;
+  }
+  json.begin_object();
+  json.field("capacity", static_cast<std::uint64_t>(capacity_));
+  json.field("recorded", total);
+  json.field("dropped", total - snapshot.size());
+  json.key("events").begin_array();
+  for (const ServeEvent& event : snapshot) write_event_json(json, event);
+  json.end_array();
+  json.end_object();
+}
+
+std::string FlightRecorder::json_text() const {
+  qta::JsonWriter json;
+  write_json(json);
+  return json.str();
+}
+
+}  // namespace qta::telemetry

@@ -1,0 +1,81 @@
+// FlightRecorder: an always-on, bounded ring buffer of ServeEvents.
+//
+// The serving tier records one event per noteworthy request/session
+// transition (telemetry/event_log.h) into a fixed-capacity ring; when
+// the ring is full the oldest event is overwritten, deterministically:
+// after N records the buffer holds exactly the last min(N, capacity)
+// events with contiguous sequence numbers, and dropped() == N - size().
+// Recording is a mutex-guarded pair of stores — cheap enough to leave
+// on in production — and dumping produces a JSON document a human (or
+// the /flightrecorder HTTP endpoint) can read after the fact:
+//
+//   {"capacity":256,"recorded":N,"dropped":D,
+//    "events":[{"seq":...,"ts_us":...,"kind":"eviction",...}, ...]}
+//
+// Timestamps are microseconds since the recorder's construction (its
+// own steady-clock epoch), so a dump is self-contained. The recorder is
+// observation-only: it never touches engine state, which is what the
+// observability-off bit-identity differential in tests/serve_test.cpp
+// proves end to end.
+//
+// Lock discipline (docs/static_analysis.md): one annotated qta::Mutex
+// guards the ring; record() and every reader take it. Contention is
+// control-thread-vs-scraper only — the datapath never sees this class
+// (qtlint telemetry-boundary keeps FlightRecorder out of datapath
+// files, exactly like MetricsRegistry).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "telemetry/event_log.h"
+
+namespace qta {
+class JsonWriter;
+}  // namespace qta
+
+namespace qta::telemetry {
+
+class FlightRecorder {
+ public:
+  /// `capacity` >= 1 bounds retained events (older ones are overwritten).
+  explicit FlightRecorder(std::size_t capacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps `event.seq` (monotone from 1) and `event.ts_us` (recorder
+  /// clock) and stores it, overwriting the oldest event when full.
+  void record(ServeEvent event) QTA_EXCLUDES(mu_);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const QTA_EXCLUDES(mu_);
+  /// Events recorded over the recorder's whole life (kept + dropped).
+  std::uint64_t recorded() const QTA_EXCLUDES(mu_);
+  /// Events overwritten by ring wrap-around: recorded() - size().
+  std::uint64_t dropped() const QTA_EXCLUDES(mu_);
+
+  /// Retained events, oldest first (contiguous seq numbers).
+  std::vector<ServeEvent> events() const QTA_EXCLUDES(mu_);
+
+  /// Emits the dump document ({"capacity":...,"recorded":...,
+  /// "dropped":...,"events":[...]}) as one JSON value.
+  void write_json(qta::JsonWriter& json) const QTA_EXCLUDES(mu_);
+  std::string json_text() const;
+
+  /// Microseconds since construction — the ts_us domain of every event.
+  std::uint64_t now_us() const;
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable qta::Mutex mu_;
+  std::vector<ServeEvent> ring_ QTA_GUARDED_BY(mu_);  // capacity_ slots
+  std::size_t next_slot_ QTA_GUARDED_BY(mu_) = 0;     // ring write cursor
+  std::uint64_t recorded_ QTA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qta::telemetry

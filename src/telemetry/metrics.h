@@ -88,6 +88,13 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Upper bound of the bucket containing the q-quantile observation
+/// (q in [0,1]), i.e. the le="..." a Prometheus histogram_quantile
+/// would report for this log2 bucketing. Returns 0 for an empty
+/// histogram. Report-only: a bucket upper bound, not an interpolated
+/// value — fine for the p50/p95/p99 summaries bench_serve records.
+std::uint64_t histogram_percentile_upper_bound(const Histogram& h, double q);
+
 /// Owns every instrument; one series per (name, labels) pair.
 class MetricsRegistry {
  public:
@@ -116,6 +123,11 @@ class MetricsRegistry {
   /// bench_json artifacts embed under a "metrics" key.
   void write_json(qta::JsonWriter& json) const;
   std::string json_text() const;
+
+  /// Distinct metric family names registered so far, sorted. Histograms
+  /// appear once under their base name (no _bucket/_sum/_count). The
+  /// metric-catalog drift test diffs this against the docs.
+  std::vector<std::string> metric_names() const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

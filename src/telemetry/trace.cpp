@@ -37,6 +37,12 @@ void TraceSession::set_thread_name(std::uint32_t pid, std::uint32_t tid,
 void TraceSession::complete_event(std::uint32_t pid, std::uint32_t tid,
                                   const std::string& name, std::uint64_t ts_us,
                                   std::uint64_t dur_us) {
+  complete_event(pid, tid, name, ts_us, dur_us, SpanArgs{});
+}
+
+void TraceSession::complete_event(std::uint32_t pid, std::uint32_t tid,
+                                  const std::string& name, std::uint64_t ts_us,
+                                  std::uint64_t dur_us, SpanArgs args) {
   Event e{};
   e.ph = 'X';
   e.pid = pid;
@@ -45,6 +51,7 @@ void TraceSession::complete_event(std::uint32_t pid, std::uint32_t tid,
   e.ts = ts_us;
   e.dur = dur_us;
   e.name = name;
+  e.args = std::move(args);
   push(std::move(e));
 }
 
@@ -84,6 +91,11 @@ void TraceSession::write_json(qta::JsonWriter& json) const {
     switch (e.ph) {
       case 'X':
         json.field("ts", e.ts).field("dur", e.dur);
+        if (!e.args.empty()) {
+          json.key("args").begin_object();
+          for (const auto& [key, value] : e.args) json.field(key, value);
+          json.end_object();
+        }
         break;
       case 'i':
         json.field("ts", e.ts).field("s", "t");

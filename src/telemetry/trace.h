@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/annotations.h"
@@ -29,6 +30,10 @@ namespace qta::telemetry {
 
 class TraceSession {
  public:
+  /// Numeric span arguments, emitted as the event's "args" object.
+  /// Values are u64 so identifiers (trace ids, tickets) round-trip.
+  using SpanArgs = std::vector<std::pair<std::string, std::uint64_t>>;
+
   TraceSession();
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
@@ -42,6 +47,12 @@ class TraceSession {
   void complete_event(std::uint32_t pid, std::uint32_t tid,
                       const std::string& name, std::uint64_t ts_us,
                       std::uint64_t dur_us);
+
+  /// "X" complete event carrying numeric args (trace id, ticket, ...)
+  /// that the viewer shows on click and tests use to correlate spans.
+  void complete_event(std::uint32_t pid, std::uint32_t tid,
+                      const std::string& name, std::uint64_t ts_us,
+                      std::uint64_t dur_us, SpanArgs args);
 
   /// "i" instant event (thread-scoped tick mark).
   void instant_event(std::uint32_t pid, std::uint32_t tid,
@@ -70,6 +81,7 @@ class TraceSession {
     std::uint64_t dur;     // 'X' only
     std::string name;      // event name, or "process_name"/"thread_name"
     std::string arg_name;  // 'M' only: args.name payload
+    SpanArgs args;         // 'X' only: numeric args (may be empty)
   };
 
   void push(Event event) QTA_EXCLUDES(mu_);

@@ -269,6 +269,27 @@ TEST(QtlintTelemetryBoundary, FlagsHostTypeIdentifiersInDatapath) {
   EXPECT_EQ(count_rule(vs, RuleId::kTelemetryBoundary), 2u);
 }
 
+TEST(QtlintTelemetryBoundary, FlagsFlightRecorderMachineryInDatapath) {
+  // The qtscope flight recorder and its event vocabulary are host-side
+  // observability machinery — datapath files may not name them, same as
+  // MetricsRegistry/TraceSession.
+  const auto idents = lint_content(
+      "src/qtaccel/qmax_unit.h",
+      "#pragma once\nstruct Probe { telemetry::FlightRecorder* fr; "
+      "telemetry::ServeEvent last; };\n");
+  EXPECT_EQ(count_rule(idents, RuleId::kTelemetryBoundary), 2u);
+  const auto include = lint_content(
+      "src/qtaccel/pipeline.cpp",
+      "#include \"telemetry/flight_recorder.h\"\nvoid f();\n");
+  EXPECT_EQ(count_rule(include, RuleId::kTelemetryBoundary), 1u);
+  // serve/ is host-side: free to record events.
+  const auto host = lint_content(
+      "src/serve/server.cpp",
+      "#include \"telemetry/flight_recorder.h\"\n"
+      "telemetry::FlightRecorder* g_flight;\n");
+  EXPECT_EQ(count_rule(host, RuleId::kTelemetryBoundary), 0u);
+}
+
 TEST(QtlintTelemetryBoundary, HostSideFilesMayUseTheMachinery) {
   const std::string snippet =
       "#include \"telemetry/metrics.h\"\n"

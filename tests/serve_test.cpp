@@ -1,5 +1,6 @@
 // Serving-layer contract tests (docs/serving.md):
-//   - QTSERVE-WIRE v1 codec round trips, and rejects foreign/corrupted/
+//   - QTSERVE-WIRE codec round trips (v2 trace context + Introspect
+//     included), still decodes v1 bodies, and rejects foreign/corrupted/
 //     truncated payloads with error strings instead of aborts (the bytes
 //     come off a network).
 //   - Loopback end-to-end lifecycle: create / step / query / snapshot /
@@ -104,6 +105,107 @@ TEST(ServeProtocol, ResponseRoundTripsEveryField) {
   EXPECT_EQ(back->snapshot, resp.snapshot);
   EXPECT_EQ(back->stats_json, resp.stats_json);
   EXPECT_EQ(back->stats_prometheus, resp.stats_prometheus);
+}
+
+TEST(ServeProtocol, TraceContextAndIntrospectRoundTripInV2) {
+  Request req;
+  req.type = RequestType::kStep;
+  req.session = 12;
+  req.steps = 300;
+  req.trace_id = 0xdeadbeefcafef00dull;
+  req.parent_span = 0x1234;
+  auto back = decode_request(encode_request(req));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, req.trace_id);
+  EXPECT_EQ(back->parent_span, 0x1234u);
+
+  for (const IntrospectProbe probe :
+       {IntrospectProbe::kMetrics, IntrospectProbe::kFlightRecorder,
+        IntrospectProbe::kSession}) {
+    Request probe_req;
+    probe_req.type = RequestType::kIntrospect;
+    probe_req.probe = probe;
+    probe_req.session = 5;
+    auto d = decode_request(encode_request(probe_req));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->type, RequestType::kIntrospect);
+    EXPECT_EQ(d->probe, probe);
+    EXPECT_EQ(d->session, 5u);
+  }
+
+  Response resp;
+  resp.status = Status::kOk;
+  resp.type = RequestType::kIntrospect;
+  resp.span_id = 42;
+  resp.introspect_json = "{\"capacity\":256}";
+  auto r = decode_response(encode_response(resp));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->span_id, 42u);
+  EXPECT_EQ(r->introspect_json, resp.introspect_json);
+}
+
+TEST(ServeProtocol, V1BodiesStillDecodeWithZeroTraceContext) {
+  Request req;
+  req.type = RequestType::kStep;
+  req.session = 9;
+  req.steps = 128;
+  req.trace_id = 777;  // v1 cannot carry it; must decode as zero
+  req.parent_span = 888;
+  const std::string v1 = encode_request(req, /*version=*/1);
+  EXPECT_LT(v1.size(), encode_request(req).size());
+  auto back = decode_request(v1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, RequestType::kStep);
+  EXPECT_EQ(back->session, 9u);
+  EXPECT_EQ(back->steps, 128u);
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_EQ(back->parent_span, 0u);
+
+  // v1 spec-carrying requests keep working too.
+  Request create;
+  create.type = RequestType::kCreateSession;
+  create.spec = small_spec(31);
+  auto c = decode_request(encode_request(create, /*version=*/1));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->spec, create.spec);
+
+  Response resp;
+  resp.status = Status::kOk;
+  resp.type = RequestType::kStep;
+  resp.samples = 640;
+  resp.span_id = 3;                  // dropped by the v1 encoding
+  resp.introspect_json = "dropped";  // likewise
+  auto r = decode_response(encode_response(resp, /*version=*/1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->samples, 640u);
+  EXPECT_EQ(r->span_id, 0u);
+  EXPECT_TRUE(r->introspect_json.empty());
+}
+
+TEST(ServeProtocol, V1PeersCannotNameV2OnlyTypesOrBadProbes) {
+  // Introspect does not exist in v1: a v1 body naming it is malformed.
+  Request req;
+  req.type = RequestType::kIntrospect;
+  std::string error;
+  EXPECT_FALSE(decode_request(encode_request(req, /*version=*/1), &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+
+  // A v2 Introspect with an out-of-range probe byte is rejected, not
+  // guessed at. The probe is the final byte of a spec-less request.
+  std::string payload = encode_request(req);
+  payload.back() = static_cast<char>(0x39);
+  error.clear();
+  EXPECT_FALSE(decode_request(payload, &error).has_value());
+  EXPECT_NE(error.find("probe"), std::string::npos);
+
+  // Truncating anywhere inside the v2 trace context is a parse error,
+  // never an abort.
+  const std::string good = encode_request(req);
+  for (std::size_t len = 7; len < good.size(); ++len) {
+    EXPECT_FALSE(decode_request(good.substr(0, len)).has_value())
+        << "truncated to " << len;
+  }
 }
 
 TEST(ServeProtocol, RejectsForeignCorruptedAndTruncatedPayloads) {

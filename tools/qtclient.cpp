@@ -16,6 +16,9 @@
 //                 [--actions=4] [--seed-base=1] [--telemetry]
 //                 [--burst=0] [--verify] [--expect-overload]
 //                 [--stats] [--stats-json=FILE] [--shutdown]
+//                 [--trace-id=N]
+//                 [--introspect-flight=FILE] [--introspect-session=ID]
+//                 [--top] [--top-count=5] [--interval-ms=1000]
 //
 // --burst caps how many Steps are in flight per burst (0 = all
 //   sessions at once, the overload-provoking default).
@@ -24,13 +27,29 @@
 //   the local one: bit-exactness across the wire, evictions included.
 // --expect-overload exits nonzero unless at least one kOverloaded
 //   reply was observed (CI uses it to prove backpressure engages).
+// --trace-id stamps every frame with that wire trace id (v2 trace
+//   context), so a server started with --trace emits the run's span
+//   chains under one correlatable id.
+// --introspect-flight asks the server for its flight-recorder JSON dump
+//   (Introspect probe) and writes it to FILE after the run.
+// --introspect-session prints the given session id's state summary.
+// --top is a live view instead of a load run: it polls the server's
+//   metrics every --interval-ms and prints sessions, request totals,
+//   overloads, and latency p50/p95/p99 (log2-bucket upper bounds)
+//   per poll, --top-count times.
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.h"
@@ -122,6 +141,134 @@ bool closed_loop(Client& client, std::size_t count, std::size_t burst,
   return true;
 }
 
+// --- --top support: a tiny Prometheus exposition-text reader ---------
+//
+// Enough of the format to summarize qtserved's own output (which
+// metrics.cpp emits): `name{k="v",...} value` lines, `# `-prefixed
+// comments, histogram buckets as cumulative `name_bucket{...,le="N"}`
+// series with integer upper bounds plus a trailing le="+Inf".
+
+struct PromLine {
+  std::string name;
+  std::string labels;  // raw text between the braces, "" when absent
+  double value = 0.0;
+};
+
+bool parse_prom_line(const std::string& line, PromLine* out) {
+  if (line.empty() || line[0] == '#') return false;
+  std::size_t pos = line.find_first_of("{ ");
+  if (pos == std::string::npos) return false;
+  out->name = line.substr(0, pos);
+  if (line[pos] == '{') {
+    const std::size_t close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    out->labels = line.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+  } else {
+    out->labels.clear();
+  }
+  std::istringstream rest(line.substr(pos));
+  return static_cast<bool>(rest >> out->value);
+}
+
+std::string label_value(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  std::size_t pos = labels.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  const std::size_t end = labels.find('"', pos);
+  if (end == std::string::npos) return "";
+  return labels.substr(pos, end - pos);
+}
+
+struct TopSnapshot {
+  double live = 0;
+  double hot = 0;
+  double requests = 0;   // summed over {type=...}
+  double overloads = 0;
+  std::uint64_t total = 0;  // latency samples across all series
+  std::uint64_t p50 = 0;    // log2-bucket upper bounds (microseconds)
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Nearest-rank percentile over merged bucket increments.
+std::uint64_t merged_percentile(
+    const std::map<std::uint64_t, std::uint64_t>& merged, std::uint64_t total,
+    double q) {
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (const auto& [upper, count] : merged) {
+    seen += count;
+    if (seen >= rank) return upper;
+  }
+  return merged.empty() ? 0 : merged.rbegin()->first;
+}
+
+TopSnapshot summarize_prometheus(const std::string& text) {
+  TopSnapshot snap;
+  // Buckets are cumulative per series; to merge across label sets
+  // (type/path), diff each series against its own running cumulative
+  // and pool the increments by upper bound.
+  std::map<std::string, double> series_cumulative;
+  std::map<std::uint64_t, std::uint64_t> merged;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    PromLine p;
+    if (!parse_prom_line(line, &p)) continue;
+    if (p.name == "qtserve_sessions_live") snap.live = p.value;
+    else if (p.name == "qtserve_sessions_hot") snap.hot = p.value;
+    else if (p.name == "qtserve_requests_total") snap.requests += p.value;
+    else if (p.name == "qtserve_overload_total") snap.overloads += p.value;
+    else if (p.name == "qtserve_request_latency_us_bucket") {
+      const std::string le = label_value(p.labels, "le");
+      const std::string key = p.labels.substr(0, p.labels.find("le=\""));
+      const double delta = p.value - series_cumulative[key];
+      series_cumulative[key] = p.value;
+      if (le.empty() || le == "+Inf" || delta <= 0) continue;
+      const auto upper =
+          static_cast<std::uint64_t>(std::strtoull(le.c_str(), nullptr, 10));
+      merged[upper] += static_cast<std::uint64_t>(delta);
+      snap.total += static_cast<std::uint64_t>(delta);
+    }
+  }
+  snap.p50 = merged_percentile(merged, snap.total, 0.50);
+  snap.p95 = merged_percentile(merged, snap.total, 0.95);
+  snap.p99 = merged_percentile(merged, snap.total, 0.99);
+  return snap;
+}
+
+/// Sends one Introspect probe and returns the reply's introspect_json;
+/// nullopt (with *problem set) on any failure.
+std::optional<std::string> introspect(Client& client,
+                                      serve::IntrospectProbe probe,
+                                      serve::SessionId session,
+                                      std::uint64_t trace_id,
+                                      std::string* problem) {
+  serve::Request req;
+  req.type = serve::RequestType::kIntrospect;
+  req.probe = probe;
+  req.session = session;
+  req.trace_id = trace_id;
+  if (!client.send(req)) {
+    *problem = "send introspect";
+    return std::nullopt;
+  }
+  serve::Response resp;
+  if (!client.recv(&resp)) {
+    *problem = "recv introspect";
+    return std::nullopt;
+  }
+  if (resp.status != serve::Status::kOk) {
+    *problem = "introspect failed: " + resp.error;
+    return std::nullopt;
+  }
+  return resp.introspect_json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +298,14 @@ int main(int argc, char** argv) {
   const bool want_stats = flags.get_bool("stats", false);
   const std::string stats_json_path = flags.get_string("stats-json", "");
   const bool want_shutdown = flags.get_bool("shutdown", false);
+  const auto trace_id = static_cast<std::uint64_t>(flags.get_int("trace-id", 0));
+  const std::string flight_path = flags.get_string("introspect-flight", "");
+  const std::int64_t introspect_session =
+      flags.get_int("introspect-session", -1);
+  const bool top = flags.get_bool("top", false);
+  const auto top_count = static_cast<std::size_t>(flags.get_int("top-count", 5));
+  const auto interval_ms =
+      static_cast<std::uint64_t>(flags.get_int("interval-ms", 1000));
   for (const auto& unused : flags.unused()) {
     std::cerr << "qtclient: unknown flag --" << unused << "\n";
     return 2;
@@ -160,6 +315,32 @@ int main(int argc, char** argv) {
   client.fd = serve::tcp_connect(host, port, &client.error);
   if (client.fd == serve::kInvalidSocket) return fail(client, "connect");
 
+  // Live view: poll Stats and summarize, no load generation at all.
+  if (top) {
+    for (std::size_t iter = 0; iter < top_count; ++iter) {
+      serve::Request req;
+      req.type = serve::RequestType::kStats;
+      req.trace_id = trace_id;
+      if (!client.send(req)) return fail(client, "send stats");
+      serve::Response resp;
+      if (!client.recv(&resp)) return fail(client, "recv stats");
+      if (resp.status != serve::Status::kOk) {
+        return fail(client, "stats failed: " + resp.error);
+      }
+      const TopSnapshot s = summarize_prometheus(resp.stats_prometheus);
+      std::cout << "qtclient top: live=" << s.live << " hot=" << s.hot
+                << " requests=" << s.requests << " overloads=" << s.overloads
+                << " latency_us(n=" << s.total << ") p50<=" << s.p50
+                << " p95<=" << s.p95 << " p99<=" << s.p99 << "\n"
+                << std::flush;
+      if (iter + 1 < top_count) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+    }
+    serve::tcp_close(client.fd);
+    return 0;
+  }
+
   // Create every session in one burst.
   std::vector<serve::SessionId> ids(sessions);
   std::vector<serve::SessionSpec> specs(sessions, spec);
@@ -168,6 +349,7 @@ int main(int argc, char** argv) {
     serve::Request req;
     req.type = serve::RequestType::kCreateSession;
     req.spec = specs[i];
+    req.trace_id = trace_id;
     if (!client.send(req)) return fail(client, "send create");
   }
   for (std::size_t i = 0; i < sessions; ++i) {
@@ -190,6 +372,7 @@ int main(int argc, char** argv) {
           req.type = serve::RequestType::kStep;
           req.session = ids[i];
           req.steps = steps;
+          req.trace_id = trace_id;
           return req;
         },
         [&](std::size_t, const serve::Response& resp, std::string* why) {
@@ -216,6 +399,7 @@ int main(int argc, char** argv) {
             req.type = serve::RequestType::kQuery;
             req.session = ids[i];
             req.state = 0;
+            req.trace_id = trace_id;
             return req;
           },
           [&](std::size_t, const serve::Response& resp, std::string* why) {
@@ -239,6 +423,7 @@ int main(int argc, char** argv) {
           serve::Request req;
           req.type = serve::RequestType::kSnapshot;
           req.session = ids[i];
+          req.trace_id = trace_id;
           return req;
         },
         [&](std::size_t i, const serve::Response& resp, std::string* why) {
@@ -269,9 +454,35 @@ int main(int argc, char** argv) {
     if (!ok) return fail(client, problem);
   }
 
+  // Introspection probes run after the load so the dumps reflect it.
+  if (introspect_session >= 0) {
+    std::string json;
+    if (auto got = introspect(client, serve::IntrospectProbe::kSession,
+                              static_cast<serve::SessionId>(introspect_session),
+                              trace_id, &problem)) {
+      json = *got;
+    } else {
+      return fail(client, problem);
+    }
+    std::cout << json << "\n";
+  }
+  if (!flight_path.empty()) {
+    std::string json;
+    if (auto got = introspect(client, serve::IntrospectProbe::kFlightRecorder,
+                              0, trace_id, &problem)) {
+      json = *got;
+    } else {
+      return fail(client, problem);
+    }
+    std::ofstream out(flight_path);
+    out << json << "\n";
+    if (!out) return fail(client, "cannot write " + flight_path);
+  }
+
   if (want_stats || !stats_json_path.empty()) {
     serve::Request req;
     req.type = serve::RequestType::kStats;
+    req.trace_id = trace_id;
     if (!client.send(req)) return fail(client, "send stats");
     serve::Response resp;
     if (!client.recv(&resp)) return fail(client, "recv stats");
@@ -289,6 +500,7 @@ int main(int argc, char** argv) {
   if (want_shutdown) {
     serve::Request req;
     req.type = serve::RequestType::kShutdown;
+    req.trace_id = trace_id;
     if (!client.send(req)) return fail(client, "send shutdown");
     serve::Response resp;
     if (!client.recv(&resp)) return fail(client, "recv shutdown");

@@ -114,9 +114,9 @@ constexpr std::array<std::string_view, 4> kStreamIdents{"cout", "cerr",
 // cycle/step events leave the datapath only through the TelemetrySink
 // interface in telemetry/sink.h (the one header datapath may include).
 constexpr std::string_view kTelemetrySinkHeader = "telemetry/sink.h";
-constexpr std::array<std::string_view, 4> kTelemetryHostIdents{
+constexpr std::array<std::string_view, 6> kTelemetryHostIdents{
     "MetricsRegistry", "TraceSession", "PipelineTelemetry",
-    "PoolTraceObserver"};
+    "PoolTraceObserver", "FlightRecorder", "ServeEvent"};
 
 // qtaccel files that model pipeline hardware (as opposed to host-side
 // config/readback helpers such as config.cpp, table_io.cpp, resources.cpp).

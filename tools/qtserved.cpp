@@ -12,11 +12,17 @@
 // Usage: qtserved [--port=7477] [--port-file=path]
 //                 [--max-hot=8] [--workers=4] [--max-queue=64]
 //                 [--trace=out.json] [--verbose]
+//                 [--http-port=N] [--http-port-file=path]
+//                 [--flight-capacity=256]
 //
 // --port=0 lets the kernel pick; --port-file writes the bound port for
-// scripts. A Shutdown request stops the accept loop, drains every
-// staged request and output buffer, optionally writes the trace, and
-// exits 0.
+// scripts. --http-port opens a second listener speaking plain HTTP
+// (serve/http_endpoint.h: /metrics for Prometheus, /healthz,
+// /flightrecorder) on the same poll loop — scrape connections are
+// one-shot and never touch engine state. --flight-capacity sizes the
+// flight-recorder ring (0 disables it). A Shutdown request stops the
+// accept loop, drains every staged request and output buffer,
+// optionally writes the trace, and exits 0.
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "serve/http_endpoint.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/tcp.h"
@@ -76,6 +83,43 @@ bool write_some(Connection& conn) {
   return true;
 }
 
+// One HTTP scrape: read until the blank line ending the request head,
+// answer, flush, close. No keep-alive, no pipelining — Prometheus is
+// happy with that and the loop stays trivial.
+struct HttpConnection {
+  int fd = serve::kInvalidSocket;
+  std::string inbuf;
+  std::string outbuf;
+  bool responded = false;
+  bool dead = false;
+};
+
+bool http_read_some(HttpConnection& conn) {
+  char chunk[4096];
+  while (true) {
+    const ssize_t r = ::recv(conn.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (r > 0) {
+      conn.inbuf.append(chunk, static_cast<std::size_t>(r));
+      if (conn.inbuf.size() > (64u << 10)) return false;  // absurd head
+      continue;
+    }
+    if (r == 0) return false;
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+bool http_write_some(HttpConnection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t r = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+    }
+    conn.outbuf.erase(0, static_cast<std::size_t>(r));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,8 +131,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("max-queue", 64));
   const std::string trace_path = flags.get_string("trace", "");
   options.trace = !trace_path.empty();
+  options.flight_recorder_capacity =
+      static_cast<std::size_t>(flags.get_int("flight-capacity", 256));
   const auto port = static_cast<std::uint16_t>(flags.get_int("port", 7477));
   const std::string port_file = flags.get_string("port-file", "");
+  const std::int64_t http_port_flag = flags.get_int("http-port", -1);
+  const std::string http_port_file = flags.get_string("http-port-file", "");
   const bool verbose = flags.get_bool("verbose", false);
   for (const auto& unused : flags.unused()) {
     std::cerr << "qtserved: unknown flag --" << unused << "\n";
@@ -114,13 +162,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  int http_fd = serve::kInvalidSocket;
+  std::uint16_t http_port = 0;
+  if (http_port_flag >= 0) {
+    http_fd = serve::tcp_listen(static_cast<std::uint16_t>(http_port_flag),
+                                &http_port, &error);
+    if (http_fd == serve::kInvalidSocket) {
+      std::cerr << "qtserved: http listener: " << error << "\n";
+      return 1;
+    }
+    ::fcntl(http_fd, F_SETFL, O_NONBLOCK);
+    if (!http_port_file.empty()) {
+      std::ofstream pf(http_port_file);
+      pf << http_port << "\n";
+      if (!pf) {
+        std::cerr << "qtserved: cannot write " << http_port_file << "\n";
+        return 1;
+      }
+    }
+  }
+
   serve::Server server(options);
   std::cout << "qtserved listening on 127.0.0.1:" << bound_port
             << " (max-hot=" << options.max_hot
             << " workers=" << options.workers
             << " max-queue=" << options.max_queue << ")" << std::endl;
+  if (http_fd != serve::kInvalidSocket) {
+    std::cout << "qtserved http on 127.0.0.1:" << http_port
+              << " (/metrics /healthz /flightrecorder)" << std::endl;
+  }
 
   std::list<Connection> conns;
+  std::list<HttpConnection> http_conns;
   std::vector<serve::Ticket> orphans;  // tickets of closed connections
 
   while (true) {
@@ -138,6 +211,17 @@ int main(int argc, char** argv) {
           conn.outbuf.empty() ? POLLIN : (POLLIN | POLLOUT));
       fds.push_back(pollfd{conn.fd, events, 0});
       polled.push_back(&conn);
+    }
+    std::size_t http_listen_idx = fds.size();
+    if (http_fd != serve::kInvalidSocket) {
+      fds.push_back(pollfd{http_fd, POLLIN, 0});
+    }
+    std::vector<HttpConnection*> http_polled;
+    for (HttpConnection& conn : http_conns) {
+      const short events = static_cast<short>(
+          conn.outbuf.empty() ? POLLIN : (POLLIN | POLLOUT));
+      fds.push_back(pollfd{conn.fd, events, 0});
+      http_polled.push_back(&conn);
     }
     const bool draining = server.shutdown_requested();
     if (draining && !server.pending() && orphans.empty()) {
@@ -207,6 +291,48 @@ int main(int argc, char** argv) {
       }
     }
 
+    // HTTP plane: accept scrapers, answer complete request heads. All
+    // of it is registry/flight-recorder reads on the control thread —
+    // by design it cannot touch sessions or engines.
+    if (http_fd != serve::kInvalidSocket) {
+      if ((fds[http_listen_idx].revents & POLLIN) != 0) {
+        while (true) {
+          const int fd = ::accept(http_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          HttpConnection conn;
+          conn.fd = fd;
+          http_conns.push_back(std::move(conn));
+        }
+      }
+    }
+    {
+      std::size_t http_idx =
+          http_listen_idx + (http_fd != serve::kInvalidSocket ? 1 : 0);
+      for (HttpConnection* conn_ptr : http_polled) {
+        HttpConnection& conn = *conn_ptr;
+        const short revents = fds[http_idx++].revents;
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+            !conn.responded) {
+          if (!http_read_some(conn)) conn.dead = true;
+          const std::size_t head_end = conn.inbuf.find("\r\n\r\n");
+          if (head_end != std::string::npos ||
+              conn.inbuf.find("\n\n") != std::string::npos) {
+            conn.outbuf = serve::handle_http(server, conn.inbuf);
+            conn.responded = true;
+          }
+        }
+      }
+    }
+    for (HttpConnection& conn : http_conns) {
+      if (!conn.dead && !http_write_some(conn)) conn.dead = true;
+    }
+    http_conns.remove_if([](HttpConnection& conn) {
+      const bool finished =
+          conn.dead || (conn.responded && conn.outbuf.empty());
+      if (finished) serve::tcp_close(conn.fd);
+      return finished;
+    });
+
     if (server.pending()) server.pump();
 
     // Deliver finished responses in per-connection FIFO order, then
@@ -240,7 +366,9 @@ int main(int argc, char** argv) {
   }
 
   serve::tcp_close(listen_fd);
+  if (http_fd != serve::kInvalidSocket) serve::tcp_close(http_fd);
   for (Connection& conn : conns) serve::tcp_close(conn.fd);
+  for (HttpConnection& conn : http_conns) serve::tcp_close(conn.fd);
 
   if (!trace_path.empty() && server.trace() != nullptr) {
     if (!server.trace()->write_file(trace_path)) {
