@@ -1,16 +1,23 @@
 // Checkpoint smoke (CI: checkpoint-smoke) — the pause/resume contract of
-// docs/runtime.md, checked as a differential across every algorithm and
-// every (save backend, resume backend) pair, including cross-backend.
+// docs/runtime.md, checked as a differential across every algorithm,
+// every (save backend, resume backend) pair including cross-backend, and
+// every snapshot mode (v2 text, v3 binary full, v3 base + dirty-row
+// delta).
 //
 // For each combination:
 //   reference:  one engine runs run_samples(N) then run_samples(N + M);
 //   candidate:  an engine on the save backend runs run_samples(N) and
-//               serializes a QTACCEL-SNAPSHOT v2; a fresh engine on the
-//               resume backend restores it and runs run_samples(N + M).
+//               serializes a snapshot in the mode under test; a fresh
+//               engine on the resume backend restores it and runs
+//               run_samples(N + M). The delta mode checkpoints at N/2,
+//               opens a dirty-row epoch, and serializes the N/2..N tail
+//               as a delta replayed onto the decoded base.
 // The candidate's retired trace must be bit-identical to the reference's
 // post-N suffix, and its final PipelineStats and raw Q/Q2/Qmax tables
-// must match the reference exactly. Any divergence fails the exit code —
-// there are no timing claims here, so the gate is strict.
+// must match the reference exactly. The v3 full mode additionally does a
+// cross-format round trip: the v2 text of the v3-restored engine must
+// byte-equal the saver's own v2 text. Any divergence fails the exit
+// code — there are no timing claims here, so the gate is strict.
 #include <cstdint>
 #include <iostream>
 #include <sstream>
@@ -35,6 +42,17 @@ void expect(bool ok, const std::string& what) {
   }
 }
 
+enum class SaveMode { kV2Text, kV3Full, kV3Delta };
+
+const char* mode_label(SaveMode m) {
+  switch (m) {
+    case SaveMode::kV2Text: return "v2";
+    case SaveMode::kV3Full: return "v3";
+    case SaveMode::kV3Delta: return "v3+delta";
+  }
+  return "?";
+}
+
 const char* algo_label(qtaccel::Algorithm a) {
   switch (a) {
     case qtaccel::Algorithm::kQLearning: return "q_learning";
@@ -57,8 +75,8 @@ bool stats_equal(const qtaccel::PipelineStats& a,
 
 void check_pair(const env::Environment& env, qtaccel::Algorithm algorithm,
                 qtaccel::Backend save_backend,
-                qtaccel::Backend resume_backend, std::uint64_t split,
-                std::uint64_t total) {
+                qtaccel::Backend resume_backend, SaveMode mode,
+                std::uint64_t split, std::uint64_t total) {
   qtaccel::PipelineConfig base;
   base.algorithm = algorithm;
   base.alpha = 0.2;
@@ -69,7 +87,7 @@ void check_pair(const env::Environment& env, qtaccel::Algorithm algorithm,
   const std::string tag =
       std::string(algo_label(algorithm)) + " " +
       qtaccel::backend_name(save_backend) + "->" +
-      qtaccel::backend_name(resume_backend);
+      qtaccel::backend_name(resume_backend) + " [" + mode_label(mode) + "]";
 
   // Reference: the resume backend running the same two chunks with a
   // call boundary at the split (backends retire identical traces and
@@ -80,6 +98,10 @@ void check_pair(const env::Environment& env, qtaccel::Algorithm algorithm,
   runtime::Engine ref(env, rc);
   std::vector<qtaccel::SampleTrace> ref_trace;
   ref.set_trace(&ref_trace);
+  // The delta candidate drains at split/2 to cut its base image; pipeline
+  // fill/drain counters (cycles, bubbles, stalls) are call-boundary
+  // dependent, so the reference must take the same boundary.
+  if (mode == SaveMode::kV3Delta) ref.run_samples(split / 2);
   ref.run_samples(split);
   const std::size_t ref_prefix = ref_trace.size();
   ref.run_samples(total);
@@ -88,12 +110,39 @@ void check_pair(const env::Environment& env, qtaccel::Algorithm algorithm,
   qtaccel::PipelineConfig sc = base;
   sc.backend = save_backend;
   runtime::Engine saver(env, sc);
-  saver.run_samples(split);
-  std::stringstream snap;
-  runtime::save_snapshot(saver, snap);
-
   runtime::Engine resumed(env, rc);
-  runtime::load_snapshot(resumed, snap);
+  if (mode == SaveMode::kV3Delta) {
+    // Base at split/2, dirty-row epoch to split, delta onto the base.
+    saver.run_samples(split / 2);
+    std::stringstream base_snap;
+    runtime::save_snapshot_v3(saver, base_snap);
+    saver.reset_dirty_rows();
+    saver.run_samples(split);
+    std::stringstream delta;
+    runtime::write_snapshot_delta(delta, saver.config(), env,
+                                  saver.save_state());
+    qtaccel::MachineState ms = runtime::read_snapshot(base_snap, rc, env);
+    runtime::apply_snapshot_delta(delta, rc, env, ms);
+    resumed.load_state(ms);
+  } else {
+    saver.run_samples(split);
+    std::stringstream snap;
+    if (mode == SaveMode::kV3Full) {
+      runtime::save_snapshot_v3(saver, snap);
+    } else {
+      runtime::save_snapshot(saver, snap);
+    }
+    runtime::load_snapshot(resumed, snap);
+    if (mode == SaveMode::kV3Full) {
+      // Cross-format round trip: the v2 text of the engine restored
+      // from the v3 image must byte-equal the saver's own v2 text.
+      std::ostringstream direct_v2, via_v3;
+      runtime::save_snapshot(saver, direct_v2);
+      runtime::save_snapshot(resumed, via_v3);
+      expect(via_v3.str() == direct_v2.str(),
+             tag + ": v3->v2 cross-format text mismatch");
+    }
+  }
   std::vector<qtaccel::SampleTrace> resumed_trace;
   resumed.set_trace(&resumed_trace);
   resumed.run_samples(total);
@@ -132,7 +181,7 @@ void check_pair(const env::Environment& env, qtaccel::Algorithm algorithm,
 
 int main() {
   std::cout << "=== Checkpoint smoke: save/resume differential, all "
-               "algorithms x all backend pairs ===\n\n";
+               "algorithms x all backend pairs x all snapshot modes ===\n\n";
   env::GridWorld world(bench::grid_for_states(256, 4));
 
   const qtaccel::Algorithm algos[] = {
@@ -140,15 +189,20 @@ int main() {
       qtaccel::Algorithm::kExpectedSarsa, qtaccel::Algorithm::kDoubleQ};
   const qtaccel::Backend backends[] = {qtaccel::Backend::kCycleAccurate,
                                        qtaccel::Backend::kFast};
+  const SaveMode modes[] = {SaveMode::kV2Text, SaveMode::kV3Full,
+                            SaveMode::kV3Delta};
   int combos = 0;
   for (const auto algorithm : algos) {
     for (const auto save_backend : backends) {
       for (const auto resume_backend : backends) {
-        std::cout << "[" << ++combos << "/16] " << algo_label(algorithm)
-                  << " " << qtaccel::backend_name(save_backend) << " -> "
-                  << qtaccel::backend_name(resume_backend) << "\n";
-        check_pair(world, algorithm, save_backend, resume_backend,
-                   /*split=*/3000, /*total=*/9000);
+        for (const auto mode : modes) {
+          std::cout << "[" << ++combos << "/48] " << algo_label(algorithm)
+                    << " " << qtaccel::backend_name(save_backend) << " -> "
+                    << qtaccel::backend_name(resume_backend) << " ["
+                    << mode_label(mode) << "]\n";
+          check_pair(world, algorithm, save_backend, resume_backend, mode,
+                     /*split=*/3000, /*total=*/9000);
+        }
       }
     }
   }
@@ -158,7 +212,7 @@ int main() {
               << " failure(s))\n";
     return 1;
   }
-  std::cout << "\nCHECKPOINT RESUME: BIT-EXACT across all 16 "
-               "algorithm x backend-pair combinations\n";
+  std::cout << "\nCHECKPOINT RESUME: BIT-EXACT across all 48 "
+               "algorithm x backend-pair x snapshot-mode combinations\n";
   return 0;
 }

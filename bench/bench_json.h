@@ -22,8 +22,13 @@ using qta::JsonWriter;
 /// reply) read from the server's own qtserve_phase_us histograms, and
 /// serve wall_us now includes the always-on flight recorder's
 /// bookkeeping — v3 and v4 serve throughput numbers are not directly
-/// comparable.
-inline constexpr int kBenchSchemaVersion = 4;
+/// comparable. v5: BENCH_serve.json cells gained a fifth phase
+/// (`checkpoint`, park serialization time, observed once per eviction)
+/// plus park_bytes/restore_bytes totals split by snapshot format and
+/// kind, and the report carries a park_formats section comparing v2
+/// full-text parking against v3 full+delta parking — v4 readers that
+/// assumed exactly four phases must not index past `reply`.
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Emits the shared metadata fields into the CURRENT object scope:
 ///   "schema_version": 3,

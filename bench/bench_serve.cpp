@@ -12,9 +12,16 @@
 // Throughput (samples/sec per cell) is report-only: this host is a
 // shared CI box and the serving layer's scheduling is the subject under
 // test, not the machine. Each cell also reports p50/p95/p99 per request
-// phase (queue wait, restore, execute, reply), read straight from the
+// phase (queue wait, restore, execute, reply, plus checkpoint — park
+// serialization, observed once per eviction), read straight from the
 // server's qtserve_phase_us histograms — log2-bucket upper bounds, so
-// they are coarse but comparable across runs.
+// they are coarse but comparable across runs — and the park/restore
+// byte totals split by snapshot format (v2/v3) and kind (full/delta).
+// A final park_formats section runs the same forced-eviction churn
+// under v2 full-text parking and v3 full+delta parking and compares
+// the bytes written per format; the two runs' final snapshots must be
+// byte-identical (the park format is bit-invisible), and that equality
+// IS exit-code gated.
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -64,8 +71,8 @@ std::string standalone_snapshot(const serve::SessionSpec& spec) {
 }
 
 constexpr const char* kPhases[] = {"queue_wait", "restore", "execute",
-                                   "reply"};
-constexpr std::size_t kPhaseCount = 4;
+                                   "reply", "checkpoint"};
+constexpr std::size_t kPhaseCount = 5;
 
 struct PhaseStats {
   std::uint64_t count = 0;
@@ -74,6 +81,37 @@ struct PhaseStats {
   std::uint64_t p99 = 0;
 };
 
+// Park/restore byte totals, one slot per registered counter series
+// (qtserve_park_bytes_total / qtserve_restore_bytes_total).
+struct FormatBytes {
+  std::uint64_t v2_full = 0;
+  std::uint64_t v3_full = 0;
+  std::uint64_t v3_delta = 0;
+  std::uint64_t total() const { return v2_full + v3_full + v3_delta; }
+};
+
+FormatBytes read_format_bytes(telemetry::MetricsRegistry& metrics,
+                              const std::string& name) {
+  FormatBytes out;
+  out.v2_full =
+      metrics.counter(name, {{"format", "v2"}, {"kind", "full"}}).value();
+  out.v3_full =
+      metrics.counter(name, {{"format", "v3"}, {"kind", "full"}}).value();
+  out.v3_delta =
+      metrics.counter(name, {{"format", "v3"}, {"kind", "delta"}}).value();
+  return out;
+}
+
+void write_format_bytes(bench::JsonWriter& json, const char* key,
+                        const FormatBytes& bytes) {
+  json.key(key);
+  json.begin_object();
+  json.field("v2_full", bytes.v2_full);
+  json.field("v3_full", bytes.v3_full);
+  json.field("v3_delta", bytes.v3_delta);
+  json.end_object();
+}
+
 struct Cell {
   std::size_t sessions;
   unsigned workers;
@@ -81,6 +119,8 @@ struct Cell {
   std::uint64_t wall_us = 0;
   std::uint64_t lru_evictions = 0;
   std::uint64_t restores = 0;
+  FormatBytes park_bytes;
+  FormatBytes restore_bytes;
   PhaseStats phases[kPhaseCount];
   bool verified = false;
 };
@@ -167,8 +207,110 @@ bool run_cell(std::size_t sessions, unsigned workers, Cell* out) {
     out->phases[p].p95 = telemetry::histogram_percentile_upper_bound(h, 0.95);
     out->phases[p].p99 = telemetry::histogram_percentile_upper_bound(h, 0.99);
   }
+  out->park_bytes = read_format_bytes(metrics, "qtserve_park_bytes_total");
+  out->restore_bytes =
+      read_format_bytes(metrics, "qtserve_restore_bytes_total");
   out->verified = true;
   return true;
+}
+
+// --- park-format comparison -------------------------------------------
+//
+// Two sessions ping-pong through one hot slot, so every Step evicts the
+// other session: a worst-case churn workload where the park format's
+// byte cost dominates. Run once per format over the identical request
+// sequence; report the park/restore byte totals and gate on the final
+// snapshots of the two runs being byte-identical.
+
+constexpr std::size_t kChurnRounds = 12;
+constexpr std::uint64_t kChurnSteps = 128;
+
+// A 32x32 world (1024 states) makes the comparison meaningful: each
+// 128-step epoch dirties a small fraction of the rows, so the dirty-row
+// delta's advantage over any full image (text or binary) is visible. On
+// a world small enough that every epoch touches most rows, deltas
+// degenerate to full images plus per-row framing and the comparison
+// would only measure integer-formatting noise.
+serve::SessionSpec churn_spec(std::size_t index) {
+  serve::SessionSpec spec = spec_for(index);
+  spec.width = 32;
+  spec.height = 32;
+  return spec;
+}
+
+struct ParkFormatResult {
+  FormatBytes park_bytes;
+  FormatBytes restore_bytes;
+  std::uint64_t evictions = 0;
+  std::uint64_t restores = 0;
+  std::string snapshots[2];
+};
+
+bool run_park_churn(serve::ParkFormat format, ParkFormatResult* out) {
+  serve::ServerOptions options;
+  options.max_hot = 1;
+  options.workers = 2;
+  options.max_queue = 4;
+  options.park_format = format;
+  serve::LoopbackTransport transport(options);
+
+  serve::SessionId ids[2];
+  for (std::size_t i = 0; i < 2; ++i) {
+    serve::Request req;
+    req.type = serve::RequestType::kCreateSession;
+    req.spec = churn_spec(i);
+    const serve::Response resp = transport.call(req);
+    if (resp.status != serve::Status::kOk) {
+      std::cerr << "park churn create failed: " << resp.error << "\n";
+      return false;
+    }
+    ids[i] = resp.session;
+  }
+
+  for (std::size_t round = 0; round < kChurnRounds; ++round) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      serve::Request req;
+      req.type = serve::RequestType::kStep;
+      req.session = ids[i];
+      req.steps = kChurnSteps;
+      const serve::Response resp = transport.call(req);
+      if (resp.status != serve::Status::kOk) {
+        std::cerr << "park churn step failed: " << resp.error << "\n";
+        return false;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    serve::Request req;
+    req.type = serve::RequestType::kSnapshot;
+    req.session = ids[i];
+    const serve::Response resp = transport.call(req);
+    if (resp.status != serve::Status::kOk) {
+      std::cerr << "park churn snapshot failed: " << resp.error << "\n";
+      return false;
+    }
+    out->snapshots[i] = resp.snapshot;
+  }
+
+  telemetry::MetricsRegistry& metrics = transport.server().metrics();
+  out->park_bytes = read_format_bytes(metrics, "qtserve_park_bytes_total");
+  out->restore_bytes =
+      read_format_bytes(metrics, "qtserve_restore_bytes_total");
+  out->evictions = transport.server().sessions().lru_evictions();
+  out->restores = transport.server().sessions().restores();
+  return true;
+}
+
+void write_park_format_result(bench::JsonWriter& json, const char* key,
+                              const ParkFormatResult& result) {
+  json.key(key);
+  json.begin_object();
+  write_format_bytes(json, "park_bytes", result.park_bytes);
+  write_format_bytes(json, "restore_bytes", result.restore_bytes);
+  json.field("lru_evictions", result.evictions);
+  json.field("restores", result.restores);
+  json.end_object();
 }
 
 bool check_overload_semantics() {
@@ -241,11 +383,36 @@ int main() {
                   << cell.phases[p].count << ")";
       }
       std::cout << "\n";
+      std::cout << "  park bytes v2_full/v3_full/v3_delta: "
+                << cell.park_bytes.v2_full << "/" << cell.park_bytes.v3_full
+                << "/" << cell.park_bytes.v3_delta
+                << "  restore bytes: " << cell.restore_bytes.v2_full << "/"
+                << cell.restore_bytes.v3_full << "/"
+                << cell.restore_bytes.v3_delta << "\n";
       cells.push_back(cell);
     }
   }
   if (!check_overload_semantics()) return 1;
   std::cout << "overload gate: 16 posts vs bound 8 -> 8 ok + 8 refused\n";
+
+  // Park-format comparison (report-only bytes; bit-exactness gated).
+  ParkFormatResult v2_result, v3_result;
+  if (!run_park_churn(serve::ParkFormat::kV2Text, &v2_result)) return 1;
+  if (!run_park_churn(serve::ParkFormat::kV3Binary, &v3_result)) return 1;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (v2_result.snapshots[i] != v3_result.snapshots[i]) {
+      std::cerr << "park format gate: session " << i
+                << " snapshot differs between v2 and v3 parking\n";
+      return 1;
+    }
+  }
+  std::cout << "park formats (2 sessions x 1 hot slot, " << kChurnRounds
+            << " rounds x " << kChurnSteps << " steps, bit-exact):\n"
+            << "  v2 full-text parks: " << v2_result.park_bytes.v2_full
+            << " bytes over " << v2_result.evictions << " evictions\n"
+            << "  v3 full+delta parks: " << v3_result.park_bytes.v3_full
+            << " full + " << v3_result.park_bytes.v3_delta
+            << " delta bytes over " << v3_result.evictions << " evictions\n";
 
   bench::JsonWriter json;
   json.begin_object();
@@ -269,6 +436,8 @@ int main() {
                          static_cast<double>(cell.wall_us));
     json.field("lru_evictions", cell.lru_evictions);
     json.field("restores", cell.restores);
+    write_format_bytes(json, "park_bytes", cell.park_bytes);
+    write_format_bytes(json, "restore_bytes", cell.restore_bytes);
     json.key("phases");
     json.begin_object();
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -285,6 +454,19 @@ int main() {
     json.end_object();
   }
   json.end_array();
+  json.key("park_formats");
+  json.begin_object();
+  json.key("workload");
+  json.begin_object();
+  json.field("sessions", std::uint64_t{2});
+  json.field("max_hot", std::uint64_t{1});
+  json.field("rounds", static_cast<std::uint64_t>(kChurnRounds));
+  json.field("steps_per_round", kChurnSteps);
+  json.end_object();
+  write_park_format_result(json, "v2", v2_result);
+  write_park_format_result(json, "v3", v3_result);
+  json.field("bit_exact_across_formats", true);
+  json.end_object();
   json.end_object();
   if (!json.write_file("BENCH_serve.json")) {
     std::cerr << "failed to write BENCH_serve.json\n";

@@ -19,8 +19,9 @@
 //
 // The device also exposes the machine-snapshot path (the DMA window of
 // the real part): save_snapshot quiesces the engine and streams a
-// QTACCEL-SNAPSHOT v2 image; load_snapshot is START-with-state — it
-// builds an engine from the current CSRs and restores the image into it,
+// QTACCEL-SNAPSHOT image (v2 text by default, v3 binary on request);
+// load_snapshot is START-with-state — it builds an engine from the
+// current CSRs and restores the image into it (either format, sniffed),
 // resuming bit-exactly.
 #pragma once
 
@@ -31,6 +32,7 @@
 #include "driver/register_map.h"
 #include "env/environment.h"
 #include "runtime/engine.h"
+#include "runtime/snapshot.h"  // SnapshotFormat
 
 namespace qta::driver {
 
@@ -68,14 +70,17 @@ class QtAccelDevice {
 
   /// Snapshot path (models the DMA window). save_snapshot quiesces the
   /// machine (drains in-flight work without issuing new samples) and
-  /// writes a QTACCEL-SNAPSHOT v2 image; aborts if no engine has been
-  /// started. BUSY/DONE are unchanged — a quiesced engine resumes on
-  /// the next advance.
-  void save_snapshot(std::ostream& os);
+  /// writes a QTACCEL-SNAPSHOT image in `format` (v2 text by default,
+  /// v3 binary for compact DMA captures; runtime/snapshot.h); aborts if
+  /// no engine has been started. BUSY/DONE are unchanged — a quiesced
+  /// engine resumes on the next advance.
+  void save_snapshot(std::ostream& os,
+                     runtime::SnapshotFormat format =
+                         runtime::SnapshotFormat::kV2Text);
   /// START-with-state: builds an engine from the current CSR config
   /// (validity-checked exactly like START) and restores the snapshot
-  /// into it. BUSY/DONE reflect the restored sample count against the
-  /// current sample target.
+  /// into it (v2 or v3, sniffed from the stream). BUSY/DONE reflect the
+  /// restored sample count against the current sample target.
   void load_snapshot(std::istream& is);
 
  private:

@@ -1,5 +1,7 @@
 #include "qtaccel/fast_engine.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "env/grid_world.h"
 #include "env/value_iteration.h"
@@ -59,6 +61,9 @@ FastEngine::FastEngine(const env::Environment& env,
   for (StateId s = 0; s < env.num_states(); ++s) {
     terminal_[s] = env.is_terminal(s) ? 1 : 0;
   }
+  // Fresh engine: conservative all-dirty epoch (see machine_state.h).
+  dirty_rows_.assign(env.num_states(), 0);
+  dirty_all_ = true;
   noise_bits_ = env.transition_noise_bits();
   if (noise_bits_ == 0) {
     grid_ = dynamic_cast<const env::GridWorld*>(&env);
@@ -130,6 +135,7 @@ QmaxUnit::Entry FastEngine::qmax_entry(StateId s) const {
 
 void FastEngine::preset_q(StateId s, ActionId a, fixed::raw_t value) {
   q_[map_.q_addr(s, a)] = fixed::saturate(value, config_.q_fmt);
+  dirty_rows_[s] = 1;
 }
 
 void FastEngine::rebuild_qmax() {
@@ -150,6 +156,9 @@ void FastEngine::rebuild_qmax() {
     qmax_value_[s] = value;
     qmax_action_[s] = action;
   }
+  // Every Qmax row was rewritten (possibly lowered below the old
+  // monotone value), so the epoch collapses to all-dirty.
+  dirty_all_ = true;
 }
 
 void FastEngine::exact_row_max(const std::vector<fixed::raw_t>& table,
@@ -347,6 +356,7 @@ void FastEngine::step_one_t() {
 
   // --- write-back (stage 4) ---
   learn[sa_addr] = new_q;
+  dirty_rows_[s] = 1;
   bool raised = false;
   if constexpr (kAlgo != Algorithm::kExpectedSarsa &&
                 kAlgo != Algorithm::kDoubleQ && kMono) {
@@ -525,6 +535,8 @@ MachineState FastEngine::save_state() const {
   ms.wb_addrs = wb_ring_;
   ms.stats = stats_;
   ms.dsp_saturations = dsp_saturations_;
+  ms.dirty.rows = dirty_rows_;
+  ms.dirty.all = dirty_all_;
   return ms;
 }
 
@@ -552,6 +564,28 @@ void FastEngine::load_state(const MachineState& ms) {
   raise_ring_ = {};
   stats_ = ms.stats;
   dsp_saturations_ = ms.dsp_saturations;
+
+  // Adopt the carried dirty-row epoch; any mismatch (or a
+  // default-constructed DirtyRows) collapses to conservative all-dirty.
+  if (!ms.dirty.all && ms.dirty.rows.size() == dirty_rows_.size()) {
+    dirty_rows_ = ms.dirty.rows;
+    dirty_all_ = false;
+  } else {
+    std::fill(dirty_rows_.begin(), dirty_rows_.end(), 0);
+    dirty_all_ = true;
+  }
+}
+
+void FastEngine::reset_dirty_rows() {
+  std::fill(dirty_rows_.begin(), dirty_rows_.end(), 0);
+  dirty_all_ = false;
+}
+
+std::uint64_t FastEngine::dirty_row_count() const {
+  if (dirty_all_) return env_.num_states();
+  std::uint64_t n = 0;
+  for (const std::uint8_t b : dirty_rows_) n += b;
+  return n;
 }
 
 }  // namespace qta::qtaccel

@@ -94,6 +94,11 @@ class FastEngine {
   MachineState save_state() const;
   void load_state(const MachineState& ms);
 
+  /// Dirty-row epoch control (machine_state.h DirtyRows), mirroring
+  /// Pipeline::reset_dirty_rows/dirty_row_count.
+  void reset_dirty_rows();
+  std::uint64_t dirty_row_count() const;
+
   const env::Environment& environment() const { return env_; }
   const PipelineConfig& config() const { return config_; }
   const AddressMap& address_map() const { return map_; }
@@ -193,6 +198,10 @@ class FastEngine {
   }
 
   PipelineStats stats_;
+  // Dirty-row tracking (machine_state.h DirtyRows): marked at the Q
+  // write / Qmax raise site in step_one_t and at preset_q.
+  std::vector<std::uint8_t> dirty_rows_;
+  bool dirty_all_ = true;
   // Saturations per stage-3 product in {r, old, next} order, matching
   // MachineState::dsp_saturations and Pipeline's three DspMultipliers.
   std::array<std::uint64_t, 3> dsp_saturations_{};

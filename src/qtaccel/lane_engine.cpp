@@ -455,6 +455,8 @@ void LaneEngine::init_lanes(const std::vector<LaneSpec>& lanes) {
   q2_.resize(lanes_);
   qmax_value_.resize(lanes_);
   qmax_action_.resize(lanes_);
+  dirty_rows_.resize(lanes_);
+  dirty_all_.assign(lanes_, 1);
   episode_start_.assign(lanes_, 1);
   state_.assign(lanes_, 0);
   pending_action_.assign(lanes_, kInvalidAction);
@@ -513,6 +515,9 @@ void LaneEngine::init_lanes(const std::vector<LaneSpec>& lanes) {
       advise_huge_pages(qmax_value_[i]);
       advise_huge_pages(qmax_action_[i]);
     }
+    // Dirty-row flags are sized even for deferred lanes (put_state may
+    // adopt a conservative epoch that needs a zeroed bitmap to land in).
+    dirty_rows_[i].assign(spec.env->num_states(), 0);
 
     const fixed::Format qf = spec.config.q_fmt;
     const fixed::Format cf = spec.config.coeff_fmt;
@@ -546,6 +551,7 @@ LaneEngine::Hot LaneEngine::make_hot(std::size_t lane) {
   h.qmax_v = qmax_value_[lane].empty() ? nullptr : qmax_value_[lane].data();
   h.qmax_a =
       qmax_action_[lane].empty() ? nullptr : qmax_action_[lane].data();
+  h.dirty = dirty_rows_[lane].data();
   h.reward = img.reward.data();
   h.terminal = img.terminal.data();
   h.sa_rec = img.sa.empty() ? nullptr : img.sa.data();
@@ -855,6 +861,7 @@ void LaneEngine::pass_retire(Hot& L, std::size_t slot) {
   const ActionId a = L.a;
   const fixed::raw_t new_q = sc_.new_q[slot];
   L.learn_tables[L.table][L.sa_addr] = new_q;
+  L.dirty[s] = 1;
 
   bool raised = false;
   if constexpr (kAlgo != Algorithm::kExpectedSarsa &&
@@ -1184,6 +1191,7 @@ void LaneEngine::preset_q(std::size_t lane, StateId s, ActionId a,
                           fixed::raw_t value) {
   q_[lane][map_[lane].q_addr(s, a)] =
       fixed::saturate(value, config_[lane].q_fmt);
+  dirty_rows_[lane][s] = 1;
 }
 
 void LaneEngine::rebuild_qmax(std::size_t lane) {
@@ -1203,6 +1211,9 @@ void LaneEngine::rebuild_qmax(std::size_t lane) {
     qmax_value_[lane][s] = value;
     qmax_action_[lane][s] = action;
   }
+  // Every Qmax row was rewritten (possibly lowered below the old
+  // monotone value), so the epoch collapses to all-dirty.
+  dirty_all_[lane] = 1;
 }
 
 MachineState LaneEngine::save_state(std::size_t lane) const {
@@ -1220,6 +1231,8 @@ MachineState LaneEngine::save_state(std::size_t lane) const {
   ms.wb_addrs = wb_ring_[lane];
   ms.stats = stats_[lane];
   ms.dsp_saturations = dsp_saturations_[lane];
+  ms.dirty.rows = dirty_rows_[lane];
+  ms.dirty.all = dirty_all_[lane] != 0;
   return ms;
 }
 
@@ -1241,10 +1254,16 @@ MachineState LaneEngine::take_state(std::size_t lane) {
   ms.wb_addrs = wb_ring_[lane];
   ms.stats = stats_[lane];
   ms.dsp_saturations = dsp_saturations_[lane];
+  ms.dirty.rows = std::move(dirty_rows_[lane]);
+  ms.dirty.all = dirty_all_[lane] != 0;
   q_[lane].clear();
   q2_[lane].clear();
   qmax_value_[lane].clear();
   qmax_action_[lane].clear();
+  // Leave a zeroed, correctly sized bitmap behind so put_state can adopt
+  // into it and preset_q on a deferred lane stays in bounds.
+  dirty_rows_[lane].assign(image_[lane]->num_states, 0);
+  dirty_all_[lane] = 1;
   return ms;
 }
 
@@ -1277,6 +1296,28 @@ void LaneEngine::put_state(std::size_t lane, MachineState&& ms) {
   raise_ring_[lane] = {};
   stats_[lane] = ms.stats;
   dsp_saturations_[lane] = ms.dsp_saturations;
+
+  // Adopt the carried dirty-row epoch; any mismatch (or a
+  // default-constructed DirtyRows) collapses to conservative all-dirty.
+  if (!ms.dirty.all && ms.dirty.rows.size() == img.num_states) {
+    dirty_rows_[lane] = std::move(ms.dirty.rows);
+    dirty_all_[lane] = 0;
+  } else {
+    dirty_rows_[lane].assign(img.num_states, 0);
+    dirty_all_[lane] = 1;
+  }
+}
+
+void LaneEngine::reset_dirty_rows(std::size_t lane) {
+  std::fill(dirty_rows_[lane].begin(), dirty_rows_[lane].end(), 0);
+  dirty_all_[lane] = 0;
+}
+
+std::uint64_t LaneEngine::dirty_row_count(std::size_t lane) const {
+  if (dirty_all_[lane] != 0) return image_[lane]->num_states;
+  std::uint64_t n = 0;
+  for (const std::uint8_t b : dirty_rows_[lane]) n += b;
+  return n;
 }
 
 }  // namespace qta::qtaccel

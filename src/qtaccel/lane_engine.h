@@ -159,6 +159,13 @@ class LaneEngine {
   MachineState take_state(std::size_t lane);
   void put_state(std::size_t lane, MachineState&& ms);
 
+  /// Dirty-row epoch control per lane (machine_state.h DirtyRows),
+  /// mirroring Pipeline::reset_dirty_rows/dirty_row_count. The epoch
+  /// travels with the lane's MachineState through save/load/take/put, so
+  /// it survives lane-group donation.
+  void reset_dirty_rows(std::size_t lane);
+  std::uint64_t dirty_row_count(std::size_t lane) const;
+
   const env::Environment& environment(std::size_t lane) const {
     return *image_[lane]->env;
   }
@@ -233,6 +240,7 @@ class LaneEngine {
     fixed::raw_t* learn_tables[2] = {nullptr, nullptr};  // [0]=q, [1]=q2
     fixed::raw_t* qmax_v = nullptr;
     ActionId* qmax_a = nullptr;
+    std::uint8_t* dirty = nullptr;  // per-state dirty-row flags
     const fixed::raw_t* reward = nullptr;
     const std::uint8_t* terminal = nullptr;
     const EnvImage::SaRecord* sa_rec = nullptr;  // null => compute
@@ -356,6 +364,11 @@ class LaneEngine {
   std::vector<std::vector<fixed::raw_t>> q2_;
   std::vector<std::vector<fixed::raw_t>> qmax_value_;
   std::vector<std::vector<ActionId>> qmax_action_;
+
+  // Per-lane dirty-row tracking (machine_state.h DirtyRows), marked at
+  // the retire-pass write-back through Hot::dirty.
+  std::vector<std::vector<std::uint8_t>> dirty_rows_;
+  std::vector<std::uint8_t> dirty_all_;
 
   // Walk state, flat per-lane arrays.
   std::vector<std::uint8_t> episode_start_;

@@ -39,6 +39,30 @@
 
 namespace qta::qtaccel {
 
+/// Cheap dirty-row tracking carried alongside a machine state: which
+/// states' table rows changed since the engine's last
+/// reset_dirty_rows() epoch. One flag per state covers Q, Q2, AND Qmax
+/// — every table write (the stage-4 write-back, the conditional Qmax
+/// raise, a warm-start preset) lands at the retiring sample's state s,
+/// so the three tables share one row set. Transient bookkeeping: full
+/// snapshots ignore it; write_snapshot_delta (runtime/snapshot.h)
+/// consumes it to serialize only touched rows. Default-constructed —
+/// and adopted from any state of unknown provenance (fresh engine,
+/// generic load, rebuild_qmax) — as conservatively all-dirty.
+struct DirtyRows {
+  std::vector<std::uint8_t> rows;  ///< per-state touched flags; may be empty
+  bool all = true;  ///< treat every row as dirty (rows is then ignored)
+
+  /// Marked rows, collapsing to `num_states` when tracking is
+  /// conservative (all set, or rows not sized for this geometry).
+  std::uint64_t count(std::size_t num_states) const {
+    if (all || rows.size() != num_states) return num_states;
+    std::uint64_t n = 0;
+    for (const std::uint8_t b : rows) n += b;
+    return n;
+  }
+};
+
 struct MachineState {
   /// Empty slot in wb_addrs. AddressMap tagged addresses use at most
   /// state_bits + action_bits + 1 bits, so ~0 never collides.
@@ -76,6 +100,13 @@ struct MachineState {
   // Invocation counts are not stored: each DSP multiplies exactly once
   // per retired sample, so invocations == stats.samples by construction.
   std::array<std::uint64_t, 3> dsp_saturations{};
+
+  // Dirty-row tracking epoch (DirtyRows above), carried so the epoch
+  // survives save/load and lane-group take/put donation. Transient
+  // bookkeeping, not part of the serialized machine state: full
+  // snapshots ignore it, and a state restored from one adopts the
+  // conservative all-dirty default.
+  DirtyRows dirty;
 };
 
 }  // namespace qta::qtaccel

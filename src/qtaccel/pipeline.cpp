@@ -1,5 +1,6 @@
 #include "qtaccel/pipeline.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <ostream>
@@ -88,7 +89,11 @@ Pipeline::Pipeline(const env::Environment& env, const PipelineConfig& config,
   QTA_CHECK(shared_q && shared_r && shared_qmax);
   QTA_CHECK(shared_q->depth() == map_.depth());
   QTA_CHECK(port_base + 1 < shared_q->ports());
-  // Shared tables are clocked by their owner (MultiPipeline), not here.
+  // Shared tables are clocked by their owner (MultiPipeline), not here —
+  // init_tables() is skipped, but the dirty-row bitmap is per-pipeline
+  // bookkeeping and must still be sized for stage-4 marking.
+  dirty_rows_.assign(env.num_states(), 0);
+  dirty_all_ = true;
 }
 
 void Pipeline::init_tables() {
@@ -98,6 +103,10 @@ void Pipeline::init_tables() {
                        fixed::from_double(env_.reward(s, a), config_.q_fmt));
     }
   }
+  // A fresh pipeline starts a conservative all-dirty epoch: nothing has
+  // been checkpointed yet, so every row must go into the next full image.
+  dirty_rows_.assign(env_.num_states(), 0);
+  dirty_all_ = true;
 }
 
 fixed::raw_t Pipeline::q_raw(StateId s, ActionId a) const {
@@ -145,6 +154,7 @@ QmaxUnit::Entry Pipeline::qmax_entry(StateId s) const {
 void Pipeline::preset_q(StateId s, ActionId a, fixed::raw_t value) {
   QTA_CHECK_MSG(!in_flight(), "preset while the pipeline is running");
   q_table_->preset(map_.q_addr(s, a), fixed::saturate(value, config_.q_fmt));
+  dirty_rows_[s] = 1;
 }
 
 void Pipeline::rebuild_qmax() {
@@ -169,6 +179,9 @@ void Pipeline::rebuild_qmax() {
     if (e.value < 0) e = {0, 0};
     qmax_->preset(s, e);
   }
+  // Every Qmax row was rewritten (possibly lowered below the old
+  // monotone value), so the epoch collapses to all-dirty.
+  dirty_all_ = true;
 }
 
 std::uint64_t Pipeline::dsp_saturations() const {
@@ -223,6 +236,7 @@ void Pipeline::do_stage4() {
   }
   hw::Bram* learn_bram = in.table == 1 ? q2_table_ : q_table_;
   learn_bram->write(wr_port_, map_.q_addr(in.s, in.a), in.new_q);
+  dirty_rows_[in.s] = 1;
   // (Expected SARSA and Double-Q carry no Qmax table.)
   if (config_.qmax == QmaxMode::kMonotoneTable &&
       config_.algorithm != Algorithm::kExpectedSarsa &&
@@ -638,6 +652,8 @@ MachineState Pipeline::save_state() const {
   ms.stats = stats_;
   ms.dsp_saturations = {dsp_r_.saturations(), dsp_old_.saturations(),
                         dsp_next_.saturations()};
+  ms.dirty.rows = dirty_rows_;
+  ms.dirty.all = dirty_all_;
   return ms;
 }
 
@@ -710,6 +726,28 @@ void Pipeline::load_state(const MachineState& ms) {
   dsp_r_.restore_counters(ms.stats.samples, ms.dsp_saturations[0]);
   dsp_old_.restore_counters(ms.stats.samples, ms.dsp_saturations[1]);
   dsp_next_.restore_counters(ms.stats.samples, ms.dsp_saturations[2]);
+
+  // Adopt the carried dirty-row epoch; any mismatch (or a
+  // default-constructed DirtyRows) collapses to conservative all-dirty.
+  if (!ms.dirty.all && ms.dirty.rows.size() == num_states) {
+    dirty_rows_ = ms.dirty.rows;
+    dirty_all_ = false;
+  } else {
+    dirty_rows_.assign(num_states, 0);
+    dirty_all_ = true;
+  }
+}
+
+void Pipeline::reset_dirty_rows() {
+  std::fill(dirty_rows_.begin(), dirty_rows_.end(), 0);
+  dirty_all_ = false;
+}
+
+std::uint64_t Pipeline::dirty_row_count() const {
+  if (dirty_all_) return env_.num_states();
+  std::uint64_t n = 0;
+  for (const std::uint8_t b : dirty_rows_) n += b;
+  return n;
 }
 
 }  // namespace qta::qtaccel

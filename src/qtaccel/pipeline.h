@@ -139,6 +139,15 @@ class Pipeline {
   MachineState save_state() const;
   void load_state(const MachineState& ms);
 
+  /// Dirty-row epoch control (machine_state.h DirtyRows). Rows are
+  /// marked at every table write site (stage-4 write-back + Qmax raise,
+  /// preset_q); reset_dirty_rows() starts a fresh epoch after a full
+  /// checkpoint. dirty_row_count() collapses to num_states while the
+  /// epoch is conservative (fresh pipeline, adopted unknown state,
+  /// rebuild_qmax).
+  void reset_dirty_rows();
+  std::uint64_t dirty_row_count() const;
+
  private:
   struct S1Latch {
     bool valid = false;
@@ -224,6 +233,11 @@ class Pipeline {
   void emit_waveform_line();
   void emit_cycle_event(bool allow_issue, bool issued,
                         const PipelineStats& before, std::uint64_t dsp_before);
+
+  // Dirty-row tracking (machine_state.h DirtyRows): one byte per state,
+  // marked where stage 4 commits the Q write and conditional Qmax raise.
+  std::vector<std::uint8_t> dirty_rows_;
+  bool dirty_all_ = true;
 
   PipelineStats stats_;
   std::vector<SampleTrace>* trace_ = nullptr;

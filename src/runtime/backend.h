@@ -42,6 +42,11 @@ struct BackendCaps {
   bool single_cycle_step = false;  // tick()-level stepping (driver CSR run)
   bool lane_batched = false;  // state can migrate into a lane group
                               // (runtime/lane_coalescer.h) and back, O(1)
+  bool dirty_rows = false;    // tracks rows written since the last
+                              // reset_dirty_rows() epoch
+                              // (qtaccel/machine_state.h DirtyRows), so
+                              // delta checkpoints serialize only touched
+                              // rows (runtime/snapshot.h)
 };
 
 class QrlBackend {
@@ -85,6 +90,18 @@ class QrlBackend {
   /// a state saved here restores on any backend of the same config.
   virtual qtaccel::MachineState save_state() const = 0;
   virtual void load_state(const qtaccel::MachineState& ms) = 0;
+
+  /// Dirty-row epoch control (qtaccel/machine_state.h DirtyRows),
+  /// meaningful only when caps().dirty_rows. reset_dirty_rows() starts a
+  /// fresh epoch after a full checkpoint; dirty_row_count() is the rows
+  /// a delta since that epoch would carry, collapsing to num_states
+  /// while tracking is conservative (fresh engine, adopted unknown
+  /// state, rebuild_qmax) — callers use it to decide delta vs full
+  /// without serializing anything.
+  virtual void reset_dirty_rows() {}
+  virtual std::uint64_t dirty_row_count() const {
+    return environment().num_states();
+  }
 
   virtual const env::Environment& environment() const = 0;
   virtual const qtaccel::PipelineConfig& config() const = 0;

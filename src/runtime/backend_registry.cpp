@@ -33,6 +33,7 @@ class PipelineBackend final : public QrlBackend {
     c.cycle_events = true;
     c.port_audit = true;
     c.single_cycle_step = true;
+    c.dirty_rows = true;
     return c;
   }
 
@@ -82,6 +83,10 @@ class PipelineBackend final : public QrlBackend {
   void load_state(const qtaccel::MachineState& ms) override {
     pipe_.load_state(ms);
   }
+  void reset_dirty_rows() override { pipe_.reset_dirty_rows(); }
+  std::uint64_t dirty_row_count() const override {
+    return pipe_.dirty_row_count();
+  }
 
   const env::Environment& environment() const override {
     return pipe_.environment();
@@ -106,7 +111,11 @@ class FastEngineBackend final : public QrlBackend {
       : fast_(env, config) {}
 
   qtaccel::Backend kind() const override { return qtaccel::Backend::kFast; }
-  BackendCaps caps() const override { return BackendCaps{}; }
+  BackendCaps caps() const override {
+    BackendCaps c;
+    c.dirty_rows = true;
+    return c;
+  }
 
   void run_iterations(std::uint64_t n) override { fast_.run_iterations(n); }
   void run_samples(std::uint64_t n) override { fast_.run_samples(n); }
@@ -154,6 +163,10 @@ class FastEngineBackend final : public QrlBackend {
   void load_state(const qtaccel::MachineState& ms) override {
     fast_.load_state(ms);
   }
+  void reset_dirty_rows() override { fast_.reset_dirty_rows(); }
+  std::uint64_t dirty_row_count() const override {
+    return fast_.dirty_row_count();
+  }
 
   const env::Environment& environment() const override {
     return fast_.environment();
@@ -184,6 +197,7 @@ class LaneEngineBackend final : public QrlBackend {
   BackendCaps caps() const override {
     BackendCaps c;
     c.lane_batched = true;
+    c.dirty_rows = true;
     return c;
   }
 
@@ -234,6 +248,10 @@ class LaneEngineBackend final : public QrlBackend {
   }
   void load_state(const qtaccel::MachineState& ms) override {
     lanes_.load_state(0, ms);
+  }
+  void reset_dirty_rows() override { lanes_.reset_dirty_rows(0); }
+  std::uint64_t dirty_row_count() const override {
+    return lanes_.dirty_row_count(0);
   }
 
   const env::Environment& environment() const override {

@@ -81,6 +81,13 @@ class Engine {
     backend_->load_state(ms);
   }
 
+  /// Dirty-row epoch control for delta checkpoints (see
+  /// QrlBackend::reset_dirty_rows/dirty_row_count in runtime/backend.h).
+  void reset_dirty_rows() { backend_->reset_dirty_rows(); }
+  std::uint64_t dirty_row_count() const {
+    return backend_->dirty_row_count();
+  }
+
   const env::Environment& environment() const {
     return backend_->environment();
   }

@@ -243,6 +243,378 @@ qtaccel::MachineState read_snapshot_body(std::istream& is,
   return ms;
 }
 
+// --- v3 binary payload (after the "QTACCEL-SNAPSHOT v3\n" prolog) ---
+//
+// Everything below the prolog is little-endian binary. Layout (see
+// docs/runtime.md for the normative grammar):
+//
+//   u8  kind              0 = full image, 1 = dirty-row delta
+//   fingerprint: u8 algorithm, u8 hazard, u8 qmax, u64 alpha_bits,
+//     u64 gamma_bits, u64 epsilon_bits_pattern, u32 epsilon_bits,
+//     u32 q_width, u32 q_frac, u32 c_width, u32 c_frac,
+//     u64 max_episode_length, u64 states, u64 actions
+//   registers: u64 rng[4], u8 episode_start, u64 state,
+//     u64 pending_action, u64 episode_steps, u64 wb_addrs[3],
+//     u64 stats[11], u64 dsp[3]
+//   full tables: (u64 count, i64 words...) for q, q2, qmaxv, then
+//     u64 count + u64 actions... for qmaxa — same counts and range
+//     checks as v2
+//   delta tables: u8 has_q2, u64 row_count, then per row (strictly
+//     ascending state): u64 state, i64 q_row[stride],
+//     i64 q2_row[stride] (if has_q2), i64 qmax_value, u64 qmax_action
+//     — stride = 1 << action_bits, i.e. the padded row exactly as the
+//     full table stores it
+//   8-byte end sentinel "QSNAPEND", then '\n'
+//
+// The payload is length-aware (every array is counted), so v3 sections
+// embed in pool/fleet checkpoint streams exactly like v2 text sections.
+
+constexpr char kV3EndSentinel[8] = {'Q', 'S', 'N', 'A', 'P', 'E', 'N', 'D'};
+constexpr std::uint8_t kV3KindFull = 0;
+constexpr std::uint8_t kV3KindDelta = 1;
+
+/// Buffered little-endian writer: one os.write at the end keeps the
+/// serialize path a straight memcpy loop.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void end_sentinel() { buf_.append(kV3EndSentinel, sizeof(kV3EndSentinel)); }
+  void flush(std::ostream& os) {
+    os.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  }
+
+ private:
+  std::string buf_;
+};
+
+/// Byte-counting little-endian reader. Failures keep the v2-style
+/// leading message text and source suffix, then append the offset into
+/// the binary payload ("... (ckpt.bin, pipe 2) at byte 137"), so a
+/// corrupt v3 image names both the offending stream and where in it the
+/// parse died.
+class BinReader {
+ public:
+  BinReader(std::istream& is, const SnapshotSource& src)
+      : is_(is), src_(src) {}
+
+  [[noreturn]] void fail(const char* msg) const {
+    throw SnapshotError{msg + src_.describe() + " at byte " +
+                        std::to_string(offset_)};
+  }
+  void check(bool ok, const char* msg) const {
+    if (!ok) fail(msg);
+  }
+
+  std::uint8_t u8() {
+    char b;
+    raw(&b, 1);
+    return static_cast<std::uint8_t>(b);
+  }
+  std::uint32_t u32() {
+    char b[4];
+    raw(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    char b[8];
+    raw(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  void expect_end_sentinel() {
+    char b[sizeof(kV3EndSentinel)];
+    raw(b, sizeof(kV3EndSentinel));
+    for (std::size_t i = 0; i < sizeof(kV3EndSentinel); ++i) {
+      check(b[i] == kV3EndSentinel[i], "malformed snapshot end sentinel");
+    }
+    // The writer appends one '\n' after the sentinel so v3 sections stay
+    // line-delimited inside pool streams; consume it when present.
+    if (is_.peek() == '\n') is_.get();
+  }
+
+ private:
+  void raw(char* out, std::size_t n) {
+    is_.read(out, static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(is_.gcount()) != n) {
+      fail("truncated snapshot payload");
+    }
+    offset_ += n;
+  }
+
+  std::istream& is_;
+  const SnapshotSource& src_;
+  std::uint64_t offset_ = 0;
+};
+
+void write_v3_prolog_and_kind(std::ostream& os, BinWriter& w,
+                              std::uint8_t kind) {
+  os << kSnapshotMagic << ' ' << kSnapshotVersionV3 << '\n';
+  w.u8(kind);
+}
+
+void write_v3_fingerprint(BinWriter& w, const qtaccel::PipelineConfig& config,
+                          const env::Environment& env) {
+  w.u8(static_cast<std::uint8_t>(config.algorithm));
+  w.u8(static_cast<std::uint8_t>(config.hazard));
+  w.u8(static_cast<std::uint8_t>(config.qmax));
+  w.u64(std::bit_cast<std::uint64_t>(config.alpha));
+  w.u64(std::bit_cast<std::uint64_t>(config.gamma));
+  w.u64(std::bit_cast<std::uint64_t>(config.epsilon));
+  w.u32(config.epsilon_bits);
+  w.u32(config.q_fmt.width);
+  w.u32(config.q_fmt.frac);
+  w.u32(config.coeff_fmt.width);
+  w.u32(config.coeff_fmt.frac);
+  w.u64(config.max_episode_length);
+  w.u64(env.num_states());
+  w.u64(env.num_actions());
+}
+
+/// Reads and validates the v3 fingerprint with the same diagnostics the
+/// v2 reader uses; returns {states, actions}.
+std::pair<std::uint64_t, std::uint64_t> read_v3_fingerprint(
+    BinReader& r, const qtaccel::PipelineConfig& config,
+    const env::Environment& env) {
+  const std::uint8_t algorithm = r.u8();
+  const std::uint8_t hazard = r.u8();
+  const std::uint8_t qmax = r.u8();
+  const std::uint64_t alpha_bits = r.u64();
+  const std::uint64_t gamma_bits = r.u64();
+  const std::uint64_t epsilon_bits_pattern = r.u64();
+  const std::uint32_t epsilon_bits = r.u32();
+  const std::uint32_t q_width = r.u32();
+  const std::uint32_t q_frac = r.u32();
+  const std::uint32_t c_width = r.u32();
+  const std::uint32_t c_frac = r.u32();
+  const std::uint64_t max_episode_length = r.u64();
+  const std::uint64_t states = r.u64();
+  const std::uint64_t actions = r.u64();
+
+  r.check(states == env.num_states() && actions == env.num_actions(),
+          "snapshot geometry does not match the engine's environment");
+  r.check(algorithm == static_cast<unsigned>(config.algorithm) &&
+              hazard == static_cast<unsigned>(config.hazard) &&
+              qmax == static_cast<unsigned>(config.qmax) &&
+              alpha_bits == std::bit_cast<std::uint64_t>(config.alpha) &&
+              gamma_bits == std::bit_cast<std::uint64_t>(config.gamma) &&
+              epsilon_bits_pattern ==
+                  std::bit_cast<std::uint64_t>(config.epsilon) &&
+              epsilon_bits == config.epsilon_bits &&
+              q_width == config.q_fmt.width &&
+              q_frac == config.q_fmt.frac &&
+              c_width == config.coeff_fmt.width &&
+              c_frac == config.coeff_fmt.frac &&
+              max_episode_length == config.max_episode_length,
+          "snapshot fingerprint does not match the engine's config");
+  return {states, actions};
+}
+
+void write_v3_registers(BinWriter& w, const qtaccel::MachineState& ms) {
+  for (const auto v : ms.rng) w.u64(v);
+  w.u8(ms.episode_start ? 1 : 0);
+  w.u64(ms.state);
+  w.u64(ms.pending_action);
+  w.u64(ms.episode_steps);
+  for (const auto v : ms.wb_addrs) w.u64(v);
+  w.u64(ms.stats.iterations);
+  w.u64(ms.stats.samples);
+  w.u64(ms.stats.episodes);
+  w.u64(ms.stats.bubbles);
+  w.u64(ms.stats.cycles);
+  w.u64(ms.stats.issued);
+  w.u64(ms.stats.stall_cycles);
+  w.u64(ms.stats.fwd_q_sa);
+  w.u64(ms.stats.fwd_q_next);
+  w.u64(ms.stats.fwd_qmax);
+  w.u64(ms.stats.adder_saturations);
+  for (const auto v : ms.dsp_saturations) w.u64(v);
+}
+
+void read_v3_registers(BinReader& r, qtaccel::MachineState& ms,
+                       std::uint64_t states) {
+  for (auto& v : ms.rng) v = r.u64();
+  ms.episode_start = r.u8() != 0;
+  ms.state = static_cast<StateId>(r.u64());
+  ms.pending_action = static_cast<ActionId>(r.u64());
+  ms.episode_steps = r.u64();
+  r.check(ms.state < states, "snapshot walk state out of range");
+  for (auto& v : ms.wb_addrs) v = r.u64();
+  ms.stats.iterations = r.u64();
+  ms.stats.samples = r.u64();
+  ms.stats.episodes = r.u64();
+  ms.stats.bubbles = r.u64();
+  ms.stats.cycles = r.u64();
+  ms.stats.issued = r.u64();
+  ms.stats.stall_cycles = r.u64();
+  ms.stats.fwd_q_sa = r.u64();
+  ms.stats.fwd_q_next = r.u64();
+  ms.stats.fwd_qmax = r.u64();
+  ms.stats.adder_saturations = r.u64();
+  for (auto& v : ms.dsp_saturations) v = r.u64();
+}
+
+/// v3 full-image table block: the kind byte and fingerprint/registers
+/// have already been consumed.
+qtaccel::MachineState read_v3_full_body(BinReader& r,
+                                        const qtaccel::PipelineConfig& config,
+                                        const env::Environment& env) {
+  const auto [states, actions] = read_v3_fingerprint(r, config, env);
+  qtaccel::MachineState ms;
+  read_v3_registers(r, ms, states);
+
+  const qtaccel::AddressMap map = qtaccel::make_address_map(env);
+  const std::uint64_t depth = map.depth();
+  const fixed::Format qf = config.q_fmt;
+  const auto read_table = [&](std::uint64_t expected, bool may_be_empty,
+                              std::vector<fixed::raw_t>& out) {
+    const std::uint64_t count = r.u64();
+    r.check(count == expected || (may_be_empty && count == 0),
+            "snapshot table size does not match the engine's geometry");
+    out.resize(count);
+    for (auto& v : out) {
+      v = r.i64();
+      r.check(v >= qf.min_raw() && v <= qf.max_raw(),
+              "snapshot value outside the fixed-point range");
+    }
+  };
+  read_table(depth, /*may_be_empty=*/false, ms.q);
+  read_table(depth, /*may_be_empty=*/true, ms.q2);
+  r.check(ms.q2.empty() ==
+              (config.algorithm != qtaccel::Algorithm::kDoubleQ),
+          "snapshot and config disagree on the second Q table");
+  read_table(states, /*may_be_empty=*/false, ms.qmax_value);
+  const std::uint64_t qmaxa_count = r.u64();
+  r.check(qmaxa_count == states,
+          "snapshot table size does not match the engine's geometry");
+  ms.qmax_action.resize(qmaxa_count);
+  for (auto& a : ms.qmax_action) {
+    a = static_cast<ActionId>(r.u64());
+    r.check(a < actions, "snapshot Qmax action out of range");
+  }
+  r.expect_end_sentinel();
+  return ms;
+}
+
+/// Reads the text prolog shared by v2 and v3 and returns the version
+/// token; for v3 also consumes the single '\n' that separates the
+/// prolog from the binary payload.
+std::string read_snapshot_prolog(std::istream& is,
+                                 const SnapshotSource& src) {
+  std::string magic, version;
+  is >> magic;
+  require(static_cast<bool>(is) && magic == kSnapshotMagic,
+          "not a QTACCEL-SNAPSHOT file", src);
+  is >> version;
+  require(static_cast<bool>(is) &&
+              (version == kSnapshotVersion || version == kSnapshotVersionV3),
+          "unsupported SNAPSHOT version", src);
+  if (version == kSnapshotVersionV3) {
+    require(is.get() == '\n', "truncated or malformed snapshot header", src);
+  }
+  return version;
+}
+
+/// v3 body dispatch after the prolog: full images parse to a state;
+/// standalone deltas are rejected — they only apply onto a base image
+/// (apply_snapshot_delta).
+qtaccel::MachineState read_v3_stream(std::istream& is,
+                                     const qtaccel::PipelineConfig& config,
+                                     const env::Environment& env,
+                                     const SnapshotSource& src) {
+  BinReader r(is, src);
+  const std::uint8_t kind = r.u8();
+  r.check(kind == kV3KindFull || kind == kV3KindDelta,
+          "malformed snapshot kind");
+  r.check(kind == kV3KindFull, "snapshot delta without a base image");
+  return read_v3_full_body(r, config, env);
+}
+
+void apply_snapshot_delta_impl(std::istream& is,
+                               const qtaccel::PipelineConfig& config,
+                               const env::Environment& env,
+                               qtaccel::MachineState& base,
+                               const SnapshotSource& src) {
+  const std::string version = read_snapshot_prolog(is, src);
+  require(version == kSnapshotVersionV3,
+          "snapshot delta must be a v3 stream", src);
+  BinReader r(is, src);
+  const std::uint8_t kind = r.u8();
+  r.check(kind == kV3KindDelta, "expected a delta snapshot");
+  const auto [states, actions] = read_v3_fingerprint(r, config, env);
+
+  const qtaccel::AddressMap map = qtaccel::make_address_map(env);
+  const std::uint64_t depth = map.depth();
+  const std::uint64_t stride = std::uint64_t{1} << map.action_bits;
+  const bool double_q = config.algorithm == qtaccel::Algorithm::kDoubleQ;
+  r.check(base.q.size() == depth &&
+              base.q2.size() == (double_q ? depth : 0) &&
+              base.qmax_value.size() == states &&
+              base.qmax_action.size() == states,
+          "snapshot delta applied to a mismatched base image");
+
+  // Registers/stats travel whole in every delta: last delta wins.
+  read_v3_registers(r, base, states);
+
+  const fixed::Format qf = config.q_fmt;
+  const std::uint8_t has_q2 = r.u8();
+  r.check((has_q2 != 0) == double_q,
+          "snapshot and config disagree on the second Q table");
+  const std::uint64_t row_count = r.u64();
+  r.check(row_count <= states,
+          "snapshot table size does not match the engine's geometry");
+  std::uint64_t prev_plus_one = 0;  // rows are strictly ascending
+  for (std::uint64_t i = 0; i < row_count; ++i) {
+    const std::uint64_t s = r.u64();
+    r.check(s < states && s >= prev_plus_one,
+            "snapshot delta rows out of order");
+    prev_plus_one = s + 1;
+    const std::uint64_t row = s * stride;
+    const auto read_row = [&](std::vector<fixed::raw_t>& table) {
+      for (std::uint64_t j = 0; j < stride; ++j) {
+        const fixed::raw_t v = r.i64();
+        r.check(v >= qf.min_raw() && v <= qf.max_raw(),
+                "snapshot value outside the fixed-point range");
+        table[row + j] = v;
+      }
+    };
+    read_row(base.q);
+    if (has_q2 != 0) read_row(base.q2);
+    const fixed::raw_t qv = r.i64();
+    r.check(qv >= qf.min_raw() && qv <= qf.max_raw(),
+            "snapshot value outside the fixed-point range");
+    base.qmax_value[s] = qv;
+    const std::uint64_t qa = r.u64();
+    r.check(qa < actions, "snapshot Qmax action out of range");
+    base.qmax_action[s] = static_cast<ActionId>(qa);
+  }
+  r.expect_end_sentinel();
+  // The reconstructed state is of unknown epoch provenance; hand it to
+  // load_state with the conservative default.
+  base.dirty = qtaccel::DirtyRows{};
+}
+
 }  // namespace
 
 void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
@@ -290,27 +662,117 @@ void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
   os << "end\n";
 }
 
+void write_snapshot_v3(std::ostream& os,
+                       const qtaccel::PipelineConfig& config,
+                       const env::Environment& env,
+                       const qtaccel::MachineState& ms) {
+  BinWriter w;
+  write_v3_prolog_and_kind(os, w, kV3KindFull);
+  write_v3_fingerprint(w, config, env);
+  write_v3_registers(w, ms);
+  const auto write_table = [&](const std::vector<fixed::raw_t>& table) {
+    w.u64(table.size());
+    for (const auto v : table) w.i64(v);
+  };
+  write_table(ms.q);
+  write_table(ms.q2);
+  write_table(ms.qmax_value);
+  w.u64(ms.qmax_action.size());
+  for (const auto a : ms.qmax_action) w.u64(a);
+  w.end_sentinel();
+  w.u8(static_cast<std::uint8_t>('\n'));
+  w.flush(os);
+}
+
+void write_snapshot_delta(std::ostream& os,
+                          const qtaccel::PipelineConfig& config,
+                          const env::Environment& env,
+                          const qtaccel::MachineState& ms) {
+  BinWriter w;
+  write_v3_prolog_and_kind(os, w, kV3KindDelta);
+  write_v3_fingerprint(w, config, env);
+  write_v3_registers(w, ms);
+
+  const qtaccel::AddressMap map = qtaccel::make_address_map(env);
+  const std::uint64_t stride = std::uint64_t{1} << map.action_bits;
+  const std::uint64_t states = env.num_states();
+  const bool has_q2 = !ms.q2.empty();
+  w.u8(has_q2 ? 1 : 0);
+
+  // A conservative epoch (all set, or a bitmap that does not match this
+  // geometry) emits every row — correct, just not compact.
+  const bool emit_all = ms.dirty.all || ms.dirty.rows.size() != states;
+  std::uint64_t row_count = 0;
+  for (std::uint64_t s = 0; s < states; ++s) {
+    if (emit_all || ms.dirty.rows[s] != 0) ++row_count;
+  }
+  w.u64(row_count);
+  for (std::uint64_t s = 0; s < states; ++s) {
+    if (!emit_all && ms.dirty.rows[s] == 0) continue;
+    w.u64(s);
+    const std::uint64_t row = s * stride;
+    for (std::uint64_t j = 0; j < stride; ++j) w.i64(ms.q[row + j]);
+    if (has_q2) {
+      for (std::uint64_t j = 0; j < stride; ++j) w.i64(ms.q2[row + j]);
+    }
+    w.i64(ms.qmax_value[s]);
+    w.u64(ms.qmax_action[s]);
+  }
+  w.end_sentinel();
+  w.u8(static_cast<std::uint8_t>('\n'));
+  w.flush(os);
+}
+
 qtaccel::MachineState read_snapshot(std::istream& is,
                                     const qtaccel::PipelineConfig& config,
                                     const env::Environment& env,
                                     const SnapshotSource& source) {
   try {
-    std::string magic, version;
-    is >> magic;
-    require(static_cast<bool>(is) && magic == kSnapshotMagic,
-            "not a QTACCEL-SNAPSHOT file", source);
-    is >> version;
-    require(static_cast<bool>(is) && version == kSnapshotVersion,
-            "unsupported SNAPSHOT version", source);
-    return read_snapshot_body(is, config, env, source);
+    const std::string version = read_snapshot_prolog(is, source);
+    if (version == kSnapshotVersion) {
+      return read_snapshot_body(is, config, env, source);
+    }
+    return read_v3_stream(is, config, env, source);
   } catch (const SnapshotError& e) {
     abort_with(e);
+  }
+}
+
+void apply_snapshot_delta(std::istream& is,
+                          const qtaccel::PipelineConfig& config,
+                          const env::Environment& env,
+                          qtaccel::MachineState& base,
+                          const SnapshotSource& source) {
+  try {
+    apply_snapshot_delta_impl(is, config, env, base, source);
+  } catch (const SnapshotError& e) {
+    abort_with(e);
+  }
+}
+
+bool try_apply_snapshot_delta(std::istream& is,
+                              const qtaccel::PipelineConfig& config,
+                              const env::Environment& env,
+                              qtaccel::MachineState& base,
+                              std::string* error,
+                              const SnapshotSource& source) {
+  try {
+    apply_snapshot_delta_impl(is, config, env, base, source);
+    return true;
+  } catch (const SnapshotError& e) {
+    if (error != nullptr) *error = e.message;
+    return false;
   }
 }
 
 void save_snapshot(const Engine& engine, std::ostream& os) {
   write_snapshot(os, engine.config(), engine.environment(),
                  engine.save_state());
+}
+
+void save_snapshot_v3(const Engine& engine, std::ostream& os) {
+  write_snapshot_v3(os, engine.config(), engine.environment(),
+                    engine.save_state());
 }
 
 namespace {
@@ -330,10 +792,18 @@ void load_snapshot_impl(Engine& engine, std::istream& is,
   }
   std::string version;
   is >> version;
-  require(static_cast<bool>(is) && version == kSnapshotVersion,
+  require(static_cast<bool>(is) &&
+              (version == kSnapshotVersion || version == kSnapshotVersionV3),
           "unsupported SNAPSHOT version", source);
-  engine.load_state(read_snapshot_body(is, engine.config(),
-                                       engine.environment(), source));
+  if (version == kSnapshotVersion) {
+    engine.load_state(read_snapshot_body(is, engine.config(),
+                                         engine.environment(), source));
+    return;
+  }
+  require(is.get() == '\n', "truncated or malformed snapshot header",
+          source);
+  engine.load_state(read_v3_stream(is, engine.config(),
+                                   engine.environment(), source));
 }
 
 }  // namespace

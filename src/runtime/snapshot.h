@@ -1,14 +1,15 @@
-// Backend-generic machine snapshots: QTACCEL-SNAPSHOT v2.
+// Backend-generic machine snapshots: QTACCEL-SNAPSHOT v2 (text) and
+// v3 (compact binary, full images and dirty-row deltas).
 //
 // A snapshot captures a complete drained machine state
 // (qtaccel/machine_state.h) plus a config fingerprint, in a versioned
-// plain-text format. Raw fixed-point words and the bit patterns of the
+// format. Raw fixed-point words and the bit patterns of the
 // floating-point rates are stored, so a round trip is lossless and
 // `run(N); save; load; run(M)` resumes bit-exactly — on either backend,
 // and across backends (save on cycle, resume on fast, or the reverse).
 //
-// Format (whitespace-separated; docs/runtime.md has the full spec and
-// the versioning policy):
+// v2 format (whitespace-separated; docs/runtime.md has the full spec
+// and the versioning policy):
 //
 //   QTACCEL-SNAPSHOT v2
 //   algorithm <0-3> hazard <0-1> qmax <0-1>
@@ -22,6 +23,16 @@
 //   qmaxv <count> <words...>  qmaxa <count> <words...>
 //   end
 //
+// v3 keeps the same text prolog tokens ("QTACCEL-SNAPSHOT v3\n"), so
+// the existing magic sniffing distinguishes v1/v2/v3, then switches to
+// a little-endian binary payload: a kind byte (full image or dirty-row
+// delta), the same fingerprint and register blocks as fixed-width
+// words, tables as raw LE words, and an 8-byte end sentinel that
+// catches truncation. A delta serializes only the rows marked in the
+// engine's dirty-row epoch (machine_state.h DirtyRows) and replays
+// onto a previously decoded base image to a byte-identical machine
+// state. docs/runtime.md has the field-by-field grammar.
+//
 // The fingerprint covers everything that changes the machine's future
 // behavior — algorithm, hazard, qmax mode, quantized rates, formats,
 // geometry — and deliberately EXCLUDES `seed` (the live LFSR registers
@@ -30,7 +41,9 @@
 //
 // The v1 QTACCEL-QTABLE format stays loadable: load_snapshot sniffs the
 // magic and routes v1 files through the warm-start path (preset_q +
-// rebuild_qmax), exactly as the old table_io loader did.
+// rebuild_qmax), exactly as the old table_io loader did. v2 stays both
+// readable AND writable — it is the interchange/debug format; v3 is
+// the bulk park/checkpoint format.
 #pragma once
 
 #include <iosfwd>
@@ -45,6 +58,12 @@ namespace qta::runtime {
 
 inline constexpr const char* kSnapshotMagic = "QTACCEL-SNAPSHOT";
 inline constexpr const char* kSnapshotVersion = "v2";
+inline constexpr const char* kSnapshotVersionV3 = "v3";
+
+/// Full-image format selector for writers that can emit either version
+/// (multi_pipeline checkpoints, serve parking). Readers never need it —
+/// read_snapshot/load_snapshot sniff the version token per stream.
+enum class SnapshotFormat { kV2Text, kV3Binary };
 
 /// Where a snapshot/checkpoint stream came from, for diagnostics. Load
 /// failures keep their original leading message text (existing death
@@ -65,22 +84,77 @@ void write_snapshot(std::ostream& os, const qtaccel::PipelineConfig& config,
                     const env::Environment& env,
                     const qtaccel::MachineState& ms);
 
-/// Parses a v2 snapshot and validates its fingerprint against
-/// `config`/`env`; aborts with a diagnostic on a foreign magic, an
-/// unsupported version, a fingerprint mismatch, or truncation. The
-/// diagnostic carries `source` (file path / pipe index) when given.
+/// v3 binary counterpart of write_snapshot: same fingerprint and
+/// machine state, raw little-endian words instead of text. A v3 full
+/// image's size is a fixed function of the geometry (no integer
+/// formatting on either side), beating the text form once table values
+/// are wide; the delta kind below is where the real savings live
+/// (docs/runtime.md has measured numbers).
+void write_snapshot_v3(std::ostream& os,
+                       const qtaccel::PipelineConfig& config,
+                       const env::Environment& env,
+                       const qtaccel::MachineState& ms);
+
+/// v3 dirty-row delta: serializes the registers/stats plus ONLY the
+/// table rows marked in `ms.dirty` (qtaccel/machine_state.h DirtyRows)
+/// at their final values. A conservative epoch (`ms.dirty.all`) emits
+/// every row. Replaying the delta onto the base image the epoch started
+/// from (apply_snapshot_delta) reproduces `ms` byte-identically.
+void write_snapshot_delta(std::ostream& os,
+                          const qtaccel::PipelineConfig& config,
+                          const env::Environment& env,
+                          const qtaccel::MachineState& ms);
+
+/// Parses a v2 text or v3 binary FULL snapshot (sniffed from the
+/// version token) and validates its fingerprint against `config`/`env`;
+/// aborts with a diagnostic on a foreign magic, an unsupported version,
+/// a standalone delta, a fingerprint mismatch, or truncation. The
+/// diagnostic carries `source` (file path / pipe index) when given; v3
+/// diagnostics also carry the byte offset into the binary payload.
 qtaccel::MachineState read_snapshot(std::istream& is,
                                     const qtaccel::PipelineConfig& config,
                                     const env::Environment& env,
                                     const SnapshotSource& source = {});
 
+/// Replays a v3 delta onto `base` (a machine state decoded from the
+/// full image — possibly plus earlier deltas — that the delta's dirty
+/// epoch started from). Registers/stats are overwritten wholesale (last
+/// delta wins); marked rows land at their serialized final values.
+/// Aborts with the same diagnostics as read_snapshot on mismatch,
+/// corruption, or truncation. `base.dirty` is reset to the conservative
+/// default; callers resuming an engine from the result should
+/// reset_dirty_rows() to open a fresh epoch.
+void apply_snapshot_delta(std::istream& is,
+                          const qtaccel::PipelineConfig& config,
+                          const env::Environment& env,
+                          qtaccel::MachineState& base,
+                          const SnapshotSource& source = {});
+
+/// Non-aborting apply_snapshot_delta (the delta-grammar entry point for
+/// untrusted bytes, driven by tests/fuzz/snapshot_fuzz.cpp): a
+/// malformed/foreign/truncated stream returns false with `*error` set.
+/// `base` may hold a partially applied state on failure — apply into a
+/// scratch copy when atomicity matters.
+bool try_apply_snapshot_delta(std::istream& is,
+                              const qtaccel::PipelineConfig& config,
+                              const env::Environment& env,
+                              qtaccel::MachineState& base,
+                              std::string* error,
+                              const SnapshotSource& source = {});
+
 /// Drained-engine snapshot (engines are always drained between run_*
 /// calls, so any point between calls is a valid save point).
 void save_snapshot(const Engine& engine, std::ostream& os);
 
-/// Restores `engine` from a QTACCEL-SNAPSHOT v2 (full machine state) or
-/// a QTACCEL-QTABLE v1 stream (Q table only: warm start via preset_q +
-/// rebuild_qmax, leaving counters and RNG state at their current values).
+/// Drained-engine v3 full binary snapshot.
+void save_snapshot_v3(const Engine& engine, std::ostream& os);
+
+/// Restores `engine` from a QTACCEL-SNAPSHOT v2 text or v3 full binary
+/// stream (full machine state), or a QTACCEL-QTABLE v1 stream (Q table
+/// only: warm start via preset_q + rebuild_qmax, leaving counters and
+/// RNG state at their current values). A standalone v3 delta is
+/// rejected with a clean diagnostic — deltas only apply onto a decoded
+/// base image (apply_snapshot_delta).
 void load_snapshot(Engine& engine, std::istream& is,
                    const SnapshotSource& source = {});
 
@@ -92,8 +166,8 @@ void load_snapshot(Engine& engine, std::istream& is,
 /// (tests/fuzz/snapshot_fuzz.cpp). Caveat: the v1 warm-start path
 /// mutates the engine while parsing, so on a false return from a v1
 /// stream the engine may hold a partial table; parse into a scratch
-/// engine when atomicity matters. The v2 path validates fully before
-/// load_state, so a false return leaves the engine untouched.
+/// engine when atomicity matters. The v2 and v3 paths validate fully
+/// before load_state, so a false return leaves the engine untouched.
 bool try_load_snapshot(Engine& engine, std::istream& is, std::string* error,
                        const SnapshotSource& source = {});
 

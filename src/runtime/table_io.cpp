@@ -22,8 +22,8 @@ void save_q_table(std::ostream& os, const Engine& engine) {
 }
 
 void load_q_table(std::istream& is, Engine& engine) {
-  // One loader for both formats: the snapshot layer sniffs the magic and
-  // takes the v1 warm-start path or the v2 full-restore path.
+  // One loader for every format: the snapshot layer sniffs the magic
+  // and takes the v1 warm-start path or the v2/v3 full-restore path.
   load_snapshot(engine, is);
 }
 

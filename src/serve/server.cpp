@@ -42,7 +42,9 @@ Server::Server(const ServerOptions& options)
                   ? std::make_unique<telemetry::FlightRecorder>(
                         options.flight_recorder_capacity)
                   : nullptr),
-      sessions_(options.max_hot, &metrics_, flight_.get()),
+      sessions_(options.max_hot, &metrics_, flight_.get(),
+                SessionManagerOptions{options.async_park, options.park_format,
+                                      options.max_delta_chain}),
       queue_(options.max_queue),
       pool_(options.workers == 0 ? 1 : options.workers),
       epoch_(std::chrono::steady_clock::now()) {
@@ -304,7 +306,15 @@ bool Server::pump() {
   }
 
   batch_size_->observe(batch.size());
-  if (!batch.empty()) {
+  // Evictions above (explicit Evict requests and acquire-forced LRU
+  // victims) may have staged PendingParks instead of serializing
+  // inline: those serialize on the pool as extra work items alongside
+  // the batch, then commit back on this thread in the same pump —
+  // checkpoint rendering overlaps engine work and never outlives the
+  // pump (victim engines stay alive, off the LRU, until commit).
+  std::vector<SessionManager::PendingPark>& parks =
+      sessions_.pending_parks();
+  if (!batch.empty() || !parks.empty()) {
     // Partition the batch into execution units. A unit is either one
     // session's request, or a lane group: Step requests whose sessions
     // run the lanes backend with compatible configs coalesce, so the
@@ -334,10 +344,17 @@ bool Server::pump() {
       if (!grouped) units.push_back(Unit{{i}});
     }
 
-    pool_.parallel_for(units.size(), [&units, &batch, this](std::size_t u) {
+    const std::size_t unit_count = units.size();
+    pool_.parallel_for(
+        unit_count + parks.size(),
+        [&units, &batch, &parks, unit_count, this](std::size_t u) {
       // Workers touch only their own unit: its sessions' engines, its
-      // response slots (exec timestamps included). All shared state
-      // waits for the control thread.
+      // response slots (exec timestamps included), or its own staged
+      // park. All shared state waits for the control thread.
+      if (u >= unit_count) {
+        SessionManager::serialize_park(parks[u - unit_count]);
+        return;
+      }
       const Unit& unit = units[u];
       const std::uint64_t exec_start = now_us();
       if (unit.members.size() == 1) {
@@ -383,6 +400,9 @@ bool Server::pump() {
         item.resp = std::move(resp);
       }
     });
+    // Control thread again: store the serialized blobs, tear the parked
+    // engines down, and attribute eviction counters/flight events.
+    sessions_.commit_parks();
     for (Item& item : batch) {
       finish(item.qr, std::move(item.resp));
     }
@@ -418,7 +438,8 @@ void Server::finish(const QueuedRequest& qr, Response resp) {
     metrics_
         .histogram("qtserve_phase_us", {{"phase", "queue_wait"}},
                    "engine-request phase durations (us): queue_wait, "
-                   "restore, execute, reply")
+                   "restore, execute, reply, plus checkpoint (park "
+                   "serialization)")
         .observe(qr.pop_us - qr.enqueue_us);
     if (qr.restored) {
       metrics_.histogram("qtserve_phase_us", {{"phase", "restore"}})

@@ -87,6 +87,19 @@ struct ServerOptions {
   /// engine per worker. Per-session results are bit-identical either
   /// way; this only changes how the host executes the batch.
   bool coalesce_lanes = true;
+  /// Defer park serialization to the worker pool: an eviction stages a
+  /// PendingPark which pump() serializes alongside the batch's engine
+  /// work and commits on the control thread in the same pump, so the
+  /// control thread never blocks rendering checkpoint bytes
+  /// (serve/session_manager.h has the staging contract). false =
+  /// serialize inline at eviction, the historical behavior.
+  bool async_park = true;
+  /// Cold-checkpoint format for full park images (deltas are always v3
+  /// binary). v2 text keeps cold blobs human-readable at a size cost.
+  ParkFormat park_format = ParkFormat::kV3Binary;
+  /// Cold-chain compaction bound: force a full checkpoint once a chain
+  /// holds this many deltas. 0 = full images only.
+  unsigned max_delta_chain = 4;
 };
 
 using Ticket = std::uint64_t;

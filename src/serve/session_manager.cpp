@@ -1,5 +1,6 @@
 #include "serve/session_manager.h"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -11,8 +12,12 @@ namespace qta::serve {
 
 SessionManager::SessionManager(unsigned max_hot,
                                telemetry::MetricsRegistry* metrics,
-                               telemetry::FlightRecorder* flight)
-    : max_hot_(max_hot), metrics_(metrics), flight_(flight) {
+                               telemetry::FlightRecorder* flight,
+                               const SessionManagerOptions& options)
+    : max_hot_(max_hot),
+      metrics_(metrics),
+      flight_(flight),
+      options_(options) {
   QTA_CHECK_MSG(max_hot_ >= 1, "SessionManager needs at least one hot slot");
   if (metrics_ != nullptr) {
     lru_eviction_counter_ = &metrics_->counter(
@@ -27,6 +32,32 @@ SessionManager::SessionManager(unsigned max_hot,
     restore_counter_ = &metrics_->counter(
         "qtserve_restores_total", {},
         "sessions rebuilt from their cold snapshot");
+    // Deltas are always v3 binary, so three {format, kind} series per
+    // direction cover the space; registered eagerly so the series exist
+    // (at zero) before any churn.
+    park_bytes_v2_full_ = &metrics_->counter(
+        "qtserve_park_bytes_total", {{"format", "v2"}, {"kind", "full"}},
+        "bytes serialized parking sessions cold, by snapshot format and "
+        "checkpoint kind (full image vs dirty-row delta)");
+    park_bytes_v3_full_ = &metrics_->counter(
+        "qtserve_park_bytes_total", {{"format", "v3"}, {"kind", "full"}});
+    park_bytes_v3_delta_ = &metrics_->counter(
+        "qtserve_park_bytes_total", {{"format", "v3"}, {"kind", "delta"}});
+    restore_bytes_v2_full_ = &metrics_->counter(
+        "qtserve_restore_bytes_total",
+        {{"format", "v2"}, {"kind", "full"}},
+        "bytes decoded restoring sessions from their cold checkpoint "
+        "chains, by snapshot format and checkpoint kind");
+    restore_bytes_v3_full_ = &metrics_->counter(
+        "qtserve_restore_bytes_total",
+        {{"format", "v3"}, {"kind", "full"}});
+    restore_bytes_v3_delta_ = &metrics_->counter(
+        "qtserve_restore_bytes_total",
+        {{"format", "v3"}, {"kind", "delta"}});
+    checkpoint_phase_ = &metrics_->histogram(
+        "qtserve_phase_us", {{"phase", "checkpoint"}},
+        "engine-request phase durations (us): queue_wait, restore, "
+        "execute, reply, plus checkpoint (park serialization)");
   }
 }
 
@@ -55,7 +86,19 @@ runtime::Engine* SessionManager::acquire(SessionId id, bool* restored) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   Session& s = it->second;
-  if (s.engine == nullptr) {
+  if (s.park_pending) {
+    // Re-acquired before the staged park serialized: the engine never
+    // died, so cancel the park and treat this as a hot hit. Rejoining
+    // the LRU may itself force a capacity eviction (the slot was
+    // reusable while the park was staged).
+    cancel_pending_park(id);
+    while (lru_.size() >= max_hot_) {
+      const SessionId victim = lru_.front();
+      make_cold(victim, sessions_.at(victim), EvictReason::kLru);
+    }
+    lru_.push_back(id);
+    s.lru_pos = std::prev(lru_.end());
+  } else if (s.engine == nullptr) {
     make_hot(id, s, restored);
   } else {
     lru_.splice(lru_.end(), lru_, s.lru_pos);  // touch: move to MRU end
@@ -66,23 +109,30 @@ runtime::Engine* SessionManager::acquire(SessionId id, bool* restored) {
 bool SessionManager::evict(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
-  if (it->second.engine != nullptr) {
-    make_cold(id, it->second, EvictReason::kRequest);
+  Session& s = it->second;
+  if (s.engine != nullptr && !s.park_pending) {
+    make_cold(id, s, EvictReason::kRequest);
   }
-  return true;
+  return true;  // already cold or already on its way cold: no-op
 }
 
 bool SessionManager::close(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
-  if (it->second.engine != nullptr) lru_.erase(it->second.lru_pos);
+  Session& s = it->second;
+  if (s.park_pending) {
+    cancel_pending_park(id);  // staged parks left the LRU at enqueue
+  } else if (s.engine != nullptr) {
+    lru_.erase(s.lru_pos);
+  }
   sessions_.erase(it);
   return true;
 }
 
 bool SessionManager::is_hot(SessionId id) const {
   auto it = sessions_.find(id);
-  return it != sessions_.end() && it->second.engine != nullptr;
+  return it != sessions_.end() && it->second.engine != nullptr &&
+         !it->second.park_pending;
 }
 
 const SessionSpec* SessionManager::spec(SessionId id) const {
@@ -90,30 +140,118 @@ const SessionSpec* SessionManager::spec(SessionId id) const {
   return it == sessions_.end() ? nullptr : &it->second.spec;
 }
 
-std::string SessionManager::snapshot_text(SessionId id) const {
+std::string SessionManager::snapshot_text(SessionId id) {
+  // Defensive: the server commits parks within the same pump, but a
+  // direct caller could ask between enqueue and commit.
+  if (!pending_parks_.empty()) flush_parks();
   auto it = sessions_.find(id);
   QTA_CHECK_MSG(it != sessions_.end(),
                 "snapshot_text: unknown session id");
   const Session& s = it->second;
-  if (s.engine == nullptr) return s.cold;
-  std::ostringstream os;
-  runtime::save_snapshot(*s.engine, os);
-  return std::move(os).str();
+  if (s.engine != nullptr) {
+    std::ostringstream os;
+    runtime::save_snapshot(*s.engine, os);
+    return std::move(os).str();
+  }
+  if (s.cold.empty()) return "";
+  if (!s.cold.base_is_v3 && s.cold.deltas.empty()) {
+    return s.cold.base;  // already v2 text: hand it back verbatim
+  }
+  return chain_as_v2_text(s);
+}
+
+bool SessionManager::should_park_delta(const Session& s) const {
+  if (options_.park_format != ParkFormat::kV3Binary) return false;
+  if (options_.max_delta_chain == 0) return false;
+  if (s.cold.empty()) return false;  // nothing to delta against
+  if (s.cold.deltas.size() >= options_.max_delta_chain) {
+    return false;  // compaction: rebase the chain on a full image
+  }
+  const runtime::Engine& e = *s.engine;
+  if (!e.caps().dirty_rows) return false;
+  // Byte estimates from the v3 grammar (docs/runtime.md): a delta row
+  // is its state id + the padded Q row(s) + the Qmax entry; a full
+  // image is every table word. Headers/registers are common to both,
+  // so comparing bodies is enough.
+  const std::uint64_t states = e.environment().num_states();
+  const std::uint64_t depth = e.address_map().depth();
+  const std::uint64_t stride = std::uint64_t{1}
+                               << e.address_map().action_bits;
+  const std::uint64_t tables =
+      s.config.algorithm == qtaccel::Algorithm::kDoubleQ ? 2 : 1;
+  const std::uint64_t delta_bytes =
+      e.dirty_row_count() * (8 + 8 * stride * tables + 16);
+  const std::uint64_t full_bytes = 8 * depth * tables + 16 * states;
+  return delta_bytes < full_bytes;
 }
 
 void SessionManager::make_cold(SessionId id, Session& s,
                                EvictReason reason) {
+  PendingPark park;
+  park.id = id;
+  park.engine = s.engine.get();
+  park.delta = should_park_delta(s);
+  park.format = park.delta ? ParkFormat::kV3Binary : options_.park_format;
+  park.reason = static_cast<int>(reason);
+  // Leave the LRU now either way: a staged session must not be picked
+  // as a victim again while its park is in flight.
+  lru_.erase(s.lru_pos);
+  if (options_.async_park) {
+    s.park_pending = true;
+    pending_parks_.push_back(std::move(park));
+    return;
+  }
+  serialize_park(park);
+  commit_park(park);
+}
+
+void SessionManager::serialize_park(PendingPark& park) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const runtime::Engine& e = *park.engine;
   std::ostringstream os;
-  runtime::save_snapshot(*s.engine, os);
-  s.cold = std::move(os).str();
+  if (park.delta) {
+    runtime::write_snapshot_delta(os, e.config(), e.environment(),
+                                  e.save_state());
+  } else if (park.format == ParkFormat::kV3Binary) {
+    runtime::save_snapshot_v3(e, os);
+  } else {
+    runtime::save_snapshot(e, os);
+  }
+  park.blob = std::move(os).str();
+  park.serialize_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void SessionManager::commit_park(PendingPark& park) {
+  Session& s = sessions_.at(park.id);
+  const std::uint64_t blob_bytes = park.blob.size();
+  telemetry::Counter* bytes_counter = nullptr;
+  if (park.delta) {
+    s.cold.deltas.push_back(std::move(park.blob));
+    bytes_counter = park_bytes_v3_delta_;
+  } else {
+    s.cold.clear();
+    s.cold.base = std::move(park.blob);
+    s.cold.base_is_v3 = park.format == ParkFormat::kV3Binary;
+    bytes_counter = s.cold.base_is_v3 ? park_bytes_v3_full_
+                                      : park_bytes_v2_full_;
+  }
   // Deliberately no sink flush: a flush would close the in-progress
   // stall burst and trace spans, making an evicted session's telemetry
   // diverge from an uninterrupted run. The sink survives and the
-  // restored engine keeps feeding it.
+  // restored engine keeps feeding it. The dirty epoch needs no reset
+  // here — the engine dies with the old epoch, and restore_chain opens
+  // a fresh one at the chain tip.
   s.engine.reset();
-  lru_.erase(s.lru_pos);
+  s.park_pending = false;
+  if (bytes_counter != nullptr) bytes_counter->inc(blob_bytes);
+  if (checkpoint_phase_ != nullptr) {
+    checkpoint_phase_->observe(park.serialize_us);
+  }
   const char* label = "request";
-  switch (reason) {
+  switch (static_cast<EvictReason>(park.reason)) {
     case EvictReason::kRequest:
       if (request_eviction_counter_ != nullptr) {
         request_eviction_counter_->inc();
@@ -135,11 +273,73 @@ void SessionManager::make_cold(SessionId id, Session& s,
   if (flight_ != nullptr) {
     telemetry::ServeEvent event;
     event.kind = telemetry::ServeEventKind::kEviction;
-    event.session = id;
+    event.session = park.id;
     event.label = label;
-    event.value = static_cast<std::uint64_t>(s.cold.size());
+    event.value = blob_bytes;
     flight_->record(event);
   }
+}
+
+void SessionManager::commit_parks() {
+  for (PendingPark& park : pending_parks_) commit_park(park);
+  pending_parks_.clear();
+}
+
+void SessionManager::flush_parks() {
+  for (PendingPark& park : pending_parks_) serialize_park(park);
+  commit_parks();
+}
+
+void SessionManager::cancel_pending_park(SessionId id) {
+  for (auto it = pending_parks_.begin(); it != pending_parks_.end(); ++it) {
+    if (it->id == id) {
+      pending_parks_.erase(it);
+      break;
+    }
+  }
+  sessions_.at(id).park_pending = false;
+}
+
+void SessionManager::restore_chain(Session& s) {
+  if (!s.cold.base_is_v3 && s.cold.deltas.empty()) {
+    // Pure-v2 cold: the exact historical restore path.
+    std::istringstream is(s.cold.base);
+    runtime::load_snapshot(*s.engine, is);
+    if (restore_bytes_v2_full_ != nullptr) {
+      restore_bytes_v2_full_->inc(s.cold.base.size());
+    }
+  } else {
+    std::istringstream is(s.cold.base);
+    qtaccel::MachineState ms =
+        runtime::read_snapshot(is, s.config, *s.env);
+    telemetry::Counter* base_counter = s.cold.base_is_v3
+                                           ? restore_bytes_v3_full_
+                                           : restore_bytes_v2_full_;
+    if (base_counter != nullptr) base_counter->inc(s.cold.base.size());
+    for (const std::string& delta : s.cold.deltas) {
+      std::istringstream ds(delta);
+      runtime::apply_snapshot_delta(ds, s.config, *s.env, ms);
+      if (restore_bytes_v3_delta_ != nullptr) {
+        restore_bytes_v3_delta_->inc(delta.size());
+      }
+    }
+    s.engine->load_state(ms);
+  }
+  // Open a fresh dirty epoch at the restore point: the next delta must
+  // cover exactly the rows touched since this chain tip.
+  s.engine->reset_dirty_rows();
+}
+
+std::string SessionManager::chain_as_v2_text(const Session& s) const {
+  std::istringstream is(s.cold.base);
+  qtaccel::MachineState ms = runtime::read_snapshot(is, s.config, *s.env);
+  for (const std::string& delta : s.cold.deltas) {
+    std::istringstream ds(delta);
+    runtime::apply_snapshot_delta(ds, s.config, *s.env, ms);
+  }
+  std::ostringstream os;
+  runtime::write_snapshot(os, s.config, *s.env, ms);
+  return std::move(os).str();
 }
 
 void SessionManager::make_hot(SessionId id, Session& s, bool* restored) {
@@ -155,8 +355,7 @@ void SessionManager::make_hot(SessionId id, Session& s, bool* restored) {
   s.engine = std::make_unique<runtime::Engine>(*s.env, s.config);
   if (s.sink != nullptr) s.engine->set_telemetry(s.sink.get());
   if (restoring) {
-    std::istringstream is(s.cold);
-    runtime::load_snapshot(*s.engine, is);
+    restore_chain(s);
     ++restores_;
     if (restore_counter_ != nullptr) restore_counter_->inc();
     if (restored != nullptr) *restored = true;
@@ -164,7 +363,7 @@ void SessionManager::make_hot(SessionId id, Session& s, bool* restored) {
       telemetry::ServeEvent event;
       event.kind = telemetry::ServeEventKind::kRestore;
       event.session = id;
-      event.value = static_cast<std::uint64_t>(s.cold.size());
+      event.value = static_cast<std::uint64_t>(s.cold.bytes());
       flight_->record(event);
     }
   }
@@ -179,9 +378,10 @@ std::string SessionManager::summary_json(SessionId id) const {
   qta::JsonWriter json;
   json.begin_object();
   json.field("session", id);
-  json.field("hot", s.engine != nullptr);
+  json.field("hot", s.engine != nullptr && !s.park_pending);
   json.field("has_snapshot", s.engine != nullptr || !s.cold.empty());
-  json.field("cold_bytes", static_cast<std::uint64_t>(s.cold.size()));
+  json.field("cold_bytes", static_cast<std::uint64_t>(s.cold.bytes()));
+  json.field("cold_deltas", static_cast<std::uint64_t>(s.cold.deltas.size()));
   json.field("telemetry", s.sink != nullptr);
   json.key("spec").begin_object();
   json.field("width", static_cast<std::uint64_t>(s.spec.width));

@@ -6,17 +6,34 @@
 // places:
 //   hot  — a live runtime::Engine on one of the manager's `max_hot`
 //          resident slots;
-//   cold — a QTACCEL-SNAPSHOT v2 text blob (or empty for a session that
-//          has never run: restoring an empty blob is just a fresh
-//          engine, which is bit-identical by construction).
+//   cold — a checkpoint chain: one full base image (QTACCEL-SNAPSHOT v2
+//          text or v3 binary, per SessionManagerOptions::park_format)
+//          plus zero or more v3 dirty-row deltas, each serializing only
+//          the rows touched since the previous checkpoint
+//          (runtime/snapshot.h). An empty chain means the session never
+//          ran: restoring it is just a fresh engine, which is
+//          bit-identical by construction. Chains are compacted back to
+//          a single full image once they reach max_delta_chain deltas
+//          (or whenever a delta would not be smaller than a full
+//          image).
 //
 // acquire() is the only path that makes a session hot; when all slots
 // are taken it evicts the least-recently-used hot session through the
-// snapshot layer. Because QTACCEL-SNAPSHOT v2 round trips are bit-exact
-// (docs/runtime.md), an evict/restore cycle between run_samples calls
-// is invisible to the session: tables, stats, RNG registers, and
-// telemetry counters continue exactly as if the engine had stayed
-// resident (proven by tests/serve_test.cpp and serve_churn_test.cpp).
+// snapshot layer. Because snapshot round trips are bit-exact for full
+// images AND base+delta chains (docs/runtime.md), an evict/restore
+// cycle between run_samples calls is invisible to the session: tables,
+// stats, RNG registers, and telemetry counters continue exactly as if
+// the engine had stayed resident (proven by tests/serve_test.cpp and
+// serve_churn_test.cpp).
+//
+// Parking can be deferred (SessionManagerOptions::async_park): instead
+// of serializing inline, make_cold stages a PendingPark — the engine
+// stays alive on the session, off the LRU, read-only — and the caller
+// runs serialize_park() on worker threads before commit_parks() back on
+// the control thread stores the blob and tears the engine down. The
+// server overlaps park serialization with batch execution this way;
+// direct users can ignore the queue entirely (flush_parks() is the
+// synchronous fallback, and the sync default never stages anything).
 //
 // Per-session telemetry: when spec.telemetry is set, the session owns a
 // PipelineTelemetry sink (labelled with the session id on the `pipe`
@@ -41,6 +58,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "env/grid_world.h"
 #include "runtime/engine.h"
@@ -51,14 +69,49 @@
 
 namespace qta::serve {
 
+/// Cold-storage format for full park checkpoints. v2 text stays fully
+/// writable for back-compat and cross-format verification; deltas are
+/// always v3 binary (there is no text delta format).
+enum class ParkFormat { kV2Text, kV3Binary };
+
+struct SessionManagerOptions {
+  /// Defer evict-time serialization to worker threads (see the parking
+  /// notes atop this file). false = serialize inline on the calling
+  /// thread, the drop-in historical behavior.
+  bool async_park = false;
+  /// Format for newly written full checkpoints.
+  ParkFormat park_format = ParkFormat::kV3Binary;
+  /// Compaction bound: force a full checkpoint once a cold chain holds
+  /// this many deltas, so restore cost stays O(base + max_delta_chain).
+  /// 0 disables deltas entirely (every park is a full image).
+  unsigned max_delta_chain = 4;
+};
+
 class SessionManager {
  public:
+  /// A staged eviction under async parking: the session's engine stays
+  /// alive (read-only, off the LRU) until the blob is serialized and
+  /// committed. The delta/full and format decision is made at enqueue
+  /// time on the control thread (from dirty_row_count() byte
+  /// estimates); serialize_park() only renders bytes, so distinct
+  /// PendingParks are safe to serialize concurrently.
+  struct PendingPark {
+    SessionId id = 0;
+    runtime::Engine* engine = nullptr;  // owned by the session, not us
+    bool delta = false;
+    ParkFormat format = ParkFormat::kV3Binary;
+    std::string blob;             // filled by serialize_park
+    std::uint64_t serialize_us = 0;  // filled by serialize_park
+    int reason = 0;               // EvictReason, opaque to workers
+  };
+
   /// `max_hot` bounds resident engines (>= 1). `metrics` may be null
   /// (no per-session telemetry, no eviction counters), as may `flight`
   /// (no eviction/restore flight-recorder events); both must outlive
   /// the manager.
   SessionManager(unsigned max_hot, telemetry::MetricsRegistry* metrics,
-                 telemetry::FlightRecorder* flight = nullptr);
+                 telemetry::FlightRecorder* flight = nullptr,
+                 const SessionManagerOptions& options = {});
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -91,10 +144,24 @@ class SessionManager {
   const SessionSpec* spec(SessionId id) const;
 
   /// The session's current machine state as QTACCEL-SNAPSHOT v2 text
-  /// (serialized live for hot sessions, the stored blob for cold ones;
-  /// "" for a fresh session that never ran). Unknown id aborts — gate
-  /// on exists().
-  std::string snapshot_text(SessionId id) const;
+  /// (serialized live for hot sessions; materialized on demand from the
+  /// cold base+delta chain for cold ones, so clients always see v2 text
+  /// regardless of park format; "" for a fresh session that never ran).
+  /// Flushes any pending parks first. Unknown id aborts — gate on
+  /// exists().
+  std::string snapshot_text(SessionId id);
+
+  /// Async-parking surface (no-ops unless options.async_park staged
+  /// something). pending_parks() exposes the staged queue so a caller
+  /// can fan serialize_park() out across worker threads — items are
+  /// independent; each worker must touch only its own element — then
+  /// commit_parks() on the control thread stores blobs, tears down
+  /// engines, and attributes counters. flush_parks() is the synchronous
+  /// fallback: serialize everything inline and commit.
+  std::vector<PendingPark>& pending_parks() { return pending_parks_; }
+  static void serialize_park(PendingPark& park);
+  void commit_parks();
+  void flush_parks();
 
   std::size_t size() const { return sessions_.size(); }
   unsigned hot_count() const {
@@ -113,12 +180,33 @@ class SessionManager {
   std::string summary_json(SessionId id) const;
 
  private:
+  /// A cold session's checkpoint chain: one full base image (v2 text or
+  /// v3 binary, sniffed by the snapshot layer) plus v3 deltas in apply
+  /// order. Empty base = never made hot.
+  struct ColdChain {
+    std::string base;
+    std::vector<std::string> deltas;
+    bool base_is_v3 = false;
+    bool empty() const { return base.empty(); }
+    std::size_t bytes() const {
+      std::size_t n = base.size();
+      for (const std::string& d : deltas) n += d.size();
+      return n;
+    }
+    void clear() {
+      base.clear();
+      deltas.clear();
+      base_is_v3 = false;
+    }
+  };
+
   struct Session {
     SessionSpec spec;
     qtaccel::PipelineConfig config;
     std::unique_ptr<env::GridWorld> env;
     std::unique_ptr<runtime::Engine> engine;  // non-null iff hot
-    std::string cold;  // snapshot text; "" = never made hot
+    ColdChain cold;
+    bool park_pending = false;  // engine alive but staged for parking
     std::unique_ptr<telemetry::PipelineTelemetry> sink;
     std::list<SessionId>::iterator lru_pos;  // valid iff hot
   };
@@ -136,12 +224,29 @@ class SessionManager {
 
   void make_cold(SessionId id, Session& s, EvictReason reason);
   void make_hot(SessionId id, Session& s, bool* restored);
+  /// Whether this park should be a v3 delta appended to the chain (vs a
+  /// full image), from dirty_row_count() byte estimates and the
+  /// compaction bound. Control-thread only; serializes nothing.
+  bool should_park_delta(const Session& s) const;
+  /// Stores a serialized blob on the session, tears the engine down,
+  /// and attributes counters/flight events.
+  void commit_park(PendingPark& park);
+  /// Cancels a staged park for `id` (close/re-acquire races), leaving
+  /// the engine alive. No counters fire — nothing happened.
+  void cancel_pending_park(SessionId id);
+  /// Decodes the cold chain (base + deltas) into the freshly built
+  /// engine; counts restore bytes.
+  void restore_chain(Session& s);
+  /// Materializes v2 text from a cold chain without an engine.
+  std::string chain_as_v2_text(const Session& s) const;
 
   unsigned max_hot_;
   telemetry::MetricsRegistry* metrics_;
   telemetry::FlightRecorder* flight_;
+  SessionManagerOptions options_;
   std::map<SessionId, Session> sessions_;
   std::list<SessionId> lru_;  // front = least recently used, hot only
+  std::vector<PendingPark> pending_parks_;
   SessionId next_id_ = 1;
   std::uint64_t lru_evictions_ = 0;
   std::uint64_t restores_ = 0;
@@ -149,6 +254,17 @@ class SessionManager {
   telemetry::Counter* request_eviction_counter_ = nullptr;
   telemetry::Counter* restore_eviction_counter_ = nullptr;
   telemetry::Counter* restore_counter_ = nullptr;
+  // Park/restore byte accounting by {format, kind}; deltas are always
+  // v3, so three series per direction cover the space.
+  telemetry::Counter* park_bytes_v2_full_ = nullptr;
+  telemetry::Counter* park_bytes_v3_full_ = nullptr;
+  telemetry::Counter* park_bytes_v3_delta_ = nullptr;
+  telemetry::Counter* restore_bytes_v2_full_ = nullptr;
+  telemetry::Counter* restore_bytes_v3_full_ = nullptr;
+  telemetry::Counter* restore_bytes_v3_delta_ = nullptr;
+  // Checkpoint serialization latency, observed at commit into the
+  // server's qtserve_phase_us family under {phase=checkpoint}.
+  telemetry::Histogram* checkpoint_phase_ = nullptr;
 };
 
 }  // namespace qta::serve

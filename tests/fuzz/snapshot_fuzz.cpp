@@ -1,15 +1,20 @@
-// libFuzzer harness for the snapshot parser (runtime/snapshot.h): feeds
-// arbitrary bytes to try_load_snapshot — the non-aborting twin of
-// load_snapshot, added precisely so untrusted streams have a fuzzable
-// entry point. Covers the v2 QTACCEL-SNAPSHOT parser, the v1
-// QTACCEL-QTABLE warm-start path, and the magic-sniffing router between
-// them. Properties checked on every input:
+// libFuzzer harness for the snapshot parsers (runtime/snapshot.h):
+// feeds arbitrary bytes to try_load_snapshot AND
+// try_apply_snapshot_delta — the non-aborting twins of the loaders,
+// added precisely so untrusted streams have fuzzable entry points.
+// Covers the v2 QTACCEL-SNAPSHOT text parser, the v3 binary parser
+// (full images and dirty-row deltas, kind byte, end sentinel), the v1
+// QTACCEL-QTABLE warm-start path, and the magic-sniffing router
+// between them. Properties checked on every input:
 //
-//   1. try_load_snapshot never crashes and never aborts, whatever the
-//      bytes; a failed load always reports why.
-//   2. A successful load is save/reload-stable: saving the loaded
-//      engine and loading that into a second engine reproduces the
-//      exact same snapshot text (the bit-exact pause/resume contract).
+//   1. Neither entry point crashes or aborts, whatever the bytes; a
+//      failed load/apply always reports why.
+//   2. A successfully loaded full image is save/reload-stable: saving
+//      the loaded engine and loading that into a second engine
+//      reproduces the exact same snapshot text (the bit-exact
+//      pause/resume contract).
+//   3. A successfully applied delta is deterministic: replaying the
+//      same bytes onto the same base yields byte-identical v2 text.
 //
 // Built two ways (tests/fuzz/CMakeLists.txt): as a real fuzzer under
 // clang with -fsanitize=fuzzer (QTACCEL_FUZZERS=ON), and linked with
@@ -53,9 +58,36 @@ qta::qtaccel::PipelineConfig config() {
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  // Same bytes through the delta grammar, replayed onto a fresh
+  // engine's state as the base image. Deltas that parse must apply
+  // deterministically; everything else must fail with a message.
+  {
+    qta::qtaccel::MachineState base =
+        qta::runtime::Engine(world(), config()).save_state();
+    std::istringstream is(input);
+    std::string error;
+    if (qta::runtime::try_apply_snapshot_delta(is, config(), world(), base,
+                                               &error)) {
+      std::ostringstream first_text;
+      qta::runtime::write_snapshot(first_text, config(), world(), base);
+
+      qta::qtaccel::MachineState base2 =
+          qta::runtime::Engine(world(), config()).save_state();
+      std::istringstream is2(input);
+      FUZZ_ASSERT(qta::runtime::try_apply_snapshot_delta(
+          is2, config(), world(), base2, &error));
+      std::ostringstream second_text;
+      qta::runtime::write_snapshot(second_text, config(), world(), base2);
+      FUZZ_ASSERT(second_text.str() == first_text.str());
+    } else {
+      FUZZ_ASSERT(!error.empty());
+    }
+  }
+
   qta::runtime::Engine engine(world(), config());
-  std::istringstream is(
-      std::string(reinterpret_cast<const char*>(data), size));
+  std::istringstream is(input);
 
   std::string error;
   if (!qta::runtime::try_load_snapshot(engine, is, &error)) {

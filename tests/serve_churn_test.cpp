@@ -145,7 +145,7 @@ void churn(qtaccel::Backend backend) {
   }
 
   // The churn actually churned: capacity evictions and restores fired.
-  const auto& sessions = transport.server().sessions();
+  auto& sessions = transport.server().sessions();  // snapshot_text mutates
   EXPECT_GT(sessions.lru_evictions(), kSessions) << "not enough churn";
   EXPECT_GT(sessions.restores(), kSessions);
   ASSERT_EQ(sessions.size(), kSessions);
@@ -192,6 +192,120 @@ void churn(qtaccel::Backend backend) {
       EXPECT_EQ(served, local) << tag;
     }
   }
+}
+
+// Delta-chain churn: two sessions ping-pong on ONE hot slot, so every
+// Step evicts the other session and every acquire restores a cold
+// chain. Short 32-sample epochs keep the dirty-row set small, so parks
+// after the first are v3 deltas; the chain compacts back to a full
+// image at max_delta_chain. snapshot_text() must still materialize v2
+// text bit-identical to an unserved engine that ran the same chunks —
+// through base+delta replay, compaction, and async park overlap.
+void delta_chain_churn(qtaccel::Backend backend, bool v2_full_parks) {
+  ServerOptions options;
+  options.max_hot = 1;
+  options.workers = 2;
+  options.max_queue = 16;
+  if (v2_full_parks) options.park_format = ParkFormat::kV2Text;
+  LoopbackTransport transport(options);
+
+  constexpr std::size_t kPair = 2;
+  constexpr int kPingPongRounds = 20;
+  constexpr std::uint64_t kStepChunk = 32;
+  std::vector<SessionId> ids(kPair);
+  std::vector<SessionSpec> specs(kPair);
+  for (std::size_t i = 0; i < kPair; ++i) {
+    specs[i] = spec_for(i, backend);
+    Request create;
+    create.type = RequestType::kCreateSession;
+    create.spec = specs[i];
+    const Response resp = transport.call(create);
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    ids[i] = resp.session;
+  }
+  for (int round = 0; round < kPingPongRounds; ++round) {
+    for (std::size_t i = 0; i < kPair; ++i) {
+      Request step;
+      step.type = RequestType::kStep;
+      step.session = ids[i];
+      step.steps = kStepChunk;
+      ASSERT_EQ(transport.call(step).status, Status::kOk);
+    }
+  }
+
+  auto& sessions = transport.server().sessions();
+  EXPECT_GT(sessions.restores(), static_cast<std::uint64_t>(
+                                     kPingPongRounds));  // real churn
+
+  auto& metrics = transport.server().metrics();
+  const std::uint64_t v3_full =
+      metrics
+          .counter("qtserve_park_bytes_total",
+                   {{"format", "v3"}, {"kind", "full"}})
+          .value();
+  const std::uint64_t v3_delta =
+      metrics
+          .counter("qtserve_park_bytes_total",
+                   {{"format", "v3"}, {"kind", "delta"}})
+          .value();
+  const std::uint64_t v2_full =
+      metrics
+          .counter("qtserve_park_bytes_total",
+                   {{"format", "v2"}, {"kind", "full"}})
+          .value();
+  if (v2_full_parks) {
+    EXPECT_GT(v2_full, 0u);
+    EXPECT_EQ(v3_full, 0u);
+    EXPECT_EQ(v3_delta, 0u);  // deltas require a v3 chain
+  } else {
+    EXPECT_GT(v3_full, 0u);   // initial bases + compaction rebases
+    EXPECT_GT(v3_delta, 0u);  // steady-state parks are deltas
+    EXPECT_EQ(v2_full, 0u);
+    // The whole point: the average delta park is materially smaller
+    // than the average full park.
+    EXPECT_LT(v3_delta / (kPingPongRounds - 4), v3_full / 4);
+  }
+  const std::uint64_t restore_total =
+      metrics
+          .counter("qtserve_restore_bytes_total",
+                   {{"format", v2_full_parks ? "v2" : "v3"},
+                    {"kind", "full"}})
+          .value();
+  EXPECT_GT(restore_total, 0u);
+
+  for (std::size_t i = 0; i < kPair; ++i) {
+    env::GridWorldConfig gc;
+    gc.width = specs[i].width;
+    gc.height = specs[i].height;
+    gc.num_actions = specs[i].actions;
+    env::GridWorld world(gc);
+    runtime::Engine standalone(world, make_config(specs[i]));
+    for (int round = 0; round < kPingPongRounds; ++round) {
+      standalone.run_samples(standalone.stats().samples + kStepChunk);
+    }
+    std::ostringstream reference;
+    runtime::save_snapshot(standalone, reference);
+    ASSERT_EQ(sessions.snapshot_text(ids[i]), reference.str())
+        << "session " << ids[i] << " ("
+        << qtaccel::backend_name(backend) << ")";
+  }
+}
+
+TEST(ServeChurnDelta, ChainsAndCompactsOnFastBackend) {
+  delta_chain_churn(qtaccel::Backend::kFast, /*v2_full_parks=*/false);
+}
+
+TEST(ServeChurnDelta, ChainsAndCompactsOnCycleBackend) {
+  delta_chain_churn(qtaccel::Backend::kCycleAccurate,
+                    /*v2_full_parks=*/false);
+}
+
+TEST(ServeChurnDelta, ChainsAndCompactsOnLanesBackend) {
+  delta_chain_churn(qtaccel::Backend::kLanes, /*v2_full_parks=*/false);
+}
+
+TEST(ServeChurnDelta, V2TextParkFormatStaysBitExact) {
+  delta_chain_churn(qtaccel::Backend::kFast, /*v2_full_parks=*/true);
 }
 
 TEST(ServeChurn, SixtyFourSessionsBitExactOnFastBackend) {

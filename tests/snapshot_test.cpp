@@ -1,7 +1,9 @@
-// QTACCEL-SNAPSHOT v2 contract tests: the fuzzed pause/resume invariant
-// (run(N); save; load; run(M) is bit-identical to an uninterrupted
-// continuation — trace, stats, tables, AND telemetry), cross-backend
-// restores in both directions, v1 warm-start sniffing, the backend
+// QTACCEL-SNAPSHOT v2/v3 contract tests: the fuzzed pause/resume
+// invariant (run(N); save; load; run(M) is bit-identical to an
+// uninterrupted continuation — trace, stats, tables, AND telemetry,
+// with the save format fuzzed across v2 text and v3 binary),
+// cross-backend restores in both directions, v3 full/delta round trips
+// and cross-format equivalence, v1 warm-start sniffing, the backend
 // registry, and rejection of corrupted/foreign/truncated streams.
 #include <gtest/gtest.h>
 
@@ -91,12 +93,14 @@ void check_resume_case(std::mt19937& rng, const std::string& tag) {
                        : qtaccel::Backend::kFast;
   const std::uint64_t split = 500 + rng() % 4000;
   const std::uint64_t total = split + 500 + rng() % 4000;
+  const bool save_v3 = rng() % 2 == 0;
 
   const std::string what =
       tag + " [" + qtaccel::algorithm_name(base.algorithm) + " " +
       qtaccel::backend_name(save_backend) + "->" +
       qtaccel::backend_name(resume_backend) + " split=" +
-      std::to_string(split) + " total=" + std::to_string(total) + "]";
+      std::to_string(split) + " total=" + std::to_string(total) +
+      (save_v3 ? " v3" : " v2") + "]";
 
   qtaccel::PipelineConfig rc = base;
   rc.backend = resume_backend;
@@ -111,7 +115,11 @@ void check_resume_case(std::mt19937& rng, const std::string& tag) {
   Engine saver(world, sc);
   saver.run_samples(split);
   std::stringstream snap;
-  save_snapshot(saver, snap);
+  if (save_v3) {
+    save_snapshot_v3(saver, snap);
+  } else {
+    save_snapshot(saver, snap);
+  }
 
   Engine resumed(world, rc);
   load_snapshot(resumed, snap);
@@ -482,6 +490,300 @@ TEST(Snapshot, SeedAndBackendAreNotPartOfTheFingerprint) {
   resumed.run_samples(8000);
   expect_same_stats(ref.stats(), resumed.stats(), "seed/backend");
   expect_same_tables(ref, resumed, world, "seed/backend");
+}
+
+std::vector<qtaccel::Backend> all_backends() {
+  return {qtaccel::Backend::kCycleAccurate, qtaccel::Backend::kFast,
+          qtaccel::Backend::kLanes};
+}
+
+TEST(SnapshotV3, FullRoundTripBitExactOnAllBackends) {
+  env::GridWorld world(grid8());
+  for (const auto backend : all_backends()) {
+    qtaccel::PipelineConfig c;
+    c.backend = backend;
+    c.seed = 11;
+    c.max_episode_length = 128;
+    const std::string tag =
+        std::string("v3 full ") + qtaccel::backend_name(backend);
+
+    Engine ref(world, c);
+    ref.run_samples(3000);
+    ref.run_samples(8000);
+
+    Engine saver(world, c);
+    saver.run_samples(3000);
+    std::stringstream snap;
+    save_snapshot_v3(saver, snap);
+    Engine resumed(world, c);
+    load_snapshot(resumed, snap);
+    resumed.run_samples(8000);
+
+    expect_same_stats(ref.stats(), resumed.stats(), tag);
+    expect_same_tables(ref, resumed, world, tag);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(SnapshotV3, CrossFormatRoundTripIsByteIdentical) {
+  // v2 -> v3 -> v2 must reproduce the original v2 text byte for byte:
+  // both formats carry exactly the MachineState fields, nothing lossy.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.algorithm = qtaccel::Algorithm::kDoubleQ;  // exercises q2 too
+  c.seed = 11;
+  c.max_episode_length = 128;
+  Engine e(world, c);
+  e.run_samples(5000);
+
+  std::stringstream v2_text, v3_bin;
+  save_snapshot(e, v2_text);
+  save_snapshot_v3(e, v3_bin);
+  // v3's size is a pure function of the geometry — fixed-width words,
+  // unlike text whose size tracks the printed magnitude of every value.
+  qtaccel::PipelineConfig other = c;
+  other.seed = 4242;
+  Engine e2(world, other);
+  e2.run_samples(12000);
+  std::stringstream v3_other;
+  save_snapshot_v3(e2, v3_other);
+  EXPECT_EQ(v3_bin.str().size(), v3_other.str().size());
+
+  Engine via_v3(world, c);
+  load_snapshot(via_v3, v3_bin);
+  std::stringstream v2_again;
+  save_snapshot(via_v3, v2_again);
+  EXPECT_EQ(v2_again.str(), v2_text.str());
+}
+
+TEST(SnapshotV3, DeltaChainReplayMatchesFullStateOnAllBackends) {
+  // Base + delta must reproduce the saver's state byte-identically AND
+  // resume bit-exactly: run(N); base; run(M); delta; replay; run(K) ==
+  // run(N); run(M); run(K) uninterrupted.
+  env::GridWorld world(grid8());
+  for (const auto backend : all_backends()) {
+    for (const auto algorithm : {qtaccel::Algorithm::kQLearning,
+                                 qtaccel::Algorithm::kDoubleQ}) {
+      qtaccel::PipelineConfig c;
+      c.backend = backend;
+      c.algorithm = algorithm;
+      c.seed = 13;
+      c.max_episode_length = 128;
+      const std::string tag = std::string("delta ") +
+                              qtaccel::backend_name(backend) + " " +
+                              qtaccel::algorithm_name(algorithm);
+
+      Engine saver(world, c);
+      saver.run_samples(2000);
+      std::stringstream base;
+      save_snapshot_v3(saver, base);
+      saver.reset_dirty_rows();  // the delta epoch starts at the base
+      saver.run_samples(4000);
+      std::stringstream delta;
+      write_snapshot_delta(delta, saver.config(), saver.environment(),
+                           saver.save_state());
+
+      qtaccel::MachineState ms = read_snapshot(base, c, world);
+      apply_snapshot_delta(delta, c, world, ms);
+      Engine resumed(world, c);
+      resumed.load_state(ms);
+
+      // Replayed state is byte-identical to the saver's...
+      std::stringstream from_saver, from_replay;
+      save_snapshot(saver, from_saver);
+      save_snapshot(resumed, from_replay);
+      ASSERT_EQ(from_replay.str(), from_saver.str()) << tag;
+
+      // ...and resumes bit-exactly against an uninterrupted run.
+      Engine ref(world, c);
+      ref.run_samples(2000);
+      ref.run_samples(4000);
+      ref.run_samples(9000);
+      resumed.run_samples(9000);
+      expect_same_stats(ref.stats(), resumed.stats(), tag);
+      expect_same_tables(ref, resumed, world, tag);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SnapshotV3, DeltaEpochTracksOnlyTouchedRows) {
+  // On a big world a short epoch touches few rows, and the delta byte
+  // estimate that motivates the whole format holds: the delta is far
+  // smaller than a full image.
+  env::GridWorldConfig gc;
+  gc.width = 16;
+  gc.height = 16;
+  gc.num_actions = 4;
+  env::GridWorld world(gc);
+  qtaccel::PipelineConfig c;
+  c.backend = qtaccel::Backend::kFast;
+  c.seed = 17;
+  c.max_episode_length = 64;
+
+  Engine e(world, c);
+  e.run_samples(500);
+  std::stringstream base;
+  save_snapshot_v3(e, base);
+  e.reset_dirty_rows();
+  EXPECT_EQ(e.dirty_row_count(), 0u);
+  e.run_samples(600);  // a 100-sample epoch touches at most 100 rows
+  EXPECT_GT(e.dirty_row_count(), 0u);
+  EXPECT_LT(e.dirty_row_count(), world.num_states() / 2);
+
+  std::stringstream delta;
+  write_snapshot_delta(delta, e.config(), e.environment(), e.save_state());
+  EXPECT_LT(delta.str().size(), base.str().size() / 2);
+}
+
+TEST(SnapshotV3, CrossBackendDeltaReplay) {
+  // A delta written on one backend applies onto a base written on
+  // another: DirtyRows is part of the backend-neutral machine state.
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig cycle_cfg;
+  cycle_cfg.backend = qtaccel::Backend::kCycleAccurate;
+  cycle_cfg.seed = 19;
+  cycle_cfg.max_episode_length = 128;
+  qtaccel::PipelineConfig fast_cfg = cycle_cfg;
+  fast_cfg.backend = qtaccel::Backend::kFast;
+
+  Engine cycle_engine(world, cycle_cfg);
+  cycle_engine.run_samples(2000);
+  std::stringstream base;
+  save_snapshot_v3(cycle_engine, base);
+
+  // Hand the state to the fast backend mid-epoch through the snapshot.
+  Engine fast_engine(world, fast_cfg);
+  {
+    std::stringstream base_copy(base.str());
+    load_snapshot(fast_engine, base_copy);
+  }
+  fast_engine.reset_dirty_rows();
+  fast_engine.run_samples(4000);
+  std::stringstream delta;
+  write_snapshot_delta(delta, fast_engine.config(),
+                       fast_engine.environment(), fast_engine.save_state());
+
+  qtaccel::MachineState ms = read_snapshot(base, cycle_cfg, world);
+  apply_snapshot_delta(delta, cycle_cfg, world, ms);
+  Engine resumed(world, cycle_cfg);
+  resumed.load_state(ms);
+  std::stringstream expect_text, got_text;
+  save_snapshot(fast_engine, expect_text);
+  save_snapshot(resumed, got_text);
+  EXPECT_EQ(got_text.str(), expect_text.str());
+}
+
+std::string valid_v3_snapshot(const env::Environment& env,
+                              const qtaccel::PipelineConfig& c) {
+  Engine e(env, c);
+  e.run_samples(2000);
+  std::stringstream buf;
+  save_snapshot_v3(e, buf);
+  return buf.str();
+}
+
+TEST(SnapshotV3Death, RejectsCorruptAndMisusedStreams) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  Engine target(world, c);
+  const std::string good = valid_v3_snapshot(world, c);
+
+  {
+    // Truncation mid-payload: the binary reader names the byte offset.
+    std::stringstream in(good.substr(0, good.size() / 2));
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "truncated snapshot payload.* at byte ");
+  }
+  {
+    // Chop the end sentinel: everything parses, the sentinel catches it.
+    std::stringstream in(good.substr(0, good.size() - 9));
+    EXPECT_DEATH(load_snapshot(target, in), "truncated snapshot payload");
+  }
+  {
+    // Corrupt the sentinel in place.
+    std::string bad = good;
+    bad[bad.size() - 5] = 'X';
+    std::stringstream in(bad);
+    EXPECT_DEATH(load_snapshot(target, in),
+                 "malformed snapshot end sentinel");
+  }
+  {
+    // A standalone delta is not a full image.
+    Engine e(world, c);
+    e.run_samples(2000);
+    std::stringstream delta;
+    write_snapshot_delta(delta, e.config(), e.environment(),
+                         e.save_state());
+    EXPECT_DEATH(load_snapshot(target, delta),
+                 "snapshot delta without a base image");
+  }
+  {
+    // And a full image is not a delta.
+    qtaccel::MachineState ms;
+    std::stringstream in(good);
+    EXPECT_DEATH(apply_snapshot_delta(in, c, world, ms),
+                 "expected a delta snapshot");
+  }
+  {
+    // Source context rides along exactly like the v2 diagnostics.
+    std::stringstream in(good.substr(0, good.size() / 2));
+    EXPECT_DEATH(
+        read_snapshot(in, c, world, SnapshotSource{"ckpt.bin", 2}),
+        "truncated snapshot payload \\(ckpt\\.bin, pipe 2\\) at byte ");
+  }
+}
+
+TEST(SnapshotV3, TryApplyDeltaReportsFailuresWithoutAborting) {
+  env::GridWorld world(grid8());
+  qtaccel::PipelineConfig c;
+  c.seed = 9;
+  c.max_episode_length = 128;
+  const std::string base_text = valid_v3_snapshot(world, c);
+
+  Engine e(world, c);
+  {
+    std::stringstream base_in(base_text);
+    load_snapshot(e, base_in);
+  }
+  e.reset_dirty_rows();
+  e.run_samples(4000);
+  std::stringstream delta;
+  write_snapshot_delta(delta, e.config(), e.environment(), e.save_state());
+  const std::string delta_bytes = delta.str();
+  std::string error;
+
+  {
+    // The happy path: base + delta applies cleanly.
+    std::stringstream base_in(base_text);
+    qtaccel::MachineState ms = read_snapshot(base_in, c, world);
+    std::stringstream delta_in(delta_bytes);
+    EXPECT_TRUE(try_apply_snapshot_delta(delta_in, c, world, ms, &error))
+        << error;
+  }
+  {
+    std::stringstream base_in(base_text);
+    qtaccel::MachineState ms = read_snapshot(base_in, c, world);
+    std::stringstream truncated(
+        delta_bytes.substr(0, delta_bytes.size() / 2));
+    EXPECT_FALSE(try_apply_snapshot_delta(truncated, c, world, ms, &error));
+    EXPECT_NE(error.find("truncated snapshot payload"), std::string::npos);
+    EXPECT_NE(error.find(" at byte "), std::string::npos);
+  }
+  {
+    // A v2 text stream is not a delta carrier.
+    Engine v2e(world, c);
+    v2e.run_samples(1000);
+    std::stringstream v2_text;
+    save_snapshot(v2e, v2_text);
+    std::stringstream base_in(base_text);
+    qtaccel::MachineState ms = read_snapshot(base_in, c, world);
+    EXPECT_FALSE(try_apply_snapshot_delta(v2_text, c, world, ms, &error));
+    EXPECT_NE(error.find("snapshot delta must be a v3 stream"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

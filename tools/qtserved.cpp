@@ -14,15 +14,20 @@
 //                 [--trace=out.json] [--verbose]
 //                 [--http-port=N] [--http-port-file=path]
 //                 [--flight-capacity=256]
+//                 [--park-format=v3] [--sync-park] [--max-delta-chain=4]
 //
 // --port=0 lets the kernel pick; --port-file writes the bound port for
 // scripts. --http-port opens a second listener speaking plain HTTP
 // (serve/http_endpoint.h: /metrics for Prometheus, /healthz,
 // /flightrecorder) on the same poll loop — scrape connections are
 // one-shot and never touch engine state. --flight-capacity sizes the
-// flight-recorder ring (0 disables it). A Shutdown request stops the
-// accept loop, drains every staged request and output buffer,
-// optionally writes the trace, and exits 0.
+// flight-recorder ring (0 disables it). Checkpointing knobs
+// (docs/serving.md): --park-format=v2|v3 picks the full-image format
+// for cold sessions, --max-delta-chain bounds the v3 delta chain
+// (0 = full images only), and --sync-park serializes parks inline on
+// the control thread instead of overlapping them with batch execution.
+// A Shutdown request stops the accept loop, drains every staged
+// request and output buffer, optionally writes the trace, and exits 0.
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -133,6 +138,16 @@ int main(int argc, char** argv) {
   options.trace = !trace_path.empty();
   options.flight_recorder_capacity =
       static_cast<std::size_t>(flags.get_int("flight-capacity", 256));
+  const std::string park_format = flags.get_string("park-format", "v3");
+  if (park_format == "v2") {
+    options.park_format = serve::ParkFormat::kV2Text;
+  } else if (park_format != "v3") {
+    std::cerr << "qtserved: --park-format must be v2 or v3\n";
+    return 2;
+  }
+  options.async_park = !flags.get_bool("sync-park", false);
+  options.max_delta_chain =
+      static_cast<unsigned>(flags.get_int("max-delta-chain", 4));
   const auto port = static_cast<std::uint16_t>(flags.get_int("port", 7477));
   const std::string port_file = flags.get_string("port-file", "");
   const std::int64_t http_port_flag = flags.get_int("http-port", -1);
