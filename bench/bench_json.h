@@ -27,8 +27,13 @@ using qta::JsonWriter;
 /// plus park_bytes/restore_bytes totals split by snapshot format and
 /// kind, and the report carries a park_formats section comparing v2
 /// full-text parking against v3 full+delta parking — v4 readers that
-/// assumed exactly four phases must not index past `reply`.
-inline constexpr int kBenchSchemaVersion = 5;
+/// assumed exactly four phases must not index past `reply`. v6: a new
+/// BENCH_shard.json artifact (the sharded-router sweep: per-cell
+/// touched-session counts, migration/checkpoint totals, per-shard
+/// session/request splits, and p50/p95/p99 proxy-hop latency per
+/// request type); existing artifacts are unchanged, but readers keyed
+/// on "one BENCH file per schema bump" must now handle the new file.
+inline constexpr int kBenchSchemaVersion = 6;
 
 /// Emits the shared metadata fields into the CURRENT object scope:
 ///   "schema_version": 3,

@@ -1,0 +1,369 @@
+// Sharding-tier sweep: a Zipf(1.0) workload over a ~1M logical
+// session-id space routed through the in-process LocalCluster at 1, 2,
+// and 4 shards, writing BENCH_shard.json (schema provenance via
+// write_bench_meta).
+//
+// Exit code gates ONLY correctness, never throughput:
+//   1. Bit-exactness through the router: after every sweep cell,
+//      sampled sessions' Snapshot text must byte-equal a standalone
+//      engine replayed with the identical Step partitioning —
+//      consistent-hash routing, proxy FIFOs, checkpoints, and (in
+//      multi-shard cells) forced live migrations included.
+//   2. Multi-shard cells must actually migrate: the router runs with
+//      migrate_every set, and a cell that reports zero migrations is a
+//      harness bug, not a slow day.
+// Throughput (requests/sec per cell, and per shard) is report-only:
+// this host is a shared CI box and the routing layer's correctness is
+// the subject under test, not the machine. Each cell also reports the
+// router's own p50/p95/p99 proxy-hop latency per request type
+// (qtserve_request_latency_us{path="proxy"} — log2-bucket upper
+// bounds, coarse but comparable across runs), the honest touched-
+// session count (the Zipf head dominates; most of the 1M id space is
+// never hit), and per-shard session/request counts scraped from each
+// worker's own registry.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/table_printer.h"
+#include "env/grid_world.h"
+#include "rng/xoshiro.h"
+#include "runtime/engine.h"
+#include "runtime/snapshot.h"
+#include "serve/protocol.h"
+#include "shard/local_shard.h"
+#include "shard/router.h"
+#include "telemetry/metrics.h"
+
+using namespace qta;
+
+namespace {
+
+constexpr std::uint64_t kIdSpace = 1'000'000;  // logical session ids
+constexpr double kZipfExponent = 1.0;
+constexpr std::size_t kRequestsPerCell = 4096;
+constexpr std::uint64_t kStepsPerRequest = 32;
+constexpr unsigned kMigrateEvery = 16;  // per-session Steps between hops
+constexpr unsigned kCheckpointEvery = 8;
+constexpr std::size_t kVerifySessions = 8;  // most-touched, bit-checked
+
+serve::SessionSpec spec_for(std::uint64_t logical_id) {
+  serve::SessionSpec spec;
+  spec.width = 8;
+  spec.height = 8;
+  spec.actions = 4;
+  spec.seed = 1 + logical_id;
+  spec.max_episode_length = 256;
+  return spec;
+}
+
+/// Zipf(s=1.0) sampler over [0, n): inverse-CDF lookup on the
+/// precomputed harmonic prefix sums. Deterministic given the rng.
+class ZipfSampler {
+ public:
+  explicit ZipfSampler(std::uint64_t n) : cdf_(n) {
+    double sum = 0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), kZipfExponent);
+      cdf_[k] = sum;
+    }
+    total_ = sum;
+  }
+  std::uint64_t draw(rng::Xoshiro256& rng) {
+    const double u = rng.uniform() * total_;
+    // Binary search for the first prefix >= u.
+    std::uint64_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+  double total_ = 0;
+};
+
+std::string replay_snapshot(const serve::SessionSpec& spec,
+                            const std::vector<std::uint64_t>& step_calls) {
+  env::GridWorldConfig gc;
+  gc.width = spec.width;
+  gc.height = spec.height;
+  gc.num_actions = spec.actions;
+  env::GridWorld world(gc);
+  runtime::Engine replay(world, serve::make_config(spec));
+  for (const std::uint64_t steps : step_calls) {
+    replay.run_samples(replay.stats().samples + steps);
+  }
+  std::ostringstream os;
+  runtime::save_snapshot(replay, os);
+  return std::move(os).str();
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct SessionTrace {
+  serve::SessionId id = 0;                // router-allocated
+  std::vector<std::uint64_t> step_calls;  // partitioning for the twin
+  std::uint64_t touches = 0;
+};
+
+struct CellResult {
+  unsigned shards = 0;
+  std::uint64_t touched = 0;
+  std::uint64_t wall_us = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t verified = 0;
+  std::vector<std::uint64_t> shard_sessions;
+  std::vector<std::uint64_t> shard_steps;
+  // p50/p95/p99 proxy-hop latency per request type.
+  std::map<std::string, std::array<std::uint64_t, 3>> latency;
+};
+
+serve::Response decode_last(shard::LocalCluster& cluster,
+                            shard::ClientId client) {
+  std::vector<std::string> payloads = cluster.take_responses(client);
+  if (payloads.empty()) {
+    std::cerr << "bench_shard: router returned no response\n";
+    std::exit(1);
+  }
+  auto resp = serve::decode_response(payloads.back());
+  if (!resp.has_value()) {
+    std::cerr << "bench_shard: undecodable response\n";
+    std::exit(1);
+  }
+  return std::move(*resp);
+}
+
+serve::Response call(shard::LocalCluster& cluster, const serve::Request& req) {
+  cluster.client_request(1, serve::encode_request(req));
+  return decode_last(cluster, 1);
+}
+
+CellResult run_cell(unsigned shards) {
+  shard::RouterOptions options;
+  options.checkpoint_every = kCheckpointEvery;
+  options.migrate_every = shards > 1 ? kMigrateEvery : 0;
+  shard::LocalCluster cluster(shards, options);
+
+  // Same id stream in every cell: the sweep varies topology, not load.
+  rng::Xoshiro256 rng(42);
+  ZipfSampler zipf(kIdSpace);
+  std::map<std::uint64_t, SessionTrace> sessions;  // logical id -> trace
+
+  const std::uint64_t start = now_us();
+  for (std::size_t i = 0; i < kRequestsPerCell; ++i) {
+    const std::uint64_t logical = zipf.draw(rng);
+    SessionTrace& trace = sessions[logical];
+    if (trace.id == 0) {
+      serve::Request create;
+      create.type = serve::RequestType::kCreateSession;
+      create.spec = spec_for(logical);
+      const serve::Response resp = call(cluster, create);
+      if (resp.status != serve::Status::kOk) {
+        std::cerr << "bench_shard: create failed: " << resp.error << "\n";
+        std::exit(1);
+      }
+      trace.id = resp.session;
+    }
+    serve::Request step;
+    step.type = serve::RequestType::kStep;
+    step.session = trace.id;
+    step.steps = kStepsPerRequest;
+    const serve::Response resp = call(cluster, step);
+    if (resp.status != serve::Status::kOk) {
+      std::cerr << "bench_shard: step failed: " << resp.error << "\n";
+      std::exit(1);
+    }
+    trace.step_calls.push_back(kStepsPerRequest);
+    ++trace.touches;
+  }
+
+  CellResult cell;
+  cell.shards = shards;
+  cell.wall_us = now_us() - start;
+  cell.touched = sessions.size();
+  cell.migrations = cluster.router().migrations();
+  cell.checkpoints = cluster.router().checkpoints();
+
+  // Correctness gate 1: the most-touched sessions (the Zipf head — the
+  // ones that migrated and checkpointed the most) are bit-exact against
+  // standalone replay twins.
+  std::vector<const SessionTrace*> by_touches;
+  by_touches.reserve(sessions.size());
+  for (const auto& [logical, trace] : sessions) by_touches.push_back(&trace);
+  std::sort(by_touches.begin(), by_touches.end(),
+            [](const SessionTrace* a, const SessionTrace* b) {
+              if (a->touches != b->touches) return a->touches > b->touches;
+              return a->id < b->id;
+            });
+  std::uint64_t verified = 0;
+  for (const SessionTrace* trace : by_touches) {
+    if (verified == kVerifySessions) break;
+    serve::Request snap;
+    snap.type = serve::RequestType::kSnapshot;
+    snap.session = trace->id;
+    const serve::Response resp = call(cluster, snap);
+    if (resp.status != serve::Status::kOk) {
+      std::cerr << "bench_shard: snapshot failed: " << resp.error << "\n";
+      std::exit(1);
+    }
+    // The spec seed is recoverable from the creation order, but the
+    // trace map is keyed by logical id; rebuild the spec from it.
+    std::uint64_t logical = 0;
+    for (const auto& [lid, t] : sessions) {
+      if (&t == trace) logical = lid;
+    }
+    const std::string expect = replay_snapshot(spec_for(logical),
+                                               trace->step_calls);
+    if (resp.snapshot != expect) {
+      std::cerr << "bench_shard: BIT-EXACTNESS FAILURE at " << shards
+                << " shards, session " << trace->id << "\n";
+      std::exit(1);
+    }
+    ++verified;
+  }
+  cell.verified = verified;
+
+  // Correctness gate 2: multi-shard cells must have actually moved
+  // sessions, or the sweep is not exercising migration at all.
+  if (shards > 1 && cell.migrations == 0) {
+    std::cerr << "bench_shard: " << shards
+              << "-shard cell saw zero migrations (harness bug)\n";
+    std::exit(1);
+  }
+
+  for (shard::ShardId id = 0; id < shards; ++id) {
+    cell.shard_sessions.push_back(cluster.router().sessions_on(id));
+    serve::Server* server =
+        cluster.shard(id) != nullptr ? &cluster.shard(id)->server() : nullptr;
+    cell.shard_steps.push_back(
+        server == nullptr
+            ? 0
+            : server->metrics()
+                  .counter("qtserve_requests_total", {{"type", "step"}})
+                  .value());
+  }
+
+  for (const char* type : {"create_session", "step", "snapshot"}) {
+    telemetry::Histogram& h = cluster.router().metrics().histogram(
+        "qtserve_request_latency_us", {{"path", "proxy"}, {"type", type}});
+    cell.latency[type] = {
+        telemetry::histogram_percentile_upper_bound(h, 0.50),
+        telemetry::histogram_percentile_upper_bound(h, 0.95),
+        telemetry::histogram_percentile_upper_bound(h, 0.99)};
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<CellResult> cells;
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    cells.push_back(run_cell(shards));
+    const CellResult& cell = cells.back();
+    std::cout << "bench_shard: " << shards << " shard(s): "
+              << cell.touched << "/" << kIdSpace
+              << " logical sessions touched, " << cell.migrations
+              << " migrations, " << cell.verified
+              << " sessions verified bit-exact\n";
+  }
+
+  TablePrinter table({"shards", "touched", "req/s", "migrations",
+                      "checkpoints", "step p50us", "step p99us"});
+  for (const CellResult& cell : cells) {
+    const double reqs = static_cast<double>(kRequestsPerCell + cell.touched);
+    const double rate = cell.wall_us == 0
+                            ? 0
+                            : reqs * 1e6 / static_cast<double>(cell.wall_us);
+    table.add_row({std::to_string(cell.shards), std::to_string(cell.touched),
+               std::to_string(static_cast<std::uint64_t>(rate)),
+               std::to_string(cell.migrations),
+               std::to_string(cell.checkpoints),
+               std::to_string(cell.latency.at("step")[0]),
+               std::to_string(cell.latency.at("step")[2])});
+  }
+  table.print(std::cout);
+
+  JsonWriter json;
+  json.begin_object();
+  bench::write_bench_meta(json);
+  json.field("bench", "shard");
+  json.field("id_space", kIdSpace);
+  json.field("zipf_exponent", kZipfExponent);
+  json.field("requests_per_cell", static_cast<std::uint64_t>(kRequestsPerCell));
+  json.field("steps_per_request", kStepsPerRequest);
+  json.field("migrate_every", static_cast<std::uint64_t>(kMigrateEvery));
+  json.field("checkpoint_every", static_cast<std::uint64_t>(kCheckpointEvery));
+  json.key("cells").begin_array();
+  for (const CellResult& cell : cells) {
+    json.begin_object();
+    json.field("shards", static_cast<std::uint64_t>(cell.shards));
+    json.field("touched_sessions", cell.touched);
+    json.field("wall_us", cell.wall_us);
+    const double reqs = static_cast<double>(kRequestsPerCell + cell.touched);
+    json.field("requests_per_sec",
+               cell.wall_us == 0
+                   ? 0.0
+                   : reqs * 1e6 / static_cast<double>(cell.wall_us));
+    json.field("migrations", cell.migrations);
+    json.field("checkpoints", cell.checkpoints);
+    json.field("verified_sessions", cell.verified);
+    json.key("per_shard").begin_array();
+    for (std::size_t i = 0; i < cell.shard_sessions.size(); ++i) {
+      json.begin_object();
+      json.field("id", static_cast<std::uint64_t>(i));
+      json.field("sessions", cell.shard_sessions[i]);
+      json.field("step_requests", cell.shard_steps[i]);
+      json.field("step_requests_per_sec",
+                 cell.wall_us == 0
+                     ? 0.0
+                     : static_cast<double>(cell.shard_steps[i]) * 1e6 /
+                           static_cast<double>(cell.wall_us));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("proxy_latency_us").begin_object();
+    for (const auto& [type, p] : cell.latency) {
+      json.key(type).begin_object();
+      json.field("p50", p[0]);
+      json.field("p95", p[1]);
+      json.field("p99", p[2]);
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out("BENCH_shard.json");
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "bench_shard: failed to write BENCH_shard.json\n";
+    return 1;
+  }
+  std::cout << "bench_shard: wrote BENCH_shard.json\n";
+  return 0;
+}

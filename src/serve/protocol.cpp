@@ -205,9 +205,28 @@ const char* request_type_name(RequestType type) {
     case RequestType::kPing: return "ping";
     case RequestType::kShutdown: return "shutdown";
     case RequestType::kIntrospect: return "introspect";
+    case RequestType::kMigrateOut: return "migrate_out";
+    case RequestType::kMigrateIn: return "migrate_in";
   }
   return "unknown";
 }
+
+namespace {
+
+// The newest request type a peer at `version` is allowed to name.
+// Older peers naming newer types are malformed frames, not errors —
+// that is how pre-shard daemons refuse migration they cannot perform.
+RequestType max_request_type(std::uint16_t version) {
+  if (version >= 3) return RequestType::kMigrateIn;
+  if (version >= 2) return RequestType::kIntrospect;
+  return RequestType::kShutdown;
+}
+
+IntrospectProbe max_probe(std::uint16_t version) {
+  return version >= 3 ? IntrospectProbe::kShards : IntrospectProbe::kSession;
+}
+
+}  // namespace
 
 std::string encode_request(const Request& req, std::uint16_t version) {
   QTA_CHECK_MSG(check_encode_version(version),
@@ -225,6 +244,9 @@ std::string encode_request(const Request& req, std::uint16_t version) {
     w.u8(static_cast<std::uint8_t>(req.probe));
   }
   if (req.type == RequestType::kCreateSession) write_spec(w, req.spec);
+  if (version >= 3 && req.type == RequestType::kMigrateIn) {
+    w.str(req.payload);
+  }
   return w.take();
 }
 
@@ -240,9 +262,7 @@ std::optional<Request> decode_request(std::string_view payload,
     set_error(error, "truncated request body");
     return std::nullopt;
   }
-  const std::uint8_t max_type = static_cast<std::uint8_t>(
-      version >= 2 ? RequestType::kIntrospect : RequestType::kShutdown);
-  if (type > max_type) {
+  if (type > static_cast<std::uint8_t>(max_request_type(version))) {
     set_error(error, "unknown request type");
     return std::nullopt;
   }
@@ -254,7 +274,7 @@ std::optional<Request> decode_request(std::string_view payload,
       return std::nullopt;
     }
     if (req.type == RequestType::kIntrospect) {
-      if (probe > static_cast<std::uint8_t>(IntrospectProbe::kSession)) {
+      if (probe > static_cast<std::uint8_t>(max_probe(version))) {
         set_error(error, "unknown introspect probe");
         return std::nullopt;
       }
@@ -266,6 +286,11 @@ std::optional<Request> decode_request(std::string_view payload,
   if (req.type == RequestType::kCreateSession &&
       !read_spec(r, &req.spec)) {
     set_error(error, "malformed session spec");
+    return std::nullopt;
+  }
+  if (version >= 3 && req.type == RequestType::kMigrateIn &&
+      !r.str(&req.payload)) {
+    set_error(error, "truncated migration payload");
     return std::nullopt;
   }
   return req;
@@ -312,10 +337,8 @@ std::optional<Response> decode_response(std::string_view payload,
     set_error(error, "truncated response body");
     return std::nullopt;
   }
-  const std::uint8_t max_type = static_cast<std::uint8_t>(
-      version >= 2 ? RequestType::kIntrospect : RequestType::kShutdown);
   if (status > static_cast<std::uint8_t>(Status::kOverloaded) ||
-      type > max_type) {
+      type > static_cast<std::uint8_t>(max_request_type(version))) {
     set_error(error, "unknown response status or type");
     return std::nullopt;
   }
@@ -345,6 +368,60 @@ std::optional<Response> decode_response(std::string_view payload,
     return std::nullopt;
   }
   return resp;
+}
+
+std::string encode_migration_image(const MigrationImage& image) {
+  Writer w;
+  w.u32(kMigrationMagic);
+  w.u16(kMigrationVersion);
+  write_spec(w, image.spec);
+  w.u8(image.base_is_v3 ? 1 : 0);
+  w.str(image.base);
+  w.u32(static_cast<std::uint32_t>(image.deltas.size()));
+  for (const std::string& delta : image.deltas) w.str(delta);
+  return w.take();
+}
+
+std::optional<MigrationImage> decode_migration_image(
+    std::string_view payload, std::string* error) {
+  Reader r(payload);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  if (!r.u32(&magic) || !r.u16(&version)) {
+    set_error(error, "truncated migration-image header");
+    return std::nullopt;
+  }
+  if (magic != kMigrationMagic) {
+    set_error(error, "not a migration image (bad magic)");
+    return std::nullopt;
+  }
+  if (version < 1 || version > kMigrationVersion) {
+    set_error(error, "unsupported migration-image version");
+    return std::nullopt;
+  }
+  MigrationImage image;
+  std::uint8_t base_is_v3 = 0;
+  std::uint32_t delta_count = 0;
+  if (!read_spec(r, &image.spec) || !r.u8(&base_is_v3) ||
+      !r.str(&image.base) || !r.u32(&delta_count)) {
+    set_error(error, "truncated migration-image body");
+    return std::nullopt;
+  }
+  // Each delta costs at least a u32 length prefix; an adversarial count
+  // could otherwise reserve gigabytes before the bounds check fires.
+  if (delta_count > payload.size() / 4) {
+    set_error(error, "migration-image delta count exceeds payload");
+    return std::nullopt;
+  }
+  image.base_is_v3 = base_is_v3 != 0;
+  image.deltas.resize(delta_count);
+  for (std::string& delta : image.deltas) {
+    if (!r.str(&delta)) {
+      set_error(error, "truncated migration-image delta");
+      return std::nullopt;
+    }
+  }
+  return image;
 }
 
 std::string frame(std::string_view payload) {

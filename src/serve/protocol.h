@@ -1,11 +1,11 @@
-// qtserved wire protocol: QTSERVE-WIRE v2.
+// qtserved wire protocol: QTSERVE-WIRE v3.
 //
 // The serving layer multiplexes many logical learner sessions onto a
 // bounded pool of runtime backends; clients talk to it through small
 // length-prefixed binary frames:
 //
 //   frame    := u32le payload_length, payload
-//   payload  := u32le magic ("QTSV"), u16le version (1 or 2), u8 kind,
+//   payload  := u32le magic ("QTSV"), u16le version (1..3), u8 kind,
 //               kind-specific fields (all integers little-endian,
 //               doubles as IEEE-754 bit patterns, strings/blobs as
 //               u32le length + raw bytes)
@@ -16,13 +16,19 @@
 // changing the meaning or layout of an existing field is. v2 inserts
 // the trace-context block (trace_id, parent_span, probe) into the
 // request body ahead of the optional spec — a layout change, hence the
-// bump — and appends span_id + introspect_json to responses. Decoders
-// accept both versions (v1 bodies simply have no trace context and no
-// introspection fields); encoders emit v2 unless asked for v1, so old
-// clients keep working against new servers and vice versa. A decoder
-// that sees a foreign magic or a newer version rejects the frame with
-// a diagnostic instead of guessing — parse failures are Error replies,
-// never aborts, because the bytes come off a network.
+// bump — and appends span_id + introspect_json to responses. v3 adds
+// the shard-migration control pair (MigrateOut / MigrateIn — the
+// MigrateIn body carries an opaque migration-image blob, another
+// request-layout change) and the Shards introspect probe; a v1 or v2
+// peer naming any of them is rejected as malformed, which is how old
+// daemons refuse to take part in migration they cannot perform
+// (docs/sharding.md has the versioning policy). Decoders accept all
+// three versions (older bodies simply lack the newer fields); encoders
+// emit v3 unless asked for an older version, so old clients keep
+// working against new servers and vice versa. A decoder that sees a
+// foreign magic or a newer version rejects the frame with a diagnostic
+// instead of guessing — parse failures are Error replies, never
+// aborts, because the bytes come off a network.
 //
 // Request types (docs/serving.md has the full field tables):
 //   CreateSession(spec)  -> session id        (control plane, immediate)
@@ -38,7 +44,17 @@
 //   Ping / Shutdown      -> ok                (immediate)
 //   Introspect(probe)    -> introspect_json   (immediate; v2 only — the
 //                           qtscope plane: metrics snapshot, flight-
-//                           recorder dump, or one session's summary)
+//                           recorder dump, or one session's summary;
+//                           the Shards probe is v3 and answered by
+//                           qtrouterd, not by a worker)
+//   MigrateOut(session)  -> migration image   (queued; v3 only — packs
+//                           the session's cold chain into one blob
+//                           [Response.snapshot] and removes it; the
+//                           router's half of live migration)
+//   MigrateIn(session, image) -> ok           (immediate; v3 only —
+//                           adopts the session under its original id;
+//                           an empty-chain image doubles as a remote
+//                           CreateSession with a router-chosen id)
 //
 // Trace context: a v2 client may stamp any request with a nonzero
 // trace_id (and optionally its own parent_span). The server then emits
@@ -63,7 +79,7 @@
 namespace qta::serve {
 
 inline constexpr std::uint32_t kWireMagic = 0x56535451u;  // "QTSV" LE
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Oldest version decoders still accept (v1 = pre-trace-context).
 inline constexpr std::uint16_t kWireVersionMin = 1;
 /// Hard ceiling on one frame (snapshot replies dominate; a 256x256x8
@@ -113,7 +129,9 @@ enum class RequestType : std::uint8_t {
   kStats = 6,
   kPing = 7,
   kShutdown = 8,
-  kIntrospect = 9,  // v2 qtscope plane; a v1 peer never sends it
+  kIntrospect = 9,   // v2 qtscope plane; a v1 peer never sends it
+  kMigrateOut = 10,  // v3 shard plane; v1/v2 peers reject it as malformed
+  kMigrateIn = 11,   // v3 shard plane; carries Request.payload
 };
 
 /// What an Introspect request wants back (Request.probe).
@@ -121,6 +139,8 @@ enum class IntrospectProbe : std::uint8_t {
   kMetrics = 0,         // registry snapshot: introspect_json + both stats blobs
   kFlightRecorder = 1,  // flight-recorder JSON dump
   kSession = 2,         // one session's state summary (Request.session)
+  kShards = 3,          // v3: shard topology JSON (routers only; a plain
+                        // qtserved answers an error)
 };
 
 /// Stable wire/metric spelling ("create_session", "step", ...).
@@ -136,6 +156,10 @@ struct Request {
   std::uint64_t parent_span = 0;  // client-side enclosing span, if any
   IntrospectProbe probe = IntrospectProbe::kMetrics;  // kIntrospect
   SessionSpec spec;            // kCreateSession
+  // kMigrateIn only (v3): an encoded MigrationImage. Opaque to the
+  // codec — encode_migration_image/decode_migration_image own its
+  // layout and validation.
+  std::string payload;
 };
 
 enum class Status : std::uint8_t {
@@ -164,6 +188,37 @@ struct Response {
   std::uint64_t span_id = 0;     // server-assigned request span (the ticket)
   std::string introspect_json;   // kIntrospect payload
 };
+
+/// One session's portable state: the spec plus its cold chain, packed
+/// for shipment between shards (kMigrateOut replies carry one encoded
+/// in Response.snapshot; kMigrateIn requests carry one in
+/// Request.payload). The chain bytes are moved verbatim — a v3 base
+/// plus deltas ships as-is, never inflated to v2 text — so adopting a
+/// cold session costs exactly what parking it did. An image with an
+/// empty base is a "fresh" image: adopting it is equivalent to
+/// CreateSession(spec) under the given id.
+///
+/// Own sub-format (magic "QTMG", u16 version 1) versioned
+/// independently of QTSERVE-WIRE: the wire carries it as an opaque
+/// blob, so image layout changes don't force a wire bump
+/// (docs/sharding.md spells out the policy).
+struct MigrationImage {
+  SessionSpec spec;
+  bool base_is_v3 = false;    // base is QTACCEL-SNAPSHOT v3 binary, not v2 text
+  std::string base;           // full snapshot; empty => fresh session
+  std::vector<std::string> deltas;  // v3 delta frames, oldest first
+
+  friend bool operator==(const MigrationImage&,
+                         const MigrationImage&) = default;
+};
+
+inline constexpr std::uint32_t kMigrationMagic = 0x474D5451u;  // "QTMG" LE
+inline constexpr std::uint16_t kMigrationVersion = 1;
+
+std::string encode_migration_image(const MigrationImage& image);
+/// nullopt on malformed/foreign/truncated blobs; `error` says why.
+std::optional<MigrationImage> decode_migration_image(
+    std::string_view payload, std::string* error = nullptr);
 
 /// Payload codecs (no frame header; see frame helpers below). `version`
 /// selects the emitted wire version (kWireVersionMin..kWireVersion) so

@@ -28,6 +28,9 @@ bool is_session_scoped(RequestType type) {
     case RequestType::kSnapshot:
     case RequestType::kEvict:
     case RequestType::kClose:
+    case RequestType::kMigrateOut:
+      // Queued like Evict/Close so a migration drains the session's
+      // earlier staged requests first (FIFO quiesce).
       return true;
     default:
       return false;
@@ -44,7 +47,8 @@ Server::Server(const ServerOptions& options)
                   : nullptr),
       sessions_(options.max_hot, &metrics_, flight_.get(),
                 SessionManagerOptions{options.async_park, options.park_format,
-                                      options.max_delta_chain}),
+                                      options.max_delta_chain,
+                                      options.migrate_format}),
       queue_(options.max_queue),
       pool_(options.workers == 0 ? 1 : options.workers),
       epoch_(std::chrono::steady_clock::now()) {
@@ -53,7 +57,7 @@ Server::Server(const ServerOptions& options)
     trace_->set_process_name(0, "qtserved requests");
     trace_->set_process_name(1, "qtserved lane groups");
   }
-  for (unsigned t = 0; t <= static_cast<unsigned>(RequestType::kIntrospect);
+  for (unsigned t = 0; t <= static_cast<unsigned>(RequestType::kMigrateIn);
        ++t) {
     requests_by_type_[t] = &metrics_.counter(
         "qtserve_requests_total",
@@ -159,6 +163,19 @@ Ticket Server::submit(const Request& req) {
     case RequestType::kIntrospect:
       resp = introspect(req);
       break;
+    case RequestType::kMigrateIn: {
+      std::string image_error;
+      std::optional<MigrationImage> image =
+          decode_migration_image(req.payload, &image_error);
+      if (!image.has_value()) {
+        resp = error_response(req, "migrate_in: " + image_error);
+        break;
+      }
+      const std::string problem =
+          sessions_.adopt_session(req.session, *image);
+      if (!problem.empty()) resp = error_response(req, problem);
+      break;
+    }
     case RequestType::kPing:
       break;
     case RequestType::kShutdown:
@@ -195,6 +212,9 @@ Response Server::introspect(const Request& req) {
       }
       resp.introspect_json = sessions_.summary_json(req.session);
       break;
+    case IntrospectProbe::kShards:
+      // Topology lives on the router; a worker knows only itself.
+      return error_response(req, "shards probe: this is a worker, not a router");
   }
   return resp;
 }
@@ -271,6 +291,19 @@ bool Server::pump() {
     if (!sessions_.exists(req.session)) {
       // Closed while staged (Close is FIFO like everything else).
       finish(qr, error_response(req, "unknown session"));
+      continue;
+    }
+    if (req.type == RequestType::kMigrateOut) {
+      // Runs on the control thread like Evict/Close: export_session
+      // parks inline (never staged) so the image in this reply is the
+      // session's final state on this worker.
+      MigrationImage image;
+      sessions_.export_session(req.session, &image);
+      Response resp;
+      resp.type = req.type;
+      resp.session = req.session;
+      resp.snapshot = encode_migration_image(image);
+      finish(qr, std::move(resp));
       continue;
     }
     if (req.type == RequestType::kEvict) {

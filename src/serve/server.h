@@ -100,6 +100,11 @@ struct ServerOptions {
   /// Cold-chain compaction bound: force a full checkpoint once a chain
   /// holds this many deltas. 0 = full images only.
   unsigned max_delta_chain = 4;
+  /// Base format for MigrateOut images (the --migrate-format escape
+  /// hatch). The v3 default ships a cold session's chain verbatim —
+  /// deltas and all, nothing inflates to v2 text; v2 materializes
+  /// interchange text (serve/session_manager.h).
+  ParkFormat migrate_format = ParkFormat::kV3Binary;
 };
 
 using Ticket = std::uint64_t;
@@ -159,7 +164,7 @@ class Server {
   std::chrono::steady_clock::time_point epoch_;
 
   // Instrument handles, resolved once at construction.
-  telemetry::Counter* requests_by_type_[10] = {};
+  telemetry::Counter* requests_by_type_[12] = {};
   telemetry::Counter* overloads_ = nullptr;
   telemetry::Counter* errors_ = nullptr;
   telemetry::Counter* sessions_created_ = nullptr;

@@ -29,9 +29,17 @@ SessionManager::SessionManager(unsigned max_hot,
         "qtserve_evictions_total", {{"reason", "request"}});
     restore_eviction_counter_ = &metrics_->counter(
         "qtserve_evictions_total", {{"reason", "restore"}});
+    migrate_eviction_counter_ = &metrics_->counter(
+        "qtserve_evictions_total", {{"reason", "migrate"}});
     restore_counter_ = &metrics_->counter(
         "qtserve_restores_total", {},
         "sessions rebuilt from their cold snapshot");
+    migrate_out_counter_ = &metrics_->counter(
+        "qtserve_migrations_total", {{"direction", "out"}},
+        "sessions shipped between shards, by direction: exported off "
+        "this worker (out) vs adopted onto it (in)");
+    migrate_in_counter_ = &metrics_->counter(
+        "qtserve_migrations_total", {{"direction", "in"}});
     // Deltas are always v3 binary, so three {format, kind} series per
     // direction cover the space; registered eagerly so the series exist
     // (at zero) before any churn.
@@ -269,6 +277,14 @@ void SessionManager::commit_park(PendingPark& park) {
         restore_eviction_counter_->inc();
       }
       break;
+    case EvictReason::kMigrate:
+      // Not capacity pressure: the session is leaving this worker, so
+      // it stays out of lru_evictions().
+      label = "migrate";
+      if (migrate_eviction_counter_ != nullptr) {
+        migrate_eviction_counter_->inc();
+      }
+      break;
   }
   if (flight_ != nullptr) {
     telemetry::ServeEvent event;
@@ -369,6 +385,124 @@ void SessionManager::make_hot(SessionId id, Session& s, bool* restored) {
   }
   lru_.push_back(id);
   s.lru_pos = std::prev(lru_.end());
+}
+
+bool SessionManager::export_session(SessionId id, MigrationImage* image) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& s = it->second;
+  if (s.park_pending) {
+    // A staged park holds the freshest state; finish it inline so the
+    // image is complete (same outcome as if the batch had committed).
+    for (auto pit = pending_parks_.begin(); pit != pending_parks_.end();
+         ++pit) {
+      if (pit->id == id) {
+        serialize_park(*pit);
+        commit_park(*pit);
+        pending_parks_.erase(pit);
+        break;
+      }
+    }
+  } else if (s.engine != nullptr) {
+    // Park inline under kMigrate even when async_park is on: the image
+    // must carry the engine's current state when this returns.
+    PendingPark park;
+    park.id = id;
+    park.engine = s.engine.get();
+    park.delta = should_park_delta(s);
+    park.format = park.delta ? ParkFormat::kV3Binary : options_.park_format;
+    park.reason = static_cast<int>(EvictReason::kMigrate);
+    lru_.erase(s.lru_pos);
+    serialize_park(park);
+    commit_park(park);
+  }
+  image->spec = s.spec;
+  if (options_.migrate_format == ParkFormat::kV2Text && !s.cold.empty() &&
+      (s.cold.base_is_v3 || !s.cold.deltas.empty())) {
+    // Escape hatch: collapse the chain into interchange text (builds a
+    // MachineState but still no engine).
+    image->base = chain_as_v2_text(s);
+    image->base_is_v3 = false;
+    image->deltas.clear();
+  } else {
+    // The default: the chain moves verbatim, deltas and all.
+    image->base = std::move(s.cold.base);
+    image->deltas = std::move(s.cold.deltas);
+    image->base_is_v3 = s.cold.base_is_v3;
+  }
+  const std::uint64_t image_bytes = [&] {
+    std::uint64_t n = image->base.size();
+    for (const std::string& d : image->deltas) n += d.size();
+    return n;
+  }();
+  sessions_.erase(it);
+  ++exports_;
+  if (migrate_out_counter_ != nullptr) migrate_out_counter_->inc();
+  if (flight_ != nullptr) {
+    telemetry::ServeEvent event;
+    event.kind = telemetry::ServeEventKind::kMigration;
+    event.session = id;
+    event.label = "out";
+    event.value = image_bytes;
+    flight_->record(event);
+  }
+  return true;
+}
+
+std::string SessionManager::adopt_session(SessionId id,
+                                          const MigrationImage& image) {
+  if (id == 0) return "migrate_in: session id must be nonzero";
+  if (sessions_.count(id) != 0) {
+    return "migrate_in: session id already exists on this worker";
+  }
+  const std::string spec_error = validate_spec(image.spec);
+  if (!spec_error.empty()) return spec_error;
+  // Cheap prolog sniff so obviously foreign bytes bounce as an error
+  // reply instead of aborting at restore time; full structural
+  // validation stays with the snapshot layer, same trust level as a
+  // checkpoint file on disk.
+  const auto looks_like_snapshot = [](const std::string& blob) {
+    return blob.rfind(runtime::kSnapshotMagic, 0) == 0;
+  };
+  if (!image.base.empty() && !looks_like_snapshot(image.base)) {
+    return "migrate_in: base is not QTACCEL-SNAPSHOT material";
+  }
+  if (image.base.empty() && !image.deltas.empty()) {
+    return "migrate_in: deltas without a base image";
+  }
+  for (const std::string& delta : image.deltas) {
+    if (!looks_like_snapshot(delta)) {
+      return "migrate_in: delta is not QTACCEL-SNAPSHOT material";
+    }
+  }
+  Session& s = sessions_[id];
+  s.spec = image.spec;
+  s.config = make_config(image.spec);
+  env::GridWorldConfig gc;
+  gc.width = image.spec.width;
+  gc.height = image.spec.height;
+  gc.num_actions = image.spec.actions;
+  s.env = std::make_unique<env::GridWorld>(gc);
+  if (image.spec.telemetry && metrics_ != nullptr) {
+    s.sink = std::make_unique<telemetry::PipelineTelemetry>(
+        qtaccel::make_run_labels(s.config, static_cast<unsigned>(id)),
+        metrics_, /*trace=*/nullptr, /*pid=*/static_cast<std::uint32_t>(id));
+  }
+  s.cold.base = image.base;
+  s.cold.deltas = image.deltas;
+  s.cold.base_is_v3 = image.base_is_v3;
+  if (id >= next_id_) next_id_ = id + 1;
+  ++adopts_;
+  if (migrate_in_counter_ != nullptr) migrate_in_counter_->inc();
+  if (flight_ != nullptr) {
+    telemetry::ServeEvent event;
+    event.kind = telemetry::ServeEventKind::kMigration;
+    event.session = id;
+    event.label = "in";
+    event.value = static_cast<std::uint64_t>(s.cold.bytes());
+    flight_->record(event);
+  }
+  return "";
 }
 
 std::string SessionManager::summary_json(SessionId id) const {

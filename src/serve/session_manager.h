@@ -85,6 +85,12 @@ struct SessionManagerOptions {
   /// this many deltas, so restore cost stays O(base + max_delta_chain).
   /// 0 disables deltas entirely (every park is a full image).
   unsigned max_delta_chain = 4;
+  /// Base format for export_session images. kV3Binary (the default)
+  /// ships the cold chain verbatim — a v3 base plus deltas moves as-is,
+  /// never inflated; kV2Text materializes the chain into interchange
+  /// text first (the --migrate-format=v2 escape hatch, mirroring
+  /// park_format).
+  ParkFormat migrate_format = ParkFormat::kV3Binary;
 };
 
 class SessionManager {
@@ -179,6 +185,30 @@ class SessionManager {
   /// id aborts — gate on exists().
   std::string summary_json(SessionId id) const;
 
+  /// Migration surface (docs/sharding.md): export_session packs the
+  /// session's portable state into `image` and removes the session.
+  /// A hot session is parked inline first (reason "migrate", never
+  /// staged — the image must be complete when this returns, even under
+  /// async_park); a cold session's chain moves VERBATIM (v3 base +
+  /// deltas ship as-is, no engine is built and nothing inflates to v2
+  /// text) unless options.migrate_format asks for v2 interchange text.
+  /// A never-ran session exports an empty-base (fresh) image. Returns
+  /// false for unknown ids, leaving `image` untouched.
+  bool export_session(SessionId id, MigrationImage* image);
+
+  /// The receiving half: registers `id` holding the image's chain as
+  /// its cold state. Pure bookkeeping — no engine is built until first
+  /// acquire(), so adopting N cold sessions costs what parking them
+  /// did. Returns "" on success or a diagnostic (zero/duplicate id,
+  /// invalid spec, bytes that are not snapshot material); full chain
+  /// validation happens at restore like any other cold chain. Keeps
+  /// create()'s id allocator ahead of adopted ids so the two can
+  /// interleave.
+  std::string adopt_session(SessionId id, const MigrationImage& image);
+
+  std::uint64_t exports() const { return exports_; }
+  std::uint64_t adopts() const { return adopts_; }
+
  private:
   /// A cold session's checkpoint chain: one full base image (v2 text or
   /// v3 binary, sniffed by the snapshot layer) plus v3 deltas in apply
@@ -219,8 +249,11 @@ class SessionManager {
   //   kRestore — capacity pressure from an acquire that was itself
   //              restoring a cold snapshot (previously this showed as
   //              "lru" while the same acquire also bumped restores,
-  //              double-counting churn across the two reasons).
-  enum class EvictReason { kRequest, kLru, kRestore };
+  //              double-counting churn across the two reasons);
+  //   kMigrate — export_session parking a hot session so its state can
+  //              ship to another shard (not capacity pressure: excluded
+  //              from lru_evictions()).
+  enum class EvictReason { kRequest, kLru, kRestore, kMigrate };
 
   void make_cold(SessionId id, Session& s, EvictReason reason);
   void make_hot(SessionId id, Session& s, bool* restored);
@@ -250,10 +283,15 @@ class SessionManager {
   SessionId next_id_ = 1;
   std::uint64_t lru_evictions_ = 0;
   std::uint64_t restores_ = 0;
+  std::uint64_t exports_ = 0;
+  std::uint64_t adopts_ = 0;
   telemetry::Counter* lru_eviction_counter_ = nullptr;
   telemetry::Counter* request_eviction_counter_ = nullptr;
   telemetry::Counter* restore_eviction_counter_ = nullptr;
+  telemetry::Counter* migrate_eviction_counter_ = nullptr;
   telemetry::Counter* restore_counter_ = nullptr;
+  telemetry::Counter* migrate_out_counter_ = nullptr;
+  telemetry::Counter* migrate_in_counter_ = nullptr;
   // Park/restore byte accounting by {format, kind}; deltas are always
   // v3, so three series per direction cover the space.
   telemetry::Counter* park_bytes_v2_full_ = nullptr;

@@ -1,0 +1,78 @@
+#include "shard/hash_ring.h"
+
+namespace qta::shard {
+
+HashRing::HashRing(unsigned vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+std::uint64_t HashRing::mix(std::uint64_t x) {
+  // splitmix64 finalizer (Steele et al.): full-avalanche, bijective.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void HashRing::add(ShardId shard) {
+  if (members_.count(shard) != 0) return;
+  members_[shard] = true;
+  for (unsigned replica = 0; replica < vnodes_; ++replica) {
+    // Distinct shards must never collapse onto one point stream, so
+    // the point key folds both ids before mixing. The second mix()
+    // round domain-separates vnode points from key hashes: with one
+    // round, shard 0's points would be mix(replica) — exactly the
+    // values place() probes for small keys, parking every early
+    // session id on shard 0.
+    const std::uint64_t point =
+        mix(mix((static_cast<std::uint64_t>(shard) << 32) | replica));
+    // On the (astronomically unlikely) collision the earlier owner
+    // keeps the point; placement stays deterministic either way.
+    points_.emplace(point, shard);
+  }
+}
+
+void HashRing::remove(ShardId shard) {
+  if (members_.erase(shard) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == shard) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HashRing::contains(ShardId shard) const {
+  return members_.count(shard) != 0;
+}
+
+std::optional<ShardId> HashRing::place(std::uint64_t key) const {
+  if (points_.empty()) return std::nullopt;
+  auto it = points_.lower_bound(mix(key));
+  if (it == points_.end()) it = points_.begin();  // wrap the circle
+  return it->second;
+}
+
+std::optional<ShardId> HashRing::lookup(std::uint64_t key) const {
+  auto it = pins_.find(key);
+  if (it != pins_.end()) return it->second;
+  return place(key);
+}
+
+void HashRing::pin(std::uint64_t key, ShardId shard) { pins_[key] = shard; }
+
+void HashRing::unpin(std::uint64_t key) { pins_.erase(key); }
+
+std::optional<ShardId> HashRing::pinned(std::uint64_t key) const {
+  auto it = pins_.find(key);
+  if (it == pins_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ShardId> HashRing::shards() const {
+  std::vector<ShardId> out;
+  out.reserve(members_.size());
+  for (const auto& [shard, _] : members_) out.push_back(shard);
+  return out;
+}
+
+}  // namespace qta::shard

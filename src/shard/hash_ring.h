@@ -1,0 +1,74 @@
+// Consistent-hash ring: session id -> shard, with per-session pins.
+//
+// The ring is the router's placement function. Each shard contributes
+// `vnodes` points on a 64-bit circle (hashes of (shard, replica));
+// a key lands on the first point at or after its own hash, wrapping.
+// The classic properties follow: placement is deterministic (same
+// shards in, same answer out, independent of insertion order), keys
+// spread across shards within a constant factor of fair share (the
+// vnode count trades memory for balance), and adding or removing one
+// shard remaps only the keys whose arc it owned — on average 1/N of
+// them — never shuffling the survivors among themselves.
+//
+// Placement is only a *suggestion* for new sessions, though: a live
+// session must not move just because the ring changed shape, so the
+// router pins every session to its current owner at create time and
+// repoints the pin — not the ring — when a migration lands. lookup()
+// consults pins first; place() is the raw ring, what a new session or
+// a failover target computation wants.
+//
+// Hashing is a splitmix64 finalizer over the raw key, not std::hash
+// (whose output is unspecified and may be identity for integers —
+// useless for spreading sequential session ids around a circle).
+// Everything here is deterministic; the qtlint entropy rules stay
+// happy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace qta::shard {
+
+using ShardId = std::uint32_t;
+
+class HashRing {
+ public:
+  explicit HashRing(unsigned vnodes = 64);
+
+  /// Adds/removes one shard's vnodes. add() of a present shard and
+  /// remove() of an absent one are no-ops; remove() leaves pins alone
+  /// (the router decides what happens to sessions on a dead shard).
+  void add(ShardId shard);
+  void remove(ShardId shard);
+  bool contains(ShardId shard) const;
+
+  /// Raw ring placement for `key` (ignores pins); nullopt on an empty
+  /// ring.
+  std::optional<ShardId> place(std::uint64_t key) const;
+  /// Pin-aware lookup: the pinned owner if `key` is pinned, otherwise
+  /// place().
+  std::optional<ShardId> lookup(std::uint64_t key) const;
+
+  void pin(std::uint64_t key, ShardId shard);
+  void unpin(std::uint64_t key);
+  std::optional<ShardId> pinned(std::uint64_t key) const;
+
+  /// Member shards, ascending.
+  std::vector<ShardId> shards() const;
+  std::size_t shard_count() const { return members_.size(); }
+  std::size_t pin_count() const { return pins_.size(); }
+
+  /// The splitmix64 finalizer used for ring points and key hashes;
+  /// exposed so tests can reason about point placement.
+  static std::uint64_t mix(std::uint64_t x);
+
+ private:
+  unsigned vnodes_;
+  std::map<std::uint64_t, ShardId> points_;  // circle position -> owner
+  std::map<ShardId, bool> members_;
+  std::map<std::uint64_t, ShardId> pins_;
+};
+
+}  // namespace qta::shard

@@ -1,0 +1,130 @@
+#include "shard/http_plane.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "shard/router.h"
+
+namespace qta::shard {
+
+namespace {
+
+std::string http_response(const char* status_line, const std::string& body,
+                          const char* content_type, bool include_body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+/// "a=1&b=2" -> {a:1, b:2}; values are raw (the plane's params are all
+/// unsigned integers, nothing needs percent-decoding).
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::string ok_json(bool ok) {
+  return std::string("{\"ok\":") + (ok ? "true" : "false") + "}\n";
+}
+
+}  // namespace
+
+std::string handle_router_http(Router& router,
+                               const std::string& request_text) {
+  const std::size_t line_end = request_text.find_first_of("\r\n");
+  const std::string line = request_text.substr(
+      0, line_end == std::string::npos ? request_text.size() : line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    return http_response("400 Bad Request", "bad request\n", "text/plain",
+                         true);
+  }
+  const std::string method = line.substr(0, method_end);
+  std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) target_end = line.size();
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  std::string query;
+  const std::size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+
+  const bool head = method == "HEAD";
+  if (method != "GET" && !head) {
+    return http_response("405 Method Not Allowed", "only GET here\n",
+                         "text/plain", true);
+  }
+  if (target == "/healthz") {
+    return http_response("200 OK", "ok\n", "text/plain", !head);
+  }
+  if (target == "/metrics") {
+    return http_response("200 OK", router.metrics().prometheus_text(),
+                         "text/plain; version=0.0.4", !head);
+  }
+  if (target == "/flightrecorder") {
+    const telemetry::FlightRecorder* flight = router.flight();
+    if (flight == nullptr) {
+      return http_response("404 Not Found", "flight recorder disabled\n",
+                           "text/plain", true);
+    }
+    return http_response("200 OK", flight->json_text(), "application/json",
+                         !head);
+  }
+  if (target == "/shards") {
+    return http_response("200 OK", router.shards_json(),
+                         "application/json", !head);
+  }
+  if (target == "/migrate") {
+    const auto params = parse_query(query);
+    const auto session = params.find("session");
+    const auto shard = params.find("shard");
+    if (session == params.end() || shard == params.end()) {
+      return http_response("400 Bad Request",
+                           "need ?session=S&shard=T\n", "text/plain", true);
+    }
+    const bool ok = router.migrate(
+        std::strtoull(session->second.c_str(), nullptr, 10),
+        static_cast<ShardId>(
+            std::strtoul(shard->second.c_str(), nullptr, 10)));
+    return http_response("200 OK", ok_json(ok), "application/json", !head);
+  }
+  if (target == "/drain") {
+    const auto params = parse_query(query);
+    const auto shard = params.find("shard");
+    if (shard == params.end()) {
+      return http_response("400 Bad Request", "need ?shard=S\n",
+                           "text/plain", true);
+    }
+    const bool ok = router.drain(static_cast<ShardId>(
+        std::strtoul(shard->second.c_str(), nullptr, 10)));
+    return http_response("200 OK", ok_json(ok), "application/json", !head);
+  }
+  if (target == "/checkpoint") {
+    router.checkpoint_all();
+    return http_response("200 OK", ok_json(true), "application/json",
+                         !head);
+  }
+  return http_response("404 Not Found", "no such route\n", "text/plain",
+                       true);
+}
+
+}  // namespace qta::shard

@@ -1,0 +1,107 @@
+#include "shard/local_shard.h"
+
+#include <utility>
+
+namespace qta::shard {
+
+LocalShard::LocalShard(const serve::ServerOptions& options)
+    : server_(options) {}
+
+void LocalShard::submit(std::string payload) {
+  std::string error;
+  std::optional<serve::Request> req =
+      serve::decode_request(payload, &error);
+  Slot slot;
+  if (!req.has_value()) {
+    serve::Response resp;
+    resp.status = serve::Status::kError;
+    resp.error = "parse error: " + error;
+    slot.ready = true;
+    slot.payload = serve::encode_response(resp);
+  } else {
+    slot.ticket = server_.submit(*req);
+  }
+  slots_.push_back(std::move(slot));
+}
+
+std::vector<std::string> LocalShard::poll() {
+  server_.drain();
+  std::vector<std::string> out;
+  while (!slots_.empty()) {
+    Slot& front = slots_.front();
+    if (front.ready) {
+      out.push_back(std::move(front.payload));
+    } else if (server_.done(front.ticket)) {
+      out.push_back(serve::encode_response(server_.take(front.ticket)));
+    } else {
+      break;  // reply order is arrival order; wait for the head
+    }
+    slots_.pop_front();
+  }
+  return out;
+}
+
+LocalCluster::LocalCluster(unsigned shard_count,
+                           const RouterOptions& router_options,
+                           const serve::ServerOptions& shard_options) {
+  router_ = std::make_unique<Router>(router_options, this);
+  for (ShardId id = 0; id < shard_count; ++id) {
+    shards_.emplace(id, std::make_unique<LocalShard>(shard_options));
+    router_->add_shard(id);
+  }
+}
+
+LocalCluster::~LocalCluster() = default;
+
+void LocalCluster::send_to_client(ClientId client, std::string payload) {
+  responses_[client].push_back(std::move(payload));
+  moved_bytes_ = true;
+}
+
+void LocalCluster::send_to_shard(ShardId shard, std::string payload) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return;  // killed shard: bytes on the floor
+  it->second->submit(std::move(payload));
+  moved_bytes_ = true;
+}
+
+void LocalCluster::client_request(ClientId client, std::string payload) {
+  router_->on_client_payload(client, std::move(payload));
+  settle();
+}
+
+std::vector<std::string> LocalCluster::take_responses(ClientId client) {
+  std::vector<std::string> out = std::move(responses_[client]);
+  responses_[client].clear();
+  return out;
+}
+
+void LocalCluster::settle() {
+  // Each pass pumps every shard and routes its responses; responses
+  // can trigger new sends (migration steps, replays), so iterate to a
+  // fixed point.
+  do {
+    moved_bytes_ = false;
+    for (auto& [id, shard] : shards_) {
+      for (std::string& payload : shard->poll()) {
+        router_->on_shard_payload(id, std::move(payload));
+        moved_bytes_ = true;
+      }
+    }
+  } while (moved_bytes_);
+}
+
+void LocalCluster::kill(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return;
+  shards_.erase(it);  // queued work dies with the process
+  router_->on_shard_failed(shard);
+  settle();
+}
+
+LocalShard* LocalCluster::shard(ShardId id) {
+  auto it = shards_.find(id);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace qta::shard

@@ -1,0 +1,899 @@
+#include "shard/router.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+
+namespace qta::shard {
+
+namespace {
+
+serve::Response make_error(serve::RequestType type, serve::SessionId session,
+                           std::string message) {
+  serve::Response resp;
+  resp.status = serve::Status::kError;
+  resp.type = type;
+  resp.session = session;
+  resp.error = std::move(message);
+  return resp;
+}
+
+bool is_session_scoped(serve::RequestType type) {
+  switch (type) {
+    case serve::RequestType::kStep:
+    case serve::RequestType::kQuery:
+    case serve::RequestType::kSnapshot:
+    case serve::RequestType::kEvict:
+    case serve::RequestType::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A fresh (never-ran) migration image for `spec`: adopting it equals
+/// CreateSession(spec) under the router-chosen id.
+std::string fresh_image(const serve::SessionSpec& spec) {
+  serve::MigrationImage image;
+  image.spec = spec;
+  return serve::encode_migration_image(image);
+}
+
+}  // namespace
+
+Router::Router(const RouterOptions& options, RouterHost* host)
+    : options_(options),
+      host_(host),
+      flight_(options.flight_recorder_capacity > 0
+                  ? std::make_unique<telemetry::FlightRecorder>(
+                        options.flight_recorder_capacity)
+                  : nullptr),
+      ring_(options.vnodes),
+      epoch_(std::chrono::steady_clock::now()) {
+  QTA_CHECK_MSG(host_ != nullptr, "Router needs a host");
+  // qtserve_-named families keep qtclient --top and existing dashboards
+  // working against a router unchanged; qtrouter_ families are the
+  // router-only catalog (docs/sharding.md).
+  for (unsigned t = 0;
+       t <= static_cast<unsigned>(serve::RequestType::kMigrateIn); ++t) {
+    requests_by_type_[t] = &metrics_.counter(
+        "qtserve_requests_total",
+        {{"type",
+          serve::request_type_name(static_cast<serve::RequestType>(t))}},
+        "client requests accepted by the router, by request type");
+  }
+  overloads_relayed_ = &metrics_.counter(
+      "qtserve_overload_total", {},
+      "worker overload refusals relayed to clients");
+  migrations_counter_ = &metrics_.counter(
+      "qtrouter_migrations_total", {},
+      "live session migrations completed (pin repointed)");
+  migration_aborts_ = &metrics_.counter(
+      "qtrouter_migration_aborts_total", {},
+      "migrations abandoned before the image left the source");
+  failovers_counter_ = &metrics_.counter(
+      "qtrouter_failovers_total", {}, "dead shards absorbed");
+  failover_sessions_ = &metrics_.counter(
+      "qtrouter_failover_sessions_total", {},
+      "sessions replayed onto survivors during failover");
+  rollbacks_counter_ = &metrics_.counter(
+      "qtrouter_rollbacks_total", {},
+      "migration images re-adopted after a dead or refusing target");
+  checkpoints_counter_ = &metrics_.counter(
+      "qtrouter_checkpoints_total", {},
+      "router-injected snapshot checkpoints committed");
+  shards_gauge_ = &metrics_.gauge("qtrouter_shards", {},
+                                  "live workers behind the router");
+  sessions_live_ = &metrics_.gauge(
+      "qtserve_sessions_live", {},
+      "logical sessions currently registered across the fleet");
+  sessions_hot_ = &metrics_.gauge(
+      "qtserve_sessions_hot", {},
+      "resident engines across the fleet (from worker scrapes)");
+  sessions_moving_ = &metrics_.gauge(
+      "qtrouter_sessions_moving", {},
+      "sessions with a migration or failover in flight");
+}
+
+Router::~Router() = default;
+
+std::uint64_t Router::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Router::record_flight(telemetry::ServeEventKind kind,
+                           serve::SessionId id, const char* label,
+                           std::uint64_t value) {
+  if (flight_ == nullptr) return;
+  telemetry::ServeEvent event;
+  event.kind = kind;
+  event.session = id;
+  event.label = label;
+  event.value = value;
+  flight_->record(event);
+}
+
+void Router::observe_latency(const PendingReply& pending,
+                             const char* type_name) {
+  metrics_
+      .histogram("qtserve_request_latency_us",
+                 {{"path", "proxy"}, {"type", type_name}},
+                 "proxy-hop latency (us): client payload in to worker "
+                 "response relayed, by request type")
+      .observe(now_us() - pending.submit_us);
+}
+
+void Router::set_hot_sessions(double hot) { sessions_hot_->set(hot); }
+
+void Router::add_shard(ShardId shard) {
+  if (shards_.count(shard) != 0) return;
+  shards_[shard];
+  ring_.add(shard);
+  shards_gauge_->set(static_cast<double>(shards_.size()));
+}
+
+std::size_t Router::sessions_on(ShardId shard) const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sessions_) {
+    if (s.shard == shard) ++n;
+  }
+  return n;
+}
+
+std::vector<serve::SessionId> Router::sessions_of(ShardId shard) const {
+  std::vector<serve::SessionId> out;
+  for (const auto& [id, s] : sessions_) {
+    if (s.shard == shard && !s.moving) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<ShardId> Router::pick_alive(std::uint64_t key) const {
+  // Dead and draining shards have left the ring, so raw placement is
+  // already "an alive, placeable shard".
+  return ring_.place(key);
+}
+
+std::optional<ShardId> Router::next_shard_after(ShardId current) const {
+  std::optional<ShardId> first, next;
+  for (const auto& [shard, state] : shards_) {
+    if (state.draining) continue;
+    if (!first.has_value()) first = shard;
+    if (shard > current && !next.has_value()) next = shard;
+  }
+  if (next.has_value()) return next;
+  return first;  // wrap (may equal `current`; callers check)
+}
+
+// --- request intake -------------------------------------------------
+
+void Router::on_client_payload(ClientId client, std::string payload) {
+  ClientState& c = clients_[client];
+  const std::uint64_t seq = c.next_seq++;
+  std::string error;
+  std::optional<serve::Request> decoded =
+      serve::decode_request(payload, &error);
+  if (!decoded.has_value()) {
+    respond_locally(client, seq,
+                    make_error(serve::RequestType::kPing, 0,
+                               "router: " + error));
+    return;
+  }
+  const serve::Request& req = *decoded;
+  requests_by_type_[static_cast<unsigned>(req.type)]->inc();
+
+  if (is_session_scoped(req.type)) {
+    route_session_request(client, seq, req, std::move(payload));
+    return;
+  }
+
+  switch (req.type) {
+    case serve::RequestType::kCreateSession:
+      handle_create(client, seq, req);
+      break;
+    case serve::RequestType::kPing: {
+      serve::Response resp;
+      resp.type = req.type;
+      respond_locally(client, seq, resp);
+      break;
+    }
+    case serve::RequestType::kStats: {
+      serve::Response resp;
+      resp.type = req.type;
+      resp.stats_json = metrics_.json_text();
+      resp.stats_prometheus = metrics_.prometheus_text();
+      respond_locally(client, seq, resp);
+      break;
+    }
+    case serve::RequestType::kIntrospect: {
+      serve::Response resp;
+      resp.type = req.type;
+      resp.session = req.session;
+      switch (req.probe) {
+        case serve::IntrospectProbe::kMetrics:
+          resp.introspect_json = metrics_.json_text();
+          resp.stats_json = resp.introspect_json;
+          resp.stats_prometheus = metrics_.prometheus_text();
+          break;
+        case serve::IntrospectProbe::kFlightRecorder:
+          if (flight_ == nullptr) {
+            resp = make_error(req.type, req.session,
+                              "flight recorder disabled");
+            break;
+          }
+          resp.introspect_json = flight_->json_text();
+          break;
+        case serve::IntrospectProbe::kShards:
+          resp.introspect_json = shards_json();
+          break;
+        case serve::IntrospectProbe::kSession:
+          // The owning worker holds the live summary; proxy to it.
+          route_session_request(client, seq, req, std::move(payload));
+          return;
+      }
+      respond_locally(client, seq, resp);
+      break;
+    }
+    case serve::RequestType::kShutdown: {
+      shutdown_ = true;
+      for (auto& [shard, state] : shards_) {
+        PendingReply pending;
+        pending.kind = PendingReply::Kind::kShutdown;
+        state.fifo.push_back(std::move(pending));
+        serve::Request down;
+        down.type = serve::RequestType::kShutdown;
+        host_->send_to_shard(shard, serve::encode_request(down));
+      }
+      serve::Response resp;
+      resp.type = req.type;
+      respond_locally(client, seq, resp);
+      break;
+    }
+    default:
+      // MigrateOut/MigrateIn are shard-plane control: the router emits
+      // them, clients never do.
+      respond_locally(client, seq,
+                      make_error(req.type, req.session,
+                                 "router-internal request type"));
+      break;
+  }
+}
+
+void Router::handle_create(ClientId client, std::uint64_t seq,
+                           const serve::Request& req) {
+  const std::string problem = serve::validate_spec(req.spec);
+  if (!problem.empty()) {
+    respond_locally(client, seq, make_error(req.type, 0, problem));
+    return;
+  }
+  const serve::SessionId id = next_session_++;
+  const std::optional<ShardId> target = pick_alive(id);
+  if (!target.has_value()) {
+    respond_locally(client, seq,
+                    make_error(req.type, 0, "no shards available"));
+    return;
+  }
+  SessionState& s = sessions_[id];
+  s.shard = *target;
+  s.spec = req.spec;
+  s.moving = true;  // until the adopt lands, requests hold
+  sessions_moving_->set(sessions_moving_->value() + 1);
+  ring_.pin(id, *target);
+  // The create IS a MigrateIn of a fresh image: one worker-side path
+  // covers create, migration, rollback, and failover. send_adopt
+  // pushes the PendingReply; patch the client identity onto it (create
+  // is the only adopt a client waits for).
+  send_adopt(*target, id, fresh_image(req.spec), /*replay_log=*/false);
+  PendingReply& queued = shards_.at(*target).fifo.back();
+  queued.has_client = true;
+  queued.client = client;
+  queued.seq = seq;
+  sessions_live_->set(static_cast<double>(sessions_.size()));
+}
+
+void Router::route_session_request(ClientId client, std::uint64_t seq,
+                                   const serve::Request& req,
+                                   std::string payload) {
+  auto it = sessions_.find(req.session);
+  if (it == sessions_.end()) {
+    respond_locally(client, seq,
+                    make_error(req.type, req.session, "unknown session"));
+    return;
+  }
+  SessionState& s = it->second;
+  if (s.moving) {
+    PendingReply identity;
+    identity.kind = PendingReply::Kind::kForward;
+    identity.session = req.session;
+    identity.has_client = true;
+    identity.client = client;
+    identity.seq = seq;
+    identity.submit_us = now_us();
+    s.held.emplace_back(std::move(payload), std::move(identity));
+    return;
+  }
+  forward(s, req.session, std::move(payload), true, client, seq);
+  if (req.type == serve::RequestType::kStep) {
+    ++s.steps_since_move;
+    maybe_auto_migrate(s, req.session);
+  }
+}
+
+void Router::forward(SessionState& s, serve::SessionId id,
+                     std::string payload, bool has_client, ClientId client,
+                     std::uint64_t seq) {
+  PendingReply pending;
+  pending.kind = PendingReply::Kind::kForward;
+  pending.session = id;
+  pending.has_client = has_client;
+  pending.client = client;
+  pending.seq = seq;
+  pending.submit_us = now_us();
+  shards_.at(s.shard).fifo.push_back(std::move(pending));
+  LogEntry entry;
+  entry.index = s.next_log_index++;
+  entry.payload = payload;
+  entry.has_client = has_client;
+  entry.client = client;
+  entry.seq = seq;
+  s.log.push_back(std::move(entry));
+  host_->send_to_shard(s.shard, std::move(payload));
+  ++s.forwards_since_checkpoint;
+  maybe_checkpoint(s, id);
+}
+
+void Router::maybe_checkpoint(SessionState& s, serve::SessionId id) {
+  if (options_.checkpoint_every == 0 || s.checkpoint_inflight) return;
+  if (s.forwards_since_checkpoint < options_.checkpoint_every) return;
+  serve::Request req;
+  req.type = serve::RequestType::kSnapshot;
+  req.session = id;
+  PendingReply pending;
+  pending.kind = PendingReply::Kind::kCheckpoint;
+  pending.session = id;
+  pending.mark = s.next_log_index;
+  pending.submit_us = now_us();
+  shards_.at(s.shard).fifo.push_back(std::move(pending));
+  host_->send_to_shard(s.shard, serve::encode_request(req));
+  s.checkpoint_inflight = true;
+  s.forwards_since_checkpoint = 0;
+}
+
+void Router::checkpoint_all() {
+  for (auto& [id, s] : sessions_) {
+    if (s.moving || s.log.empty() || s.checkpoint_inflight) continue;
+    // Borrow the interval machinery with the threshold already met.
+    s.forwards_since_checkpoint = options_.checkpoint_every == 0
+                                      ? 0
+                                      : options_.checkpoint_every;
+    if (options_.checkpoint_every == 0) {
+      // Interval checkpoints are off; inject one directly.
+      serve::Request req;
+      req.type = serve::RequestType::kSnapshot;
+      req.session = id;
+      PendingReply pending;
+      pending.kind = PendingReply::Kind::kCheckpoint;
+      pending.session = id;
+      pending.mark = s.next_log_index;
+      pending.submit_us = now_us();
+      shards_.at(s.shard).fifo.push_back(std::move(pending));
+      host_->send_to_shard(s.shard, serve::encode_request(req));
+      s.checkpoint_inflight = true;
+    } else {
+      maybe_checkpoint(s, id);
+    }
+  }
+}
+
+void Router::maybe_auto_migrate(SessionState& s, serve::SessionId id) {
+  if (options_.migrate_every == 0 || s.moving) return;
+  if (s.steps_since_move < options_.migrate_every) return;
+  const std::optional<ShardId> target = next_shard_after(s.shard);
+  if (!target.has_value() || *target == s.shard) return;
+  migrate(id, *target);
+}
+
+// --- migration ------------------------------------------------------
+
+bool Router::migrate(serve::SessionId session, ShardId target) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return false;
+  SessionState& s = it->second;
+  auto shard_it = shards_.find(target);
+  if (shard_it == shards_.end() || shard_it->second.draining) return false;
+  if (s.moving || target == s.shard) return false;
+  s.moving = true;
+  s.steps_since_move = 0;
+  sessions_moving_->set(sessions_moving_->value() + 1);
+  serve::Request req;
+  req.type = serve::RequestType::kMigrateOut;
+  req.session = session;
+  PendingReply pending;
+  pending.kind = PendingReply::Kind::kMigrateOut;
+  pending.session = session;
+  pending.target = target;
+  pending.submit_us = now_us();
+  shards_.at(s.shard).fifo.push_back(std::move(pending));
+  host_->send_to_shard(s.shard, serve::encode_request(req));
+  return true;
+}
+
+void Router::send_adopt(ShardId target, serve::SessionId id,
+                        std::string encoded, bool replay_log) {
+  SessionState& s = sessions_.at(id);
+  s.adopt_inflight = true;
+  s.adopt_dest = target;
+  serve::Request req;
+  req.type = serve::RequestType::kMigrateIn;
+  req.session = id;
+  req.payload = encoded;
+  PendingReply pending;
+  pending.kind = PendingReply::Kind::kMigrateIn;
+  pending.session = id;
+  pending.request_payload = std::move(encoded);
+  pending.replay_log = replay_log;
+  pending.submit_us = now_us();
+  shards_.at(target).fifo.push_back(std::move(pending));
+  host_->send_to_shard(target, serve::encode_request(req));
+}
+
+bool Router::drain(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end() || it->second.draining) return false;
+  // Refuse to drain the last placeable shard: sessions need somewhere
+  // to go.
+  bool survivor = false;
+  for (const auto& [other, state] : shards_) {
+    if (other != shard && !state.draining) survivor = true;
+  }
+  if (!survivor) return false;
+  it->second.draining = true;
+  ring_.remove(shard);
+  std::vector<serve::SessionId> residents;
+  for (const auto& [id, s] : sessions_) {
+    if (s.shard == shard && !s.moving) residents.push_back(id);
+  }
+  for (const serve::SessionId id : residents) {
+    const std::optional<ShardId> target = pick_alive(id);
+    if (target.has_value()) migrate(id, *target);
+  }
+  maybe_finish_drain(shard);
+  return true;
+}
+
+void Router::maybe_finish_drain(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end() || !it->second.draining) return;
+  if (!it->second.fifo.empty() || sessions_on(shard) != 0) return;
+  PendingReply pending;
+  pending.kind = PendingReply::Kind::kShutdown;
+  it->second.fifo.push_back(std::move(pending));
+  serve::Request req;
+  req.type = serve::RequestType::kShutdown;
+  host_->send_to_shard(shard, serve::encode_request(req));
+}
+
+// --- failover -------------------------------------------------------
+
+void Router::on_shard_failed(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return;
+  ShardState dead = std::move(it->second);
+  shards_.erase(it);
+  ring_.remove(shard);
+  shards_gauge_->set(static_cast<double>(shards_.size()));
+  ++failovers_;
+  failovers_counter_->inc();
+  record_flight(telemetry::ServeEventKind::kFailover, 0, "shard",
+                dead.fifo.size());
+
+  // Sweep the dead FIFO first: everything in it died unanswered.
+  for (PendingReply& pending : dead.fifo) {
+    auto sit = sessions_.find(pending.session);
+    if (sit == sessions_.end()) continue;
+    SessionState& s = sit->second;
+    switch (pending.kind) {
+      case PendingReply::Kind::kCheckpoint:
+        s.checkpoint_inflight = false;
+        break;
+      case PendingReply::Kind::kMigrateIn: {
+        // The adopt died with its destination; the image in hand is
+        // the freshest state. Re-adopt on the current owner if it is
+        // still alive, otherwise any survivor (replaying the log —
+        // which is empty for a plain migration, so replay is safe for
+        // every flavor).
+        s.adopt_inflight = false;
+        std::optional<ShardId> fallback;
+        if (shards_.count(s.shard) != 0 && s.shard != shard) {
+          fallback = s.shard;
+        } else {
+          fallback = pick_alive(pending.session);
+        }
+        if (!fallback.has_value()) {
+          abandon_session(pending.session, s, "no shards left");
+          break;
+        }
+        ++rollbacks_;
+        rollbacks_counter_->inc();
+        record_flight(telemetry::ServeEventKind::kMigration,
+                      pending.session, "rollback",
+                      pending.request_payload.size());
+        const bool replay = true;  // absorb any unpruned log on top
+        // Preserve a waiting creator, if any, across the re-send.
+        const bool has_client = pending.has_client;
+        const ClientId client = pending.client;
+        const std::uint64_t seq = pending.seq;
+        send_adopt(*fallback, pending.session,
+                   std::move(pending.request_payload), replay);
+        if (has_client) {
+          PendingReply& queued = shards_.at(*fallback).fifo.back();
+          queued.has_client = true;
+          queued.client = client;
+          queued.seq = seq;
+        }
+        break;
+      }
+      case PendingReply::Kind::kForward:
+      case PendingReply::Kind::kMigrateOut:
+      case PendingReply::Kind::kReplayAbsorb:
+      case PendingReply::Kind::kShutdown:
+        // kForward: its log entry is still unresponded — the session
+        // sweep below replays it. kMigrateOut: the export died before
+        // producing an image; the session sweep reconstructs from
+        // parked+log instead. Absorb/shutdown need nothing.
+        break;
+    }
+  }
+
+  // Now fail over every session the dead shard owned.
+  std::vector<serve::SessionId> owned;
+  for (const auto& [id, s] : sessions_) {
+    if (s.shard == shard) owned.push_back(id);
+  }
+  for (const serve::SessionId id : owned) {
+    auto sit = sessions_.find(id);
+    if (sit == sessions_.end()) continue;
+    SessionState& s = sit->second;
+    if (s.adopt_inflight && shards_.count(s.adopt_dest) != 0) {
+      // Its image is already in flight to a healthy destination (the
+      // source died right after exporting); the adopt will land and
+      // repoint. Nothing to do here.
+      continue;
+    }
+    begin_failover(id, s);
+  }
+  sessions_live_->set(static_cast<double>(sessions_.size()));
+}
+
+void Router::begin_failover(serve::SessionId id, SessionState& s) {
+  ring_.unpin(id);
+  const std::optional<ShardId> target = pick_alive(id);
+  if (!target.has_value()) {
+    abandon_session(id, s, "no shards left");
+    return;
+  }
+  if (!s.moving) {
+    s.moving = true;
+    sessions_moving_->set(sessions_moving_->value() + 1);
+  }
+  s.checkpoint_inflight = false;
+  failover_sessions_->inc();
+  record_flight(telemetry::ServeEventKind::kFailover, id, "session",
+                s.log.size());
+  std::string image =
+      s.parked.empty() ? fresh_image(s.spec) : s.parked;
+  send_adopt(*target, id, std::move(image), /*replay_log=*/true);
+}
+
+void Router::abandon_session(serve::SessionId id, SessionState& s,
+                             const char* why) {
+  for (LogEntry& entry : s.log) {
+    if (!entry.responded && entry.has_client) {
+      respond_locally(entry.client, entry.seq,
+                      make_error(serve::RequestType::kStep, id, why));
+    }
+  }
+  for (auto& [payload, identity] : s.held) {
+    if (identity.has_client) {
+      respond_locally(identity.client, identity.seq,
+                      make_error(serve::RequestType::kStep, id, why));
+    }
+  }
+  if (s.moving) {
+    sessions_moving_->set(sessions_moving_->value() - 1);
+  }
+  ring_.unpin(id);
+  sessions_.erase(id);
+  sessions_live_->set(static_cast<double>(sessions_.size()));
+}
+
+// --- response plumbing ----------------------------------------------
+
+void Router::on_shard_payload(ShardId shard, std::string payload) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) return;  // late bytes from a failed shard
+  if (it->second.fifo.empty()) return;  // unsolicited; drop
+  PendingReply pending = std::move(it->second.fifo.front());
+  it->second.fifo.pop_front();
+  const bool was_shutdown = pending.kind == PendingReply::Kind::kShutdown;
+  handle_shard_response(shard, pending, std::move(payload));
+  if (was_shutdown) {
+    // Drain complete: the worker acknowledged Shutdown and will close.
+    auto again = shards_.find(shard);
+    if (again != shards_.end() && again->second.draining) {
+      shards_.erase(again);
+      ring_.remove(shard);
+      shards_gauge_->set(static_cast<double>(shards_.size()));
+    }
+    return;
+  }
+  maybe_finish_drain(shard);
+}
+
+void Router::handle_shard_response(ShardId shard, PendingReply& pending,
+                                   std::string payload) {
+  std::string error;
+  std::optional<serve::Response> decoded =
+      serve::decode_response(payload, &error);
+  if (!decoded.has_value()) {
+    // A worker speaking garbage: relay to the waiting client (it has a
+    // decoder too) and skip bookkeeping.
+    if (pending.has_client) {
+      deliver(pending.client, pending.seq, std::move(payload));
+    }
+    return;
+  }
+  const serve::Response& resp = *decoded;
+  switch (pending.kind) {
+    case PendingReply::Kind::kForward: {
+      observe_latency(pending, serve::request_type_name(resp.type));
+      auto sit = sessions_.find(pending.session);
+      if (sit != sessions_.end()) {
+        SessionState& s = sit->second;
+        // The worker answers a session's requests in forward order, so
+        // this response belongs to the first unanswered log entry.
+        auto entry = s.log.begin();
+        while (entry != s.log.end() && entry->responded) ++entry;
+        if (entry != s.log.end()) {
+          if (resp.status == serve::Status::kOverloaded) {
+            // Refused at admission — it never executed, so replaying
+            // it after a failover would add steps the client was told
+            // to retry. Drop it from history entirely.
+            overloads_relayed_->inc();
+            s.log.erase(entry);
+          } else {
+            entry->responded = true;
+          }
+        }
+        if (resp.type == serve::RequestType::kClose &&
+            resp.status == serve::Status::kOk) {
+          ring_.unpin(pending.session);
+          sessions_.erase(sit);
+          sessions_live_->set(static_cast<double>(sessions_.size()));
+        }
+      }
+      if (pending.has_client) {
+        deliver(pending.client, pending.seq, std::move(payload));
+      }
+      break;
+    }
+    case PendingReply::Kind::kCheckpoint: {
+      auto sit = sessions_.find(pending.session);
+      if (sit == sessions_.end()) break;
+      SessionState& s = sit->second;
+      s.checkpoint_inflight = false;
+      if (resp.status != serve::Status::kOk) break;  // retry later
+      serve::MigrationImage image;
+      image.spec = s.spec;
+      image.base = resp.snapshot;  // v2 text; restores bit-exactly
+      s.parked = serve::encode_migration_image(image);
+      while (!s.log.empty() && s.log.front().index < pending.mark) {
+        s.log.pop_front();
+      }
+      ++checkpoints_;
+      checkpoints_counter_->inc();
+      break;
+    }
+    case PendingReply::Kind::kMigrateOut: {
+      auto sit = sessions_.find(pending.session);
+      if (sit == sessions_.end()) break;
+      SessionState& s = sit->second;
+      if (resp.status != serve::Status::kOk) {
+        // Overloaded (or refused): the session never left the source.
+        s.moving = false;
+        sessions_moving_->set(sessions_moving_->value() - 1);
+        migration_aborts_->inc();
+        flush_held(pending.session, s);
+        break;
+      }
+      const ShardId target = shards_.count(pending.target) != 0
+                                 ? pending.target
+                                 : (pick_alive(pending.session)
+                                        .value_or(pending.target));
+      if (shards_.count(target) == 0) {
+        abandon_session(pending.session, s, "no shards left");
+        break;
+      }
+      record_flight(telemetry::ServeEventKind::kMigration,
+                    pending.session, "out", resp.snapshot.size());
+      // The exported image folds in every answered request, so it IS a
+      // checkpoint: park it and clear the log NOW, not at adopt-ok —
+      // otherwise a dead-target rollback would replay the logged steps
+      // on top of an image that already contains them.
+      s.parked = resp.snapshot;
+      s.log.clear();
+      send_adopt(target, pending.session, resp.snapshot,
+                 /*replay_log=*/false);
+      break;
+    }
+    case PendingReply::Kind::kMigrateIn:
+      finish_adopt(shard, pending, resp, std::move(payload));
+      break;
+    case PendingReply::Kind::kReplayAbsorb:
+    case PendingReply::Kind::kShutdown:
+      break;  // swallowed by design
+  }
+}
+
+void Router::finish_adopt(ShardId shard, PendingReply& pending,
+                          const serve::Response& resp,
+                          std::string payload) {
+  (void)payload;
+  auto sit = sessions_.find(pending.session);
+  if (sit == sessions_.end()) return;
+  SessionState& s = sit->second;
+  s.adopt_inflight = false;
+  if (resp.status != serve::Status::kOk) {
+    if (shard != s.shard && shards_.count(s.shard) != 0) {
+      // The destination refused; put the image back where it came
+      // from.
+      ++rollbacks_;
+      rollbacks_counter_->inc();
+      record_flight(telemetry::ServeEventKind::kMigration,
+                    pending.session, "rollback",
+                    pending.request_payload.size());
+      send_adopt(s.shard, pending.session,
+                 std::move(pending.request_payload), pending.replay_log);
+      PendingReply& queued = shards_.at(s.shard).fifo.back();
+      queued.has_client = pending.has_client;
+      queued.client = pending.client;
+      queued.seq = pending.seq;
+      return;
+    }
+    // The session's own shard refused its state back: unrecoverable.
+    if (pending.has_client) {
+      respond_locally(pending.client, pending.seq,
+                      make_error(serve::RequestType::kCreateSession, 0,
+                                 "create failed: " + resp.error));
+    }
+    abandon_session(pending.session, s, "session unrecoverable");
+    return;
+  }
+
+  const ShardId old_shard = s.shard;
+  s.shard = shard;
+  ring_.pin(pending.session, shard);
+  if (s.moving) {
+    s.moving = false;
+    sessions_moving_->set(sessions_moving_->value() - 1);
+  }
+  if (pending.replay_log) {
+    // Failover: rebuild the worker's timeline. Already-answered
+    // requests re-execute silently (deterministic engines make the
+    // result byte-identical); unanswered ones re-attach to their
+    // waiting clients.
+    ShardState& dest = shards_.at(shard);
+    for (const LogEntry& entry : s.log) {
+      PendingReply replay;
+      replay.kind = entry.responded ? PendingReply::Kind::kReplayAbsorb
+                                    : PendingReply::Kind::kForward;
+      replay.session = pending.session;
+      replay.has_client = !entry.responded && entry.has_client;
+      replay.client = entry.client;
+      replay.seq = entry.seq;
+      replay.submit_us = now_us();
+      dest.fifo.push_back(std::move(replay));
+      host_->send_to_shard(shard, entry.payload);
+    }
+  } else {
+    // Migration (or create): the shipped image IS a checkpoint — all
+    // prior history is folded into it.
+    s.parked = std::move(pending.request_payload);
+    s.log.clear();
+    if (old_shard != shard && !pending.has_client) {
+      ++migrations_;
+      migrations_counter_->inc();
+      record_flight(telemetry::ServeEventKind::kMigration,
+                    pending.session, "in", s.parked.size());
+    }
+  }
+  if (pending.has_client) {
+    // Router-side CreateSession: rewrite the adopt ack into the
+    // create response the client is waiting for.
+    serve::Response created;
+    created.type = serve::RequestType::kCreateSession;
+    created.session = pending.session;
+    respond_locally(pending.client, pending.seq, created);
+  }
+  flush_held(pending.session, s);
+  if (old_shard != shard) maybe_finish_drain(old_shard);
+  // Landed on a shard that started draining while the image was in
+  // flight? Move along immediately.
+  auto dest_it = shards_.find(shard);
+  if (dest_it != shards_.end() && dest_it->second.draining) {
+    const std::optional<ShardId> next = pick_alive(pending.session);
+    if (next.has_value() && *next != shard) migrate(pending.session, *next);
+  }
+}
+
+void Router::flush_held(serve::SessionId id, SessionState& s) {
+  while (!s.held.empty() && !s.moving) {
+    auto [payload, identity] = std::move(s.held.front());
+    s.held.pop_front();
+    std::string decode_error;
+    std::optional<serve::Request> req =
+        serve::decode_request(payload, &decode_error);
+    forward(s, id, std::move(payload), identity.has_client,
+            identity.client, identity.seq);
+    if (req.has_value() && req->type == serve::RequestType::kStep) {
+      ++s.steps_since_move;
+      maybe_auto_migrate(s, id);
+    }
+  }
+}
+
+void Router::respond_locally(ClientId client, std::uint64_t seq,
+                             const serve::Response& resp) {
+  deliver(client, seq, serve::encode_response(resp));
+}
+
+void Router::deliver(ClientId client, std::uint64_t seq,
+                     std::string payload) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;  // client hung up; drop
+  ClientState& c = it->second;
+  if (seq != c.next_deliver) {
+    c.ready.emplace(seq, std::move(payload));
+    return;
+  }
+  host_->send_to_client(client, std::move(payload));
+  ++c.next_deliver;
+  while (!c.ready.empty() && c.ready.begin()->first == c.next_deliver) {
+    host_->send_to_client(client, std::move(c.ready.begin()->second));
+    c.ready.erase(c.ready.begin());
+    ++c.next_deliver;
+  }
+}
+
+void Router::on_client_closed(ClientId client) { clients_.erase(client); }
+
+// --- introspection --------------------------------------------------
+
+std::string Router::shards_json() const {
+  qta::JsonWriter json;
+  json.begin_object();
+  json.field("sessions", static_cast<std::uint64_t>(sessions_.size()));
+  json.field("migrations", migrations_);
+  json.field("failovers", failovers_);
+  json.field("rollbacks", rollbacks_);
+  json.field("checkpoints", checkpoints_);
+  json.field("shutdown", shutdown_);
+  json.key("shards").begin_array();
+  for (const auto& [shard, state] : shards_) {
+    json.begin_object();
+    json.field("id", static_cast<std::uint64_t>(shard));
+    json.field("draining", state.draining);
+    json.field("sessions", static_cast<std::uint64_t>(sessions_on(shard)));
+    json.field("inflight", static_cast<std::uint64_t>(state.fifo.size()));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace qta::shard

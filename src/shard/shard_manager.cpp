@@ -1,0 +1,114 @@
+#include "shard/shard_manager.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "serve/tcp.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qta::shard {
+
+std::vector<RebalanceMove> plan_rebalance(std::vector<ShardLoad> loads,
+                                          double tolerance) {
+  std::vector<RebalanceMove> moves;
+  if (loads.size() < 2) return moves;
+  double total = 0;
+  for (const ShardLoad& l : loads) total += l.load;
+  const double mean = total / static_cast<double>(loads.size());
+  const double ceiling = mean * (1.0 + tolerance);
+  // Most-loaded donates to least-loaded until every donor fits under
+  // the ceiling. Sorting by (load, shard) keeps the plan deterministic
+  // across identical inputs.
+  auto by_load = [](const ShardLoad& a, const ShardLoad& b) {
+    if (a.load != b.load) return a.load < b.load;
+    return a.shard < b.shard;
+  };
+  std::sort(loads.begin(), loads.end(), by_load);
+  std::size_t lo = 0;
+  std::size_t hi = loads.size() - 1;
+  while (lo < hi) {
+    ShardLoad& donor = loads[hi];
+    ShardLoad& taker = loads[lo];
+    if (donor.load <= ceiling) break;  // everyone fits
+    const double excess = donor.load - mean;
+    const double room = mean - taker.load;
+    const unsigned count = static_cast<unsigned>(
+        std::max(0.0, std::min(excess, std::max(room, 0.0))));
+    if (count == 0) {
+      // The taker is already at the mean; move on.
+      ++lo;
+      continue;
+    }
+    moves.push_back(RebalanceMove{donor.shard, taker.shard, count});
+    donor.load -= count;
+    taker.load += count;
+    if (taker.load >= mean) ++lo;
+    if (donor.load <= ceiling) --hi;
+  }
+  return moves;
+}
+
+std::optional<double> scrape_gauge(const std::string& text,
+                                   const std::string& family) {
+  std::istringstream is(text);
+  std::string line;
+  double sum = 0;
+  bool seen = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, family.size(), family) != 0) continue;
+    // The family name must end at '{', ' ', or the sample separator —
+    // "qtserve_sessions" must not match "qtserve_sessions_live".
+    const char next = line.size() > family.size() ? line[family.size()]
+                                                  : '\0';
+    if (next != '{' && next != ' ') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    sum += std::strtod(line.c_str() + space + 1, nullptr);
+    seen = true;
+  }
+  if (!seen) return std::nullopt;
+  return sum;
+}
+
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& path,
+                                    std::string* error) {
+  const int fd = serve::tcp_connect(host, port, error);
+  if (fd == serve::kInvalidSocket) return std::nullopt;
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!serve::send_all(fd, request, error)) {
+    serve::tcp_close(fd);
+    return std::nullopt;
+  }
+  // The serve endpoint always closes after one response, so EOF is the
+  // delimiter.
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  serve::tcp_close(fd);
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos) {
+    if (error != nullptr) *error = "malformed HTTP response";
+    return std::nullopt;
+  }
+  const std::string status_line = response.substr(0, line_end);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    if (error != nullptr) *error = "HTTP status: " + status_line;
+    return std::nullopt;
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return std::string();
+  return response.substr(body + 4);
+}
+
+}  // namespace qta::shard

@@ -1,0 +1,60 @@
+// ShardManager: load-driven rebalancing for a shard fleet.
+//
+// The router's HTTP plane exposes where sessions sit; each worker's
+// /metrics exposes how loaded it is (qtserve_sessions_live,
+// qtserve_sessions_hot). The manager closes the loop: scrape the
+// gauges, compare against fair share, and emit migrate moves that
+// qtrouterd executes through Router::migrate. The planning core is a
+// pure function over (shard, load) pairs so tests pin its decisions
+// without sockets or clocks; the scrape helpers are the only I/O and
+// live behind their own seams (parse a Prometheus text blob; fetch one
+// URL path over the serve TCP helpers).
+//
+// The plan is deliberately conservative: it equalizes toward the mean
+// and only moves sessions off shards whose load exceeds fair share by
+// more than `tolerance` (a ratio), so a balanced fleet plans zero
+// moves and a jittery gauge doesn't cause migration churn.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shard/hash_ring.h"
+
+namespace qta::shard {
+
+struct ShardLoad {
+  ShardId shard = 0;
+  double load = 0;  // typically qtserve_sessions_live from the worker
+};
+
+struct RebalanceMove {
+  ShardId from = 0;
+  ShardId to = 0;
+  unsigned count = 0;  // sessions to migrate from -> to
+};
+
+/// Pure planner: moves that bring every shard within
+/// (1 + tolerance) * mean load, equalizing greedily from the most to
+/// the least loaded. Deterministic; returns {} when the fleet is
+/// already balanced or has fewer than two shards.
+std::vector<RebalanceMove> plan_rebalance(std::vector<ShardLoad> loads,
+                                          double tolerance);
+
+/// Sum of a Prometheus family's samples in `text` (all label sets;
+/// counters sum naturally, single-series gauges pass through).
+/// nullopt when the family does not appear.
+std::optional<double> scrape_gauge(const std::string& text,
+                                   const std::string& family);
+
+/// One-shot HTTP/1.0 GET; returns the response BODY, or nullopt on
+/// connect/transport failure or a non-200 status. Blocking — callers
+/// scrape between poll iterations, matching the daemon's cadence.
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& path,
+                                    std::string* error = nullptr);
+
+}  // namespace qta::shard

@@ -13,6 +13,8 @@ const char* serve_event_kind_name(ServeEventKind kind) {
     case ServeEventKind::kRestore: return "restore";
     case ServeEventKind::kSessionCreated: return "session_created";
     case ServeEventKind::kSessionClosed: return "session_closed";
+    case ServeEventKind::kMigration: return "migration";
+    case ServeEventKind::kFailover: return "failover";
   }
   return "unknown";
 }

@@ -28,6 +28,10 @@ enum class ServeEventKind : std::uint8_t {
   kRestore = 4,         // session rebuilt from its cold snapshot
   kSessionCreated = 5,  // logical session registered
   kSessionClosed = 6,   // logical session destroyed
+  kMigration = 7,       // session shipped between shards; label =
+                        // direction ("out"/"in"); value = image bytes
+  kFailover = 8,        // router absorbed a dead shard; label = phase;
+                        // value = sessions replayed onto survivors
 };
 
 /// Stable JSON/metric spelling ("request", "overload", ...).

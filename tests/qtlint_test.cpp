@@ -389,6 +389,43 @@ TEST(QtlintLayering, OnlyServeIncludesServeWithinSrc) {
             0u);
 }
 
+TEST(QtlintLayering, ShardSitsAboveServeAndNothingIncludesIt) {
+  // shard/ may include serve/ (and transitively everything serve may),
+  // but no src module below it may include shard/ — the router is the
+  // top of the src DAG.
+  EXPECT_EQ(count_rule(lint_content("src/shard/router.cpp",
+                                    "#include \"serve/protocol.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("src/shard/router.cpp",
+                                    "#include \"runtime/engine.h\"\n"),
+                       RuleId::kLayering),
+            0u);
+  const std::string snippet =
+      "#include \"shard/router.h\"\nvoid f();\n";
+  EXPECT_EQ(count_rule(lint_content("src/serve/server.cpp", snippet),
+                       RuleId::kLayering),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/runtime/engine.cpp", snippet),
+                       RuleId::kLayering),
+            1u);
+  EXPECT_EQ(count_rule(lint_content("src/telemetry/metrics.cpp", snippet),
+                       RuleId::kLayering),
+            1u);
+  // Tools and benches sit above the seam.
+  EXPECT_EQ(count_rule(lint_content("tools/qtrouterd.cpp", snippet),
+                       RuleId::kLayering),
+            0u);
+  EXPECT_EQ(count_rule(lint_content("bench/bench_shard.cpp", snippet),
+                       RuleId::kLayering),
+            0u);
+  // And shard stays backend-generic like serve.
+  EXPECT_EQ(count_rule(lint_content("src/shard/router.cpp",
+                                    "#include \"qtaccel/fast_engine.h\"\n"),
+                       RuleId::kLayering),
+            1u);
+}
+
 TEST(QtlintLayering, ServeStaysBackendGeneric) {
   // The serving layer multiplexes Engines; naming a concrete backend
   // would break the snapshot bridge between backends.

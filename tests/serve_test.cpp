@@ -208,6 +208,116 @@ TEST(ServeProtocol, V1PeersCannotNameV2OnlyTypesOrBadProbes) {
   }
 }
 
+TEST(ServeProtocol, MigrateRequestsRoundTripInV3) {
+  // kMigrateOut is a plain session-scoped request.
+  Request out;
+  out.type = RequestType::kMigrateOut;
+  out.session = 314;
+  out.trace_id = 0xabcddcba;
+  auto o = decode_request(encode_request(out));
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->type, RequestType::kMigrateOut);
+  EXPECT_EQ(o->session, 314u);
+  EXPECT_EQ(o->trace_id, 0xabcddcbau);
+
+  // kMigrateIn carries the opaque image blob in the v3 trailer.
+  MigrationImage image;
+  image.spec = small_spec(21);
+  image.base = "QTACCEL-SNAPSHOT v3\nbinary bytes \x01\x02";
+  image.base_is_v3 = true;
+  image.deltas = {"QTACCEL-SNAPSHOT v3-delta\nd0",
+                  "QTACCEL-SNAPSHOT v3-delta\nd1"};
+  Request in;
+  in.type = RequestType::kMigrateIn;
+  in.session = 315;
+  in.payload = encode_migration_image(image);
+  auto i = decode_request(encode_request(in));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->type, RequestType::kMigrateIn);
+  EXPECT_EQ(i->session, 315u);
+  EXPECT_EQ(i->payload, in.payload);
+  auto decoded = decode_migration_image(i->payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, image);
+
+  // A kMigrateIn body with the payload field cut off is malformed.
+  const std::string good = encode_request(in);
+  std::string error;
+  EXPECT_FALSE(decode_request(good.substr(0, good.size() - 4), &error));
+  EXPECT_FALSE(error.empty());
+
+  // The Shards probe is v3-only but rides the existing Introspect
+  // machinery.
+  Request probe;
+  probe.type = RequestType::kIntrospect;
+  probe.probe = IntrospectProbe::kShards;
+  auto p = decode_request(encode_request(probe));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->probe, IntrospectProbe::kShards);
+}
+
+TEST(ServeProtocol, OldPeersCannotNameV3TypesOrShardsProbe) {
+  // Migration types do not exist before v3: old bodies naming them are
+  // malformed, exactly like Introspect under v1.
+  for (const RequestType t :
+       {RequestType::kMigrateOut, RequestType::kMigrateIn}) {
+    for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+      Request req;
+      req.type = t;
+      req.session = 3;
+      std::string error;
+      EXPECT_FALSE(
+          decode_request(encode_request(req, version), &error).has_value())
+          << request_type_name(t) << " v" << version;
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  Request probe;
+  probe.type = RequestType::kIntrospect;
+  probe.probe = IntrospectProbe::kShards;
+  std::string error;
+  EXPECT_FALSE(decode_request(encode_request(probe, /*version=*/2), &error)
+                   .has_value());
+  EXPECT_NE(error.find("probe"), std::string::npos);
+}
+
+TEST(ServeProtocol, MigrationImageRoundTripsAndRejectsCorruption) {
+  MigrationImage image;
+  image.spec = small_spec(77);
+  image.spec.algorithm = qtaccel::Algorithm::kDoubleQ;
+  image.base = "QTACCEL-SNAPSHOT v2\nfull image text";
+  image.deltas = {"QTACCEL-SNAPSHOT v3-delta\nrow7"};
+  const std::string blob = encode_migration_image(image);
+  auto back = decode_migration_image(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, image);
+
+  // A fresh (empty-base) image round trips too — it is the router-side
+  // CreateSession encoding.
+  MigrationImage fresh;
+  fresh.spec = small_spec(78);
+  auto f = decode_migration_image(encode_migration_image(fresh));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, fresh);
+
+  // Corruption comes off a network: always nullopt + why, never abort.
+  std::string error;
+  EXPECT_FALSE(decode_migration_image("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::string bad_magic = blob;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x55);
+  EXPECT_FALSE(decode_migration_image(bad_magic, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+  std::string bad_version = blob;
+  bad_version[4] = static_cast<char>(0x7F);
+  EXPECT_FALSE(decode_migration_image(bad_version, &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  for (std::size_t len = 1; len < blob.size(); len += 7) {
+    EXPECT_FALSE(decode_migration_image(blob.substr(0, len)).has_value())
+        << "truncated to " << len;
+  }
+}
+
 TEST(ServeProtocol, RejectsForeignCorruptedAndTruncatedPayloads) {
   Request req;
   req.type = RequestType::kStep;

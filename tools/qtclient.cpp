@@ -19,6 +19,8 @@
 //                 [--trace-id=N]
 //                 [--introspect-flight=FILE] [--introspect-session=ID]
 //                 [--top] [--top-count=5] [--interval-ms=1000]
+//                 [--shards=host:port] [--expect-migration]
+//                 [--mid-run-cmd=CMD]
 //
 // --burst caps how many Steps are in flight per burst (0 = all
 //   sessions at once, the overload-provoking default).
@@ -37,6 +39,17 @@
 //   metrics every --interval-ms and prints sessions, request totals,
 //   overloads, and latency p50/p95/p99 (log2-bucket upper bounds)
 //   per poll, --top-count times.
+// --shards=host:port points the client at a qtrouterd instead of a
+//   single qtserved (it overrides --host/--port). Everything else is
+//   unchanged — the router speaks the same wire protocol — and after
+//   the run the router's topology (Shards probe) is printed.
+// --expect-migration exits nonzero unless the router reports at least
+//   one completed live migration (CI pairs it with the router's
+//   --migrate-every to prove mid-run migrations stay bit-invisible
+//   under --verify). Requires --shards.
+// --mid-run-cmd runs CMD via the shell once, halfway through the
+//   training rounds — the CI hook for killing a worker mid-run to
+//   prove failover is bit-exact.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -306,13 +319,32 @@ int main(int argc, char** argv) {
   const auto top_count = static_cast<std::size_t>(flags.get_int("top-count", 5));
   const auto interval_ms =
       static_cast<std::uint64_t>(flags.get_int("interval-ms", 1000));
+  const std::string shards_addr = flags.get_string("shards", "");
+  const bool expect_migration = flags.get_bool("expect-migration", false);
+  const std::string mid_run_cmd = flags.get_string("mid-run-cmd", "");
   for (const auto& unused : flags.unused()) {
     std::cerr << "qtclient: unknown flag --" << unused << "\n";
     return 2;
   }
+  std::string connect_host = host;
+  std::uint16_t connect_port = port;
+  if (!shards_addr.empty()) {
+    const std::size_t colon = shards_addr.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::cerr << "qtclient: --shards wants host:port\n";
+      return 2;
+    }
+    connect_host = shards_addr.substr(0, colon);
+    connect_port = static_cast<std::uint16_t>(
+        std::strtoul(shards_addr.c_str() + colon + 1, nullptr, 10));
+  }
+  if (expect_migration && shards_addr.empty()) {
+    std::cerr << "qtclient: --expect-migration needs --shards\n";
+    return 2;
+  }
 
   Client client;
-  client.fd = serve::tcp_connect(host, port, &client.error);
+  client.fd = serve::tcp_connect(connect_host, connect_port, &client.error);
   if (client.fd == serve::kInvalidSocket) return fail(client, "connect");
 
   // Live view: poll Stats and summarize, no load generation at all.
@@ -365,6 +397,15 @@ int main(int argc, char** argv) {
   std::uint64_t overloads = 0;
   std::string problem;
   for (std::size_t round = 0; round < rounds; ++round) {
+    if (!mid_run_cmd.empty() && round == rounds / 2) {
+      // The CI failover hook: typically `kill <worker pid>` so the rest
+      // of the run lands on re-adopted sessions.
+      const int rc = std::system(mid_run_cmd.c_str());
+      if (rc != 0) {
+        std::cerr << "qtclient: --mid-run-cmd exited " << rc << "\n";
+        return 1;
+      }
+    }
     const bool ok = closed_loop(
         client, sessions, burst, &overloads, &problem,
         [&](std::size_t i) {
@@ -479,6 +520,26 @@ int main(int argc, char** argv) {
     if (!out) return fail(client, "cannot write " + flight_path);
   }
 
+  // Against a router, dump the topology and (optionally) insist the run
+  // actually exercised live migration.
+  std::uint64_t migrations_seen = 0;
+  if (!shards_addr.empty()) {
+    std::string topology;
+    if (auto got = introspect(client, serve::IntrospectProbe::kShards, 0,
+                              trace_id, &problem)) {
+      topology = *got;
+    } else {
+      return fail(client, problem);
+    }
+    std::cout << "qtclient shards: " << topology << "\n";
+    const std::size_t key = topology.find("\"migrations\":");
+    if (key != std::string::npos) {
+      migrations_seen = std::strtoull(
+          topology.c_str() + key + sizeof("\"migrations\":") - 1, nullptr,
+          10);
+    }
+  }
+
   if (want_stats || !stats_json_path.empty()) {
     serve::Request req;
     req.type = serve::RequestType::kStats;
@@ -518,6 +579,11 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   if (expect_overload && overloads == 0) {
     std::cerr << "qtclient: expected overload replies but saw none\n";
+    return 1;
+  }
+  if (expect_migration && migrations_seen == 0) {
+    std::cerr << "qtclient: expected live migrations but the router "
+                 "reports none\n";
     return 1;
   }
   return 0;

@@ -129,16 +129,17 @@ constexpr std::array<std::string_view, 7> kPipelineFileStems{
 // One row per src/ module: the module name and the space-separated set
 // of modules its files may #include (itself is always allowed). The
 // table IS the architecture: runtime/ is visible only to runtime,
-// driver and serve; serve/ only to itself (tools, examples and bench
-// sit above the seam and may include anything except the restricted
-// backend headers below). Extending the architecture = editing this
-// table, not writing a new scanner.
+// driver, serve and shard; serve/ only to itself and shard; shard/ to
+// nothing below it (tools, examples and bench sit above the seam and
+// may include anything except the restricted backend headers below).
+// Extending the architecture = editing this table, not writing a new
+// scanner.
 struct LayerSpec {
   std::string_view module;
   std::string_view deps;
 };
 
-constexpr std::array<LayerSpec, 14> kLayerSpecs{{
+constexpr std::array<LayerSpec, 15> kLayerSpecs{{
     {"common", ""},
     {"fixed", "common"},
     {"rng", "common fixed"},
@@ -157,6 +158,9 @@ constexpr std::array<LayerSpec, 14> kLayerSpecs{{
      "algo baseline"},
     {"serve",
      "common fixed rng hw env policy device telemetry qtaccel runtime"},
+    {"shard",
+     "common fixed rng hw env policy device telemetry qtaccel runtime "
+     "serve"},
 }};
 
 // Concrete backend headers: constructible only from src/runtime (the

@@ -15,6 +15,7 @@
 //                 [--http-port=N] [--http-port-file=path]
 //                 [--flight-capacity=256]
 //                 [--park-format=v3] [--sync-park] [--max-delta-chain=4]
+//                 [--migrate-format=v3]
 //
 // --port=0 lets the kernel pick; --port-file writes the bound port for
 // scripts. --http-port opens a second listener speaking plain HTTP
@@ -26,6 +27,9 @@
 // for cold sessions, --max-delta-chain bounds the v3 delta chain
 // (0 = full images only), and --sync-park serializes parks inline on
 // the control thread instead of overlapping them with batch execution.
+// --migrate-format=v2|v3 is the escape hatch mirroring --park-format
+// for MigrateOut payloads: v3 (default) ships a cold session's parked
+// delta chain verbatim, v2 materializes plain snapshot text first.
 // A Shutdown request stops the accept loop, drains every staged
 // request and output buffer, optionally writes the trace, and exits 0.
 #include <fcntl.h>
@@ -143,6 +147,13 @@ int main(int argc, char** argv) {
     options.park_format = serve::ParkFormat::kV2Text;
   } else if (park_format != "v3") {
     std::cerr << "qtserved: --park-format must be v2 or v3\n";
+    return 2;
+  }
+  const std::string migrate_format = flags.get_string("migrate-format", "v3");
+  if (migrate_format == "v2") {
+    options.migrate_format = serve::ParkFormat::kV2Text;
+  } else if (migrate_format != "v3") {
+    std::cerr << "qtserved: --migrate-format must be v2 or v3\n";
     return 2;
   }
   options.async_park = !flags.get_bool("sync-park", false);
